@@ -1,0 +1,166 @@
+// Operation latency through the message-driven protocol layer — the
+// dimension the paper's additive cost model cannot see — plus behaviour
+// under increasing message loss (§5).
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "core/node.h"
+
+using namespace radd;
+
+namespace {
+
+struct System {
+  Simulator sim;
+  std::unique_ptr<Network> net;
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<RaddNodeSystem> nodes;
+  RaddConfig config;
+
+  explicit System(double drop) {
+    config.group_size = 8;
+    config.rows = 20;
+    config.block_size = 1024;
+    NetworkModel nm;
+    nm.drop_probability = drop;
+    net = std::make_unique<Network>(&sim, nm, 0x11);
+    cluster = std::make_unique<Cluster>(
+        10, SiteConfig{1, config.rows, config.block_size});
+    nodes = std::make_unique<RaddNodeSystem>(&sim, net.get(), cluster.get(),
+                                             config);
+  }
+  Block Pat(uint64_t seed) {
+    Block b(config.block_size);
+    b.FillPattern(seed);
+    return b;
+  }
+};
+
+}  // namespace
+
+int main() {
+  // ---- latency under a reliable network -------------------------------------
+  {
+    System s(0.0);
+    s.nodes->Write(s.nodes->group()->SiteOfMember(2), 2, 0, s.Pat(1));
+
+    TextTable t("Protocol-level operation latency, reliable network "
+                "(disk 30 ms, one-way link 22.5 ms)");
+    t.SetHeader({"operation", "latency ms", "Fig. 4 additive cost ms"});
+    auto lr = s.nodes->Read(s.nodes->group()->SiteOfMember(2), 2, 0);
+    t.AddRow({"local read", FormatDouble(ToMillis(lr.latency), 1), "30"});
+    auto rr = s.nodes->Read(s.nodes->group()->SiteOfMember(3), 2, 0);
+    t.AddRow({"remote read", FormatDouble(ToMillis(rr.latency), 1), "75"});
+    auto w = s.nodes->Write(s.nodes->group()->SiteOfMember(2), 2, 0,
+                            s.Pat(2));
+    t.AddRow({"write (local + parity ack)",
+              FormatDouble(ToMillis(w.latency), 1), "105"});
+
+    s.cluster->CrashSite(s.nodes->group()->SiteOfMember(2));
+    auto dr = s.nodes->Read(s.nodes->group()->SiteOfMember(0), 2, 0);
+    t.AddRow({"degraded read (reconstruct)",
+              FormatDouble(ToMillis(dr.latency), 1), "600 work"});
+    s.sim.Run();
+    auto dr2 = s.nodes->Read(s.nodes->group()->SiteOfMember(0), 2, 0);
+    t.AddRow({"degraded read (spare hit)",
+              FormatDouble(ToMillis(dr2.latency), 1), "75"});
+    auto dw = s.nodes->Write(s.nodes->group()->SiteOfMember(0), 2, 0,
+                             s.Pat(3));
+    t.AddRow({"degraded write (spare + parity)",
+              FormatDouble(ToMillis(dw.latency), 1), "150 work"});
+    t.Print();
+    std::printf(
+        "\nNote: reconstruction latency beats its 600-ms *work* figure "
+        "because\nthe G source reads proceed in parallel — the cost model "
+        "sums them,\nthe protocol overlaps them.\n");
+  }
+
+  // ---- §5: loss sweep ---------------------------------------------------------
+  TextTable t2("\nWrite behaviour vs message-loss probability (20 writes "
+               "each; §5's retransmit-until-ack)");
+  t2.SetHeader({"drop %", "success", "mean latency ms", "p95 ms",
+                "parity retransmits"});
+  for (double drop : {0.0, 0.05, 0.10, 0.20, 0.30}) {
+    System s(drop);
+    Stats lat;
+    int ok = 0;
+    for (int i = 0; i < 20; ++i) {
+      auto w = s.nodes->Write(s.nodes->group()->SiteOfMember(2), 2,
+                              static_cast<BlockNum>(i % 8), s.Pat(i));
+      if (w.status.ok()) {
+        ++ok;
+        lat.Observe("w", ToMillis(w.latency));
+      }
+    }
+    s.sim.Run();
+    Status inv = s.nodes->group()->VerifyInvariants();
+    t2.AddRow({FormatDouble(100 * drop, 0), std::to_string(ok) + "/20",
+               FormatDouble(lat.Mean("w"), 1),
+               FormatDouble(lat.Percentile("w", 95), 1),
+               std::to_string(
+                   s.nodes->stats().Get("node.parity_retransmit")) +
+                   (inv.ok() ? "" : "  INVARIANT VIOLATION")});
+    if (!inv.ok()) return 1;
+  }
+  t2.Print();
+  std::printf(
+      "\nEvery run above ends with exact parity despite duplicates and\n"
+      "retransmissions (UID-based idempotence, §3.2's machinery).\n");
+
+  // ---- §2: striped parity enables parallel writes ----------------------------
+  // "A RAID can support ... only a single write because of contention for
+  // the parity disk ... striping the parity over all G+1 drives [lets] up
+  // to G/2 writes occur in parallel." The same effect at the distributed
+  // level: concurrent writes to rows with DIFFERENT parity sites overlap
+  // fully; writes whose rows all park their parity on ONE site queue at
+  // that site's disk.
+  {
+    TextTable t3("\n§2's striping argument, measured: makespan of 8 "
+                 "concurrent writes");
+    t3.SetHeader({"row choice", "makespan ms", "vs one write (105 ms)"});
+    for (bool spread : {true, false}) {
+      System s(0.0);
+      // Collect 8 (member, block) targets. spread: one block per member,
+      // parity sites all distinct (rotating layout). contended: blocks
+      // across members whose rows' parity lives at member 0.
+      std::vector<std::pair<int, BlockNum>> targets;
+      if (spread) {
+        for (int m = 0; m < 8; ++m) targets.push_back({m, 0});
+      } else {
+        for (int m = 1; m < 10 && targets.size() < 8; ++m) {
+          for (BlockNum i = 0;
+               i < s.nodes->group()->DataBlocksPerMember() &&
+               targets.size() < 8;
+               ++i) {
+            BlockNum row = s.nodes->layout().DataToRow(m, i);
+            if (s.nodes->layout().ParitySite(row) == 0) {
+              targets.push_back({m, i});
+            }
+          }
+        }
+      }
+      int done = 0;
+      for (size_t k = 0; k < targets.size(); ++k) {
+        auto [m, i] = targets[k];
+        s.nodes->AsyncWrite(s.nodes->group()->SiteOfMember(m), m, i,
+                            s.Pat(k), [&done](Status st, SimTime) {
+                              if (st.ok()) ++done;
+                            });
+      }
+      SimTime start_t = s.sim.Now();
+      s.sim.Run();
+      double makespan = ToMillis(s.sim.Now() - start_t);
+      t3.AddRow({spread ? "8 rows, 8 distinct parity sites"
+                        : "8 rows, parity all at one site",
+                 FormatDouble(makespan, 1),
+                 FormatDouble(makespan / 105.0, 2) + "x"});
+      if (done != 8) return 1;
+    }
+    t3.Print();
+    std::printf(
+        "\nRotating the parity placement (Level-5 style, Fig. 1) keeps\n"
+        "concurrent writes from queuing at one parity site's disk.\n");
+  }
+  return 0;
+}

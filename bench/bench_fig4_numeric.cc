@@ -1,0 +1,96 @@
+// Figure 4 reproduction: the numerical cost comparison. Each cell prices
+// the *measured* operation counts of Figure 3 with Table 1's constants
+// (R = W = 30 msec, RR = RW = 75 msec, from [LAZO86]); the paper's
+// printed number follows in parentheses where it differs.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace radd;
+
+int main() {
+  const int g = 8;
+  auto schemes = MakeAllSchemes(g);
+  CostModel cost;
+
+  TextTable t1("Some Cost Parameters (paper Table 1 + §7.3 constants)");
+  t1.SetHeader({"Parameter", "Cost"});
+  t1.AddRow({"local read (R)", bench::Msec(cost.r) + " msec"});
+  t1.AddRow({"local write (W)", bench::Msec(cost.w) + " msec"});
+  t1.AddRow({"remote read (RR)", bench::Msec(cost.rr) + " msec"});
+  t1.AddRow({"remote write (RW)", bench::Msec(cost.rw) + " msec"});
+  t1.Print();
+
+  TextTable t("\nA Numerical Cost Comparison (paper Figure 4), msec at "
+              "G = 8; (paper) shown where it differs");
+  std::vector<std::string> header = {"scenario"};
+  for (const std::string& name : bench::SchemeOrder()) header.push_back(name);
+  t.SetHeader(header);
+
+  int agreements = 0, cells = 0;
+  for (Scenario sc : AllScenarios()) {
+    std::vector<std::string> row = {std::string(ScenarioName(sc))};
+    const std::vector<double>& paper = bench::PaperFigure4().at(sc);
+    size_t col = 0;
+    for (const std::string& name : bench::SchemeOrder()) {
+      for (const auto& s : schemes) {
+        if (s->name() != name) continue;
+        std::optional<OpCounts> counts = s->Measure(sc);
+        double paper_v = paper[col];
+        if (!counts) {
+          row.push_back(paper_v < 0 ? "-" : "-(!)");
+          if (paper_v < 0) ++agreements;
+          ++cells;
+          break;
+        }
+        double v = cost.Price(*counts);
+        ++cells;
+        if (paper_v >= 0 && v == paper_v) {
+          row.push_back(bench::Msec(v));
+          ++agreements;
+        } else {
+          row.push_back(bench::Msec(v) + " (" +
+                        (paper_v < 0 ? "-" : bench::Msec(paper_v)) + ")");
+        }
+        break;
+      }
+      ++col;
+    }
+    t.AddRow(row);
+  }
+  t.Print();
+  std::printf("\n%d / %d cells match the paper exactly; every deviation is "
+              "itemized in EXPERIMENTS.md.\n",
+              agreements, cells);
+
+  // The paper's qualitative claims, checked mechanically.
+  auto price = [&](const char* name, Scenario sc) -> double {
+    for (const auto& s : schemes) {
+      if (s->name() == name) {
+        auto c = s->Measure(sc);
+        return c ? cost.Price(*c) : -1;
+      }
+    }
+    return -1;
+  };
+  bool raid_fastest_writes =
+      price("RAID", Scenario::kNoFailureWrite) <
+      price("RADD", Scenario::kNoFailureWrite);
+  bool rowb_best_degraded =
+      price("ROWB", Scenario::kSiteFailureRead) <
+      price("RADD", Scenario::kSiteFailureRead);
+  bool twod_most_expensive =
+      price("2D-RADD", Scenario::kNoFailureWrite) >=
+          price("RADD", Scenario::kNoFailureWrite) &&
+      price("2D-RADD", Scenario::kSiteFailureWrite) >=
+          price("RADD", Scenario::kSiteFailureWrite);
+  std::printf(
+      "\nShape checks (§7.3): RAID cheapest normal writes: %s; ROWB superb "
+      "during failures: %s;\n2D-RADD high cost everywhere: %s\n",
+      raid_fastest_writes ? "yes" : "NO", rowb_best_degraded ? "yes" : "NO",
+      twod_most_expensive ? "yes" : "NO");
+  return (raid_fastest_writes && rowb_best_degraded && twod_most_expensive)
+             ? 0
+             : 1;
+}

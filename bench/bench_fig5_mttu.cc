@@ -1,0 +1,84 @@
+// Figure 5 reproduction: mean time to unavailability (MTTU) of a specific
+// data item. Three columns: the paper's formula (3) family, the paper's
+// printed values, and a Monte-Carlo estimate of the same quantity from an
+// explicit failure-process simulation.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "reliability/reliability.h"
+
+using namespace radd;
+
+int main() {
+  const int g = 8;
+  const Environment& env = PaperEnvironments()[0];
+
+  TextTable t2("Reliability Constants (paper Table 2)");
+  t2.SetHeader({"constant", "cautious RAID", "cautious conv.", "normal RAID",
+                "normal conv."});
+  auto row = [&](const std::string& name, auto get) {
+    std::vector<std::string> cells = {name};
+    for (const Environment& e : PaperEnvironments()) cells.push_back(get(e));
+    t2.AddRow(cells);
+  };
+  row("disk-MTTF", [](const Environment& e) {
+    return FormatDouble(e.disk_mttf, 0) + " h";
+  });
+  row("disk-MTTR", [](const Environment& e) {
+    return FormatDouble(e.disk_mttr, 0) + " h";
+  });
+  row("site-MTTF", [](const Environment& e) {
+    return FormatDouble(e.site_mttf, 0) + " h";
+  });
+  row("site-MTTR", [](const Environment& e) {
+    return FormatDouble(e.site_mttr * 60, 0) + " min";
+  });
+  row("disaster-MTTF", [](const Environment& e) {
+    return FormatDouble(e.disaster_mttf, 0) + " h";
+  });
+  row("disaster-MTTR", [](const Environment& e) {
+    return FormatDouble(e.disaster_mttr, 0) + " h";
+  });
+  row("N (disks/site)", [](const Environment& e) {
+    return std::to_string(e.disks_per_site);
+  });
+  t2.Print();
+
+  AnalyticModel model(env, g);
+  MonteCarlo mc(env, g, 0x5eed);
+
+  TextTable t("\nMTTU for the Various Systems (paper Figure 5), G = 8; "
+              "identical in all four environments");
+  t.SetHeader({"system", "formula (3) family", "paper", "Monte Carlo",
+               "trials"});
+  for (SchemeKind k : AllSchemeKinds()) {
+    int trials = k == SchemeKind::kTwoDRadd ? 120 : 400;
+    MonteCarlo::Estimate est = mc.EstimateMttu(k, trials);
+    t.AddRow({std::string(SchemeKindName(k)),
+              FormatHours(model.MttuHours(k)),
+              FormatHours(bench::PaperFigure5().at(
+                  std::string(SchemeKindName(k)))),
+              FormatHours(est.mean_hours), std::to_string(est.trials)});
+  }
+  t.Print();
+
+  std::printf(
+      "\nNotes: the Monte-Carlo counts *both* orderings of the double\n"
+      "failure (item's site fails during another's repair window, or vice\n"
+      "versa), so it sits ~2x below formula (3), which prices one ordering;\n"
+      "the ordering RAID << RADD = C-RAID < 1/2-RADD < ROWB << 2D-RADD\n"
+      "matches the paper. The paper's 1/2-RADD value (10,000 h) is 2x its\n"
+      "RADD value; formula (3) with G/2 gives 9,000 h.\n");
+
+  // Mechanical shape check.
+  MonteCarlo mc2(env, g, 0x31337);
+  double raid = mc2.EstimateMttu(SchemeKind::kRaid, 200).mean_hours;
+  double radd = mc2.EstimateMttu(SchemeKind::kRadd, 200).mean_hours;
+  double rowb = mc2.EstimateMttu(SchemeKind::kRowb, 200).mean_hours;
+  double twod = mc2.EstimateMttu(SchemeKind::kTwoDRadd, 60).mean_hours;
+  bool shape = raid < radd && radd < rowb && rowb < twod;
+  std::printf("shape check (RAID < RADD < ROWB < 2D-RADD): %s\n",
+              shape ? "yes" : "NO");
+  return shape ? 0 : 1;
+}

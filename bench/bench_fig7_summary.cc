@@ -1,0 +1,109 @@
+// Figure 7 reproduction: the paper's closing summary table — space
+// overhead, average I/O cost assuming reads happen twice as often as
+// writes, MTTU, and MTTF in the cautious conventional environment.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "reliability/reliability.h"
+
+using namespace radd;
+
+namespace {
+constexpr double kHoursPerYear = 24 * 365;
+}
+
+int main() {
+  const int g = 8;
+  auto schemes = MakeAllSchemes(g);
+  CostModel cost;
+  const Environment& env = PaperEnvironments()[1];  // cautious conventional
+  AnalyticModel model(env, g);
+  MonteCarlo mc(env, g, 99);
+
+  // Paper Figure 7 (its caption mislabels it "Figure 6"): columns are
+  // space %, I/O msec, MTTU years, MTTF years.
+  const std::map<std::string, std::vector<double>> paper = {
+      {"RAID", {25, 40, .017, 1.71}},
+      {"RADD", {25, 58.3, .57, 28.5}},
+      {"1/2-RADD", {50, 58.3, 1.14, 100}},
+      {"C-RAID", {50, 75, .57, 500}},
+      {"2D-RADD", {56.25, 80, 9.51, 500}},
+      {"ROWB", {100, 58.3, 2.57, 28.5}},
+  };
+  const std::vector<std::string> order = {"RAID",   "RADD",    "1/2-RADD",
+                                          "C-RAID", "2D-RADD", "ROWB"};
+
+  TextTable t("Summary comparison (paper Figure 7): cautious conventional "
+              "environment, reads twice as frequent as writes");
+  t.SetHeader({"system", "space ovhd", "I/O cost msec (paper)",
+               "MTTU years (paper)", "MTTF years (paper)"});
+
+  bool radd_dominates_raid = false;
+  double raid_io = 0, radd_io = 0, raid_mttf = 0, radd_mttf = 0;
+
+  for (const std::string& name : order) {
+    Scheme* scheme = nullptr;
+    for (const auto& s : schemes) {
+      if (s->name() == name) scheme = s.get();
+    }
+    SchemeKind kind = SchemeKind::kRadd;
+    for (SchemeKind k : AllSchemeKinds()) {
+      if (SchemeKindName(k) == name) kind = k;
+    }
+
+    // Average normal-operation I/O: (2 * read + 1 * write) / 3.
+    auto rd = scheme->Measure(Scenario::kNoFailureRead);
+    auto wr = scheme->Measure(Scenario::kNoFailureWrite);
+    double io = (2 * cost.Price(*rd) + cost.Price(*wr)) / 3.0;
+
+    double mttu_years = model.MttuHours(kind) / kHoursPerYear;
+    double mttf_years = model.MttfHoursRefined(kind) / kHoursPerYear;
+    if (name == "RAID") {
+      raid_io = io;
+      raid_mttf = mttf_years;
+    }
+    if (name == "RADD") {
+      radd_io = io;
+      radd_mttf = mttf_years;
+    }
+
+    const std::vector<double>& p = paper.at(name);
+    t.AddRow({name, FormatDouble(scheme->SpaceOverheadPercent(), 2) + " %",
+              FormatDouble(io, 1) + " (" + FormatDouble(p[1], 1) + ")",
+              FormatDouble(mttu_years, 2) + " (" + FormatDouble(p[2], 2) +
+                  ")",
+              (mttf_years > 500 ? ">500" : FormatDouble(mttf_years, 2)) +
+                  " (" + (p[3] >= 500 ? ">500"
+                                      : p[3] >= 100
+                                            ? ">100"
+                                            : FormatDouble(p[3], 2)) +
+                  ")"});
+  }
+  t.Print();
+
+  // §8's conclusions, checked mechanically.
+  radd_dominates_raid =
+      radd_mttf > 5 * raid_mttf && radd_io < 1.6 * raid_io;
+  std::printf(
+      "\n§8 checks:\n"
+      "  'RADD clearly dominates RAID' — far better reliability for a\n"
+      "   modest performance degradation: %s\n"
+      "   (RADD %.1f msec / %.1f y vs RAID %.1f msec / %.1f y; the paper's\n"
+      "   'order of magnitude' (28.5 vs 1.71) uses its P=1 shortcut — our\n"
+      "   refined model puts the gap at ~6x, same conclusion)\n",
+      radd_dominates_raid ? "yes" : "NO", radd_io, radd_mttf, raid_io,
+      raid_mttf);
+
+  double half_mttu = model.MttuHours(SchemeKind::kHalfRadd);
+  double twod_mttu = model.MttuHours(SchemeKind::kTwoDRadd);
+  double craid_mttf = model.MttfHoursRefined(SchemeKind::kCRaid);
+  bool fifty_class = half_mttu > model.MttuHours(SchemeKind::kRadd) &&
+                     twod_mttu > half_mttu &&
+                     craid_mttf > 100 * kHoursPerYear;
+  std::printf(
+      "  'three solutions near 50%% ... all offer MTTF over 100 years and\n"
+      "   better MTTU than RADD': %s\n",
+      fifty_class ? "yes" : "NO");
+  return (radd_dominates_raid && fifty_class) ? 0 : 1;
+}

@@ -1,0 +1,109 @@
+// §3.4 reproduction: crash-recovery cost of a WAL DBMS versus a
+// no-overwrite (POSTGRES-style) storage manager on a RADD, under local
+// restart and under a site failure (remote restart through
+// reconstruction).
+//
+// The paper's argument: WAL recovery must read the log — G remote reads
+// per block when the site is down — so "a standard WAL technique used in
+// conjunction with a RADD is unlikely to increase availability" for short
+// site failures, while a no-overwrite manager has no recovery pass at all.
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "core/radd.h"
+#include "schemes/scheme.h"  // CostModel
+#include "txn/storage_manager.h"
+
+using namespace radd;
+
+namespace {
+
+std::vector<uint8_t> Payload(int i) {
+  std::string s = "record " + std::to_string(i);
+  s.resize(64, '.');
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+struct Run {
+  OpCounts counts;
+  double msec;
+};
+
+Run Measure(bool use_wal, int txns, bool site_down) {
+  RaddConfig config;
+  config.group_size = 8;
+  config.rows = 150;  // 120 data blocks per member
+  SiteConfig sc{1, config.rows, config.block_size};
+  Cluster cluster(config.group_size + 2, sc);
+  RaddGroup radd(&cluster, config);
+  CostModel cost;
+
+  std::unique_ptr<StorageManager> sm;
+  if (use_wal) {
+    sm = std::make_unique<WalStorageManager>(&radd, 1, /*log=*/64,
+                                             /*pages=*/32);
+  } else {
+    sm = std::make_unique<NoOverwriteStorageManager>(&radd, 1, 32);
+  }
+  for (int i = 0; i < txns; ++i) {
+    TxnId t = sm->Begin();
+    PageUpdate u{static_cast<BlockNum>(i) % sm->num_pages(),
+                 static_cast<size_t>((i * 64) % 512), Payload(i)};
+    if (!sm->Update(t, u).ok() || !sm->Commit(t).ok()) break;
+  }
+  sm->CrashVolatile();
+  SiteId client;
+  if (site_down) {
+    cluster.CrashSite(radd.SiteOfMember(1));
+    client = radd.SiteOfMember(4);
+  } else {
+    client = radd.SiteOfMember(1);
+  }
+  Result<OpCounts> rec = sm->Recover(client);
+  if (!rec.ok()) return {OpCounts{}, -1};
+  return {*rec, cost.Price(*rec)};
+}
+
+}  // namespace
+
+int main() {
+  TextTable t("§3.4: restart cost after a crash (modelled msec, "
+              "R=W=30, RR=RW=75)");
+  t.SetHeader({"committed txns", "WAL local", "WAL remote (site down)",
+               "no-overwrite local", "no-overwrite remote"});
+  for (int txns : {10, 40, 80, 160}) {
+    Run wal_local = Measure(true, txns, false);
+    Run wal_remote = Measure(true, txns, true);
+    Run now_local = Measure(false, txns, false);
+    Run now_remote = Measure(false, txns, true);
+    t.AddRow({std::to_string(txns), FormatDouble(wal_local.msec, 0),
+              FormatDouble(wal_remote.msec, 0),
+              FormatDouble(now_local.msec, 0),
+              FormatDouble(now_remote.msec, 0)});
+  }
+  t.Print();
+
+  Run wal_local = Measure(true, 80, false);
+  Run wal_remote = Measure(true, 80, true);
+  Run now_remote = Measure(false, 80, true);
+  std::printf(
+      "\nWAL recovery with the site down performed %llu remote reads\n"
+      "(every log/data block reconstructed with G reads); locally it was\n"
+      "%llu local reads. The no-overwrite manager restarted with %llu\n"
+      "total operations even while degraded.\n",
+      static_cast<unsigned long long>(wal_remote.counts.remote_reads),
+      static_cast<unsigned long long>(wal_local.counts.local_reads),
+      static_cast<unsigned long long>(now_remote.counts.Total()));
+  std::printf(
+      "\nPaper's conclusions, checked:\n"
+      "  remote WAL recovery >> local WAL recovery (G-read "
+      "amplification): %s\n"
+      "  no-overwrite restart is O(1) regardless of history: %s\n",
+      wal_remote.msec > 3 * wal_local.msec ? "yes" : "NO",
+      now_remote.counts.Total() <= 10 ? "yes" : "NO");
+  return (wal_remote.msec > 3 * wal_local.msec &&
+          now_remote.counts.Total() <= 10)
+             ? 0
+             : 1;
+}

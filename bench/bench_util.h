@@ -1,0 +1,89 @@
+// Shared helpers for the figure/table reproduction benches: the paper's
+// printed values (for side-by-side comparison) and small formatting
+// utilities.
+
+#ifndef RADD_BENCH_BENCH_UTIL_H_
+#define RADD_BENCH_BENCH_UTIL_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/format.h"
+#include "schemes/scheme.h"
+
+namespace radd::bench {
+
+/// Scheme column order used by the paper's figures.
+inline const std::vector<std::string>& SchemeOrder() {
+  static const std::vector<std::string> kOrder = {
+      "RADD", "ROWB", "RAID", "C-RAID", "2D-RADD", "1/2-RADD"};
+  return kOrder;
+}
+
+/// Figure 4's printed numbers (msec), by scenario row then scheme column;
+/// -1 marks "cannot operate".
+inline const std::map<Scenario, std::vector<double>>& PaperFigure4() {
+  static const std::map<Scenario, std::vector<double>> kFig4 = {
+      {Scenario::kNoFailureRead, {30, 30, 30, 30, 30, 30}},
+      {Scenario::kNoFailureWrite, {105, 105, 60, 165, 180, 105}},
+      {Scenario::kDiskFailureRead, {600, 75, 240, 240, 600, 300}},
+      {Scenario::kDiskFailureWrite, {150, 75, 60, 165, 300, 150}},
+      {Scenario::kReconstructedRead, {105, 30, 60, 60, 105, 105}},
+      {Scenario::kSiteFailureRead, {600, 75, -1, 600, 600, 300}},
+      {Scenario::kSiteFailureWrite, {150, 75, -1, 105, 300, 150}},
+  };
+  return kFig4;
+}
+
+/// Figure 3's symbolic formulas as printed.
+inline const std::map<Scenario, std::vector<std::string>>& PaperFigure3() {
+  static const std::map<Scenario, std::vector<std::string>> kFig3 = {
+      {Scenario::kNoFailureRead, {"R", "R", "R", "R", "R", "R"}},
+      {Scenario::kNoFailureWrite,
+       {"W+RW", "W+RW", "2*W", "RW+3*W", "W+2RW", "W+RW"}},
+      {Scenario::kDiskFailureRead,
+       {"G*RR", "RR", "G*R", "G*R", "G*RR", "G*RR/2"}},
+      {Scenario::kDiskFailureWrite,
+       {"2*RW", "RW", "2*W", "2*W+2*RW", "4*RW", "2*RW"}},
+      {Scenario::kReconstructedRead,
+       {"R+RR", "R", "2*R", "2*R", "R+RR", "R+RR"}},
+      {Scenario::kSiteFailureRead,
+       {"G*RR", "RR", "-", "G*RR", "G*RR", "G*RR/2"}},
+      {Scenario::kSiteFailureWrite,
+       {"2*RW", "RW", "-", "2*RW", "4*RW", "2*RW"}},
+  };
+  return kFig3;
+}
+
+/// Figure 5's MTTU values in hours ("83.333" read as 83,333).
+inline const std::map<std::string, double>& PaperFigure5() {
+  static const std::map<std::string, double> kFig5 = {
+      {"RADD", 5000},   {"ROWB", 22500},    {"RAID", 150},
+      {"C-RAID", 5000}, {"2D-RADD", 83333}, {"1/2-RADD", 10000},
+  };
+  return kFig5;
+}
+
+/// Figure 6's MTTF in years, per environment column; > 500 encoded as 500,
+/// > 100 as 100 (the paper prints ">500" / ">100").
+inline const std::map<std::string, std::vector<double>>& PaperFigure6() {
+  // columns: cautious RAID, cautious conventional, normal RAID,
+  // normal conventional
+  static const std::map<std::string, std::vector<double>> kFig6 = {
+      {"RADD", {1.71, 28.5, 6.84, 20.0}},
+      {"ROWB", {1.71, 28.5, 6.84, 20.0}},
+      {"RAID", {1.71, 1.71, 6.84, 6.84}},
+      {"C-RAID", {500, 500, 500, 500}},
+      {"2D-RADD", {500, 500, 500, 500}},
+      {"1/2-RADD", {3.42, 100, 13.7, 100}},
+  };
+  return kFig6;
+}
+
+inline std::string Msec(double v) { return FormatDouble(v, 0); }
+
+}  // namespace radd::bench
+
+#endif  // RADD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,189 @@
+// Workload-driven comparison — the dynamic version of Figure 7: instead of
+// pricing isolated scenarios, run one operation stream (2:1 reads, zipf
+// 0.4) against functional RADD, 1/2-RADD, ROWB, and local-RAID instances,
+// with a site/disk failure injected for the middle third of the run, and
+// report time-weighted average I/O cost and availability.
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "core/radd.h"
+#include "schemes/local_raid.h"
+#include "schemes/rowb.h"
+#include "schemes/scheme.h"
+#include "workload/workload.h"
+
+using namespace radd;
+
+namespace {
+
+constexpr size_t kBlockSize = 512;
+constexpr int kMembers = 10;
+constexpr BlockNum kBlocks = 24;
+constexpr int kOps = 3000;
+
+struct RunResult {
+  double avg_cost_ms = 0;
+  double degraded_avg_ms = 0;
+  int blocked = 0;
+};
+
+Block Payload(uint64_t seed) {
+  Block b(kBlockSize);
+  b.FillPattern(seed);
+  return b;
+}
+
+std::vector<Operation> MakeTrace() {
+  WorkloadConfig wc;
+  wc.num_members = kMembers;
+  wc.blocks_per_member = kBlocks;
+  wc.block_size = kBlockSize;
+  wc.read_fraction = 2.0 / 3.0;
+  wc.zipf_theta = 0.4;
+  return WorkloadGenerator(wc, 0xFEED).Generate(kOps);
+}
+
+/// Drives one scheme via callbacks: op(i, member, block, is_read) returns
+/// the op's priced cost, or a negative value when blocked.
+template <typename Op, typename FailFn, typename RepairFn>
+RunResult Drive(const std::vector<Operation>& trace, Op op, FailFn fail,
+                RepairFn repair) {
+  RunResult out;
+  double total = 0, degraded_total = 0;
+  int counted = 0, degraded_counted = 0;
+  for (int i = 0; i < static_cast<int>(trace.size()); ++i) {
+    if (i == static_cast<int>(trace.size()) / 3) fail();
+    if (i == 2 * static_cast<int>(trace.size()) / 3) repair();
+    bool in_window = i >= static_cast<int>(trace.size()) / 3 &&
+                     i < 2 * static_cast<int>(trace.size()) / 3;
+    double cost = op(i, trace[size_t(i)]);
+    if (cost < 0) {
+      ++out.blocked;
+      continue;
+    }
+    total += cost;
+    ++counted;
+    if (in_window) {
+      degraded_total += cost;
+      ++degraded_counted;
+    }
+  }
+  out.avg_cost_ms = total / counted;
+  out.degraded_avg_ms =
+      degraded_counted > 0 ? degraded_total / degraded_counted : 0;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::vector<Operation> trace = MakeTrace();
+  CostModel cost;
+  TextTable t("Workload-driven comparison: 3000 ops (2:1 reads, zipf 0.4), "
+              "site failure spanning the middle third");
+  t.SetHeader({"system", "avg I/O ms (whole run)", "avg I/O ms (degraded)",
+               "ops blocked", "Fig. 7 static avg"});
+
+  // ---- RADD (G = 8) and 1/2-RADD (G = 4) -----------------------------------
+  for (int g : {8, 4}) {
+    RaddConfig config;
+    config.group_size = g;
+    config.rows = RaddLayout(g).RowsForDataBlocks(kBlocks);
+    config.block_size = kBlockSize;
+    SiteConfig sc{1, config.rows, kBlockSize};
+    Cluster cluster(std::max(kMembers, g + 2), sc);
+    RaddGroup radd(&cluster, config);
+    auto member_of = [&](int m) { return m % radd.num_members(); };
+    SiteId victim = radd.SiteOfMember(2);
+    RunResult r = Drive(
+        trace,
+        [&](int i, const Operation& o) -> double {
+          int m = member_of(o.member);
+          SiteId home = radd.SiteOfMember(m);
+          SiteId client = cluster.StateOf(home) == SiteState::kDown
+                              ? radd.SiteOfMember((m + 1) % radd.num_members())
+                              : home;
+          OpResult res = o.IsRead()
+                             ? radd.Read(client, m, o.block)
+                             : radd.Write(client, m, o.block,
+                                          Payload(uint64_t(i)));
+          return res.ok() ? cost.Price(res.counts) : -1.0;
+        },
+        [&] { cluster.CrashSite(victim); },
+        [&] {
+          cluster.RestoreSite(victim);
+          (void)radd.RunRecovery(2);
+        });
+    t.AddRow({g == 8 ? "RADD" : "1/2-RADD", FormatDouble(r.avg_cost_ms, 1),
+              FormatDouble(r.degraded_avg_ms, 1), std::to_string(r.blocked),
+              "55.0"});
+  }
+
+  // ---- ROWB -----------------------------------------------------------------
+  {
+    Cluster cluster(kMembers, SiteConfig{1, 2 * kBlocks, kBlockSize});
+    Rowb rowb(&cluster, kBlocks, kBlockSize);
+    SiteId victim = 2;
+    RunResult r = Drive(
+        trace,
+        [&](int i, const Operation& o) -> double {
+          SiteId home = static_cast<SiteId>(o.member % kMembers);
+          SiteId client = cluster.StateOf(home) == SiteState::kDown
+                              ? (home + 2) % kMembers
+                              : home;
+          OpResult res = o.IsRead()
+                             ? rowb.Read(client, home, o.block)
+                             : rowb.Write(client, home, o.block,
+                                          Payload(uint64_t(i)));
+          return res.ok() ? cost.Price(res.counts) : -1.0;
+        },
+        [&] { cluster.CrashSite(victim); },
+        [&] {
+          cluster.RestoreSite(victim);
+          (void)rowb.RunRecovery(victim);
+        });
+    t.AddRow({"ROWB", FormatDouble(r.avg_cost_ms, 1),
+              FormatDouble(r.degraded_avg_ms, 1), std::to_string(r.blocked),
+              "55.0"});
+  }
+
+  // ---- local RAID (no cross-site protection: a disk failure instead) --------
+  {
+    DiskArray disks(10, 4 * kBlocks, kBlockSize);
+    LocalRaid raid(&disks, LocalRaidConfig{8, true});
+    int victim_disk = 3;
+    OpCounts last = raid.PhysicalOps();
+    RunResult r = Drive(
+        trace,
+        [&](int i, const Operation& o) -> double {
+          BlockNum logical =
+              (static_cast<BlockNum>(o.member) * kBlocks + o.block) %
+              raid.total_blocks();
+          Status st = o.IsRead()
+                          ? raid.Read(logical).status()
+                          : raid.Write(logical, Payload(uint64_t(i)),
+                                       Uid::Make(0, uint64_t(i) + 1));
+          OpCounts now = raid.PhysicalOps();
+          OpCounts delta = now - last;
+          last = now;
+          return st.ok() ? cost.Price(delta) : -1.0;
+        },
+        [&] { raid.FailDisk(victim_disk); },
+        [&] { (void)raid.Rebuild(); });
+    t.AddRow({"RAID (disk failure only)", FormatDouble(r.avg_cost_ms, 1),
+              FormatDouble(r.degraded_avg_ms, 1), std::to_string(r.blocked),
+              "40.0"});
+  }
+
+  t.Print();
+  std::printf(
+      "\nReading: RAID stays cheapest but would have been *unavailable*\n"
+      "for the whole middle third had the failure been a site rather than\n"
+      "a disk; RADD pays degraded-mode reconstruction only for the down\n"
+      "member's 1/%d of accesses, so its time-weighted average stays close\n"
+      "to its normal cost; ROWB's degraded ops are cheapest but cost 4x\n"
+      "the storage of RADD.\n",
+      kMembers);
+  return 0;
+}

@@ -1,0 +1,106 @@
+// A miniature distributed DBMS running on a RADD (paper §6): query plans
+// execute at data sites (or are relocated when a site is down), block
+// accesses are protected by the lock manager, and distributed commits use
+// the paper's one-phase protocol — the parity messages sent before `done`
+// already make every slave prepared.
+//
+//   ./build/examples/distributed_dbms
+
+#include <cstdio>
+
+#include "core/radd.h"
+#include "txn/commit.h"
+#include "txn/lock_manager.h"
+
+using namespace radd;
+
+namespace {
+
+Block MakeRecordPage(size_t block_size, const std::string& text) {
+  Block b(block_size);
+  b.WriteAt(0, reinterpret_cast<const uint8_t*>(text.data()), text.size());
+  return b;
+}
+
+/// "Executes" a read-only plan step at whichever site is appropriate
+/// (§6: "If the site at which a plan is supposed to execute is up or
+/// recovering, then the plan is simply executed at that site. If the site
+/// is down, then the plan is allocated to some other convenient site.").
+SiteId PlaceStep(RaddGroup* radd, int member) {
+  SiteId home = radd->SiteOfMember(member);
+  if (radd->cluster()->StateOf(home) != SiteState::kDown) return home;
+  for (int m = 0; m < radd->num_members(); ++m) {
+    SiteId s = radd->SiteOfMember(m);
+    if (radd->cluster()->StateOf(s) == SiteState::kUp) return s;
+  }
+  return home;
+}
+
+}  // namespace
+
+int main() {
+  RaddConfig config;
+  config.group_size = 8;
+  config.rows = 30;
+  SiteConfig sc{1, config.rows, config.block_size};
+  Cluster cluster(config.group_size + 2, sc);
+  RaddGroup radd(&cluster, config);
+  LockManager locks;
+
+  // A three-site distributed transaction: debit at member 1, credit at
+  // member 4, audit record at member 7.
+  DistributedTxnCoordinator coord(&radd, radd.SiteOfMember(0));
+  std::vector<SlaveWork> transfer = {
+      {1, {{0, MakeRecordPage(config.block_size, "account A: -100")}}},
+      {4, {{0, MakeRecordPage(config.block_size, "account B: +100")}}},
+      {7, {{0, MakeRecordPage(config.block_size, "audit: A->B 100")}}},
+  };
+
+  // Locking (§3.3): the coordinator locks the data blocks it will touch.
+  TxnId txn = 1;
+  for (const SlaveWork& w : transfer) {
+    BlockNum row = radd.layout().DataToRow(static_cast<SiteId>(w.member),
+                                           w.writes[0].first);
+    LockResult lr = locks.Acquire(
+        txn, LockKey{radd.SiteOfMember(w.member), row}, LockMode::kExclusive);
+    if (lr != LockResult::kGranted) {
+      std::printf("lock denied; aborting\n");
+      return 1;
+    }
+  }
+
+  CommitOutcome one = coord.Run(CommitProtocol::kOnePhase, transfer);
+  std::printf("one-phase commit: %s, %d messages in %d rounds, I/O = %s\n",
+              one.status.ToString().c_str(), one.messages, one.rounds,
+              one.counts.ToFormula().c_str());
+  CommitOutcome two = coord.Run(CommitProtocol::kTwoPhase, transfer);
+  std::printf("two-phase commit: %s, %d messages in %d rounds\n",
+              two.status.ToString().c_str(), two.messages, two.rounds);
+  locks.ReleaseAll(txn);
+
+  // The paper's §6 punchline: crash a slave right after `done`. Because
+  // its parity updates were sent before it answered, the committed data
+  // is recoverable even though the slave never heard "commit".
+  std::printf("\n*** slave at member 4 crashes right after `done` ***\n");
+  CommitOutcome crashed =
+      coord.Run(CommitProtocol::kOnePhase, transfer, /*crash member=*/4);
+  std::printf("commit with crash: %s\n",
+              crashed.status.ToString().c_str());
+
+  SiteId reader = PlaceStep(&radd, 4);
+  std::printf("plan for member 4 relocated to site %u (its site is %s)\n",
+              reader,
+              std::string(SiteStateName(
+                  cluster.StateOf(radd.SiteOfMember(4)))).c_str());
+  OpResult r = radd.Read(reader, 4, 0);
+  std::printf("read of the crashed slave's committed write: %s -> \"%s\"\n",
+              r.status.ToString().c_str(),
+              reinterpret_cast<const char*>(r.data.data()));
+
+  cluster.RestoreSite(radd.SiteOfMember(4));
+  Result<OpCounts> sweep = radd.RunRecovery(4);
+  std::printf("slave recovered: %s; invariants: %s\n",
+              sweep.status().ToString().c_str(),
+              radd.VerifyInvariants().ToString().c_str());
+  return r.ok() ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+// Runs all six high-availability schemes of the paper's §7 through the
+// same scenario probes and prints a side-by-side comparison (space, cost
+// per scenario, reliability).
+//
+//   ./build/examples/scheme_comparison
+
+#include <cstdio>
+
+#include "common/format.h"
+#include "reliability/reliability.h"
+#include "schemes/scheme.h"
+
+using namespace radd;
+
+int main() {
+  const int g = 8;
+  auto schemes = MakeAllSchemes(g);
+  CostModel cost;
+
+  TextTable costs("Measured operation costs in msec (G = 8, R = W = 30, "
+                  "RR = RW = 75)");
+  std::vector<std::string> header = {"scenario"};
+  for (const auto& s : schemes) header.push_back(s->name());
+  costs.SetHeader(header);
+  for (Scenario sc : AllScenarios()) {
+    std::vector<std::string> row = {std::string(ScenarioName(sc))};
+    for (const auto& s : schemes) {
+      std::optional<OpCounts> counts = s->Measure(sc);
+      row.push_back(counts ? FormatDouble(cost.Price(*counts), 0)
+                           : "blocks");
+    }
+    costs.AddRow(row);
+  }
+  costs.Print();
+
+  TextTable summary("\nSpace and reliability (cautious conventional "
+                    "environment)");
+  summary.SetHeader(
+      {"scheme", "space overhead", "MTTU (analytic)", "MTTF (analytic)"});
+  AnalyticModel model(PaperEnvironments()[1], g);
+  auto kind_of = [](const std::string& name) {
+    for (SchemeKind k : AllSchemeKinds()) {
+      if (SchemeKindName(k) == name) return k;
+    }
+    return SchemeKind::kRadd;
+  };
+  for (const auto& s : schemes) {
+    SchemeKind k = kind_of(s->name());
+    summary.AddRow({s->name(),
+                    FormatDouble(s->SpaceOverheadPercent(), 2) + " %",
+                    FormatHours(model.MttuHours(k)),
+                    FormatHours(model.MttfHours(k))});
+  }
+  summary.Print();
+
+  std::printf(
+      "\nReading the table the way §8 does: RADD dominates RAID at equal\n"
+      "25%% space (vastly better MTTU/MTTF for a modest write penalty);\n"
+      "1/2-RADD and 2D-RADD buy another order of magnitude of availability\n"
+      "for ~50%% space; ROWB needs 100%% space to beat them only on\n"
+      "degraded-mode latency.\n");
+  return 0;
+}

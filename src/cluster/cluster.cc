@@ -1,0 +1,109 @@
+#include "cluster/cluster.h"
+
+namespace radd {
+
+std::string_view SiteStateName(SiteState s) {
+  switch (s) {
+    case SiteState::kUp:
+      return "up";
+    case SiteState::kDown:
+      return "down";
+    case SiteState::kRecovering:
+      return "recovering";
+  }
+  return "?";
+}
+
+Cluster::Cluster(int num_sites, const SiteConfig& config) {
+  sites_.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    sites_.push_back(std::make_unique<Site>(static_cast<SiteId>(i), config));
+  }
+}
+
+Cluster::Cluster(const std::vector<SiteConfig>& configs) {
+  sites_.reserve(configs.size());
+  for (size_t i = 0; i < configs.size(); ++i) {
+    sites_.push_back(
+        std::make_unique<Site>(static_cast<SiteId>(i), configs[i]));
+  }
+}
+
+Site* Cluster::site(SiteId id) {
+  return id < sites_.size() ? sites_[id].get() : nullptr;
+}
+
+const Site* Cluster::site(SiteId id) const {
+  return id < sites_.size() ? sites_[id].get() : nullptr;
+}
+
+SiteState Cluster::StateOf(SiteId id) const {
+  const Site* s = site(id);
+  return s ? s->state() : SiteState::kDown;
+}
+
+Status Cluster::CrashSite(SiteId id) {
+  Site* s = site(id);
+  if (!s) return Status::NotFound("no site " + std::to_string(id));
+  if (s->state() == SiteState::kDown) {
+    return Status::InvalidArgument("site already down");
+  }
+  s->set_state(SiteState::kDown);
+  return Status::OK();
+}
+
+Status Cluster::DisasterSite(SiteId id) {
+  Site* s = site(id);
+  if (!s) return Status::NotFound("no site " + std::to_string(id));
+  s->set_state(SiteState::kDown);
+  for (int d = 0; d < s->disks()->num_disks(); ++d) {
+    RADD_RETURN_NOT_OK(s->disks()->FailDisk(d));
+  }
+  return Status::OK();
+}
+
+Status Cluster::FailDisk(SiteId id, int d) {
+  Site* s = site(id);
+  if (!s) return Status::NotFound("no site " + std::to_string(id));
+  if (s->state() == SiteState::kDown) {
+    return Status::InvalidArgument("site is down; disk failure is moot");
+  }
+  RADD_RETURN_NOT_OK(s->disks()->FailDisk(d));
+  s->set_state(SiteState::kRecovering);
+  return Status::OK();
+}
+
+Status Cluster::RestoreSite(SiteId id) {
+  Site* s = site(id);
+  if (!s) return Status::NotFound("no site " + std::to_string(id));
+  if (s->state() != SiteState::kDown) {
+    return Status::InvalidArgument("site is not down");
+  }
+  s->set_state(SiteState::kRecovering);
+  return Status::OK();
+}
+
+Status Cluster::MarkUp(SiteId id) {
+  Site* s = site(id);
+  if (!s) return Status::NotFound("no site " + std::to_string(id));
+  s->set_state(SiteState::kUp);
+  return Status::OK();
+}
+
+std::vector<SiteId> Cluster::SitesIn(SiteState state) const {
+  std::vector<SiteId> out;
+  for (const auto& s : sites_) {
+    if (s->state() == state) out.push_back(s->id());
+  }
+  return out;
+}
+
+int Cluster::UnhealthySites() const {
+  int n = 0;
+  for (const auto& s : sites_) {
+    if (s->state() != SiteState::kUp) ++n;
+  }
+  return n;
+}
+
+}  // namespace radd

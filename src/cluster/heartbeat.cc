@@ -1,0 +1,106 @@
+#include "cluster/heartbeat.h"
+
+namespace radd {
+
+namespace {
+struct Heartbeat {
+  SimTime sent_at;
+};
+constexpr size_t kHeartbeatBytes = 16;
+}  // namespace
+
+HeartbeatDetector::HeartbeatDetector(Simulator* sim, Network* net,
+                                     Cluster* cluster,
+                                     std::vector<SiteId> sites,
+                                     const HeartbeatConfig& config)
+    : sim_(sim),
+      net_(net),
+      cluster_(cluster),
+      sites_(std::move(sites)),
+      config_(config) {
+  for (SiteId s : sites_) {
+    chained_[s] = net_->GetHandler(s);
+    net_->RegisterHandler(
+        s, [this, s](const Message& msg) { OnMessage(s, msg); });
+    for (SiteId t : sites_) {
+      if (t == s) continue;
+      last_heard_[s][t] = 0;
+      suspected_[s][t] = false;
+    }
+  }
+}
+
+void HeartbeatDetector::Start() {
+  if (started_) return;
+  started_ = true;
+  for (SiteId s : sites_) {
+    Broadcast(s);
+    Check(s);
+  }
+}
+
+void HeartbeatDetector::Broadcast(SiteId from) {
+  if (cluster_->StateOf(from) != SiteState::kDown) {
+    for (SiteId to : sites_) {
+      if (to == from) continue;
+      Message m;
+      m.from = from;
+      m.to = to;
+      m.type = "heartbeat";
+      m.wire_bytes = kHeartbeatBytes;
+      m.payload = Heartbeat{sim_->Now()};
+      net_->Send(std::move(m));
+    }
+  }
+  sim_->Schedule(config_.interval, [this, from]() { Broadcast(from); });
+}
+
+void HeartbeatDetector::Check(SiteId observer) {
+  if (cluster_->StateOf(observer) != SiteState::kDown) {
+    SimTime limit = config_.interval *
+                    static_cast<SimTime>(config_.suspect_after);
+    for (SiteId target : sites_) {
+      if (target == observer) continue;
+      SimTime last = last_heard_[observer][target];
+      bool quiet = sim_->Now() > last + limit;
+      bool& suspect = suspected_[observer][target];
+      if (quiet != suspect) {
+        suspect = quiet;
+        ++transitions_;
+      }
+    }
+  }
+  sim_->Schedule(config_.interval, [this, observer]() { Check(observer); });
+}
+
+void HeartbeatDetector::OnMessage(SiteId self, const Message& msg) {
+  if (msg.type == "heartbeat") {
+    if (cluster_->StateOf(self) == SiteState::kDown) return;
+    last_heard_[self][msg.from] = sim_->Now();
+    bool& suspect = suspected_[self][msg.from];
+    if (suspect) {
+      suspect = false;
+      ++transitions_;
+    }
+    return;
+  }
+  auto chained = chained_.find(self);
+  if (chained != chained_.end() && chained->second) {
+    chained->second(msg);
+  }
+}
+
+bool HeartbeatDetector::Suspects(SiteId observer, SiteId target) const {
+  auto o = suspected_.find(observer);
+  if (o == suspected_.end()) return false;
+  auto t = o->second.find(target);
+  return t != o->second.end() && t->second;
+}
+
+SiteState HeartbeatDetector::Perceived(SiteId observer,
+                                       SiteId target) const {
+  if (observer == target) return SiteState::kUp;
+  return Suspects(observer, target) ? SiteState::kDown : SiteState::kUp;
+}
+
+}  // namespace radd

@@ -1,0 +1,140 @@
+#include "common/block.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace radd {
+
+bool Block::IsZero() const {
+  return std::all_of(data_.begin(), data_.end(),
+                     [](uint8_t b) { return b == 0; });
+}
+
+void Block::Clear() { std::fill(data_.begin(), data_.end(), 0); }
+
+Status Block::XorWith(const Block& other) {
+  if (other.size() != size()) {
+    return Status::InvalidArgument("XOR of mismatched block sizes: " +
+                                   std::to_string(size()) + " vs " +
+                                   std::to_string(other.size()));
+  }
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] ^= other.data_[i];
+  return Status::OK();
+}
+
+Status Block::WriteAt(size_t offset, const uint8_t* bytes, size_t n) {
+  if (offset + n > data_.size()) {
+    return Status::InvalidArgument(
+        "write of " + std::to_string(n) + " bytes at offset " +
+        std::to_string(offset) + " overruns block of " +
+        std::to_string(data_.size()));
+  }
+  std::memcpy(data_.data() + offset, bytes, n);
+  return Status::OK();
+}
+
+void Block::FillPattern(uint64_t seed) {
+  // splitmix64 stream; deterministic and well-distributed.
+  uint64_t x = seed;
+  size_t i = 0;
+  while (i < data_.size()) {
+    x += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    size_t n = std::min<size_t>(8, data_.size() - i);
+    std::memcpy(data_.data() + i, &z, n);
+    i += n;
+  }
+}
+
+uint64_t Block::Checksum() const {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (uint8_t b : data_) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+Block Xor(const Block& a, const Block& b) {
+  assert(a.size() == b.size());
+  Block out = a;
+  Status st = out.XorWith(b);
+  (void)st;
+  assert(st.ok());
+  return out;
+}
+
+Result<Block> XorAll(const std::vector<const Block*>& blocks) {
+  if (blocks.empty()) {
+    return Status::InvalidArgument("XorAll of empty group");
+  }
+  Block out = *blocks[0];
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    RADD_RETURN_NOT_OK(out.XorWith(*blocks[i]));
+  }
+  return out;
+}
+
+Result<ChangeMask> ChangeMask::Diff(const Block& old_block,
+                                    const Block& new_block) {
+  if (old_block.size() != new_block.size()) {
+    return Status::InvalidArgument("diff of mismatched block sizes");
+  }
+  return ChangeMask(Xor(old_block, new_block));
+}
+
+ChangeMask ChangeMask::FromFull(const Block& block) {
+  return ChangeMask(block);
+}
+
+Status ChangeMask::ApplyTo(Block* target) const {
+  return target->XorWith(delta_);
+}
+
+size_t ChangeMask::ChangedBytes() const {
+  size_t n = 0;
+  for (size_t i = 0; i < delta_.size(); ++i) {
+    if (delta_[i] != 0) ++n;
+  }
+  return n;
+}
+
+size_t ChangeMask::EncodedSize() const {
+  // Runs of changed bytes separated by gaps shorter than the per-run header
+  // (8 bytes: 4-byte offset + 4-byte length) are coalesced, matching what a
+  // sensible encoder would ship.
+  constexpr size_t kRunHeader = 8;
+  constexpr size_t kMaskHeader = 8;  // block number + mask version, etc.
+  size_t total = kMaskHeader;
+  size_t i = 0;
+  const size_t n = delta_.size();
+  while (i < n) {
+    if (delta_[i] == 0) {
+      ++i;
+      continue;
+    }
+    // Start of a run. Extend while gaps of zero bytes are shorter than the
+    // header we would save by splitting.
+    size_t end = i + 1;
+    size_t last_nonzero = i;
+    while (end < n) {
+      if (delta_[end] != 0) {
+        last_nonzero = end;
+        ++end;
+      } else if (end - last_nonzero <= kRunHeader) {
+        ++end;
+      } else {
+        break;
+      }
+    }
+    total += kRunHeader + (last_nonzero - i + 1);
+    i = last_nonzero + 1;
+  }
+  return total;
+}
+
+}  // namespace radd

@@ -1,0 +1,132 @@
+// Disk block buffers and the XOR algebra the paper's parity maintenance
+// rests on.
+//
+// Formula (1):  parity' = parity XOR (new_data XOR old_data)
+// Formula (2):  failed  = XOR{ other blocks in the group }
+//
+// The "change mask" of W3(b) — "the bits in the block which changed value"
+// — is exactly `new XOR old`; we also provide a compact run-length encoding
+// of the mask so the network layer can account bytes the way §7.4 argues
+// (a 100-byte record update in a 4 KB block ships ~100 bytes, not 4 KB).
+
+#ifndef RADD_COMMON_BLOCK_H_
+#define RADD_COMMON_BLOCK_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace radd {
+
+/// Index of a physical block (row) on a site's logical disk.
+using BlockNum = uint64_t;
+
+/// A fixed-size byte buffer representing one disk block's contents.
+///
+/// All blocks participating in one parity group must share a size; parity
+/// arithmetic on mismatched sizes is a caller error.
+class Block {
+ public:
+  /// Default block size used throughout the library (§7.4's 4 KB example).
+  static constexpr size_t kDefaultSize = 4096;
+
+  /// Creates an all-zero block of `size` bytes.
+  explicit Block(size_t size = kDefaultSize) : data_(size, 0) {}
+
+  /// Creates a block holding a copy of `bytes`.
+  explicit Block(std::vector<uint8_t> bytes) : data_(std::move(bytes)) {}
+
+  size_t size() const { return data_.size(); }
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* data() { return data_.data(); }
+  const std::vector<uint8_t>& bytes() const { return data_; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+  uint8_t& operator[](size_t i) { return data_[i]; }
+
+  /// True if every byte is zero.
+  bool IsZero() const;
+
+  /// Sets all bytes to zero.
+  void Clear();
+
+  /// In-place XOR with `other`. Sizes must match.
+  Status XorWith(const Block& other);
+
+  /// Writes `bytes` at `offset`, as a record update would. Fails if the
+  /// write would run off the end of the block.
+  Status WriteAt(size_t offset, const uint8_t* bytes, size_t n);
+
+  /// Fills the block with bytes derived deterministically from `seed`
+  /// (useful for tests and workload generation).
+  void FillPattern(uint64_t seed);
+
+  /// 64-bit FNV-1a checksum of the contents.
+  uint64_t Checksum() const;
+
+  friend bool operator==(const Block& a, const Block& b) {
+    return a.data_ == b.data_;
+  }
+  friend bool operator!=(const Block& a, const Block& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<uint8_t> data_;
+};
+
+/// XOR of two blocks, returned by value. Sizes must match (asserted).
+Block Xor(const Block& a, const Block& b);
+
+/// XOR of a whole group of blocks — formula (2) reconstruction. Returns
+/// InvalidArgument if `blocks` is empty or sizes differ.
+Result<Block> XorAll(const std::vector<const Block*>& blocks);
+
+/// The bitwise difference between an old and a new version of a block,
+/// plus a compact wire encoding of it.
+///
+/// Delivery semantics: applying a ChangeMask to a block XORs the delta in,
+/// which is exactly the parity-site side of formula (1). Applying the same
+/// mask to the old data block yields the new one.
+class ChangeMask {
+ public:
+  /// Computes `new_block XOR old_block`. Sizes must match.
+  static Result<ChangeMask> Diff(const Block& old_block,
+                                 const Block& new_block);
+
+  /// A mask equal to the full contents of `block` (i.e. diff against an
+  /// all-zero old block). Used when the old contents are unknown.
+  static ChangeMask FromFull(const Block& block);
+
+  /// XORs the delta into `target` (formula (1) parity update, or forward
+  /// application old -> new). Sizes must match.
+  Status ApplyTo(Block* target) const;
+
+  /// Size of the block this mask applies to.
+  size_t block_size() const { return delta_.size(); }
+
+  /// True if the mask changes nothing.
+  bool IsNoop() const { return delta_.IsZero(); }
+
+  /// Number of bytes in which old and new differ.
+  size_t ChangedBytes() const;
+
+  /// Bytes this mask occupies on the wire under the §7.4 encoding:
+  /// changed bytes are shipped as (offset, length, payload) runs; runs
+  /// closer than 8 bytes apart are coalesced. A no-op mask costs the
+  /// 8-byte header only.
+  size_t EncodedSize() const;
+
+  const Block& delta() const { return delta_; }
+
+ private:
+  explicit ChangeMask(Block delta) : delta_(std::move(delta)) {}
+  Block delta_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_BLOCK_H_

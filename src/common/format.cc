@@ -1,0 +1,83 @@
+#include "common/format.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+namespace radd {
+
+std::string FormatDouble(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+std::string FormatHours(double hours) {
+  constexpr double kHoursPerYear = 24.0 * 365.0;
+  if (hours >= kHoursPerYear) {
+    return FormatDouble(hours / kHoursPerYear, 2) + " years";
+  }
+  return FormatDouble(hours, 1) + " hours";
+}
+
+void TextTable::SetHeader(std::vector<std::string> cells) {
+  header_ = std::move(cells);
+}
+
+void TextTable::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TextTable::AddRule() { rows_.push_back(Row{true, {}}); }
+
+std::string TextTable::Render() const {
+  // Compute column widths.
+  std::vector<size_t> widths;
+  auto widen = [&widths](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (size_t i = 0; i < cells.size(); ++i) {
+      widths[i] = std::max(widths[i], cells[i].size());
+    }
+  };
+  widen(header_);
+  for (const auto& r : rows_) {
+    if (!r.rule) widen(r.cells);
+  }
+
+  size_t total = 1;  // leading '|'
+  for (size_t w : widths) total += w + 3;
+
+  std::string rule(total, '-');
+  rule += "\n";
+
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& c = i < cells.size() ? cells[i] : std::string();
+      line += " " + c + std::string(widths[i] - c.size(), ' ') + " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += rule;
+  if (!header_.empty()) {
+    out += render_row(header_);
+    out += rule;
+  }
+  for (const auto& r : rows_) {
+    out += r.rule ? rule : render_row(r.cells);
+  }
+  out += rule;
+  return out;
+}
+
+void TextTable::Print() const {
+  std::string s = Render();
+  std::fwrite(s.data(), 1, s.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace radd

@@ -1,0 +1,51 @@
+// Small text-table formatting helpers used by the benchmark harnesses to
+// print the paper's tables and figures.
+
+#ifndef RADD_COMMON_FORMAT_H_
+#define RADD_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace radd {
+
+/// Formats a double with `digits` fractional digits (no scientific
+/// notation); trailing zeros are kept so columns align.
+std::string FormatDouble(double v, int digits);
+
+/// Formats a duration expressed in hours as "X hours" / "X years" the way
+/// the paper's reliability tables do (years for anything >= 1 year).
+std::string FormatHours(double hours);
+
+/// A simple fixed-width text table: add a header row, then data rows, then
+/// render. Column widths adapt to the widest cell.
+class TextTable {
+ public:
+  /// `title` is printed above the table; pass "" for none.
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void SetHeader(std::vector<std::string> cells);
+  void AddRow(std::vector<std::string> cells);
+  /// Inserts a horizontal rule between the preceding and following rows.
+  void AddRule();
+
+  /// Renders the table (with outer rules and a header rule) to a string.
+  std::string Render() const;
+
+  /// Renders and writes to stdout.
+  void Print() const;
+
+ private:
+  struct Row {
+    bool rule = false;
+    std::vector<std::string> cells;
+  };
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_FORMAT_H_

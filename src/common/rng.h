@@ -1,0 +1,70 @@
+// Deterministic random number generation for workloads, failure processes,
+// and Monte-Carlo reliability estimation.
+//
+// All randomness in the library flows from explicitly-seeded Rng instances,
+// so every simulation run is exactly reproducible.
+
+#ifndef RADD_COMMON_RNG_H_
+#define RADD_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace radd {
+
+/// xoshiro256++ generator. Fast, tiny state, good statistical quality; not
+/// cryptographic (nothing here needs to be).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  uint64_t Next();
+
+  /// Uniform on [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform on [lo, hi]. lo <= hi.
+  uint64_t UniformRange(uint64_t lo, uint64_t hi);
+
+  /// Uniform real on [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed with the given mean (> 0). The paper's
+  /// reliability analysis (§7.5) assumes exponential inter-failure times.
+  double Exponential(double mean);
+
+  /// Forks an independent generator (for giving each site its own stream).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipf-distributed integers on [0, n), parameter theta in [0, 1).
+/// theta = 0 is uniform; larger theta is more skewed. Uses the standard
+/// Gray/YCSB rejection-free construction with precomputed zeta.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(uint64_t n, double theta, Rng* rng);
+
+  uint64_t Next();
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  Rng* rng_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_RNG_H_

@@ -1,0 +1,41 @@
+#include "common/status.h"
+
+namespace radd {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kInconsistent:
+      return "Inconsistent";
+    case StatusCode::kBlocked:
+      return "Blocked";
+    case StatusCode::kLockConflict:
+      return "LockConflict";
+    case StatusCode::kAborted:
+      return "Aborted";
+    case StatusCode::kNetworkError:
+      return "NetworkError";
+    case StatusCode::kDataLoss:
+      return "DataLoss";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code()));
+  out += ": ";
+  out += message();
+  return out;
+}
+
+}  // namespace radd

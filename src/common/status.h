@@ -1,0 +1,195 @@
+// Status / Result error model for the RADD library.
+//
+// Follows the Arrow/RocksDB convention: fallible operations return a Status
+// (or Result<T> for value-producing operations) instead of throwing.
+// Statuses are cheap to copy in the OK case (no allocation).
+
+#ifndef RADD_COMMON_STATUS_H_
+#define RADD_COMMON_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+
+namespace radd {
+
+/// Machine-readable classification of a failure.
+enum class StatusCode {
+  kOk = 0,
+  /// Caller error: argument outside the valid domain.
+  kInvalidArgument,
+  /// Addressed entity (site, disk, block) does not exist.
+  kNotFound,
+  /// Operation cannot proceed given current system state (e.g. writing
+  /// through a site that is down with no spare capacity left).
+  kUnavailable,
+  /// Data could not be reconstructed consistently; retry may succeed.
+  kInconsistent,
+  /// Multiple concurrent failures exceed the single-failure tolerance of
+  /// the algorithms; the system must block until repair (paper §5).
+  kBlocked,
+  /// Lock could not be granted (wait-die abort or timeout).
+  kLockConflict,
+  /// Transaction was aborted.
+  kAborted,
+  /// Message lost / network partition prevented delivery.
+  kNetworkError,
+  /// Storage media failure (disk lost the block irrecoverably).
+  kDataLoss,
+  /// Internal invariant violated; indicates a bug.
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus, when not OK, a message.
+///
+/// The OK status carries no allocation and is trivially copyable in
+/// practice; error statuses own a small heap string.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// Constructs a status with the given code and message. `code` must not
+  /// be kOk (use the default constructor for that).
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::move(message))) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Inconsistent(std::string msg) {
+    return Status(StatusCode::kInconsistent, std::move(msg));
+  }
+  static Status Blocked(std::string msg) {
+    return Status(StatusCode::kBlocked, std::move(msg));
+  }
+  static Status LockConflict(std::string msg) {
+    return Status(StatusCode::kLockConflict, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status NetworkError(std::string msg) {
+    return Status(StatusCode::kNetworkError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message for error statuses; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsInvalidArgument() const {
+    return code() == StatusCode::kInvalidArgument;
+  }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsInconsistent() const { return code() == StatusCode::kInconsistent; }
+  bool IsBlocked() const { return code() == StatusCode::kBlocked; }
+  bool IsLockConflict() const { return code() == StatusCode::kLockConflict; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsInternal() const { return code() == StatusCode::kInternal; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  std::shared_ptr<const Rep> rep_;  // null <=> OK
+};
+
+/// A Status or a value of type T. Accessing the value of an errored Result
+/// is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  /// Implicit from error status: `return Status::NotFound(...);`.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(v_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// Returns the value, or `fallback` when errored.
+  T ValueOr(T fallback) const {
+    return ok() ? std::get<T>(v_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define RADD_RETURN_NOT_OK(expr)            \
+  do {                                      \
+    ::radd::Status _st = (expr);            \
+    if (!_st.ok()) return _st;              \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define RADD_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto RADD_CONCAT_(_res, __LINE__) = (expr);               \
+  if (!RADD_CONCAT_(_res, __LINE__).ok())                   \
+    return RADD_CONCAT_(_res, __LINE__).status();           \
+  lhs = std::move(RADD_CONCAT_(_res, __LINE__)).value()
+
+#define RADD_CONCAT_IMPL_(a, b) a##b
+#define RADD_CONCAT_(a, b) RADD_CONCAT_IMPL_(a, b)
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_STATUS_H_

@@ -1,0 +1,10 @@
+#include "common/uid.h"
+
+namespace radd {
+
+std::string Uid::ToString() const {
+  if (!valid()) return "invalid";
+  return std::to_string(site()) + "." + std::to_string(sequence());
+}
+
+}  // namespace radd

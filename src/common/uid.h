@@ -1,0 +1,83 @@
+// Globally unique identifiers (paper §3.2).
+//
+// "Each site is assumed to have a source of unique identifiers (UIDs) which
+// will be used for concurrency control purposes. The only property of UIDs
+// is that they must be globally unique and never repeat."
+//
+// We realize a UID as a 64-bit value packing the originating site id into
+// the high bits and a per-site monotonic counter into the low bits. The
+// all-zero value is reserved as the *invalid* UID: a data or spare block
+// whose stored UID is zero is in the `invalid` state (paper's valid /
+// invalid block states).
+
+#ifndef RADD_COMMON_UID_H_
+#define RADD_COMMON_UID_H_
+
+#include <cstdint>
+#include <string>
+
+namespace radd {
+
+/// Identifier of a site in the distributed system (0-based).
+using SiteId = uint32_t;
+
+/// A globally unique, never-repeating identifier. Zero means "invalid".
+class Uid {
+ public:
+  /// Number of low bits used for the per-site sequence counter.
+  static constexpr int kSequenceBits = 48;
+  static constexpr uint64_t kSequenceMask = (uint64_t{1} << kSequenceBits) - 1;
+
+  /// The reserved invalid UID (block state "invalid", zero UID).
+  constexpr Uid() : raw_(0) {}
+
+  /// Builds a UID from its packed representation.
+  constexpr explicit Uid(uint64_t raw) : raw_(raw) {}
+
+  /// Builds a UID from site + sequence. `sequence` must be nonzero so the
+  /// result is never the reserved invalid value.
+  static constexpr Uid Make(SiteId site, uint64_t sequence) {
+    return Uid((static_cast<uint64_t>(site) << kSequenceBits) |
+               (sequence & kSequenceMask));
+  }
+
+  constexpr bool valid() const { return raw_ != 0; }
+  constexpr uint64_t raw() const { return raw_; }
+  constexpr SiteId site() const {
+    return static_cast<SiteId>(raw_ >> kSequenceBits);
+  }
+  constexpr uint64_t sequence() const { return raw_ & kSequenceMask; }
+
+  friend constexpr bool operator==(Uid a, Uid b) { return a.raw_ == b.raw_; }
+  friend constexpr bool operator!=(Uid a, Uid b) { return a.raw_ != b.raw_; }
+  friend constexpr bool operator<(Uid a, Uid b) { return a.raw_ < b.raw_; }
+
+  /// "invalid" or "<site>.<sequence>".
+  std::string ToString() const;
+
+ private:
+  uint64_t raw_;
+};
+
+/// Per-site source of UIDs. Not thread-safe; in the simulation each site's
+/// generator is only touched from the (single-threaded) event loop.
+class UidGenerator {
+ public:
+  explicit UidGenerator(SiteId site) : site_(site), next_sequence_(1) {}
+
+  /// Returns a fresh UID, strictly greater (in sequence) than all previous
+  /// UIDs from this generator.
+  Uid Next() { return Uid::Make(site_, next_sequence_++); }
+
+  SiteId site() const { return site_; }
+  /// Number of UIDs handed out so far.
+  uint64_t issued() const { return next_sequence_ - 1; }
+
+ private:
+  SiteId site_;
+  uint64_t next_sequence_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_UID_H_

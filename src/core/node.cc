@@ -1,0 +1,947 @@
+#include "core/node.h"
+
+#include <cassert>
+
+namespace radd {
+
+namespace {
+
+// Wire payloads. Sizes below are the §7.4-style wire costs.
+constexpr size_t kHeader = 32;
+
+struct ReadReq {
+  uint64_t op;
+  BlockNum row;
+};
+struct ReadReply {
+  uint64_t op;
+  Status status;
+  Block data{0};
+  Uid uid;
+};
+struct WriteReq {
+  uint64_t op;
+  BlockNum row;
+  int home;
+  Block data{0};
+};
+struct WriteReply {
+  uint64_t op;
+  Status status;
+};
+struct SpareReadReq {
+  uint64_t op;
+  int home;
+  BlockNum row;
+};
+struct SpareReadReply {
+  uint64_t op;
+  Status status;  // OK: data valid; NotFound: spare invalid
+  Block data{0};
+  Uid logical_uid;
+};
+struct SpareTakeReq {  // recovering-write old-value fetch + invalidate
+  uint64_t op;
+  int home;
+  BlockNum row;
+};
+struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
+  uint64_t op;
+  int home;
+  BlockNum row;
+  Block data{0};
+  Uid uid;  // minted by the writer
+};
+struct SpareWriteBack {  // degraded-read materialization (fire and forget)
+  int home;
+  BlockNum row;
+  Block data{0};
+  Uid logical_uid;
+};
+struct ParityUpdate {
+  uint64_t op;
+  BlockNum row;
+  int position;
+  Block delta{0};  // the change mask (wire size = encoded mask)
+  Uid uid;
+  size_t wire_bytes;
+};
+struct ParityAck {
+  uint64_t op;
+};
+struct ReconReq {
+  uint64_t op;
+  BlockNum row;
+};
+struct ReconReply {
+  uint64_t op;
+  BlockNum row;
+  Status status;
+  Block data{0};
+  Uid uid;
+  std::vector<Uid> uid_array;  // non-empty iff this is the parity site
+};
+
+}  // namespace
+
+// ===========================================================================
+// Node: per-site server state.
+// ===========================================================================
+
+struct RaddNodeSystem::Node {
+  RaddNodeSystem* sys;
+  SiteId self;
+  LockManager locks;
+  /// Parity updates and spare writes awaiting our local disk; keyed by op
+  /// for ack bookkeeping.
+  std::map<uint64_t, uint64_t> parity_timers;  // op -> sim timer id
+
+  // Pending server-side flows that needed a lock.
+  struct Waiting {
+    std::function<void()> resume;
+  };
+  std::map<TxnId, Waiting> waiting;
+
+  explicit Node(RaddNodeSystem* s, SiteId id) : sys(s), self(id) {}
+
+  Site* site() { return sys->cluster_->site(self); }
+  BlockStore* store() { return site()->store(); }
+  const DiskModel& disk() const { return sys->node_config_.disk; }
+  Simulator* sim() { return sys->sim_; }
+
+  /// The site's disk serves one request at a time: operations queue
+  /// behind each other (this is what makes parity-site contention — the
+  /// §2 striping argument — observable).
+  SimTime disk_free_at = 0;
+  void ScheduleDisk(SimTime latency, Simulator::Callback fn) {
+    SimTime start = std::max(sim()->Now(), disk_free_at);
+    disk_free_at = start + latency;
+    sim()->At(disk_free_at, std::move(fn));
+  }
+
+  /// Lock ids: inverted op ids so later ops always wait (single-block
+  /// operations cannot deadlock; FIFO queueing is all we need).
+  static TxnId LockId(uint64_t op) { return ~op; }
+
+  void WithLock(uint64_t op, BlockNum block, LockMode mode,
+                std::function<void()> body) {
+    LockKey key{self, block};
+    LockResult r = locks.Acquire(LockId(op), key, mode);
+    if (r == LockResult::kGranted) {
+      body();
+      return;
+    }
+    sys->stats_.Add("node.lock_waits");
+    waiting[LockId(op)] = Waiting{std::move(body)};
+  }
+
+  void Unlock(uint64_t op, BlockNum block) {
+    for (TxnId granted : locks.Release(LockId(op), LockKey{self, block})) {
+      auto it = waiting.find(granted);
+      if (it == waiting.end()) continue;
+      auto resume = std::move(it->second.resume);
+      waiting.erase(it);
+      resume();
+    }
+  }
+
+  void Send(SiteId to, std::string type, std::any payload,
+            size_t wire_bytes) {
+    Message m;
+    m.from = self;
+    m.to = to;
+    m.type = std::move(type);
+    m.wire_bytes = wire_bytes + kHeader;
+    m.payload = std::move(payload);
+    sys->net_->Send(std::move(m));
+  }
+
+  // --- message handlers ---------------------------------------------------
+
+  void OnReadReq(const Message& msg) {
+    auto req = std::any_cast<ReadReq>(msg.payload);
+    WithLock(req.op, req.row, LockMode::kShared, [this, req, msg]() {
+      ScheduleDisk(disk().read_latency, [this, req, msg]() {
+        ReadReply rep;
+        rep.op = req.op;
+        Result<BlockRecord> rec = store()->Read(req.row);
+        if (rec.ok()) {
+          rep.status = Status::OK();
+          rep.data = rec->data;
+          rep.uid = rec->uid;
+        } else {
+          rep.status = rec.status();
+        }
+        Unlock(req.op, req.row);
+        Send(msg.from, "read_reply",
+             rep, rep.status.ok() ? rep.data.size() : 0);
+      });
+    });
+  }
+
+  /// Write flows already seen, keyed by op id. nullopt while in flight;
+  /// the final reply once done (so a retried request replays the answer
+  /// instead of spawning a duplicate flow with a fresh UID).
+  std::map<uint64_t, std::optional<WriteReply>> write_flows;
+
+  /// Returns true when the request is a duplicate and was handled.
+  bool DedupeWrite(uint64_t op, SiteId reply_to, const char* reply_type) {
+    auto it = write_flows.find(op);
+    if (it == write_flows.end()) {
+      write_flows[op] = std::nullopt;  // first sighting: mark in flight
+      return false;
+    }
+    sys->stats_.Add("node.write_duplicate");
+    if (it->second.has_value()) {
+      Send(reply_to, reply_type, *it->second, 0);  // replay the reply
+    }
+    // else: the original flow is still running; its reply will come.
+    return true;
+  }
+
+  void CompleteWrite(uint64_t op, SiteId reply_to, const char* reply_type,
+                     WriteReply reply) {
+    write_flows[op] = reply;
+    Send(reply_to, reply_type, std::move(reply), 0);
+  }
+
+  void OnWriteReq(const Message& msg) {
+    auto req = std::any_cast<WriteReq>(msg.payload);
+    if (DedupeWrite(req.op, msg.from, "write_reply")) return;
+    SiteState state = site()->state();
+    // A lost block at a recovering site is written through the spare; tell
+    // the client to take the degraded path.
+    if (state == SiteState::kRecovering && !store()->Peek(req.row).ok()) {
+      // Not a completed write: the client will redirect to the spare, so
+      // forget the flow marker (the spare node dedupes the redirect).
+      write_flows.erase(req.op);
+      Send(msg.from, "write_reply",
+           WriteReply{req.op, Status::Unavailable("block lost")}, 0);
+      return;
+    }
+    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, msg]() {
+      if (site()->state() == SiteState::kRecovering) {
+        // The spare may hold a newer value (writes we missed while down):
+        // fetch-and-invalidate it for a correct parity delta.
+        int sm = static_cast<int>(sys->layout().SpareSite(req.row));
+        SiteId spare_site = sys->group_.SiteOfMember(sm);
+        Send(spare_site, "spare_take_req",
+             SpareTakeReq{req.op, req.home, req.row}, 0);
+        // Continuation lives in OnSpareTakeReply via pending write state.
+        sys->stats_.Add("node.recovering_spare_fetch");
+        pending_local_writes[req.op] = {req, msg.from};
+        return;
+      }
+      ApplyLocalWrite(req, msg.from, /*old_override=*/std::nullopt);
+    });
+  }
+
+  struct PendingLocalWrite {
+    WriteReq req;
+    SiteId reply_to;
+  };
+  std::map<uint64_t, PendingLocalWrite> pending_local_writes;
+
+  void OnSpareTakeReply(const Message& msg) {
+    auto rep = std::any_cast<SpareReadReply>(msg.payload);
+    auto it = pending_local_writes.find(rep.op);
+    if (it == pending_local_writes.end()) return;
+    PendingLocalWrite plw = std::move(it->second);
+    pending_local_writes.erase(it);
+    std::optional<Block> old;
+    if (rep.status.ok()) old = rep.data;
+    ApplyLocalWrite(plw.req, plw.reply_to, old);
+  }
+
+  void ApplyLocalWrite(const WriteReq& req, SiteId reply_to,
+                       std::optional<Block> old_override) {
+    ScheduleDisk(disk().write_latency, [this, req, reply_to,
+                                           old_override]() {
+      Block old_value(sys->radd_config_.block_size);
+      if (old_override) {
+        old_value = *old_override;
+      } else {
+        Result<BlockRecord> old = store()->Peek(req.row);
+        if (old.ok()) old_value = old->data;
+      }
+      Uid uid = site()->uids()->Next();
+      Status st = store()->Write(req.row, req.data, uid);
+      if (!st.ok()) {
+        Unlock(req.op, req.row);
+        CompleteWrite(req.op, reply_to, "write_reply",
+                      WriteReply{req.op, st});
+        return;
+      }
+      Result<ChangeMask> mask = ChangeMask::Diff(old_value, req.data);
+      bool invalidate_spare = old_override.has_value();
+      SendParityUpdate(
+          req.op, req.home, req.row, *mask, uid,
+          [this, req, reply_to, invalidate_spare]() {
+            if (invalidate_spare) {
+              // The local copy is now authoritative (§3.2 side effect).
+              Send(sys->group_.SiteOfMember(static_cast<int>(
+                       sys->layout().SpareSite(req.row))),
+                   "spare_invalidate",
+                   SpareTakeReq{req.op, req.home, req.row}, 0);
+            }
+            Unlock(req.op, req.row);
+            CompleteWrite(req.op, reply_to, "write_reply",
+                          WriteReply{req.op, Status::OK()});
+          });
+    });
+  }
+
+  void OnSpareInvalidate(const Message& msg) {
+    auto req = std::any_cast<SpareTakeReq>(msg.payload);
+    ScheduleDisk(disk().write_latency, [this, req]() {
+      Result<BlockRecord> rec = store()->Peek(req.row);
+      if (rec.ok() && rec->spare_for == req.home) {
+        (void)store()->Invalidate(req.row);
+        sys->stats_.Add("node.spare_invalidated");
+      }
+    });
+  }
+
+  /// Sends the W3 parity message, retransmitting until acked (§5). Calls
+  /// `done` once acknowledged (or immediately if the parity site is down:
+  /// its recovery will recompute the row).
+  std::map<uint64_t, std::function<void()>> parity_done;
+  std::map<uint64_t, int> parity_tries;
+
+  void SendParityUpdate(uint64_t op, int home, BlockNum row,
+                        const ChangeMask& mask, Uid uid,
+                        std::function<void()> done) {
+    int pm = static_cast<int>(sys->layout().ParitySite(row));
+    SiteId parity_site = sys->group_.SiteOfMember(pm);
+    if (sys->Perceived(self, parity_site) == SiteState::kDown) {
+      sys->stats_.Add("node.parity_dropped");
+      done();
+      return;
+    }
+    ParityUpdate u;
+    u.op = op;
+    u.row = row;
+    u.position = home;
+    u.delta = mask.delta();
+    u.uid = uid;
+    u.wire_bytes = mask.EncodedSize();
+    parity_done[op] = std::move(done);
+    parity_tries[op] = 0;
+    TransmitParity(parity_site, u);
+  }
+
+  void TransmitParity(SiteId parity_site, const ParityUpdate& u) {
+    Send(parity_site, "parity_update", u, u.wire_bytes);
+    uint64_t timer = sim()->Schedule(
+        sys->node_config_.retry_timeout, [this, parity_site, u]() {
+          auto it = parity_done.find(u.op);
+          if (it == parity_done.end()) return;  // acked meanwhile
+          if (++parity_tries[u.op] > sys->node_config_.max_retries) {
+            sys->stats_.Add("node.parity_gave_up");
+            return;
+          }
+          sys->stats_.Add("node.parity_retransmit");
+          TransmitParity(parity_site, u);
+        });
+    parity_timers[u.op] = timer;
+  }
+
+  void OnParityUpdate(const Message& msg) {
+    auto u = std::any_cast<ParityUpdate>(msg.payload);
+    // Idempotence: a duplicate carries the UID we already recorded.
+    Result<BlockRecord> rec = store()->Peek(u.row);
+    if (rec.ok() &&
+        static_cast<size_t>(u.position) < rec->uid_array.size() &&
+        rec->uid_array[static_cast<size_t>(u.position)] == u.uid) {
+      Send(msg.from, "parity_ack", ParityAck{u.op}, 0);
+      sys->stats_.Add("node.parity_duplicate");
+      return;
+    }
+    ScheduleDisk(disk().write_latency, [this, u, msg]() {
+      Status st = store()->ApplyMask(
+          u.row, ChangeMask::FromFull(u.delta), u.uid,
+          static_cast<size_t>(u.position),
+          static_cast<size_t>(sys->group_.num_members()));
+      if (!st.ok()) {
+        sys->stats_.Add("node.parity_apply_failed");
+        return;  // lost parity block; recovery will recompute — no ack
+      }
+      Send(msg.from, "parity_ack", ParityAck{u.op}, 0);
+    });
+  }
+
+  void OnParityAck(const Message& msg) {
+    auto ack = std::any_cast<ParityAck>(msg.payload);
+    auto it = parity_done.find(ack.op);
+    if (it == parity_done.end()) return;  // duplicate ack
+    auto done = std::move(it->second);
+    parity_done.erase(it);
+    parity_tries.erase(ack.op);
+    auto timer = parity_timers.find(ack.op);
+    if (timer != parity_timers.end()) {
+      sim()->Cancel(timer->second);
+      parity_timers.erase(timer);
+    }
+    done();
+  }
+
+  void OnSpareReadReq(const Message& msg) {
+    auto req = std::any_cast<SpareReadReq>(msg.payload);
+    WithLock(req.op, req.row, LockMode::kShared, [this, req, msg]() {
+      ScheduleDisk(disk().read_latency, [this, req, msg]() {
+        SpareReadReply rep;
+        rep.op = req.op;
+        Result<BlockRecord> rec = store()->Read(req.row);
+        if (rec.ok() && rec->uid.valid() && rec->spare_for == req.home) {
+          rep.status = Status::OK();
+          rep.data = rec->data;
+          rep.logical_uid = rec->logical_uid;
+        } else {
+          rep.status = Status::NotFound("spare invalid");
+        }
+        Unlock(req.op, req.row);
+        Send(msg.from, "spare_read_reply", rep,
+             rep.status.ok() ? rep.data.size() : 0);
+      });
+    });
+  }
+
+  void OnSpareTakeReq(const Message& msg) {
+    auto req = std::any_cast<SpareTakeReq>(msg.payload);
+    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, msg]() {
+      ScheduleDisk(disk().read_latency, [this, req, msg]() {
+        SpareReadReply rep;
+        rep.op = req.op;
+        Result<BlockRecord> rec = store()->Read(req.row);
+        if (rec.ok() && rec->uid.valid() && rec->spare_for == req.home) {
+          rep.status = Status::OK();
+          rep.data = rec->data;
+          rep.logical_uid = rec->logical_uid;
+        } else {
+          rep.status = Status::NotFound("spare invalid");
+        }
+        Unlock(req.op, req.row);
+        Send(msg.from, "spare_take_reply", rep,
+             rep.status.ok() ? rep.data.size() : 0);
+      });
+    });
+  }
+
+  void OnSpareWriteReq(const Message& msg) {
+    auto req = std::any_cast<SpareWriteReq>(msg.payload);
+    if (DedupeWrite(req.op, msg.from, "spare_write_reply")) return;
+    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, msg]() {
+      Result<BlockRecord> old = store()->Peek(req.row);
+      bool have_old =
+          old.ok() && old->uid.valid() && old->spare_for == req.home;
+      if (have_old && old->logical_uid == req.uid) {
+        // Duplicate of a spare write we already performed (lost reply).
+        Unlock(req.op, req.row);
+        CompleteWrite(req.op, msg.from, "spare_write_reply",
+                      WriteReply{req.op, Status::OK()});
+        return;
+      }
+      if (have_old) {
+        CommitSpareWrite(req, msg.from, old->data);
+        return;
+      }
+      // Spare invalid: reconstruct the old value first so the parity
+      // delta is correct (first-degraded-write penalty).
+      StartReconstruction(
+          req.op, req.home, req.row,
+          [this, req, msg](Status st, const Block& data, Uid) {
+            if (!st.ok()) {
+              Unlock(req.op, req.row);
+              CompleteWrite(req.op, msg.from, "spare_write_reply",
+                            WriteReply{req.op, st});
+              return;
+            }
+            CommitSpareWrite(req, msg.from, data);
+          });
+    });
+  }
+
+  void CommitSpareWrite(const SpareWriteReq& req, SiteId reply_to,
+                        const Block& old_value) {
+    ScheduleDisk(disk().write_latency, [this, req, reply_to,
+                                           old_value]() {
+      BlockRecord rec(sys->radd_config_.block_size);
+      rec.data = req.data;
+      rec.uid = req.uid;
+      rec.logical_uid = req.uid;
+      rec.spare_for = req.home;
+      Status st = store()->WriteRecord(req.row, rec);
+      if (!st.ok()) {
+        Unlock(req.op, req.row);
+        CompleteWrite(req.op, reply_to, "spare_write_reply",
+                      WriteReply{req.op, st});
+        return;
+      }
+      Result<ChangeMask> mask = ChangeMask::Diff(old_value, req.data);
+      SendParityUpdate(req.op, req.home, req.row, *mask, req.uid,
+                       [this, req, reply_to]() {
+                         Unlock(req.op, req.row);
+                         CompleteWrite(req.op, reply_to,
+                                       "spare_write_reply",
+                                       WriteReply{req.op, Status::OK()});
+                       });
+    });
+  }
+
+  void OnSpareWriteBack(const Message& msg) {
+    auto wb = std::any_cast<SpareWriteBack>(msg.payload);
+    ScheduleDisk(disk().write_latency, [this, wb]() {
+      Result<BlockRecord> cur = store()->Peek(wb.row);
+      if (cur.ok() && cur->uid.valid()) return;  // raced with a write
+      BlockRecord rec(sys->radd_config_.block_size);
+      rec.data = wb.data;
+      rec.uid = site()->uids()->Next();
+      rec.logical_uid = wb.logical_uid;
+      rec.spare_for = wb.home;
+      if (store()->WriteRecord(wb.row, rec).ok()) {
+        sys->stats_.Add("node.materialized");
+      }
+    });
+  }
+
+  void OnReconReq(const Message& msg) {
+    auto req = std::any_cast<ReconReq>(msg.payload);
+    // §3.3: reconstruction reads take no locks; they return UIDs instead.
+    ScheduleDisk(disk().read_latency, [this, req, msg]() {
+      ReconReply rep;
+      rep.op = req.op;
+      rep.row = req.row;
+      Result<BlockRecord> rec = store()->Read(req.row);
+      if (!rec.ok()) {
+        rep.status = rec.status();
+      } else {
+        rep.status = Status::OK();
+        rep.data = rec->data;
+        rep.uid = rec->uid;
+        rep.uid_array = rec->uid_array;
+      }
+      Send(msg.from, "recon_reply", rep,
+           rep.status.ok() ? rep.data.size() : 0);
+    });
+  }
+
+  // --- client-side reconstruction state machine -----------------------------
+
+  struct Recon {
+    int home;
+    BlockNum row;
+    std::function<void(Status, const Block&, Uid)> done;
+    std::vector<SiteId> sources;  // member ids
+    std::map<int, ReconReply> replies;
+    int attempt = 0;
+  };
+  std::map<uint64_t, Recon> recons;
+
+  void StartReconstruction(
+      uint64_t op, int home, BlockNum row,
+      std::function<void(Status, const Block&, Uid)> done) {
+    Recon rc;
+    rc.home = home;
+    rc.row = row;
+    rc.done = std::move(done);
+    rc.sources =
+        sys->layout().ReconstructionSources(static_cast<SiteId>(home), row);
+    for (SiteId src : rc.sources) {
+      SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
+      if (sys->Perceived(self, site_id) == SiteState::kDown) {
+        rc.done(Status::Blocked("reconstruction source down"), Block(0),
+                Uid());
+        return;
+      }
+    }
+    recons[op] = std::move(rc);
+    IssueReconRound(op);
+  }
+
+  void IssueReconRound(uint64_t op) {
+    auto it = recons.find(op);
+    if (it == recons.end()) return;
+    Recon& rc = it->second;
+    rc.replies.clear();
+    for (SiteId src : rc.sources) {
+      SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
+      Send(site_id, "recon_req", ReconReq{op, rc.row}, 0);
+    }
+  }
+
+  void OnReconReply(const Message& msg) {
+    auto rep = std::any_cast<ReconReply>(msg.payload);
+    auto it = recons.find(rep.op);
+    if (it == recons.end()) return;
+    Recon& rc = it->second;
+    int member = sys->group_.MemberAtSite(msg.from);
+    if (!rep.status.ok()) {
+      auto done = std::move(rc.done);
+      recons.erase(it);
+      done(Status::Blocked("source failed: " + rep.status.ToString()),
+           Block(0), Uid());
+      return;
+    }
+    rc.replies[member] = std::move(rep);
+    if (rc.replies.size() < rc.sources.size()) return;
+
+    // All replies in: validate UIDs against the parity array (§3.3).
+    int pm = static_cast<int>(sys->layout().ParitySite(rc.row));
+    const std::vector<Uid>* array = nullptr;
+    auto pit = rc.replies.find(pm);
+    if (pit != rc.replies.end()) array = &pit->second.uid_array;
+    auto entry = [&](int m) {
+      return array != nullptr && static_cast<size_t>(m) < array->size()
+                 ? (*array)[static_cast<size_t>(m)]
+                 : Uid();
+    };
+    bool consistent = true;
+    for (const auto& [m, r] : rc.replies) {
+      if (m == pm) continue;
+      if (r.uid != entry(m)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) {
+      sys->stats_.Add("node.uid_retry");
+      if (++rc.attempt >= sys->node_config_.max_reconstruct_attempts) {
+        auto done = std::move(rc.done);
+        recons.erase(it);
+        done(Status::Inconsistent("UID validation failed"), Block(0),
+             Uid());
+        return;
+      }
+      IssueReconRound(rep.op);
+      return;
+    }
+    Block out(sys->radd_config_.block_size);
+    for (const auto& [m, r] : rc.replies) {
+      (void)out.XorWith(r.data);
+    }
+    Uid logical = entry(rc.home);
+    auto done = std::move(rc.done);
+    recons.erase(it);
+    sys->stats_.Add("node.reconstructions");
+    done(Status::OK(), out, logical);
+  }
+};
+
+// ===========================================================================
+// RaddNodeSystem
+// ===========================================================================
+
+RaddNodeSystem::RaddNodeSystem(Simulator* sim, Network* net,
+                               Cluster* cluster,
+                               const RaddConfig& radd_config,
+                               const NodeConfig& node_config)
+    : sim_(sim),
+      net_(net),
+      cluster_(cluster),
+      radd_config_(radd_config),
+      node_config_(node_config),
+      group_(cluster, radd_config) {
+  for (int m = 0; m < group_.num_members(); ++m) {
+    SiteId s = group_.SiteOfMember(m);
+    nodes_[s] = std::make_unique<Node>(this, s);
+    net_->RegisterHandler(
+        s, [this, s](const Message& msg) { Dispatch(s, msg); });
+  }
+}
+
+RaddNodeSystem::~RaddNodeSystem() = default;
+
+SiteState RaddNodeSystem::Perceived(SiteId observer, SiteId target) const {
+  auto it = presumed_.find({observer, target});
+  if (it != presumed_.end()) return it->second;
+  if (perceiver_) {
+    // A detector can only distinguish reachable/unreachable; refine
+    // "reachable" with the true state so recovering sites are handled by
+    // the recovering protocol (a real system learns that state during the
+    // reconnect handshake).
+    SiteState detected = perceiver_(observer, target);
+    if (detected == SiteState::kDown) return detected;
+    return cluster_->StateOf(target);
+  }
+  return cluster_->StateOf(target);
+}
+
+void RaddNodeSystem::SetPresumedState(SiteId observer, SiteId target,
+                                      std::optional<SiteState> state) {
+  if (state) {
+    presumed_[{observer, target}] = *state;
+  } else {
+    presumed_.erase({observer, target});
+  }
+}
+
+void RaddNodeSystem::Dispatch(SiteId site, const Message& msg) {
+  // A down site's network stack is gone: deliveries are dropped. (The
+  // sender sees silence and relies on timeouts, as in a real network.)
+  if (cluster_->StateOf(site) == SiteState::kDown) {
+    stats_.Add("node.delivered_to_down_site");
+    return;
+  }
+  Node* n = node(site);
+  if (msg.type == "read_req") {
+    n->OnReadReq(msg);
+  } else if (msg.type == "read_reply") {
+    auto rep = std::any_cast<ReadReply>(msg.payload);
+    auto it = reads_.find(rep.op);
+    if (it == reads_.end()) return;
+    if (rep.status.ok()) {
+      FinishRead(rep.op, Status::OK(), rep.data);
+    } else if (rep.status.IsDataLoss() || rep.status.IsUnavailable()) {
+      // Block lost at the home site: reconstruct.
+      PendingRead& pr = it->second;
+      StartReadReconstruction(rep.op, pr);
+    } else {
+      FinishRead(rep.op, rep.status, Block(0));
+    }
+  } else if (msg.type == "write_req") {
+    n->OnWriteReq(msg);
+  } else if (msg.type == "write_reply" ||
+             msg.type == "spare_write_reply") {
+    auto rep = std::any_cast<WriteReply>(msg.payload);
+    auto it = writes_.find(rep.op);
+    if (it == writes_.end()) return;
+    if (rep.status.IsUnavailable()) {
+      // Home said "block lost": redirect to the spare (degraded write).
+      PendingWrite& pw = it->second;
+      Node* client_node = node(pw.client);
+      SpareWriteReq req;
+      req.op = rep.op;
+      req.home = pw.home;
+      req.row = pw.row;
+      req.data = pw.data;
+      req.uid = cluster_->site(pw.client)->uids()->Next();
+      client_node->Send(
+          group_.SiteOfMember(
+              static_cast<int>(layout().SpareSite(pw.row))),
+          "spare_write_req", req, req.data.size());
+      return;
+    }
+    FinishWrite(rep.op, rep.status);
+  } else if (msg.type == "parity_update") {
+    n->OnParityUpdate(msg);
+  } else if (msg.type == "parity_ack") {
+    n->OnParityAck(msg);
+  } else if (msg.type == "spare_read_req") {
+    n->OnSpareReadReq(msg);
+  } else if (msg.type == "spare_read_reply") {
+    auto rep = std::any_cast<SpareReadReply>(msg.payload);
+    auto it = reads_.find(rep.op);
+    if (it == reads_.end()) return;
+    PendingRead& pr = it->second;
+    if (rep.status.ok()) {
+      FinishRead(rep.op, Status::OK(), rep.data);
+      return;
+    }
+    // Spare invalid. A recovering home may still hold a valid local copy:
+    // try it before paying for reconstruction.
+    SiteId home_site = group_.SiteOfMember(pr.home);
+    if (!pr.tried_home &&
+        Perceived(pr.client, home_site) != SiteState::kDown) {
+      pr.tried_home = true;
+      node(pr.client)->Send(home_site, "read_req",
+                            ReadReq{rep.op, pr.row}, 0);
+      return;
+    }
+    StartReadReconstruction(rep.op, pr);
+  } else if (msg.type == "spare_take_req") {
+    n->OnSpareTakeReq(msg);
+  } else if (msg.type == "spare_invalidate") {
+    n->OnSpareInvalidate(msg);
+  } else if (msg.type == "spare_take_reply") {
+    n->OnSpareTakeReply(msg);
+  } else if (msg.type == "spare_write_req") {
+    n->OnSpareWriteReq(msg);
+  } else if (msg.type == "spare_write_back") {
+    n->OnSpareWriteBack(msg);
+  } else if (msg.type == "recon_req") {
+    n->OnReconReq(msg);
+  } else if (msg.type == "recon_reply") {
+    n->OnReconReply(msg);
+  }
+}
+
+void RaddNodeSystem::AsyncRead(SiteId client, int home, BlockNum index,
+                               ReadCallback cb) {
+  uint64_t op = next_op_++;
+  PendingRead pr;
+  pr.client = client;
+  pr.home = home;
+  pr.row = layout().DataToRow(static_cast<SiteId>(home), index);
+  pr.cb = std::move(cb);
+  pr.start = sim_->Now();
+  reads_[op] = std::move(pr);
+  StartRead(op);
+}
+
+void RaddNodeSystem::StartReadReconstruction(uint64_t op,
+                                             PendingRead& pr) {
+  node(pr.client)->StartReconstruction(
+      op, pr.home, pr.row,
+      [this, op](Status st, const Block& data, Uid logical) {
+        auto rit = reads_.find(op);
+        if (rit == reads_.end()) return;
+        if (!st.ok()) {
+          FinishRead(op, st, Block(0));
+          return;
+        }
+        PendingRead& r = rit->second;
+        // Materialize into the spare (asynchronous side effect), but only
+        // while the home site is down — a recovering home's own copy is
+        // repaired by its sweep instead.
+        if (radd_config_.materialize_on_degraded_read &&
+            Perceived(r.client, group_.SiteOfMember(r.home)) ==
+                SiteState::kDown) {
+          SpareWriteBack wb;
+          wb.home = r.home;
+          wb.row = r.row;
+          wb.data = data;
+          wb.logical_uid = logical;
+          node(r.client)->Send(
+              group_.SiteOfMember(
+                  static_cast<int>(layout().SpareSite(r.row))),
+              "spare_write_back", wb, data.size());
+        }
+        FinishRead(op, Status::OK(), data);
+      });
+}
+
+void RaddNodeSystem::StartRead(uint64_t op) {
+  PendingRead& pr = reads_.at(op);
+  pr.tried_home = false;
+  // Reads are idempotent: a lost request or reply is simply retried.
+  pr.timer = sim_->Schedule(
+      4 * node_config_.retry_timeout, [this, op]() {
+        auto rit = reads_.find(op);
+        if (rit == reads_.end()) return;
+        if (++rit->second.retries > node_config_.max_retries) {
+          FinishRead(op, Status::NetworkError("read timed out"), Block(0));
+          return;
+        }
+        stats_.Add("node.read_retry");
+        StartRead(op);
+      });
+  SiteId home_site = group_.SiteOfMember(pr.home);
+  Node* client_node = node(pr.client);
+  SiteState state = Perceived(pr.client, home_site);
+  if (state == SiteState::kDown || state == SiteState::kRecovering) {
+    // Spare first; its reply drives the rest of the state machine.
+    client_node->Send(
+        group_.SiteOfMember(static_cast<int>(layout().SpareSite(pr.row))),
+        "spare_read_req", SpareReadReq{op, pr.home, pr.row}, 0);
+    return;
+  }
+  client_node->Send(home_site, "read_req", ReadReq{op, pr.row}, 0);
+}
+
+void RaddNodeSystem::AsyncWrite(SiteId client, int home, BlockNum index,
+                                Block data, WriteCallback cb) {
+  uint64_t op = next_op_++;
+  PendingWrite pw;
+  pw.client = client;
+  pw.home = home;
+  pw.row = layout().DataToRow(static_cast<SiteId>(home), index);
+  pw.data = std::move(data);
+  pw.cb = std::move(cb);
+  pw.start = sim_->Now();
+  writes_[op] = std::move(pw);
+  StartWrite(op);
+}
+
+void RaddNodeSystem::StartWrite(uint64_t op) {
+  PendingWrite& pw = writes_.at(op);
+  SiteId home_site = group_.SiteOfMember(pw.home);
+  Node* client_node = node(pw.client);
+  ArmWriteTimer(op);
+  if (Perceived(pw.client, home_site) == SiteState::kDown) {
+    SpareWriteReq req;
+    req.op = op;
+    req.home = pw.home;
+    req.row = pw.row;
+    req.data = pw.data;
+    req.uid = cluster_->site(pw.client)->uids()->Next();
+    client_node->Send(
+        group_.SiteOfMember(static_cast<int>(layout().SpareSite(pw.row))),
+        "spare_write_req", req, req.data.size());
+    return;
+  }
+  WriteReq req;
+  req.op = op;
+  req.row = pw.row;
+  req.home = pw.home;
+  req.data = pw.data;
+  client_node->Send(home_site, "write_req", req, req.data.size());
+}
+
+void RaddNodeSystem::ArmWriteTimer(uint64_t op) {
+  auto it = writes_.find(op);
+  if (it == writes_.end()) return;
+  it->second.timer = sim_->Schedule(
+      4 * node_config_.retry_timeout, [this, op]() {
+        auto wit = writes_.find(op);
+        if (wit == writes_.end()) return;
+        if (++wit->second.retries > node_config_.max_retries) {
+          FinishWrite(op, Status::NetworkError("write timed out"));
+          return;
+        }
+        stats_.Add("node.write_retry");
+        StartWrite(op);
+      });
+}
+
+void RaddNodeSystem::FinishRead(uint64_t op, Status st, const Block& data) {
+  auto it = reads_.find(op);
+  if (it == reads_.end()) return;
+  sim_->Cancel(it->second.timer);
+  ReadCallback cb = std::move(it->second.cb);
+  SimTime latency = sim_->Now() - it->second.start;
+  reads_.erase(it);
+  cb(st, data, latency);
+}
+
+void RaddNodeSystem::FinishWrite(uint64_t op, Status st) {
+  auto it = writes_.find(op);
+  if (it == writes_.end()) return;
+  sim_->Cancel(it->second.timer);
+  WriteCallback cb = std::move(it->second.cb);
+  SimTime latency = sim_->Now() - it->second.start;
+  writes_.erase(it);
+  cb(st, latency);
+}
+
+RaddNodeSystem::TimedRead RaddNodeSystem::Read(SiteId client, int home,
+                                               BlockNum index) {
+  TimedRead out;
+  bool done = false;
+  AsyncRead(client, home, index,
+            [&](Status st, const Block& data, SimTime latency) {
+              out.status = st;
+              out.data = data;
+              out.latency = latency;
+              done = true;
+            });
+  sim_->RunUntilPredicate([&]() { return done; });
+  if (!done) out.status = Status::Internal("simulation ran dry");
+  return out;
+}
+
+RaddNodeSystem::TimedWrite RaddNodeSystem::Write(SiteId client, int home,
+                                                 BlockNum index,
+                                                 const Block& data) {
+  TimedWrite out;
+  bool done = false;
+  AsyncWrite(client, home, index, data, [&](Status st, SimTime latency) {
+    out.status = st;
+    out.latency = latency;
+    done = true;
+  });
+  sim_->RunUntilPredicate([&]() { return done; });
+  if (!done) out.status = Status::Internal("simulation ran dry");
+  return out;
+}
+
+}  // namespace radd

@@ -1,0 +1,162 @@
+// RaddNodeSystem — the message-driven implementation of the RADD protocol
+// over the simulated network (paper §3 algorithms as an actual
+// distributed protocol, plus §5's lost-message handling).
+//
+// The synchronous RaddGroup (core/radd.h) is the reference model with
+// exact Figure-3 accounting; this layer executes the same steps as real
+// request/reply message flows with disk and network latency, so it
+// additionally answers questions the cost model cannot: operation
+// *latency* (concurrent sub-operations overlap), behaviour under message
+// loss (parity updates are retransmitted until acknowledged, and a write
+// only completes once its parity site acknowledged — §5's commit
+// condition), behaviour under partitions, and lock-based concurrency
+// control (§3.3: data and spare blocks are locked, parity blocks never).
+//
+// Idempotence under retransmission uses the paper's own UID machinery: a
+// parity site recognizes a duplicate update because the incoming UID
+// equals its UID-array entry for that member, and acknowledges without
+// re-applying the mask.
+
+#ifndef RADD_CORE_NODE_H_
+#define RADD_CORE_NODE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/radd.h"
+#include "net/network.h"
+#include "sim/simulator.h"
+#include "txn/lock_manager.h"
+
+namespace radd {
+
+/// Tunables of the protocol layer.
+struct NodeConfig {
+  DiskModel disk;
+  /// Retransmission timeout for parity updates / degraded writes when the
+  /// network can lose messages.
+  SimTime retry_timeout = Millis(250);
+  /// Retransmissions before an operation fails with NetworkError.
+  int max_retries = 25;
+  /// Reconstruction retries on UID validation failure (§3.3).
+  int max_reconstruct_attempts = 5;
+};
+
+/// The distributed RADD: one protocol node per cluster site.
+class RaddNodeSystem {
+ public:
+  using ReadCallback =
+      std::function<void(Status, const Block&, SimTime latency)>;
+  using WriteCallback = std::function<void(Status, SimTime latency)>;
+
+  RaddNodeSystem(Simulator* sim, Network* net, Cluster* cluster,
+                 const RaddConfig& radd_config,
+                 const NodeConfig& node_config = {});
+  ~RaddNodeSystem();
+
+  /// Issues a read of member `home`'s data block `index` from `client`.
+  void AsyncRead(SiteId client, int home, BlockNum index, ReadCallback cb);
+
+  /// Issues a write.
+  void AsyncWrite(SiteId client, int home, BlockNum index, Block data,
+                  WriteCallback cb);
+
+  /// Blocking facades: run the simulator until the operation completes.
+  struct TimedRead {
+    Status status;
+    Block data{0};
+    SimTime latency = 0;
+  };
+  TimedRead Read(SiteId client, int home, BlockNum index);
+  struct TimedWrite {
+    Status status;
+    SimTime latency = 0;
+  };
+  TimedWrite Write(SiteId client, int home, BlockNum index,
+                   const Block& data);
+
+  /// Overrides the oracle failure detector for `observer`'s view of
+  /// `target` (partition handling, §5: the majority side treats the
+  /// unreachable site as down). Pass nullopt to clear.
+  void SetPresumedState(SiteId observer, SiteId target,
+                        std::optional<SiteState> state);
+
+  /// Installs a live failure-detector callback (e.g. HeartbeatDetector's
+  /// Perceived) consulted on every state decision; explicit
+  /// SetPresumedState entries take precedence over it, and the cluster
+  /// oracle is the fallback when neither is set. Pass nullptr to remove.
+  using Perceiver = std::function<SiteState(SiteId observer, SiteId target)>;
+  void SetPerceiver(Perceiver perceiver) {
+    perceiver_ = std::move(perceiver);
+  }
+
+  /// The reference model sharing the same cluster state; used for
+  /// recovery sweeps and invariant checking.
+  RaddGroup* group() { return &group_; }
+
+  const RaddLayout& layout() const { return group_.layout(); }
+  Stats* mutable_stats() { return &stats_; }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Node;
+
+  /// State that `observer` believes `target` to be in.
+  SiteState Perceived(SiteId observer, SiteId target) const;
+
+  void Dispatch(SiteId site, const Message& msg);
+  Node* node(SiteId s) { return nodes_.at(s).get(); }
+
+  Simulator* sim_;
+  Network* net_;
+  Cluster* cluster_;
+  RaddConfig radd_config_;
+  NodeConfig node_config_;
+  RaddGroup group_;
+  Stats stats_;
+  std::map<SiteId, std::unique_ptr<Node>> nodes_;
+  std::map<std::pair<SiteId, SiteId>, SiteState> presumed_;
+  Perceiver perceiver_;
+  uint64_t next_op_ = 1;
+
+  // --- pending client operations -------------------------------------------
+  struct PendingRead {
+    SiteId client;
+    int home;
+    BlockNum row;
+    ReadCallback cb;
+    SimTime start;
+    int retries = 0;
+    bool tried_home = false;
+    uint64_t timer = 0;
+  };
+  struct PendingWrite {
+    SiteId client;
+    int home;
+    BlockNum row;
+    Block data{0};
+    WriteCallback cb;
+    SimTime start;
+    int retries = 0;
+    uint64_t timer = 0;
+  };
+  std::map<uint64_t, PendingRead> reads_;
+  std::map<uint64_t, PendingWrite> writes_;
+
+  void StartRead(uint64_t op);
+  void StartReadReconstruction(uint64_t op, PendingRead& pr);
+  void StartWrite(uint64_t op);
+  void FinishRead(uint64_t op, Status st, const Block& data);
+  void FinishWrite(uint64_t op, Status st);
+  void ArmWriteTimer(uint64_t op);
+
+  friend struct Node;
+};
+
+}  // namespace radd
+
+#endif  // RADD_CORE_NODE_H_

@@ -1,0 +1,874 @@
+#include "core/radd.h"
+
+#include <cassert>
+
+namespace radd {
+
+namespace {
+/// Wire overhead per protocol message (headers, block number, UID).
+constexpr size_t kMsgHeader = 32;
+}  // namespace
+
+RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config)
+    : cluster_(cluster), config_(config), layout_(config.group_size) {
+  members_.reserve(static_cast<size_t>(layout_.num_sites()));
+  for (int m = 0; m < layout_.num_sites(); ++m) {
+    LogicalDrive d;
+    d.site = static_cast<SiteId>(m);
+    d.first_block = 0;
+    d.drive_blocks = config_.rows;
+    members_.push_back(d);
+  }
+}
+
+RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config,
+                     std::vector<LogicalDrive> members)
+    : cluster_(cluster),
+      config_(config),
+      layout_(config.group_size),
+      members_(std::move(members)) {
+  assert(static_cast<int>(members_.size()) == layout_.num_sites());
+}
+
+int RaddGroup::MemberAtSite(SiteId site) const {
+  for (size_t m = 0; m < members_.size(); ++m) {
+    if (members_[m].site == site) return static_cast<int>(m);
+  }
+  return -1;
+}
+
+Site* RaddGroup::SiteOf(int m) const {
+  return cluster_->site(members_[static_cast<size_t>(m)].site);
+}
+
+SiteState RaddGroup::StateOfMember(int m) const {
+  return cluster_->StateOf(members_[static_cast<size_t>(m)].site);
+}
+
+bool RaddGroup::BlockReadable(int m, BlockNum row) const {
+  if (StateOfMember(m) == SiteState::kDown) return false;
+  Result<BlockRecord> r = SiteOf(m)->store()->Peek(Phys(m, row));
+  return r.ok();
+}
+
+void RaddGroup::ChargeRead(SiteId client, int target_member,
+                           OpCounts* c) const {
+  if (members_[static_cast<size_t>(target_member)].site == client) {
+    ++c->local_reads;
+  } else {
+    ++c->remote_reads;
+  }
+}
+
+void RaddGroup::ChargeWrite(SiteId client, int target_member,
+                            OpCounts* c) const {
+  if (members_[static_cast<size_t>(target_member)].site == client) {
+    ++c->local_writes;
+  } else {
+    ++c->remote_writes;
+  }
+}
+
+bool RaddGroup::SpareExists(BlockNum row) const {
+  if (config_.spare_fraction >= 1.0) return true;
+  if (config_.spare_fraction <= 0.0) return false;
+  // Bresenham thinning: exactly the configured fraction of rows, spread
+  // evenly, carry a spare.
+  double f = config_.spare_fraction;
+  return static_cast<uint64_t>(static_cast<double>(row + 1) * f) >
+         static_cast<uint64_t>(static_cast<double>(row) * f);
+}
+
+Result<BlockRecord> RaddGroup::ReadPhys(int m, BlockNum row) const {
+  if (StateOfMember(m) == SiteState::kDown) {
+    return Status::Unavailable("site " +
+                               std::to_string(members_[size_t(m)].site) +
+                               " is down");
+  }
+  return SiteOf(m)->store()->Read(Phys(m, row));
+}
+
+// ---------------------------------------------------------------------------
+// Reads
+// ---------------------------------------------------------------------------
+
+OpResult RaddGroup::Read(SiteId client, int home, BlockNum data_index) {
+  OpResult out;
+  if (home < 0 || home >= num_members()) {
+    out.status = Status::InvalidArgument("no member " + std::to_string(home));
+    return out;
+  }
+  if (data_index >= DataBlocksPerMember()) {
+    out.status = Status::InvalidArgument("data block " +
+                                         std::to_string(data_index) +
+                                         " out of range");
+    return out;
+  }
+  BlockNum row = layout_.DataToRow(static_cast<SiteId>(home), data_index);
+
+  switch (StateOfMember(home)) {
+    case SiteState::kUp: {
+      Result<BlockRecord> rec = ReadPhys(home, row);
+      if (!rec.ok()) {
+        // A lost block at an up site should not occur (disk failure moves
+        // the site to recovering), but handle it like the degraded path.
+        if (rec.status().IsDataLoss()) return DegradedRead(client, home, row);
+        out.status = rec.status();
+        return out;
+      }
+      ChargeRead(client, home, &out.counts);
+      out.data = rec->data;
+      out.uid = rec->uid;
+      out.status = Status::OK();
+      return out;
+    }
+    case SiteState::kDown:
+      return DegradedRead(client, home, row);
+    case SiteState::kRecovering:
+      return RecoveringRead(client, home, row);
+  }
+  out.status = Status::Internal("unreachable");
+  return out;
+}
+
+OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
+  OpResult out;
+  int sm = static_cast<int>(layout_.SpareSite(row));
+  if (!SpareExists(row)) {
+    Result<Reconstructed> recon = Reconstruct(client, home, row, &out.counts);
+    if (!recon.ok()) {
+      out.status = recon.status();
+      return out;
+    }
+    out.data = std::move(recon->data);
+    out.uid = recon->logical_uid;
+    out.status = Status::OK();
+    return out;
+  }
+
+  // Try the spare first (paper: "the decision is based on the state of the
+  // spare block"). Validity is a metadata check; the counted read happens
+  // only when the spare's contents are actually used.
+  bool spare_usable = false;
+  if (StateOfMember(sm) != SiteState::kDown) {
+    Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+    spare_usable = srec.ok();
+    if (srec.ok() && srec->uid.valid()) {
+      if (srec->spare_for != home) {
+        out.status = Status::Internal(
+            "spare of row " + std::to_string(row) + " shadows member " +
+            std::to_string(srec->spare_for) + ", expected " +
+            std::to_string(home) + " (double failure?)");
+        return out;
+      }
+      (void)ReadPhys(sm, row);  // the physical spare read
+      ChargeRead(client, sm, &out.counts);
+      out.data = srec->data;
+      out.uid = srec->logical_uid;
+      out.status = Status::OK();
+      return out;
+    }
+  }
+
+  // Spare invalid: reconstruct via formula (2).
+  Result<Reconstructed> recon = Reconstruct(client, home, row, &out.counts);
+  if (!recon.ok()) {
+    out.status = recon.status();
+    return out;
+  }
+
+  // Materialize into the spare so subsequent reads resolve with a single
+  // spare access (§3.2). Recorded with "a new UID obtained from the local
+  // system" — the spare site's generator. Asynchronous side effect: not
+  // charged to this read.
+  if (config_.materialize_on_degraded_read && spare_usable &&
+      StateOfMember(sm) == SiteState::kUp) {
+    BlockRecord srec(config_.block_size);
+    srec.data = recon->data;
+    srec.uid = SiteOf(sm)->uids()->Next();
+    srec.logical_uid = recon->logical_uid;
+    srec.spare_for = home;
+    Status st = SiteOf(sm)->store()->WriteRecord(Phys(sm, row), srec);
+    if (st.ok()) {
+      stats_.Add("radd.materialize");
+      if (members_[static_cast<size_t>(sm)].site != client) {
+        stats_.Add("radd.bytes.spare_write",
+                   config_.block_size + kMsgHeader);
+      }
+    }
+  }
+
+  out.data = std::move(recon->data);
+  out.uid = recon->logical_uid;
+  out.status = Status::OK();
+  return out;
+}
+
+OpResult RaddGroup::RecoveringRead(SiteId client, int home, BlockNum row) {
+  OpResult out;
+  int sm = static_cast<int>(layout_.SpareSite(row));
+
+  // 1. Valid spare wins (it holds writes made while the site was down).
+  if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
+    Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+    if (srec.ok() && srec->uid.valid() && srec->spare_for == home) {
+      (void)ReadPhys(sm, row);  // the physical spare read
+      ChargeRead(client, sm, &out.counts);
+      // Side effect (§3.2): install the correct contents locally and
+      // invalidate the spare.
+      Status st = SiteOf(home)->store()->Write(Phys(home, row), srec->data,
+                                               srec->logical_uid);
+      if (st.ok()) {
+        (void)SiteOf(sm)->store()->Invalidate(Phys(sm, row));
+        stats_.Add("radd.spare_invalidate");
+      }
+      out.data = srec->data;
+      out.uid = srec->logical_uid;
+      out.status = Status::OK();
+      return out;
+    }
+  }
+
+  // 2. Valid local block.
+  Result<BlockRecord> lrec = SiteOf(home)->store()->Read(Phys(home, row));
+  if (lrec.ok() && lrec->uid.valid()) {
+    ChargeRead(client, home, &out.counts);
+    out.data = lrec->data;
+    out.uid = lrec->uid;
+    out.status = Status::OK();
+    return out;
+  }
+  // An intact but never-written block (invalid UID, readable) is simply
+  // its initial zero state; no reconstruction needed.
+  if (lrec.ok()) {
+    ChargeRead(client, home, &out.counts);
+    out.data = lrec->data;
+    out.uid = lrec->uid;
+    out.status = Status::OK();
+    return out;
+  }
+
+  // 3. Both invalid/lost: reconstruct as if the site were down, then
+  // install locally (§3.2 "the system should write local block K with its
+  // correct contents").
+  Result<Reconstructed> recon = Reconstruct(client, home, row, &out.counts);
+  if (!recon.ok()) {
+    out.status = recon.status();
+    return out;
+  }
+  Status st = SiteOf(home)->store()->Write(Phys(home, row), recon->data,
+                                           recon->logical_uid);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  stats_.Add("radd.recovering_read_repair");
+  out.data = std::move(recon->data);
+  out.uid = recon->logical_uid;
+  out.status = Status::OK();
+  return out;
+}
+
+Result<RaddGroup::Reconstructed> RaddGroup::Reconstruct(SiteId client,
+                                                        int home,
+                                                        BlockNum row,
+                                                        OpCounts* counts) {
+  const int pm = static_cast<int>(layout_.ParitySite(row));
+  std::vector<SiteId> source_members =
+      layout_.ReconstructionSources(static_cast<SiteId>(home), row);
+
+  for (int attempt = 0; attempt < config_.max_reconstruct_attempts;
+       ++attempt) {
+    std::vector<BlockRecord> records;
+    records.reserve(source_members.size());
+    bool readable = true;
+    for (SiteId sm : source_members) {
+      int m = static_cast<int>(sm);
+      if (!BlockReadable(m, row)) {
+        return Status::Blocked(
+            "cannot reconstruct row " + std::to_string(row) + ": member " +
+            std::to_string(m) + " also unavailable (multiple failures)");
+      }
+      Result<BlockRecord> rec = ReadPhys(m, row);
+      if (!rec.ok()) {
+        readable = false;
+        break;
+      }
+      ChargeRead(client, m, counts);
+      records.push_back(std::move(rec).value());
+    }
+    if (!readable) {
+      return Status::Blocked("source became unreadable during reconstruction");
+    }
+
+    // §3.3 consistency validation: every data source's UID must equal the
+    // parity block's UID-array entry for that member. (The parity block
+    // contributes the array itself.)
+    const std::vector<Uid>* array = nullptr;
+    for (size_t i = 0; i < source_members.size(); ++i) {
+      if (static_cast<int>(source_members[i]) == pm) {
+        array = &records[i].uid_array;
+        break;
+      }
+    }
+    auto array_entry = [&](int member) -> Uid {
+      if (array == nullptr ||
+          static_cast<size_t>(member) >= array->size()) {
+        return Uid();
+      }
+      return (*array)[static_cast<size_t>(member)];
+    };
+
+    bool consistent = true;
+    for (size_t i = 0; i < source_members.size(); ++i) {
+      int m = static_cast<int>(source_members[i]);
+      if (m == pm) continue;
+      if (records[i].uid != array_entry(m)) {
+        consistent = false;
+        break;
+      }
+    }
+    if (!consistent) {
+      stats_.Add("radd.uid_retry");
+      continue;  // "the read was not consistent and must be retried"
+    }
+
+    std::vector<const Block*> blocks;
+    blocks.reserve(records.size());
+    for (const BlockRecord& r : records) blocks.push_back(&r.data);
+    Result<Block> x = XorAll(blocks);
+    if (!x.ok()) return x.status();
+
+    stats_.Add("radd.reconstructions");
+    Reconstructed out;
+    out.data = std::move(x).value();
+    out.logical_uid = array_entry(home);
+    return out;
+  }
+  return Status::Inconsistent(
+      "reconstruction of row " + std::to_string(row) + " failed UID "
+      "validation after " + std::to_string(config_.max_reconstruct_attempts) +
+      " attempts");
+}
+
+// ---------------------------------------------------------------------------
+// Writes
+// ---------------------------------------------------------------------------
+
+OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
+                          const Block& new_data) {
+  OpResult out;
+  if (home < 0 || home >= num_members()) {
+    out.status = Status::InvalidArgument("no member " + std::to_string(home));
+    return out;
+  }
+  if (data_index >= DataBlocksPerMember()) {
+    out.status = Status::InvalidArgument("data block " +
+                                         std::to_string(data_index) +
+                                         " out of range");
+    return out;
+  }
+  if (new_data.size() != config_.block_size) {
+    out.status = Status::InvalidArgument("wrong block size");
+    return out;
+  }
+  BlockNum row = layout_.DataToRow(static_cast<SiteId>(home), data_index);
+
+  switch (StateOfMember(home)) {
+    case SiteState::kUp:
+    case SiteState::kRecovering: {
+      const bool recovering = StateOfMember(home) == SiteState::kRecovering;
+      if (recovering &&
+          !SiteOf(home)->store()->Peek(Phys(home, row)).ok()) {
+        // The block is lost to a disk failure and not yet reconstructed:
+        // the system "continues with write operations to the down disks"
+        // through the spare (§3.2; Figure 3's disk-failure write = 2 RW).
+        return DegradedWrite(client, home, row, new_data);
+      }
+      // Determine the current logical value for a correct parity delta.
+      Block old_value(config_.block_size);
+      bool have_old = false;
+      int sm = static_cast<int>(layout_.SpareSite(row));
+      bool spare_valid = false;
+      if (recovering && SpareExists(row) &&
+          StateOfMember(sm) != SiteState::kDown) {
+        Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+        if (srec.ok() && srec->uid.valid() && srec->spare_for == home) {
+          // Writes made while this site was down live in the spare; the
+          // local copy is stale. Fetch the spare for the delta.
+          (void)ReadPhys(sm, row);  // the physical spare read
+          ChargeRead(client, sm, &out.counts);
+          old_value = srec->data;
+          have_old = true;
+          spare_valid = true;
+        }
+      }
+      if (!have_old) {
+        Result<BlockRecord> lrec =
+            config_.charge_old_value_read
+                ? SiteOf(home)->store()->Read(Phys(home, row))
+                : SiteOf(home)->store()->Peek(Phys(home, row));
+        if (lrec.ok() && (lrec->uid.valid() || !recovering)) {
+          // Up sites: buffered old value, free unless configured.
+          if (config_.charge_old_value_read) {
+            ChargeRead(client, home, &out.counts);
+          }
+          old_value = lrec->data;
+          have_old = true;
+        } else if (lrec.ok()) {
+          // Recovering, local invalid-but-readable: initial zero state.
+          old_value = lrec->data;
+          have_old = true;
+        }
+      }
+      if (!have_old) {
+        // Recovering with the block lost to a disk failure: reconstruct
+        // the old value so the parity delta is correct.
+        Result<Reconstructed> recon =
+            Reconstruct(client, home, row, &out.counts);
+        if (!recon.ok()) {
+          out.status = recon.status();
+          return out;
+        }
+        old_value = std::move(recon->data);
+      }
+
+      // W1: write the local block with a fresh UID.
+      Uid u = SiteOf(home)->uids()->Next();
+      Status st = SiteOf(home)->store()->Write(Phys(home, row), new_data, u);
+      if (!st.ok()) {
+        out.status = st;
+        return out;
+      }
+      ChargeWrite(client, home, &out.counts);
+
+      // W2-W4: parity delta.
+      Result<ChangeMask> mask = ChangeMask::Diff(old_value, new_data);
+      if (!mask.ok()) {
+        out.status = mask.status();
+        return out;
+      }
+      UpdateParity(members_[size_t(home)].site, home, row, *mask, u,
+                   &out.counts);
+
+      // Recovering side effect: the spare no longer shadows this block.
+      if (recovering && spare_valid) {
+        (void)SiteOf(sm)->store()->Invalidate(Phys(sm, row));
+        stats_.Add("radd.spare_invalidate");
+      }
+
+      out.uid = u;
+      out.status = Status::OK();
+      return out;
+    }
+    case SiteState::kDown:
+      return DegradedWrite(client, home, row, new_data);
+  }
+  out.status = Status::Internal("unreachable");
+  return out;
+}
+
+OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
+                                  const Block& new_data) {
+  OpResult out;
+  int sm = static_cast<int>(layout_.SpareSite(row));
+  if (!SpareExists(row)) {
+    // §7.2's availability price: without a spare, writes to the down
+    // member's block must wait for repair.
+    out.status = Status::Blocked(
+        "row " + std::to_string(row) +
+        " has no spare block (spare_fraction < 1); write must wait");
+    stats_.Add("radd.write_blocked_no_spare");
+    return out;
+  }
+  if (StateOfMember(sm) != SiteState::kUp || !BlockReadable(sm, row)) {
+    out.status = Status::Blocked(
+        "spare site for row " + std::to_string(row) +
+        " unavailable while home member is down (multiple failures)");
+    return out;
+  }
+
+  // Old logical value: the spare if it is valid (free — buffered at the
+  // spare site which we are about to write anyway), else reconstructed.
+  Block old_value(config_.block_size);
+  Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+  if (srec.ok() && srec->uid.valid()) {
+    if (srec->spare_for != home) {
+      out.status = Status::Internal("spare shadows a different member");
+      return out;
+    }
+    old_value = srec->data;
+  } else {
+    Result<Reconstructed> recon = Reconstruct(client, home, row, &out.counts);
+    if (!recon.ok()) {
+      out.status = recon.status();
+      return out;
+    }
+    old_value = std::move(recon->data);
+    stats_.Add("radd.degraded_write_reconstruct");
+  }
+
+  // W1': write the contents to the spare site with a fresh UID obtained by
+  // the writer.
+  Site* writer = cluster_->site(client);
+  if (writer == nullptr) {
+    out.status = Status::InvalidArgument("no client site " +
+                                         std::to_string(client));
+    return out;
+  }
+  Uid u = writer->uids()->Next();
+  BlockRecord new_rec(config_.block_size);
+  new_rec.data = new_data;
+  new_rec.uid = u;
+  new_rec.logical_uid = u;
+  new_rec.spare_for = home;
+  Status st = SiteOf(sm)->store()->WriteRecord(Phys(sm, row), new_rec);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  ChargeWrite(client, sm, &out.counts);
+  if (members_[static_cast<size_t>(sm)].site != client) {
+    stats_.Add("radd.bytes.spare_write", config_.block_size + kMsgHeader);
+  }
+
+  // W2-W4 with the delta against the old logical value, recorded at the
+  // *home* member's position so reconstruction validation still works.
+  Result<ChangeMask> mask = ChangeMask::Diff(old_value, new_data);
+  if (!mask.ok()) {
+    out.status = mask.status();
+    return out;
+  }
+  UpdateParity(members_[static_cast<size_t>(sm)].site, home, row, *mask, u,
+               &out.counts);
+
+  out.uid = u;
+  out.status = Status::OK();
+  return out;
+}
+
+void RaddGroup::UpdateParity(SiteId issuer, int home, BlockNum row,
+                             const ChangeMask& mask, Uid uid,
+                             OpCounts* counts) {
+  const int pm = static_cast<int>(layout_.ParitySite(row));
+  if (StateOfMember(pm) == SiteState::kDown) {
+    // The parity site cannot accept updates; its recovery sweep will
+    // recompute this row's parity from the data blocks.
+    stats_.Add("radd.parity_dropped");
+    return;
+  }
+  Status st = SiteOf(pm)->store()->ApplyMask(
+      Phys(pm, row), mask, uid, static_cast<size_t>(home),
+      static_cast<size_t>(num_members()));
+  if (!st.ok()) {
+    // Lost parity block (disk failure at the parity site): same story.
+    stats_.Add("radd.parity_dropped");
+    return;
+  }
+  ChargeWrite(issuer, pm, counts);
+  if (members_[static_cast<size_t>(pm)].site != issuer) {
+    size_t bytes = config_.use_change_masks
+                       ? mask.EncodedSize() + kMsgHeader
+                       : config_.block_size + kMsgHeader;
+    stats_.Add("radd.bytes.parity", bytes);
+    stats_.Add("radd.parity_updates");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+// ---------------------------------------------------------------------------
+
+Result<OpCounts> RaddGroup::RunRecovery(int home, bool mark_up) {
+  if (home < 0 || home >= num_members()) {
+    return Status::InvalidArgument("no member " + std::to_string(home));
+  }
+  Site* site = SiteOf(home);
+  if (site->state() != SiteState::kRecovering) {
+    return Status::InvalidArgument(
+        "site " + std::to_string(site->id()) + " is " +
+        std::string(SiteStateName(site->state())) + ", not recovering");
+  }
+  const SiteId self = site->id();
+  OpCounts counts;
+
+  for (BlockNum row = 0; row < config_.rows; ++row) {
+    BlockRole role = layout_.RoleOf(static_cast<SiteId>(home), row);
+    BlockNum phys = Phys(home, row);
+
+    switch (role) {
+      case BlockRole::kData: {
+        int sm = static_cast<int>(layout_.SpareSite(row));
+        // Drain a valid spare (lock, copy, invalidate).
+        if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
+          Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+          if (srec.ok() && srec->uid.valid()) {
+            if (srec->spare_for != home) {
+              return Status::Internal(
+                  "spare of row " + std::to_string(row) +
+                  " shadows another member during recovery");
+            }
+            (void)ReadPhys(sm, row);  // the physical spare read
+            ChargeRead(self, sm, &counts);
+            RADD_RETURN_NOT_OK(
+                site->store()->Write(phys, srec->data, srec->logical_uid));
+            ++counts.local_writes;
+            (void)SiteOf(sm)->store()->Invalidate(Phys(sm, row));
+            ChargeWrite(self, sm, &counts);  // the invalidate message
+            stats_.Add("radd.recovery_spare_drained");
+            break;
+          }
+        }
+        // No spare: the local block is either intact (temporary outage —
+        // nothing to do) or lost (disk failure / disaster — reconstruct).
+        Result<BlockRecord> lrec = site->store()->Peek(phys);
+        if (lrec.ok()) break;  // intact (valid or initial state)
+        if (!lrec.status().IsDataLoss()) return lrec.status();
+        Result<Reconstructed> recon = Reconstruct(self, home, row, &counts);
+        if (!recon.ok()) return recon.status();
+        RADD_RETURN_NOT_OK(
+            site->store()->Write(phys, recon->data, recon->logical_uid));
+        ++counts.local_writes;
+        stats_.Add("radd.recovery_reconstructed");
+        break;
+      }
+
+      case BlockRole::kParity: {
+        // Read every data block of the row from the other (up) members;
+        // recompute the parity if the local copy is lost or its UID array
+        // disagrees with the data blocks (updates missed while down).
+        std::vector<SiteId> data_members = layout_.DataSites(row);
+        std::vector<BlockRecord> data_recs;
+        data_recs.reserve(data_members.size());
+        bool sources_ok = true;
+        for (SiteId dm : data_members) {
+          int m = static_cast<int>(dm);
+          if (!BlockReadable(m, row)) {
+            sources_ok = false;
+            break;
+          }
+          Result<BlockRecord> rec = ReadPhys(m, row);
+          if (!rec.ok()) {
+            sources_ok = false;
+            break;
+          }
+          ChargeRead(self, m, &counts);
+          data_recs.push_back(std::move(rec).value());
+        }
+        if (!sources_ok) {
+          return Status::Blocked(
+              "cannot rebuild parity of row " + std::to_string(row) +
+              ": a data member is unavailable (multiple failures)");
+        }
+
+        Result<BlockRecord> lrec = site->store()->Peek(phys);
+        bool stale = !lrec.ok();
+        if (lrec.ok()) {
+          for (size_t i = 0; i < data_members.size(); ++i) {
+            size_t pos = static_cast<size_t>(data_members[i]);
+            Uid entry = pos < lrec->uid_array.size() ? lrec->uid_array[pos]
+                                                     : Uid();
+            if (entry != data_recs[i].uid) {
+              stale = true;
+              break;
+            }
+          }
+        }
+        if (stale) {
+          BlockRecord prec(config_.block_size);
+          for (size_t i = 0; i < data_recs.size(); ++i) {
+            RADD_RETURN_NOT_OK(prec.data.XorWith(data_recs[i].data));
+          }
+          prec.uid = site->uids()->Next();
+          prec.uid_array.assign(static_cast<size_t>(num_members()), Uid());
+          for (size_t i = 0; i < data_members.size(); ++i) {
+            prec.uid_array[static_cast<size_t>(data_members[i])] =
+                data_recs[i].uid;
+          }
+          RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, prec));
+          ++counts.local_writes;
+          stats_.Add("radd.recovery_parity_rebuilt");
+        }
+        break;
+      }
+
+      case BlockRole::kSpare: {
+        // A lost spare is simply re-initialized to the invalid state.
+        Result<BlockRecord> lrec = site->store()->Peek(phys);
+        if (!lrec.ok() && lrec.status().IsDataLoss()) {
+          BlockRecord empty(config_.block_size);
+          RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, empty));
+          ++counts.local_writes;
+          stats_.Add("radd.recovery_spare_cleared");
+        }
+        break;
+      }
+    }
+  }
+
+  if (mark_up) {
+    RADD_RETURN_NOT_OK(cluster_->MarkUp(self));
+  }
+  stats_.Add("radd.recoveries_completed");
+  return counts;
+}
+
+Result<int> RaddGroup::ScrubParity(int parity_member) {
+  if (parity_member < 0 || parity_member >= num_members()) {
+    return Status::InvalidArgument("no member " +
+                                   std::to_string(parity_member));
+  }
+  if (StateOfMember(parity_member) != SiteState::kUp) {
+    return Status::InvalidArgument("scrub requires the site to be up");
+  }
+  Site* site = SiteOf(parity_member);
+  int repaired = 0;
+
+  for (BlockNum row = 0; row < config_.rows; ++row) {
+    if (layout_.RoleOf(static_cast<SiteId>(parity_member), row) !=
+        BlockRole::kParity) {
+      continue;
+    }
+    // Collect the row's data blocks; skip rows with unreadable members
+    // (degraded rows belong to the recovery sweep, not the scrubber).
+    std::vector<SiteId> data_members = layout_.DataSites(row);
+    std::vector<BlockRecord> recs;
+    bool auditable = true;
+    for (SiteId dm : data_members) {
+      int m = static_cast<int>(dm);
+      if (StateOfMember(m) != SiteState::kUp) {
+        auditable = false;
+        break;
+      }
+      Result<BlockRecord> rec = SiteOf(m)->store()->Peek(Phys(m, row));
+      if (!rec.ok()) {
+        auditable = false;
+        break;
+      }
+      recs.push_back(std::move(rec).value());
+    }
+    int sm = static_cast<int>(layout_.SpareSite(row));
+    if (auditable && SpareExists(row) &&
+        StateOfMember(sm) != SiteState::kDown) {
+      Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+      if (srec.ok() && srec->uid.valid()) auditable = false;  // degraded row
+    }
+    if (!auditable) {
+      stats_.Add("radd.scrub_skipped");
+      continue;
+    }
+
+    Result<BlockRecord> prec = site->store()->Peek(Phys(parity_member, row));
+    bool mismatch = !prec.ok();
+    if (prec.ok()) {
+      Block expected(config_.block_size);
+      for (const BlockRecord& r : recs) {
+        RADD_RETURN_NOT_OK(expected.XorWith(r.data));
+      }
+      if (expected != prec->data) {
+        mismatch = true;
+      } else {
+        for (size_t i = 0; i < data_members.size(); ++i) {
+          size_t pos = static_cast<size_t>(data_members[i]);
+          Uid entry =
+              pos < prec->uid_array.size() ? prec->uid_array[pos] : Uid();
+          if (entry != recs[i].uid) {
+            mismatch = true;
+            break;
+          }
+        }
+      }
+    }
+    if (!mismatch) continue;
+
+    BlockRecord fresh(config_.block_size);
+    for (const BlockRecord& r : recs) {
+      RADD_RETURN_NOT_OK(fresh.data.XorWith(r.data));
+    }
+    fresh.uid = site->uids()->Next();
+    fresh.uid_array.assign(static_cast<size_t>(num_members()), Uid());
+    for (size_t i = 0; i < data_members.size(); ++i) {
+      fresh.uid_array[static_cast<size_t>(data_members[i])] = recs[i].uid;
+    }
+    RADD_RETURN_NOT_OK(
+        site->store()->WriteRecord(Phys(parity_member, row), fresh));
+    ++repaired;
+    stats_.Add("radd.scrub_repaired");
+  }
+  return repaired;
+}
+
+// ---------------------------------------------------------------------------
+// Invariants
+// ---------------------------------------------------------------------------
+
+Status RaddGroup::VerifyInvariants() const {
+  for (BlockNum row = 0; row < config_.rows; ++row) {
+    const int pm = static_cast<int>(layout_.ParitySite(row));
+    const int sm = static_cast<int>(layout_.SpareSite(row));
+    if (StateOfMember(pm) != SiteState::kUp) continue;  // pending recompute
+
+    Result<BlockRecord> prec =
+        SiteOf(pm)->store()->Peek(Phys(pm, row));
+    if (!prec.ok()) continue;  // lost parity: pending recompute
+
+    Block expected(config_.block_size);
+    bool verifiable = true;
+    for (SiteId dm_id : layout_.DataSites(row)) {
+      int dm = static_cast<int>(dm_id);
+      // Logical value: a valid spare shadowing this member wins; otherwise
+      // the member's physical block (peeked directly — simulator's
+      // privilege — even if the site is down).
+      Result<BlockRecord> srec =
+          SpareExists(row) ? SiteOf(sm)->store()->Peek(Phys(sm, row))
+                           : Result<BlockRecord>(
+                                 Status::NotFound("no spare for row"));
+      bool shadowed = srec.ok() && srec->uid.valid() &&
+                      srec->spare_for == dm;
+      Uid expected_uid;
+      const Block* value = nullptr;
+      if (shadowed) {
+        value = &srec->data;
+        expected_uid = srec->logical_uid;
+        if (StateOfMember(dm) == SiteState::kUp) {
+          return Status::Internal(
+              "row " + std::to_string(row) + ": spare shadows member " +
+              std::to_string(dm) + " whose site is up");
+        }
+        RADD_RETURN_NOT_OK(expected.XorWith(*value));
+      } else {
+        Result<BlockRecord> lrec =
+            SiteOf(dm)->store()->Peek(Phys(dm, row));
+        if (!lrec.ok()) {
+          verifiable = false;  // lost block pending reconstruction
+          break;
+        }
+        value = &lrec->data;
+        expected_uid = lrec->uid;
+        RADD_RETURN_NOT_OK(expected.XorWith(*value));
+      }
+      // UID-array agreement (only meaningful for up members; down /
+      // recovering members may legitimately lag).
+      if (StateOfMember(dm) == SiteState::kUp || shadowed) {
+        size_t pos = static_cast<size_t>(dm);
+        Uid entry =
+            pos < prec->uid_array.size() ? prec->uid_array[pos] : Uid();
+        if (entry != expected_uid) {
+          return Status::Internal(
+              "row " + std::to_string(row) + ": UID array entry for member " +
+              std::to_string(dm) + " is " + entry.ToString() +
+              ", expected " + expected_uid.ToString());
+        }
+      }
+    }
+    if (!verifiable) continue;
+    if (expected != prec->data) {
+      return Status::Internal("row " + std::to_string(row) +
+                              ": parity does not equal XOR of logical data "
+                              "values");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace radd

@@ -1,0 +1,223 @@
+// RaddGroup — the paper's RADD algorithms (§3) over one group of G + 2
+// sites, in a synchronous (direct-call) form with exact accounting of
+// Table-1 operations. The message-driven protocol implementation that runs
+// the same algorithms over the simulated network lives in core/node.h.
+//
+// The group is described by a member list: member m of the group is a
+// LogicalDrive (site + block offset), so the same class serves both the
+// simple one-group case (member m == site m, offset 0) and the §4
+// heterogeneous assignment. All layout math (Fig. 1) treats member indices
+// as the layout's "sites".
+//
+// Accounting rules (matching how Figure 3 counts):
+//   * A read or write of a block at the client's own site costs R / W;
+//     at any other site it costs RR / RW.
+//   * Reading the *old* value of a block immediately before overwriting it
+//     at the same site is free (the paper's "careful buffering of the old
+//     data block can remove one of the reads"); set
+//     RaddConfig::charge_old_value_read to charge it instead.
+//   * Asynchronous side effects — materializing a reconstructed value into
+//     the spare, invalidating a spare after a recovering-site access — are
+//     recorded in stats() but not charged to the triggering operation's
+//     OpCounts, again matching Figure 3.
+
+#ifndef RADD_CORE_RADD_H_
+#define RADD_CORE_RADD_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/block.h"
+#include "common/status.h"
+#include "common/uid.h"
+#include "layout/layout.h"
+#include "sim/stats.h"
+
+namespace radd {
+
+/// Tuning knobs for a RADD group.
+struct RaddConfig {
+  /// The paper's G. The group then has G + 2 members.
+  int group_size = 8;
+  /// Physical rows per member used by this group.
+  BlockNum rows = 60;
+  size_t block_size = Block::kDefaultSize;
+
+  /// Write the reconstructed value of a degraded read into the spare block
+  /// so later reads cost one remote read (paper §3.2). Ablation: off.
+  bool materialize_on_degraded_read = true;
+  /// Ship parity updates as encoded change masks (§7.4) instead of full
+  /// blocks. Affects byte accounting only; semantics are identical.
+  bool use_change_masks = true;
+  /// Charge the read of a block's old value before overwrite (off = the
+  /// paper's buffered model).
+  bool charge_old_value_read = false;
+  /// Attempts for UID-validated reconstruction before giving up with
+  /// Inconsistent (§3.3 "the read was not consistent and must be retried").
+  int max_reconstruct_attempts = 3;
+
+  /// §7.2: "a smaller number of spare blocks can be allocated per site if
+  /// the system administrator is willing to tolerate lower availability.
+  /// ... Analyzing availability for lesser numbers of [spare] blocks is
+  /// left as a future exercise." This knob is that exercise: only this
+  /// fraction of rows carry a usable spare (spread evenly, Bresenham
+  /// style). Rows without one cannot absorb writes while their home is
+  /// down (the write blocks) and degraded reads always pay full
+  /// reconstruction. Space overhead becomes (1 + fraction) / G.
+  double spare_fraction = 1.0;
+};
+
+/// Outcome of a user read or write.
+struct OpResult {
+  Status status;
+  /// Contents, for reads.
+  Block data{0};
+  /// UID stamped on / read from the block.
+  Uid uid;
+  /// Critical-path physical operations, Figure-3 style.
+  OpCounts counts;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// One RADD group: G + 2 members on distinct sites of a Cluster.
+class RaddGroup {
+ public:
+  /// Identity group: member m is site m with offset 0. The cluster must
+  /// have at least G+2 sites with at least `config.rows` blocks each.
+  RaddGroup(Cluster* cluster, const RaddConfig& config);
+
+  /// Explicit member list (e.g. from GroupAssigner::AssignBlocks). Each
+  /// member's drive must hold at least `config.rows` blocks; members must
+  /// be on distinct sites.
+  RaddGroup(Cluster* cluster, const RaddConfig& config,
+            std::vector<LogicalDrive> members);
+
+  const RaddConfig& config() const { return config_; }
+  const RaddLayout& layout() const { return layout_; }
+  Cluster* cluster() const { return cluster_; }
+  int num_members() const { return layout_.num_sites(); }
+
+  /// Data blocks each member exposes.
+  BlockNum DataBlocksPerMember() const {
+    return layout_.DataBlocksPerSite(config_.rows);
+  }
+
+  /// Site hosting member `m`.
+  SiteId SiteOfMember(int m) const { return members_[size_t(m)].site; }
+  /// Member hosted at `site`, or -1.
+  int MemberAtSite(SiteId site) const;
+
+  /// Reads data block `data_index` of member `home`, on behalf of a client
+  /// running at site `client` (usually the member's own site; when the
+  /// member's site is down the client is wherever the work migrated, §6).
+  OpResult Read(SiteId client, int home, BlockNum data_index);
+
+  /// Writes data block `data_index` of member `home`.
+  OpResult Write(SiteId client, int home, BlockNum data_index,
+                 const Block& new_data);
+
+  /// Runs the recovery sweep for member `home` (paper §3.2's background
+  /// process): drains valid spares back to the local disk, reconstructs
+  /// lost data blocks, recomputes lost/stale parity blocks, clears lost
+  /// spare blocks, then marks the site up. The member's site must be in
+  /// the recovering state. Returns the physical ops performed.
+  ///
+  /// When the site hosts drives of several RADD groups (§4), each group
+  /// runs its own sweep; pass mark_up = false for all but the last so the
+  /// site stays in the recovering state until every group is done.
+  Result<OpCounts> RunRecovery(int home, bool mark_up = true);
+
+  /// Background scrubber: audits every row's parity against the XOR of
+  /// its data blocks (and the UID array against the blocks' UIDs) and
+  /// repairs any mismatch by recomputing the parity block — the on-line
+  /// counterpart of the recovery sweep, for silent corruption and for
+  /// rows whose parity updates were dropped while the parity site was
+  /// down. Only rows whose members are all readable are audited. Returns
+  /// the number of rows repaired.
+  Result<int> ScrubParity(int parity_member);
+
+  /// Checks the group's global invariants; used by property tests.
+  ///   * parity row contents == XOR of the logical values of its G data
+  ///     blocks (skipped when the parity site is not up);
+  ///   * each up data block's UID matches the parity UID array entry;
+  ///   * valid spares shadow only blocks of non-up members.
+  Status VerifyInvariants() const;
+
+  /// Asynchronous side-effect and diagnostic counters:
+  /// "radd.materialize", "radd.spare_invalidate", "radd.parity_dropped",
+  /// "radd.reconstructions", "radd.uid_retry", "radd.bytes.parity",
+  /// "radd.bytes.spare_write", ...
+  const Stats& stats() const { return stats_; }
+  Stats* mutable_stats() { return &stats_; }
+
+ private:
+  // --- addressing -------------------------------------------------------
+  /// Flat physical block number on member m's site for row r.
+  BlockNum Phys(int m, BlockNum row) const {
+    return members_[size_t(m)].first_block + row;
+  }
+  Site* SiteOf(int m) const;
+  SiteState StateOfMember(int m) const;
+  /// True when member m's physical block for `row` is readable (site up or
+  /// recovering and the block is not lost to a disk failure).
+  bool BlockReadable(int m, BlockNum row) const;
+
+  /// §7.2 spare thinning: whether `row` has a spare block at all.
+  bool SpareExists(BlockNum row) const;
+
+  // --- accounting -------------------------------------------------------
+  void ChargeRead(SiteId client, int target_member, OpCounts* c) const;
+  void ChargeWrite(SiteId client, int target_member, OpCounts* c) const;
+
+  // --- protocol steps ---------------------------------------------------
+  /// Reads member m's physical block of `row` (any role), returning the
+  /// full record. Fails with DataLoss/Unavailable as appropriate.
+  Result<BlockRecord> ReadPhys(int m, BlockNum row) const;
+
+  /// Formula (2) reconstruction of member `home`'s block in `row`, with
+  /// §3.3 UID validation against the parity block's UID array. On success
+  /// also reports the parity array entry for `home` (the logical UID of
+  /// the reconstructed value). Charges G reads into `counts`.
+  struct Reconstructed {
+    Block data{0};
+    Uid logical_uid;
+  };
+  Result<Reconstructed> Reconstruct(SiteId client, int home, BlockNum row,
+                                    OpCounts* counts);
+
+  /// Applies a parity delta for member `home`'s block in `row` (steps
+  /// W2-W4). `issuer` is the site sending the W3 message (the home site
+  /// for normal writes, the spare site for degraded writes); the write is
+  /// charged local/remote relative to it. If the parity site cannot accept
+  /// the update (down or parity block lost) it is dropped and counted in
+  /// stats ("radd.parity_dropped").
+  void UpdateParity(SiteId issuer, int home, BlockNum row,
+                    const ChangeMask& mask, Uid uid, OpCounts* counts);
+
+  /// The degraded (home down / block lost) read path.
+  OpResult DegradedRead(SiteId client, int home, BlockNum row);
+  /// The recovering-site read path.
+  OpResult RecoveringRead(SiteId client, int home, BlockNum row);
+  /// The degraded (home down / block lost) write path, W1' + W2-W4.
+  OpResult DegradedWrite(SiteId client, int home, BlockNum row,
+                         const Block& new_data);
+
+  /// Reads the *current logical value* of member home's block in `row`
+  /// along with the UID the local copy should carry. Used by writes to
+  /// compute correct parity deltas and by recovery.
+  Result<Reconstructed> CurrentValue(SiteId client, int home, BlockNum row,
+                                     OpCounts* counts);
+
+  Cluster* cluster_;
+  RaddConfig config_;
+  RaddLayout layout_;
+  std::vector<LogicalDrive> members_;
+  Stats stats_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_CORE_RADD_H_

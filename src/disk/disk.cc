@@ -1,0 +1,213 @@
+#include "disk/disk.h"
+
+namespace radd {
+
+void SimDisk::Fail() {
+  failed_ = true;
+  lost_.clear();
+  // Every materialized block is lost; unmaterialized blocks become lost
+  // too — we mark the whole address space lazily via the failed_ flag and
+  // record explicit loss marks for materialized blocks so rewrites can
+  // clear them individually.
+  for (BlockNum b = 0; b < capacity_; ++b) lost_[b] = true;
+  blocks_.clear();
+}
+
+Status SimDisk::CheckAddress(BlockNum block) const {
+  if (block >= capacity_) {
+    return Status::NotFound("block " + std::to_string(block) +
+                            " beyond disk capacity " +
+                            std::to_string(capacity_));
+  }
+  return Status::OK();
+}
+
+BlockRecord& SimDisk::GetOrCreate(BlockNum block) {
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) {
+    it = blocks_.emplace(block, BlockRecord(block_size_)).first;
+  }
+  return it->second;
+}
+
+Result<BlockRecord> SimDisk::Read(BlockNum block) const {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  auto lost = lost_.find(block);
+  if (lost != lost_.end() && lost->second) {
+    return Status::DataLoss("block " + std::to_string(block) +
+                            " lost to disk failure");
+  }
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return BlockRecord(block_size_);
+  return it->second;
+}
+
+Status SimDisk::Write(BlockNum block, const Block& data, Uid uid) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  if (data.size() != block_size_) {
+    return Status::InvalidArgument("write size " +
+                                   std::to_string(data.size()) +
+                                   " != block size " +
+                                   std::to_string(block_size_));
+  }
+  BlockRecord& rec = GetOrCreate(block);
+  rec.data = data;
+  rec.uid = uid;
+  rec.logical_uid = Uid();
+  rec.spare_for = -1;
+  lost_.erase(block);
+  return Status::OK();
+}
+
+Status SimDisk::WriteRecord(BlockNum block, const BlockRecord& record) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  if (record.data.size() != block_size_) {
+    return Status::InvalidArgument("record block size mismatch");
+  }
+  GetOrCreate(block) = record;
+  lost_.erase(block);
+  return Status::OK();
+}
+
+Status SimDisk::ApplyMask(BlockNum block, const ChangeMask& mask, Uid uid,
+                          size_t group_position, size_t group_size) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  auto lost = lost_.find(block);
+  if (lost != lost_.end() && lost->second) {
+    return Status::DataLoss("parity block " + std::to_string(block) +
+                            " lost to disk failure");
+  }
+  if (mask.block_size() != block_size_) {
+    return Status::InvalidArgument("mask size mismatch");
+  }
+  if (group_position >= group_size) {
+    return Status::InvalidArgument("group position out of range");
+  }
+  BlockRecord& rec = GetOrCreate(block);
+  RADD_RETURN_NOT_OK(mask.ApplyTo(&rec.data));
+  if (rec.uid_array.size() < group_size) rec.uid_array.resize(group_size);
+  rec.uid_array[group_position] = uid;
+  // The parity block itself also becomes "valid": stamp the triggering UID.
+  rec.uid = uid;
+  return Status::OK();
+}
+
+Status SimDisk::Invalidate(BlockNum block) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  auto it = blocks_.find(block);
+  if (it != blocks_.end()) {
+    it->second.uid = Uid();
+    it->second.logical_uid = Uid();
+    it->second.spare_for = -1;
+  }
+  return Status::OK();
+}
+
+Status SimDisk::Discard(BlockNum block) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  blocks_.erase(block);
+  lost_[block] = true;
+  return Status::OK();
+}
+
+bool SimDisk::IsValid(BlockNum block) const {
+  auto lost = lost_.find(block);
+  if (lost != lost_.end() && lost->second) return false;
+  auto it = blocks_.find(block);
+  return it != blocks_.end() && it->second.uid.valid();
+}
+
+DiskArray::DiskArray(int num_disks, BlockNum blocks_per_disk,
+                     size_t block_size)
+    : blocks_per_disk_(blocks_per_disk), block_size_(block_size) {
+  disks_.reserve(static_cast<size_t>(num_disks));
+  for (int i = 0; i < num_disks; ++i) {
+    disks_.emplace_back(blocks_per_disk, block_size);
+  }
+}
+
+Status DiskArray::FailDisk(int d) {
+  if (d < 0 || d >= num_disks()) {
+    return Status::InvalidArgument("no disk " + std::to_string(d));
+  }
+  disks_[static_cast<size_t>(d)].Fail();
+  return Status::OK();
+}
+
+bool DiskArray::DiskFailed(int d) const {
+  if (d < 0 || d >= num_disks()) return false;
+  return disks_[static_cast<size_t>(d)].lost_count() > 0;
+}
+
+Result<BlockRecord> DiskArray::Read(BlockNum block) const {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].Read(
+      block % blocks_per_disk_);
+}
+
+Status DiskArray::Write(BlockNum block, const Block& data, Uid uid) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].Write(
+      block % blocks_per_disk_, data, uid);
+}
+
+Status DiskArray::WriteRecord(BlockNum block, const BlockRecord& record) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].WriteRecord(
+      block % blocks_per_disk_, record);
+}
+
+Status DiskArray::ApplyMask(BlockNum block, const ChangeMask& mask, Uid uid,
+                            size_t group_position, size_t group_size) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].ApplyMask(
+      block % blocks_per_disk_, mask, uid, group_position, group_size);
+}
+
+Status DiskArray::Invalidate(BlockNum block) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].Invalidate(
+      block % blocks_per_disk_);
+}
+
+Status DiskArray::Discard(BlockNum block) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].Discard(
+      block % blocks_per_disk_);
+}
+
+bool DiskArray::IsValid(BlockNum block) const {
+  if (block >= total_blocks()) return false;
+  return disks_[static_cast<size_t>(DiskOf(block))].IsValid(
+      block % blocks_per_disk_);
+}
+
+std::vector<BlockNum> DiskArray::LostBlocks() const {
+  std::vector<BlockNum> out;
+  for (size_t d = 0; d < disks_.size(); ++d) {
+    const SimDisk& disk = disks_[d];
+    for (BlockNum b = 0; b < disk.capacity(); ++b) {
+      // A block is lost if the disk failed and the block has not been
+      // rewritten since.
+      Result<BlockRecord> r = disk.Read(b);
+      if (!r.ok() && r.status().IsDataLoss()) {
+        out.push_back(static_cast<BlockNum>(d) * blocks_per_disk_ + b);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace radd

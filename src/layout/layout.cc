@@ -1,0 +1,186 @@
+#include "layout/layout.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace radd {
+
+std::string_view BlockRoleName(BlockRole role) {
+  switch (role) {
+    case BlockRole::kData:
+      return "data";
+    case BlockRole::kParity:
+      return "parity";
+    case BlockRole::kSpare:
+      return "spare";
+  }
+  return "?";
+}
+
+RaddLayout::RaddLayout(int group_size) : g_(group_size) {
+  assert(group_size >= 1);
+}
+
+BlockRole RaddLayout::RoleOf(SiteId site, BlockNum row) const {
+  const BlockNum n = static_cast<BlockNum>(num_sites());
+  // i = (K - J - 1) mod (G+2), computed without underflow.
+  BlockNum i = (row % n + n + n - static_cast<BlockNum>(site) - 1) % n;
+  if (i < static_cast<BlockNum>(g_)) return BlockRole::kData;
+  if (i == static_cast<BlockNum>(g_)) return BlockRole::kSpare;
+  return BlockRole::kParity;
+}
+
+BlockNum RaddLayout::DataToRow(SiteId site, BlockNum data_index) const {
+  // Within each (G+2)-row cycle, site J's column skips exactly two rows:
+  // its parity row (r = J) and its spare row (r = (J-1) mod (G+2)); the
+  // remaining rows carry data blocks numbered densely top to bottom
+  // (Fig. 1's 0,1,2,... down each column).
+  const BlockNum n = static_cast<BlockNum>(num_sites());
+  const BlockNum g = static_cast<BlockNum>(g_);
+  BlockNum cycle = data_index / g;
+  BlockNum i = data_index % g;
+  BlockNum parity_row = static_cast<BlockNum>(site) % n;
+  BlockNum spare_row = (static_cast<BlockNum>(site) + n - 1) % n;
+  BlockNum a = std::min(parity_row, spare_row);
+  BlockNum b = std::max(parity_row, spare_row);
+  BlockNum r = i;
+  if (r >= a) ++r;
+  if (r >= b) ++r;
+  return n * cycle + r;
+}
+
+Result<BlockNum> RaddLayout::RowToData(SiteId site, BlockNum row) const {
+  const BlockNum n = static_cast<BlockNum>(num_sites());
+  const BlockNum g = static_cast<BlockNum>(g_);
+  BlockNum r = row % n;
+  BlockNum parity_row = static_cast<BlockNum>(site) % n;
+  BlockNum spare_row = (static_cast<BlockNum>(site) + n - 1) % n;
+  if (r == parity_row || r == spare_row) {
+    return Status::InvalidArgument(
+        "row " + std::to_string(row) + " is the " +
+        std::string(BlockRoleName(r == spare_row ? BlockRole::kSpare
+                                                 : BlockRole::kParity)) +
+        " block at site " + std::to_string(site));
+  }
+  BlockNum i = r;
+  if (r > parity_row) --i;
+  if (r > spare_row) --i;
+  return (row / n) * g + i;
+}
+
+std::vector<SiteId> RaddLayout::DataSites(BlockNum row) const {
+  std::vector<SiteId> out;
+  out.reserve(static_cast<size_t>(g_));
+  for (int j = 0; j < num_sites(); ++j) {
+    SiteId s = static_cast<SiteId>(j);
+    if (RoleOf(s, row) == BlockRole::kData) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<SiteId> RaddLayout::ReconstructionSources(SiteId failed_site,
+                                                      BlockNum row) const {
+  // Formula (2): failed block = XOR{other blocks in the group}. The group
+  // for parity purposes is the G data blocks plus the parity block; the
+  // spare site holds no parity-covered content.
+  std::vector<SiteId> out;
+  out.reserve(static_cast<size_t>(g_));
+  SiteId spare = SpareSite(row);
+  for (int j = 0; j < num_sites(); ++j) {
+    SiteId s = static_cast<SiteId>(j);
+    if (s == failed_site || s == spare) continue;
+    out.push_back(s);
+  }
+  return out;
+}
+
+Result<std::vector<DriveGroup>> GroupAssigner::Assign(
+    const std::vector<int>& drives_per_site) const {
+  const int members = g_ + 2;
+  long total = 0;
+  int max_drives = 0;
+  for (int n : drives_per_site) {
+    if (n < 0) return Status::InvalidArgument("negative drive count");
+    total += n;
+    max_drives = std::max(max_drives, n);
+  }
+  if (total == 0) return Status::InvalidArgument("no drives");
+  if (total % members != 0) {
+    return Status::InvalidArgument(
+        "total drives " + std::to_string(total) +
+        " is not a multiple of G+2 = " + std::to_string(members));
+  }
+  const long a = total / members;  // the paper's constant A
+  if (max_drives > a) {
+    return Status::InvalidArgument(
+        "a site owns " + std::to_string(max_drives) +
+        " drives, more than A = " + std::to_string(a));
+  }
+
+  // Remaining drive count per site; drives are handed out densely from
+  // index 0, so site j's next drive is (initial - remaining).
+  std::vector<int> remaining = drives_per_site;
+  std::vector<DriveGroup> groups;
+  groups.reserve(static_cast<size_t>(a));
+
+  for (long round = 0; round < a; ++round) {
+    // Pick the G+2 sites with the largest number of remaining drives,
+    // breaking ties by site id (the paper allows arbitrary tie-breaks).
+    std::vector<size_t> order(remaining.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&remaining](size_t x, size_t y) {
+                       return remaining[x] > remaining[y];
+                     });
+    if (order.size() < static_cast<size_t>(members) ||
+        remaining[order[static_cast<size_t>(members) - 1]] <= 0) {
+      return Status::InvalidArgument(
+          "fewer than G+2 sites still own drives in round " +
+          std::to_string(round));
+    }
+    DriveGroup group;
+    for (int m = 0; m < members; ++m) {
+      size_t site = order[static_cast<size_t>(m)];
+      int drive_index = drives_per_site[site] - remaining[site];
+      --remaining[site];
+      LogicalDrive d;
+      d.site = static_cast<SiteId>(site);
+      d.first_block = static_cast<BlockNum>(drive_index);  // drive index;
+      // callers slice actual block ranges via AssignBlocks.
+      d.drive_blocks = 0;
+      group.members.push_back(d);
+    }
+    groups.push_back(std::move(group));
+  }
+  return groups;
+}
+
+Result<std::vector<DriveGroup>> GroupAssigner::AssignBlocks(
+    const std::vector<BlockNum>& blocks_per_site,
+    BlockNum drive_blocks) const {
+  if (drive_blocks == 0) {
+    return Status::InvalidArgument("logical drive size must be > 0");
+  }
+  std::vector<int> drives(blocks_per_site.size());
+  for (size_t j = 0; j < blocks_per_site.size(); ++j) {
+    if (blocks_per_site[j] % drive_blocks != 0) {
+      return Status::InvalidArgument(
+          "site " + std::to_string(j) + " capacity " +
+          std::to_string(blocks_per_site[j]) +
+          " is not a multiple of the logical drive size " +
+          std::to_string(drive_blocks));
+    }
+    drives[j] = static_cast<int>(blocks_per_site[j] / drive_blocks);
+  }
+  RADD_ASSIGN_OR_RETURN(std::vector<DriveGroup> groups, Assign(drives));
+  for (DriveGroup& g : groups) {
+    for (LogicalDrive& d : g.members) {
+      d.first_block *= drive_blocks;  // drive index -> block offset
+      d.drive_blocks = drive_blocks;
+    }
+  }
+  return groups;
+}
+
+}  // namespace radd

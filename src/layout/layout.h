@@ -1,0 +1,140 @@
+// The RADD block layout (paper Fig. 1) and the heterogeneous-site grouping
+// algorithm (paper §4).
+//
+// A RADD group has G + 2 sites. Physical blocks at the same address K on
+// every site form a *row*. In row K:
+//   * site  K      mod (G+2) holds the row's parity block (P),
+//   * site (K + 1) mod (G+2) holds the row's spare block  (S),
+//   * the remaining G sites hold data blocks.
+// Each site numbers its own data blocks 0, 1, 2, ... down its column.
+//
+// Closed forms (generalizing the paper's S[1] example):
+//   row(J, I)  = (G+2) * (I div G)  +  (J + 1 + (I mod G)) mod (G+2)
+//   role(J, K) : let i = (K - J - 1) mod (G+2);
+//                i < G  -> data block I = (K div (G+2)) * G + i
+//                i == G -> spare
+//                i == G+1 -> parity
+
+#ifndef RADD_LAYOUT_LAYOUT_H_
+#define RADD_LAYOUT_LAYOUT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+#include "common/status.h"
+#include "common/uid.h"
+
+namespace radd {
+
+/// What a given physical block is used for at a given site.
+enum class BlockRole { kData, kParity, kSpare };
+
+std::string_view BlockRoleName(BlockRole role);
+
+/// Layout math for one RADD group of `group_size` + 2 sites.
+class RaddLayout {
+ public:
+  /// `group_size` is the paper's G (>= 1).
+  explicit RaddLayout(int group_size);
+
+  int group_size() const { return g_; }
+  /// Number of sites in the group: G + 2.
+  int num_sites() const { return g_ + 2; }
+
+  /// Site holding the parity block of row `row` (A = K mod (G+2)).
+  SiteId ParitySite(BlockNum row) const {
+    return static_cast<SiteId>(row % static_cast<BlockNum>(num_sites()));
+  }
+
+  /// Site holding the spare block of row `row` (A' = (K+1) mod (G+2)).
+  SiteId SpareSite(BlockNum row) const {
+    return static_cast<SiteId>((row + 1) %
+                               static_cast<BlockNum>(num_sites()));
+  }
+
+  /// Role of physical block `row` at `site`.
+  BlockRole RoleOf(SiteId site, BlockNum row) const;
+
+  /// Physical row holding data block `data_index` of `site` (the paper's
+  /// K; generalizes the S[1] formula in §3.2).
+  BlockNum DataToRow(SiteId site, BlockNum data_index) const;
+
+  /// Inverse of DataToRow. Fails with InvalidArgument if `row` holds this
+  /// site's parity or spare block.
+  Result<BlockNum> RowToData(SiteId site, BlockNum row) const;
+
+  /// The G sites holding data in `row`, in site order.
+  std::vector<SiteId> DataSites(BlockNum row) const;
+
+  /// All sites except `site` in `row`'s group — the blocks XORed together
+  /// by formula (2) when `site`'s copy must be reconstructed. The spare
+  /// site's block is excluded (it holds no parity-covered content).
+  std::vector<SiteId> ReconstructionSources(SiteId failed_site,
+                                            BlockNum row) const;
+
+  /// Number of data blocks each site exposes given `rows` physical blocks
+  /// per site. Only whole (G+2)-row cycles are used; a trailing partial
+  /// cycle is left unused (documented capacity rounding).
+  BlockNum DataBlocksPerSite(BlockNum rows) const {
+    BlockNum cycle = static_cast<BlockNum>(num_sites());
+    return (rows / cycle) * static_cast<BlockNum>(g_);
+  }
+
+  /// Rows needed to expose `data_blocks` data blocks per site.
+  BlockNum RowsForDataBlocks(BlockNum data_blocks) const {
+    BlockNum g = static_cast<BlockNum>(g_);
+    BlockNum cycles = (data_blocks + g - 1) / g;
+    return cycles * static_cast<BlockNum>(num_sites());
+  }
+
+ private:
+  int g_;
+};
+
+/// One logical drive: `drive_blocks` blocks carved out of a site's disk
+/// system starting at `first_block` (paper §4's logical drives of size B).
+struct LogicalDrive {
+  SiteId site = 0;
+  BlockNum first_block = 0;
+  BlockNum drive_blocks = 0;
+};
+
+/// One RADD group produced by the §4 assignment: exactly G + 2 logical
+/// drives, all on distinct sites.
+struct DriveGroup {
+  std::vector<LogicalDrive> members;
+};
+
+/// The §4 greedy grouping algorithm.
+///
+/// Given L sites with N[0..L-1] logical drives, where the total is
+/// A * (G+2) and no site has more than A drives, packs the drives into A
+/// groups of G+2 with all members on distinct sites: repeatedly take one
+/// drive from each of the G+2 sites with the most remaining drives.
+class GroupAssigner {
+ public:
+  explicit GroupAssigner(int group_size) : g_(group_size) {}
+
+  /// Assigns `drives_per_site[j]` drives of site j into groups. Fails with
+  /// InvalidArgument when the paper's preconditions are violated (total
+  /// not a multiple of G+2, or some site owning more than A drives, or
+  /// fewer than G+2 sites with drives).
+  Result<std::vector<DriveGroup>> Assign(
+      const std::vector<int>& drives_per_site) const;
+
+  /// §4 extension to non-uniform disk *sizes*: slices each site's
+  /// `blocks_per_site[j]` blocks into logical drives of exactly
+  /// `drive_blocks` blocks (must divide each site's total), then assigns.
+  Result<std::vector<DriveGroup>> AssignBlocks(
+      const std::vector<BlockNum>& blocks_per_site,
+      BlockNum drive_blocks) const;
+
+ private:
+  int g_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_LAYOUT_LAYOUT_H_

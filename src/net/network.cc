@@ -1,0 +1,77 @@
+#include "net/network.h"
+
+namespace radd {
+
+Network::Network(Simulator* sim, NetworkModel model, uint64_t seed)
+    : sim_(sim), model_(model), rng_(seed) {}
+
+void Network::RegisterHandler(SiteId site, Handler handler) {
+  handlers_[site] = std::move(handler);
+}
+
+Network::Handler Network::GetHandler(SiteId site) const {
+  auto it = handlers_.find(site);
+  return it == handlers_.end() ? Handler() : it->second;
+}
+
+int Network::PartitionOf(SiteId site) const {
+  auto it = partition_of_.find(site);
+  return it == partition_of_.end() ? -1 : it->second;
+}
+
+bool Network::CanCommunicate(SiteId a, SiteId b) const {
+  if (a == b) return true;
+  if (!partitioned_) return true;
+  return PartitionOf(a) == PartitionOf(b);
+}
+
+void Network::SetPartitions(std::vector<std::vector<SiteId>> partitions) {
+  partition_of_.clear();
+  partitioned_ = !partitions.empty();
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    for (SiteId s : partitions[p]) {
+      partition_of_[s] = static_cast<int>(p);
+    }
+  }
+  // Unlisted sites share implicit partition -1 (PartitionOf default).
+}
+
+void Network::Send(Message msg) {
+  msg.seq = next_seq_++;
+  stats_.Add("net.messages");
+
+  if (msg.from == msg.to) {
+    // Loopback: no wire cost, no latency, never lost.
+    auto it = handlers_.find(msg.to);
+    if (it != handlers_.end()) {
+      Handler h = it->second;
+      Message m = std::move(msg);
+      sim_->Schedule(0, [h, m]() { h(m); });
+    }
+    return;
+  }
+
+  if (!CanCommunicate(msg.from, msg.to)) {
+    stats_.Add("net.partition_blocked");
+    return;
+  }
+  if (model_.drop_probability > 0 &&
+      rng_.Bernoulli(model_.drop_probability)) {
+    stats_.Add("net.dropped");
+    return;
+  }
+
+  stats_.Add("net.bytes", msg.wire_bytes);
+  if (!msg.type.empty()) {
+    stats_.Add("net.bytes." + msg.type, msg.wire_bytes);
+    stats_.Add("net.messages." + msg.type);
+  }
+
+  auto it = handlers_.find(msg.to);
+  if (it == handlers_.end()) return;  // destination has no stack: dropped
+  Handler h = it->second;
+  Message m = std::move(msg);
+  sim_->Schedule(model_.one_way_latency, [h, m]() { h(m); });
+}
+
+}  // namespace radd

@@ -1,0 +1,567 @@
+#include "reliability/reliability.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <set>
+
+namespace radd {
+
+const std::vector<Environment>& PaperEnvironments() {
+  static const std::vector<Environment> kEnvs = {
+      {"cautious RAID", 30000, 1, 150, 0.5, 150000, 24, 100},
+      {"cautious conventional", 30000, 8, 150, 0.5, 150000, 24, 10},
+      {"normal RAID", 30000, 1, 150, 0.5, 600000, 300, 100},
+      {"normal conventional", 30000, 8, 150, 0.5, 600000, 300, 10},
+  };
+  return kEnvs;
+}
+
+const std::vector<SchemeKind>& AllSchemeKinds() {
+  static const std::vector<SchemeKind> kAll = {
+      SchemeKind::kRadd,     SchemeKind::kRowb,     SchemeKind::kRaid,
+      SchemeKind::kCRaid,    SchemeKind::kTwoDRadd, SchemeKind::kHalfRadd,
+  };
+  return kAll;
+}
+
+std::string_view SchemeKindName(SchemeKind k) {
+  switch (k) {
+    case SchemeKind::kRadd:
+      return "RADD";
+    case SchemeKind::kRowb:
+      return "ROWB";
+    case SchemeKind::kRaid:
+      return "RAID";
+    case SchemeKind::kCRaid:
+      return "C-RAID";
+    case SchemeKind::kTwoDRadd:
+      return "2D-RADD";
+    case SchemeKind::kHalfRadd:
+      return "1/2-RADD";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Closed forms.
+// ---------------------------------------------------------------------------
+
+double AnalyticModel::MttuHours(SchemeKind k) const {
+  const double mttf = env_.site_mttf;
+  const double mttr = env_.site_mttr;
+  switch (k) {
+    case SchemeKind::kRadd:
+    case SchemeKind::kCRaid:
+      // Formula (3).
+      return mttf * mttf / (mttr * (g_ + 1));
+    case SchemeKind::kRowb:
+      // (3) with G = 1.
+      return mttf * mttf / (mttr * 2);
+    case SchemeKind::kRaid:
+      return mttf;
+    case SchemeKind::kTwoDRadd:
+      // The paper's printed form (a triple overlap of specific sites).
+      return mttf * mttf * mttf / (mttr * (g_ + 1) * (g_ + 1));
+    case SchemeKind::kHalfRadd:
+      return mttf * mttf / (mttr * (g_ / 2 + 1));
+  }
+  return 0;
+}
+
+double AnalyticModel::MttfHours(SchemeKind k) const {
+  switch (k) {
+    case SchemeKind::kRadd:
+    case SchemeKind::kRowb:
+      // Formula (4): a disk failure while recovering from a disaster
+      // dominates. ROWB uses (4) as the paper's conservative estimate.
+      return env_.site_mttf * env_.disk_mttf /
+             (env_.site_mttr * (g_ + 1) * env_.disks_per_site);
+    case SchemeKind::kRaid:
+      return env_.disaster_mttf / (g_ + 2);
+    case SchemeKind::kCRaid:
+    case SchemeKind::kTwoDRadd: {
+      // ">500 years": bound by a second disaster during recovery from the
+      // first, across the group.
+      double group_disaster_mttf = env_.disaster_mttf / (g_ + 2);
+      double p_second = std::min(
+          1.0, (g_ + 1) * env_.disaster_mttr / env_.disaster_mttf);
+      return group_disaster_mttf / std::max(p_second, 1e-12);
+    }
+    case SchemeKind::kHalfRadd:
+      return env_.site_mttf * env_.disk_mttf /
+             (env_.site_mttr * (g_ / 2 + 1) * env_.disks_per_site);
+  }
+  return 0;
+}
+
+double AnalyticModel::MttfHoursRefined(SchemeKind k) const {
+  const double n = env_.disks_per_site;
+  const int sites = g_ + 2;
+  const double disaster_rate = sites / env_.disaster_mttf;
+
+  // Probability that a *specific other* component fails within a window.
+  auto p_in = [](double window, double mttf) {
+    return 1.0 - std::exp(-window / mttf);
+  };
+
+  switch (k) {
+    case SchemeKind::kRadd:
+    case SchemeKind::kRowb:
+    case SchemeKind::kHalfRadd: {
+      int others = k == SchemeKind::kHalfRadd ? g_ / 2 + 1
+                   : k == SchemeKind::kRowb   ? 1
+                                              : g_ + 1;
+      // (1) second disaster during the first's recovery.
+      double r1 = disaster_rate *
+                  p_in(env_.disaster_mttr, env_.disaster_mttf / others);
+      // (4)+(2) disk failure overlapping a disaster recovery: for ROWB the
+      // aligned partner disk must fail; for RADD any of the other sites'
+      // aligned disks. Exposure = others * N disks, but only the ones
+      // aligned with lost content matter -> N windows of aligned pairs.
+      double r4 = disaster_rate *
+                  p_in(env_.disaster_mttr, env_.disk_mttf / (others * n));
+      // (3) aligned disk pair overlap.
+      double disk_rate = sites * n / env_.disk_mttf;
+      double r3 =
+          disk_rate * p_in(env_.disk_mttr, env_.disk_mttf / others);
+      return 1.0 / (r1 + r3 + r4);
+    }
+    case SchemeKind::kRaid: {
+      // Any disaster, plus local double-disk within a group of g_+2.
+      double local_groups = std::max(1.0, n / (g_ + 2));
+      double disk_rate = sites * n / env_.disk_mttf;
+      double r_dd = disk_rate *
+                    p_in(env_.disk_mttr,
+                         env_.disk_mttf / ((g_ + 1) * local_groups /
+                                           std::max(1.0, local_groups)));
+      (void)r_dd;
+      double r_double_disk =
+          disk_rate * p_in(env_.disk_mttr, env_.disk_mttf / (g_ + 1));
+      return 1.0 / (disaster_rate + r_double_disk);
+    }
+    case SchemeKind::kCRaid: {
+      // Content loss at one site needs a disaster or local double disk;
+      // system loss needs two overlapping.
+      double site_loss_rate =
+          1.0 / env_.disaster_mttf +
+          (n / env_.disk_mttf) *
+              p_in(env_.disk_mttr, env_.disk_mttf / (g_ + 1));
+      double window = env_.disaster_mttr;
+      double r = sites * site_loss_rate *
+                 p_in(window, 1.0 / ((g_ + 1) * site_loss_rate));
+      return 1.0 / std::max(r, 1e-12);
+    }
+    case SchemeKind::kTwoDRadd: {
+      // Needs >= 4 content losses in a rectangle; bound by the paper's
+      // double-disaster figure.
+      return MttfHours(SchemeKind::kTwoDRadd);
+    }
+  }
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// One component's alternating failure/repair renewal process.
+struct Process {
+  double mttf;
+  double mttr;
+  double next_fail = 0;
+  double repair_at = -1;  // < 0 when healthy
+
+  void Init(double now, Rng* rng) {
+    next_fail = now + rng->Exponential(mttf);
+    repair_at = -1;
+  }
+  bool FailedAt(double t) const { return repair_at >= 0 && t < repair_at; }
+};
+
+/// The simulated world: site temp-failures, site disasters, disks.
+struct World {
+  int sites;
+  int disks_per_site;
+  std::vector<Process> temp;      // per site
+  std::vector<Process> disaster;  // per site
+  std::vector<Process> disk;      // site * disks_per_site
+
+  World(const Environment& env, int sites_in)
+      : sites(sites_in), disks_per_site(env.disks_per_site) {
+    temp.assign(static_cast<size_t>(sites), {env.site_mttf, env.site_mttr});
+    disaster.assign(static_cast<size_t>(sites),
+                    {env.disaster_mttf, env.disaster_mttr});
+    disk.assign(static_cast<size_t>(sites) * env.disks_per_site,
+                {env.disk_mttf, env.disk_mttr});
+  }
+
+  void Init(Rng* rng) {
+    for (auto& p : temp) p.Init(0, rng);
+    for (auto& p : disaster) p.Init(0, rng);
+    for (auto& p : disk) p.Init(0, rng);
+  }
+
+  /// Site is not operational (temporary outage or disaster window).
+  bool SiteDown(int s, double t) const {
+    return temp[size_t(s)].FailedAt(t) || disaster[size_t(s)].FailedAt(t);
+  }
+  /// Site's entire contents are absent (disaster window).
+  bool SiteContentLost(int s, double t) const {
+    return disaster[size_t(s)].FailedAt(t);
+  }
+  /// Disk d at site s is within a loss window.
+  bool DiskLost(int s, int d, double t) const {
+    return disk[size_t(s) * disks_per_site + size_t(d)].FailedAt(t);
+  }
+  /// Site s has lost the content of disk index d (disaster or that disk).
+  bool ContentLost(int s, int d, double t) const {
+    return SiteContentLost(s, t) || DiskLost(s, d, t);
+  }
+  /// Any disk at site s currently lost.
+  bool AnyDiskLost(int s, double t) const {
+    for (int d = 0; d < disks_per_site; ++d) {
+      if (DiskLost(s, d, t)) return true;
+    }
+    return false;
+  }
+};
+
+/// Runs one trial: advances failures in time order until `hit` returns
+/// true (evaluated at each failure instant) or `horizon` passes. Returns
+/// the hit time or `horizon`.
+///
+/// `min_overlap` short-circuits the predicate: it only runs when at least
+/// that many failure windows are simultaneously open (1 for schemes a
+/// single failure can break, 2 for double-failure schemes, ...). This is
+/// what makes 500-year horizons affordable.
+template <typename Predicate>
+double RunTrial(World* w, Rng* rng, double horizon, int min_overlap,
+                const Predicate& hit) {
+  struct Ev {
+    double t;
+    Process* p;
+    bool operator>(const Ev& o) const { return t > o.t; }
+  };
+  std::priority_queue<Ev, std::vector<Ev>, std::greater<Ev>> q;
+  w->Init(rng);
+  auto push_all = [&](std::vector<Process>& v) {
+    for (auto& p : v) q.push({p.next_fail, &p});
+  };
+  push_all(w->temp);
+  push_all(w->disaster);
+  push_all(w->disk);
+
+  // Open repair windows, as (end_time) values; compacted lazily.
+  std::vector<double> open_until;
+
+  while (!q.empty()) {
+    Ev ev = q.top();
+    q.pop();
+    if (ev.t > horizon) return horizon;
+    ev.p->repair_at = ev.t + ev.p->mttr;
+    // Drop expired windows; record this one.
+    std::erase_if(open_until, [&](double end) { return end <= ev.t; });
+    open_until.push_back(ev.p->repair_at);
+    if (static_cast<int>(open_until.size()) >= min_overlap && hit(ev.t)) {
+      return ev.t;
+    }
+    ev.p->next_fail = ev.p->repair_at + rng->Exponential(ev.p->mttf);
+    q.push({ev.p->next_fail, ev.p});
+  }
+  return horizon;
+}
+
+/// 2D iterative erasure decode: given an R x C grid of content-lost data
+/// sites (parity/spare sites assumed intact for the check — conservative
+/// for them, optimistic never: their loss also shows as undecodable rows
+/// in real patterns of interest), returns true if some lost site cannot
+/// be recovered (a stalled pattern, e.g. a rectangle of four).
+bool TwoDUndecodable(std::vector<bool> lost, int rows, int cols) {
+  bool progress = true;
+  auto at = [&](int r, int c) -> std::vector<bool>::reference {
+    return lost[static_cast<size_t>(r) * cols + c];
+  };
+  while (progress) {
+    progress = false;
+    for (int r = 0; r < rows; ++r) {
+      int cnt = 0, last = -1;
+      for (int c = 0; c < cols; ++c) {
+        if (at(r, c)) {
+          ++cnt;
+          last = c;
+        }
+      }
+      if (cnt == 1) {
+        at(r, last) = false;
+        progress = true;
+      }
+    }
+    for (int c = 0; c < cols; ++c) {
+      int cnt = 0, last = -1;
+      for (int r = 0; r < rows; ++r) {
+        if (at(r, c)) {
+          ++cnt;
+          last = r;
+        }
+      }
+      if (cnt == 1) {
+        at(last, c) = false;
+        progress = true;
+      }
+    }
+  }
+  return std::any_of(lost.begin(), lost.end(), [](bool b) { return b; });
+}
+
+struct Welford {
+  int n = 0;
+  double mean = 0, m2 = 0;
+  void Add(double x) {
+    ++n;
+    double d = x - mean;
+    mean += d / n;
+    m2 += d * (x - mean);
+  }
+  double Stddev() const { return n > 1 ? std::sqrt(m2 / (n - 1)) : 0; }
+};
+
+}  // namespace
+
+MonteCarlo::MonteCarlo(const Environment& env, int g, uint64_t seed)
+    : env_(env), g_(g), rng_(seed) {}
+
+MonteCarlo::Estimate MonteCarlo::EstimateMttu(SchemeKind k, int trials) {
+  // Unavailability of block 0 / disk 0 / site 0.
+  const double horizon = 24 * 365 * 100000;  // effectively unbounded
+  Welford acc;
+
+  for (int t = 0; t < trials; ++t) {
+    if (k == SchemeKind::kTwoDRadd) {
+      // Grid world: G x G data sites plus row/col parity sites for row 0
+      // and column 0 recovery paths. Layout: data r*G+c, then extras.
+      int grid = g_;
+      int sites = grid * grid + 4 * grid;
+      World w(env_, sites);
+      auto data = [grid](int r, int c) { return r * grid + c; };
+      int row0_parity = grid * grid + 0;
+      int col0_parity = grid * grid + 2 * grid + 0;
+      auto hit = [&](double now) {
+        bool item_gone = w.SiteDown(data(0, 0), now) ||
+                         w.DiskLost(data(0, 0), 0, now);
+        if (!item_gone) return false;
+        bool row_blocked = w.SiteDown(row0_parity, now);
+        for (int c = 1; c < grid && !row_blocked; ++c) {
+          if (w.SiteDown(data(0, c), now) || w.DiskLost(data(0, c), 0, now)) {
+            row_blocked = true;
+          }
+        }
+        if (!row_blocked) return false;
+        bool col_blocked = w.SiteDown(col0_parity, now);
+        for (int r = 1; r < grid && !col_blocked; ++r) {
+          if (w.SiteDown(data(r, 0), now) || w.DiskLost(data(r, 0), 0, now)) {
+            col_blocked = true;
+          }
+        }
+        return col_blocked;
+      };
+      acc.Add(RunTrial(&w, &rng_, horizon, 3, hit));
+      continue;
+    }
+
+    int group = k == SchemeKind::kHalfRadd ? g_ / 2 + 2 : g_ + 2;
+    World w(env_, group);
+    auto hit = [&](double now) -> bool {
+      switch (k) {
+        case SchemeKind::kRadd:
+        case SchemeKind::kHalfRadd: {
+          bool item_gone =
+              w.SiteDown(0, now) || w.DiskLost(0, 0, now);
+          if (!item_gone) return false;
+          for (int s = 1; s < group; ++s) {
+            if (w.SiteDown(s, now) || w.DiskLost(s, 0, now)) return true;
+          }
+          return false;
+        }
+        case SchemeKind::kRowb: {
+          bool a = w.SiteDown(0, now) || w.DiskLost(0, 0, now);
+          bool b = w.SiteDown(1, now) || w.DiskLost(1, 0, now);
+          return a && b;
+        }
+        case SchemeKind::kRaid: {
+          if (w.SiteDown(0, now)) return true;
+          // Double disk failure within the item's local parity group.
+          int in_group = std::min(w.disks_per_site, g_ + 2);
+          int failed = 0;
+          for (int d = 0; d < in_group; ++d) {
+            if (w.DiskLost(0, d, now)) ++failed;
+          }
+          return failed >= 2;
+        }
+        case SchemeKind::kCRaid: {
+          // The local RAID absorbs disk failures; only site outages count.
+          if (!w.SiteDown(0, now)) return false;
+          for (int s = 1; s < group; ++s) {
+            if (w.SiteDown(s, now)) return true;
+          }
+          return false;
+        }
+        default:
+          return false;
+      }
+    };
+    acc.Add(RunTrial(&w, &rng_, horizon,
+                     k == SchemeKind::kRaid ? 1 : 2, hit));
+  }
+
+  return Estimate{acc.mean, acc.Stddev(), acc.n};
+}
+
+MonteCarlo::MttfEstimate MonteCarlo::EstimateMttf(SchemeKind k, int trials,
+                                                  double horizon_hours) {
+  Welford acc;
+  int censored = 0;
+
+  for (int t = 0; t < trials; ++t) {
+    double hit_time;
+    if (k == SchemeKind::kTwoDRadd) {
+      int grid = g_;
+      World w(env_, grid * grid);
+      auto hit = [&](double now) {
+        // A stalled erasure pattern must involve aligned rows: check the
+        // decode per disk index, treating disaster sites as lost at every
+        // index. Only indices lost at >= 2 sites (or any index when >= 2
+        // disasters are open) can stall.
+        std::vector<int> disaster_sites;
+        std::vector<std::vector<int>> lost_sites_by_disk(
+            static_cast<size_t>(w.disks_per_site));
+        for (int s = 0; s < grid * grid; ++s) {
+          if (w.SiteContentLost(s, now)) {
+            disaster_sites.push_back(s);
+            continue;
+          }
+          for (int d = 0; d < w.disks_per_site; ++d) {
+            if (w.DiskLost(s, d, now)) {
+              lost_sites_by_disk[static_cast<size_t>(d)].push_back(s);
+            }
+          }
+        }
+        auto decode = [&](const std::vector<int>& extra) {
+          std::vector<bool> lost(static_cast<size_t>(grid) * grid, false);
+          for (int s : disaster_sites) lost[static_cast<size_t>(s)] = true;
+          for (int s : extra) lost[static_cast<size_t>(s)] = true;
+          return TwoDUndecodable(std::move(lost), grid, grid);
+        };
+        if (disaster_sites.size() >= 2 && decode({})) return true;
+        for (const auto& sites : lost_sites_by_disk) {
+          if (sites.empty()) continue;
+          if (sites.size() + disaster_sites.size() < 2) continue;
+          if (decode(sites)) return true;
+        }
+        return false;
+      };
+      hit_time = RunTrial(&w, &rng_, horizon_hours, 4, hit);
+    } else {
+      int group = k == SchemeKind::kHalfRadd ? g_ / 2 + 2 : g_ + 2;
+      World w(env_, group);
+      auto site_content_lost = [&](int s, double now) {
+        // C-RAID sites lose content only on disaster or a double disk
+        // failure within one local parity group.
+        if (k == SchemeKind::kCRaid) {
+          if (w.SiteContentLost(s, now)) return true;
+          int local_group = g_ + 2;
+          for (int base = 0; base < w.disks_per_site; base += local_group) {
+            int failed = 0;
+            int end = std::min(base + local_group, w.disks_per_site);
+            for (int d = base; d < end; ++d) {
+              if (w.DiskLost(s, d, now)) ++failed;
+            }
+            if (failed >= 2) return true;
+          }
+          return false;
+        }
+        return w.SiteContentLost(s, now);
+      };
+      auto hit = [&](double now) -> bool {
+        switch (k) {
+          case SchemeKind::kRadd:
+          case SchemeKind::kHalfRadd:
+          case SchemeKind::kRowb: {
+            // Loss when two aligned pieces of content are gone at once:
+            // disaster+disaster, disaster+any disk, or the same disk
+            // index at two sites. For ROWB (dedicated placement) only the
+            // ring pairs (a, a+1) carry each other's content.
+            auto pair_lost = [&](int a, int b) {
+              bool da = w.SiteContentLost(a, now);
+              bool db = w.SiteContentLost(b, now);
+              if (da && db) return true;
+              if (da && w.AnyDiskLost(b, now)) return true;
+              if (db && w.AnyDiskLost(a, now)) return true;
+              for (int d = 0; d < w.disks_per_site; ++d) {
+                if (w.DiskLost(a, d, now) && w.DiskLost(b, d, now)) {
+                  return true;
+                }
+              }
+              return false;
+            };
+            if (k == SchemeKind::kRowb) {
+              for (int a = 0; a < group; ++a) {
+                if (pair_lost(a, (a + 1) % group)) return true;
+              }
+              return false;
+            }
+            for (int a = 0; a < group; ++a) {
+              for (int b = a + 1; b < group; ++b) {
+                if (pair_lost(a, b)) return true;
+              }
+            }
+            return false;
+          }
+          case SchemeKind::kRaid: {
+            for (int s = 0; s < group; ++s) {
+              if (w.SiteContentLost(s, now)) return true;
+              int local_group = g_ + 2;
+              for (int base = 0; base < w.disks_per_site;
+                   base += local_group) {
+                int failed = 0;
+                int end = std::min(base + local_group, w.disks_per_site);
+                for (int d = base; d < end; ++d) {
+                  if (w.DiskLost(s, d, now)) ++failed;
+                }
+                if (failed >= 2) return true;
+              }
+            }
+            return false;
+          }
+          case SchemeKind::kCRaid: {
+            for (int a = 0; a < group; ++a) {
+              if (!site_content_lost(a, now)) continue;
+              for (int b = 0; b < group; ++b) {
+                if (b != a && site_content_lost(b, now)) return true;
+              }
+            }
+            return false;
+          }
+          default:
+            return false;
+        }
+      };
+      hit_time = RunTrial(&w, &rng_, horizon_hours,
+                          k == SchemeKind::kRaid ? 1 : 2, hit);
+    }
+    if (hit_time >= horizon_hours) ++censored;
+    acc.Add(hit_time);
+  }
+
+  MttfEstimate out;
+  out.mean_hours = acc.mean;
+  out.stddev_hours = acc.Stddev();
+  out.trials = acc.n;
+  out.censored = censored;
+  out.horizon_hours = horizon_hours;
+  return out;
+}
+
+}  // namespace radd

@@ -1,0 +1,393 @@
+#include "schemes/radd2d.h"
+
+namespace radd {
+
+TwoDRadd::TwoDRadd(const TwoDRaddConfig& config) : config_(config) {
+  SiteConfig sc;
+  sc.num_disks = 1;
+  sc.blocks_per_disk = config_.blocks;
+  sc.block_size = config_.block_size;
+  cluster_ = std::make_unique<Cluster>(num_sites(), sc);
+}
+
+int TwoDRadd::num_sites() const {
+  return config_.grid_rows * config_.grid_cols + 2 * config_.grid_rows +
+         2 * config_.grid_cols;
+}
+
+double TwoDRadd::SpaceOverheadPercent() const {
+  double data = config_.grid_rows * config_.grid_cols;
+  double extra = 2.0 * (config_.grid_rows + config_.grid_cols);
+  return 100.0 * extra / data;
+}
+
+SiteId TwoDRadd::DataSite(int r, int c) const {
+  return static_cast<SiteId>(r * config_.grid_cols + c);
+}
+SiteId TwoDRadd::RowParitySite(int r) const {
+  return static_cast<SiteId>(config_.grid_rows * config_.grid_cols + r);
+}
+SiteId TwoDRadd::RowSpareSite(int r) const {
+  return static_cast<SiteId>(config_.grid_rows * config_.grid_cols +
+                             config_.grid_rows + r);
+}
+SiteId TwoDRadd::ColParitySite(int c) const {
+  return static_cast<SiteId>(config_.grid_rows * config_.grid_cols +
+                             2 * config_.grid_rows + c);
+}
+SiteId TwoDRadd::ColSpareSite(int c) const {
+  return static_cast<SiteId>(config_.grid_rows * config_.grid_cols +
+                             2 * config_.grid_rows + config_.grid_cols + c);
+}
+
+void TwoDRadd::Charge(SiteId client, SiteId target, bool write,
+                      OpCounts* c) const {
+  if (write) {
+    if (target == client) {
+      ++c->local_writes;
+    } else {
+      ++c->remote_writes;
+    }
+  } else {
+    if (target == client) {
+      ++c->local_reads;
+    } else {
+      ++c->remote_reads;
+    }
+  }
+}
+
+Result<Block> TwoDRadd::ReconstructViaRow(SiteId client, int r, int c,
+                                          BlockNum index, OpCounts* counts) {
+  // XOR of the row's other data blocks plus the row parity — G reads.
+  Block out(config_.block_size);
+  for (int cc = 0; cc < config_.grid_cols; ++cc) {
+    if (cc == c) continue;
+    SiteId s = DataSite(r, cc);
+    if (cluster_->StateOf(s) == SiteState::kDown) {
+      return Status::Blocked("second failure in grid row " +
+                             std::to_string(r));
+    }
+    Result<BlockRecord> rec = cluster_->site(s)->store()->Read(index);
+    if (!rec.ok()) return rec.status();
+    Charge(client, s, false, counts);
+    RADD_RETURN_NOT_OK(out.XorWith(rec->data));
+  }
+  SiteId ps = RowParitySite(r);
+  if (cluster_->StateOf(ps) == SiteState::kDown) {
+    return Status::Blocked("row parity site down");
+  }
+  Result<BlockRecord> prec = cluster_->site(ps)->store()->Read(index);
+  if (!prec.ok()) return prec.status();
+  Charge(client, ps, false, counts);
+  RADD_RETURN_NOT_OK(out.XorWith(prec->data));
+  stats_.Add("radd2d.reconstructions");
+  return out;
+}
+
+Result<Block> TwoDRadd::LogicalValue(SiteId client, int r, int c,
+                                     BlockNum index, OpCounts* counts) {
+  SiteId home = DataSite(r, c);
+  // A valid shadowing spare always wins: it holds writes the home site
+  // missed while down.
+  SiteId ss = RowSpareSite(r);
+  if (cluster_->StateOf(ss) == SiteState::kUp) {
+    Result<BlockRecord> srec = cluster_->site(ss)->store()->Read(index);
+    if (srec.ok() && srec->uid.valid() &&
+        srec->spare_for == static_cast<int32_t>(home)) {
+      Charge(client, ss, false, counts);
+      return srec->data;
+    }
+  }
+  if (cluster_->StateOf(home) != SiteState::kDown) {
+    Result<BlockRecord> rec = cluster_->site(home)->store()->Read(index);
+    if (rec.ok()) {
+      Charge(client, home, false, counts);
+      return rec->data;
+    }
+  }
+  return ReconstructViaRow(client, r, c, index, counts);
+}
+
+OpResult TwoDRadd::Read(SiteId client, int r, int c, BlockNum index) {
+  OpResult out;
+  if (index >= config_.blocks) {
+    out.status = Status::InvalidArgument("block out of range");
+    return out;
+  }
+  Result<Block> v = LogicalValue(client, r, c, index, &out.counts);
+  if (!v.ok()) {
+    out.status = v.status();
+    return out;
+  }
+  out.data = std::move(v).value();
+  out.status = Status::OK();
+  return out;
+}
+
+void TwoDRadd::ApplyParityDelta(SiteId issuer, SiteId parity_site,
+                                BlockNum index, const ChangeMask& delta,
+                                OpCounts* counts) {
+  if (cluster_->StateOf(parity_site) == SiteState::kDown) {
+    stats_.Add("radd2d.parity_dropped");
+    return;
+  }
+  Site* ps = cluster_->site(parity_site);
+  Result<BlockRecord> rec = ps->store()->Read(index);
+  if (!rec.ok()) {
+    stats_.Add("radd2d.parity_dropped");
+    return;
+  }
+  Block parity = rec->data;
+  Status st = delta.ApplyTo(&parity);
+  if (!st.ok()) return;
+  st = ps->store()->Write(index, parity, ps->uids()->Next());
+  if (st.ok()) Charge(issuer, parity_site, true, counts);
+}
+
+OpResult TwoDRadd::Write(SiteId client, int r, int c, BlockNum index,
+                         const Block& data) {
+  OpResult out;
+  if (index >= config_.blocks) {
+    out.status = Status::InvalidArgument("block out of range");
+    return out;
+  }
+  if (data.size() != config_.block_size) {
+    out.status = Status::InvalidArgument("wrong block size");
+    return out;
+  }
+  SiteId home = DataSite(r, c);
+  SiteState state = cluster_->StateOf(home);
+  // A block lost to a disk failure is written through the spares like a
+  // down site's block (§3.2; Figure 3's disk-failure write = 4 RW).
+  if (state == SiteState::kRecovering &&
+      !cluster_->site(home)->store()->Read(index).ok()) {
+    state = SiteState::kDown;
+  }
+
+  if (state != SiteState::kDown) {
+    // Normal write: local block + row parity + column parity. The old
+    // logical value may live in a shadowing spare (recovering site) or
+    // need row reconstruction (lost block).
+    Site* hs = cluster_->site(home);
+    Block old_value(config_.block_size);
+    bool have_old = false;
+    SiteId oss = RowSpareSite(r);
+    if (cluster_->StateOf(oss) == SiteState::kUp) {
+      Result<BlockRecord> srec = cluster_->site(oss)->store()->Read(index);
+      if (srec.ok() && srec->uid.valid() &&
+          srec->spare_for == static_cast<int32_t>(home)) {
+        Charge(client, oss, false, &out.counts);
+        old_value = srec->data;
+        have_old = true;
+      }
+    }
+    if (!have_old) {
+      Result<BlockRecord> old = hs->store()->Read(index);
+      if (old.ok()) {
+        old_value = old->data;
+        have_old = true;
+      }
+    }
+    if (!have_old) {
+      // Lost block at a recovering site: recover the old value first.
+      Result<Block> recon =
+          ReconstructViaRow(client, r, c, index, &out.counts);
+      if (!recon.ok()) {
+        out.status = recon.status();
+        return out;
+      }
+      old_value = std::move(recon).value();
+    }
+    Status st = hs->store()->Write(index, data, hs->uids()->Next());
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    Charge(client, home, true, &out.counts);
+    Result<ChangeMask> delta = ChangeMask::Diff(old_value, data);
+    if (!delta.ok()) {
+      out.status = delta.status();
+      return out;
+    }
+    ApplyParityDelta(home, RowParitySite(r), index, *delta, &out.counts);
+    ApplyParityDelta(home, ColParitySite(c), index, *delta, &out.counts);
+    // Any shadowing spares are now stale.
+    for (SiteId ss : {RowSpareSite(r), ColSpareSite(c)}) {
+      if (cluster_->StateOf(ss) == SiteState::kDown) continue;
+      Result<BlockRecord> srec = cluster_->site(ss)->store()->Read(index);
+      if (srec.ok() && srec->spare_for == static_cast<int32_t>(home)) {
+        (void)cluster_->site(ss)->store()->Invalidate(index);
+      }
+    }
+    out.status = Status::OK();
+    return out;
+  }
+
+  // Degraded write: both spares + both parities (Fig. 3's 4 RW).
+  SiteId rss = RowSpareSite(r);
+  SiteId css = ColSpareSite(c);
+  if (cluster_->StateOf(rss) != SiteState::kUp ||
+      cluster_->StateOf(css) != SiteState::kUp) {
+    out.status = Status::Blocked("spare site unavailable");
+    return out;
+  }
+  // Old logical value: row spare if it already shadows the block, else
+  // reconstructed.
+  Block old_value(config_.block_size);
+  Result<BlockRecord> srec = cluster_->site(rss)->store()->Read(index);
+  if (srec.ok() && srec->uid.valid() &&
+      srec->spare_for == static_cast<int32_t>(home)) {
+    old_value = srec->data;
+  } else {
+    Result<Block> recon = ReconstructViaRow(client, r, c, index, &out.counts);
+    if (!recon.ok()) {
+      out.status = recon.status();
+      return out;
+    }
+    old_value = std::move(recon).value();
+  }
+
+  Uid u = cluster_->site(client)->uids()->Next();
+  BlockRecord rec(config_.block_size);
+  rec.data = data;
+  rec.uid = u;
+  rec.logical_uid = u;
+  rec.spare_for = static_cast<int32_t>(home);
+  Status st = cluster_->site(rss)->store()->WriteRecord(index, rec);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  Charge(client, rss, true, &out.counts);
+  st = cluster_->site(css)->store()->WriteRecord(index, rec);
+  if (!st.ok()) {
+    out.status = st;
+    return out;
+  }
+  Charge(client, css, true, &out.counts);
+
+  Result<ChangeMask> delta = ChangeMask::Diff(old_value, data);
+  if (!delta.ok()) {
+    out.status = delta.status();
+    return out;
+  }
+  ApplyParityDelta(rss, RowParitySite(r), index, *delta, &out.counts);
+  ApplyParityDelta(css, ColParitySite(c), index, *delta, &out.counts);
+  out.uid = u;
+  out.status = Status::OK();
+  return out;
+}
+
+Result<OpCounts> TwoDRadd::RunRecovery(int r, int c) {
+  SiteId home = DataSite(r, c);
+  Site* hs = cluster_->site(home);
+  if (hs->state() != SiteState::kRecovering) {
+    return Status::InvalidArgument("site is not recovering");
+  }
+  OpCounts counts;
+  SiteId rss = RowSpareSite(r);
+  SiteId css = ColSpareSite(c);
+  for (BlockNum i = 0; i < config_.blocks; ++i) {
+    // Drain the row spare if it shadows this site.
+    bool drained = false;
+    if (cluster_->StateOf(rss) == SiteState::kUp) {
+      Result<BlockRecord> srec = cluster_->site(rss)->store()->Read(i);
+      if (srec.ok() && srec->uid.valid() &&
+          srec->spare_for == static_cast<int32_t>(home)) {
+        Charge(home, rss, false, &counts);
+        RADD_RETURN_NOT_OK(
+            hs->store()->Write(i, srec->data, srec->logical_uid));
+        ++counts.local_writes;
+        (void)cluster_->site(rss)->store()->Invalidate(i);
+        Charge(home, rss, true, &counts);
+        drained = true;
+      }
+    }
+    // Clear the column spare's shadow copy too.
+    if (cluster_->StateOf(css) == SiteState::kUp) {
+      Result<BlockRecord> crec = cluster_->site(css)->store()->Read(i);
+      if (crec.ok() && crec->spare_for == static_cast<int32_t>(home)) {
+        (void)cluster_->site(css)->store()->Invalidate(i);
+      }
+    }
+    if (drained) continue;
+    Result<BlockRecord> lrec = hs->store()->Read(i);
+    if (lrec.ok()) continue;  // intact
+    if (!lrec.status().IsDataLoss()) return lrec.status();
+    Result<Block> recon = ReconstructViaRow(home, r, c, i, &counts);
+    if (!recon.ok()) return recon.status();
+    RADD_RETURN_NOT_OK(hs->store()->Write(i, *recon, hs->uids()->Next()));
+    ++counts.local_writes;
+  }
+  RADD_RETURN_NOT_OK(cluster_->MarkUp(home));
+  return counts;
+}
+
+Status TwoDRadd::VerifyInvariants() const {
+  // Row parity == XOR of the row's logical data values; column likewise.
+  auto logical = [&](int r, int c, BlockNum i,
+                     Block* out) -> bool {
+    SiteId home = DataSite(r, c);
+    SiteId ss = RowSpareSite(r);
+    Result<BlockRecord> srec = cluster_->site(ss)->store()->Read(i);
+    if (srec.ok() && srec->uid.valid() &&
+        srec->spare_for == static_cast<int32_t>(home)) {
+      *out = srec->data;
+      return true;
+    }
+    Result<BlockRecord> lrec = cluster_->site(home)->store()->Read(i);
+    if (!lrec.ok()) return false;
+    *out = lrec->data;
+    return true;
+  };
+
+  for (BlockNum i = 0; i < config_.blocks; ++i) {
+    for (int r = 0; r < config_.grid_rows; ++r) {
+      if (cluster_->StateOf(RowParitySite(r)) != SiteState::kUp) continue;
+      Block expected(config_.block_size);
+      bool ok = true;
+      for (int c = 0; c < config_.grid_cols; ++c) {
+        Block v(config_.block_size);
+        if (!logical(r, c, i, &v)) {
+          ok = false;
+          break;
+        }
+        RADD_RETURN_NOT_OK(expected.XorWith(v));
+      }
+      if (!ok) continue;
+      Result<BlockRecord> prec =
+          cluster_->site(RowParitySite(r))->store()->Read(i);
+      if (!prec.ok()) continue;
+      if (expected != prec->data) {
+        return Status::Internal("row " + std::to_string(r) + " block " +
+                                std::to_string(i) + ": row parity mismatch");
+      }
+    }
+    for (int c = 0; c < config_.grid_cols; ++c) {
+      if (cluster_->StateOf(ColParitySite(c)) != SiteState::kUp) continue;
+      Block expected(config_.block_size);
+      bool ok = true;
+      for (int r = 0; r < config_.grid_rows; ++r) {
+        Block v(config_.block_size);
+        if (!logical(r, c, i, &v)) {
+          ok = false;
+          break;
+        }
+        RADD_RETURN_NOT_OK(expected.XorWith(v));
+      }
+      if (!ok) continue;
+      Result<BlockRecord> prec =
+          cluster_->site(ColParitySite(c))->store()->Read(i);
+      if (!prec.ok()) continue;
+      if (expected != prec->data) {
+        return Status::Internal("col " + std::to_string(c) + " block " +
+                                std::to_string(i) +
+                                ": column parity mismatch");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace radd

@@ -1,0 +1,89 @@
+// TwoDRadd — the two-dimensional RADD variant (paper §7.1, after
+// [GIBS89]).
+//
+// "The sites are arranged into a two-dimensional array and a row parity
+// and column parity are constructed, each according to the formulas of
+// Section 3."
+//
+// Data sites form an R x C grid. Every grid row has a dedicated parity
+// site and spare site, and every grid column likewise — for an 8x8 grid
+// that is the paper's "two collections of 16 extra disks" per 64,
+// i.e. 50 % overhead (Fig. 2). A write updates the local block plus both
+// parities (W + 2 RW, Fig. 3); a write to a down site goes to both spares
+// and both parities (4 RW); reads of a down site reconstruct along the
+// row (G RR) unless the row spare already holds the value.
+
+#ifndef RADD_SCHEMES_RADD2D_H_
+#define RADD_SCHEMES_RADD2D_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/radd.h"  // OpResult
+
+namespace radd {
+
+/// Shape of the 2D array.
+struct TwoDRaddConfig {
+  int grid_rows = 8;
+  int grid_cols = 8;           ///< the row-direction group size G
+  BlockNum blocks = 16;        ///< data blocks per data site
+  size_t block_size = Block::kDefaultSize;
+};
+
+/// The 2D-RADD system. Owns its own Cluster sized
+/// R*C + 2R + 2C sites.
+class TwoDRadd {
+ public:
+  explicit TwoDRadd(const TwoDRaddConfig& config);
+
+  Cluster* cluster() { return cluster_.get(); }
+  const TwoDRaddConfig& config() const { return config_; }
+
+  /// Total sites and the resulting space overhead in percent.
+  int num_sites() const;
+  double SpaceOverheadPercent() const;
+
+  SiteId DataSite(int r, int c) const;
+  SiteId RowParitySite(int r) const;
+  SiteId RowSpareSite(int r) const;
+  SiteId ColParitySite(int c) const;
+  SiteId ColSpareSite(int c) const;
+
+  /// Reads block `index` of data site (r, c).
+  OpResult Read(SiteId client, int r, int c, BlockNum index);
+
+  /// Writes block `index` of data site (r, c).
+  OpResult Write(SiteId client, int r, int c, BlockNum index,
+                 const Block& data);
+
+  /// Recovery sweep for data site (r, c): drain spares / reconstruct,
+  /// then mark up.
+  Result<OpCounts> RunRecovery(int r, int c);
+
+  /// Row and column parity both equal the XOR of their data blocks.
+  Status VerifyInvariants() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  /// Current logical value of (r, c, index): row spare if valid, else the
+  /// site's block (reconstructed along the row when lost).
+  Result<Block> LogicalValue(SiteId client, int r, int c, BlockNum index,
+                             OpCounts* counts);
+  Result<Block> ReconstructViaRow(SiteId client, int r, int c,
+                                  BlockNum index, OpCounts* counts);
+  void Charge(SiteId client, SiteId target, bool write, OpCounts* c) const;
+  /// Applies `delta` to a parity block; drops it if the site is down.
+  void ApplyParityDelta(SiteId issuer, SiteId parity_site, BlockNum index,
+                        const ChangeMask& delta, OpCounts* counts);
+
+  TwoDRaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  Stats stats_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_SCHEMES_RADD2D_H_

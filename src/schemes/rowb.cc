@@ -1,0 +1,238 @@
+#include "schemes/rowb.h"
+
+namespace radd {
+
+Rowb::Rowb(Cluster* cluster, BlockNum blocks_per_site, size_t block_size,
+           RowbPlacement placement)
+    : cluster_(cluster),
+      blocks_per_site_(blocks_per_site),
+      block_size_(block_size),
+      placement_(placement) {}
+
+Rowb::Copy Rowb::Primary(SiteId home, BlockNum index) const {
+  return Copy{home, index};
+}
+
+Rowb::Copy Rowb::Backup(SiteId home, BlockNum index) const {
+  const SiteId l = static_cast<SiteId>(cluster_->num_sites());
+  SiteId partner;
+  if (placement_ == RowbPlacement::kDedicated) {
+    partner = (home + 1) % l;
+  } else {
+    partner = (home + 1 + static_cast<SiteId>(index % (l - 1))) % l;
+  }
+  // Backup region: second half of the partner's address space.
+  return Copy{partner, blocks_per_site_ + index};
+}
+
+std::pair<SiteId, BlockNum> Rowb::BackupOf(SiteId home,
+                                           BlockNum index) const {
+  Copy c = Backup(home, index);
+  return {c.site, c.phys};
+}
+
+OpResult Rowb::Read(SiteId client, SiteId home, BlockNum index) {
+  OpResult out;
+  if (index >= blocks_per_site_) {
+    out.status = Status::InvalidArgument("block out of range");
+    return out;
+  }
+  Copy primary = Primary(home, index);
+  Copy backup = Backup(home, index);
+  bool primary_stale = dirty_.count({home, index}) > 0 &&
+                       cluster_->StateOf(home) != SiteState::kUp;
+
+  auto read_copy = [&](const Copy& c) -> bool {
+    Site* s = cluster_->site(c.site);
+    if (s == nullptr || s->state() == SiteState::kDown) return false;
+    Result<BlockRecord> rec = s->store()->Read(c.phys);
+    if (!rec.ok()) return false;
+    if (c.site == client) {
+      ++out.counts.local_reads;
+    } else {
+      ++out.counts.remote_reads;
+    }
+    out.data = rec->data;
+    out.uid = rec->uid;
+    out.status = Status::OK();
+    return true;
+  };
+
+  // Prefer the primary unless it is down or known stale.
+  if (!primary_stale && cluster_->StateOf(primary.site) == SiteState::kUp &&
+      read_copy(primary)) {
+    return out;
+  }
+  if (read_copy(backup)) return out;
+  // Backup gone too: if the primary is at least recovering and clean we
+  // can still serve from it.
+  if (!primary_stale && read_copy(primary)) return out;
+  out.status = Status::Blocked("both copies unavailable");
+  return out;
+}
+
+OpResult Rowb::Write(SiteId client, SiteId home, BlockNum index,
+                     const Block& data) {
+  OpResult out;
+  if (index >= blocks_per_site_) {
+    out.status = Status::InvalidArgument("block out of range");
+    return out;
+  }
+  if (data.size() != block_size_) {
+    out.status = Status::InvalidArgument("wrong block size");
+    return out;
+  }
+  Copy primary = Primary(home, index);
+  Copy backup = Backup(home, index);
+  Site* ps = cluster_->site(primary.site);
+  Site* bs = cluster_->site(backup.site);
+  bool p_up = ps != nullptr && ps->state() != SiteState::kDown;
+  bool b_up = bs != nullptr && bs->state() != SiteState::kDown;
+  // A copy lost to a disk failure counts as unavailable for writing: the
+  // write lands on the surviving copy and recovery repairs the other
+  // (paper §7.3: ROWB "needs only to write the single copy of the object
+  // which is up").
+  if (p_up && ps->state() == SiteState::kRecovering &&
+      !ps->store()->Read(primary.phys).ok()) {
+    p_up = false;
+  }
+  if (b_up && bs->state() == SiteState::kRecovering &&
+      !bs->store()->Read(backup.phys).ok()) {
+    b_up = false;
+  }
+  if (!p_up && !b_up) {
+    out.status = Status::Blocked("both copies unavailable");
+    return out;
+  }
+
+  Uid u = cluster_->site(client)->uids()->Next();
+  if (p_up) {
+    Status st = ps->store()->Write(primary.phys, data, u);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    if (primary.site == client) {
+      ++out.counts.local_writes;
+    } else {
+      ++out.counts.remote_writes;
+    }
+  }
+  if (b_up) {
+    Status st = bs->store()->Write(backup.phys, data, u);
+    if (!st.ok()) {
+      out.status = st;
+      return out;
+    }
+    // The backup update is shipped by the primary site when it is up
+    // (hot-standby log flow, §7.4), so it is remote unless the backup
+    // happens to be local to the issuer.
+    SiteId issuer = p_up ? primary.site : client;
+    if (backup.site == issuer) {
+      ++out.counts.local_writes;
+    } else {
+      ++out.counts.remote_writes;
+    }
+  }
+
+  if (p_up && b_up) {
+    dirty_.erase({home, index});
+  } else {
+    dirty_.insert({home, index});
+    stats_.Add("rowb.degraded_writes");
+  }
+  out.uid = u;
+  out.status = Status::OK();
+  return out;
+}
+
+Result<OpCounts> Rowb::RunRecovery(SiteId site) {
+  Site* s = cluster_->site(site);
+  if (s == nullptr) return Status::NotFound("no such site");
+  if (s->state() != SiteState::kRecovering) {
+    return Status::InvalidArgument("site is not recovering");
+  }
+  OpCounts counts;
+  for (auto it = dirty_.begin(); it != dirty_.end();) {
+    const auto& [home, index] = *it;
+    Copy primary = Primary(home, index);
+    Copy backup = Backup(home, index);
+    Copy stale, live;
+    if (primary.site == site) {
+      stale = primary;
+      live = backup;
+    } else if (backup.site == site) {
+      stale = backup;
+      live = primary;
+    } else {
+      ++it;
+      continue;
+    }
+    Site* ls = cluster_->site(live.site);
+    if (ls == nullptr || ls->state() == SiteState::kDown) {
+      return Status::Blocked("live copy unavailable during recovery");
+    }
+    Result<BlockRecord> rec = ls->store()->Read(live.phys);
+    if (!rec.ok()) return rec.status();
+    ++counts.remote_reads;
+    RADD_RETURN_NOT_OK(s->store()->Write(stale.phys, rec->data, rec->uid));
+    ++counts.local_writes;
+    stats_.Add("rowb.recovery_copies");
+    it = dirty_.erase(it);
+  }
+  // Repair blocks lost to a disk failure / disaster that carry no dirty
+  // mark (no write happened while degraded): copy from the partner.
+  for (SiteId home = 0; home < static_cast<SiteId>(cluster_->num_sites());
+       ++home) {
+    for (BlockNum i = 0; i < blocks_per_site_; ++i) {
+      Copy p = Primary(home, i);
+      Copy b = Backup(home, i);
+      Copy here, there;
+      if (p.site == site) {
+        here = p;
+        there = b;
+      } else if (b.site == site) {
+        here = b;
+        there = p;
+      } else {
+        continue;
+      }
+      Result<BlockRecord> mine = s->store()->Read(here.phys);
+      if (mine.ok() || !mine.status().IsDataLoss()) continue;
+      Site* ls = cluster_->site(there.site);
+      if (ls == nullptr || ls->state() == SiteState::kDown) {
+        return Status::Blocked("live copy unavailable during recovery");
+      }
+      Result<BlockRecord> rec = ls->store()->Read(there.phys);
+      if (!rec.ok()) return rec.status();
+      ++counts.remote_reads;
+      RADD_RETURN_NOT_OK(s->store()->Write(here.phys, rec->data, rec->uid));
+      ++counts.local_writes;
+      stats_.Add("rowb.recovery_copies");
+    }
+  }
+  RADD_RETURN_NOT_OK(cluster_->MarkUp(site));
+  return counts;
+}
+
+Status Rowb::VerifyInvariants() const {
+  for (SiteId home = 0; home < static_cast<SiteId>(cluster_->num_sites());
+       ++home) {
+    for (BlockNum i = 0; i < blocks_per_site_; ++i) {
+      if (dirty_.count({home, i}) > 0) continue;
+      Copy p = Primary(home, i);
+      Copy b = Backup(home, i);
+      Result<BlockRecord> pr = cluster_->site(p.site)->store()->Read(p.phys);
+      Result<BlockRecord> br = cluster_->site(b.site)->store()->Read(b.phys);
+      if (!pr.ok() || !br.ok()) continue;  // lost copies pending repair
+      if (pr->data != br->data) {
+        return Status::Internal(
+            "copies of (" + std::to_string(home) + ", " + std::to_string(i) +
+            ") diverge without a dirty mark");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace radd

@@ -1,0 +1,88 @@
+// Rowb — the traditional two-copy multicopy baseline (paper §7.1).
+//
+// "Here, we restrict attention to the case where there are exactly two
+// copies of each object. In this case, any voting scheme reduces to
+// something equivalent to a Read-One-Write-Both (ROWB) scheme. In fact,
+// ROWB is essentially the same as a RADD with a group size of 1 and no
+// spare blocks."
+//
+// Each site's blocks carry a backup copy at a partner site. Writes update
+// both copies; when one site is down, operations proceed against the
+// surviving copy and the missed updates are tracked in a dirty set, which
+// recovery replays (the "copy the log to the backup" of §7.4, realized as
+// block shipping).
+
+#ifndef RADD_SCHEMES_ROWB_H_
+#define RADD_SCHEMES_ROWB_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/radd.h"  // OpResult
+
+namespace radd {
+
+/// Placement policy for the second copy (paper §7.5 discusses both).
+enum class RowbPlacement {
+  /// Site j's backup lives entirely at site (j+1) mod L ("a specific
+  /// second site [is] the backup for all data at a specific site").
+  kDedicated,
+  /// Block i of site j is backed up at site (j + 1 + i mod (L-1)) mod L
+  /// ("each object can be backed up at a random site").
+  kScattered,
+};
+
+/// Two-copy replicated block storage over a Cluster.
+///
+/// Physical layout at each site: blocks [0, blocks_per_site) hold the
+/// site's primary copies; blocks [blocks_per_site, 2*blocks_per_site) hold
+/// backup copies for partners (the 100 % space overhead of Fig. 2).
+class Rowb {
+ public:
+  Rowb(Cluster* cluster, BlockNum blocks_per_site, size_t block_size,
+       RowbPlacement placement = RowbPlacement::kDedicated);
+
+  BlockNum blocks_per_site() const { return blocks_per_site_; }
+
+  /// Reads block `index` of `home`'s data, preferring the primary copy.
+  OpResult Read(SiteId client, SiteId home, BlockNum index);
+
+  /// Writes both copies (or the surviving one, recording the other dirty).
+  OpResult Write(SiteId client, SiteId home, BlockNum index,
+                 const Block& data);
+
+  /// Replays missed updates onto the recovering site (both directions:
+  /// its primaries and the backups it hosts), then marks it up.
+  Result<OpCounts> RunRecovery(SiteId site);
+
+  /// Site + physical block holding the backup copy of (home, index).
+  std::pair<SiteId, BlockNum> BackupOf(SiteId home, BlockNum index) const;
+
+  /// Both copies of every clean block agree (test hook).
+  Status VerifyInvariants() const;
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Copy {
+    SiteId site;
+    BlockNum phys;
+  };
+  Copy Primary(SiteId home, BlockNum index) const;
+  Copy Backup(SiteId home, BlockNum index) const;
+
+  Cluster* cluster_;
+  BlockNum blocks_per_site_;
+  size_t block_size_;
+  RowbPlacement placement_;
+  /// (home, index) pairs whose two copies diverged during a failure; the
+  /// authoritative copy is the one at the site that stayed up.
+  std::set<std::pair<SiteId, BlockNum>> dirty_;
+  Stats stats_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_SCHEMES_ROWB_H_

@@ -1,0 +1,473 @@
+#include "schemes/scheme.h"
+
+#include "cluster/cluster.h"
+#include "core/radd.h"
+#include "schemes/local_raid.h"
+#include "schemes/radd2d.h"
+#include "schemes/rowb.h"
+
+namespace radd {
+
+namespace {
+constexpr size_t kProbeBlockSize = 512;  // small blocks keep probes fast
+
+Block ProbeBlock(uint64_t seed, size_t size = kProbeBlockSize) {
+  Block b(size);
+  b.FillPattern(seed);
+  return b;
+}
+}  // namespace
+
+const std::vector<Scenario>& AllScenarios() {
+  static const std::vector<Scenario> kAll = {
+      Scenario::kNoFailureRead,     Scenario::kNoFailureWrite,
+      Scenario::kDiskFailureRead,   Scenario::kDiskFailureWrite,
+      Scenario::kReconstructedRead, Scenario::kSiteFailureRead,
+      Scenario::kSiteFailureWrite,
+  };
+  return kAll;
+}
+
+std::string_view ScenarioName(Scenario s) {
+  switch (s) {
+    case Scenario::kNoFailureRead:
+      return "no failure read";
+    case Scenario::kNoFailureWrite:
+      return "no failure write";
+    case Scenario::kDiskFailureRead:
+      return "disk failure read";
+    case Scenario::kDiskFailureWrite:
+      return "disk failure write";
+    case Scenario::kReconstructedRead:
+      return "previously reconstructed read";
+    case Scenario::kSiteFailureRead:
+      return "site failure read";
+    case Scenario::kSiteFailureWrite:
+      return "site failure write";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// RADD (and 1/2-RADD, which is the same system with half the group size).
+// ---------------------------------------------------------------------------
+
+class RaddScheme : public Scheme {
+ public:
+  RaddScheme(std::string name, int g) : name_(std::move(name)), g_(g) {}
+
+  std::string name() const override { return name_; }
+
+  double SpaceOverheadPercent() const override {
+    // Per (G+2)-row cycle: G data blocks, 1 parity, 1 spare per site.
+    return 100.0 * 2.0 / static_cast<double>(g_);
+  }
+
+  std::optional<OpCounts> Measure(Scenario scenario) override {
+    RaddConfig config;
+    config.group_size = g_;
+    config.rows = static_cast<BlockNum>(g_ + 2);
+    config.block_size = kProbeBlockSize;
+    SiteConfig sc{1, config.rows, config.block_size};
+    Cluster cluster(g_ + 2, sc);
+    RaddGroup group(&cluster, config);
+
+    // The probe block: member 2's data block 0, client at its own site.
+    const int home = 2;
+    const BlockNum i = 0;
+    const SiteId self = group.SiteOfMember(home);
+    BlockNum row = group.layout().DataToRow(home, i);
+    const SiteId spare_site = group.SiteOfMember(
+        static_cast<int>(group.layout().SpareSite(row)));
+    group.Write(self, home, i, ProbeBlock(1));
+
+    switch (scenario) {
+      case Scenario::kNoFailureRead:
+        return group.Read(self, home, i).counts;
+      case Scenario::kNoFailureWrite:
+        return group.Write(self, home, i, ProbeBlock(2)).counts;
+      case Scenario::kDiskFailureRead: {
+        cluster.FailDisk(self, 0);
+        return group.Read(self, home, i).counts;
+      }
+      case Scenario::kDiskFailureWrite: {
+        cluster.FailDisk(self, 0);
+        // Prime the spare so the probe is the steady-state degraded write.
+        group.Write(self, home, i, ProbeBlock(2));
+        return group.Write(self, home, i, ProbeBlock(3)).counts;
+      }
+      case Scenario::kReconstructedRead: {
+        cluster.CrashSite(self);
+        // A degraded read materializes the value into the spare ...
+        group.Read(spare_site, home, i);
+        // ... so this read resolves with a single spare access.
+        return group.Read(spare_site == self ? self : group.SiteOfMember(0),
+                          home, i)
+            .counts;
+      }
+      case Scenario::kSiteFailureRead: {
+        cluster.CrashSite(self);
+        // Probe from the spare site so all G source reads are remote, as
+        // Figure 3 counts them.
+        return group.Read(spare_site, home, i).counts;
+      }
+      case Scenario::kSiteFailureWrite: {
+        cluster.CrashSite(self);
+        SiteId client = group.SiteOfMember(3);
+        group.Write(client, home, i, ProbeBlock(2));  // prime spare
+        return group.Write(client, home, i, ProbeBlock(3)).counts;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  std::string name_;
+  int g_;
+};
+
+// ---------------------------------------------------------------------------
+// ROWB.
+// ---------------------------------------------------------------------------
+
+class RowbScheme : public Scheme {
+ public:
+  std::string name() const override { return "ROWB"; }
+  double SpaceOverheadPercent() const override { return 100.0; }
+
+  std::optional<OpCounts> Measure(Scenario scenario) override {
+    SiteConfig sc{1, 8, kProbeBlockSize};  // room for primaries + backups
+    Cluster cluster(4, sc);
+    Rowb rowb(&cluster, 4, kProbeBlockSize);
+    const SiteId home = 1;
+    const BlockNum i = 0;
+    rowb.Write(home, home, i, ProbeBlock(1));
+    auto [backup_site, backup_phys] = rowb.BackupOf(home, i);
+
+    switch (scenario) {
+      case Scenario::kNoFailureRead:
+        return rowb.Read(home, home, i).counts;
+      case Scenario::kNoFailureWrite:
+        return rowb.Write(home, home, i, ProbeBlock(2)).counts;
+      case Scenario::kDiskFailureRead:
+        cluster.FailDisk(home, 0);
+        return rowb.Read(home, home, i).counts;
+      case Scenario::kDiskFailureWrite:
+        cluster.FailDisk(home, 0);
+        return rowb.Write(home, home, i, ProbeBlock(2)).counts;
+      case Scenario::kReconstructedRead: {
+        // Fail, miss a write, recover; the repaired copy serves locally.
+        cluster.CrashSite(home);
+        rowb.Write(backup_site, home, i, ProbeBlock(2));
+        cluster.RestoreSite(home);
+        rowb.RunRecovery(home);
+        return rowb.Read(home, home, i).counts;
+      }
+      case Scenario::kSiteFailureRead: {
+        cluster.CrashSite(home);
+        SiteId third = (backup_site + 1) % 4 == home
+                           ? (backup_site + 2) % 4
+                           : (backup_site + 1) % 4;
+        return rowb.Read(third, home, i).counts;
+      }
+      case Scenario::kSiteFailureWrite: {
+        cluster.CrashSite(home);
+        SiteId third = (backup_site + 1) % 4 == home
+                           ? (backup_site + 2) % 4
+                           : (backup_site + 1) % 4;
+        return rowb.Write(third, home, i, ProbeBlock(2)).counts;
+      }
+    }
+    return std::nullopt;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Level-5 RAID (single site).
+// ---------------------------------------------------------------------------
+
+class Raid5Scheme : public Scheme {
+ public:
+  explicit Raid5Scheme(int g) : g_(g) {}
+
+  std::string name() const override { return "RAID"; }
+  double SpaceOverheadPercent() const override {
+    return 100.0 * 2.0 / static_cast<double>(g_);
+  }
+
+  std::optional<OpCounts> Measure(Scenario scenario) override {
+    DiskArray disks(g_ + 2, 4, kProbeBlockSize);
+    LocalRaidConfig config;
+    config.group_size = g_;
+    config.repair_on_read = false;  // measure the pure read cost
+    LocalRaid raid(&disks, config);
+    const BlockNum i = 0;
+    raid.Write(i, ProbeBlock(1), Uid::Make(0, 1));
+    const int data_disk = static_cast<int>(raid.layout().DataSites(0)[0]);
+
+    OpCounts before = raid.PhysicalOps();
+    switch (scenario) {
+      case Scenario::kNoFailureRead:
+        raid.Read(i);
+        break;
+      case Scenario::kNoFailureWrite:
+        raid.Write(i, ProbeBlock(2), Uid::Make(0, 2));
+        break;
+      case Scenario::kDiskFailureRead:
+        raid.FailDisk(data_disk);
+        before = raid.PhysicalOps();
+        raid.Read(i);
+        break;
+      case Scenario::kDiskFailureWrite:
+        raid.FailDisk(data_disk);
+        // Prime: the first write to a lost block reconstructs the old
+        // value; the steady state is the paper's "normal write to the
+        // replacement disk and its associated parity disk".
+        raid.Write(i, ProbeBlock(2), Uid::Make(0, 2));
+        before = raid.PhysicalOps();
+        raid.Write(i, ProbeBlock(3), Uid::Make(0, 3));
+        break;
+      case Scenario::kReconstructedRead: {
+        LocalRaidConfig repair = config;
+        repair.repair_on_read = true;
+        LocalRaid raid2(&disks, repair);
+        raid2.FailDisk(data_disk);
+        raid2.Read(i);  // reconstructs and repairs
+        before = raid2.PhysicalOps();
+        raid2.Read(i);
+        return raid2.PhysicalOps() - before;
+      }
+      case Scenario::kSiteFailureRead:
+      case Scenario::kSiteFailureWrite:
+        // "a RAID cannot handle either failure and must block."
+        return std::nullopt;
+    }
+    return raid.PhysicalOps() - before;
+  }
+
+ private:
+  int g_;
+};
+
+// ---------------------------------------------------------------------------
+// C-RAID: RADD over sites whose stores are local RAIDs.
+// ---------------------------------------------------------------------------
+
+class CRaidScheme : public Scheme {
+ public:
+  CRaidScheme(int g, int local_g) : g_(g), local_g_(local_g) {}
+
+  std::string name() const override { return "C-RAID"; }
+
+  double SpaceOverheadPercent() const override {
+    // (G+2)/G at the RADD level times (Gl+2)/Gl locally, minus one.
+    double radd = static_cast<double>(g_ + 2) / g_;
+    double local = static_cast<double>(local_g_ + 2) / local_g_;
+    return 100.0 * (radd * local - 1.0);
+  }
+
+  std::optional<OpCounts> Measure(Scenario scenario) override {
+    RaddConfig config;
+    config.group_size = g_;
+    config.rows = static_cast<BlockNum>(g_ + 2);
+    config.block_size = kProbeBlockSize;
+    if (scenario == Scenario::kSiteFailureRead) {
+      config.materialize_on_degraded_read = false;
+    }
+    // Each site: a local RAID of local_g_+2 disks exposing >= rows blocks.
+    BlockNum stripes =
+        (config.rows + static_cast<BlockNum>(local_g_) - 1) /
+        static_cast<BlockNum>(local_g_);
+    SiteConfig sc{local_g_ + 2, stripes, config.block_size};
+    Cluster cluster(g_ + 2, sc);
+    std::vector<LocalRaid*> raids;
+    for (int s = 0; s < cluster.num_sites(); ++s) {
+      LocalRaidConfig lc;
+      lc.group_size = local_g_;
+      lc.repair_on_read = false;
+      auto raid = std::make_unique<LocalRaid>(
+          cluster.site(static_cast<SiteId>(s))->disks(), lc);
+      raids.push_back(raid.get());
+      cluster.site(static_cast<SiteId>(s))->set_store(std::move(raid));
+    }
+    RaddGroup group(&cluster, config);
+
+    const int home = 2;
+    const BlockNum i = 0;
+    const SiteId self = group.SiteOfMember(home);
+    BlockNum row = group.layout().DataToRow(home, i);
+    const SiteId spare_site = group.SiteOfMember(
+        static_cast<int>(group.layout().SpareSite(row)));
+    group.Write(self, home, i, ProbeBlock(1));
+
+    // Combined accounting: the RADD layer's logical charges plus the
+    // physical amplification of the local RAIDs, attributed as local ops
+    // at whichever site performed them.
+    auto phys_total = [&raids]() {
+      OpCounts total;
+      for (LocalRaid* r : raids) total += r->PhysicalOps();
+      return total;
+    };
+    auto combined = [&](const OpCounts& logical,
+                        const OpCounts& phys_delta) {
+      OpCounts out = logical;
+      uint64_t logical_writes = logical.local_writes + logical.remote_writes;
+      uint64_t logical_reads = logical.local_reads + logical.remote_reads;
+      if (phys_delta.local_writes > logical_writes) {
+        out.local_writes += phys_delta.local_writes - logical_writes;
+      }
+      if (phys_delta.local_reads > logical_reads) {
+        out.local_reads += phys_delta.local_reads - logical_reads;
+      }
+      return out;
+    };
+
+    OpCounts before = phys_total();
+    OpCounts logical;
+    switch (scenario) {
+      case Scenario::kNoFailureRead:
+        logical = group.Read(self, home, i).counts;
+        break;
+      case Scenario::kNoFailureWrite:
+        logical = group.Write(self, home, i, ProbeBlock(2)).counts;
+        break;
+      case Scenario::kDiskFailureRead: {
+        // A *local* disk fails; the site's RAID absorbs it, the site stays
+        // up, and the read reconstructs locally with G_local reads.
+        int data_disk = raids[home]->DiskOfLogical(row);
+        cluster.site(self)->disks()->FailDisk(data_disk);
+        before = phys_total();
+        logical = group.Read(self, home, i).counts;
+        break;
+      }
+      case Scenario::kDiskFailureWrite: {
+        int data_disk = raids[home]->DiskOfLogical(row);
+        cluster.site(self)->disks()->FailDisk(data_disk);
+        group.Write(self, home, i, ProbeBlock(2));  // absorbs reconstruction
+        before = phys_total();
+        logical = group.Write(self, home, i, ProbeBlock(3)).counts;
+        break;
+      }
+      case Scenario::kReconstructedRead: {
+        cluster.CrashSite(self);
+        group.Read(spare_site, home, i);
+        before = phys_total();
+        logical = group.Read(group.SiteOfMember(0), home, i).counts;
+        break;
+      }
+      case Scenario::kSiteFailureRead: {
+        cluster.CrashSite(self);
+        before = phys_total();
+        logical = group.Read(spare_site, home, i).counts;
+        break;
+      }
+      case Scenario::kSiteFailureWrite: {
+        cluster.CrashSite(self);
+        SiteId client = group.SiteOfMember(3);
+        group.Write(client, home, i, ProbeBlock(2));
+        before = phys_total();
+        logical = group.Write(client, home, i, ProbeBlock(3)).counts;
+        break;
+      }
+    }
+    return combined(logical, phys_total() - before);
+  }
+
+ private:
+  int g_;
+  int local_g_;
+};
+
+// ---------------------------------------------------------------------------
+// 2D-RADD.
+// ---------------------------------------------------------------------------
+
+class TwoDRaddScheme : public Scheme {
+ public:
+  explicit TwoDRaddScheme(int g) : g_(g) {}
+
+  std::string name() const override { return "2D-RADD"; }
+  double SpaceOverheadPercent() const override {
+    TwoDRaddConfig c;
+    c.grid_rows = c.grid_cols = g_;
+    return TwoDRadd(c).SpaceOverheadPercent();
+  }
+
+  std::optional<OpCounts> Measure(Scenario scenario) override {
+    TwoDRaddConfig config;
+    config.grid_rows = config.grid_cols = g_;
+    config.blocks = 2;
+    config.block_size = kProbeBlockSize;
+    TwoDRadd radd2d(config);
+    Cluster* cluster = radd2d.cluster();
+    const int r = 1, c = 2;
+    const BlockNum i = 0;
+    const SiteId self = radd2d.DataSite(r, c);
+    const SiteId probe_client = radd2d.RowSpareSite(r);
+    radd2d.Write(self, r, c, i, ProbeBlock(1));
+
+    switch (scenario) {
+      case Scenario::kNoFailureRead:
+        return radd2d.Read(self, r, c, i).counts;
+      case Scenario::kNoFailureWrite:
+        return radd2d.Write(self, r, c, i, ProbeBlock(2)).counts;
+      case Scenario::kDiskFailureRead:
+        cluster->FailDisk(self, 0);
+        return radd2d.Read(self, r, c, i).counts;
+      case Scenario::kDiskFailureWrite:
+        cluster->FailDisk(self, 0);
+        radd2d.Write(self, r, c, i, ProbeBlock(2));  // prime spares
+        return radd2d.Write(self, r, c, i, ProbeBlock(3)).counts;
+      // NOLINTNEXTLINE
+      case Scenario::kReconstructedRead:
+        cluster->CrashSite(self);
+        radd2d.Write(probe_client, r, c, i, ProbeBlock(2));  // onto spares
+        return radd2d.Read(radd2d.DataSite(r, 0), r, c, i).counts;
+      case Scenario::kSiteFailureRead:
+        cluster->CrashSite(self);
+        return radd2d.Read(probe_client, r, c, i).counts;
+      case Scenario::kSiteFailureWrite: {
+        cluster->CrashSite(self);
+        SiteId client = radd2d.DataSite(r + 1, c + 1);
+        radd2d.Write(client, r, c, i, ProbeBlock(2));
+        return radd2d.Write(client, r, c, i, ProbeBlock(3)).counts;
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  int g_;
+};
+
+std::unique_ptr<Scheme> MakeRaddScheme(int g) {
+  return std::make_unique<RaddScheme>("RADD", g);
+}
+std::unique_ptr<Scheme> MakeRowbScheme() {
+  return std::make_unique<RowbScheme>();
+}
+std::unique_ptr<Scheme> MakeRaid5Scheme(int g) {
+  return std::make_unique<Raid5Scheme>(g);
+}
+std::unique_ptr<Scheme> MakeCRaidScheme(int g, int local_g) {
+  return std::make_unique<CRaidScheme>(g, local_g);
+}
+std::unique_ptr<Scheme> MakeTwoDRaddScheme(int g) {
+  return std::make_unique<TwoDRaddScheme>(g);
+}
+std::unique_ptr<Scheme> MakeHalfRaddScheme(int g) {
+  return std::make_unique<RaddScheme>("1/2-RADD", g / 2);
+}
+
+std::vector<std::unique_ptr<Scheme>> MakeAllSchemes(int g) {
+  std::vector<std::unique_ptr<Scheme>> out;
+  out.push_back(MakeRaddScheme(g));
+  out.push_back(MakeRowbScheme());
+  out.push_back(MakeRaid5Scheme(g));
+  out.push_back(MakeCRaidScheme(g, g));
+  out.push_back(MakeTwoDRaddScheme(g));
+  out.push_back(MakeHalfRaddScheme(g));
+  return out;
+}
+
+}  // namespace radd

@@ -1,0 +1,80 @@
+// Scheme — the common harness over the six high-availability systems the
+// paper compares (§7.1): RADD, ROWB, RAID, C-RAID, 2D-RADD, 1/2-RADD.
+//
+// Every scheme is measured by *executing* its real implementation in each
+// of Figure 3's seven scenarios on a freshly built instance and counting
+// the physical operations performed (Table 1's R / W / RR / RW). Figure 4
+// is then those counts priced with the cost model, and Figure 2 is the
+// schemes' space overheads.
+
+#ifndef RADD_SCHEMES_SCHEME_H_
+#define RADD_SCHEMES_SCHEME_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/stats.h"
+
+namespace radd {
+
+/// The rows of Figure 3.
+enum class Scenario {
+  kNoFailureRead,
+  kNoFailureWrite,
+  kDiskFailureRead,
+  kDiskFailureWrite,
+  kReconstructedRead,
+  kSiteFailureRead,
+  kSiteFailureWrite,
+};
+
+/// All scenarios in Figure 3's row order.
+const std::vector<Scenario>& AllScenarios();
+
+std::string_view ScenarioName(Scenario s);
+
+/// Table 1 / §7.3 cost constants (milliseconds): R = W = 30,
+/// RR = RW = 2.5x = 75 (numbers from [LAZO86]).
+struct CostModel {
+  double r = 30.0;
+  double w = 30.0;
+  double rr = 75.0;
+  double rw = 75.0;
+
+  double Price(const OpCounts& c) const { return c.CostMs(r, w, rr, rw); }
+};
+
+/// One comparison system.
+class Scheme {
+ public:
+  virtual ~Scheme() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Redundancy space overhead in percent (Fig. 2). Computed from the
+  /// scheme's actual layout, not hard-coded.
+  virtual double SpaceOverheadPercent() const = 0;
+
+  /// Builds a fresh instance, drives it into `scenario`, performs the
+  /// probe operation, and returns its physical op counts. nullopt when
+  /// the scheme cannot operate in the scenario (a RAID blocks on site
+  /// failures).
+  virtual std::optional<OpCounts> Measure(Scenario scenario) = 0;
+};
+
+/// Factory for the paper's six schemes, all parameterized by the paper's
+/// G = 8 (the 1/2-RADD uses G/2, the 2D uses a GxG grid).
+std::vector<std::unique_ptr<Scheme>> MakeAllSchemes(int g = 8);
+
+std::unique_ptr<Scheme> MakeRaddScheme(int g);
+std::unique_ptr<Scheme> MakeRowbScheme();
+std::unique_ptr<Scheme> MakeRaid5Scheme(int g);
+std::unique_ptr<Scheme> MakeCRaidScheme(int g, int local_g);
+std::unique_ptr<Scheme> MakeTwoDRaddScheme(int g);
+std::unique_ptr<Scheme> MakeHalfRaddScheme(int g);
+
+}  // namespace radd
+
+#endif  // RADD_SCHEMES_SCHEME_H_

@@ -1,0 +1,62 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+
+namespace radd {
+
+uint64_t Simulator::At(SimTime when, Callback fn) {
+  assert(when >= now_);
+  uint64_t id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  return id;
+}
+
+bool Simulator::Cancel(uint64_t event_id) {
+  if (event_id == 0 || event_id >= next_id_) return false;
+  return cancelled_.insert(event_id).second;
+}
+
+bool Simulator::Step() {
+  while (!queue_.empty()) {
+    // priority_queue::top() is const; move out via const_cast, which is
+    // safe because we pop immediately and never compare the moved-from
+    // element again.
+    Event ev = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    auto it = cancelled_.find(ev.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    ++events_executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::Run() {
+  while (Step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::RunUntil(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) {
+    if (!Step()) break;
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+bool Simulator::RunUntilPredicate(const std::function<bool()>& done) {
+  if (done()) return true;
+  while (Step()) {
+    if (done()) return true;
+  }
+  return false;
+}
+
+}  // namespace radd

@@ -1,0 +1,98 @@
+// Deterministic discrete-event simulation engine.
+//
+// The whole distributed system — sites, disks, network links — runs inside
+// one Simulator. Time is virtual (microsecond ticks); an event is a
+// callback scheduled at an absolute tick. Events at the same tick fire in
+// scheduling order, so runs are bit-for-bit reproducible.
+
+#ifndef RADD_SIM_SIMULATOR_H_
+#define RADD_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+namespace radd {
+
+/// Virtual time in microseconds since simulation start.
+using SimTime = uint64_t;
+
+/// Conversion helpers for the units the paper speaks in.
+constexpr SimTime Micros(uint64_t us) { return us; }
+constexpr SimTime Millis(uint64_t ms) { return ms * 1000; }
+constexpr SimTime Seconds(uint64_t s) { return s * 1000 * 1000; }
+constexpr double ToMillis(SimTime t) { return static_cast<double>(t) / 1e3; }
+constexpr double ToSeconds(SimTime t) { return static_cast<double>(t) / 1e6; }
+
+/// The event loop. Not thread-safe by design: determinism requires a single
+/// logical thread of control.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current virtual time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` ticks from now. Returns an id usable
+  /// with Cancel().
+  uint64_t Schedule(SimTime delay, Callback fn) {
+    return At(now_ + delay, std::move(fn));
+  }
+
+  /// Schedules `fn` at absolute time `when` (>= Now()).
+  uint64_t At(SimTime when, Callback fn);
+
+  /// Cancels a pending event. Returns false if the event already fired or
+  /// was cancelled. O(1) — the event is tombstoned, not removed.
+  bool Cancel(uint64_t event_id);
+
+  /// Runs events until the queue is empty. Returns the final time.
+  SimTime Run();
+
+  /// Runs events with time <= `deadline`; leaves later events queued and
+  /// advances Now() to `deadline` (even if idle earlier). Returns Now().
+  SimTime RunUntil(SimTime deadline);
+
+  /// Runs until `done` returns true (checked after each event) or the
+  /// queue empties. Returns true iff `done` was satisfied.
+  bool RunUntilPredicate(const std::function<bool()>& done);
+
+  /// Number of events executed since construction.
+  uint64_t events_executed() const { return events_executed_; }
+
+  /// Number of events currently pending (including tombstoned ones).
+  size_t pending() const { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t seq;  // tie-break: FIFO within a tick
+    uint64_t id;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool Step();  // executes one event; returns false if queue empty
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t events_executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_set<uint64_t> cancelled_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_SIM_SIMULATOR_H_

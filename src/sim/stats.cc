@@ -1,0 +1,42 @@
+#include "sim/stats.h"
+
+#include <cmath>
+
+namespace radd {
+
+std::string OpCounts::ToFormula() const {
+  std::string out;
+  auto term = [&out](uint64_t n, const char* sym) {
+    if (n == 0) return;
+    if (!out.empty()) out += "+";
+    if (n > 1) out += std::to_string(n) + "*";
+    out += sym;
+  };
+  term(local_reads, "R");
+  term(local_writes, "W");
+  term(remote_reads, "RR");
+  term(remote_writes, "RW");
+  return out.empty() ? "0" : out;
+}
+
+double Stats::Mean(const std::string& name) const {
+  auto it = samples_.find(name);
+  if (it == samples_.end() || it->second.empty()) return 0;
+  double sum = 0;
+  for (double v : it->second) sum += v;
+  return sum / static_cast<double>(it->second.size());
+}
+
+double Stats::Percentile(const std::string& name, double p) const {
+  auto it = samples_.find(name);
+  if (it == samples_.end() || it->second.empty()) return 0;
+  std::vector<double> v = it->second;
+  std::sort(v.begin(), v.end());
+  double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  size_t lo = static_cast<size_t>(std::floor(rank));
+  size_t hi = static_cast<size_t>(std::ceil(rank));
+  double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1 - frac) + v[hi] * frac;
+}
+
+}  // namespace radd

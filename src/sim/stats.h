@@ -1,0 +1,91 @@
+// Lightweight metrics: named counters and value distributions.
+//
+// The benchmark harnesses read these to produce the paper's tables; the
+// op-count accounting of Figure 3 additionally uses the typed OpCounts
+// struct, which is what the formulas are expressed in.
+
+#ifndef RADD_SIM_STATS_H_
+#define RADD_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace radd {
+
+/// Counts of the four physical operation kinds of Table 1.
+struct OpCounts {
+  uint64_t local_reads = 0;    ///< cost R
+  uint64_t local_writes = 0;   ///< cost W
+  uint64_t remote_reads = 0;   ///< cost RR
+  uint64_t remote_writes = 0;  ///< cost RW
+
+  OpCounts& operator+=(const OpCounts& o) {
+    local_reads += o.local_reads;
+    local_writes += o.local_writes;
+    remote_reads += o.remote_reads;
+    remote_writes += o.remote_writes;
+    return *this;
+  }
+  friend OpCounts operator-(OpCounts a, const OpCounts& b) {
+    a.local_reads -= b.local_reads;
+    a.local_writes -= b.local_writes;
+    a.remote_reads -= b.remote_reads;
+    a.remote_writes -= b.remote_writes;
+    return a;
+  }
+  friend bool operator==(const OpCounts&, const OpCounts&) = default;
+
+  uint64_t Total() const {
+    return local_reads + local_writes + remote_reads + remote_writes;
+  }
+
+  /// Cost in milliseconds under a {R, W, RR, RW} model.
+  double CostMs(double r, double w, double rr, double rw) const {
+    return local_reads * r + local_writes * w + remote_reads * rr +
+           remote_writes * rw;
+  }
+
+  /// "aR + bW + cRR + dRW" with zero terms omitted ("0" if all zero).
+  std::string ToFormula() const;
+};
+
+/// A bag of named counters plus simple distributions.
+class Stats {
+ public:
+  void Add(const std::string& name, uint64_t delta = 1) {
+    counters_[name] += delta;
+  }
+  uint64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+  void Observe(const std::string& name, double value) {
+    samples_[name].push_back(value);
+  }
+  /// Mean of observed values; 0 if none.
+  double Mean(const std::string& name) const;
+  /// p-th percentile (0..100) of observed values; 0 if none.
+  double Percentile(const std::string& name, double p) const;
+  size_t SampleCount(const std::string& name) const {
+    auto it = samples_.find(name);
+    return it == samples_.end() ? 0 : it->second.size();
+  }
+  void Reset() {
+    counters_.clear();
+    samples_.clear();
+  }
+  const std::map<std::string, uint64_t>& counters() const {
+    return counters_;
+  }
+
+ private:
+  std::map<std::string, uint64_t> counters_;
+  std::map<std::string, std::vector<double>> samples_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_SIM_STATS_H_

@@ -1,0 +1,58 @@
+#include "txn/commit.h"
+
+namespace radd {
+
+CommitOutcome DistributedTxnCoordinator::Run(
+    CommitProtocol protocol, const std::vector<SlaveWork>& work,
+    std::optional<int> crash_after_done) {
+  CommitOutcome out;
+
+  // Round 1: master ships each slave its commands; each slave performs its
+  // writes — every one of which sends its parity delta before the slave
+  // replies `done` (steps W1-W4) — and answers.
+  ++out.rounds;
+  for (const SlaveWork& w : work) {
+    SiteId slave = group_->SiteOfMember(w.member);
+    ++out.messages;  // master -> slave: commands
+    for (const auto& [block, data] : w.writes) {
+      OpResult r = group_->Write(slave, w.member, block, data);
+      if (!r.ok()) {
+        out.status = r.status;
+        return out;
+      }
+      out.counts += r.counts;
+    }
+    ++out.messages;  // slave -> master: done
+    if (crash_after_done && *crash_after_done == w.member) {
+      // The slave dies right after `done` — before any prepare/commit
+      // message can reach it. Its buffered writes must nevertheless be
+      // recoverable through the parity updates it already sent.
+      Status st = group_->cluster()->CrashSite(slave);
+      if (!st.ok()) {
+        out.status = st;
+        return out;
+      }
+    }
+  }
+  ++out.rounds;  // replies arrive
+
+  if (protocol == CommitProtocol::kTwoPhase) {
+    // Prepare round: vote collection.
+    ++out.rounds;
+    out.messages += 2 * static_cast<int>(work.size());  // prepare + yes
+    ++out.rounds;
+  }
+
+  // Commit decision broadcast (+acks for 2PC bookkeeping).
+  ++out.rounds;
+  out.messages += static_cast<int>(work.size());
+  if (protocol == CommitProtocol::kTwoPhase) {
+    out.messages += static_cast<int>(work.size());  // acks
+    ++out.rounds;
+  }
+
+  out.status = Status::OK();
+  return out;
+}
+
+}  // namespace radd

@@ -1,0 +1,67 @@
+// Distributed commit over a RADD (paper §6).
+//
+// The paper's observation: every local write a slave makes is mirrored to
+// its parity site before the slave answers `done`, so the slave is already
+// *prepared* — its buffered writes survive a crash via RADD reconstruction
+// — and a one-phase commit suffices when the network is reliable and only
+// single failures occur. This module implements both protocols over a
+// RaddGroup, counts their messages/rounds, and lets tests crash a slave
+// after `done` to check the recoverability argument.
+
+#ifndef RADD_TXN_COMMIT_H_
+#define RADD_TXN_COMMIT_H_
+
+#include <functional>
+#include <optional>
+#include <map>
+#include <vector>
+
+#include "core/radd.h"
+
+namespace radd {
+
+enum class CommitProtocol { kOnePhase, kTwoPhase };
+
+/// One slave's share of the distributed transaction.
+struct SlaveWork {
+  int member = 0;  ///< group member whose data is written (slave = its site)
+  std::vector<std::pair<BlockNum, Block>> writes;
+};
+
+/// Outcome and cost of a distributed commit.
+struct CommitOutcome {
+  Status status;
+  /// Point-to-point messages exchanged (master<->slaves), excluding the
+  /// RADD parity messages, which are counted in `counts`.
+  int messages = 0;
+  /// Sequential message rounds (latency proxy).
+  int rounds = 0;
+  /// Physical I/O performed by the slaves' writes.
+  OpCounts counts;
+
+  bool ok() const { return status.ok(); }
+};
+
+/// Executes distributed transactions against a RaddGroup.
+class DistributedTxnCoordinator {
+ public:
+  DistributedTxnCoordinator(RaddGroup* group, SiteId master)
+      : group_(group), master_(master) {}
+
+  /// Runs the transaction under the given protocol. `crash_after_done`,
+  /// when set, crashes that member's site right after it reports done —
+  /// before any commit message reaches it — so callers can verify the
+  /// writes are still recoverable (the paper's prepared-by-parity
+  /// argument).
+  CommitOutcome Run(CommitProtocol protocol,
+                    const std::vector<SlaveWork>& work,
+                    std::optional<int> crash_after_done = std::nullopt);
+
+ private:
+  RaddGroup* group_;
+  SiteId master_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_TXN_COMMIT_H_

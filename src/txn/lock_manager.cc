@@ -1,0 +1,114 @@
+#include "txn/lock_manager.h"
+
+#include <algorithm>
+
+namespace radd {
+
+LockResult LockManager::Acquire(TxnId txn, LockKey key, LockMode mode) {
+  Entry& e = table_[key];
+
+  if (e.holders.count(txn) > 0) {
+    if (e.mode == LockMode::kExclusive || mode == LockMode::kShared) {
+      return LockResult::kGranted;  // already covered
+    }
+    // Shared -> exclusive upgrade.
+    if (e.holders.size() == 1) {
+      e.mode = LockMode::kExclusive;
+      return LockResult::kGranted;
+    }
+    // Fall through: conflicts with the co-holders.
+  }
+
+  bool compatible =
+      e.holders.empty() ||
+      (e.mode == LockMode::kShared && mode == LockMode::kShared &&
+       e.waiters.empty());
+  if (compatible) {
+    e.mode = e.holders.empty() ? mode : e.mode;
+    e.holders.insert(txn);
+    return LockResult::kGranted;
+  }
+
+  // Wait-die: wait only if older (smaller id) than every conflicting
+  // holder; otherwise die.
+  for (TxnId holder : e.holders) {
+    if (holder != txn && holder < txn) return LockResult::kAbort;
+  }
+  e.waiters.push_back(Waiter{txn, mode});
+  return LockResult::kWait;
+}
+
+void LockManager::Promote(const LockKey& key, Entry* e,
+                          std::vector<TxnId>* granted) {
+  (void)key;
+  while (!e->waiters.empty()) {
+    const Waiter& w = e->waiters.front();
+    bool compatible = e->holders.empty() ||
+                      (e->mode == LockMode::kShared &&
+                       w.mode == LockMode::kShared) ||
+                      // sole-holder upgrade
+                      (e->holders.size() == 1 &&
+                       e->holders.count(w.txn) > 0);
+    if (!compatible) break;
+    if (e->holders.count(w.txn) > 0) {
+      e->mode = LockMode::kExclusive;  // upgrade
+    } else {
+      e->mode = e->holders.empty() ? w.mode : e->mode;
+      e->holders.insert(w.txn);
+    }
+    granted->push_back(w.txn);
+    e->waiters.pop_front();
+  }
+}
+
+std::vector<TxnId> LockManager::Release(TxnId txn, LockKey key) {
+  std::vector<TxnId> granted;
+  auto it = table_.find(key);
+  if (it == table_.end()) return granted;
+  Entry& e = it->second;
+  e.holders.erase(txn);
+  std::erase_if(e.waiters, [txn](const Waiter& w) { return w.txn == txn; });
+  Promote(key, &e, &granted);
+  if (e.holders.empty() && e.waiters.empty()) table_.erase(it);
+  return granted;
+}
+
+std::vector<TxnId> LockManager::ReleaseAll(TxnId txn) {
+  std::vector<TxnId> granted;
+  for (auto it = table_.begin(); it != table_.end();) {
+    Entry& e = it->second;
+    bool involved = e.holders.count(txn) > 0;
+    e.holders.erase(txn);
+    size_t before = e.waiters.size();
+    std::erase_if(e.waiters,
+                  [txn](const Waiter& w) { return w.txn == txn; });
+    involved = involved || e.waiters.size() != before;
+    if (involved) Promote(it->first, &e, &granted);
+    if (e.holders.empty() && e.waiters.empty()) {
+      it = table_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return granted;
+}
+
+bool LockManager::Holds(TxnId txn, LockKey key, LockMode mode) const {
+  auto it = table_.find(key);
+  if (it == table_.end()) return false;
+  const Entry& e = it->second;
+  if (e.holders.count(txn) == 0) return false;
+  return mode == LockMode::kShared || e.mode == LockMode::kExclusive;
+}
+
+std::vector<LockKey> LockManager::HeldBy(TxnId txn) const {
+  std::vector<LockKey> out;
+  for (const auto& [key, e] : table_) {
+    if (e.holders.count(txn) > 0) out.push_back(key);
+  }
+  return out;
+}
+
+size_t LockManager::LockedKeys() const { return table_.size(); }
+
+}  // namespace radd

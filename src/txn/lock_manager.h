@@ -1,0 +1,90 @@
+// Dynamic locking for RADD concurrency control (paper §3.3).
+//
+// "We will assume that dynamic locking is employed. Hence, reads and
+// writes set the appropriate locks on each data block that they read or
+// write. If a site is down, then read and write locks are set on the spare
+// block which exists at some site which is up. Parity blocks are never
+// locked."
+//
+// Deadlocks are prevented with wait-die: a transaction may wait only for
+// younger transactions' locks; waiting on an older holder aborts the
+// requester. Transaction ids are issued monotonically, so the id doubles
+// as the timestamp.
+
+#ifndef RADD_TXN_LOCK_MANAGER_H_
+#define RADD_TXN_LOCK_MANAGER_H_
+
+#include <deque>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/block.h"
+#include "common/status.h"
+#include "common/uid.h"
+
+namespace radd {
+
+using TxnId = uint64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+/// A lockable resource: a physical block at a site (data or spare).
+struct LockKey {
+  SiteId site = 0;
+  BlockNum block = 0;
+  friend auto operator<=>(const LockKey&, const LockKey&) = default;
+};
+
+/// Outcome of a lock request.
+enum class LockResult {
+  kGranted,
+  /// Conflict with a younger holder: the requester queues (wait-die
+  /// "wait" arm). It will be granted when the holders release.
+  kWait,
+  /// Conflict with an older holder: the requester must abort (the "die"
+  /// arm).
+  kAbort,
+};
+
+/// A plain shared/exclusive lock table with FIFO wait queues and wait-die
+/// deadlock prevention. Not thread-safe (single-threaded simulation).
+class LockManager {
+ public:
+  /// Requests `mode` on `key` for `txn`. Re-entrant: a holder re-asking
+  /// for a mode it already covers is granted; a shared holder asking for
+  /// exclusive is upgraded when it is the sole holder, otherwise treated
+  /// as a normal conflicting request.
+  LockResult Acquire(TxnId txn, LockKey key, LockMode mode);
+
+  /// Releases one lock; returns the transactions granted as a result (in
+  /// grant order) so the caller can resume them.
+  std::vector<TxnId> Release(TxnId txn, LockKey key);
+
+  /// Releases everything `txn` holds or waits for.
+  std::vector<TxnId> ReleaseAll(TxnId txn);
+
+  bool Holds(TxnId txn, LockKey key, LockMode mode) const;
+  /// Locks currently held by `txn`.
+  std::vector<LockKey> HeldBy(TxnId txn) const;
+  size_t LockedKeys() const;
+
+ private:
+  struct Waiter {
+    TxnId txn;
+    LockMode mode;
+  };
+  struct Entry {
+    LockMode mode = LockMode::kShared;
+    std::set<TxnId> holders;
+    std::deque<Waiter> waiters;
+  };
+  /// Grants as many queued waiters as compatibility allows.
+  void Promote(const LockKey& key, Entry* e, std::vector<TxnId>* granted);
+
+  std::map<LockKey, Entry> table_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,168 @@
+// The two storage-manager architectures of paper §3.4, both running their
+// pages on a RADD group.
+//
+//  * WalStorageManager — classic write-ahead logging [GRAY78, HAER83]:
+//    updates are buffered (steal/no-force), physiological log records are
+//    forced at commit, and crash recovery runs the standard two-phase
+//    (redo committed / undo uncommitted) pass over the log. The paper's
+//    §3.4 point: after a site failure the log itself must be read through
+//    RADD reconstruction, costing G remote reads per block — so WAL + RADD
+//    only pays off for disasters and disk failures.
+//
+//  * NoOverwriteStorageManager — POSTGRES-style [STON87] shadow paging:
+//    page writes always go to fresh blocks, commit atomically installs a
+//    new page-table root, and there is no recovery pass at all — which is
+//    what makes RADD effective for plain site failures too.
+//
+// Both expose the same page API so the §3.4 benchmark can compare
+// like-for-like.
+
+#ifndef RADD_TXN_STORAGE_MANAGER_H_
+#define RADD_TXN_STORAGE_MANAGER_H_
+
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "core/radd.h"
+#include "txn/lock_manager.h"
+
+namespace radd {
+
+/// A page-granular update: new bytes for a byte range of a page.
+struct PageUpdate {
+  BlockNum page = 0;
+  size_t offset = 0;
+  std::vector<uint8_t> bytes;
+};
+
+/// Common page-store interface.
+class StorageManager {
+ public:
+  virtual ~StorageManager() = default;
+
+  virtual TxnId Begin() = 0;
+  virtual Status Update(TxnId txn, const PageUpdate& update) = 0;
+  virtual Status Commit(TxnId txn) = 0;
+  virtual Status Abort(TxnId txn) = 0;
+  /// Reads a page as seen by `txn` (its own writes, else last committed).
+  virtual Result<Block> Read(TxnId txn, BlockNum page) = 0;
+  /// Reads the last committed contents of a page.
+  virtual Result<Block> ReadCommitted(BlockNum page) = 0;
+
+  /// Simulates a crash of the manager's host: all volatile state vanishes.
+  virtual void CrashVolatile() = 0;
+  /// Restart-time recovery. For WAL this is the two-phase log pass; for
+  /// no-overwrite it only re-reads the root. Returns the physical ops the
+  /// pass performed through the RADD (which is where §3.4's G-remote-read
+  /// amplification shows up when the home site is degraded).
+  virtual Result<OpCounts> Recover(SiteId client) = 0;
+
+  /// Number of pages the manager exposes.
+  virtual BlockNum num_pages() const = 0;
+};
+
+/// WAL over a RADD member. Layout of the member's data blocks:
+///   [0, log_capacity)                   — the log
+///   [log_capacity, log_capacity+pages)  — data pages
+class WalStorageManager : public StorageManager {
+ public:
+  WalStorageManager(RaddGroup* group, int member, BlockNum log_capacity,
+                    BlockNum pages);
+
+  TxnId Begin() override;
+  Status Update(TxnId txn, const PageUpdate& update) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+  Result<Block> Read(TxnId txn, BlockNum page) override;
+  Result<Block> ReadCommitted(BlockNum page) override;
+  void CrashVolatile() override;
+  Result<OpCounts> Recover(SiteId client) override;
+  BlockNum num_pages() const override { return pages_; }
+
+  /// Flushes dirty buffered pages to the RADD (steal). Called by tests to
+  /// create redo/undo work before a crash.
+  Status FlushPages();
+  /// Number of log blocks written so far.
+  BlockNum log_blocks_used() const { return log_next_; }
+
+ private:
+  struct LogRecord {
+    enum class Type : uint8_t { kUpdate = 1, kCommit = 2, kAbort = 3 };
+    Type type = Type::kUpdate;
+    TxnId txn = 0;
+    BlockNum page = 0;
+    uint32_t offset = 0;
+    std::vector<uint8_t> before;
+    std::vector<uint8_t> after;
+  };
+  static void Serialize(const LogRecord& r, std::vector<uint8_t>* out);
+  static Result<std::vector<LogRecord>> Deserialize(
+      const std::vector<uint8_t>& bytes);
+
+  Status AppendToLog(const LogRecord& r);
+  Status FlushLog();
+  Result<Block> ReadPageFromDisk(BlockNum page);
+  Status WritePageToDisk(BlockNum page, const Block& contents);
+
+  RaddGroup* group_;
+  int member_;
+  SiteId home_site_;
+  BlockNum log_capacity_;
+  BlockNum pages_;
+
+  // --- volatile state -----------------------------------------------------
+  TxnId next_txn_ = 1;
+  std::set<TxnId> active_;
+  std::map<BlockNum, Block> buffer_pool_;  // dirty pages (steal/no-force)
+  std::vector<uint8_t> log_tail_;          // unflushed log bytes
+  BlockNum log_next_ = 0;                  // next log block to write
+};
+
+/// Shadow paging over a RADD member. Layout of the member's data blocks:
+///   0                 — the root (serialized page table + epoch)
+///   [1, capacity)     — page versions, allocated round-robin
+class NoOverwriteStorageManager : public StorageManager {
+ public:
+  NoOverwriteStorageManager(RaddGroup* group, int member, BlockNum pages);
+
+  TxnId Begin() override;
+  Status Update(TxnId txn, const PageUpdate& update) override;
+  Status Commit(TxnId txn) override;
+  Status Abort(TxnId txn) override;
+  Result<Block> Read(TxnId txn, BlockNum page) override;
+  Result<Block> ReadCommitted(BlockNum page) override;
+  void CrashVolatile() override;
+  Result<OpCounts> Recover(SiteId client) override;
+  BlockNum num_pages() const override { return pages_; }
+
+ private:
+  Result<Block> ReadPhysical(BlockNum block);
+  Status WritePhysical(BlockNum block, const Block& contents);
+  /// Serializes table_ + epoch into the root block; atomic install.
+  Status WriteRoot();
+  Status LoadRoot();
+  BlockNum AllocateBlock();
+
+  RaddGroup* group_;
+  int member_;
+  SiteId home_site_;
+  BlockNum pages_;
+  BlockNum capacity_;
+
+  // --- volatile caches of durable state ------------------------------------
+  uint64_t epoch_ = 0;
+  std::vector<BlockNum> table_;  // committed page -> physical block (0=none)
+  BlockNum alloc_cursor_ = 1;
+
+  TxnId next_txn_ = 1;
+  struct TxnState {
+    std::map<BlockNum, BlockNum> shadow;  // page -> fresh physical block
+  };
+  std::map<TxnId, TxnState> active_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_TXN_STORAGE_MANAGER_H_

@@ -1,0 +1,62 @@
+#include "txn/transaction.h"
+
+namespace radd {
+
+TxnId TransactionManager::Begin() {
+  TxnId id = store_->Begin();
+  active_.insert(id);
+  return id;
+}
+
+Status TransactionManager::Lock(TxnId txn, BlockNum page, LockMode mode) {
+  if (active_.count(txn) == 0) {
+    return Status::InvalidArgument("txn not active");
+  }
+  LockKey key{lock_site_, page};
+  switch (locks_->Acquire(txn, key, mode)) {
+    case LockResult::kGranted:
+      return Status::OK();
+    case LockResult::kWait:
+      return Status::LockConflict("would wait for page " +
+                                  std::to_string(page));
+    case LockResult::kAbort: {
+      // Wait-die: the younger requester dies. Roll back now so its locks
+      // and effects are gone when the caller sees the status.
+      Status st = Abort(txn);
+      (void)st;
+      return Status::Aborted("wait-die: older transaction holds page " +
+                             std::to_string(page));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<Block> TransactionManager::Read(TxnId txn, BlockNum page) {
+  RADD_RETURN_NOT_OK(Lock(txn, page, LockMode::kShared));
+  return store_->Read(txn, page);
+}
+
+Status TransactionManager::Update(TxnId txn, const PageUpdate& update) {
+  RADD_RETURN_NOT_OK(Lock(txn, update.page, LockMode::kExclusive));
+  return store_->Update(txn, update);
+}
+
+Status TransactionManager::Commit(TxnId txn) {
+  if (active_.erase(txn) == 0) {
+    return Status::InvalidArgument("txn not active");
+  }
+  RADD_RETURN_NOT_OK(store_->Commit(txn));
+  granted_ = locks_->ReleaseAll(txn);
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(TxnId txn) {
+  if (active_.erase(txn) == 0) {
+    return Status::InvalidArgument("txn not active");
+  }
+  Status st = store_->Abort(txn);
+  granted_ = locks_->ReleaseAll(txn);
+  return st;
+}
+
+}  // namespace radd

@@ -1,0 +1,71 @@
+// TransactionManager — strict two-phase locking on top of a
+// StorageManager, completing the §3.3/§3.4 stack: page-granular
+// shared/exclusive locks with wait-die deadlock prevention, acquired as
+// the transaction touches pages and held to commit/abort.
+//
+// The manager is cooperative (the simulation is single-threaded): a lock
+// conflict surfaces as a status instead of blocking —
+//   * LockConflict("would wait")  — the requester queued behind younger
+//     holders; retry the operation after other transactions release;
+//   * Aborted(...)                — wait-die killed the transaction; it
+//     has been rolled back and its locks are gone; start a new one.
+// Tests drive interleavings with a round-robin scheduler over these
+// statuses.
+
+#ifndef RADD_TXN_TRANSACTION_H_
+#define RADD_TXN_TRANSACTION_H_
+
+#include <map>
+#include <set>
+
+#include "txn/lock_manager.h"
+#include "txn/storage_manager.h"
+
+namespace radd {
+
+/// Strict 2PL transactions over a page store.
+class TransactionManager {
+ public:
+  /// `lock_site` tags this store's pages in the (shared) lock manager so
+  /// several managers can coexist on one LockManager.
+  TransactionManager(StorageManager* store, LockManager* locks,
+                     SiteId lock_site)
+      : store_(store), locks_(locks), lock_site_(lock_site) {}
+
+  /// Starts a transaction (ids order wait-die seniority: lower = older).
+  TxnId Begin();
+
+  /// Reads `page` under a shared lock.
+  Result<Block> Read(TxnId txn, BlockNum page);
+
+  /// Applies `update` under an exclusive lock.
+  Status Update(TxnId txn, const PageUpdate& update);
+
+  /// Commits and releases all locks.
+  Status Commit(TxnId txn);
+
+  /// Rolls back and releases all locks.
+  Status Abort(TxnId txn);
+
+  /// True while the transaction is live (not committed/aborted).
+  bool IsActive(TxnId txn) const { return active_.count(txn) > 0; }
+
+  /// Transactions whose queued lock requests were granted by the last
+  /// release; they should retry their pending operation.
+  const std::vector<TxnId>& recently_granted() const { return granted_; }
+
+ private:
+  /// Acquires `mode` on `page` for `txn`, translating wait-die outcomes:
+  /// kAbort rolls the transaction back and returns Aborted.
+  Status Lock(TxnId txn, BlockNum page, LockMode mode);
+
+  StorageManager* store_;
+  LockManager* locks_;
+  SiteId lock_site_;
+  std::set<TxnId> active_;
+  std::vector<TxnId> granted_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_TXN_TRANSACTION_H_

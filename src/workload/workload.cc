@@ -1,0 +1,144 @@
+#include "workload/workload.h"
+
+#include <cassert>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace radd {
+
+WorkloadGenerator::WorkloadGenerator(const WorkloadConfig& config,
+                                     uint64_t seed)
+    : config_(config),
+      rng_(seed),
+      block_picker_(config.blocks_per_member, config.zipf_theta, &rng_) {
+  assert(config.record_size <= config.block_size);
+}
+
+Operation WorkloadGenerator::Next() {
+  Operation op;
+  op.kind = rng_.Bernoulli(config_.read_fraction) ? Operation::Kind::kRead
+                                                  : Operation::Kind::kUpdate;
+  op.member = static_cast<int>(
+      rng_.Uniform(static_cast<uint64_t>(config_.num_members)));
+  op.block = block_picker_.Next();
+  if (op.kind == Operation::Kind::kUpdate) {
+    size_t slots = config_.block_size / config_.record_size;
+    op.record_offset = config_.record_size * rng_.Uniform(slots);
+    op.record_size = config_.record_size;
+  }
+  return op;
+}
+
+std::vector<Operation> WorkloadGenerator::Generate(size_t n) {
+  std::vector<Operation> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) out.push_back(Next());
+  return out;
+}
+
+BufferPoolModel::BufferPoolModel(size_t block_size, int flush_after)
+    : block_size_(block_size), flush_after_(flush_after) {
+  assert(flush_after >= 1);
+}
+
+std::optional<BufferPoolModel::Flush> BufferPoolModel::ApplyUpdate(
+    const Operation& op, const std::vector<uint8_t>& payload,
+    const Block& current_disk_contents) {
+  assert(op.kind == Operation::Kind::kUpdate);
+  assert(payload.size() == op.record_size);
+  auto key = std::make_pair(op.member, op.block);
+  auto it = pool_.find(key);
+  if (it == pool_.end()) {
+    Entry e;
+    e.old_contents = current_disk_contents;
+    e.new_contents = current_disk_contents;
+    it = pool_.emplace(key, std::move(e)).first;
+  }
+  Entry& e = it->second;
+  Status st = e.new_contents.WriteAt(op.record_offset, payload.data(),
+                                     payload.size());
+  (void)st;
+  assert(st.ok());
+  ++e.updates;
+  if (e.updates < flush_after_) return std::nullopt;
+  Flush f{op.member, op.block, std::move(e.old_contents),
+          std::move(e.new_contents)};
+  pool_.erase(it);
+  return f;
+}
+
+std::vector<BufferPoolModel::Flush> BufferPoolModel::DrainAll() {
+  std::vector<Flush> out;
+  for (auto& [key, e] : pool_) {
+    out.push_back(Flush{key.first, key.second, std::move(e.old_contents),
+                        std::move(e.new_contents)});
+  }
+  pool_.clear();
+  return out;
+}
+
+std::string TraceToString(const std::vector<Operation>& trace) {
+  std::ostringstream out;
+  for (const Operation& op : trace) {
+    if (op.IsRead()) {
+      out << "R " << op.member << " " << op.block << "\n";
+    } else {
+      out << "U " << op.member << " " << op.block << " " << op.record_offset
+          << " " << op.record_size << "\n";
+    }
+  }
+  return out.str();
+}
+
+Result<std::vector<Operation>> TraceFromString(const std::string& text) {
+  std::vector<Operation> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    char kind;
+    Operation op;
+    if (!(ls >> kind >> op.member >> op.block)) {
+      return Status::InvalidArgument("malformed trace line " +
+                                     std::to_string(lineno));
+    }
+    if (kind == 'R') {
+      op.kind = Operation::Kind::kRead;
+    } else if (kind == 'U') {
+      op.kind = Operation::Kind::kUpdate;
+      if (!(ls >> op.record_offset >> op.record_size)) {
+        return Status::InvalidArgument("malformed update at line " +
+                                       std::to_string(lineno));
+      }
+    } else {
+      return Status::InvalidArgument("unknown op kind '" +
+                                     std::string(1, kind) + "' at line " +
+                                     std::to_string(lineno));
+    }
+    out.push_back(op);
+  }
+  return out;
+}
+
+Status SaveTrace(const std::vector<Operation>& trace,
+                 const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open " + path);
+  out << TraceToString(trace);
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + path);
+}
+
+Result<std::vector<Operation>> LoadTrace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return TraceFromString(buf.str());
+}
+
+}  // namespace radd

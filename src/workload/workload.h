@@ -1,0 +1,126 @@
+// Workload generation (paper §7.4's traffic model) and trace
+// record/replay.
+//
+// The paper's bandwidth analysis assumes record-structured pages: "if
+// blocks are 4K in size and records are 100 bytes, then an update of all
+// fields of a data record will cause 2.5 percent of the block to be
+// changed", with locality such that "the average block [is] changed four
+// times in memory before it is returned to disk".
+//
+// A WorkloadGenerator emits logical operations against (member, block)
+// addresses; a BufferPoolModel folds consecutive record updates to the
+// same block into one disk write, reproducing the locality factor.
+
+#ifndef RADD_WORKLOAD_WORKLOAD_H_
+#define RADD_WORKLOAD_WORKLOAD_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/uid.h"
+
+namespace radd {
+
+/// One logical operation.
+struct Operation {
+  enum class Kind { kRead, kUpdate };
+  Kind kind = Kind::kRead;
+  /// Group member whose data is addressed.
+  int member = 0;
+  /// Data block index at that member.
+  BlockNum block = 0;
+  /// For updates: the record touched within the block.
+  size_t record_offset = 0;
+  size_t record_size = 0;
+
+  bool IsRead() const { return kind == Kind::kRead; }
+};
+
+/// Parameters of the generated stream.
+struct WorkloadConfig {
+  /// Fraction of operations that are reads. §7.4 uses 1/2; Figure 7's
+  /// summary uses 2/3 ("reads happen twice as frequently as writes").
+  double read_fraction = 0.5;
+  /// Zipf skew over blocks (0 = uniform).
+  double zipf_theta = 0.0;
+  /// Record size within a block (the paper's 100 bytes).
+  size_t record_size = 100;
+  int num_members = 10;
+  BlockNum blocks_per_member = 64;
+  size_t block_size = Block::kDefaultSize;
+};
+
+/// Deterministic operation stream.
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(const WorkloadConfig& config, uint64_t seed);
+
+  Operation Next();
+
+  /// Generates a whole trace.
+  std::vector<Operation> Generate(size_t n);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  WorkloadConfig config_;
+  Rng rng_;
+  ZipfGenerator block_picker_;
+};
+
+/// Write-back buffer pool model for the §7.4 locality argument: an updated
+/// block stays in memory and absorbs further updates until `flush_after`
+/// distinct updates have hit it (the paper's "changed four times in memory
+/// before it is returned to disk"), at which point one physical write (and
+/// one parity delta covering all four updates) is emitted.
+class BufferPoolModel {
+ public:
+  BufferPoolModel(size_t block_size, int flush_after);
+
+  struct Flush {
+    int member;
+    BlockNum block;
+    Block old_contents;  ///< contents when the block entered the pool
+    Block new_contents;  ///< contents being flushed
+  };
+
+  /// Applies one update; returns a Flush when the block's dirty count
+  /// reaches the threshold. `payload` supplies the record's new bytes
+  /// (sized op.record_size).
+  std::optional<Flush> ApplyUpdate(const Operation& op,
+                                   const std::vector<uint8_t>& payload,
+                                   const Block& current_disk_contents);
+
+  /// Drains every dirty block (end of run).
+  std::vector<Flush> DrainAll();
+
+  size_t dirty_blocks() const { return pool_.size(); }
+
+ private:
+  struct Entry {
+    Block old_contents{0};
+    Block new_contents{0};
+    int updates = 0;
+  };
+  size_t block_size_;
+  int flush_after_;
+  std::map<std::pair<int, BlockNum>, Entry> pool_;
+};
+
+/// Text (de)serialization of traces, one op per line:
+///   R <member> <block>
+///   U <member> <block> <offset> <size>
+std::string TraceToString(const std::vector<Operation>& trace);
+Result<std::vector<Operation>> TraceFromString(const std::string& text);
+Status SaveTrace(const std::vector<Operation>& trace,
+                 const std::string& path);
+Result<std::vector<Operation>> LoadTrace(const std::string& path);
+
+}  // namespace radd
+
+#endif  // RADD_WORKLOAD_WORKLOAD_H_

@@ -1,0 +1,107 @@
+// Tests for cluster/site state machinery and failure injection.
+
+#include "cluster/cluster.h"
+
+#include <gtest/gtest.h>
+
+namespace radd {
+namespace {
+
+SiteConfig Small() { return SiteConfig{2, 8, 256}; }
+
+TEST(Cluster, SitesStartUp) {
+  Cluster c(4, Small());
+  EXPECT_EQ(c.num_sites(), 4);
+  for (SiteId s = 0; s < 4; ++s) {
+    EXPECT_EQ(c.StateOf(s), SiteState::kUp);
+  }
+  EXPECT_EQ(c.UnhealthySites(), 0);
+}
+
+TEST(Cluster, UnknownSiteIsDownAndNull) {
+  Cluster c(2, Small());
+  EXPECT_EQ(c.site(5), nullptr);
+  EXPECT_EQ(c.StateOf(5), SiteState::kDown);
+  EXPECT_TRUE(c.CrashSite(5).IsNotFound());
+}
+
+TEST(Cluster, CrashRestoreLifecycle) {
+  Cluster c(3, Small());
+  ASSERT_TRUE(c.CrashSite(1).ok());
+  EXPECT_EQ(c.StateOf(1), SiteState::kDown);
+  EXPECT_TRUE(c.CrashSite(1).IsInvalidArgument()) << "already down";
+  EXPECT_EQ(c.SitesIn(SiteState::kDown), std::vector<SiteId>{1});
+  ASSERT_TRUE(c.RestoreSite(1).ok());
+  EXPECT_EQ(c.StateOf(1), SiteState::kRecovering);
+  EXPECT_TRUE(c.RestoreSite(1).IsInvalidArgument()) << "not down anymore";
+  ASSERT_TRUE(c.MarkUp(1).ok());
+  EXPECT_EQ(c.StateOf(1), SiteState::kUp);
+  EXPECT_EQ(c.UnhealthySites(), 0);
+}
+
+TEST(Cluster, TemporaryCrashKeepsDiskContents) {
+  Cluster c(2, Small());
+  Block b(256);
+  b.FillPattern(1);
+  ASSERT_TRUE(c.site(0)->disks()->Write(3, b, Uid::Make(0, 1)).ok());
+  ASSERT_TRUE(c.CrashSite(0).ok());
+  ASSERT_TRUE(c.RestoreSite(0).ok());
+  Result<BlockRecord> r = c.site(0)->disks()->Read(3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, b);
+}
+
+TEST(Cluster, DisasterLosesAllDisks) {
+  Cluster c(2, Small());
+  Block b(256);
+  b.FillPattern(1);
+  ASSERT_TRUE(c.site(0)->disks()->Write(3, b, Uid::Make(0, 1)).ok());
+  ASSERT_TRUE(c.site(0)->disks()->Write(12, b, Uid::Make(0, 2)).ok());
+  ASSERT_TRUE(c.DisasterSite(0).ok());
+  EXPECT_EQ(c.StateOf(0), SiteState::kDown);
+  ASSERT_TRUE(c.RestoreSite(0).ok());
+  EXPECT_TRUE(c.site(0)->disks()->Read(3).status().IsDataLoss());
+  EXPECT_TRUE(c.site(0)->disks()->Read(12).status().IsDataLoss());
+}
+
+TEST(Cluster, DiskFailureMovesUpToRecovering) {
+  Cluster c(2, Small());
+  ASSERT_TRUE(c.FailDisk(0, 1).ok());
+  EXPECT_EQ(c.StateOf(0), SiteState::kRecovering);
+  // Disk 0's blocks intact, disk 1's lost.
+  EXPECT_TRUE(c.site(0)->disks()->Read(0).ok());
+  EXPECT_TRUE(c.site(0)->disks()->Read(8).status().IsDataLoss());
+  // Failing a disk at a down site is rejected.
+  ASSERT_TRUE(c.CrashSite(1).ok());
+  EXPECT_TRUE(c.FailDisk(1, 0).IsInvalidArgument());
+}
+
+TEST(Cluster, HeterogeneousConfigs) {
+  std::vector<SiteConfig> configs = {
+      {1, 4, 256},
+      {2, 8, 256},
+      {4, 2, 256},
+  };
+  Cluster c(configs);
+  EXPECT_EQ(c.site(0)->disks()->total_blocks(), 4u);
+  EXPECT_EQ(c.site(1)->disks()->total_blocks(), 16u);
+  EXPECT_EQ(c.site(2)->disks()->total_blocks(), 8u);
+}
+
+TEST(Cluster, UidGeneratorsArePerSite) {
+  Cluster c(2, Small());
+  Uid a = c.site(0)->uids()->Next();
+  Uid b = c.site(1)->uids()->Next();
+  EXPECT_EQ(a.site(), 0u);
+  EXPECT_EQ(b.site(), 1u);
+  EXPECT_NE(a, b);
+}
+
+TEST(SiteStateName, Names) {
+  EXPECT_EQ(SiteStateName(SiteState::kUp), "up");
+  EXPECT_EQ(SiteStateName(SiteState::kDown), "down");
+  EXPECT_EQ(SiteStateName(SiteState::kRecovering), "recovering");
+}
+
+}  // namespace
+}  // namespace radd

@@ -1,0 +1,347 @@
+// Unit tests for the common substrate: Status/Result, UIDs, blocks and
+// the XOR/change-mask algebra, RNG, and formatting.
+
+#include <gtest/gtest.h>
+
+#include "common/block.h"
+#include "common/format.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/uid.h"
+
+namespace radd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Status / Result.
+// ---------------------------------------------------------------------------
+
+TEST(Status, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_TRUE(st.message().empty());
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("no block 7");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "no block 7");
+  EXPECT_EQ(st.ToString(), "NotFound: no block 7");
+}
+
+TEST(Status, AllConstructorsProduceMatchingPredicates) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Inconsistent("x").IsInconsistent());
+  EXPECT_TRUE(Status::Blocked("x").IsBlocked());
+  EXPECT_TRUE(Status::LockConflict("x").IsLockConflict());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::NetworkError("x").IsNetworkError());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(Status, CopyIsCheapAndShared) {
+  Status a = Status::Internal("boom");
+  Status b = a;
+  EXPECT_EQ(b.message(), "boom");
+  EXPECT_TRUE(b.IsInternal());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultT, ValueAndError) {
+  Result<int> ok = ParsePositive(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_EQ(ok.ValueOr(-1), 5);
+
+  Result<int> err = ParsePositive(-2);
+  EXPECT_FALSE(err.ok());
+  EXPECT_TRUE(err.status().IsInvalidArgument());
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+Result<int> Doubled(int v) {
+  RADD_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  return 2 * x;
+}
+
+TEST(ResultT, AssignOrReturnMacro) {
+  ASSERT_TRUE(Doubled(21).ok());
+  EXPECT_EQ(*Doubled(21), 42);
+  EXPECT_FALSE(Doubled(0).ok());
+}
+
+// ---------------------------------------------------------------------------
+// UIDs.
+// ---------------------------------------------------------------------------
+
+TEST(Uid, ZeroIsInvalid) {
+  Uid u;
+  EXPECT_FALSE(u.valid());
+  EXPECT_EQ(u.ToString(), "invalid");
+}
+
+TEST(Uid, PackingRoundTrips) {
+  Uid u = Uid::Make(37, 123456789);
+  EXPECT_TRUE(u.valid());
+  EXPECT_EQ(u.site(), 37u);
+  EXPECT_EQ(u.sequence(), 123456789u);
+  EXPECT_EQ(u.ToString(), "37.123456789");
+}
+
+TEST(UidGenerator, MonotoneAndSiteTagged) {
+  UidGenerator gen(9);
+  Uid a = gen.Next();
+  Uid b = gen.Next();
+  EXPECT_TRUE(a.valid());
+  EXPECT_LT(a, b);
+  EXPECT_EQ(a.site(), 9u);
+  EXPECT_EQ(gen.issued(), 2u);
+}
+
+TEST(UidGenerator, DistinctSitesNeverCollide) {
+  UidGenerator g1(1), g2(2);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_NE(g1.Next(), g2.Next());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Blocks and the XOR algebra.
+// ---------------------------------------------------------------------------
+
+TEST(Block, StartsZeroed) {
+  Block b(128);
+  EXPECT_EQ(b.size(), 128u);
+  EXPECT_TRUE(b.IsZero());
+}
+
+TEST(Block, XorSelfIsZero) {
+  Block b(64);
+  b.FillPattern(7);
+  Block x = Xor(b, b);
+  EXPECT_TRUE(x.IsZero());
+}
+
+TEST(Block, XorIsAssociativeAndCommutative) {
+  Block a(64), b(64), c(64);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  c.FillPattern(3);
+  EXPECT_EQ(Xor(Xor(a, b), c), Xor(a, Xor(b, c)));
+  EXPECT_EQ(Xor(a, b), Xor(b, a));
+}
+
+TEST(Block, XorSizeMismatchRejected) {
+  Block a(64), b(32);
+  EXPECT_TRUE(a.XorWith(b).IsInvalidArgument());
+}
+
+TEST(Block, XorAllReconstructsMissingMember) {
+  // Formula (2): any member equals the XOR of parity and the others.
+  std::vector<Block> data;
+  Block parity(64);
+  for (uint64_t i = 0; i < 5; ++i) {
+    Block b(64);
+    b.FillPattern(100 + i);
+    parity.XorWith(b);
+    data.push_back(std::move(b));
+  }
+  for (size_t missing = 0; missing < data.size(); ++missing) {
+    std::vector<const Block*> sources = {&parity};
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (i != missing) sources.push_back(&data[i]);
+    }
+    Result<Block> rec = XorAll(sources);
+    ASSERT_TRUE(rec.ok());
+    EXPECT_EQ(*rec, data[missing]) << "missing " << missing;
+  }
+}
+
+TEST(Block, XorAllRejectsEmpty) {
+  EXPECT_FALSE(XorAll({}).ok());
+}
+
+TEST(Block, WriteAtBoundsChecked) {
+  Block b(64);
+  uint8_t bytes[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+  EXPECT_TRUE(b.WriteAt(56, bytes, 8).ok());
+  EXPECT_FALSE(b.WriteAt(57, bytes, 8).ok());
+  EXPECT_EQ(b[56], 1);
+  EXPECT_EQ(b[63], 8);
+}
+
+TEST(Block, ChecksumDetectsChange) {
+  Block a(64), b(64);
+  a.FillPattern(1);
+  b.FillPattern(1);
+  EXPECT_EQ(a.Checksum(), b.Checksum());
+  b[10] ^= 1;
+  EXPECT_NE(a.Checksum(), b.Checksum());
+}
+
+TEST(ChangeMask, ParityUpdateFormula1) {
+  // parity' = parity XOR (new XOR old) keeps parity = XOR of members.
+  Block a(64), b(64), parity(64);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  parity = Xor(a, b);
+  Block a2(64);
+  a2.FillPattern(9);
+  Result<ChangeMask> mask = ChangeMask::Diff(a, a2);
+  ASSERT_TRUE(mask.ok());
+  ASSERT_TRUE(mask->ApplyTo(&parity).ok());
+  EXPECT_EQ(parity, Xor(a2, b));
+}
+
+TEST(ChangeMask, ApplyTwiceIsIdentity) {
+  Block oldv(64), newv(64);
+  oldv.FillPattern(3);
+  newv.FillPattern(4);
+  Result<ChangeMask> mask = ChangeMask::Diff(oldv, newv);
+  ASSERT_TRUE(mask.ok());
+  Block x = oldv;
+  ASSERT_TRUE(mask->ApplyTo(&x).ok());
+  EXPECT_EQ(x, newv);
+  ASSERT_TRUE(mask->ApplyTo(&x).ok());
+  EXPECT_EQ(x, oldv);
+}
+
+TEST(ChangeMask, SmallUpdateEncodesSmall) {
+  // §7.4: a 100-byte record update in a 4 KB block ships ~100 bytes.
+  Block oldv(4096), newv(4096);
+  oldv.FillPattern(1);
+  newv = oldv;
+  for (size_t i = 1000; i < 1100; ++i) newv[i] ^= 0xFF;
+  Result<ChangeMask> mask = ChangeMask::Diff(oldv, newv);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->ChangedBytes(), 100u);
+  EXPECT_LT(mask->EncodedSize(), 200u);
+  EXPECT_GE(mask->EncodedSize(), 100u);
+}
+
+TEST(ChangeMask, NoopIsTiny) {
+  Block b(4096);
+  b.FillPattern(5);
+  Result<ChangeMask> mask = ChangeMask::Diff(b, b);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_TRUE(mask->IsNoop());
+  EXPECT_LE(mask->EncodedSize(), 8u);
+}
+
+TEST(ChangeMask, ScatteredRunsCoalesceSensibly) {
+  Block oldv(4096), newv(4096);
+  newv = oldv;
+  // Two runs 4 bytes apart (closer than the 8-byte header) coalesce.
+  newv[100] = 1;
+  newv[105] = 1;
+  Result<ChangeMask> near = ChangeMask::Diff(oldv, newv);
+  // Two runs far apart stay separate.
+  Block far_block = oldv;
+  far_block[100] = 1;
+  far_block[400] = 1;
+  Result<ChangeMask> far = ChangeMask::Diff(oldv, far_block);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(far.ok());
+  EXPECT_LT(near->EncodedSize(), far->EncodedSize());
+}
+
+TEST(ChangeMask, FullBlockChangeCostsBlockPlusHeaders) {
+  Block oldv(4096), newv(4096);
+  newv.FillPattern(1);
+  Result<ChangeMask> mask = ChangeMask::Diff(oldv, newv);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_GE(mask->EncodedSize(), 4096u);
+  EXPECT_LT(mask->EncodedSize(), 4096u + 64u);
+}
+
+// ---------------------------------------------------------------------------
+// RNG.
+// ---------------------------------------------------------------------------
+
+TEST(Rng, DeterministicUnderSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+    uint64_t v = rng.UniformRange(5, 9);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 9u);
+  }
+}
+
+TEST(Rng, ExponentialMeanApproximatelyCorrect) {
+  Rng rng(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(150.0);
+  EXPECT_NEAR(sum / n, 150.0, 5.0);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(3);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Zipf, ThetaZeroIsUniformish) {
+  Rng rng(5);
+  ZipfGenerator z(10, 0.0, &rng);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 10000; ++i) ++counts[static_cast<size_t>(z.Next())];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(Zipf, SkewFavorsSmallKeys) {
+  Rng rng(5);
+  ZipfGenerator z(1000, 0.9, &rng);
+  int head = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (z.Next() < 100) ++head;
+  }
+  // With theta=0.9 the top 10% of keys draw well over half the accesses.
+  EXPECT_GT(head, n / 2);
+}
+
+// ---------------------------------------------------------------------------
+// Formatting.
+// ---------------------------------------------------------------------------
+
+TEST(Format, Doubles) {
+  EXPECT_EQ(FormatDouble(1.2345, 2), "1.23");
+  EXPECT_EQ(FormatDouble(30, 0), "30");
+}
+
+TEST(Format, Hours) {
+  EXPECT_EQ(FormatHours(150), "150.0 hours");
+  EXPECT_EQ(FormatHours(24 * 365 * 2), "2.00 years");
+}
+
+TEST(TextTable, RendersAlignedColumns) {
+  TextTable t("Title");
+  t.SetHeader({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  std::string s = t.Render();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(s.find("| b     | 22    |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radd

@@ -1,0 +1,111 @@
+// Tests for the heartbeat failure detector and its integration with the
+// protocol layer.
+
+#include "cluster/heartbeat.h"
+
+#include <gtest/gtest.h>
+
+#include "core/node.h"
+
+namespace radd {
+namespace {
+
+class HeartbeatTest : public ::testing::Test {
+ protected:
+  HeartbeatTest()
+      : net_(&sim_, NetworkModel{}, 3),
+        cluster_(4, SiteConfig{1, 8, 256}),
+        detector_(&sim_, &net_, &cluster_, {0, 1, 2, 3}) {}
+
+  Simulator sim_;
+  Network net_;
+  Cluster cluster_;
+  HeartbeatDetector detector_;
+};
+
+TEST_F(HeartbeatTest, AllUpNobodySuspected) {
+  detector_.Start();
+  sim_.RunUntil(Seconds(10));
+  for (SiteId a = 0; a < 4; ++a) {
+    for (SiteId b = 0; b < 4; ++b) {
+      EXPECT_FALSE(detector_.Suspects(a, b)) << a << " suspects " << b;
+      EXPECT_EQ(detector_.Perceived(a, b), SiteState::kUp);
+    }
+  }
+}
+
+TEST_F(HeartbeatTest, CrashedSiteGetsSuspected) {
+  detector_.Start();
+  sim_.RunUntil(Seconds(5));
+  ASSERT_TRUE(cluster_.CrashSite(2).ok());
+  sim_.RunUntil(Seconds(10));
+  for (SiteId a : {0u, 1u, 3u}) {
+    EXPECT_TRUE(detector_.Suspects(a, 2)) << a;
+    EXPECT_EQ(detector_.Perceived(a, 2), SiteState::kDown);
+  }
+  EXPECT_FALSE(detector_.Suspects(0, 1));
+}
+
+TEST_F(HeartbeatTest, SuspicionClearsOnReturn) {
+  detector_.Start();
+  sim_.RunUntil(Seconds(5));
+  ASSERT_TRUE(cluster_.CrashSite(2).ok());
+  sim_.RunUntil(Seconds(10));
+  ASSERT_TRUE(detector_.Suspects(0, 2));
+  ASSERT_TRUE(cluster_.RestoreSite(2).ok());
+  ASSERT_TRUE(cluster_.MarkUp(2).ok());
+  sim_.RunUntil(Seconds(15));
+  EXPECT_FALSE(detector_.Suspects(0, 2));
+  EXPECT_GE(detector_.transitions(), 6u);  // 3 raised + 3 cleared
+}
+
+TEST_F(HeartbeatTest, PartitionLooksLikeFailureFromBothSides) {
+  detector_.Start();
+  sim_.RunUntil(Seconds(5));
+  net_.SetPartitions({{0, 1, 2}, {3}});
+  sim_.RunUntil(Seconds(10));
+  // Majority suspects the singleton; the singleton suspects everyone.
+  EXPECT_TRUE(detector_.Suspects(0, 3));
+  EXPECT_TRUE(detector_.Suspects(3, 0));
+  EXPECT_TRUE(detector_.Suspects(3, 1));
+  EXPECT_FALSE(detector_.Suspects(0, 1));
+  net_.Heal();
+  sim_.RunUntil(Seconds(15));
+  EXPECT_FALSE(detector_.Suspects(0, 3));
+  EXPECT_FALSE(detector_.Suspects(3, 0));
+}
+
+TEST(HeartbeatIntegration, ChainsToProtocolHandlers) {
+  // The detector must not eat the RADD protocol's messages.
+  RaddConfig config;
+  config.group_size = 4;
+  config.rows = 12;
+  config.block_size = 256;
+  Simulator sim;
+  Network net(&sim, NetworkModel{}, 5);
+  Cluster cluster(6, SiteConfig{1, 12, 256});
+  RaddNodeSystem sys(&sim, &net, &cluster, config);
+  HeartbeatDetector detector(&sim, &net, &cluster, {0, 1, 2, 3, 4, 5});
+  detector.Start();
+
+  Block b(256);
+  b.FillPattern(1);
+  auto w = sys.Write(1, 1, 0, b);
+  ASSERT_TRUE(w.status.ok());
+  auto r = sys.Read(2, 1, 0);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data, b);
+
+  // Detector-driven degraded operation: crash a site, let the detector
+  // notice, then feed its verdicts to the protocol layer.
+  ASSERT_TRUE(cluster.CrashSite(1).ok());
+  sim.RunUntil(sim.Now() + Seconds(5));
+  ASSERT_TRUE(detector.Suspects(2, 1));
+  sys.SetPresumedState(2, 1, detector.Perceived(2, 1));
+  auto dr = sys.Read(2, 1, 0);
+  ASSERT_TRUE(dr.status.ok()) << dr.status.ToString();
+  EXPECT_EQ(dr.data, b);
+}
+
+}  // namespace
+}  // namespace radd

@@ -1,0 +1,490 @@
+// Scenario tests for the RADD algorithms (paper §3), including the exact
+// Figure-3 operation counts.
+
+#include "core/radd.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace radd {
+namespace {
+
+Block MakeBlock(uint64_t seed, size_t size = Block::kDefaultSize) {
+  Block b(size);
+  b.FillPattern(seed);
+  return b;
+}
+
+class RaddGroupTest : public ::testing::Test {
+ protected:
+  RaddGroupTest() { Recreate(8); }
+
+  void Recreate(int g, BlockNum rows = 0) {
+    config_.group_size = g;
+    config_.rows = rows == 0 ? static_cast<BlockNum>(3 * (g + 2)) : rows;
+    SiteConfig sc;
+    sc.num_disks = 1;
+    sc.blocks_per_disk = config_.rows;
+    sc.block_size = config_.block_size;
+    cluster_ = std::make_unique<Cluster>(g + 2, sc);
+    group_ = std::make_unique<RaddGroup>(cluster_.get(), config_);
+  }
+
+  /// Convenience: write from the member's own site.
+  OpResult WriteLocal(int home, BlockNum i, const Block& b) {
+    return group_->Write(group_->SiteOfMember(home), home, i, b);
+  }
+  OpResult ReadLocal(int home, BlockNum i) {
+    return group_->Read(group_->SiteOfMember(home), home, i);
+  }
+
+  RaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddGroup> group_;
+};
+
+// ---------------------------------------------------------------------------
+// Normal operation.
+// ---------------------------------------------------------------------------
+
+TEST_F(RaddGroupTest, ReadBackAfterWrite) {
+  Block b = MakeBlock(42);
+  OpResult w = WriteLocal(2, 5, b);
+  ASSERT_TRUE(w.ok()) << w.status.ToString();
+  OpResult r = ReadLocal(2, 5);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, b);
+  EXPECT_EQ(r.uid, w.uid);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(RaddGroupTest, UnwrittenBlockReadsAsZero) {
+  OpResult r = ReadLocal(0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r.data.IsZero());
+  EXPECT_FALSE(r.uid.valid());
+}
+
+TEST_F(RaddGroupTest, NormalReadCostsOneLocalRead) {
+  // Figure 3 row 1: no-failure read = R.
+  WriteLocal(3, 0, MakeBlock(1));
+  OpResult r = ReadLocal(3, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.counts.local_reads, 1u);
+  EXPECT_EQ(r.counts.Total(), 1u);
+}
+
+TEST_F(RaddGroupTest, NormalWriteCostsLocalPlusRemoteWrite) {
+  // Figure 3 row 2: no-failure write = W + RW.
+  OpResult w = WriteLocal(3, 0, MakeBlock(1));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.counts.local_writes, 1u);
+  EXPECT_EQ(w.counts.remote_writes, 1u);
+  EXPECT_EQ(w.counts.Total(), 2u);
+  EXPECT_EQ(w.counts.ToFormula(), "W+RW");
+}
+
+TEST_F(RaddGroupTest, RemoteClientWriteUsesRemoteOps) {
+  SiteId client = group_->SiteOfMember(0);
+  OpResult w = group_->Write(client, 3, 0, MakeBlock(1));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.counts.local_writes, 0u);
+  EXPECT_EQ(w.counts.remote_writes, 2u);
+}
+
+TEST_F(RaddGroupTest, OverwriteMaintainsParity) {
+  for (uint64_t v = 0; v < 5; ++v) {
+    ASSERT_TRUE(WriteLocal(4, 7, MakeBlock(v)).ok());
+    ASSERT_TRUE(group_->VerifyInvariants().ok()) << "after write " << v;
+  }
+  OpResult r = ReadLocal(4, 7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, MakeBlock(4));
+}
+
+TEST_F(RaddGroupTest, WritesToAllMembersKeepInvariants) {
+  for (int m = 0; m < group_->num_members(); ++m) {
+    for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+      ASSERT_TRUE(WriteLocal(m, i, MakeBlock(uint64_t(m) * 100 + i)).ok());
+    }
+  }
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+  // Every block reads back.
+  for (int m = 0; m < group_->num_members(); ++m) {
+    for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+      OpResult r = ReadLocal(m, i);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(r.data, MakeBlock(uint64_t(m) * 100 + i));
+    }
+  }
+}
+
+TEST_F(RaddGroupTest, RejectsOutOfRangeBlockAndMember) {
+  EXPECT_TRUE(ReadLocal(0, group_->DataBlocksPerMember())
+                  .status.IsInvalidArgument());
+  EXPECT_TRUE(group_->Read(0, -1, 0).status.IsInvalidArgument());
+  EXPECT_TRUE(group_->Read(0, group_->num_members(), 0)
+                  .status.IsInvalidArgument());
+  EXPECT_TRUE(WriteLocal(0, 0, Block(17)).status.IsInvalidArgument());
+}
+
+// ---------------------------------------------------------------------------
+// Site failure (temporary outage).
+// ---------------------------------------------------------------------------
+
+TEST_F(RaddGroupTest, DegradedReadReconstructs) {
+  Block b = MakeBlock(7);
+  ASSERT_TRUE(WriteLocal(2, 4, b).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+
+  // Read from the spare site so the counting matches Figure 3's G*RR.
+  BlockNum row = group_->layout().DataToRow(2, 4);
+  SiteId spare_site =
+      group_->SiteOfMember(static_cast<int>(group_->layout().SpareSite(row)));
+  OpResult r = group_->Read(spare_site, 2, 4);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, b);
+  // Figure 3 row 6: site-failure read = G * RR.
+  EXPECT_EQ(r.counts.remote_reads, static_cast<uint64_t>(config_.group_size));
+  EXPECT_EQ(r.counts.local_reads, 0u);
+}
+
+TEST_F(RaddGroupTest, DegradedReadMaterializesIntoSpare) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(7)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  SiteId client = group_->SiteOfMember(0);
+  OpResult first = group_->Read(client, 2, 4);
+  ASSERT_TRUE(first.ok());
+  EXPECT_GT(first.counts.Total(), 1u);
+  // "Subsequent reads can thereby be resolved by accessing only the spare."
+  OpResult second = group_->Read(client, 2, 4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.data, MakeBlock(7));
+  EXPECT_EQ(second.counts.Total(), 1u);
+  EXPECT_EQ(group_->stats().Get("radd.materialize"), 1u);
+}
+
+TEST_F(RaddGroupTest, MaterializationAblation) {
+  config_.materialize_on_degraded_read = false;
+  Recreate(8);
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(7)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  SiteId client = group_->SiteOfMember(0);
+  ASSERT_TRUE(group_->Read(client, 2, 4).ok());
+  // Without materialization every read pays full reconstruction.
+  OpResult second = group_->Read(client, 2, 4);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.counts.Total(),
+            static_cast<uint64_t>(config_.group_size));
+  EXPECT_EQ(group_->stats().Get("radd.materialize"), 0u);
+}
+
+TEST_F(RaddGroupTest, DegradedWriteGoesToSpareAndParity) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(1)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  // Prime the spare with a degraded read so the write needs no
+  // reconstruction (Figure 3's steady-state 2*RW).
+  SiteId client = group_->SiteOfMember(0);
+  ASSERT_TRUE(group_->Read(client, 2, 4).ok());
+
+  Block b2 = MakeBlock(2);
+  OpResult w = group_->Write(client, 2, 4, b2);
+  ASSERT_TRUE(w.ok()) << w.status.ToString();
+  // Figure 3 row 7: site-failure write = 2 * RW.
+  EXPECT_EQ(w.counts.remote_writes, 2u);
+  EXPECT_EQ(w.counts.Total(), 2u);
+
+  OpResult r = group_->Read(client, 2, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, b2);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(RaddGroupTest, FirstDegradedWriteReconstructsOldValue) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(1)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  SiteId client = group_->SiteOfMember(0);
+  OpResult w = group_->Write(client, 2, 4, MakeBlock(2));
+  ASSERT_TRUE(w.ok());
+  // Spare was invalid: the old value had to be reconstructed first.
+  EXPECT_EQ(w.counts.remote_writes, 2u);
+  EXPECT_GE(w.counts.remote_reads + w.counts.local_reads,
+            static_cast<uint64_t>(config_.group_size) - 1);
+  EXPECT_EQ(group_->stats().Get("radd.degraded_write_reconstruct"), 1u);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(RaddGroupTest, DegradedWriteOfNeverWrittenBlock) {
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(5)).ok());
+  SiteId client = group_->SiteOfMember(1);
+  Block b = MakeBlock(9);
+  OpResult w = group_->Write(client, 5, 2, b);
+  ASSERT_TRUE(w.ok()) << w.status.ToString();
+  OpResult r = group_->Read(client, 5, 2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, b);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(RaddGroupTest, SecondSiteFailureBlocks) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(1)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(3)).ok());
+  SiteId client = group_->SiteOfMember(0);
+  OpResult r = group_->Read(client, 2, 4);
+  EXPECT_TRUE(r.status.IsBlocked()) << r.status.ToString();
+}
+
+// ---------------------------------------------------------------------------
+// Recovery.
+// ---------------------------------------------------------------------------
+
+TEST_F(RaddGroupTest, TemporaryFailureRecoveryDrainsSpares) {
+  Block before = MakeBlock(10);
+  Block during = MakeBlock(11);
+  ASSERT_TRUE(WriteLocal(1, 3, before).ok());
+  ASSERT_TRUE(WriteLocal(1, 4, before).ok());
+
+  SiteId failed = group_->SiteOfMember(1);
+  ASSERT_TRUE(cluster_->CrashSite(failed).ok());
+  SiteId client = group_->SiteOfMember(4);
+  ASSERT_TRUE(group_->Write(client, 1, 3, during).ok());  // into the spare
+
+  ASSERT_TRUE(cluster_->RestoreSite(failed).ok());
+  Result<OpCounts> rec = group_->RunRecovery(1);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(cluster_->StateOf(failed), SiteState::kUp);
+  EXPECT_EQ(group_->stats().Get("radd.recovery_spare_drained"), 1u);
+
+  // Block 3 reflects the degraded write, block 4 the original value;
+  // both now served locally.
+  OpResult r3 = ReadLocal(1, 3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3.data, during);
+  EXPECT_EQ(r3.counts.local_reads, 1u);
+  OpResult r4 = ReadLocal(1, 4);
+  ASSERT_TRUE(r4.ok());
+  EXPECT_EQ(r4.data, before);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(RaddGroupTest, RecoveryRequiresRecoveringState) {
+  EXPECT_TRUE(group_->RunRecovery(0).status().IsInvalidArgument());
+}
+
+TEST_F(RaddGroupTest, DisasterRecoveryRebuildsEverything) {
+  // Fill every member's data, then destroy one site completely.
+  for (int m = 0; m < group_->num_members(); ++m) {
+    for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+      ASSERT_TRUE(WriteLocal(m, i, MakeBlock(uint64_t(m) * 100 + i)).ok());
+    }
+  }
+  SiteId victim = group_->SiteOfMember(3);
+  ASSERT_TRUE(cluster_->DisasterSite(victim).ok());
+
+  // Degraded write while down.
+  SiteId client = group_->SiteOfMember(0);
+  Block fresh = MakeBlock(999);
+  ASSERT_TRUE(group_->Write(client, 3, 0, fresh).ok());
+
+  ASSERT_TRUE(cluster_->RestoreSite(victim).ok());
+  Result<OpCounts> rec = group_->RunRecovery(3);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(cluster_->StateOf(victim), SiteState::kUp);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+
+  // All data intact, including the degraded write.
+  OpResult r0 = ReadLocal(3, 0);
+  ASSERT_TRUE(r0.ok());
+  EXPECT_EQ(r0.data, fresh);
+  for (BlockNum i = 1; i < group_->DataBlocksPerMember(); ++i) {
+    OpResult r = ReadLocal(3, i);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.data, MakeBlock(300 + i)) << "block " << i;
+  }
+  // Parity rows hosted at the victim were rebuilt.
+  EXPECT_GT(group_->stats().Get("radd.recovery_parity_rebuilt"), 0u);
+}
+
+TEST_F(RaddGroupTest, RecoveryRebuildsStaleParityAfterOutage) {
+  // Writes made while the *parity* site is down are dropped and must be
+  // recomputed during its recovery.
+  ASSERT_TRUE(WriteLocal(2, 0, MakeBlock(1)).ok());
+  BlockNum row = group_->layout().DataToRow(2, 0);
+  int pm = static_cast<int>(group_->layout().ParitySite(row));
+  SiteId parity_site = group_->SiteOfMember(pm);
+
+  ASSERT_TRUE(cluster_->CrashSite(parity_site).ok());
+  ASSERT_TRUE(WriteLocal(2, 0, MakeBlock(2)).ok());
+  EXPECT_GT(group_->stats().Get("radd.parity_dropped"), 0u);
+
+  ASSERT_TRUE(cluster_->RestoreSite(parity_site).ok());
+  Result<OpCounts> rec = group_->RunRecovery(pm);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+
+  // Reconstruction through the rebuilt parity yields the new value.
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  OpResult r = group_->Read(group_->SiteOfMember(0), 2, 0);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, MakeBlock(2));
+}
+
+// ---------------------------------------------------------------------------
+// Disk failure.
+// ---------------------------------------------------------------------------
+
+TEST_F(RaddGroupTest, DiskFailureReadReconstructs) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(5)).ok());
+  SiteId site = group_->SiteOfMember(2);
+  ASSERT_TRUE(cluster_->FailDisk(site, 0).ok());
+  EXPECT_EQ(cluster_->StateOf(site), SiteState::kRecovering);
+
+  // Figure 3 row 3: disk-failure read = G * RR (reconstruction).
+  OpResult r = ReadLocal(2, 4);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, MakeBlock(5));
+  EXPECT_EQ(r.counts.remote_reads,
+            static_cast<uint64_t>(config_.group_size));
+
+  // The read repaired the block locally; the next read is local.
+  OpResult again = ReadLocal(2, 4);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again.counts.local_reads, 1u);
+  EXPECT_EQ(again.counts.Total(), 1u);
+}
+
+TEST_F(RaddGroupTest, DiskFailureWriteUsesSpare) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(5)).ok());
+  SiteId site = group_->SiteOfMember(2);
+  ASSERT_TRUE(cluster_->FailDisk(site, 0).ok());
+
+  // First write to the lost block reconstructs the old value; subsequent
+  // writes are the paper's steady-state 2 writes (spare + parity).
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(6)).ok());
+  OpResult w = WriteLocal(2, 4, MakeBlock(7));
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.counts.remote_writes, 2u);
+  EXPECT_EQ(w.counts.Total(), 2u);
+
+  OpResult r = ReadLocal(2, 4);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, MakeBlock(7));
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(RaddGroupTest, DiskFailureRecoverySweep) {
+  for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+    ASSERT_TRUE(WriteLocal(2, i, MakeBlock(i)).ok());
+  }
+  SiteId site = group_->SiteOfMember(2);
+  ASSERT_TRUE(cluster_->FailDisk(site, 0).ok());
+  ASSERT_TRUE(WriteLocal(2, 0, MakeBlock(50)).ok());  // via spare
+
+  Result<OpCounts> rec = group_->RunRecovery(2);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(cluster_->StateOf(site), SiteState::kUp);
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+  OpResult r = ReadLocal(2, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, MakeBlock(50));
+  for (BlockNum i = 1; i < group_->DataBlocksPerMember(); ++i) {
+    OpResult ri = ReadLocal(2, i);
+    ASSERT_TRUE(ri.ok());
+    EXPECT_EQ(ri.data, MakeBlock(i)) << "block " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// UID validation (§3.3).
+// ---------------------------------------------------------------------------
+
+TEST_F(RaddGroupTest, InconsistentUidFailsReconstruction) {
+  ASSERT_TRUE(WriteLocal(2, 4, MakeBlock(1)).ok());
+  BlockNum row = group_->layout().DataToRow(2, 4);
+
+  // Corrupt one source's UID to simulate an in-flight parity update.
+  std::vector<SiteId> sources = group_->layout().ReconstructionSources(2, row);
+  int victim = -1;
+  for (SiteId s : sources) {
+    if (group_->layout().RoleOf(s, row) == BlockRole::kData) {
+      victim = static_cast<int>(s);
+      break;
+    }
+  }
+  ASSERT_GE(victim, 0);
+  Site* vs = cluster_->site(group_->SiteOfMember(victim));
+  Result<BlockRecord> rec = vs->disks()->Read(row);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(
+      vs->disks()->Write(row, rec->data, vs->uids()->Next()).ok());
+
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(2)).ok());
+  OpResult r = group_->Read(group_->SiteOfMember(0), 2, 4);
+  EXPECT_TRUE(r.status.IsInconsistent()) << r.status.ToString();
+  EXPECT_EQ(group_->stats().Get("radd.uid_retry"),
+            static_cast<uint64_t>(config_.max_reconstruct_attempts));
+}
+
+// ---------------------------------------------------------------------------
+// Parameter sweep: the whole lifecycle at several group sizes.
+// ---------------------------------------------------------------------------
+
+class RaddGroupSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RaddGroupSweepTest, CrashWriteRecoverLifecycle) {
+  const int g = GetParam();
+  RaddConfig config;
+  config.group_size = g;
+  config.rows = static_cast<BlockNum>(2 * (g + 2));
+  config.block_size = 256;  // keep the sweep fast
+  SiteConfig sc;
+  sc.num_disks = 1;
+  sc.blocks_per_disk = config.rows;
+  sc.block_size = config.block_size;
+  Cluster cluster(g + 2, sc);
+  RaddGroup group(&cluster, config);
+
+  auto mk = [&](uint64_t seed) {
+    Block b(config.block_size);
+    b.FillPattern(seed);
+    return b;
+  };
+
+  for (int m = 0; m < group.num_members(); ++m) {
+    for (BlockNum i = 0; i < group.DataBlocksPerMember(); ++i) {
+      ASSERT_TRUE(
+          group.Write(group.SiteOfMember(m), m, i, mk(uint64_t(m) + i)).ok());
+    }
+  }
+  ASSERT_TRUE(group.VerifyInvariants().ok());
+
+  for (int victim = 0; victim < group.num_members(); ++victim) {
+    SCOPED_TRACE("victim member " + std::to_string(victim));
+    SiteId vs = group.SiteOfMember(victim);
+    ASSERT_TRUE(cluster.CrashSite(vs).ok());
+    SiteId client = group.SiteOfMember((victim + 1) % group.num_members());
+    if (group.DataBlocksPerMember() > 0) {
+      OpResult r = group.Read(client, victim, 0);
+      ASSERT_TRUE(r.ok()) << r.status.ToString();
+      EXPECT_EQ(r.data, mk(uint64_t(victim)));
+      ASSERT_TRUE(group.Write(client, victim, 0, mk(777)).ok());
+    }
+    ASSERT_TRUE(cluster.RestoreSite(vs).ok());
+    Result<OpCounts> rec = group.RunRecovery(victim);
+    ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+    ASSERT_TRUE(group.VerifyInvariants().ok());
+    OpResult back = group.Read(vs, victim, 0);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.data, mk(777));
+    // Restore the original value for the next iteration.
+    ASSERT_TRUE(group.Write(vs, victim, 0, mk(uint64_t(victim))).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(GroupSizes, RaddGroupSweepTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace radd

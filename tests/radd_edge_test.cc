@@ -1,0 +1,227 @@
+// Edge cases and negative tests for the RADD core: offset member drives,
+// corruption detection by the invariant checker, UID-retry accounting,
+// and unusual-but-legal configurations.
+
+#include <gtest/gtest.h>
+
+#include "core/radd.h"
+
+namespace radd {
+namespace {
+
+Block Pat(uint64_t seed, size_t size = 256) {
+  Block b(size);
+  b.FillPattern(seed);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// Member drives at nonzero offsets (as produced by §4 assignment).
+// ---------------------------------------------------------------------------
+
+TEST(OffsetMembers, GroupsOnDisjointRegionsDoNotInterfere) {
+  // One cluster of 6 sites, two groups stacked on disjoint block ranges of
+  // the same sites.
+  RaddConfig config;
+  config.group_size = 4;
+  config.rows = 6;
+  config.block_size = 256;
+  Cluster cluster(6, SiteConfig{1, 12, 256});
+  auto members_at = [&](BlockNum offset) {
+    std::vector<LogicalDrive> out;
+    for (SiteId s = 0; s < 6; ++s) {
+      out.push_back(LogicalDrive{s, offset, 6});
+    }
+    return out;
+  };
+  RaddGroup low(&cluster, config, members_at(0));
+  RaddGroup high(&cluster, config, members_at(6));
+
+  ASSERT_TRUE(low.Write(0, 0, 0, Pat(1)).ok());
+  ASSERT_TRUE(high.Write(0, 0, 0, Pat(2)).ok());
+  EXPECT_TRUE(low.VerifyInvariants().ok());
+  EXPECT_TRUE(high.VerifyInvariants().ok());
+
+  OpResult rl = low.Read(0, 0, 0);
+  OpResult rh = high.Read(0, 0, 0);
+  ASSERT_TRUE(rl.ok());
+  ASSERT_TRUE(rh.ok());
+  EXPECT_EQ(rl.data, Pat(1));
+  EXPECT_EQ(rh.data, Pat(2));
+
+  // Degraded ops in one group leave the other untouched.
+  ASSERT_TRUE(cluster.CrashSite(0).ok());
+  ASSERT_TRUE(low.Write(1, 0, 0, Pat(3)).ok());
+  ASSERT_TRUE(cluster.RestoreSite(0).ok());
+  ASSERT_TRUE(low.RunRecovery(0, /*mark_up=*/false).ok());
+  ASSERT_TRUE(high.RunRecovery(0, /*mark_up=*/true).ok());
+  EXPECT_TRUE(low.VerifyInvariants().ok());
+  EXPECT_TRUE(high.VerifyInvariants().ok());
+  OpResult after_low = low.Read(0, 0, 0);
+  OpResult after_high = high.Read(0, 0, 0);
+  ASSERT_TRUE(after_low.ok());
+  ASSERT_TRUE(after_high.ok());
+  EXPECT_EQ(after_low.data, Pat(3));
+  EXPECT_EQ(after_high.data, Pat(2));
+}
+
+// ---------------------------------------------------------------------------
+// The invariant checker must actually detect corruption.
+// ---------------------------------------------------------------------------
+
+class CorruptionTest : public ::testing::Test {
+ protected:
+  CorruptionTest() {
+    config_.group_size = 4;
+    config_.rows = 12;
+    config_.block_size = 256;
+    cluster_ = std::make_unique<Cluster>(6, SiteConfig{1, 12, 256});
+    group_ = std::make_unique<RaddGroup>(cluster_.get(), config_);
+    for (int m = 0; m < 6; ++m) {
+      for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+        group_->Write(group_->SiteOfMember(m), m, i, Pat(uint64_t(m) + i));
+      }
+    }
+    EXPECT_TRUE(group_->VerifyInvariants().ok());
+  }
+
+  RaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddGroup> group_;
+};
+
+TEST_F(CorruptionTest, DetectsSilentDataCorruption) {
+  // Flip bits in a data block behind the protocol's back.
+  BlockNum row = group_->layout().DataToRow(2, 0);
+  Site* site = cluster_->site(group_->SiteOfMember(2));
+  Result<BlockRecord> rec = site->disks()->Read(row);
+  ASSERT_TRUE(rec.ok());
+  Block corrupted = rec->data;
+  corrupted[0] ^= 0xFF;
+  BlockRecord bad = *rec;
+  bad.data = corrupted;
+  ASSERT_TRUE(site->disks()->WriteRecord(row, bad).ok());
+  EXPECT_FALSE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(CorruptionTest, DetectsStaleParityUidEntry) {
+  BlockNum row = group_->layout().DataToRow(2, 0);
+  Site* site = cluster_->site(group_->SiteOfMember(2));
+  Result<BlockRecord> rec = site->disks()->Read(row);
+  ASSERT_TRUE(rec.ok());
+  // Re-stamp the local block with a different UID without telling parity.
+  ASSERT_TRUE(
+      site->disks()->Write(row, rec->data, site->uids()->Next()).ok());
+  EXPECT_FALSE(group_->VerifyInvariants().ok());
+}
+
+TEST_F(CorruptionTest, DetectsSpareShadowingUpMember) {
+  BlockNum row = group_->layout().DataToRow(2, 0);
+  int sm = static_cast<int>(group_->layout().SpareSite(row));
+  Site* spare_site = cluster_->site(group_->SiteOfMember(sm));
+  BlockRecord fake(config_.block_size);
+  fake.data = Pat(99);
+  fake.uid = spare_site->uids()->Next();
+  fake.logical_uid = fake.uid;
+  fake.spare_for = 2;  // but member 2's site is up
+  ASSERT_TRUE(spare_site->disks()->WriteRecord(row, fake).ok());
+  EXPECT_FALSE(group_->VerifyInvariants().ok());
+}
+
+// ---------------------------------------------------------------------------
+// UID-validated reconstruction accounting.
+// ---------------------------------------------------------------------------
+
+TEST_F(CorruptionTest, InconsistentReconstructionChargesEachAttempt) {
+  BlockNum row = group_->layout().DataToRow(2, 0);
+  Site* site = cluster_->site(group_->SiteOfMember(2));
+  Result<BlockRecord> rec = site->disks()->Read(row);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_TRUE(
+      site->disks()->Write(row, rec->data, site->uids()->Next()).ok());
+  // Crash a *different* member whose reconstruction uses member 2 as a
+  // source; the stale UID array entry forces retries.
+  std::vector<SiteId> data_sites = group_->layout().DataSites(row);
+  int other = -1;
+  for (SiteId s : data_sites) {
+    if (static_cast<int>(s) != 2) other = static_cast<int>(s);
+  }
+  ASSERT_GE(other, 0);
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(other)).ok());
+  Result<BlockNum> idx =
+      group_->layout().RowToData(static_cast<SiteId>(other), row);
+  ASSERT_TRUE(idx.ok());
+  OpResult r = group_->Read(group_->SiteOfMember(2), other, *idx);
+  EXPECT_TRUE(r.status.IsInconsistent());
+  // Each attempt re-read all G sources.
+  EXPECT_EQ(r.counts.Total(),
+            static_cast<uint64_t>(config_.group_size *
+                                  config_.max_reconstruct_attempts));
+}
+
+// ---------------------------------------------------------------------------
+// Small and degenerate configurations.
+// ---------------------------------------------------------------------------
+
+TEST(DegenerateConfig, GroupSizeOneIsMirroringWithParity) {
+  // G = 1: three sites — data, parity (a copy, since XOR of one block is
+  // the block), and spare. The paper notes ROWB "is essentially the same
+  // as a RADD with a group size of 1 and no spare blocks".
+  RaddConfig config;
+  config.group_size = 1;
+  config.rows = 6;
+  config.block_size = 128;
+  Cluster cluster(3, SiteConfig{1, 6, 128});
+  RaddGroup group(&cluster, config);
+  ASSERT_TRUE(group.Write(0, 0, 0, Pat(1, 128)).ok());
+  // The parity block literally equals the data block.
+  BlockNum row = group.layout().DataToRow(0, 0);
+  int pm = static_cast<int>(group.layout().ParitySite(row));
+  Result<BlockRecord> parity =
+      cluster.site(group.SiteOfMember(pm))->disks()->Read(row);
+  ASSERT_TRUE(parity.ok());
+  EXPECT_EQ(parity->data, Pat(1, 128));
+
+  ASSERT_TRUE(cluster.CrashSite(group.SiteOfMember(0)).ok());
+  OpResult r = group.Read(group.SiteOfMember(pm), 0, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, Pat(1, 128));
+  EXPECT_EQ(r.counts.Total(), 1u) << "G=1 reconstruction is a single read";
+}
+
+TEST(DegenerateConfig, SingleRowGroup) {
+  RaddConfig config;
+  config.group_size = 2;
+  config.rows = 4;  // exactly one cycle
+  config.block_size = 128;
+  Cluster cluster(4, SiteConfig{1, 4, 128});
+  RaddGroup group(&cluster, config);
+  EXPECT_EQ(group.DataBlocksPerMember(), 2u);
+  for (int m = 0; m < 4; ++m) {
+    ASSERT_TRUE(
+        group.Write(group.SiteOfMember(m), m, 0, Pat(uint64_t(m), 128)).ok());
+  }
+  EXPECT_TRUE(group.VerifyInvariants().ok());
+}
+
+TEST(DegenerateConfig, ClientSiteOutsideGroupStillWorks) {
+  // A §6 "convenient site" that happens not to be a group member.
+  RaddConfig config;
+  config.group_size = 2;
+  config.rows = 4;
+  config.block_size = 128;
+  Cluster cluster(6, SiteConfig{1, 4, 128});  // sites 4,5 host no member
+  RaddGroup group(&cluster, config);
+  ASSERT_TRUE(group.Write(5, 1, 0, Pat(7, 128)).ok());
+  OpResult r = group.Read(5, 1, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, Pat(7, 128));
+  EXPECT_EQ(r.counts.remote_reads, 1u) << "everything is remote from there";
+  ASSERT_TRUE(cluster.CrashSite(group.SiteOfMember(1)).ok());
+  OpResult dr = group.Read(5, 1, 0);
+  ASSERT_TRUE(dr.ok());
+  EXPECT_EQ(dr.data, Pat(7, 128));
+}
+
+}  // namespace
+}  // namespace radd

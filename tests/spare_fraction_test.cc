@@ -1,0 +1,131 @@
+// Tests for the §7.2 reduced-spare-allocation extension ("Analyzing
+// availability for lesser numbers of [spare] blocks is left as a future
+// exercise").
+
+#include <gtest/gtest.h>
+
+#include "core/radd.h"
+
+namespace radd {
+namespace {
+
+Block Pat(uint64_t seed, size_t size = 256) {
+  Block b(size);
+  b.FillPattern(seed);
+  return b;
+}
+
+class SpareFractionTest : public ::testing::TestWithParam<double> {
+ protected:
+  void Build(double fraction) {
+    config_.group_size = 4;
+    config_.rows = 60;
+    config_.block_size = 256;
+    config_.spare_fraction = fraction;
+    SiteConfig sc{1, config_.rows, config_.block_size};
+    cluster_ = std::make_unique<Cluster>(6, sc);
+    group_ = std::make_unique<RaddGroup>(cluster_.get(), config_);
+  }
+
+  RaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddGroup> group_;
+};
+
+TEST_P(SpareFractionTest, NormalOperationUnaffected) {
+  Build(GetParam());
+  for (int m = 0; m < 6; ++m) {
+    for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+      OpResult w = group_->Write(group_->SiteOfMember(m), m, i,
+                                 Pat(uint64_t(m) * 100 + i));
+      ASSERT_TRUE(w.ok());
+      EXPECT_EQ(w.counts.ToFormula(), "W+RW");
+    }
+  }
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+TEST_P(SpareFractionTest, DegradedReadsAlwaysSucceed) {
+  Build(GetParam());
+  for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+    ASSERT_TRUE(group_->Write(group_->SiteOfMember(1), 1, i, Pat(i)).ok());
+  }
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(1)).ok());
+  SiteId client = group_->SiteOfMember(3);
+  for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+    OpResult r = group_->Read(client, 1, i);
+    ASSERT_TRUE(r.ok()) << "block " << i;
+    EXPECT_EQ(r.data, Pat(i));
+  }
+}
+
+TEST_P(SpareFractionTest, DegradedWriteAvailabilityTracksFraction) {
+  Build(GetParam());
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(1)).ok());
+  SiteId client = group_->SiteOfMember(3);
+  int ok = 0, blocked = 0;
+  BlockNum n = group_->DataBlocksPerMember();
+  for (BlockNum i = 0; i < n; ++i) {
+    OpResult w = group_->Write(client, 1, i, Pat(1000 + i));
+    if (w.ok()) {
+      ++ok;
+    } else {
+      ASSERT_TRUE(w.status.IsBlocked()) << w.status.ToString();
+      ++blocked;
+    }
+  }
+  double available = static_cast<double>(ok) / static_cast<double>(n);
+  EXPECT_NEAR(available, GetParam(), 0.15)
+      << ok << " writable of " << n;
+  if (GetParam() < 1.0) {
+    EXPECT_GT(group_->stats().Get("radd.write_blocked_no_spare"), 0u);
+  }
+}
+
+TEST_P(SpareFractionTest, RecoveryRestoresEverything) {
+  Build(GetParam());
+  for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+    ASSERT_TRUE(group_->Write(group_->SiteOfMember(1), 1, i, Pat(i)).ok());
+  }
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(1)).ok());
+  // Overwrite whatever is writable while down.
+  SiteId client = group_->SiteOfMember(3);
+  std::map<BlockNum, bool> rewritten;
+  for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+    rewritten[i] = group_->Write(client, 1, i, Pat(5000 + i)).ok();
+  }
+  ASSERT_TRUE(cluster_->RestoreSite(group_->SiteOfMember(1)).ok());
+  Result<OpCounts> rec = group_->RunRecovery(1);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+  for (BlockNum i = 0; i < group_->DataBlocksPerMember(); ++i) {
+    OpResult r = group_->Read(group_->SiteOfMember(1), 1, i);
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.data, rewritten[i] ? Pat(5000 + i) : Pat(i)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, SpareFractionTest,
+                         ::testing::Values(1.0, 0.5, 0.25, 0.0));
+
+TEST(SpareFraction, ZeroNeverBlocksReads) {
+  RaddConfig config;
+  config.group_size = 4;
+  config.rows = 12;
+  config.block_size = 256;
+  config.spare_fraction = 0.0;
+  SiteConfig sc{1, config.rows, config.block_size};
+  Cluster cluster(6, sc);
+  RaddGroup group(&cluster, config);
+  ASSERT_TRUE(group.Write(group.SiteOfMember(2), 2, 0, Pat(1)).ok());
+  ASSERT_TRUE(cluster.CrashSite(group.SiteOfMember(2)).ok());
+  OpResult r = group.Read(group.SiteOfMember(0), 2, 0);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.data, Pat(1));
+  // But every degraded read pays full reconstruction (no materialization).
+  OpResult r2 = group.Read(group.SiteOfMember(0), 2, 0);
+  EXPECT_EQ(r2.counts.Total(), 4u);
+}
+
+}  // namespace
+}  // namespace radd

@@ -1,0 +1,208 @@
+// Parameterized sweeps over configuration space: 2D-RADD grid shapes,
+// ROWB scattered placement under failure/recovery, and storage-manager
+// capacity edges.
+
+#include <gtest/gtest.h>
+
+#include "schemes/radd2d.h"
+#include "schemes/rowb.h"
+#include "txn/storage_manager.h"
+
+namespace radd {
+namespace {
+
+Block Pat(uint64_t seed, size_t size) {
+  Block b(size);
+  b.FillPattern(seed);
+  return b;
+}
+
+// ---------------------------------------------------------------------------
+// 2D-RADD across grid shapes, including non-square.
+// ---------------------------------------------------------------------------
+
+struct GridShape {
+  int rows;
+  int cols;
+};
+
+class TwoDGridSweep : public ::testing::TestWithParam<GridShape> {};
+
+TEST_P(TwoDGridSweep, FullLifecycleEveryVictim) {
+  TwoDRaddConfig config;
+  config.grid_rows = GetParam().rows;
+  config.grid_cols = GetParam().cols;
+  config.blocks = 2;
+  config.block_size = 128;
+  TwoDRadd radd2d(config);
+  Cluster* cluster = radd2d.cluster();
+
+  for (int r = 0; r < config.grid_rows; ++r) {
+    for (int c = 0; c < config.grid_cols; ++c) {
+      ASSERT_TRUE(radd2d
+                      .Write(radd2d.DataSite(r, c), r, c, 0,
+                             Pat(uint64_t(r) * 100 + c, 128))
+                      .ok());
+    }
+  }
+  ASSERT_TRUE(radd2d.VerifyInvariants().ok());
+
+  // Crash each data site in turn; read through the row, write degraded,
+  // recover, verify.
+  for (int r = 0; r < config.grid_rows; ++r) {
+    for (int c = 0; c < config.grid_cols; ++c) {
+      SCOPED_TRACE("victim (" + std::to_string(r) + "," + std::to_string(c) +
+                   ")");
+      SiteId victim = radd2d.DataSite(r, c);
+      ASSERT_TRUE(cluster->CrashSite(victim).ok());
+      SiteId client = radd2d.DataSite((r + 1) % config.grid_rows,
+                                      (c + 1) % config.grid_cols);
+      OpResult read = radd2d.Read(client, r, c, 0);
+      ASSERT_TRUE(read.ok()) << read.status.ToString();
+      ASSERT_TRUE(
+          radd2d.Write(client, r, c, 0, Pat(uint64_t(r) + c + 7777, 128))
+              .ok());
+      ASSERT_TRUE(cluster->RestoreSite(victim).ok());
+      ASSERT_TRUE(radd2d.RunRecovery(r, c).ok());
+      ASSERT_TRUE(radd2d.VerifyInvariants().ok());
+      OpResult back = radd2d.Read(victim, r, c, 0);
+      ASSERT_TRUE(back.ok());
+      EXPECT_EQ(back.data, Pat(uint64_t(r) + c + 7777, 128));
+      // Restore original value for the next victim's parity state.
+      ASSERT_TRUE(radd2d
+                      .Write(victim, r, c, 0,
+                             Pat(uint64_t(r) * 100 + c, 128))
+                      .ok());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TwoDGridSweep,
+                         ::testing::Values(GridShape{2, 2}, GridShape{3, 3},
+                                           GridShape{2, 4},
+                                           GridShape{4, 3}));
+
+// ---------------------------------------------------------------------------
+// ROWB with scattered placement through failures.
+// ---------------------------------------------------------------------------
+
+TEST(RowbScatteredSweep, EverySiteSurvivesCrashAndRecovers) {
+  Cluster cluster(5, SiteConfig{1, 24, 128});
+  Rowb rowb(&cluster, 12, 128, RowbPlacement::kScattered);
+  for (SiteId home = 0; home < 5; ++home) {
+    for (BlockNum i = 0; i < 12; ++i) {
+      ASSERT_TRUE(
+          rowb.Write(home, home, i, Pat(uint64_t(home) * 100 + i, 128)).ok());
+    }
+  }
+  ASSERT_TRUE(rowb.VerifyInvariants().ok());
+
+  for (SiteId victim = 0; victim < 5; ++victim) {
+    SCOPED_TRACE("victim " + std::to_string(victim));
+    ASSERT_TRUE(cluster.CrashSite(victim).ok());
+    SiteId client = (victim + 2) % 5;
+    // All the victim's primaries stay readable via scattered backups.
+    for (BlockNum i = 0; i < 12; ++i) {
+      OpResult r = rowb.Read(client, victim, i);
+      ASSERT_TRUE(r.ok()) << "block " << i;
+      EXPECT_EQ(r.data, Pat(uint64_t(victim) * 100 + i, 128));
+    }
+    // Degraded-write a couple of blocks.
+    ASSERT_TRUE(rowb.Write(client, victim, 0, Pat(9000 + victim, 128)).ok());
+    ASSERT_TRUE(cluster.RestoreSite(victim).ok());
+    ASSERT_TRUE(rowb.RunRecovery(victim).ok());
+    ASSERT_TRUE(rowb.VerifyInvariants().ok());
+    OpResult back = rowb.Read(victim, victim, 0);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.data, Pat(9000 + victim, 128));
+    ASSERT_TRUE(
+        rowb.Write(victim, victim, 0, Pat(uint64_t(victim) * 100, 128)).ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Storage-manager capacity edges.
+// ---------------------------------------------------------------------------
+
+class StorageEdge : public ::testing::Test {
+ protected:
+  StorageEdge() {
+    config_.group_size = 4;
+    config_.rows = 36;  // 24 data blocks per member
+    config_.block_size = 512;
+    cluster_ = std::make_unique<Cluster>(
+        6, SiteConfig{1, config_.rows, config_.block_size});
+    group_ = std::make_unique<RaddGroup>(cluster_.get(), config_);
+  }
+  RaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddGroup> group_;
+};
+
+TEST_F(StorageEdge, WalLogFillsUpGracefully) {
+  WalStorageManager wal(group_.get(), 1, /*log=*/2, /*pages=*/4);
+  Status last = Status::OK();
+  int committed = 0;
+  for (int i = 0; i < 200 && last.ok(); ++i) {
+    TxnId t = wal.Begin();
+    PageUpdate u{0, 0, std::vector<uint8_t>(64, uint8_t(i))};
+    last = wal.Update(t, u);
+    if (last.ok()) last = wal.Commit(t);
+    if (last.ok()) ++committed;
+  }
+  EXPECT_TRUE(last.IsUnavailable()) << "log must fill, not corrupt: "
+                                    << last.ToString();
+  EXPECT_GT(committed, 0);
+  // Everything committed before the log filled is still recoverable.
+  wal.CrashVolatile();
+  ASSERT_TRUE(wal.Recover(group_->SiteOfMember(1)).ok());
+  Result<Block> page = wal.ReadCommitted(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ((*page)[0], uint8_t(committed - 1));
+}
+
+TEST_F(StorageEdge, NoOverwriteVersionSpaceExhaustsGracefully) {
+  // 24 data blocks: 1 root + 4 pages committed + shadows; many concurrent
+  // uncommitted shadows eventually exhaust the version space.
+  NoOverwriteStorageManager now(group_.get(), 1, 4);
+  std::vector<TxnId> open;
+  Status last = Status::OK();
+  for (int i = 0; i < 40 && last.ok(); ++i) {
+    TxnId t = now.Begin();
+    open.push_back(t);
+    last = now.Update(t, {BlockNum(i) % 4, 0,
+                          std::vector<uint8_t>(16, uint8_t(i))});
+  }
+  EXPECT_TRUE(last.IsUnavailable()) << last.ToString();
+  // Aborting the hoarders frees the space.
+  for (TxnId t : open) (void)now.Abort(t);
+  TxnId t = now.Begin();
+  EXPECT_TRUE(now.Update(t, {0, 0, std::vector<uint8_t>(16, 0xAB)}).ok());
+  EXPECT_TRUE(now.Commit(t).ok());
+}
+
+TEST_F(StorageEdge, ManyEpochsKeepRootConsistent) {
+  NoOverwriteStorageManager now(group_.get(), 1, 4);
+  for (int i = 0; i < 60; ++i) {
+    TxnId t = now.Begin();
+    ASSERT_TRUE(now.Update(t, {BlockNum(i) % 4, 0,
+                               std::vector<uint8_t>(8, uint8_t(i))})
+                    .ok());
+    ASSERT_TRUE(now.Commit(t).ok());
+    if (i % 20 == 19) {
+      now.CrashVolatile();
+      ASSERT_TRUE(now.Recover(group_->SiteOfMember(1)).ok());
+    }
+  }
+  for (BlockNum p = 0; p < 4; ++p) {
+    Result<Block> page = now.ReadCommitted(p);
+    ASSERT_TRUE(page.ok());
+    // Last writer of page p was the largest i with i % 4 == p.
+    uint8_t expect = uint8_t(56 + p);
+    EXPECT_EQ((*page)[0], expect) << "page " << p;
+  }
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+}  // namespace
+}  // namespace radd

@@ -1,0 +1,355 @@
+// Tests for the transaction module: lock manager (§3.3), WAL and
+// no-overwrite storage managers (§3.4), and commit protocols (§6).
+
+#include <gtest/gtest.h>
+
+#include "txn/commit.h"
+#include "txn/lock_manager.h"
+#include "txn/storage_manager.h"
+
+namespace radd {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LockManager.
+// ---------------------------------------------------------------------------
+
+TEST(LockManager, SharedLocksCoexist) {
+  LockManager lm;
+  LockKey k{0, 5};
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(2, k, LockMode::kShared), LockResult::kGranted);
+  EXPECT_TRUE(lm.Holds(1, k, LockMode::kShared));
+  EXPECT_TRUE(lm.Holds(2, k, LockMode::kShared));
+}
+
+TEST(LockManager, ExclusiveConflicts) {
+  LockManager lm;
+  LockKey k{0, 5};
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kExclusive), LockResult::kGranted);
+  // Younger (2) conflicting with older (1): die.
+  EXPECT_EQ(lm.Acquire(2, k, LockMode::kShared), LockResult::kAbort);
+}
+
+TEST(LockManager, OlderWaitsForYounger) {
+  LockManager lm;
+  LockKey k{0, 5};
+  EXPECT_EQ(lm.Acquire(5, k, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kExclusive), LockResult::kWait);
+  std::vector<TxnId> granted = lm.Release(5, k);
+  ASSERT_EQ(granted.size(), 1u);
+  EXPECT_EQ(granted[0], 1u);
+  EXPECT_TRUE(lm.Holds(1, k, LockMode::kExclusive));
+}
+
+TEST(LockManager, Reentrant) {
+  LockManager lm;
+  LockKey k{0, 5};
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kExclusive), LockResult::kGranted);
+}
+
+TEST(LockManager, SoleHolderUpgrade) {
+  LockManager lm;
+  LockKey k{0, 5};
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kShared), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_TRUE(lm.Holds(1, k, LockMode::kExclusive));
+}
+
+TEST(LockManager, FifoGrantOrder) {
+  LockManager lm;
+  LockKey k{0, 5};
+  EXPECT_EQ(lm.Acquire(9, k, LockMode::kExclusive), LockResult::kGranted);
+  EXPECT_EQ(lm.Acquire(3, k, LockMode::kShared), LockResult::kWait);
+  EXPECT_EQ(lm.Acquire(4, k, LockMode::kShared), LockResult::kWait);
+  std::vector<TxnId> granted = lm.Release(9, k);
+  // Both shared waiters granted together.
+  ASSERT_EQ(granted.size(), 2u);
+  EXPECT_EQ(granted[0], 3u);
+  EXPECT_EQ(granted[1], 4u);
+}
+
+TEST(LockManager, ReleaseAllFreesEverything) {
+  LockManager lm;
+  lm.Acquire(1, LockKey{0, 1}, LockMode::kExclusive);
+  lm.Acquire(1, LockKey{0, 2}, LockMode::kShared);
+  lm.Acquire(1, LockKey{1, 1}, LockMode::kExclusive);
+  EXPECT_EQ(lm.HeldBy(1).size(), 3u);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.HeldBy(1).size(), 0u);
+  EXPECT_EQ(lm.LockedKeys(), 0u);
+}
+
+TEST(LockManager, WaiterDoesNotStarveBehindLaterShared) {
+  LockManager lm;
+  LockKey k{0, 5};
+  lm.Acquire(5, k, LockMode::kShared);
+  // Older exclusive waits.
+  EXPECT_EQ(lm.Acquire(1, k, LockMode::kExclusive), LockResult::kWait);
+  // A new shared request must queue behind the exclusive waiter rather
+  // than sneaking in.
+  EXPECT_EQ(lm.Acquire(2, k, LockMode::kShared), LockResult::kWait);
+  std::vector<TxnId> granted = lm.Release(5, k);
+  ASSERT_FALSE(granted.empty());
+  EXPECT_EQ(granted[0], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Storage managers over a RADD group.
+// ---------------------------------------------------------------------------
+
+class StorageManagerTest : public ::testing::Test {
+ protected:
+  static constexpr BlockNum kLogBlocks = 8;
+  static constexpr BlockNum kPages = 8;
+
+  StorageManagerTest() {
+    config_.group_size = 4;
+    config_.rows = 48;  // 8 cycles of 6 rows -> 32 data blocks per member
+    config_.block_size = 1024;
+    SiteConfig sc{1, config_.rows, config_.block_size};
+    cluster_ = std::make_unique<Cluster>(6, sc);
+    group_ = std::make_unique<RaddGroup>(cluster_.get(), config_);
+  }
+
+  std::vector<uint8_t> Bytes(std::string s) {
+    return std::vector<uint8_t>(s.begin(), s.end());
+  }
+  std::string AsString(const Block& b, size_t offset, size_t n) {
+    return std::string(reinterpret_cast<const char*>(b.data()) + offset, n);
+  }
+
+  RaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddGroup> group_;
+};
+
+TEST_F(StorageManagerTest, WalCommitSurvivesCrash) {
+  WalStorageManager wal(group_.get(), 1, kLogBlocks, kPages);
+  TxnId t = wal.Begin();
+  ASSERT_TRUE(wal.Update(t, {3, 10, Bytes("hello")}).ok());
+  ASSERT_TRUE(wal.Commit(t).ok());
+
+  wal.CrashVolatile();  // buffered page gone; log is durable
+  Result<OpCounts> rec = wal.Recover(group_->SiteOfMember(1));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+
+  Result<Block> page = wal.ReadCommitted(3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 10, 5), "hello");
+}
+
+TEST_F(StorageManagerTest, WalUncommittedRolledBack) {
+  WalStorageManager wal(group_.get(), 1, kLogBlocks, kPages);
+  TxnId t1 = wal.Begin();
+  ASSERT_TRUE(wal.Update(t1, {3, 0, Bytes("COMMITTED")}).ok());
+  ASSERT_TRUE(wal.Commit(t1).ok());
+
+  TxnId t2 = wal.Begin();
+  ASSERT_TRUE(wal.Update(t2, {3, 0, Bytes("UNCOMMITT")}).ok());
+  // Steal: flush the dirty page (with uncommitted data) to disk.
+  ASSERT_TRUE(wal.FlushPages().ok());
+  wal.CrashVolatile();
+
+  Result<OpCounts> rec = wal.Recover(group_->SiteOfMember(1));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  Result<Block> page = wal.ReadCommitted(3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 0, 9), "COMMITTED");
+}
+
+TEST_F(StorageManagerTest, WalRedoUnflushedCommit) {
+  WalStorageManager wal(group_.get(), 1, kLogBlocks, kPages);
+  TxnId t = wal.Begin();
+  ASSERT_TRUE(wal.Update(t, {5, 100, Bytes("durable")}).ok());
+  ASSERT_TRUE(wal.Commit(t).ok());  // log forced; page NOT flushed
+  wal.CrashVolatile();
+  ASSERT_TRUE(wal.Recover(group_->SiteOfMember(1)).ok());
+  Result<Block> page = wal.ReadCommitted(5);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 100, 7), "durable");
+}
+
+TEST_F(StorageManagerTest, WalAbortUndoesInPlace) {
+  WalStorageManager wal(group_.get(), 1, kLogBlocks, kPages);
+  TxnId t1 = wal.Begin();
+  ASSERT_TRUE(wal.Update(t1, {0, 0, Bytes("base")}).ok());
+  ASSERT_TRUE(wal.Commit(t1).ok());
+  TxnId t2 = wal.Begin();
+  ASSERT_TRUE(wal.Update(t2, {0, 0, Bytes("oops")}).ok());
+  ASSERT_TRUE(wal.Abort(t2).ok());
+  Result<Block> page = wal.ReadCommitted(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 0, 4), "base");
+}
+
+TEST_F(StorageManagerTest, WalRecoveryDuringSiteFailureCostsGRemoteReads) {
+  // The §3.4 point: with the home site down, every block the recovery
+  // pass touches is reconstructed with G remote reads.
+  WalStorageManager wal(group_.get(), 1, kLogBlocks, kPages);
+  TxnId t = wal.Begin();
+  ASSERT_TRUE(wal.Update(t, {2, 0, Bytes("x")}).ok());
+  ASSERT_TRUE(wal.Commit(t).ok());
+  wal.CrashVolatile();
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(1)).ok());
+
+  SiteId remote = group_->SiteOfMember(3);
+  Result<OpCounts> rec = wal.Recover(remote);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  // At least the first log block required full reconstruction.
+  EXPECT_GE(rec->remote_reads, static_cast<uint64_t>(config_.group_size));
+}
+
+TEST_F(StorageManagerTest, NoOverwriteCommitIsDurableWithoutRecoveryWork) {
+  NoOverwriteStorageManager now(group_.get(), 1, kPages);
+  TxnId t = now.Begin();
+  ASSERT_TRUE(now.Update(t, {3, 10, Bytes("hello")}).ok());
+  ASSERT_TRUE(now.Commit(t).ok());
+  now.CrashVolatile();
+  Result<OpCounts> rec = now.Recover(group_->SiteOfMember(1));
+  ASSERT_TRUE(rec.ok());
+  // Exactly one root read: "no concept of processing a log".
+  EXPECT_EQ(rec->Total(), 1u);
+  Result<Block> page = now.ReadCommitted(3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 10, 5), "hello");
+}
+
+TEST_F(StorageManagerTest, NoOverwriteUncommittedInvisibleAfterCrash) {
+  NoOverwriteStorageManager now(group_.get(), 1, kPages);
+  TxnId t1 = now.Begin();
+  ASSERT_TRUE(now.Update(t1, {0, 0, Bytes("base")}).ok());
+  ASSERT_TRUE(now.Commit(t1).ok());
+  TxnId t2 = now.Begin();
+  ASSERT_TRUE(now.Update(t2, {0, 0, Bytes("oops")}).ok());
+  // No commit; crash. The shadow version is garbage by construction.
+  now.CrashVolatile();
+  ASSERT_TRUE(now.Recover(group_->SiteOfMember(1)).ok());
+  Result<Block> page = now.ReadCommitted(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 0, 4), "base");
+}
+
+TEST_F(StorageManagerTest, NoOverwriteTxnSeesOwnWrites) {
+  NoOverwriteStorageManager now(group_.get(), 1, kPages);
+  TxnId t = now.Begin();
+  ASSERT_TRUE(now.Update(t, {2, 0, Bytes("mine")}).ok());
+  Result<Block> own = now.Read(t, 2);
+  ASSERT_TRUE(own.ok());
+  EXPECT_EQ(AsString(*own, 0, 4), "mine");
+  // Not visible to committed readers until commit.
+  Result<Block> committed = now.ReadCommitted(2);
+  ASSERT_TRUE(committed.ok());
+  EXPECT_NE(AsString(*committed, 0, 4), "mine");
+}
+
+TEST_F(StorageManagerTest, NoOverwriteAbortIsFree) {
+  NoOverwriteStorageManager now(group_.get(), 1, kPages);
+  TxnId t1 = now.Begin();
+  ASSERT_TRUE(now.Update(t1, {1, 0, Bytes("keep")}).ok());
+  ASSERT_TRUE(now.Commit(t1).ok());
+  TxnId t2 = now.Begin();
+  ASSERT_TRUE(now.Update(t2, {1, 0, Bytes("drop")}).ok());
+  ASSERT_TRUE(now.Abort(t2).ok());
+  Result<Block> page = now.ReadCommitted(1);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 0, 4), "keep");
+}
+
+TEST_F(StorageManagerTest, NoOverwriteRecoveryWorksWhileSiteDegraded) {
+  NoOverwriteStorageManager now(group_.get(), 1, kPages);
+  TxnId t = now.Begin();
+  ASSERT_TRUE(now.Update(t, {3, 0, Bytes("safe")}).ok());
+  ASSERT_TRUE(now.Commit(t).ok());
+  now.CrashVolatile();
+  ASSERT_TRUE(cluster_->CrashSite(group_->SiteOfMember(1)).ok());
+  // Remote restart: one (reconstructed) root read and it is usable.
+  Result<OpCounts> rec = now.Recover(group_->SiteOfMember(3));
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  Result<Block> page = now.ReadCommitted(3);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(AsString(*page, 0, 4), "safe");
+}
+
+// ---------------------------------------------------------------------------
+// Commit protocols (§6).
+// ---------------------------------------------------------------------------
+
+class CommitTest : public ::testing::Test {
+ protected:
+  CommitTest() {
+    config_.group_size = 4;
+    config_.rows = 12;
+    config_.block_size = 512;
+    SiteConfig sc{1, config_.rows, config_.block_size};
+    cluster_ = std::make_unique<Cluster>(6, sc);
+    group_ = std::make_unique<RaddGroup>(cluster_.get(), config_);
+  }
+
+  Block Pat(uint64_t seed) {
+    Block b(config_.block_size);
+    b.FillPattern(seed);
+    return b;
+  }
+
+  RaddConfig config_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddGroup> group_;
+};
+
+TEST_F(CommitTest, OnePhaseUsesFewerMessagesAndRounds) {
+  DistributedTxnCoordinator coord(group_.get(), group_->SiteOfMember(0));
+  std::vector<SlaveWork> work = {
+      {1, {{0, Pat(1)}}},
+      {2, {{0, Pat(2)}}},
+      {3, {{0, Pat(3)}}},
+  };
+  CommitOutcome one = coord.Run(CommitProtocol::kOnePhase, work);
+  ASSERT_TRUE(one.ok());
+  CommitOutcome two = coord.Run(CommitProtocol::kTwoPhase, work);
+  ASSERT_TRUE(two.ok());
+  EXPECT_LT(one.messages, two.messages);
+  EXPECT_LT(one.rounds, two.rounds);
+}
+
+TEST_F(CommitTest, SlaveCrashAfterDoneIsRecoverable) {
+  // The paper's §6 argument: the parity messages sent before `done` make
+  // the slave prepared; its writes survive a crash via reconstruction.
+  DistributedTxnCoordinator coord(group_.get(), group_->SiteOfMember(0));
+  Block payload = Pat(42);
+  std::vector<SlaveWork> work = {{2, {{5, payload}}}};
+  CommitOutcome out =
+      coord.Run(CommitProtocol::kOnePhase, work, /*crash_after_done=*/2);
+  ASSERT_TRUE(out.ok()) << out.status.ToString();
+  EXPECT_EQ(cluster_->StateOf(group_->SiteOfMember(2)), SiteState::kDown);
+
+  // The committed value is readable from any surviving site.
+  OpResult r = group_->Read(group_->SiteOfMember(0), 2, 5);
+  ASSERT_TRUE(r.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, payload);
+
+  // And the slave's recovery restores it locally.
+  ASSERT_TRUE(cluster_->RestoreSite(group_->SiteOfMember(2)).ok());
+  ASSERT_TRUE(group_->RunRecovery(2).ok());
+  OpResult local = group_->Read(group_->SiteOfMember(2), 2, 5);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local.data, payload);
+}
+
+TEST_F(CommitTest, WritesAreDurableUnderBothProtocols) {
+  DistributedTxnCoordinator coord(group_.get(), group_->SiteOfMember(0));
+  std::vector<SlaveWork> work = {{1, {{0, Pat(7)}, {1, Pat(8)}}}};
+  ASSERT_TRUE(coord.Run(CommitProtocol::kTwoPhase, work).ok());
+  OpResult r0 = group_->Read(group_->SiteOfMember(1), 1, 0);
+  OpResult r1 = group_->Read(group_->SiteOfMember(1), 1, 1);
+  ASSERT_TRUE(r0.ok());
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r0.data, Pat(7));
+  EXPECT_EQ(r1.data, Pat(8));
+  EXPECT_TRUE(group_->VerifyInvariants().ok());
+}
+
+}  // namespace
+}  // namespace radd

@@ -1,0 +1,154 @@
+// Unit tests for workload generation, the §7.4 buffer-pool model, and
+// trace (de)serialization.
+
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace radd {
+namespace {
+
+WorkloadConfig SmallConfig() {
+  WorkloadConfig c;
+  c.num_members = 6;
+  c.blocks_per_member = 32;
+  c.block_size = 4096;
+  c.record_size = 100;
+  return c;
+}
+
+TEST(WorkloadGenerator, Deterministic) {
+  WorkloadGenerator a(SmallConfig(), 42), b(SmallConfig(), 42);
+  for (int i = 0; i < 100; ++i) {
+    Operation x = a.Next(), y = b.Next();
+    EXPECT_EQ(x.kind, y.kind);
+    EXPECT_EQ(x.member, y.member);
+    EXPECT_EQ(x.block, y.block);
+    EXPECT_EQ(x.record_offset, y.record_offset);
+  }
+}
+
+TEST(WorkloadGenerator, ReadFractionRespected) {
+  WorkloadConfig c = SmallConfig();
+  c.read_fraction = 2.0 / 3.0;  // Figure 7's 2:1 read:write mix
+  WorkloadGenerator gen(c, 1);
+  int reads = 0;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) reads += gen.Next().IsRead() ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(reads) / n, 2.0 / 3.0, 0.02);
+}
+
+TEST(WorkloadGenerator, AddressesInRange) {
+  WorkloadGenerator gen(SmallConfig(), 9);
+  for (int i = 0; i < 2000; ++i) {
+    Operation op = gen.Next();
+    EXPECT_LT(op.member, 6);
+    EXPECT_LT(op.block, 32u);
+    if (!op.IsRead()) {
+      EXPECT_EQ(op.record_size, 100u);
+      EXPECT_LE(op.record_offset + op.record_size, 4096u);
+      EXPECT_EQ(op.record_offset % 100, 0u);
+    }
+  }
+}
+
+TEST(BufferPoolModel, FlushesAfterLocalityThreshold) {
+  // §7.4: "the average block being changed four times in memory before it
+  // is returned to disk".
+  BufferPoolModel pool(4096, 4);
+  Operation op;
+  op.kind = Operation::Kind::kUpdate;
+  op.member = 0;
+  op.block = 7;
+  op.record_size = 100;
+  std::vector<uint8_t> payload(100, 0xAB);
+  Block disk(4096);
+
+  for (int i = 0; i < 3; ++i) {
+    op.record_offset = static_cast<size_t>(i) * 100;
+    EXPECT_FALSE(pool.ApplyUpdate(op, payload, disk).has_value());
+  }
+  EXPECT_EQ(pool.dirty_blocks(), 1u);
+  op.record_offset = 300;
+  auto flush = pool.ApplyUpdate(op, payload, disk);
+  ASSERT_TRUE(flush.has_value());
+  EXPECT_EQ(flush->block, 7u);
+  EXPECT_EQ(pool.dirty_blocks(), 0u);
+
+  // The flushed delta covers all four records.
+  Result<ChangeMask> mask =
+      ChangeMask::Diff(flush->old_contents, flush->new_contents);
+  ASSERT_TRUE(mask.ok());
+  EXPECT_EQ(mask->ChangedBytes(), 400u);
+}
+
+TEST(BufferPoolModel, DistinctBlocksTrackedSeparately) {
+  BufferPoolModel pool(4096, 2);
+  std::vector<uint8_t> payload(100, 1);
+  Block disk(4096);
+  Operation a;
+  a.kind = Operation::Kind::kUpdate;
+  a.block = 1;
+  a.record_size = 100;
+  Operation b = a;
+  b.block = 2;
+  EXPECT_FALSE(pool.ApplyUpdate(a, payload, disk).has_value());
+  EXPECT_FALSE(pool.ApplyUpdate(b, payload, disk).has_value());
+  EXPECT_EQ(pool.dirty_blocks(), 2u);
+  EXPECT_TRUE(pool.ApplyUpdate(a, payload, disk).has_value());
+  EXPECT_EQ(pool.dirty_blocks(), 1u);
+}
+
+TEST(BufferPoolModel, DrainAllEmitsEverything) {
+  BufferPoolModel pool(4096, 10);
+  std::vector<uint8_t> payload(100, 1);
+  Block disk(4096);
+  for (int blk = 0; blk < 5; ++blk) {
+    Operation op;
+    op.kind = Operation::Kind::kUpdate;
+    op.block = static_cast<BlockNum>(blk);
+    op.record_size = 100;
+    pool.ApplyUpdate(op, payload, disk);
+  }
+  std::vector<BufferPoolModel::Flush> flushed = pool.DrainAll();
+  EXPECT_EQ(flushed.size(), 5u);
+  EXPECT_EQ(pool.dirty_blocks(), 0u);
+}
+
+TEST(Trace, RoundTripsThroughText) {
+  WorkloadGenerator gen(SmallConfig(), 3);
+  std::vector<Operation> trace = gen.Generate(50);
+  std::string text = TraceToString(trace);
+  Result<std::vector<Operation>> back = TraceFromString(text);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), trace.size());
+  for (size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ((*back)[i].kind, trace[i].kind);
+    EXPECT_EQ((*back)[i].member, trace[i].member);
+    EXPECT_EQ((*back)[i].block, trace[i].block);
+    EXPECT_EQ((*back)[i].record_offset, trace[i].record_offset);
+  }
+}
+
+TEST(Trace, RejectsGarbage) {
+  EXPECT_FALSE(TraceFromString("X 1 2\n").ok());
+  EXPECT_FALSE(TraceFromString("U 1\n").ok());
+  EXPECT_TRUE(TraceFromString("# comment\nR 1 2\n").ok());
+}
+
+TEST(Trace, FileRoundTrip) {
+  WorkloadGenerator gen(SmallConfig(), 4);
+  std::vector<Operation> trace = gen.Generate(20);
+  std::string path = ::testing::TempDir() + "/radd_trace.txt";
+  ASSERT_TRUE(SaveTrace(trace, path).ok());
+  Result<std::vector<Operation>> back = LoadTrace(path);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), trace.size());
+}
+
+TEST(Trace, LoadMissingFileFails) {
+  EXPECT_TRUE(LoadTrace("/nonexistent/file.txt").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace radd
