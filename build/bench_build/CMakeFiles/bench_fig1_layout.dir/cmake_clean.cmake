@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig1_layout"
+  "../bench/bench_fig1_layout.pdb"
+  "CMakeFiles/bench_fig1_layout.dir/bench_fig1_layout.cc.o"
+  "CMakeFiles/bench_fig1_layout.dir/bench_fig1_layout.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

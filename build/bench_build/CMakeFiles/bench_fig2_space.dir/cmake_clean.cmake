@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_space"
+  "../bench/bench_fig2_space.pdb"
+  "CMakeFiles/bench_fig2_space.dir/bench_fig2_space.cc.o"
+  "CMakeFiles/bench_fig2_space.dir/bench_fig2_space.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

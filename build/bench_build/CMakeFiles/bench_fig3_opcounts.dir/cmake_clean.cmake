@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_opcounts"
+  "../bench/bench_fig3_opcounts.pdb"
+  "CMakeFiles/bench_fig3_opcounts.dir/bench_fig3_opcounts.cc.o"
+  "CMakeFiles/bench_fig3_opcounts.dir/bench_fig3_opcounts.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_opcounts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_numeric"
+  "../bench/bench_fig4_numeric.pdb"
+  "CMakeFiles/bench_fig4_numeric.dir/bench_fig4_numeric.cc.o"
+  "CMakeFiles/bench_fig4_numeric.dir/bench_fig4_numeric.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_mttu"
+  "../bench/bench_fig5_mttu.pdb"
+  "CMakeFiles/bench_fig5_mttu.dir/bench_fig5_mttu.cc.o"
+  "CMakeFiles/bench_fig5_mttu.dir/bench_fig5_mttu.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_mttu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

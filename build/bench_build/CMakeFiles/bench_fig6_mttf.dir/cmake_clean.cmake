@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_mttf"
+  "../bench/bench_fig6_mttf.pdb"
+  "CMakeFiles/bench_fig6_mttf.dir/bench_fig6_mttf.cc.o"
+  "CMakeFiles/bench_fig6_mttf.dir/bench_fig6_mttf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_mttf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

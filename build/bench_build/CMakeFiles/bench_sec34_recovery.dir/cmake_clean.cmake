@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_sec34_recovery"
+  "../bench/bench_sec34_recovery.pdb"
+  "CMakeFiles/bench_sec34_recovery.dir/bench_sec34_recovery.cc.o"
+  "CMakeFiles/bench_sec34_recovery.dir/bench_sec34_recovery.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec34_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_dbms.dir/distributed_dbms.cpp.o"
+  "CMakeFiles/distributed_dbms.dir/distributed_dbms.cpp.o.d"
+  "distributed_dbms"
+  "distributed_dbms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_dbms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

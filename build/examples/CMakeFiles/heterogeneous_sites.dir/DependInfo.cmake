@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/heterogeneous_sites.cpp" "examples/CMakeFiles/heterogeneous_sites.dir/heterogeneous_sites.cpp.o" "gcc" "examples/CMakeFiles/heterogeneous_sites.dir/heterogeneous_sites.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/radd_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/txn/CMakeFiles/radd_txn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/radd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/reliability/CMakeFiles/radd_reliability.dir/DependInfo.cmake"
+  "/root/repo/build/src/schemes/CMakeFiles/radd_schemes.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/radd_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/radd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/radd_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/radd_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/radd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/radd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

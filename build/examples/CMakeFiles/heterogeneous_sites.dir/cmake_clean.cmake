@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_sites.dir/heterogeneous_sites.cpp.o"
+  "CMakeFiles/heterogeneous_sites.dir/heterogeneous_sites.cpp.o.d"
+  "heterogeneous_sites"
+  "heterogeneous_sites.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_sites.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_simulation.dir/protocol_simulation.cpp.o"
+  "CMakeFiles/protocol_simulation.dir/protocol_simulation.cpp.o.d"
+  "protocol_simulation"
+  "protocol_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

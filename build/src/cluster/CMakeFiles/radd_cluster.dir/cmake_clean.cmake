@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_cluster.dir/cluster.cc.o"
+  "CMakeFiles/radd_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/radd_cluster.dir/heartbeat.cc.o"
+  "CMakeFiles/radd_cluster.dir/heartbeat.cc.o.d"
+  "libradd_cluster.a"
+  "libradd_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_common.dir/block.cc.o"
+  "CMakeFiles/radd_common.dir/block.cc.o.d"
+  "CMakeFiles/radd_common.dir/format.cc.o"
+  "CMakeFiles/radd_common.dir/format.cc.o.d"
+  "CMakeFiles/radd_common.dir/rng.cc.o"
+  "CMakeFiles/radd_common.dir/rng.cc.o.d"
+  "CMakeFiles/radd_common.dir/status.cc.o"
+  "CMakeFiles/radd_common.dir/status.cc.o.d"
+  "CMakeFiles/radd_common.dir/uid.cc.o"
+  "CMakeFiles/radd_common.dir/uid.cc.o.d"
+  "libradd_common.a"
+  "libradd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/radd.cc" "src/core/CMakeFiles/radd_core.dir/radd.cc.o" "gcc" "src/core/CMakeFiles/radd_core.dir/radd.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/radd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/radd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/disk/CMakeFiles/radd_disk.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/radd_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/radd_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/radd_layout.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_core.dir/radd.cc.o"
+  "CMakeFiles/radd_core.dir/radd.cc.o.d"
+  "libradd_core.a"
+  "libradd_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

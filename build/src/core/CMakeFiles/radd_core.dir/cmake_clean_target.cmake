@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libradd_core.a"
+)

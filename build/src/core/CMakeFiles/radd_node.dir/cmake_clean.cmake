@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_node.dir/node.cc.o"
+  "CMakeFiles/radd_node.dir/node.cc.o.d"
+  "libradd_node.a"
+  "libradd_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_disk.dir/disk.cc.o"
+  "CMakeFiles/radd_disk.dir/disk.cc.o.d"
+  "libradd_disk.a"
+  "libradd_disk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_disk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_layout.dir/layout.cc.o"
+  "CMakeFiles/radd_layout.dir/layout.cc.o.d"
+  "libradd_layout.a"
+  "libradd_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

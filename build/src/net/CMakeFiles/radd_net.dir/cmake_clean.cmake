@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_net.dir/network.cc.o"
+  "CMakeFiles/radd_net.dir/network.cc.o.d"
+  "libradd_net.a"
+  "libradd_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_reliability.dir/reliability.cc.o"
+  "CMakeFiles/radd_reliability.dir/reliability.cc.o.d"
+  "libradd_reliability.a"
+  "libradd_reliability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_reliability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_schemes.dir/local_raid.cc.o"
+  "CMakeFiles/radd_schemes.dir/local_raid.cc.o.d"
+  "CMakeFiles/radd_schemes.dir/radd2d.cc.o"
+  "CMakeFiles/radd_schemes.dir/radd2d.cc.o.d"
+  "CMakeFiles/radd_schemes.dir/rowb.cc.o"
+  "CMakeFiles/radd_schemes.dir/rowb.cc.o.d"
+  "CMakeFiles/radd_schemes.dir/scheme.cc.o"
+  "CMakeFiles/radd_schemes.dir/scheme.cc.o.d"
+  "libradd_schemes.a"
+  "libradd_schemes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_sim.dir/simulator.cc.o"
+  "CMakeFiles/radd_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/radd_sim.dir/stats.cc.o"
+  "CMakeFiles/radd_sim.dir/stats.cc.o.d"
+  "libradd_sim.a"
+  "libradd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_txn.dir/commit.cc.o"
+  "CMakeFiles/radd_txn.dir/commit.cc.o.d"
+  "CMakeFiles/radd_txn.dir/lock_manager.cc.o"
+  "CMakeFiles/radd_txn.dir/lock_manager.cc.o.d"
+  "CMakeFiles/radd_txn.dir/storage_manager.cc.o"
+  "CMakeFiles/radd_txn.dir/storage_manager.cc.o.d"
+  "CMakeFiles/radd_txn.dir/transaction.cc.o"
+  "CMakeFiles/radd_txn.dir/transaction.cc.o.d"
+  "libradd_txn.a"
+  "libradd_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_workload.dir/workload.cc.o"
+  "CMakeFiles/radd_workload.dir/workload.cc.o.d"
+  "libradd_workload.a"
+  "libradd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

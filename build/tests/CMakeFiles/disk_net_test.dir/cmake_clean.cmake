@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_net_test.dir/disk_net_test.cc.o"
+  "CMakeFiles/disk_net_test.dir/disk_net_test.cc.o.d"
+  "disk_net_test"
+  "disk_net_test.pdb"
+  "disk_net_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_core_test.dir/radd_core_test.cc.o"
+  "CMakeFiles/radd_core_test.dir/radd_core_test.cc.o.d"
+  "radd_core_test"
+  "radd_core_test.pdb"
+  "radd_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_edge_test.dir/radd_edge_test.cc.o"
+  "CMakeFiles/radd_edge_test.dir/radd_edge_test.cc.o.d"
+  "radd_edge_test"
+  "radd_edge_test.pdb"
+  "radd_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

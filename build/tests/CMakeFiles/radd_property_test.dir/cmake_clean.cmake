@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/radd_property_test.dir/radd_property_test.cc.o"
+  "CMakeFiles/radd_property_test.dir/radd_property_test.cc.o.d"
+  "radd_property_test"
+  "radd_property_test.pdb"
+  "radd_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/radd_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scrub_test.dir/scrub_test.cc.o"
+  "CMakeFiles/scrub_test.dir/scrub_test.cc.o.d"
+  "scrub_test"
+  "scrub_test.pdb"
+  "scrub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scrub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

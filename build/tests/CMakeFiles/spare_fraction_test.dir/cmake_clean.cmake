@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spare_fraction_test.dir/spare_fraction_test.cc.o"
+  "CMakeFiles/spare_fraction_test.dir/spare_fraction_test.cc.o.d"
+  "spare_fraction_test"
+  "spare_fraction_test.pdb"
+  "spare_fraction_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spare_fraction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
