@@ -49,6 +49,147 @@ void BM_ChangeMaskEncodedSize(benchmark::State& state) {
 }
 BENCHMARK(BM_ChangeMaskEncodedSize);
 
+// --- kernel-level cases across block sizes (512 B / 4 KB / 64 KB) ----------
+
+void BM_BlockXor(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.XorWith(b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BlockXor)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_XorInto(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n), dst(n);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(XorInto(&dst, a, b));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_XorInto)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_BlockIsZero(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block z(n);  // all-zero: full scan, the worst case
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(z.IsZero());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BlockIsZero)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_BlockChecksum(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n);
+  a.FillPattern(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Checksum());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BlockChecksum)->Arg(512)->Arg(4096)->Arg(65536);
+
+/// Sparse: one 100-byte record update (§7.4's motivating case).
+void BM_ChangeMaskDiffSparse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n);
+  a.FillPattern(1);
+  b = a;
+  size_t at = n / 4;
+  for (size_t i = at; i < at + 100 && i < n; ++i) b[i] ^= 0xFF;
+  for (auto _ : state) {
+    auto mask = ChangeMask::Diff(a, b);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangeMaskDiffSparse)->Arg(512)->Arg(4096)->Arg(65536);
+
+/// Dense: every byte differs (full-block rewrite).
+void BM_ChangeMaskDiffDense(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  for (auto _ : state) {
+    auto mask = ChangeMask::Diff(a, b);
+    benchmark::DoNotOptimize(mask);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangeMaskDiffDense)->Arg(512)->Arg(4096)->Arg(65536);
+
+/// Identical blocks: the short-circuit path (no run scan at all).
+void BM_ChangeMaskDiffNoop(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n);
+  a.FillPattern(1);
+  Block b = a;
+  for (auto _ : state) {
+    auto mask = ChangeMask::Diff(a, b);
+    benchmark::DoNotOptimize(mask->EncodedSize());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangeMaskDiffNoop)->Arg(4096);
+
+void BM_ChangeMaskEncodeSparse(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n);
+  a.FillPattern(1);
+  b = a;
+  for (size_t i = 0; i < n; i += 256) b[i] ^= 1;  // scattered single bytes
+  auto mask = ChangeMask::Diff(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask->EncodedSize());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangeMaskEncodeSparse)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_ChangeMaskEncodeDense(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  auto mask = ChangeMask::Diff(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask->EncodedSize());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangeMaskEncodeDense)->Arg(512)->Arg(4096)->Arg(65536);
+
+void BM_ChangeMaskApply(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Block a(n), b(n), parity(n);
+  a.FillPattern(1);
+  b.FillPattern(2);
+  auto mask = ChangeMask::Diff(a, b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mask->ApplyTo(&parity));
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ChangeMaskApply)->Arg(512)->Arg(4096)->Arg(65536);
+
 void BM_LayoutDataToRow(benchmark::State& state) {
   RaddLayout layout(8);
   BlockNum i = 0;

@@ -1,0 +1,145 @@
+// Data-plane throughput: wall-clock rate of RaddGroup operations with the
+// vectorized block kernels and the zero-copy hand-offs in place.
+//
+// Three modes exercise the three protocol regimes:
+//   * normal      — home site up: W1-W4 writes and local reads;
+//   * degraded    — home site down: spare writes, spare reads, and
+//                   formula-(2) reconstructions;
+//   * recovering  — home site recovering after a disaster: spare drains,
+//                   reconstruction repairs, then the recovery sweep itself.
+//
+// Output is JSON (one object per mode) so runs can be diffed across
+// revisions; BENCH_dataplane.json in the repo root records the seed-vs-new
+// numbers for this machine. Timings are wall clock and hence not
+// deterministic — everything else about the run (op mix, data, op counts)
+// is fixed.
+
+#include <chrono>
+#include <cstdio>
+
+#include "core/radd.h"
+
+using namespace radd;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+struct ModeResult {
+  const char* mode;
+  int ops;
+  double ms;
+  double mb;  // payload megabytes moved through the data plane
+};
+
+void Print(const ModeResult& r, bool last) {
+  double sec = r.ms / 1000.0;
+  std::printf("  {\"mode\": \"%s\", \"ops\": %d, \"wall_ms\": %.2f, "
+              "\"ops_per_sec\": %.0f, \"mb_per_sec\": %.1f}%s\n",
+              r.mode, r.ops, r.ms, sec > 0 ? r.ops / sec : 0.0,
+              sec > 0 ? r.mb / sec : 0.0, last ? "" : ",");
+}
+
+constexpr int kGroupSize = 8;
+constexpr BlockNum kRows = 60;
+constexpr size_t kBlockSize = 4096;
+constexpr int kOps = 4000;
+
+RaddConfig Config() {
+  RaddConfig config;
+  config.group_size = kGroupSize;
+  config.rows = kRows;
+  config.block_size = kBlockSize;
+  return config;
+}
+
+/// Mixed read/write stream against member `home` from `client`; blocks
+/// cycle so every row sees traffic.
+ModeResult Drive(const char* mode, RaddGroup* group, SiteId client,
+                 int home, int ops) {
+  BlockNum blocks = group->DataBlocksPerMember();
+  Block payload(kBlockSize);
+  double mb = 0;
+  auto start = Clock::now();
+  for (int i = 0; i < ops; ++i) {
+    BlockNum index = static_cast<BlockNum>(i) % blocks;
+    if (i % 3 == 0) {
+      OpResult r = group->Read(client, home, index);
+      if (r.ok()) mb += static_cast<double>(r.data.size()) / 1e6;
+    } else {
+      payload.FillPattern(static_cast<uint64_t>(i));
+      OpResult r = group->Write(client, home, index, payload);
+      if (r.ok()) mb += static_cast<double>(kBlockSize) / 1e6;
+    }
+  }
+  return ModeResult{mode, ops, MsSince(start), mb};
+}
+
+ModeResult RunNormal() {
+  RaddConfig config = Config();
+  SiteConfig sc{1, config.rows, config.block_size};
+  Cluster cluster(kGroupSize + 2, sc);
+  RaddGroup group(&cluster, config);
+  return Drive("normal", &group, /*client=*/2, /*home=*/2, kOps);
+}
+
+ModeResult RunDegraded() {
+  RaddConfig config = Config();
+  SiteConfig sc{1, config.rows, config.block_size};
+  Cluster cluster(kGroupSize + 2, sc);
+  RaddGroup group(&cluster, config);
+  // Seed every block, then fail the home site: all traffic goes through
+  // spares and reconstruction.
+  Block b(kBlockSize);
+  for (BlockNum i = 0; i < group.DataBlocksPerMember(); ++i) {
+    b.FillPattern(i);
+    group.Write(2, 2, i, b);
+  }
+  cluster.CrashSite(2);
+  return Drive("degraded", &group, /*client=*/0, /*home=*/2, kOps);
+}
+
+ModeResult RunRecovering() {
+  RaddConfig config = Config();
+  SiteConfig sc{1, config.rows, config.block_size};
+  Cluster cluster(kGroupSize + 2, sc);
+  RaddGroup group(&cluster, config);
+  Block b(kBlockSize);
+  for (BlockNum i = 0; i < group.DataBlocksPerMember(); ++i) {
+    b.FillPattern(i);
+    group.Write(2, 2, i, b);
+  }
+  // Fail, absorb degraded writes into the spares, then come back
+  // recovering: reads drain spares, writes fetch-and-invalidate them.
+  cluster.CrashSite(2);
+  for (BlockNum i = 0; i < group.DataBlocksPerMember(); i += 2) {
+    b.FillPattern(i + 1000);
+    group.Write(0, 2, i, b);
+  }
+  cluster.RestoreSite(2);  // disaster-free restart -> recovering
+  ModeResult r = Drive("recovering", &group, /*client=*/2, /*home=*/2,
+                       kOps);
+  // Include the sweep that finishes recovery in the mode's wall time.
+  auto start = Clock::now();
+  (void)group.RunRecovery(2);
+  r.ms += MsSince(start);
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("{\n\"block_size\": %zu,\n\"group_size\": %d,\n"
+              "\"results\": [\n",
+              kBlockSize, kGroupSize);
+  Print(RunNormal(), false);
+  Print(RunDegraded(), false);
+  Print(RunRecovering(), true);
+  std::printf("]\n}\n");
+  return 0;
+}

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Builds the tree with AddressSanitizer + UBSan and runs the full test
+# suite under it. Usage: scripts/check_sanitize.sh [build-dir]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build-asan}"
+
+cmake -B "$build" -S "$repo" -DRADD_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

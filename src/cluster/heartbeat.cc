@@ -21,7 +21,7 @@ HeartbeatDetector::HeartbeatDetector(Simulator* sim, Network* net,
   for (SiteId s : sites_) {
     chained_[s] = net_->GetHandler(s);
     net_->RegisterHandler(
-        s, [this, s](const Message& msg) { OnMessage(s, msg); });
+        s, [this, s](Message& msg) { OnMessage(s, msg); });
     for (SiteId t : sites_) {
       if (t == s) continue;
       last_heard_[s][t] = 0;
@@ -73,7 +73,7 @@ void HeartbeatDetector::Check(SiteId observer) {
   sim_->Schedule(config_.interval, [this, observer]() { Check(observer); });
 }
 
-void HeartbeatDetector::OnMessage(SiteId self, const Message& msg) {
+void HeartbeatDetector::OnMessage(SiteId self, Message& msg) {
   if (msg.type == "heartbeat") {
     if (cluster_->StateOf(self) == SiteState::kDown) return;
     last_heard_[self][msg.from] = sim_->Now();

@@ -62,7 +62,7 @@ class HeartbeatDetector {
  private:
   void Broadcast(SiteId from);
   void Check(SiteId observer);
-  void OnMessage(SiteId self, const Message& msg);
+  void OnMessage(SiteId self, Message& msg);
 
   Simulator* sim_;
   Network* net_;

@@ -8,18 +8,38 @@
 // — is exactly `new XOR old`; we also provide a compact run-length encoding
 // of the mask so the network layer can account bytes the way §7.4 argues
 // (a 100-byte record update in a 4 KB block ships ~100 bytes, not 4 KB).
+//
+// Performance: every RADD operation bottoms out here, so the kernels
+// (XOR, zero test, diff, run scan, checksum) run word-at-a-time over
+// uint64_t lanes with unaligned-safe head/tail handling; the plain loops
+// auto-vectorize under -O2. Byte-level semantics (including the §7.4 run
+// coalescing rule) are unchanged — tests/block_kernel_test.cc checks the
+// word-wise paths against byte-wise references at awkward sizes.
 
 #ifndef RADD_COMMON_BLOCK_H_
 #define RADD_COMMON_BLOCK_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
 
 namespace radd {
+
+namespace internal {
+/// dst[i] ^= src[i] for i in [0, n). Word-at-a-time; any alignment.
+void XorBytes(uint8_t* dst, const uint8_t* src, size_t n);
+/// dst[i] = a[i] ^ b[i] for i in [0, n); returns true if any output byte
+/// is nonzero (fused so ChangeMask::Diff learns no-op-ness in one pass).
+bool XorBytes3(uint8_t* dst, const uint8_t* a, const uint8_t* b, size_t n);
+/// True if every byte of [p, p+n) is zero.
+bool AllZero(const uint8_t* p, size_t n);
+/// Index of the first nonzero byte in [from, n), or n if none.
+size_t FindNonzero(const uint8_t* p, size_t from, size_t n);
+}  // namespace internal
 
 /// Index of a physical block (row) on a site's logical disk.
 using BlockNum = uint64_t;
@@ -44,6 +64,10 @@ class Block {
   uint8_t* data() { return data_.data(); }
   const std::vector<uint8_t>& bytes() const { return data_; }
 
+  /// Relinquishes the backing buffer (leaves this block empty). Lets a
+  /// BlockArena recycle storage from a block that is done carrying data.
+  std::vector<uint8_t> TakeBytes() && { return std::move(data_); }
+
   uint8_t operator[](size_t i) const { return data_[i]; }
   uint8_t& operator[](size_t i) { return data_[i]; }
 
@@ -64,7 +88,9 @@ class Block {
   /// (useful for tests and workload generation).
   void FillPattern(uint64_t seed);
 
-  /// 64-bit FNV-1a checksum of the contents.
+  /// 64-bit FNV-1a-style checksum of the contents, folded over uint64_t
+  /// lanes (plus a length term) so it runs at word speed. Only ever
+  /// compared against other checksums computed by this same function.
   uint64_t Checksum() const;
 
   friend bool operator==(const Block& a, const Block& b) {
@@ -81,6 +107,31 @@ class Block {
 /// XOR of two blocks, returned by value. Sizes must match (asserted).
 Block Xor(const Block& a, const Block& b);
 
+/// Three-operand XOR kernel: *dst = a ^ b, no temporary. `dst` must
+/// already have the operands' size (it is not resized).
+Status XorInto(Block* dst, const Block& a, const Block& b);
+
+/// Single-pass formula-(2) accumulation without pointer-vector churn:
+/// XORs the `n` blocks produced by `at(0) .. at(n-1)` (each returning a
+/// `const Block&`) into `*out`, which must already be sized to match.
+template <typename BlockAt>
+Status XorAllInto(Block* out, size_t n, BlockAt&& at) {
+  if (n == 0) return Status::InvalidArgument("XorAll of empty group");
+  const Block& first = at(size_t{0});
+  if (out->size() != first.size()) {
+    return Status::InvalidArgument("XorAll into mismatched block size");
+  }
+  std::memcpy(out->data(), first.data(), first.size());
+  for (size_t i = 1; i < n; ++i) {
+    const Block& b = at(i);
+    if (b.size() != out->size()) {
+      return Status::InvalidArgument("XorAll of mismatched block sizes");
+    }
+    internal::XorBytes(out->data(), b.data(), out->size());
+  }
+  return Status::OK();
+}
+
 /// XOR of a whole group of blocks — formula (2) reconstruction. Returns
 /// InvalidArgument if `blocks` is empty or sizes differ.
 Result<Block> XorAll(const std::vector<const Block*>& blocks);
@@ -93,23 +144,28 @@ Result<Block> XorAll(const std::vector<const Block*>& blocks);
 /// mask to the old data block yields the new one.
 class ChangeMask {
  public:
-  /// Computes `new_block XOR old_block`. Sizes must match.
+  /// Computes `new_block XOR old_block`. Sizes must match. The diff pass
+  /// also learns whether the blocks were identical, so the no-op case
+  /// short-circuits IsNoop()/EncodedSize() without another scan.
   static Result<ChangeMask> Diff(const Block& old_block,
                                  const Block& new_block);
 
   /// A mask equal to the full contents of `block` (i.e. diff against an
-  /// all-zero old block). Used when the old contents are unknown.
-  static ChangeMask FromFull(const Block& block);
+  /// all-zero old block). Used when the old contents are unknown. Accepts
+  /// the block by value so callers can move instead of copy.
+  static ChangeMask FromFull(Block block);
 
   /// XORs the delta into `target` (formula (1) parity update, or forward
-  /// application old -> new). Sizes must match.
+  /// application old -> new). Sizes must match. A known-no-op mask skips
+  /// the XOR pass entirely.
   Status ApplyTo(Block* target) const;
 
   /// Size of the block this mask applies to.
   size_t block_size() const { return delta_.size(); }
 
-  /// True if the mask changes nothing.
-  bool IsNoop() const { return delta_.IsZero(); }
+  /// True if the mask changes nothing. O(1) for masks built by Diff;
+  /// computed (and cached) on first use otherwise.
+  bool IsNoop() const;
 
   /// Number of bytes in which old and new differ.
   size_t ChangedBytes() const;
@@ -122,9 +178,16 @@ class ChangeMask {
 
   const Block& delta() const { return delta_; }
 
+  /// Relinquishes the delta block (e.g. to recycle its buffer after the
+  /// mask has been applied).
+  Block TakeDelta() && { return std::move(delta_); }
+
  private:
-  explicit ChangeMask(Block delta) : delta_(std::move(delta)) {}
+  explicit ChangeMask(Block delta, int8_t known_zero = -1)
+      : delta_(std::move(delta)), known_zero_(known_zero) {}
   Block delta_;
+  /// Tri-state no-op cache: -1 unknown, 0 nonzero, 1 all-zero.
+  mutable int8_t known_zero_ = -1;
 };
 
 }  // namespace radd

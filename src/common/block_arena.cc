@@ -1,0 +1,36 @@
+#include "common/block_arena.h"
+
+#include <cstring>
+
+namespace radd {
+
+Block BlockArena::Lease() {
+  ++leases_;
+  if (!free_.empty()) {
+    ++reuses_;
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    std::memset(buf.data(), 0, buf.size());
+    return Block(std::move(buf));
+  }
+  return Block(block_size_);
+}
+
+Block BlockArena::LeaseCopyOf(const Block& src) {
+  ++leases_;
+  if (src.size() == block_size_ && !free_.empty()) {
+    ++reuses_;
+    std::vector<uint8_t> buf = std::move(free_.back());
+    free_.pop_back();
+    std::memcpy(buf.data(), src.data(), block_size_);
+    return Block(std::move(buf));
+  }
+  return src.size() ? Block(src.bytes()) : Block(size_t{0});
+}
+
+void BlockArena::Return(Block&& b) {
+  if (b.size() != block_size_ || free_.size() >= max_free_) return;
+  free_.push_back(std::move(b).TakeBytes());
+}
+
+}  // namespace radd

@@ -1,0 +1,71 @@
+// BlockArena — a free-list of block-sized byte buffers.
+//
+// The simulator's data plane used to allocate a fresh 4 KB vector for
+// every message payload, reply, and scratch accumulator, then free it a
+// few microseconds later. An arena turns that churn into a pop/push on a
+// small free list: Lease() hands out a zeroed Block (recycling a returned
+// buffer when one is available) and Return() takes the backing storage
+// back once the block is done carrying data.
+//
+// Lifetime rules (see DESIGN.md "Data-plane performance"):
+//   * A leased Block is an ordinary Block — it may be moved anywhere,
+//     including across sites in the simulator; nothing ties it to the
+//     arena.
+//   * Return() is an optimization, never an obligation. Dropping a leased
+//     block on the floor just frees its buffer normally.
+//   * Return() only recycles buffers whose size matches the arena's block
+//     size (others are freed), so one arena per block size is the rule.
+//   * The free list is bounded (`max_free`); beyond that, returned
+//     buffers are freed so a burst cannot pin memory forever.
+//
+// Not thread-safe — the simulator is single-threaded by design.
+
+#ifndef RADD_COMMON_BLOCK_ARENA_H_
+#define RADD_COMMON_BLOCK_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/block.h"
+
+namespace radd {
+
+class BlockArena {
+ public:
+  explicit BlockArena(size_t block_size, size_t max_free = 128)
+      : block_size_(block_size), max_free_(max_free) {}
+
+  BlockArena(const BlockArena&) = delete;
+  BlockArena& operator=(const BlockArena&) = delete;
+
+  size_t block_size() const { return block_size_; }
+
+  /// An all-zero block of the arena's block size, recycling a returned
+  /// buffer when one is available.
+  Block Lease();
+
+  /// A copy of `src`, placed in a recycled buffer when `src` has the
+  /// arena's block size (skips the zero-fill a Lease+assign would pay).
+  Block LeaseCopyOf(const Block& src);
+
+  /// Recycles the block's backing storage. Wrong-sized blocks are simply
+  /// freed; so are returns beyond the free-list bound.
+  void Return(Block&& b);
+
+  /// Diagnostics.
+  size_t free_count() const { return free_.size(); }
+  uint64_t leases() const { return leases_; }
+  uint64_t reuses() const { return reuses_; }
+
+ private:
+  size_t block_size_;
+  size_t max_free_;
+  std::vector<std::vector<uint8_t>> free_;
+  uint64_t leases_ = 0;
+  uint64_t reuses_ = 0;
+};
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_BLOCK_ARENA_H_

@@ -158,23 +158,24 @@ struct RaddNodeSystem::Node {
 
   // --- message handlers ---------------------------------------------------
 
-  void OnReadReq(const Message& msg) {
+  void OnReadReq(Message& msg) {
     auto req = std::any_cast<ReadReq>(msg.payload);
-    WithLock(req.op, req.row, LockMode::kShared, [this, req, msg]() {
-      ScheduleDisk(disk().read_latency, [this, req, msg]() {
+    const SiteId from = msg.from;
+    WithLock(req.op, req.row, LockMode::kShared, [this, req, from]() {
+      ScheduleDisk(disk().read_latency, [this, req, from]() {
         ReadReply rep;
         rep.op = req.op;
         Result<BlockRecord> rec = store()->Read(req.row);
         if (rec.ok()) {
           rep.status = Status::OK();
-          rep.data = rec->data;
+          rep.data = std::move(rec->data);
           rep.uid = rec->uid;
         } else {
           rep.status = rec.status();
         }
         Unlock(req.op, req.row);
-        Send(msg.from, "read_reply",
-             rep, rep.status.ok() ? rep.data.size() : 0);
+        size_t wire = rep.status.ok() ? rep.data.size() : 0;
+        Send(from, "read_reply", std::move(rep), wire);
       });
     });
   }
@@ -205,9 +206,12 @@ struct RaddNodeSystem::Node {
     Send(reply_to, reply_type, std::move(reply), 0);
   }
 
-  void OnWriteReq(const Message& msg) {
-    auto req = std::any_cast<WriteReq>(msg.payload);
-    if (DedupeWrite(req.op, msg.from, "write_reply")) return;
+  void OnWriteReq(Message& msg) {
+    // Take the payload (it carries a full block): this delivery is its
+    // final stop, so the flow below owns the buffer without a copy.
+    WriteReq req = std::move(std::any_cast<WriteReq&>(msg.payload));
+    const SiteId from = msg.from;
+    if (DedupeWrite(req.op, from, "write_reply")) return;
     SiteState state = site()->state();
     // A lost block at a recovering site is written through the spare; tell
     // the client to take the degraded path.
@@ -215,11 +219,14 @@ struct RaddNodeSystem::Node {
       // Not a completed write: the client will redirect to the spare, so
       // forget the flow marker (the spare node dedupes the redirect).
       write_flows.erase(req.op);
-      Send(msg.from, "write_reply",
+      Send(from, "write_reply",
            WriteReply{req.op, Status::Unavailable("block lost")}, 0);
       return;
     }
-    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, msg]() {
+    const uint64_t op = req.op;
+    const BlockNum row = req.row;
+    WithLock(op, row, LockMode::kExclusive,
+             [this, req = std::move(req), from]() mutable {
       if (site()->state() == SiteState::kRecovering) {
         // The spare may hold a newer value (writes we missed while down):
         // fetch-and-invalidate it for a correct parity delta.
@@ -229,10 +236,12 @@ struct RaddNodeSystem::Node {
              SpareTakeReq{req.op, req.home, req.row}, 0);
         // Continuation lives in OnSpareTakeReply via pending write state.
         sys->stats_.Add("node.recovering_spare_fetch");
-        pending_local_writes[req.op] = {req, msg.from};
+        uint64_t op = req.op;
+        pending_local_writes.emplace(op,
+                                     PendingLocalWrite{std::move(req), from});
         return;
       }
-      ApplyLocalWrite(req, msg.from, /*old_override=*/std::nullopt);
+      ApplyLocalWrite(std::move(req), from, /*old_override=*/std::nullopt);
     });
   }
 
@@ -242,27 +251,33 @@ struct RaddNodeSystem::Node {
   };
   std::map<uint64_t, PendingLocalWrite> pending_local_writes;
 
-  void OnSpareTakeReply(const Message& msg) {
-    auto rep = std::any_cast<SpareReadReply>(msg.payload);
+  void OnSpareTakeReply(Message& msg) {
+    auto& rep = std::any_cast<SpareReadReply&>(msg.payload);
     auto it = pending_local_writes.find(rep.op);
     if (it == pending_local_writes.end()) return;
     PendingLocalWrite plw = std::move(it->second);
     pending_local_writes.erase(it);
     std::optional<Block> old;
-    if (rep.status.ok()) old = rep.data;
-    ApplyLocalWrite(plw.req, plw.reply_to, old);
+    if (rep.status.ok()) old = std::move(rep.data);
+    ApplyLocalWrite(std::move(plw.req), plw.reply_to, std::move(old));
   }
 
-  void ApplyLocalWrite(const WriteReq& req, SiteId reply_to,
+  void ApplyLocalWrite(WriteReq req, SiteId reply_to,
                        std::optional<Block> old_override) {
-    ScheduleDisk(disk().write_latency, [this, req, reply_to,
-                                           old_override]() {
-      Block old_value(sys->radd_config_.block_size);
+    ScheduleDisk(disk().write_latency,
+                 [this, req = std::move(req), reply_to,
+                  old_override = std::move(old_override)]() mutable {
+      // The old value lives only until the diff below: lease its buffer.
+      Block old_value(0);
       if (old_override) {
-        old_value = *old_override;
+        old_value = std::move(*old_override);
       } else {
         Result<BlockRecord> old = store()->Peek(req.row);
-        if (old.ok()) old_value = old->data;
+        if (old.ok()) {
+          old_value = std::move(old->data);
+        } else {
+          old_value = sys->arena_.Lease();
+        }
       }
       Uid uid = site()->uids()->Next();
       Status st = store()->Write(req.row, req.data, uid);
@@ -273,20 +288,24 @@ struct RaddNodeSystem::Node {
         return;
       }
       Result<ChangeMask> mask = ChangeMask::Diff(old_value, req.data);
+      sys->arena_.Return(std::move(old_value));
+      sys->arena_.Return(std::move(req.data));
       bool invalidate_spare = old_override.has_value();
+      const uint64_t op = req.op;
+      const int home = req.home;
+      const BlockNum row = req.row;
       SendParityUpdate(
-          req.op, req.home, req.row, *mask, uid,
-          [this, req, reply_to, invalidate_spare]() {
+          op, home, row, std::move(*mask), uid,
+          [this, op, home, row, reply_to, invalidate_spare]() {
             if (invalidate_spare) {
               // The local copy is now authoritative (§3.2 side effect).
-              Send(sys->group_.SiteOfMember(static_cast<int>(
-                       sys->layout().SpareSite(req.row))),
-                   "spare_invalidate",
-                   SpareTakeReq{req.op, req.home, req.row}, 0);
+              Send(sys->group_.SiteOfMember(
+                       static_cast<int>(sys->layout().SpareSite(row))),
+                   "spare_invalidate", SpareTakeReq{op, home, row}, 0);
             }
-            Unlock(req.op, req.row);
-            CompleteWrite(req.op, reply_to, "write_reply",
-                          WriteReply{req.op, Status::OK()});
+            Unlock(op, row);
+            CompleteWrite(op, reply_to, "write_reply",
+                          WriteReply{op, Status::OK()});
           });
     });
   }
@@ -309,7 +328,7 @@ struct RaddNodeSystem::Node {
   std::map<uint64_t, int> parity_tries;
 
   void SendParityUpdate(uint64_t op, int home, BlockNum row,
-                        const ChangeMask& mask, Uid uid,
+                        ChangeMask mask, Uid uid,
                         std::function<void()> done) {
     int pm = static_cast<int>(sys->layout().ParitySite(row));
     SiteId parity_site = sys->group_.SiteOfMember(pm);
@@ -322,9 +341,9 @@ struct RaddNodeSystem::Node {
     u.op = op;
     u.row = row;
     u.position = home;
-    u.delta = mask.delta();
-    u.uid = uid;
     u.wire_bytes = mask.EncodedSize();
+    u.delta = std::move(mask).TakeDelta();
+    u.uid = uid;
     parity_done[op] = std::move(done);
     parity_tries[op] = 0;
     TransmitParity(parity_site, u);
@@ -346,27 +365,33 @@ struct RaddNodeSystem::Node {
     parity_timers[u.op] = timer;
   }
 
-  void OnParityUpdate(const Message& msg) {
-    auto u = std::any_cast<ParityUpdate>(msg.payload);
+  void OnParityUpdate(Message& msg) {
+    ParityUpdate u = std::move(std::any_cast<ParityUpdate&>(msg.payload));
+    const SiteId from = msg.from;
     // Idempotence: a duplicate carries the UID we already recorded.
     Result<BlockRecord> rec = store()->Peek(u.row);
     if (rec.ok() &&
         static_cast<size_t>(u.position) < rec->uid_array.size() &&
         rec->uid_array[static_cast<size_t>(u.position)] == u.uid) {
-      Send(msg.from, "parity_ack", ParityAck{u.op}, 0);
+      Send(from, "parity_ack", ParityAck{u.op}, 0);
       sys->stats_.Add("node.parity_duplicate");
       return;
     }
-    ScheduleDisk(disk().write_latency, [this, u, msg]() {
+    ScheduleDisk(disk().write_latency,
+                 [this, u = std::move(u), from]() mutable {
+      // ApplyMask XORs the delta straight into the parity buffer; the
+      // delta block is spent afterwards, so its buffer goes back to the
+      // arena.
+      ChangeMask mask = ChangeMask::FromFull(std::move(u.delta));
       Status st = store()->ApplyMask(
-          u.row, ChangeMask::FromFull(u.delta), u.uid,
-          static_cast<size_t>(u.position),
+          u.row, mask, u.uid, static_cast<size_t>(u.position),
           static_cast<size_t>(sys->group_.num_members()));
+      sys->arena_.Return(std::move(mask).TakeDelta());
       if (!st.ok()) {
         sys->stats_.Add("node.parity_apply_failed");
         return;  // lost parity block; recovery will recompute — no ack
       }
-      Send(msg.from, "parity_ack", ParityAck{u.op}, 0);
+      Send(from, "parity_ack", ParityAck{u.op}, 0);
     });
   }
 
@@ -385,88 +410,99 @@ struct RaddNodeSystem::Node {
     done();
   }
 
-  void OnSpareReadReq(const Message& msg) {
+  void OnSpareReadReq(Message& msg) {
     auto req = std::any_cast<SpareReadReq>(msg.payload);
-    WithLock(req.op, req.row, LockMode::kShared, [this, req, msg]() {
-      ScheduleDisk(disk().read_latency, [this, req, msg]() {
+    const SiteId from = msg.from;
+    WithLock(req.op, req.row, LockMode::kShared, [this, req, from]() {
+      ScheduleDisk(disk().read_latency, [this, req, from]() {
         SpareReadReply rep;
         rep.op = req.op;
         Result<BlockRecord> rec = store()->Read(req.row);
         if (rec.ok() && rec->uid.valid() && rec->spare_for == req.home) {
           rep.status = Status::OK();
-          rep.data = rec->data;
+          rep.data = std::move(rec->data);
           rep.logical_uid = rec->logical_uid;
         } else {
           rep.status = Status::NotFound("spare invalid");
         }
         Unlock(req.op, req.row);
-        Send(msg.from, "spare_read_reply", rep,
-             rep.status.ok() ? rep.data.size() : 0);
+        size_t wire = rep.status.ok() ? rep.data.size() : 0;
+        Send(from, "spare_read_reply", std::move(rep), wire);
       });
     });
   }
 
-  void OnSpareTakeReq(const Message& msg) {
+  void OnSpareTakeReq(Message& msg) {
     auto req = std::any_cast<SpareTakeReq>(msg.payload);
-    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, msg]() {
-      ScheduleDisk(disk().read_latency, [this, req, msg]() {
+    const SiteId from = msg.from;
+    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, from]() {
+      ScheduleDisk(disk().read_latency, [this, req, from]() {
         SpareReadReply rep;
         rep.op = req.op;
         Result<BlockRecord> rec = store()->Read(req.row);
         if (rec.ok() && rec->uid.valid() && rec->spare_for == req.home) {
           rep.status = Status::OK();
-          rep.data = rec->data;
+          rep.data = std::move(rec->data);
           rep.logical_uid = rec->logical_uid;
         } else {
           rep.status = Status::NotFound("spare invalid");
         }
         Unlock(req.op, req.row);
-        Send(msg.from, "spare_take_reply", rep,
-             rep.status.ok() ? rep.data.size() : 0);
+        size_t wire = rep.status.ok() ? rep.data.size() : 0;
+        Send(from, "spare_take_reply", std::move(rep), wire);
       });
     });
   }
 
-  void OnSpareWriteReq(const Message& msg) {
-    auto req = std::any_cast<SpareWriteReq>(msg.payload);
-    if (DedupeWrite(req.op, msg.from, "spare_write_reply")) return;
-    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, msg]() {
+  void OnSpareWriteReq(Message& msg) {
+    SpareWriteReq req = std::move(std::any_cast<SpareWriteReq&>(msg.payload));
+    const SiteId from = msg.from;
+    if (DedupeWrite(req.op, from, "spare_write_reply")) return;
+    const uint64_t op = req.op;
+    const BlockNum row = req.row;
+    WithLock(op, row, LockMode::kExclusive,
+             [this, req = std::move(req), from]() mutable {
       Result<BlockRecord> old = store()->Peek(req.row);
       bool have_old =
           old.ok() && old->uid.valid() && old->spare_for == req.home;
       if (have_old && old->logical_uid == req.uid) {
         // Duplicate of a spare write we already performed (lost reply).
         Unlock(req.op, req.row);
-        CompleteWrite(req.op, msg.from, "spare_write_reply",
+        CompleteWrite(req.op, from, "spare_write_reply",
                       WriteReply{req.op, Status::OK()});
         return;
       }
       if (have_old) {
-        CommitSpareWrite(req, msg.from, old->data);
+        CommitSpareWrite(std::move(req), from, std::move(old->data));
         return;
       }
       // Spare invalid: reconstruct the old value first so the parity
       // delta is correct (first-degraded-write penalty).
+      const uint64_t op = req.op;
+      const int home = req.home;
+      const BlockNum row = req.row;
       StartReconstruction(
-          req.op, req.home, req.row,
-          [this, req, msg](Status st, const Block& data, Uid) {
+          op, home, row,
+          [this, req = std::move(req), from](Status st, Block data,
+                                             Uid) mutable {
             if (!st.ok()) {
               Unlock(req.op, req.row);
-              CompleteWrite(req.op, msg.from, "spare_write_reply",
+              CompleteWrite(req.op, from, "spare_write_reply",
                             WriteReply{req.op, st});
               return;
             }
-            CommitSpareWrite(req, msg.from, data);
+            CommitSpareWrite(std::move(req), from, std::move(data));
           });
     });
   }
 
-  void CommitSpareWrite(const SpareWriteReq& req, SiteId reply_to,
-                        const Block& old_value) {
-    ScheduleDisk(disk().write_latency, [this, req, reply_to,
-                                           old_value]() {
-      BlockRecord rec(sys->radd_config_.block_size);
-      rec.data = req.data;
+  void CommitSpareWrite(SpareWriteReq req, SiteId reply_to,
+                        Block old_value) {
+    ScheduleDisk(disk().write_latency,
+                 [this, req = std::move(req), reply_to,
+                  old_value = std::move(old_value)]() mutable {
+      BlockRecord rec(0);
+      rec.data = std::move(req.data);
       rec.uid = req.uid;
       rec.logical_uid = req.uid;
       rec.spare_for = req.home;
@@ -477,37 +513,42 @@ struct RaddNodeSystem::Node {
                       WriteReply{req.op, st});
         return;
       }
-      Result<ChangeMask> mask = ChangeMask::Diff(old_value, req.data);
-      SendParityUpdate(req.op, req.home, req.row, *mask, req.uid,
-                       [this, req, reply_to]() {
-                         Unlock(req.op, req.row);
-                         CompleteWrite(req.op, reply_to,
-                                       "spare_write_reply",
-                                       WriteReply{req.op, Status::OK()});
+      Result<ChangeMask> mask = ChangeMask::Diff(old_value, rec.data);
+      sys->arena_.Return(std::move(old_value));
+      sys->arena_.Return(std::move(rec.data));
+      const uint64_t op = req.op;
+      const BlockNum row = req.row;
+      SendParityUpdate(op, req.home, row, std::move(*mask), req.uid,
+                       [this, op, row, reply_to]() {
+                         Unlock(op, row);
+                         CompleteWrite(op, reply_to, "spare_write_reply",
+                                       WriteReply{op, Status::OK()});
                        });
     });
   }
 
-  void OnSpareWriteBack(const Message& msg) {
-    auto wb = std::any_cast<SpareWriteBack>(msg.payload);
-    ScheduleDisk(disk().write_latency, [this, wb]() {
+  void OnSpareWriteBack(Message& msg) {
+    SpareWriteBack wb = std::move(std::any_cast<SpareWriteBack&>(msg.payload));
+    ScheduleDisk(disk().write_latency, [this, wb = std::move(wb)]() mutable {
       Result<BlockRecord> cur = store()->Peek(wb.row);
       if (cur.ok() && cur->uid.valid()) return;  // raced with a write
-      BlockRecord rec(sys->radd_config_.block_size);
-      rec.data = wb.data;
+      BlockRecord rec(0);
+      rec.data = std::move(wb.data);
       rec.uid = site()->uids()->Next();
       rec.logical_uid = wb.logical_uid;
       rec.spare_for = wb.home;
       if (store()->WriteRecord(wb.row, rec).ok()) {
         sys->stats_.Add("node.materialized");
       }
+      sys->arena_.Return(std::move(rec.data));
     });
   }
 
-  void OnReconReq(const Message& msg) {
+  void OnReconReq(Message& msg) {
     auto req = std::any_cast<ReconReq>(msg.payload);
+    const SiteId from = msg.from;
     // §3.3: reconstruction reads take no locks; they return UIDs instead.
-    ScheduleDisk(disk().read_latency, [this, req, msg]() {
+    ScheduleDisk(disk().read_latency, [this, req, from]() {
       ReconReply rep;
       rep.op = req.op;
       rep.row = req.row;
@@ -516,12 +557,12 @@ struct RaddNodeSystem::Node {
         rep.status = rec.status();
       } else {
         rep.status = Status::OK();
-        rep.data = rec->data;
+        rep.data = std::move(rec->data);
         rep.uid = rec->uid;
-        rep.uid_array = rec->uid_array;
+        rep.uid_array = std::move(rec->uid_array);
       }
-      Send(msg.from, "recon_reply", rep,
-           rep.status.ok() ? rep.data.size() : 0);
+      size_t wire = rep.status.ok() ? rep.data.size() : 0;
+      Send(from, "recon_reply", std::move(rep), wire);
     });
   }
 
@@ -530,16 +571,15 @@ struct RaddNodeSystem::Node {
   struct Recon {
     int home;
     BlockNum row;
-    std::function<void(Status, const Block&, Uid)> done;
+    std::function<void(Status, Block, Uid)> done;
     std::vector<SiteId> sources;  // member ids
     std::map<int, ReconReply> replies;
     int attempt = 0;
   };
   std::map<uint64_t, Recon> recons;
 
-  void StartReconstruction(
-      uint64_t op, int home, BlockNum row,
-      std::function<void(Status, const Block&, Uid)> done) {
+  void StartReconstruction(uint64_t op, int home, BlockNum row,
+                           std::function<void(Status, Block, Uid)> done) {
     Recon rc;
     rc.home = home;
     rc.row = row;
@@ -569,8 +609,8 @@ struct RaddNodeSystem::Node {
     }
   }
 
-  void OnReconReply(const Message& msg) {
-    auto rep = std::any_cast<ReconReply>(msg.payload);
+  void OnReconReply(Message& msg) {
+    ReconReply rep = std::move(std::any_cast<ReconReply&>(msg.payload));
     auto it = recons.find(rep.op);
     if (it == recons.end()) return;
     Recon& rc = it->second;
@@ -615,15 +655,19 @@ struct RaddNodeSystem::Node {
       IssueReconRound(rep.op);
       return;
     }
-    Block out(sys->radd_config_.block_size);
+    // XOR-accumulate into an arena buffer; the block travels by move from
+    // here to the final consumer, which returns it.
+    Block out = sys->arena_.Lease();
     for (const auto& [m, r] : rc.replies) {
-      (void)out.XorWith(r.data);
+      if (r.data.size() == out.size()) {
+        internal::XorBytes(out.data(), r.data.data(), out.size());
+      }
     }
     Uid logical = entry(rc.home);
     auto done = std::move(rc.done);
     recons.erase(it);
     sys->stats_.Add("node.reconstructions");
-    done(Status::OK(), out, logical);
+    done(Status::OK(), std::move(out), logical);
   }
 };
 
@@ -640,12 +684,13 @@ RaddNodeSystem::RaddNodeSystem(Simulator* sim, Network* net,
       cluster_(cluster),
       radd_config_(radd_config),
       node_config_(node_config),
-      group_(cluster, radd_config) {
+      group_(cluster, radd_config),
+      arena_(radd_config.block_size) {
   for (int m = 0; m < group_.num_members(); ++m) {
     SiteId s = group_.SiteOfMember(m);
     nodes_[s] = std::make_unique<Node>(this, s);
     net_->RegisterHandler(
-        s, [this, s](const Message& msg) { Dispatch(s, msg); });
+        s, [this, s](Message& msg) { Dispatch(s, msg); });
   }
 }
 
@@ -675,7 +720,7 @@ void RaddNodeSystem::SetPresumedState(SiteId observer, SiteId target,
   }
 }
 
-void RaddNodeSystem::Dispatch(SiteId site, const Message& msg) {
+void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
   // A down site's network stack is gone: deliveries are dropped. (The
   // sender sees silence and relies on timeouts, as in a real network.)
   if (cluster_->StateOf(site) == SiteState::kDown) {
@@ -686,11 +731,11 @@ void RaddNodeSystem::Dispatch(SiteId site, const Message& msg) {
   if (msg.type == "read_req") {
     n->OnReadReq(msg);
   } else if (msg.type == "read_reply") {
-    auto rep = std::any_cast<ReadReply>(msg.payload);
+    ReadReply rep = std::move(std::any_cast<ReadReply&>(msg.payload));
     auto it = reads_.find(rep.op);
     if (it == reads_.end()) return;
     if (rep.status.ok()) {
-      FinishRead(rep.op, Status::OK(), rep.data);
+      FinishRead(rep.op, Status::OK(), std::move(rep.data));
     } else if (rep.status.IsDataLoss() || rep.status.IsUnavailable()) {
       // Block lost at the home site: reconstruct.
       PendingRead& pr = it->second;
@@ -713,12 +758,13 @@ void RaddNodeSystem::Dispatch(SiteId site, const Message& msg) {
       req.op = rep.op;
       req.home = pw.home;
       req.row = pw.row;
-      req.data = pw.data;
+      req.data = pw.data;  // pw keeps its copy for retries
       req.uid = cluster_->site(pw.client)->uids()->Next();
+      size_t wire = req.data.size();
       client_node->Send(
           group_.SiteOfMember(
               static_cast<int>(layout().SpareSite(pw.row))),
-          "spare_write_req", req, req.data.size());
+          "spare_write_req", std::move(req), wire);
       return;
     }
     FinishWrite(rep.op, rep.status);
@@ -729,12 +775,13 @@ void RaddNodeSystem::Dispatch(SiteId site, const Message& msg) {
   } else if (msg.type == "spare_read_req") {
     n->OnSpareReadReq(msg);
   } else if (msg.type == "spare_read_reply") {
-    auto rep = std::any_cast<SpareReadReply>(msg.payload);
+    SpareReadReply rep =
+        std::move(std::any_cast<SpareReadReply&>(msg.payload));
     auto it = reads_.find(rep.op);
     if (it == reads_.end()) return;
     PendingRead& pr = it->second;
     if (rep.status.ok()) {
-      FinishRead(rep.op, Status::OK(), rep.data);
+      FinishRead(rep.op, Status::OK(), std::move(rep.data));
       return;
     }
     // Spare invalid. A recovering home may still hold a valid local copy:
@@ -782,7 +829,7 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
                                              PendingRead& pr) {
   node(pr.client)->StartReconstruction(
       op, pr.home, pr.row,
-      [this, op](Status st, const Block& data, Uid logical) {
+      [this, op](Status st, Block data, Uid logical) {
         auto rit = reads_.find(op);
         if (rit == reads_.end()) return;
         if (!st.ok()) {
@@ -799,14 +846,15 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
           SpareWriteBack wb;
           wb.home = r.home;
           wb.row = r.row;
-          wb.data = data;
+          wb.data = data;  // the read's caller still needs `data`
           wb.logical_uid = logical;
+          size_t wire = wb.data.size();
           node(r.client)->Send(
               group_.SiteOfMember(
                   static_cast<int>(layout().SpareSite(r.row))),
-              "spare_write_back", wb, data.size());
+              "spare_write_back", std::move(wb), wire);
         }
-        FinishRead(op, Status::OK(), data);
+        FinishRead(op, Status::OK(), std::move(data));
       });
 }
 
@@ -862,19 +910,21 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
     req.op = op;
     req.home = pw.home;
     req.row = pw.row;
-    req.data = pw.data;
+    req.data = pw.data;  // pw keeps its copy for retries
     req.uid = cluster_->site(pw.client)->uids()->Next();
+    size_t wire = req.data.size();
     client_node->Send(
         group_.SiteOfMember(static_cast<int>(layout().SpareSite(pw.row))),
-        "spare_write_req", req, req.data.size());
+        "spare_write_req", std::move(req), wire);
     return;
   }
   WriteReq req;
   req.op = op;
   req.row = pw.row;
   req.home = pw.home;
-  req.data = pw.data;
-  client_node->Send(home_site, "write_req", req, req.data.size());
+  req.data = pw.data;  // pw keeps its copy for retries
+  size_t wire = req.data.size();
+  client_node->Send(home_site, "write_req", std::move(req), wire);
 }
 
 void RaddNodeSystem::ArmWriteTimer(uint64_t op) {
@@ -893,7 +943,7 @@ void RaddNodeSystem::ArmWriteTimer(uint64_t op) {
       });
 }
 
-void RaddNodeSystem::FinishRead(uint64_t op, Status st, const Block& data) {
+void RaddNodeSystem::FinishRead(uint64_t op, Status st, Block data) {
   auto it = reads_.find(op);
   if (it == reads_.end()) return;
   sim_->Cancel(it->second.timer);
@@ -901,6 +951,9 @@ void RaddNodeSystem::FinishRead(uint64_t op, Status st, const Block& data) {
   SimTime latency = sim_->Now() - it->second.start;
   reads_.erase(it);
   cb(st, data, latency);
+  // The callback has seen the data; recycle the buffer for the next
+  // block-sized payload this node touches.
+  arena_.Return(std::move(data));
 }
 
 void RaddNodeSystem::FinishWrite(uint64_t op, Status st) {

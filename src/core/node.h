@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/block_arena.h"
 #include "core/radd.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -108,7 +109,7 @@ class RaddNodeSystem {
   /// State that `observer` believes `target` to be in.
   SiteState Perceived(SiteId observer, SiteId target) const;
 
-  void Dispatch(SiteId site, const Message& msg);
+  void Dispatch(SiteId site, Message& msg);
   Node* node(SiteId s) { return nodes_.at(s).get(); }
 
   Simulator* sim_;
@@ -117,6 +118,9 @@ class RaddNodeSystem {
   RaddConfig radd_config_;
   NodeConfig node_config_;
   RaddGroup group_;
+  /// Free-list for block-sized buffers: message handlers lease scratch
+  /// blocks and return spent payload buffers here instead of reallocating.
+  BlockArena arena_;
   Stats stats_;
   std::map<SiteId, std::unique_ptr<Node>> nodes_;
   std::map<std::pair<SiteId, SiteId>, SiteState> presumed_;
@@ -150,7 +154,7 @@ class RaddNodeSystem {
   void StartRead(uint64_t op);
   void StartReadReconstruction(uint64_t op, PendingRead& pr);
   void StartWrite(uint64_t op);
-  void FinishRead(uint64_t op, Status st, const Block& data);
+  void FinishRead(uint64_t op, Status st, Block data);
   void FinishWrite(uint64_t op, Status st);
   void ArmWriteTimer(uint64_t op);
 

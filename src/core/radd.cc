@@ -117,7 +117,7 @@ OpResult RaddGroup::Read(SiteId client, int home, BlockNum data_index) {
         return out;
       }
       ChargeRead(client, home, &out.counts);
-      out.data = rec->data;
+      out.data = std::move(rec->data);
       out.uid = rec->uid;
       out.status = Status::OK();
       return out;
@@ -163,8 +163,8 @@ OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
       }
       (void)ReadPhys(sm, row);  // the physical spare read
       ChargeRead(client, sm, &out.counts);
-      out.data = srec->data;
       out.uid = srec->logical_uid;
+      out.data = std::move(srec->data);
       out.status = Status::OK();
       return out;
     }
@@ -183,8 +183,8 @@ OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
   // charged to this read.
   if (config_.materialize_on_degraded_read && spare_usable &&
       StateOfMember(sm) == SiteState::kUp) {
-    BlockRecord srec(config_.block_size);
-    srec.data = recon->data;
+    BlockRecord srec(0);
+    srec.data = recon->data;  // the read's caller still needs the value
     srec.uid = SiteOf(sm)->uids()->Next();
     srec.logical_uid = recon->logical_uid;
     srec.spare_for = home;
@@ -222,7 +222,7 @@ OpResult RaddGroup::RecoveringRead(SiteId client, int home, BlockNum row) {
         (void)SiteOf(sm)->store()->Invalidate(Phys(sm, row));
         stats_.Add("radd.spare_invalidate");
       }
-      out.data = srec->data;
+      out.data = std::move(srec->data);
       out.uid = srec->logical_uid;
       out.status = Status::OK();
       return out;
@@ -233,7 +233,7 @@ OpResult RaddGroup::RecoveringRead(SiteId client, int home, BlockNum row) {
   Result<BlockRecord> lrec = SiteOf(home)->store()->Read(Phys(home, row));
   if (lrec.ok() && lrec->uid.valid()) {
     ChargeRead(client, home, &out.counts);
-    out.data = lrec->data;
+    out.data = std::move(lrec->data);
     out.uid = lrec->uid;
     out.status = Status::OK();
     return out;
@@ -242,7 +242,7 @@ OpResult RaddGroup::RecoveringRead(SiteId client, int home, BlockNum row) {
   // its initial zero state; no reconstruction needed.
   if (lrec.ok()) {
     ChargeRead(client, home, &out.counts);
-    out.data = lrec->data;
+    out.data = std::move(lrec->data);
     out.uid = lrec->uid;
     out.status = Status::OK();
     return out;
@@ -333,15 +333,15 @@ Result<RaddGroup::Reconstructed> RaddGroup::Reconstruct(SiteId client,
       continue;  // "the read was not consistent and must be retried"
     }
 
-    std::vector<const Block*> blocks;
-    blocks.reserve(records.size());
-    for (const BlockRecord& r : records) blocks.push_back(&r.data);
-    Result<Block> x = XorAll(blocks);
-    if (!x.ok()) return x.status();
+    Reconstructed out;
+    out.data = Block(records.front().data.size());
+    Status x = XorAllInto(&out.data, records.size(),
+                          [&](size_t i) -> const Block& {
+                            return records[i].data;
+                          });
+    if (!x.ok()) return x;
 
     stats_.Add("radd.reconstructions");
-    Reconstructed out;
-    out.data = std::move(x).value();
     out.logical_uid = array_entry(home);
     return out;
   }
@@ -386,7 +386,9 @@ OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
         return DegradedWrite(client, home, row, new_data);
       }
       // Determine the current logical value for a correct parity delta.
-      Block old_value(config_.block_size);
+      // Every path below assigns it, so start empty instead of zeroing a
+      // block-sized buffer that is immediately overwritten.
+      Block old_value(0);
       bool have_old = false;
       int sm = static_cast<int>(layout_.SpareSite(row));
       bool spare_valid = false;
@@ -398,7 +400,7 @@ OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
           // local copy is stale. Fetch the spare for the delta.
           (void)ReadPhys(sm, row);  // the physical spare read
           ChargeRead(client, sm, &out.counts);
-          old_value = srec->data;
+          old_value = std::move(srec->data);
           have_old = true;
           spare_valid = true;
         }
@@ -413,11 +415,11 @@ OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
           if (config_.charge_old_value_read) {
             ChargeRead(client, home, &out.counts);
           }
-          old_value = lrec->data;
+          old_value = std::move(lrec->data);
           have_old = true;
         } else if (lrec.ok()) {
           // Recovering, local invalid-but-readable: initial zero state.
-          old_value = lrec->data;
+          old_value = std::move(lrec->data);
           have_old = true;
         }
       }
@@ -490,14 +492,14 @@ OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
 
   // Old logical value: the spare if it is valid (free — buffered at the
   // spare site which we are about to write anyway), else reconstructed.
-  Block old_value(config_.block_size);
+  Block old_value(0);
   Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
   if (srec.ok() && srec->uid.valid()) {
     if (srec->spare_for != home) {
       out.status = Status::Internal("spare shadows a different member");
       return out;
     }
-    old_value = srec->data;
+    old_value = std::move(srec->data);
   } else {
     Result<Reconstructed> recon = Reconstruct(client, home, row, &out.counts);
     if (!recon.ok()) {
@@ -517,7 +519,7 @@ OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
     return out;
   }
   Uid u = writer->uids()->Next();
-  BlockRecord new_rec(config_.block_size);
+  BlockRecord new_rec(0);
   new_rec.data = new_data;
   new_rec.uid = u;
   new_rec.logical_uid = u;
@@ -676,9 +678,9 @@ Result<OpCounts> RaddGroup::RunRecovery(int home, bool mark_up) {
         }
         if (stale) {
           BlockRecord prec(config_.block_size);
-          for (size_t i = 0; i < data_recs.size(); ++i) {
-            RADD_RETURN_NOT_OK(prec.data.XorWith(data_recs[i].data));
-          }
+          RADD_RETURN_NOT_OK(XorAllInto(
+              &prec.data, data_recs.size(),
+              [&](size_t i) -> const Block& { return data_recs[i].data; }));
           prec.uid = site->uids()->Next();
           prec.uid_array.assign(static_cast<size_t>(num_members()), Uid());
           for (size_t i = 0; i < data_members.size(); ++i) {
@@ -762,9 +764,9 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
     bool mismatch = !prec.ok();
     if (prec.ok()) {
       Block expected(config_.block_size);
-      for (const BlockRecord& r : recs) {
-        RADD_RETURN_NOT_OK(expected.XorWith(r.data));
-      }
+      RADD_RETURN_NOT_OK(XorAllInto(
+          &expected, recs.size(),
+          [&](size_t i) -> const Block& { return recs[i].data; }));
       if (expected != prec->data) {
         mismatch = true;
       } else {
@@ -782,9 +784,9 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
     if (!mismatch) continue;
 
     BlockRecord fresh(config_.block_size);
-    for (const BlockRecord& r : recs) {
-      RADD_RETURN_NOT_OK(fresh.data.XorWith(r.data));
-    }
+    RADD_RETURN_NOT_OK(XorAllInto(
+        &fresh.data, recs.size(),
+        [&](size_t i) -> const Block& { return recs[i].data; }));
     fresh.uid = site->uids()->Next();
     fresh.uid_array.assign(static_cast<size_t>(num_members()), Uid());
     for (size_t i = 0; i < data_members.size(); ++i) {

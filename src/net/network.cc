@@ -45,8 +45,7 @@ void Network::Send(Message msg) {
     auto it = handlers_.find(msg.to);
     if (it != handlers_.end()) {
       Handler h = it->second;
-      Message m = std::move(msg);
-      sim_->Schedule(0, [h, m]() { h(m); });
+      sim_->Schedule(0, [h, m = std::move(msg)]() mutable { h(m); });
     }
     return;
   }
@@ -70,8 +69,8 @@ void Network::Send(Message msg) {
   auto it = handlers_.find(msg.to);
   if (it == handlers_.end()) return;  // destination has no stack: dropped
   Handler h = it->second;
-  Message m = std::move(msg);
-  sim_->Schedule(model_.one_way_latency, [h, m]() { h(m); });
+  sim_->Schedule(model_.one_way_latency,
+                 [h, m = std::move(msg)]() mutable { h(m); });
 }
 
 }  // namespace radd

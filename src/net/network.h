@@ -55,7 +55,11 @@ struct Message {
 /// The simulated network fabric.
 class Network {
  public:
-  using Handler = std::function<void(const Message&)>;
+  /// Handlers receive the message by mutable reference: the delivery is
+  /// the message's final stop, so the handler may move large payloads
+  /// (block data) out instead of copying them — the zero-copy data plane
+  /// depends on this.
+  using Handler = std::function<void(Message&)>;
 
   Network(Simulator* sim, NetworkModel model, uint64_t seed = 0x5eed);
 

@@ -97,7 +97,7 @@ TxnId WalStorageManager::Begin() {
 Result<Block> WalStorageManager::ReadPageFromDisk(BlockNum page) {
   OpResult r = group_->Read(home_site_, member_, log_capacity_ + page);
   if (!r.ok()) return r.status;
-  return r.data;
+  return std::move(r.data);
 }
 
 Status WalStorageManager::WritePageToDisk(BlockNum page,
@@ -141,19 +141,19 @@ Status WalStorageManager::AppendToLog(const LogRecord& r) {
 }
 
 Status WalStorageManager::FlushLog() {
-  const size_t bs = Block(0).size() == 0 ? 4096 : 0;  // placate linters
-  (void)bs;
   const size_t block_size = group_->config().block_size;
   size_t blocks_needed = (log_tail_.size() + block_size - 1) / block_size;
   if (blocks_needed > log_capacity_) {
     return Status::Unavailable("log full");
   }
   // Rewrite every block whose content changed since the last flush; for
-  // simplicity we rewrite from the last fully-durable block onward.
+  // simplicity we rewrite from the last fully-durable block onward. One
+  // staging buffer serves the whole flush.
+  Block blk(block_size);
   for (BlockNum b = log_next_; b < blocks_needed; ++b) {
-    Block blk(block_size);
     size_t start = b * block_size;
     size_t n = std::min(block_size, log_tail_.size() - start);
+    if (n < block_size) blk.Clear();  // zero the tail of a partial block
     RADD_RETURN_NOT_OK(blk.WriteAt(0, log_tail_.data() + start, n));
     OpResult w = group_->Write(home_site_, member_, b, blk);
     if (!w.ok()) return w.status;
@@ -326,7 +326,7 @@ NoOverwriteStorageManager::NoOverwriteStorageManager(RaddGroup* group,
 Result<Block> NoOverwriteStorageManager::ReadPhysical(BlockNum block) {
   OpResult r = group_->Read(home_site_, member_, block);
   if (!r.ok()) return r.status;
-  return r.data;
+  return std::move(r.data);
 }
 
 Status NoOverwriteStorageManager::WritePhysical(BlockNum block,
@@ -346,7 +346,7 @@ Status NoOverwriteStorageManager::WriteRoot() {
 
 Status NoOverwriteStorageManager::LoadRoot() {
   RADD_ASSIGN_OR_RETURN(Block root, ReadPhysical(0));
-  std::vector<uint8_t> bytes = root.bytes();
+  const std::vector<uint8_t>& bytes = root.bytes();
   size_t pos = 0;
   uint64_t epoch;
   uint32_t n;
