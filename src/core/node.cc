@@ -23,6 +23,7 @@ struct WriteReq {
   uint64_t op;
   BlockNum row;
   int home;
+  SimTime deadline = 0;  // client give-up time; later copies are zombies
   Block data{0};
 };
 struct WriteReply {
@@ -49,6 +50,7 @@ struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
   uint64_t op;
   int home;
   BlockNum row;
+  SimTime deadline = 0;  // client give-up time; later copies are zombies
   Block data{0};
   Uid uid;  // minted by the writer
 };
@@ -72,6 +74,7 @@ struct ParityAck {
 struct ReconReq {
   uint64_t op;
   BlockNum row;
+  int attempt;  // §3.3 retry round; stale-round replies are discarded
 };
 struct ReconReply {
   uint64_t op;
@@ -80,6 +83,7 @@ struct ReconReply {
   Block data{0};
   Uid uid;
   std::vector<Uid> uid_array;  // non-empty iff this is the parity site
+  int attempt = 0;             // echoed from the request
 };
 
 }  // namespace
@@ -113,10 +117,19 @@ struct RaddNodeSystem::Node {
   /// behind each other (this is what makes parity-site contention — the
   /// §2 striping argument — observable).
   SimTime disk_free_at = 0;
+  /// Gray-failure multiplier on disk service time (1 = healthy).
+  uint32_t disk_slow = 1;
+  /// Bumped by ResetNodeVolatileState; disk completions queued before a
+  /// crash belong to the dead incarnation and must not touch the store.
+  uint64_t epoch = 0;
   void ScheduleDisk(SimTime latency, Simulator::Callback fn) {
     SimTime start = std::max(sim()->Now(), disk_free_at);
-    disk_free_at = start + latency;
-    sim()->At(disk_free_at, std::move(fn));
+    disk_free_at = start + latency * disk_slow;
+    sim()->At(disk_free_at,
+              [this, e = epoch, fn = std::move(fn)]() mutable {
+                if (e != epoch) return;
+                fn();
+              });
   }
 
   /// Lock ids: inverted op ids so later ops always wait (single-block
@@ -212,6 +225,14 @@ struct RaddNodeSystem::Node {
     WriteReq req = std::move(std::any_cast<WriteReq&>(msg.payload));
     const SiteId from = msg.from;
     if (DedupeWrite(req.op, from, "write_reply")) return;
+    if (req.deadline != 0 && sim()->Now() > req.deadline) {
+      // Zombie: a long-delayed retransmission of a write whose client has
+      // provably given up. Applying it could roll the block back past a
+      // newer acknowledged write.
+      sys->stats_.Add("node.write_expired");
+      sys->arena_.Return(std::move(req.data));
+      return;
+    }
     SiteState state = site()->state();
     // A lost block at a recovering site is written through the spare; tell
     // the client to take the degraded path.
@@ -306,6 +327,14 @@ struct RaddNodeSystem::Node {
             Unlock(op, row);
             CompleteWrite(op, reply_to, "write_reply",
                           WriteReply{op, Status::OK()});
+          },
+          [this, op, row, reply_to]() {
+            // Retransmission exhausted: release the lock and surface the
+            // failure instead of holding the row hostage forever.
+            Unlock(op, row);
+            CompleteWrite(op, reply_to, "write_reply",
+                          WriteReply{op, Status::NetworkError(
+                                             "parity update unacked")});
           });
     });
   }
@@ -323,13 +352,20 @@ struct RaddNodeSystem::Node {
 
   /// Sends the W3 parity message, retransmitting until acked (§5). Calls
   /// `done` once acknowledged (or immediately if the parity site is down:
-  /// its recovery will recompute the row).
-  std::map<uint64_t, std::function<void()>> parity_done;
+  /// its recovery will recompute the row). If retransmission is exhausted,
+  /// calls `fail` instead so the write surfaces NetworkError rather than
+  /// hanging with its lock held.
+  struct ParityWait {
+    std::function<void()> done;
+    std::function<void()> fail;
+  };
+  std::map<uint64_t, ParityWait> parity_done;
   std::map<uint64_t, int> parity_tries;
 
   void SendParityUpdate(uint64_t op, int home, BlockNum row,
                         ChangeMask mask, Uid uid,
-                        std::function<void()> done) {
+                        std::function<void()> done,
+                        std::function<void()> fail = nullptr) {
     int pm = static_cast<int>(sys->layout().ParitySite(row));
     SiteId parity_site = sys->group_.SiteOfMember(pm);
     if (sys->Perceived(self, parity_site) == SiteState::kDown) {
@@ -344,7 +380,7 @@ struct RaddNodeSystem::Node {
     u.wire_bytes = mask.EncodedSize();
     u.delta = std::move(mask).TakeDelta();
     u.uid = uid;
-    parity_done[op] = std::move(done);
+    parity_done[op] = ParityWait{std::move(done), std::move(fail)};
     parity_tries[op] = 0;
     TransmitParity(parity_site, u);
   }
@@ -357,6 +393,11 @@ struct RaddNodeSystem::Node {
           if (it == parity_done.end()) return;  // acked meanwhile
           if (++parity_tries[u.op] > sys->node_config_.max_retries) {
             sys->stats_.Add("node.parity_gave_up");
+            ParityWait wait = std::move(it->second);
+            parity_done.erase(it);
+            parity_tries.erase(u.op);
+            parity_timers.erase(u.op);
+            if (wait.fail) wait.fail();
             return;
           }
           sys->stats_.Add("node.parity_retransmit");
@@ -365,10 +406,27 @@ struct RaddNodeSystem::Node {
     parity_timers[u.op] = timer;
   }
 
+  /// Parity ops seen by this node: false = apply in flight, true =
+  /// applied. The paper's UID-array check alone cannot catch a duplicate
+  /// that arrives *after a newer update for the same position* replaced
+  /// the array entry — re-XORing its mask would corrupt the parity block.
+  /// The op-level map closes that window; the UID-array check still covers
+  /// duplicates that outlive a node restart (which clears this map).
+  std::map<uint64_t, bool> parity_ops;
+
   void OnParityUpdate(Message& msg) {
     ParityUpdate u = std::move(std::any_cast<ParityUpdate&>(msg.payload));
     const SiteId from = msg.from;
-    // Idempotence: a duplicate carries the UID we already recorded.
+    auto seen = parity_ops.find(u.op);
+    if (seen != parity_ops.end()) {
+      sys->stats_.Add("node.parity_duplicate");
+      // In flight: stay silent, the original's ack (or the sender's
+      // retransmit) resolves it. Applied: re-ack, the first ack was lost.
+      if (seen->second) Send(from, "parity_ack", ParityAck{u.op}, 0);
+      return;
+    }
+    // Idempotence across restarts: a duplicate carries the UID we already
+    // recorded in the array (paper §3.3 machinery).
     Result<BlockRecord> rec = store()->Peek(u.row);
     if (rec.ok() &&
         static_cast<size_t>(u.position) < rec->uid_array.size() &&
@@ -377,6 +435,7 @@ struct RaddNodeSystem::Node {
       sys->stats_.Add("node.parity_duplicate");
       return;
     }
+    parity_ops[u.op] = false;
     ScheduleDisk(disk().write_latency,
                  [this, u = std::move(u), from]() mutable {
       // ApplyMask XORs the delta straight into the parity buffer; the
@@ -389,8 +448,12 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(mask).TakeDelta());
       if (!st.ok()) {
         sys->stats_.Add("node.parity_apply_failed");
-        return;  // lost parity block; recovery will recompute — no ack
+        // Lost parity block; recovery will recompute — no ack, and the
+        // op is forgotten so a retransmit can retry the apply.
+        parity_ops.erase(u.op);
+        return;
       }
+      parity_ops[u.op] = true;
       Send(from, "parity_ack", ParityAck{u.op}, 0);
     });
   }
@@ -399,7 +462,7 @@ struct RaddNodeSystem::Node {
     auto ack = std::any_cast<ParityAck>(msg.payload);
     auto it = parity_done.find(ack.op);
     if (it == parity_done.end()) return;  // duplicate ack
-    auto done = std::move(it->second);
+    auto done = std::move(it->second.done);
     parity_done.erase(it);
     parity_tries.erase(ack.op);
     auto timer = parity_timers.find(ack.op);
@@ -458,6 +521,11 @@ struct RaddNodeSystem::Node {
     SpareWriteReq req = std::move(std::any_cast<SpareWriteReq&>(msg.payload));
     const SiteId from = msg.from;
     if (DedupeWrite(req.op, from, "spare_write_reply")) return;
+    if (req.deadline != 0 && sim()->Now() > req.deadline) {
+      sys->stats_.Add("node.write_expired");
+      sys->arena_.Return(std::move(req.data));
+      return;
+    }
     const uint64_t op = req.op;
     const BlockNum row = req.row;
     WithLock(op, row, LockMode::kExclusive,
@@ -501,6 +569,18 @@ struct RaddNodeSystem::Node {
     ScheduleDisk(disk().write_latency,
                  [this, req = std::move(req), reply_to,
                   old_value = std::move(old_value)]() mutable {
+      if (sys->Perceived(self, sys->group_.SiteOfMember(req.home)) ==
+          SiteState::kUp) {
+        // The home recovered while this flow was queued (slow disk, long
+        // reconstruction): committing now would shadow an up member. Stay
+        // silent — the client's retry re-evaluates and targets the home.
+        sys->stats_.Add("node.spare_write_stale");
+        Unlock(req.op, req.row);
+        write_flows.erase(req.op);
+        sys->arena_.Return(std::move(req.data));
+        sys->arena_.Return(std::move(old_value));
+        return;
+      }
       BlockRecord rec(0);
       rec.data = std::move(req.data);
       rec.uid = req.uid;
@@ -523,6 +603,13 @@ struct RaddNodeSystem::Node {
                          Unlock(op, row);
                          CompleteWrite(op, reply_to, "spare_write_reply",
                                        WriteReply{op, Status::OK()});
+                       },
+                       [this, op, row, reply_to]() {
+                         Unlock(op, row);
+                         CompleteWrite(op, reply_to, "spare_write_reply",
+                                       WriteReply{op, Status::NetworkError(
+                                                          "parity update "
+                                                          "unacked")});
                        });
     });
   }
@@ -530,6 +617,16 @@ struct RaddNodeSystem::Node {
   void OnSpareWriteBack(Message& msg) {
     SpareWriteBack wb = std::move(std::any_cast<SpareWriteBack&>(msg.payload));
     ScheduleDisk(disk().write_latency, [this, wb = std::move(wb)]() mutable {
+      // Materialization is only valid while the home is down. This message
+      // is fire-and-forget, so a delayed copy can arrive after the home
+      // restarted and recovery drained the spares; writing it now would
+      // leave a valid spare shadowing an up member.
+      if (sys->Perceived(self, sys->group_.SiteOfMember(wb.home)) !=
+          SiteState::kDown) {
+        sys->stats_.Add("node.writeback_stale");
+        sys->arena_.Return(std::move(wb.data));
+        return;
+      }
       Result<BlockRecord> cur = store()->Peek(wb.row);
       if (cur.ok() && cur->uid.valid()) return;  // raced with a write
       BlockRecord rec(0);
@@ -552,6 +649,7 @@ struct RaddNodeSystem::Node {
       ReconReply rep;
       rep.op = req.op;
       rep.row = req.row;
+      rep.attempt = req.attempt;
       Result<BlockRecord> rec = store()->Read(req.row);
       if (!rec.ok()) {
         rep.status = rec.status();
@@ -605,7 +703,7 @@ struct RaddNodeSystem::Node {
     rc.replies.clear();
     for (SiteId src : rc.sources) {
       SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
-      Send(site_id, "recon_req", ReconReq{op, rc.row}, 0);
+      Send(site_id, "recon_req", ReconReq{op, rc.row, rc.attempt}, 0);
     }
   }
 
@@ -614,6 +712,12 @@ struct RaddNodeSystem::Node {
     auto it = recons.find(rep.op);
     if (it == recons.end()) return;
     Recon& rc = it->second;
+    if (rep.attempt != rc.attempt) {
+      // A jitter-delayed reply from an earlier round; mixing it into the
+      // current round could assemble a torn reconstruction.
+      sys->stats_.Add("node.recon_stale_reply");
+      return;
+    }
     int member = sys->group_.MemberAtSite(msg.from);
     if (!rep.status.ok()) {
       auto done = std::move(rc.done);
@@ -711,6 +815,46 @@ SiteState RaddNodeSystem::Perceived(SiteId observer, SiteId target) const {
   return cluster_->StateOf(target);
 }
 
+void RaddNodeSystem::ResetNodeVolatileState(SiteId site) {
+  auto nit = nodes_.find(site);
+  if (nit == nodes_.end()) return;
+  Node* n = nit->second.get();
+  for (auto& [op, timer] : n->parity_timers) sim_->Cancel(timer);
+  n->parity_timers.clear();
+  n->parity_done.clear();
+  n->parity_tries.clear();
+  n->parity_ops.clear();
+  n->write_flows.clear();
+  n->pending_local_writes.clear();
+  n->waiting.clear();
+  n->recons.clear();
+  n->locks = LockManager();
+  n->disk_free_at = 0;
+  ++n->epoch;  // queued disk completions belong to the dead incarnation
+  stats_.Add("node.volatile_reset");
+  // Client operations issued from this site die with its process: their
+  // callbacks would otherwise dangle forever.
+  std::vector<uint64_t> dead_reads, dead_writes;
+  for (const auto& [op, pr] : reads_) {
+    if (pr.client == site) dead_reads.push_back(op);
+  }
+  for (const auto& [op, pw] : writes_) {
+    if (pw.client == site) dead_writes.push_back(op);
+  }
+  for (uint64_t op : dead_reads) {
+    FinishRead(op, Status::NetworkError("client site crashed"), Block(0));
+  }
+  for (uint64_t op : dead_writes) {
+    FinishWrite(op, Status::NetworkError("client site crashed"));
+  }
+}
+
+void RaddNodeSystem::SetDiskSlowFactor(SiteId site, uint32_t factor) {
+  auto nit = nodes_.find(site);
+  if (nit == nodes_.end()) return;
+  nit->second->disk_slow = factor < 1 ? 1 : factor;
+}
+
 void RaddNodeSystem::SetPresumedState(SiteId observer, SiteId target,
                                       std::optional<SiteState> state) {
   if (state) {
@@ -758,6 +902,7 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
       req.op = rep.op;
       req.home = pw.home;
       req.row = pw.row;
+      req.deadline = WriteDeadline(pw);
       req.data = pw.data;  // pw keeps its copy for retries
       req.uid = cluster_->site(pw.client)->uids()->Next();
       size_t wire = req.data.size();
@@ -867,6 +1012,7 @@ void RaddNodeSystem::StartRead(uint64_t op) {
         auto rit = reads_.find(op);
         if (rit == reads_.end()) return;
         if (++rit->second.retries > node_config_.max_retries) {
+          stats_.Add("node.read_retry_exhausted");
           FinishRead(op, Status::NetworkError("read timed out"), Block(0));
           return;
         }
@@ -910,6 +1056,7 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
     req.op = op;
     req.home = pw.home;
     req.row = pw.row;
+    req.deadline = WriteDeadline(pw);
     req.data = pw.data;  // pw keeps its copy for retries
     req.uid = cluster_->site(pw.client)->uids()->Next();
     size_t wire = req.data.size();
@@ -922,9 +1069,19 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
   req.op = op;
   req.row = pw.row;
   req.home = pw.home;
+  req.deadline = WriteDeadline(pw);
   req.data = pw.data;  // pw keeps its copy for retries
   size_t wire = req.data.size();
   client_node->Send(home_site, "write_req", std::move(req), wire);
+}
+
+SimTime RaddNodeSystem::WriteDeadline(const PendingWrite& pw) const {
+  // ArmWriteTimer fires every 4*retry_timeout and gives up after
+  // max_retries retries, so the client abandons the op at exactly this
+  // time; any request copy arriving later is a zombie.
+  return pw.start +
+         static_cast<SimTime>(node_config_.max_retries + 1) * 4 *
+             node_config_.retry_timeout;
 }
 
 void RaddNodeSystem::ArmWriteTimer(uint64_t op) {
@@ -935,6 +1092,7 @@ void RaddNodeSystem::ArmWriteTimer(uint64_t op) {
         auto wit = writes_.find(op);
         if (wit == writes_.end()) return;
         if (++wit->second.retries > node_config_.max_retries) {
+          stats_.Add("node.write_retry_exhausted");
           FinishWrite(op, Status::NetworkError("write timed out"));
           return;
         }

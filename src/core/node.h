@@ -95,6 +95,17 @@ class RaddNodeSystem {
     perceiver_ = std::move(perceiver);
   }
 
+  /// Discards the in-memory protocol state of `site`'s node — lock table,
+  /// retransmission timers, dedupe tables, in-flight server flows — and
+  /// fails (NetworkError) any client operation issued *from* that site.
+  /// Call when the site crashes: a restarted process comes up cold, it
+  /// does not resume half-held locks or remembered acks.
+  void ResetNodeVolatileState(SiteId site);
+
+  /// Gray-failure injection: multiplies `site`'s disk service time by
+  /// `factor` (1 = healthy). The site stays up and correct, just slow.
+  void SetDiskSlowFactor(SiteId site, uint32_t factor);
+
   /// The reference model sharing the same cluster state; used for
   /// recovery sweeps and invariant checking.
   RaddGroup* group() { return &group_; }
@@ -157,6 +168,7 @@ class RaddNodeSystem {
   void FinishRead(uint64_t op, Status st, Block data);
   void FinishWrite(uint64_t op, Status st);
   void ArmWriteTimer(uint64_t op);
+  SimTime WriteDeadline(const PendingWrite& pw) const;
 
   friend struct Node;
 };

@@ -139,6 +139,16 @@ class RaddGroup {
   /// the number of rows repaired.
   Result<int> ScrubParity(int parity_member);
 
+  /// Data-side counterpart of ScrubParity: audits member `data_member`'s
+  /// data blocks at an *up* site and repairs any that read as DataLoss —
+  /// latent sector errors, checksum-detected silent corruption, residual
+  /// loss — by formula-(2) reconstruction from the row's other blocks,
+  /// restamping the logical UID from the parity array so the UID-agreement
+  /// invariant holds afterwards. Rows whose sources are unavailable are
+  /// skipped ("radd.scrub_skipped"). Returns the number of blocks
+  /// repaired ("radd.scrub_data_repaired").
+  Result<int> ScrubData(int data_member);
+
   /// Checks the group's global invariants; used by property tests.
   ///   * parity row contents == XOR of the logical values of its G data
   ///     blocks (skipped when the parity site is not up);

@@ -5,6 +5,7 @@ namespace radd {
 void SimDisk::Fail() {
   failed_ = true;
   lost_.clear();
+  latent_.clear();
   // Every materialized block is lost; unmaterialized blocks become lost
   // too — we mark the whole address space lazily via the failed_ flag and
   // record explicit loss marks for materialized blocks so rewrites can
@@ -30,15 +31,34 @@ BlockRecord& SimDisk::GetOrCreate(BlockNum block) {
   return it->second;
 }
 
-Result<BlockRecord> SimDisk::Read(BlockNum block) const {
-  RADD_RETURN_NOT_OK(CheckAddress(block));
+Status SimDisk::CheckReadable(BlockNum block) const {
   auto lost = lost_.find(block);
   if (lost != lost_.end() && lost->second) {
     return Status::DataLoss("block " + std::to_string(block) +
                             " lost to disk failure");
   }
+  auto latent = latent_.find(block);
+  if (latent != latent_.end() && latent->second) {
+    return Status::DataLoss("block " + std::to_string(block) +
+                            " unreadable (latent sector error)");
+  }
+  return Status::OK();
+}
+
+Result<BlockRecord> SimDisk::Read(BlockNum block) const {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  RADD_RETURN_NOT_OK(CheckReadable(block));
   auto it = blocks_.find(block);
   if (it == blocks_.end()) return BlockRecord(block_size_);
+  // End-to-end integrity: the checksum stamped at write time must match
+  // the bytes the medium returns. A mismatch is silent corruption; report
+  // it as DataLoss so the RADD layer reconstructs instead of serving rot.
+  if (it->second.checksum != 0 &&
+      it->second.checksum != it->second.data.Checksum()) {
+    ++corruptions_detected_;
+    return Status::DataLoss("block " + std::to_string(block) +
+                            " failed checksum (silent corruption)");
+  }
   return it->second;
 }
 
@@ -55,7 +75,9 @@ Status SimDisk::Write(BlockNum block, const Block& data, Uid uid) {
   rec.uid = uid;
   rec.logical_uid = Uid();
   rec.spare_for = -1;
+  rec.checksum = rec.data.Checksum();
   lost_.erase(block);
+  latent_.erase(block);
   return Status::OK();
 }
 
@@ -64,19 +86,19 @@ Status SimDisk::WriteRecord(BlockNum block, const BlockRecord& record) {
   if (record.data.size() != block_size_) {
     return Status::InvalidArgument("record block size mismatch");
   }
-  GetOrCreate(block) = record;
+  BlockRecord& rec = GetOrCreate(block);
+  rec = record;
+  // The disk, not the caller, owns the integrity stamp.
+  rec.checksum = rec.data.Checksum();
   lost_.erase(block);
+  latent_.erase(block);
   return Status::OK();
 }
 
 Status SimDisk::ApplyMask(BlockNum block, const ChangeMask& mask, Uid uid,
                           size_t group_position, size_t group_size) {
   RADD_RETURN_NOT_OK(CheckAddress(block));
-  auto lost = lost_.find(block);
-  if (lost != lost_.end() && lost->second) {
-    return Status::DataLoss("parity block " + std::to_string(block) +
-                            " lost to disk failure");
-  }
+  RADD_RETURN_NOT_OK(CheckReadable(block));
   if (mask.block_size() != block_size_) {
     return Status::InvalidArgument("mask size mismatch");
   }
@@ -84,11 +106,19 @@ Status SimDisk::ApplyMask(BlockNum block, const ChangeMask& mask, Uid uid,
     return Status::InvalidArgument("group position out of range");
   }
   BlockRecord& rec = GetOrCreate(block);
+  // Applying a delta on top of rotted parity would propagate the rot into
+  // every future reconstruction of this row: verify before XORing.
+  if (rec.checksum != 0 && rec.checksum != rec.data.Checksum()) {
+    ++corruptions_detected_;
+    return Status::DataLoss("parity block " + std::to_string(block) +
+                            " failed checksum (silent corruption)");
+  }
   RADD_RETURN_NOT_OK(mask.ApplyTo(&rec.data));
   if (rec.uid_array.size() < group_size) rec.uid_array.resize(group_size);
   rec.uid_array[group_position] = uid;
   // The parity block itself also becomes "valid": stamp the triggering UID.
   rec.uid = uid;
+  rec.checksum = rec.data.Checksum();
   return Status::OK();
 }
 
@@ -106,13 +136,39 @@ Status SimDisk::Invalidate(BlockNum block) {
 Status SimDisk::Discard(BlockNum block) {
   RADD_RETURN_NOT_OK(CheckAddress(block));
   blocks_.erase(block);
+  latent_.erase(block);
   lost_[block] = true;
   return Status::OK();
 }
 
+Status SimDisk::InjectLatentError(BlockNum block) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  latent_[block] = true;
+  return Status::OK();
+}
+
+Result<bool> SimDisk::CorruptBlock(BlockNum block, uint64_t seed,
+                                   int bits) {
+  RADD_RETURN_NOT_OK(CheckAddress(block));
+  auto it = blocks_.find(block);
+  if (it == blocks_.end()) return false;  // nothing materialized to rot
+  Block& data = it->second.data;
+  // splitmix64 over the seed picks the bit positions deterministically.
+  uint64_t x = seed;
+  for (int i = 0; i < bits; ++i) {
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    z ^= z >> 31;
+    size_t pos = static_cast<size_t>(z % (data.size() * 8));
+    data[pos / 8] = static_cast<uint8_t>(data[pos / 8] ^ (1u << (pos % 8)));
+  }
+  return true;
+}
+
 bool SimDisk::IsValid(BlockNum block) const {
-  auto lost = lost_.find(block);
-  if (lost != lost_.end() && lost->second) return false;
+  if (!CheckReadable(block).ok()) return false;
   auto it = blocks_.find(block);
   return it != blocks_.end() && it->second.uid.valid();
 }
@@ -186,6 +242,29 @@ Status DiskArray::Discard(BlockNum block) {
   }
   return disks_[static_cast<size_t>(DiskOf(block))].Discard(
       block % blocks_per_disk_);
+}
+
+Status DiskArray::InjectLatentError(BlockNum block) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].InjectLatentError(
+      block % blocks_per_disk_);
+}
+
+Result<bool> DiskArray::CorruptBlock(BlockNum block, uint64_t seed,
+                                     int bits) {
+  if (block >= total_blocks()) {
+    return Status::NotFound("block beyond array capacity");
+  }
+  return disks_[static_cast<size_t>(DiskOf(block))].CorruptBlock(
+      block % blocks_per_disk_, seed, bits);
+}
+
+uint64_t DiskArray::corruptions_detected() const {
+  uint64_t total = 0;
+  for (const SimDisk& d : disks_) total += d.corruptions_detected();
+  return total;
 }
 
 bool DiskArray::IsValid(BlockNum block) const {

@@ -9,7 +9,15 @@
 // accounted separately (Table 1).
 //
 // Failure injection: a failed disk loses all its blocks (media loss); reads
-// return DataLoss until the block is rewritten (reconstruction).
+// return DataLoss until the block is rewritten (reconstruction). Two finer
+// fault classes are injectable per block:
+//   * latent sector errors — the medium reports an unreadable sector; the
+//     read fails with DataLoss until the block is rewritten;
+//   * silent corruption (bit rot) — the medium returns wrong bytes with no
+//     error. Every write stamps the record with a content checksum and
+//     every read verifies it, so rotted reads are *detected* and surface
+//     as DataLoss (routed to formula-(2) reconstruction by the RADD layer)
+//     instead of being returned to clients.
 
 #ifndef RADD_DISK_DISK_H_
 #define RADD_DISK_DISK_H_
@@ -55,6 +63,10 @@ struct BlockRecord {
   /// lets recovery detect double-failure artifacts instead of silently
   /// draining another member's data.
   int32_t spare_for = -1;
+  /// Content checksum stamped by the disk on every write; 0 = untracked
+  /// (never-written blocks). Reads verify it so silent corruption is
+  /// detected instead of served.
+  uint64_t checksum = 0;
 
   explicit BlockRecord(size_t block_size) : data(block_size) {}
 };
@@ -101,6 +113,20 @@ class SimDisk {
   /// layered stores to poison stale redundancy they can no longer repair.
   Status Discard(BlockNum block);
 
+  /// Injects a latent sector error: reads of `block` fail with DataLoss
+  /// (the medium reports the sector unreadable) until it is rewritten.
+  /// Unlike Fail()/Discard() this does not mark the disk failed.
+  Status InjectLatentError(BlockNum block);
+
+  /// Injects silent corruption: flips `bits` pseudo-random bits (derived
+  /// from `seed`) in the stored contents of `block` without updating the
+  /// checksum, modelling bit rot the medium does not report. Returns false
+  /// if the block is not materialized (nothing to rot).
+  Result<bool> CorruptBlock(BlockNum block, uint64_t seed, int bits = 1);
+
+  /// Reads whose checksum verification caught silent corruption.
+  uint64_t corruptions_detected() const { return corruptions_detected_; }
+
   /// True if the block holds a valid (nonzero) UID.
   bool IsValid(BlockNum block) const;
 
@@ -113,12 +139,17 @@ class SimDisk {
  private:
   Status CheckAddress(BlockNum block) const;
   BlockRecord& GetOrCreate(BlockNum block);
+  /// DataLoss if `block` is lost or latent-errored; OK otherwise.
+  Status CheckReadable(BlockNum block) const;
 
   BlockNum capacity_;
   size_t block_size_;
   bool failed_ = false;
+  mutable uint64_t corruptions_detected_ = 0;
   /// Blocks lost to a media failure and not yet rewritten.
   std::unordered_map<BlockNum, bool> lost_;
+  /// Blocks with an injected latent sector error, cleared on rewrite.
+  std::unordered_map<BlockNum, bool> latent_;
   /// Sparse store: untouched blocks are implicit zero/invalid.
   std::unordered_map<BlockNum, BlockRecord> blocks_;
 };
@@ -157,7 +188,12 @@ class DiskArray {
                    size_t group_position, size_t group_size);
   Status Invalidate(BlockNum block);
   Status Discard(BlockNum block);
+  Status InjectLatentError(BlockNum block);
+  Result<bool> CorruptBlock(BlockNum block, uint64_t seed, int bits = 1);
   bool IsValid(BlockNum block) const;
+
+  /// Checksum-detected corrupt reads summed over all disks.
+  uint64_t corruptions_detected() const;
 
   /// Blocks on `disk` that are currently lost (need reconstruction).
   std::vector<BlockNum> LostBlocks() const;

@@ -1,0 +1,368 @@
+#include "fault/chaos.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace radd {
+
+std::string ChaosReport::Summary() const {
+  std::string out = "seed=" + std::to_string(seed) +
+                    " ok=" + (ok ? std::string("1") : std::string("0")) +
+                    " issued=" + std::to_string(ops_issued) +
+                    " acked=" + std::to_string(ops_acked) +
+                    " failed=" + std::to_string(ops_failed) +
+                    " reads=" + std::to_string(reads_validated) +
+                    " t=" + std::to_string(end_time) + " " + plan;
+  if (!failure.empty()) out += " FAILURE: " + failure;
+  return out;
+}
+
+ChaosHarness::ChaosHarness(const ChaosConfig& config) : config_(config) {}
+
+ChaosReport ChaosHarness::Run(uint64_t seed) {
+  ChaosConfig cfg = config_;
+  const int members = cfg.group_size + 2;
+  cfg.plan.members = members;
+  cfg.plan.rows = cfg.rows;
+  FaultPlan plan = FaultPlan::Random(seed, cfg.plan);
+
+  ChaosReport report;
+  report.seed = seed;
+  report.plan = plan.ToString();
+
+  Simulator sim;
+  NetworkModel nm;
+  nm.drop_probability = plan.drop_probability;
+  nm.duplicate_probability = plan.duplicate_probability;
+  nm.reorder_jitter = plan.reorder_jitter;
+  Network net(&sim, nm, seed ^ 0x6e657477ull);
+  SiteConfig sc;
+  sc.num_disks = 1;
+  sc.blocks_per_disk = cfg.rows;
+  sc.block_size = cfg.block_size;
+  Cluster cluster(members, sc);
+  RaddConfig rc;
+  rc.group_size = cfg.group_size;
+  rc.rows = cfg.rows;
+  rc.block_size = cfg.block_size;
+  RaddNodeSystem sys(&sim, &net, &cluster, rc, cfg.node);
+
+  Rng traffic(seed ^ 0x74726166ull);
+  const BlockNum data_blocks = sys.group()->DataBlocksPerMember();
+  const uint64_t zero_ck = Block(cfg.block_size).Checksum();
+
+  // --- acknowledged-write ledger -------------------------------------------
+  // Per logical block: the set of content checksums the block may legally
+  // hold. An acknowledged write collapses the set to its value; a *failed*
+  // write (the client saw an error, but the data may still have landed)
+  // adds its value instead. At most one write per block is in flight, so
+  // the set is exact.
+  struct BlockState {
+    std::set<uint64_t> allowed;
+    std::optional<uint64_t> outstanding;
+    bool written = false;  // ever acknowledged
+  };
+  std::map<std::pair<int, BlockNum>, BlockState> ledger;
+  auto state_of = [&](int home, BlockNum idx) -> BlockState& {
+    auto [it, fresh] = ledger.try_emplace({home, idx});
+    if (fresh) it->second.allowed.insert(zero_ck);
+    return it->second;
+  };
+
+  uint64_t outstanding = 0;
+  auto trace = [&](const std::string& what) {
+    if (!cfg.verbose) return;
+    std::fprintf(stderr, "[%12" PRIu64 "] %s\n",
+                 static_cast<uint64_t>(sim.Now()), what.c_str());
+  };
+  std::string failure;
+  auto fail = [&](const std::string& what) {
+    if (failure.empty()) failure = what;
+  };
+  auto block_name = [](int home, BlockNum idx) {
+    return "m" + std::to_string(home) + "/b" + std::to_string(idx);
+  };
+
+  int minority_member = -1;  // member isolated by a partition, else -1
+
+  auto pick_client = [&]() -> std::optional<SiteId> {
+    // §5: during a partition only the majority side may accept work.
+    std::vector<SiteId> usable;
+    for (int m = 0; m < members; ++m) {
+      if (m == minority_member) continue;
+      SiteId s = sys.group()->SiteOfMember(m);
+      if (cluster.StateOf(s) == SiteState::kDown) continue;
+      usable.push_back(s);
+    }
+    if (usable.empty()) return std::nullopt;
+    return usable[traffic.Uniform(usable.size())];
+  };
+
+  auto issue_write = [&](int home, BlockNum idx) {
+    std::optional<SiteId> client = pick_client();
+    if (!client) return;
+    BlockState& bs = state_of(home, idx);
+    if (bs.outstanding) return;  // one writer per block keeps the set exact
+    Block data(cfg.block_size);
+    for (size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<uint8_t>(traffic.Next());
+    }
+    const uint64_t ck = data.Checksum();
+    bs.outstanding = ck;
+    ++report.ops_issued;
+    ++outstanding;
+    trace("write " + block_name(home, idx) + " ck=" + std::to_string(ck) +
+          " from s" + std::to_string(*client));
+    sys.AsyncWrite(*client, home, idx, std::move(data),
+                   [&, home, idx, ck](Status st, SimTime) {
+                     --outstanding;
+                     trace("write " + block_name(home, idx) +
+                           " ck=" + std::to_string(ck) + " -> " +
+                           st.ToString());
+                     BlockState& b = state_of(home, idx);
+                     b.outstanding.reset();
+                     if (st.ok()) {
+                       b.allowed.clear();
+                       b.allowed.insert(ck);
+                       b.written = true;
+                       ++report.ops_acked;
+                     } else {
+                       b.allowed.insert(ck);  // may or may not have landed
+                       ++report.ops_failed;
+                     }
+                   });
+  };
+
+  auto issue_read = [&](int home, BlockNum idx) {
+    std::optional<SiteId> client = pick_client();
+    if (!client) return;
+    BlockState& bs = state_of(home, idx);
+    std::set<uint64_t> snapshot = bs.allowed;  // legal values at issue time
+    if (bs.outstanding) snapshot.insert(*bs.outstanding);
+    ++report.ops_issued;
+    ++outstanding;
+    trace("read " + block_name(home, idx) + " from s" +
+          std::to_string(*client));
+    sys.AsyncRead(
+        *client, home, idx,
+        [&, home, idx, snapshot = std::move(snapshot)](
+            Status st, const Block& data, SimTime) {
+          --outstanding;
+          trace("read " + block_name(home, idx) + " -> " +
+                (st.ok() ? "ck=" + std::to_string(data.Checksum())
+                         : st.ToString()));
+          if (!st.ok()) {
+            ++report.ops_failed;  // reads may legitimately time out
+            return;
+          }
+          ++report.ops_acked;
+          const uint64_t ck = data.Checksum();
+          BlockState& b = state_of(home, idx);
+          const bool legal = snapshot.count(ck) > 0 ||
+                             b.allowed.count(ck) > 0 ||
+                             (b.outstanding && *b.outstanding == ck);
+          if (legal) {
+            ++report.reads_validated;
+          } else {
+            fail("read of " + block_name(home, idx) +
+                 " returned a value no write produced (torn or stale)");
+          }
+        });
+  };
+
+  auto repair_and_check = [&]() {
+    // Scrub data first (restores readability of latent/corrupt blocks),
+    // then parity (recomputes rows whose updates were dropped).
+    for (int m = 0; m < members && failure.empty(); ++m) {
+      Result<int> r = sys.group()->ScrubData(m);
+      if (!r.ok()) fail("ScrubData(m" + std::to_string(m) + "): " +
+                        r.status().ToString());
+    }
+    for (int m = 0; m < members && failure.empty(); ++m) {
+      Result<int> r = sys.group()->ScrubParity(m);
+      if (!r.ok()) fail("ScrubParity(m" + std::to_string(m) + "): " +
+                        r.status().ToString());
+    }
+    if (!failure.empty()) return;
+    Status inv = sys.group()->VerifyInvariants();
+    if (!inv.ok()) {
+      fail("invariants: " + inv.ToString());
+      return;
+    }
+    // Zero acknowledged-write loss: every block reads back as a value the
+    // ledger allows.
+    for (auto& [key, bs] : ledger) {
+      OpResult r = sys.group()->Read(sys.group()->SiteOfMember(key.first),
+                                     key.first, key.second);
+      if (!r.ok()) {
+        fail("readback of " + block_name(key.first, key.second) +
+             " failed: " + r.status.ToString());
+        return;
+      }
+      if (bs.allowed.count(r.data.Checksum()) == 0) {
+        if (cfg.verbose) {
+          std::string allowed;
+          for (uint64_t a : bs.allowed) allowed += " " + std::to_string(a);
+          trace("readback " + block_name(key.first, key.second) + " ck=" +
+                std::to_string(r.data.Checksum()) + " allowed:" + allowed);
+        }
+        fail((bs.written ? "acknowledged write lost at "
+                         : "phantom value at ") +
+             block_name(key.first, key.second));
+        return;
+      }
+    }
+  };
+
+  for (const Episode& ep : plan.episodes) {
+    if (!failure.empty()) break;
+    const SimTime t0 = sim.Now();
+    const SiteId target = sys.group()->SiteOfMember(ep.member);
+    trace("=== episode " + std::string(FaultKindName(ep.kind)) + "@m" +
+          std::to_string(ep.member) + " duration=" +
+          std::to_string(ep.duration) + " offset=" +
+          std::to_string(ep.fault_offset));
+
+    // The fault strikes mid-window, landing on in-flight operations
+    // (including writes between W1 and the parity ack).
+    sim.At(t0 + ep.fault_offset, [&, ep, target]() {
+      trace("fault strikes: " + std::string(FaultKindName(ep.kind)) + "@m" +
+            std::to_string(ep.member));
+      switch (ep.kind) {
+        case FaultKind::kCrashRestart:
+          (void)cluster.CrashSite(target);
+          sys.ResetNodeVolatileState(target);
+          break;
+        case FaultKind::kDisaster:
+          (void)cluster.DisasterSite(target);
+          sys.ResetNodeVolatileState(target);
+          break;
+        case FaultKind::kDiskFailure:
+          (void)cluster.FailDisk(target, 0);
+          break;
+        case FaultKind::kPartition: {
+          std::vector<SiteId> rest;
+          for (int m = 0; m < members; ++m) {
+            if (m != ep.member) rest.push_back(sys.group()->SiteOfMember(m));
+          }
+          net.SetPartitions({{target}, rest});
+          minority_member = ep.member;
+          for (SiteId o : rest) {
+            sys.SetPresumedState(o, target, SiteState::kDown);
+            sys.SetPresumedState(target, o, SiteState::kDown);
+          }
+          break;
+        }
+        case FaultKind::kLatentErrors:
+          for (int i = 0; i < ep.blocks; ++i) {
+            (void)cluster.site(target)->disks()->InjectLatentError(
+                traffic.Uniform(cfg.rows));
+          }
+          break;
+        case FaultKind::kCorruption:
+          for (int i = 0; i < ep.blocks; ++i) {
+            (void)cluster.site(target)->disks()->CorruptBlock(
+                traffic.Uniform(cfg.rows), traffic.Next(),
+                1 + static_cast<int>(traffic.Uniform(3)));
+          }
+          break;
+        case FaultKind::kGraySlow:
+          sys.SetDiskSlowFactor(target, ep.slow_factor);
+          break;
+        case FaultKind::kDropWindow:
+          net.set_drop_probability(ep.drop_p);
+          break;
+      }
+    });
+
+    // Client traffic throughout the window.
+    for (int i = 0; i < cfg.ops_per_episode; ++i) {
+      const SimTime when = t0 + traffic.Uniform(ep.duration);
+      const bool is_write = traffic.Bernoulli(0.6);
+      const int home = static_cast<int>(
+          traffic.Uniform(static_cast<uint64_t>(members)));
+      const BlockNum idx = traffic.Uniform(data_blocks);
+      sim.At(when, [&, is_write, home, idx]() {
+        if (is_write) {
+          issue_write(home, idx);
+        } else {
+          issue_read(home, idx);
+        }
+      });
+    }
+    sim.RunUntil(t0 + ep.duration);
+
+    // Lift the fault. A healed partition is a rejoin: the isolated site
+    // missed updates and must run recovery like a restarted site (§5).
+    switch (ep.kind) {
+      case FaultKind::kPartition:
+        net.Heal();
+        for (int m = 0; m < members; ++m) {
+          SiteId o = sys.group()->SiteOfMember(m);
+          sys.SetPresumedState(o, target, std::nullopt);
+          sys.SetPresumedState(target, o, std::nullopt);
+        }
+        minority_member = -1;
+        (void)cluster.CrashSite(target);
+        sys.ResetNodeVolatileState(target);
+        break;
+      case FaultKind::kGraySlow:
+        sys.SetDiskSlowFactor(target, 1);
+        break;
+      case FaultKind::kDropWindow:
+        net.set_drop_probability(plan.drop_probability);
+        break;
+      default:
+        break;
+    }
+
+    // Quiesce: exhaust the event queue — client ops, in-flight messages,
+    // queued disk I/O and retransmission timers. Client-level draining
+    // alone is not enough: a parity apply can still sit in a disk queue
+    // after its write's client gave up, and scrubbing before it lands
+    // would let it corrupt the freshly recomputed parity. This terminates
+    // even under residual noise because every retransmission path gives
+    // up after max_retries instead of spinning forever.
+    sim.Run();
+    if (outstanding != 0) {
+      fail(std::to_string(outstanding) + " operations hung after drain");
+      break;
+    }
+
+    // Repair: bring the target back and sweep.
+    switch (ep.kind) {
+      case FaultKind::kCrashRestart:
+      case FaultKind::kDisaster:
+      case FaultKind::kPartition: {
+        (void)cluster.RestoreSite(target);
+        Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
+        if (!r.ok()) fail("recovery: " + r.status().ToString());
+        break;
+      }
+      case FaultKind::kDiskFailure: {
+        Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
+        if (!r.ok()) fail("recovery: " + r.status().ToString());
+        break;
+      }
+      default:
+        break;
+    }
+    if (!failure.empty()) break;
+    trace("repair + invariant check");
+    repair_and_check();
+  }
+
+  report.end_time = sim.Now();
+  report.failure = failure;
+  report.ok = failure.empty();
+  return report;
+}
+
+}  // namespace radd

@@ -1,0 +1,82 @@
+// ChaosHarness — randomized fault schedules against the full protocol
+// stack, with invariant checking and an acknowledged-write ledger.
+//
+// One Run(seed) builds a fresh simulated cluster, derives a FaultPlan from
+// the seed, and drives it episode by episode: client traffic flows while
+// background network noise (drop / duplicate / reorder) is always on, the
+// episode's fault strikes mid-window, then the harness quiesces (drains
+// every in-flight operation), repairs (restore + recovery sweep + data and
+// parity scrubs) and checks:
+//
+//   * RaddGroup::VerifyInvariants() — parity == XOR of each row, UID-array
+//     agreement, spare validity;
+//   * zero acknowledged-write loss — every block whose write was
+//     acknowledged reads back as a value the ledger allows (the committed
+//     value, or a value a *failed* write may or may not have applied);
+//   * no hung operations — every issued op completed with some status
+//     (the §5 retransmit-until-ack path must terminate).
+//
+// Everything is seeded, so a failing seed replays bit-for-bit; Run twice
+// with the same seed produces byte-identical reports.
+
+#ifndef RADD_FAULT_CHAOS_H_
+#define RADD_FAULT_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/node.h"
+#include "fault/fault.h"
+
+namespace radd {
+
+/// Shape of the cluster and traffic one chaos schedule runs against.
+struct ChaosConfig {
+  int group_size = 4;  ///< G; the group has G + 2 members/sites
+  BlockNum rows = 12;
+  size_t block_size = 256;
+  int ops_per_episode = 24;
+  FaultPlanConfig plan;  ///< members/rows are overwritten to match
+  NodeConfig node;       ///< retry knobs; defaults shortened for test speed
+  bool verbose = false;  ///< trace every op and fault to stderr
+
+  ChaosConfig() {
+    node.retry_timeout = Millis(80);
+    node.max_retries = 10;
+  }
+};
+
+/// Outcome of one seeded schedule.
+struct ChaosReport {
+  uint64_t seed = 0;
+  bool ok = false;
+  std::string failure;  ///< first violated invariant (empty when ok)
+  std::string plan;     ///< FaultPlan::ToString of the schedule
+  uint64_t ops_issued = 0;
+  uint64_t ops_acked = 0;
+  uint64_t ops_failed = 0;  ///< completed with a non-OK status (allowed)
+  uint64_t reads_validated = 0;
+  SimTime end_time = 0;
+
+  /// Deterministic digest: two runs of the same seed must produce
+  /// identical summaries (the replayability contract).
+  std::string Summary() const;
+};
+
+/// Drives seeded fault schedules. Stateless between runs: each Run builds
+/// its own simulator, cluster, network and protocol stack.
+class ChaosHarness {
+ public:
+  explicit ChaosHarness(const ChaosConfig& config = {});
+
+  /// Executes the schedule derived from `seed`.
+  ChaosReport Run(uint64_t seed);
+
+ private:
+  struct RunState;
+  ChaosConfig config_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_FAULT_CHAOS_H_

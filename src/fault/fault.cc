@@ -1,0 +1,81 @@
+#include "fault/fault.h"
+
+#include <iterator>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace radd {
+
+std::string_view FaultKindName(FaultKind k) {
+  switch (k) {
+    case FaultKind::kCrashRestart: return "crash_restart";
+    case FaultKind::kDisaster: return "disaster";
+    case FaultKind::kDiskFailure: return "disk_failure";
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kLatentErrors: return "latent_errors";
+    case FaultKind::kCorruption: return "corruption";
+    case FaultKind::kGraySlow: return "gray_slow";
+    case FaultKind::kDropWindow: return "drop_window";
+  }
+  return "?";
+}
+
+FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanConfig& config) {
+  Rng rng(seed);
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.drop_probability = config.drop_probability;
+  plan.duplicate_probability = config.duplicate_probability;
+  plan.reorder_jitter = config.reorder_jitter;
+
+  constexpr FaultKind kAllKinds[] = {
+      FaultKind::kCrashRestart, FaultKind::kDisaster,
+      FaultKind::kDiskFailure,  FaultKind::kPartition,
+      FaultKind::kLatentErrors, FaultKind::kCorruption,
+      FaultKind::kGraySlow,     FaultKind::kDropWindow,
+  };
+  const int n = config.episodes < 2 ? 2 : config.episodes;
+  std::vector<FaultKind> kinds;
+  kinds.reserve(static_cast<size_t>(n));
+  // Coverage floor: every schedule crashes a site and hits latent errors.
+  kinds.push_back(FaultKind::kCrashRestart);
+  kinds.push_back(FaultKind::kLatentErrors);
+  for (int i = 2; i < n; ++i) {
+    kinds.push_back(kAllKinds[rng.Uniform(std::size(kAllKinds))]);
+  }
+  // Fisher-Yates so the mandatory kinds land anywhere in the schedule.
+  for (size_t i = kinds.size() - 1; i > 0; --i) {
+    std::swap(kinds[i], kinds[rng.Uniform(i + 1)]);
+  }
+
+  for (FaultKind kind : kinds) {
+    Episode ep;
+    ep.kind = kind;
+    ep.member = static_cast<int>(
+        rng.Uniform(static_cast<uint64_t>(config.members)));
+    ep.duration =
+        rng.UniformRange(config.min_duration, config.max_duration);
+    // Strike mid-window so the fault lands on in-flight operations (the
+    // crash-between-W1-and-parity-ack cases live here).
+    ep.fault_offset = rng.UniformRange(ep.duration / 4, ep.duration / 2);
+    ep.blocks = 1 + static_cast<int>(rng.Uniform(
+                        config.rows > 3 ? config.rows / 2 : 1));
+    ep.slow_factor = 2 + static_cast<uint32_t>(rng.Uniform(5));
+    ep.drop_p = 0.15 + 0.35 * rng.NextDouble();
+    plan.episodes.push_back(ep);
+  }
+  return plan;
+}
+
+std::string FaultPlan::ToString() const {
+  std::string out = "plan[seed=" + std::to_string(seed) + "]";
+  for (const Episode& ep : episodes) {
+    out += " " + std::string(FaultKindName(ep.kind)) + "@m" +
+           std::to_string(ep.member) + "/" +
+           std::to_string(ToMillis(ep.duration)) + "ms";
+  }
+  return out;
+}
+
+}  // namespace radd

@@ -1,0 +1,86 @@
+// Seeded fault scheduling for chaos testing.
+//
+// A FaultPlan is a deterministic script of fault *episodes* derived from a
+// single seed: which fault class strikes, which group member it targets,
+// when within the episode window it fires, and how severe it is. The plan
+// also carries the background network-noise knobs (drop / duplicate /
+// reorder-jitter probabilities) that stay on for the whole schedule.
+//
+// Episodes honour the paper's single-failure assumption *individually* —
+// one fault class, one target per episode, with a quiesce-and-repair pass
+// between episodes — while a full schedule still mixes every class. Every
+// random choice flows from Rng(seed), so a failing schedule replays
+// bit-for-bit from its printed seed.
+
+#ifndef RADD_FAULT_FAULT_H_
+#define RADD_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/block.h"
+#include "sim/simulator.h"
+
+namespace radd {
+
+/// One fault class, injected once per episode.
+enum class FaultKind {
+  kCrashRestart,  ///< temporary outage: site down, disks intact
+  kDisaster,      ///< site down, all disks lost on return
+  kDiskFailure,   ///< one disk's blocks lost; site enters recovering
+  kPartition,     ///< target isolated; majority presumes it down (§5)
+  kLatentErrors,  ///< burst of unreadable sectors on one site
+  kCorruption,    ///< silent bit rot on one site (checksum-detected)
+  kGraySlow,      ///< gray failure: disk service time multiplied
+  kDropWindow,    ///< window of heavy random message loss
+};
+
+std::string_view FaultKindName(FaultKind k);
+
+/// One scheduled fault: `kind` strikes `member` at `fault_offset` into the
+/// episode's window of `duration`; the remaining fields parameterize the
+/// kinds that need them.
+struct Episode {
+  FaultKind kind = FaultKind::kCrashRestart;
+  int member = 0;            ///< targeted group member
+  SimTime duration = 0;      ///< traffic window of the episode
+  SimTime fault_offset = 0;  ///< injection time within the window
+  int blocks = 0;            ///< latent/corruption: rows hit
+  uint32_t slow_factor = 1;  ///< gray-slow disk multiplier
+  double drop_p = 0.0;       ///< drop-window loss probability
+};
+
+/// Knobs for FaultPlan::Random.
+struct FaultPlanConfig {
+  int members = 6;    ///< group members (G + 2) targets are drawn from
+  int episodes = 5;   ///< episodes per schedule (min 2)
+  BlockNum rows = 12; ///< physical rows per member (latent/corruption)
+  SimTime min_duration = Seconds(3);
+  SimTime max_duration = Seconds(8);
+  /// Background noise active for the whole schedule.
+  double drop_probability = 0.02;
+  double duplicate_probability = 0.03;
+  SimTime reorder_jitter = Millis(40);
+};
+
+/// A full seeded schedule.
+struct FaultPlan {
+  uint64_t seed = 0;
+  double drop_probability = 0.0;
+  double duplicate_probability = 0.0;
+  SimTime reorder_jitter = 0;
+  std::vector<Episode> episodes;
+
+  /// Derives a schedule from `seed`. Every schedule is guaranteed to
+  /// contain at least one crash-restart and one latent-error episode (the
+  /// acceptance floor for chaos coverage); the rest are drawn uniformly
+  /// over all kinds, and the order is shuffled.
+  static FaultPlan Random(uint64_t seed, const FaultPlanConfig& config);
+
+  std::string ToString() const;
+};
+
+}  // namespace radd
+
+#endif  // RADD_FAULT_FAULT_H_

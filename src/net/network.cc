@@ -36,12 +36,25 @@ void Network::SetPartitions(std::vector<std::vector<SiteId>> partitions) {
   // Unlisted sites share implicit partition -1 (PartitionOf default).
 }
 
+void Network::SetFaultHook(const std::string& type, FaultHook hook) {
+  if (hook) {
+    fault_hooks_[type] = std::move(hook);
+  } else {
+    fault_hooks_.erase(type);
+  }
+}
+
+void Network::CountDrop(const std::string& type) {
+  stats_.Add("net.dropped");
+  if (!type.empty()) stats_.Add("net.drop." + type);
+}
+
 void Network::Send(Message msg) {
   msg.seq = next_seq_++;
   stats_.Add("net.messages");
 
   if (msg.from == msg.to) {
-    // Loopback: no wire cost, no latency, never lost.
+    // Loopback: no wire cost, no latency, never lost, never faulted.
     auto it = handlers_.find(msg.to);
     if (it != handlers_.end()) {
       Handler h = it->second;
@@ -54,11 +67,26 @@ void Network::Send(Message msg) {
     stats_.Add("net.partition_blocked");
     return;
   }
-  if (model_.drop_probability > 0 &&
-      rng_.Bernoulli(model_.drop_probability)) {
-    stats_.Add("net.dropped");
+
+  // Scripted faults override the random model for this message.
+  FaultAction action = FaultAction::kDeliver;
+  if (!fault_hooks_.empty()) {
+    auto hook = fault_hooks_.find(msg.type);
+    if (hook != fault_hooks_.end()) action = hook->second(msg);
+  }
+  if (action == FaultAction::kDrop) {
+    CountDrop(msg.type);
     return;
   }
+  if (action == FaultAction::kDeliver && model_.drop_probability > 0 &&
+      rng_.Bernoulli(model_.drop_probability)) {
+    CountDrop(msg.type);
+    return;
+  }
+  const bool duplicate =
+      action == FaultAction::kDuplicate ||
+      (model_.duplicate_probability > 0 &&
+       rng_.Bernoulli(model_.duplicate_probability));
 
   stats_.Add("net.bytes", msg.wire_bytes);
   if (!msg.type.empty()) {
@@ -66,11 +94,41 @@ void Network::Send(Message msg) {
     stats_.Add("net.messages." + msg.type);
   }
 
+  if (duplicate) {
+    // The copy transits the wire too, with its own jitter draw.
+    stats_.Add("net.duplicated");
+    stats_.Add("net.bytes", msg.wire_bytes);
+    if (!msg.type.empty()) {
+      stats_.Add("net.dup." + msg.type);
+      stats_.Add("net.bytes." + msg.type, msg.wire_bytes);
+    }
+    Deliver(msg);
+  }
+  Deliver(std::move(msg));
+}
+
+void Network::Deliver(Message msg) {
   auto it = handlers_.find(msg.to);
   if (it == handlers_.end()) return;  // destination has no stack: dropped
+  SimTime latency = model_.one_way_latency;
+  if (model_.reorder_jitter > 0) {
+    latency += rng_.Uniform(model_.reorder_jitter + 1);
+  }
+  const SimTime when = sim_->Now() + latency;
+  auto [horizon, first] =
+      link_horizon_.try_emplace({msg.from, msg.to}, when);
+  if (!first) {
+    if (when < horizon->second) {
+      // An earlier send on this link is already scheduled later: this
+      // delivery overtakes it.
+      stats_.Add("net.reordered");
+      if (!msg.type.empty()) stats_.Add("net.reorder." + msg.type);
+    } else {
+      horizon->second = when;
+    }
+  }
   Handler h = it->second;
-  sim_->Schedule(model_.one_way_latency,
-                 [h, m = std::move(msg)]() mutable { h(m); });
+  sim_->Schedule(latency, [h, m = std::move(msg)]() mutable { h(m); });
 }
 
 }  // namespace radd

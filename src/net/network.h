@@ -1,10 +1,17 @@
 // Simulated site-to-site network.
 //
 // The paper's base model (§3.1) assumes a reliable network; §5 relaxes this
-// to lost messages and partitions. This Network supports all three regimes:
+// to lost messages and partitions. This Network supports those regimes plus
+// the fault classes real datagram networks add on top of them:
 //   * reliable delivery with a configurable one-way latency,
 //   * independent per-message loss with probability `drop_probability`,
-//   * partitions: messages across partition boundaries are dropped.
+//   * independent per-message duplication with probability
+//     `duplicate_probability` (each copy delivered independently),
+//   * reordering: a uniform latency jitter in [0, reorder_jitter] lets a
+//     later send overtake an earlier one on the same link,
+//   * partitions: messages across partition boundaries are dropped,
+//   * per-message-type fault hooks for scripted, targeted faults (drop the
+//     first parity update of a flow, duplicate a specific ack, ...).
 //
 // Latency default: the paper charges RR = RW = 75 ms for a remote
 // operation versus R = W = 30 ms locally. A remote op is
@@ -38,6 +45,12 @@ struct NetworkModel {
   SimTime one_way_latency = Micros(22500);
   /// Probability that any given message is silently lost (0 = reliable).
   double drop_probability = 0.0;
+  /// Probability that a message is delivered twice (the duplicate gets its
+  /// own independent latency jitter, so it may arrive out of order).
+  double duplicate_probability = 0.0;
+  /// Extra per-message latency drawn uniformly from [0, reorder_jitter].
+  /// Nonzero jitter makes reordering possible; 0 keeps FIFO links.
+  SimTime reorder_jitter = 0;
 };
 
 /// An in-flight message. `payload` is protocol-defined (the core library
@@ -50,6 +63,13 @@ struct Message {
   std::string type;          ///< for stats/tracing, e.g. "parity_update"
   size_t wire_bytes = 0;
   std::any payload;
+};
+
+/// What a fault hook tells the network to do with one message.
+enum class FaultAction {
+  kDeliver,    ///< normal delivery (subject to the random fault model)
+  kDrop,       ///< silently lose this message
+  kDuplicate,  ///< deliver this message twice
 };
 
 /// The simulated network fabric.
@@ -89,22 +109,44 @@ class Network {
 
   const NetworkModel& model() const { return model_; }
   void set_drop_probability(double p) { model_.drop_probability = p; }
+  void set_duplicate_probability(double p) {
+    model_.duplicate_probability = p;
+  }
+  void set_reorder_jitter(SimTime j) { model_.reorder_jitter = j; }
+
+  /// Installs a scripted fault hook consulted for every non-loopback
+  /// message of `type` (before the random fault model). Hook-forced drops
+  /// and duplicates are counted like random ones. Pass an empty function
+  /// to remove the hook for that type.
+  using FaultHook = std::function<FaultAction(const Message&)>;
+  void SetFaultHook(const std::string& type, FaultHook hook);
+  void ClearFaultHooks() { fault_hooks_.clear(); }
 
   /// Cumulative statistics: "net.messages", "net.bytes", "net.dropped",
-  /// "net.partition_blocked", plus per-type "net.bytes.<type>".
+  /// "net.duplicated", "net.reordered", "net.partition_blocked", plus
+  /// per-type "net.bytes.<type>", "net.messages.<type>",
+  /// "net.drop.<type>", "net.dup.<type>", "net.reorder.<type>".
   const Stats& stats() const { return stats_; }
   Stats* mutable_stats() { return &stats_; }
 
  private:
   int PartitionOf(SiteId site) const;
+  /// Schedules one delivery of `msg` after latency + jitter, counting a
+  /// reorder when the delivery overtakes an earlier one on the same link.
+  void Deliver(Message msg);
+  void CountDrop(const std::string& type);
 
   Simulator* sim_;
   NetworkModel model_;
   Rng rng_;
   uint64_t next_seq_ = 1;
   std::map<SiteId, Handler> handlers_;
+  std::map<std::string, FaultHook> fault_hooks_;
   std::map<SiteId, int> partition_of_;  // empty => fully connected
   bool partitioned_ = false;
+  /// Latest delivery time already scheduled per (from, to) link; a new
+  /// delivery scheduled earlier than this is a reorder.
+  std::map<std::pair<SiteId, SiteId>, SimTime> link_horizon_;
   Stats stats_;
 };
 

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "disk/block_store.h"
 #include "disk/disk.h"
 #include "net/network.h"
@@ -281,6 +284,123 @@ TEST_F(NetworkTest, PerTypeByteAccounting) {
   sim_.Run();
   EXPECT_EQ(net_.stats().Get("net.bytes.parity_update"), 132u);
   EXPECT_EQ(net_.stats().Get("net.messages.parity_update"), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: latent sector errors, silent corruption, scripted and
+// random network faults.
+// ---------------------------------------------------------------------------
+
+TEST(SimDisk, LatentErrorFailsReadsUntilRewrite) {
+  SimDisk disk(4, 256);
+  ASSERT_TRUE(disk.Write(1, Pat(1), Uid::Make(1, 1)).ok());
+  ASSERT_TRUE(disk.InjectLatentError(1).ok());
+  // The sector is unreadable, but the disk as a whole is healthy.
+  EXPECT_TRUE(disk.Read(1).status().IsDataLoss());
+  EXPECT_FALSE(disk.failed());
+  EXPECT_TRUE(disk.Read(0).ok());  // other blocks unaffected
+  // A rewrite (e.g. reconstruction writing the block back) clears it.
+  ASSERT_TRUE(disk.Write(1, Pat(2), Uid::Make(1, 2)).ok());
+  Result<BlockRecord> r = disk.Read(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, Pat(2));
+}
+
+TEST(SimDisk, SilentCorruptionIsCaughtByChecksum) {
+  SimDisk disk(4, 256);
+  ASSERT_TRUE(disk.Write(2, Pat(3), Uid::Make(1, 1)).ok());
+  Result<bool> rotted = disk.CorruptBlock(2, /*seed=*/42, /*bits=*/3);
+  ASSERT_TRUE(rotted.ok());
+  EXPECT_TRUE(*rotted);
+  // The end-to-end checksum turns silent bit rot into detected DataLoss
+  // instead of serving the rotten bytes.
+  EXPECT_TRUE(disk.Read(2).status().IsDataLoss());
+  EXPECT_GE(disk.corruptions_detected(), 1u);
+  // A fresh write restores the block.
+  ASSERT_TRUE(disk.Write(2, Pat(4), Uid::Make(1, 2)).ok());
+  Result<BlockRecord> r = disk.Read(2);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->data, Pat(4));
+}
+
+TEST(SimDisk, CorruptingUnmaterializedBlockIsANoOp) {
+  SimDisk disk(4, 256);
+  Result<bool> rotted = disk.CorruptBlock(0, /*seed=*/7);
+  ASSERT_TRUE(rotted.ok());
+  EXPECT_FALSE(*rotted);  // nothing stored, nothing to rot
+  EXPECT_TRUE(disk.Read(0).ok());
+}
+
+TEST_F(NetworkTest, FaultHookDropsAreCountedPerType) {
+  int got = 0;
+  net_.RegisterHandler(1, [&](const Message&) { ++got; });
+  net_.SetFaultHook("parity_update",
+                    [](const Message&) { return FaultAction::kDrop; });
+  for (int i = 0; i < 5; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = (i % 2 == 0) ? "parity_update" : "write_req";
+    net_.Send(std::move(m));
+  }
+  sim_.Run();
+  EXPECT_EQ(got, 2);  // only the write_reqs survive
+  EXPECT_EQ(net_.stats().Get("net.dropped"), 3u);
+  EXPECT_EQ(net_.stats().Get("net.drop.parity_update"), 3u);
+  EXPECT_EQ(net_.stats().Get("net.drop.write_req"), 0u);
+}
+
+TEST_F(NetworkTest, FaultHookDuplicatesAreCountedPerType) {
+  int got = 0;
+  net_.RegisterHandler(1, [&](const Message&) { ++got; });
+  net_.SetFaultHook("parity_ack",
+                    [](const Message&) { return FaultAction::kDuplicate; });
+  Message m;
+  m.from = 0;
+  m.to = 1;
+  m.type = "parity_ack";
+  net_.Send(std::move(m));
+  sim_.Run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(net_.stats().Get("net.duplicated"), 1u);
+  EXPECT_EQ(net_.stats().Get("net.dup.parity_ack"), 1u);
+}
+
+TEST_F(NetworkTest, RandomDuplicatesAreCountedPerType) {
+  net_.set_duplicate_probability(1.0);
+  int got = 0;
+  net_.RegisterHandler(1, [&](const Message&) { ++got; });
+  for (int i = 0; i < 10; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = "write_req";
+    net_.Send(std::move(m));
+  }
+  sim_.Run();
+  EXPECT_EQ(got, 20);
+  EXPECT_EQ(net_.stats().Get("net.duplicated"), 10u);
+  EXPECT_EQ(net_.stats().Get("net.dup.write_req"), 10u);
+}
+
+TEST_F(NetworkTest, ReorderJitterReordersAndCounts) {
+  net_.set_reorder_jitter(Millis(50));
+  std::vector<uint64_t> order;
+  net_.RegisterHandler(1, [&](const Message& m) { order.push_back(m.seq); });
+  for (int i = 0; i < 50; ++i) {
+    Message m;
+    m.from = 0;
+    m.to = 1;
+    m.type = "write_req";
+    net_.Send(std::move(m));
+  }
+  sim_.Run();
+  ASSERT_EQ(order.size(), 50u);
+  EXPECT_FALSE(std::is_sorted(order.begin(), order.end()))
+      << "jitter this large must overtake some earlier send";
+  EXPECT_GT(net_.stats().Get("net.reordered"), 0u);
+  EXPECT_EQ(net_.stats().Get("net.reorder.write_req"),
+            net_.stats().Get("net.reordered"));
 }
 
 }  // namespace

@@ -13,7 +13,7 @@ class NodeTest : public ::testing::Test {
  protected:
   NodeTest() { Build(0.0); }
 
-  void Build(double drop_probability) {
+  void Build(double drop_probability, const NodeConfig& nc = {}) {
     config_.group_size = 4;
     config_.rows = 12;
     config_.block_size = 512;
@@ -24,7 +24,7 @@ class NodeTest : public ::testing::Test {
     net_ = std::make_unique<Network>(sim_.get(), nm, 0xabc);
     cluster_ = std::make_unique<Cluster>(6, sc);
     sys_ = std::make_unique<RaddNodeSystem>(sim_.get(), net_.get(),
-                                            cluster_.get(), config_);
+                                            cluster_.get(), config_, nc);
   }
 
   Block Pat(uint64_t seed) {
@@ -350,6 +350,84 @@ TEST_F(LossyNodeTest, ReadsRetryThroughLoss) {
     ASSERT_TRUE(r.status.ok()) << "read " << i;
     EXPECT_EQ(r.data, Pat(5));
   }
+}
+
+TEST_F(NodeTest, RetryExhaustionSurfacesNetworkError) {
+  NodeConfig nc;
+  nc.retry_timeout = Millis(50);
+  nc.max_retries = 3;
+  Build(0.0, nc);
+  // Every write_req to the home site vanishes. §5 says retransmit until
+  // acked, but a client cannot spin forever: after max_retries the write
+  // must fail back to the caller instead of hanging with state leaked.
+  net_->SetFaultHook("write_req",
+                     [](const Message&) { return FaultAction::kDrop; });
+  auto w = sys_->Write(SiteOf(0), 2, 0, Pat(1));
+  EXPECT_TRUE(w.status.IsNetworkError()) << w.status.ToString();
+  EXPECT_EQ(sys_->stats().Get("node.write_retry_exhausted"), 1u);
+  EXPECT_GT(sys_->stats().Get("node.write_retry"), 0u);
+  EXPECT_GT(net_->stats().Get("net.drop.write_req"), 0u);
+
+  // The failure is transient, not sticky: once the fault clears, the same
+  // client can write the same block.
+  net_->ClearFaultHooks();
+  sim_->Run();
+  auto w2 = sys_->Write(SiteOf(0), 2, 0, Pat(2));
+  ASSERT_TRUE(w2.status.ok()) << w2.status.ToString();
+}
+
+TEST_F(NodeTest, ParityGiveUpFailsWriteAndReleasesLock) {
+  NodeConfig nc;
+  nc.retry_timeout = Millis(50);
+  nc.max_retries = 3;
+  Build(0.0, nc);
+  // The home applies W1 but its parity updates all vanish: the write must
+  // surface NetworkError rather than hold the row lock hostage.
+  net_->SetFaultHook("parity_update",
+                     [](const Message&) { return FaultAction::kDrop; });
+  auto w = sys_->Write(SiteOf(2), 2, 0, Pat(1));
+  EXPECT_TRUE(w.status.IsNetworkError()) << w.status.ToString();
+  EXPECT_GT(sys_->stats().Get("node.parity_gave_up"), 0u);
+
+  // The lock was released: a later write to the same row succeeds.
+  net_->ClearFaultHooks();
+  sim_->Run();
+  auto w2 = sys_->Write(SiteOf(2), 2, 0, Pat(2));
+  ASSERT_TRUE(w2.status.ok()) << w2.status.ToString();
+  sim_->Run();
+
+  // The give-up left parity stale (W1 landed, W3 never did); a parity
+  // scrub reconciles the row, after which the invariants must hold and
+  // the last acknowledged value must survive.
+  for (int m = 0; m < 6; ++m) {
+    ASSERT_TRUE(sys_->group()->ScrubParity(m).ok());
+  }
+  EXPECT_TRUE(sys_->group()->VerifyInvariants().ok());
+  auto r = sys_->Read(SiteOf(0), 2, 0);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data, Pat(2));
+}
+
+TEST_F(NodeTest, DuplicatedAndReorderedParityTrafficStaysConsistent) {
+  // Duplication alone is covered above; here duplicated *and* reordered
+  // parity updates and acks race each other. A stale copy arriving after
+  // a newer update must be recognized (op dedupe + §3.3 UID array) and
+  // re-acked, never re-applied on top of the newer mask.
+  net_->set_duplicate_probability(0.4);
+  net_->set_reorder_jitter(Millis(60));
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(sys_->Write(SiteOf(3), 3, 1, Pat(100 + uint64_t(i))).status.ok());
+  }
+  sim_->Run();  // let delayed duplicates land
+  EXPECT_GT(net_->stats().Get("net.dup.parity_update") +
+                net_->stats().Get("net.dup.parity_ack"),
+            0u);
+  EXPECT_GT(net_->stats().Get("net.reordered"), 0u);
+  EXPECT_TRUE(sys_->group()->VerifyInvariants().ok())
+      << "a duplicated or reordered parity update was double-applied";
+  auto r = sys_->Read(SiteOf(0), 3, 1);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data, Pat(124));
 }
 
 // ---------------------------------------------------------------------------
