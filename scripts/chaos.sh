@@ -8,12 +8,22 @@
 #   scripts/chaos.sh              # 200 schedules, seeds 1..200
 #   scripts/chaos.sh 1000         # more schedules
 #   scripts/chaos.sh 50 build --episodes 8
+#   scripts/chaos.sh --autopilot  # self-healing mode (flags may lead)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-seeds="${1:-200}"
-build="${2:-$repo/build}"
-shift $(($# > 2 ? 2 : $#))
+# Positional [seeds] [build-dir] prefix; anything starting with "--" (even
+# in first position, e.g. `chaos.sh --autopilot`) passes through.
+seeds=200
+build="$repo/build"
+if [ $# -gt 0 ] && [ "${1#--}" = "$1" ]; then
+  seeds="$1"
+  shift
+  if [ $# -gt 0 ] && [ "${1#--}" = "$1" ]; then
+    build="$1"
+    shift
+  fi
+fi
 
 if [ ! -x "$build/tools/chaos_main" ]; then
   cmake -B "$build" -S "$repo"

@@ -56,6 +56,7 @@ Status Cluster::DisasterSite(SiteId id) {
   Site* s = site(id);
   if (!s) return Status::NotFound("no site " + std::to_string(id));
   s->set_state(SiteState::kDown);
+  s->set_disaster_lost(true);
   for (int d = 0; d < s->disks()->num_disks(); ++d) {
     RADD_RETURN_NOT_OK(s->disks()->FailDisk(d));
   }
@@ -78,6 +79,17 @@ Status Cluster::RestoreSite(SiteId id) {
   if (!s) return Status::NotFound("no site " + std::to_string(id));
   if (s->state() != SiteState::kDown) {
     return Status::InvalidArgument("site is not down");
+  }
+  if (s->disaster_lost()) {
+    // The replacement hardware arrives blank. Re-failing the disks here
+    // (not only at disaster time) matters: a write that reached the dead
+    // array during the outage clears that block's loss mark, and without
+    // this the stale value would be served after restore instead of being
+    // routed through formula-(2) reconstruction.
+    for (int d = 0; d < s->disks()->num_disks(); ++d) {
+      RADD_RETURN_NOT_OK(s->disks()->FailDisk(d));
+    }
+    s->set_disaster_lost(false);
   }
   s->set_state(SiteState::kRecovering);
   return Status::OK();

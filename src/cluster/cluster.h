@@ -54,6 +54,13 @@ class Site {
   SiteState state() const { return state_; }
   void set_state(SiteState s) { state_ = s; }
 
+  /// True while the site is down because of a disaster (all disks lost).
+  /// Cleared by Cluster::RestoreSite, which re-poisons the array so the
+  /// replacement hardware comes back blank (paper §3.1: "all disks lost
+  /// on return") no matter what landed on the dead disks meanwhile.
+  bool disaster_lost() const { return disaster_lost_; }
+  void set_disaster_lost(bool v) { disaster_lost_ = v; }
+
   DiskArray* disks() { return &disks_; }
   const DiskArray& disks() const { return disks_; }
   UidGenerator* uids() { return &uids_; }
@@ -68,6 +75,7 @@ class Site {
  private:
   SiteId id_;
   SiteState state_ = SiteState::kUp;
+  bool disaster_lost_ = false;
   UidGenerator uids_;
   DiskArray disks_;
   std::unique_ptr<BlockStore> store_;
@@ -102,7 +110,10 @@ class Cluster {
   Status FailDisk(SiteId id, int d);
 
   /// A down site comes back; it enters recovering. (The RADD controller's
-  /// recovery sweep moves it to up.)
+  /// recovery sweep moves it to up.) A disaster-lost site is restored with
+  /// *blank* disks: every block is re-marked lost at restore time, so stale
+  /// pre-disaster contents — or anything written to the dead array during
+  /// the outage — can only be served through reconstruction.
   Status RestoreSite(SiteId id);
 
   /// Marks a site fully recovered.

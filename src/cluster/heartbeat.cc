@@ -24,8 +24,7 @@ HeartbeatDetector::HeartbeatDetector(Simulator* sim, Network* net,
         s, [this, s](Message& msg) { OnMessage(s, msg); });
     for (SiteId t : sites_) {
       if (t == s) continue;
-      last_heard_[s][t] = 0;
-      suspected_[s][t] = false;
+      views_[s][t] = PeerView{};
     }
   }
 }
@@ -33,14 +32,29 @@ HeartbeatDetector::HeartbeatDetector(Simulator* sim, Network* net,
 void HeartbeatDetector::Start() {
   if (started_) return;
   started_ = true;
+  stopped_ = false;
   for (SiteId s : sites_) {
     Broadcast(s);
     Check(s);
   }
 }
 
+void HeartbeatDetector::Stop() {
+  stopped_ = true;
+  started_ = false;
+}
+
+bool HeartbeatDetector::Alive(SiteId site) const {
+  if (service_) return service_->ProcessAlive(site);
+  return cluster_->StateOf(site) != SiteState::kDown;
+}
+
 void HeartbeatDetector::Broadcast(SiteId from) {
-  if (cluster_->StateOf(from) != SiteState::kDown) {
+  if (stopped_) return;
+  // Gated on process-aliveness, not on the cluster's view: a fenced site
+  // (declared down while its process still runs) keeps broadcasting —
+  // that is exactly the signal that lets the control plane rejoin it.
+  if (Alive(from)) {
     for (SiteId to : sites_) {
       if (to == from) continue;
       Message m;
@@ -55,33 +69,95 @@ void HeartbeatDetector::Broadcast(SiteId from) {
   sim_->Schedule(config_.interval, [this, from]() { Broadcast(from); });
 }
 
+void HeartbeatDetector::RaiseSuspicion(SiteId observer, SiteId target) {
+  PeerView& v = views_[observer][target];
+  v.suspected = true;
+  v.probing = false;
+  ++transitions_;
+  stats_.Add("detector.suspicions");
+  if (Alive(target)) stats_.Add("detector.false_suspicions");
+  if (service_) service_->ReportSuspicion(observer, target, true);
+}
+
 void HeartbeatDetector::Check(SiteId observer) {
+  if (stopped_) return;
+  // A down observer makes no observations; its views freeze. (A *fenced*
+  // observer is cluster-down too: its stale observations must not keep
+  // feeding the control plane while it is out of the membership.)
   if (cluster_->StateOf(observer) != SiteState::kDown) {
-    SimTime limit = config_.interval *
-                    static_cast<SimTime>(config_.suspect_after);
+    const SimTime limit = config_.interval *
+                          static_cast<SimTime>(config_.suspect_after);
     for (SiteId target : sites_) {
       if (target == observer) continue;
-      SimTime last = last_heard_[observer][target];
-      bool quiet = sim_->Now() > last + limit;
-      bool& suspect = suspected_[observer][target];
-      if (quiet != suspect) {
-        suspect = quiet;
-        ++transitions_;
+      PeerView& v = views_[observer][target];
+      const bool quiet = sim_->Now() > v.last_heard + limit;
+      if (!quiet) {
+        v.probing = false;
+        continue;
+      }
+      if (v.suspected) continue;
+      if (!config_.confirm_probe) {
+        RaiseSuspicion(observer, target);
+        continue;
+      }
+      if (!v.probing) {
+        // Hysteresis: k missed intervals alone could be one reordered or
+        // dropped heartbeat. Confirm with a direct probe before flapping
+        // the membership.
+        Message m;
+        m.from = observer;
+        m.to = target;
+        m.type = "hb_probe";
+        m.wire_bytes = kHeartbeatBytes;
+        m.payload = Heartbeat{sim_->Now()};
+        net_->Send(std::move(m));
+        v.probing = true;
+        v.probe_deadline = sim_->Now() + config_.interval;
+        stats_.Add("detector.probes_sent");
+      } else if (sim_->Now() >= v.probe_deadline) {
+        RaiseSuspicion(observer, target);
       }
     }
   }
   sim_->Schedule(config_.interval, [this, observer]() { Check(observer); });
 }
 
+void HeartbeatDetector::Hear(SiteId observer, SiteId target) {
+  PeerView& v = views_[observer][target];
+  v.last_heard = sim_->Now();
+  v.probing = false;
+  if (v.suspected) {
+    v.suspected = false;
+    ++transitions_;
+    stats_.Add("detector.clears");
+    if (service_) service_->ReportSuspicion(observer, target, false);
+  }
+}
+
 void HeartbeatDetector::OnMessage(SiteId self, Message& msg) {
   if (msg.type == "heartbeat") {
     if (cluster_->StateOf(self) == SiteState::kDown) return;
-    last_heard_[self][msg.from] = sim_->Now();
-    bool& suspect = suspected_[self][msg.from];
-    if (suspect) {
-      suspect = false;
-      ++transitions_;
+    Hear(self, msg.from);
+    return;
+  }
+  if (msg.type == "hb_probe") {
+    // Answered iff the process runs — a fenced site replies, advertising
+    // that it is worth rejoining.
+    if (Alive(self)) {
+      Message m;
+      m.from = self;
+      m.to = msg.from;
+      m.type = "hb_probe_ack";
+      m.wire_bytes = kHeartbeatBytes;
+      m.payload = Heartbeat{sim_->Now()};
+      net_->Send(std::move(m));
     }
+    return;
+  }
+  if (msg.type == "hb_probe_ack") {
+    if (cluster_->StateOf(self) == SiteState::kDown) return;
+    stats_.Add("detector.probes_answered");
+    Hear(self, msg.from);
     return;
   }
   auto chained = chained_.find(self);
@@ -91,10 +167,10 @@ void HeartbeatDetector::OnMessage(SiteId self, Message& msg) {
 }
 
 bool HeartbeatDetector::Suspects(SiteId observer, SiteId target) const {
-  auto o = suspected_.find(observer);
-  if (o == suspected_.end()) return false;
+  auto o = views_.find(observer);
+  if (o == views_.end()) return false;
   auto t = o->second.find(target);
-  return t != o->second.end() && t->second;
+  return t != o->second.end() && t->second.suspected;
 }
 
 SiteState HeartbeatDetector::Perceived(SiteId observer,

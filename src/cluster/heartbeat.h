@@ -4,12 +4,19 @@
 // discussed further in this paper").
 //
 // Every site broadcasts a heartbeat each `interval`. An observer that has
-// not heard from a peer for `suspect_after` intervals presumes it down;
-// hearing from it again (it was only slow, partitioned, or has recovered)
-// clears the suspicion. The detector reports per-observer *perceived*
-// states, which is exactly what RaddNodeSystem::SetPresumedState consumes
-// — so a partition that "looks like a single failure" (§5) is handled by
-// the majority side automatically.
+// not heard from a peer for `suspect_after` intervals does not declare it
+// down immediately: a single delayed or reorder-jittered heartbeat must
+// not flap the membership. Instead it sends a confirmation probe and only
+// raises the suspicion when the probe also goes unanswered for a further
+// interval (hysteresis). Hearing from the peer again — heartbeat or probe
+// ack — clears the suspicion.
+//
+// The detector reports per-observer *perceived* states, which is exactly
+// what RaddNodeSystem::SetPerceiver consumes — so a partition that "looks
+// like a single failure" (§5) is handled by the majority side
+// automatically. When wired to a SiteStatusService it additionally feeds
+// every suspicion change into the control plane, which aggregates them
+// under the majority rule into actual kUp -> kDown declarations.
 
 #ifndef RADD_CLUSTER_HEARTBEAT_H_
 #define RADD_CLUSTER_HEARTBEAT_H_
@@ -18,16 +25,22 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/status_service.h"
 #include "net/network.h"
 #include "sim/simulator.h"
+#include "sim/stats.h"
 
 namespace radd {
 
 /// Tunables of the detector.
 struct HeartbeatConfig {
   SimTime interval = Millis(500);
-  /// Missed intervals before a peer is presumed down.
+  /// Missed intervals before a peer is *probed* (and, with confirmation
+  /// disabled, immediately suspected).
   int suspect_after = 3;
+  /// Require an unanswered confirmation probe (one extra interval) before
+  /// declaring. Disable to get the old trigger-happy behavior.
+  bool confirm_probe = true;
 };
 
 /// The detector. One instance serves the whole simulation but keeps
@@ -37,16 +50,26 @@ class HeartbeatDetector {
   /// `sites` lists the participating sites. The detector registers a
   /// composite network handler per site; if the caller also handles
   /// messages on these sites (e.g. RaddNodeSystem), construct the detector
-  /// FIRST and pass the previous handler via `chain` so both see traffic
-  /// — or run it on a dedicated port-like message type, which is what this
-  /// implementation does: it only consumes messages of type "heartbeat"
-  /// and forwards everything else to the chained handler.
+  /// AFTER that handler so it can chain: it only consumes messages of
+  /// types "heartbeat" / "hb_probe" / "hb_probe_ack" and forwards
+  /// everything else to the previously registered handler.
   HeartbeatDetector(Simulator* sim, Network* net, Cluster* cluster,
                     std::vector<SiteId> sites,
                     const HeartbeatConfig& config = {});
 
   /// Starts the periodic broadcast/check loops.
   void Start();
+
+  /// Stops the loops: pending ticks become no-ops and nothing is
+  /// rescheduled, so Simulator::Run() can drain the queue.
+  void Stop();
+
+  /// Feeds every suspicion raise/clear into the control plane (majority
+  /// aggregation, fencing, rejoin). While attached, process-aliveness —
+  /// who broadcasts and who answers probes — also comes from the service,
+  /// so a *fenced* site (declared down, process alive) keeps heartbeating
+  /// and can be heard again.
+  void SetStatusService(SiteStatusService* service) { service_ = service; }
 
   /// What `observer` currently believes about `target`. A site always
   /// believes itself up. Down sites make no observations (their last
@@ -59,22 +82,49 @@ class HeartbeatDetector {
   /// Number of state flips observed (suspicions raised + cleared).
   uint64_t transitions() const { return transitions_; }
 
+  /// Suspicions raised against a site whose process was in fact alive
+  /// (ground truth from the cluster/service) — the detector's false
+  /// positive count.
+  uint64_t false_suspicions() const {
+    return stats_.Get("detector.false_suspicions");
+  }
+
+  /// "detector.suspicions", "detector.clears", "detector.false_suspicions",
+  /// "detector.probes_sent", "detector.probes_answered".
+  const Stats& stats() const { return stats_; }
+
  private:
+  struct PeerView {
+    SimTime last_heard = 0;
+    bool suspected = false;
+    /// A confirmation probe is outstanding.
+    bool probing = false;
+    SimTime probe_deadline = 0;
+  };
+
   void Broadcast(SiteId from);
   void Check(SiteId observer);
   void OnMessage(SiteId self, Message& msg);
+  /// Records life sign `observer` heard from `target`.
+  void Hear(SiteId observer, SiteId target);
+  void RaiseSuspicion(SiteId observer, SiteId target);
+  /// Process-aliveness ground truth: the service's when attached, else
+  /// "cluster state != down" (the legacy oracle approximation).
+  bool Alive(SiteId site) const;
 
   Simulator* sim_;
   Network* net_;
   Cluster* cluster_;
   std::vector<SiteId> sites_;
   HeartbeatConfig config_;
+  SiteStatusService* service_ = nullptr;
   std::map<SiteId, Network::Handler> chained_;
-  /// last_heard_[observer][target] = sim time of the last heartbeat.
-  std::map<SiteId, std::map<SiteId, SimTime>> last_heard_;
-  std::map<SiteId, std::map<SiteId, bool>> suspected_;
+  /// views_[observer][target].
+  std::map<SiteId, std::map<SiteId, PeerView>> views_;
   uint64_t transitions_ = 0;
+  Stats stats_;
   bool started_ = false;
+  bool stopped_ = false;
 };
 
 }  // namespace radd

@@ -1,0 +1,140 @@
+// SiteStatusService — the epoch-stamped membership / site-status authority
+// that replaces the paper's [ABBA85] oracle ("the protocol by which each
+// site obtains the state of all other sites") with an actual control
+// plane. All site state changes flow through this service instead of
+// direct Site::set_state calls:
+//
+//   * kUp -> kDown       — a physical fault (InjectCrash / InjectDisaster)
+//                          or a *declaration*: enough live observers
+//                          reported heartbeat suspicion (majority rule,
+//                          paper §5's partition handling). A declared-down
+//                          site whose process is actually alive is
+//                          "fenced": the cluster treats it as down, its
+//                          writes land on spares, and it rejoins
+//                          automatically once peers hear from it again.
+//   * kDown -> kRecovering — NotifyRestart (a rebooted process announces
+//                          itself) or the automatic rejoin of a fenced
+//                          site when suspicion drops below the majority.
+//   * kRecovering -> kUp — MarkUp, called by the recovery sweeper once its
+//                          cursor has verified every row clean.
+//
+// Every transition bumps the site's *epoch*. Protocol messages carry the
+// epoch of the site whose data they touch; a receiver whose service knows
+// a newer epoch rejects the message with StaleEpoch instead of applying
+// it — closing the window where a delayed pre-crash parity update or
+// spare write, applied after a fast down->recovering->up cycle, would
+// silently corrupt redundancy.
+
+#ifndef RADD_CLUSTER_STATUS_SERVICE_H_
+#define RADD_CLUSTER_STATUS_SERVICE_H_
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/status.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace radd {
+
+/// The control plane. One instance per cluster; deterministic (no hidden
+/// randomness), so chaos schedules that drive it replay bit-for-bit.
+class SiteStatusService {
+ public:
+  SiteStatusService(Simulator* sim, Cluster* cluster);
+
+  // --- views ---------------------------------------------------------------
+
+  /// Current membership epoch of `site`. Starts at 0 and bumps on every
+  /// state transition; never reused.
+  uint64_t Epoch(SiteId site) const;
+
+  /// OK when `epoch` matches `site`'s current epoch; StaleEpoch otherwise.
+  Status CheckEpoch(SiteId site, uint64_t epoch) const;
+
+  /// Delegates to the cluster (the service is the sole writer of state).
+  SiteState StateOf(SiteId site) const { return cluster_->StateOf(site); }
+
+  /// Whether the site's *process* is running. A fenced site is cluster-down
+  /// but alive (it keeps heartbeating, which is what lets it rejoin); a
+  /// crashed or disaster-struck site is not alive until NotifyRestart.
+  bool ProcessAlive(SiteId site) const;
+
+  /// True when every site is kUp — the autopilot convergence target.
+  bool Converged() const;
+
+  // --- physical fault + repair events --------------------------------------
+
+  /// The site's process halts; disks keep their contents.
+  Status InjectCrash(SiteId site);
+
+  /// The site halts and all its disks are lost.
+  Status InjectDisaster(SiteId site);
+
+  /// Media failure of disk `d` at an up site: the site stays alive and
+  /// moves to kRecovering (its sweep reconstructs the lost blocks).
+  Status InjectDiskFailure(SiteId site, int d);
+
+  /// A rebooted (or replaced, after disaster) process announces itself:
+  /// kDown -> kRecovering. The background sweeper takes it from there.
+  Status NotifyRestart(SiteId site);
+
+  /// kRecovering -> kUp. Called by the recovery sweeper after its
+  /// verification pass; callable manually for oracle-style tests.
+  Status MarkUp(SiteId site);
+
+  // --- failure-detector input ----------------------------------------------
+
+  /// `observer`'s heartbeat detector raised (suspected = true) or cleared
+  /// (false) its suspicion of `target`. The service declares `target` down
+  /// once a strict majority of its peers that are themselves not down
+  /// suspect it, and rejoins a fenced site once suspicion falls back below
+  /// the majority (peers hear its heartbeats again).
+  void ReportSuspicion(SiteId observer, SiteId target, bool suspected);
+
+  // --- listeners -----------------------------------------------------------
+
+  /// Called after every state transition with (site, new state, new epoch).
+  /// Registration order is invocation order (determinism).
+  using Listener = std::function<void(SiteId, SiteState, uint64_t)>;
+  void AddListener(Listener listener);
+
+  /// Counters: "status.transitions", "status.declared_down",
+  /// "status.rejoins", "status.restarts", "status.marked_up",
+  /// "status.crashes", "status.disasters", "status.disk_failures".
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    uint64_t epoch = 0;
+    bool alive = true;
+    /// Declared down by suspicion while the process still runs.
+    bool fenced = false;
+    /// Peers currently reporting suspicion of this site.
+    std::set<SiteId> suspectors;
+  };
+
+  /// Applies the already-validated state change: bumps the epoch, records
+  /// stats, and notifies listeners.
+  void Transition(SiteId site, SiteState next, const char* counter);
+
+  /// Re-checks the majority rule for `target` after a suspicion change.
+  void Reevaluate(SiteId target);
+
+  /// Suspicion reports for `target` from observers that are not down.
+  int LiveSuspicion(SiteId target) const;
+
+  Simulator* sim_;
+  Cluster* cluster_;
+  std::vector<Entry> entries_;
+  std::vector<Listener> listeners_;
+  Stats stats_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_CLUSTER_STATUS_SERVICE_H_

@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "DataLoss";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kStaleEpoch:
+      return "StaleEpoch";
   }
   return "Unknown";
 }

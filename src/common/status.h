@@ -41,6 +41,10 @@ enum class StatusCode {
   kDataLoss,
   /// Internal invariant violated; indicates a bug.
   kInternal,
+  /// The operation carried a membership epoch older than the target
+  /// site's current one: the issuer acted on a stale view of the cluster.
+  /// Retryable — re-reading the site status and reissuing succeeds.
+  kStaleEpoch,
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -93,6 +97,9 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status StaleEpoch(std::string msg) {
+    return Status(StatusCode::kStaleEpoch, std::move(msg));
+  }
 
   bool ok() const { return rep_ == nullptr; }
   StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
@@ -114,6 +121,7 @@ class Status {
   bool IsNetworkError() const { return code() == StatusCode::kNetworkError; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsStaleEpoch() const { return code() == StatusCode::kStaleEpoch; }
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;

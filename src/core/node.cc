@@ -24,6 +24,7 @@ struct WriteReq {
   BlockNum row;
   int home;
   SimTime deadline = 0;  // client give-up time; later copies are zombies
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
   Block data{0};
 };
 struct WriteReply {
@@ -51,12 +52,14 @@ struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
   int home;
   BlockNum row;
   SimTime deadline = 0;  // client give-up time; later copies are zombies
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
   Block data{0};
   Uid uid;  // minted by the writer
 };
 struct SpareWriteBack {  // degraded-read materialization (fire and forget)
   int home;
   BlockNum row;
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
   Block data{0};
   Uid logical_uid;
 };
@@ -64,12 +67,17 @@ struct ParityUpdate {
   uint64_t op;
   BlockNum row;
   int position;
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
   Block delta{0};  // the change mask (wire size = encoded mask)
   Uid uid;
   size_t wire_bytes;
 };
 struct ParityAck {
   uint64_t op;
+};
+struct ParityNack {  // parity site refused the update (stale epoch)
+  uint64_t op;
+  Status status;
 };
 struct ReconReq {
   uint64_t op;
@@ -233,6 +241,18 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(req.data));
       return;
     }
+    if (!sys->CheckMemberEpoch(req.home, req.home_epoch).ok()) {
+      // The client stamped a view of this site that has since transitioned
+      // (we cycled down -> recovering behind its back). No side effects
+      // have happened, so forget the flow marker: the client's restamped
+      // retry must start a fresh flow, not replay this rejection.
+      sys->stats_.Add("node.stale_epoch_rejected");
+      write_flows.erase(req.op);
+      Send(from, "write_reply",
+           WriteReply{req.op, Status::StaleEpoch("write epoch")}, 0);
+      sys->arena_.Return(std::move(req.data));
+      return;
+    }
     SiteState state = site()->state();
     // A lost block at a recovering site is written through the spare; tell
     // the client to take the degraded path.
@@ -260,6 +280,22 @@ struct RaddNodeSystem::Node {
         uint64_t op = req.op;
         pending_local_writes.emplace(op,
                                      PendingLocalWrite{std::move(req), from});
+        // The spare can die between this request and its reply; without a
+        // bound the flow would hold the row lock forever (and keep the
+        // system from ever quiescing). Give up after the client's own
+        // give-up horizon: by then nobody is waiting for this flow.
+        sim()->Schedule(
+            static_cast<SimTime>(sys->node_config_.max_retries + 1) * 4 *
+                sys->node_config_.retry_timeout,
+            [this, op]() {
+              auto it = pending_local_writes.find(op);
+              if (it == pending_local_writes.end()) return;
+              sys->stats_.Add("node.spare_fetch_timeout");
+              BlockNum row = it->second.req.row;
+              pending_local_writes.erase(it);
+              write_flows.erase(op);
+              Unlock(op, row);
+            });
         return;
       }
       ApplyLocalWrite(std::move(req), from, /*old_override=*/std::nullopt);
@@ -328,13 +364,21 @@ struct RaddNodeSystem::Node {
             CompleteWrite(op, reply_to, "write_reply",
                           WriteReply{op, Status::OK()});
           },
-          [this, op, row, reply_to]() {
-            // Retransmission exhausted: release the lock and surface the
-            // failure instead of holding the row hostage forever.
+          [this, op, row, reply_to](Status st) {
+            // Retransmission exhausted or parity nacked: release the lock
+            // and surface the failure instead of holding the row hostage.
             Unlock(op, row);
+            if (st.IsStaleEpoch()) {
+              // Retryable and side-effect-free from the client's view —
+              // its restamped retry must run a fresh flow, so don't record
+              // this rejection in the dedupe table.
+              write_flows.erase(op);
+              Send(reply_to, "write_reply",
+                   WriteReply{op, std::move(st)}, 0);
+              return;
+            }
             CompleteWrite(op, reply_to, "write_reply",
-                          WriteReply{op, Status::NetworkError(
-                                             "parity update unacked")});
+                          WriteReply{op, std::move(st)});
           });
     });
   }
@@ -352,12 +396,20 @@ struct RaddNodeSystem::Node {
 
   /// Sends the W3 parity message, retransmitting until acked (§5). Calls
   /// `done` once acknowledged (or immediately if the parity site is down:
-  /// its recovery will recompute the row). If retransmission is exhausted,
-  /// calls `fail` instead so the write surfaces NetworkError rather than
-  /// hanging with its lock held.
+  /// its recovery will recompute the row). If retransmission is exhausted
+  /// or the parity site nacks (stale epoch), calls `fail` with the cause
+  /// so the write surfaces a retryable failure rather than hanging with
+  /// its lock held.
   struct ParityWait {
     std::function<void()> done;
-    std::function<void()> fail;
+    std::function<void(Status)> fail;
+    /// The pending update itself, kept so every (re)transmit can restamp
+    /// the home's *current* membership epoch: a live sender always speaks
+    /// for its current view, so only message copies left over from a dead
+    /// incarnation (whose node state was reset, so nobody restamps them)
+    /// are rejected as stale.
+    ParityUpdate update;
+    SiteId parity_site = 0;
   };
   std::map<uint64_t, ParityWait> parity_done;
   std::map<uint64_t, int> parity_tries;
@@ -365,7 +417,7 @@ struct RaddNodeSystem::Node {
   void SendParityUpdate(uint64_t op, int home, BlockNum row,
                         ChangeMask mask, Uid uid,
                         std::function<void()> done,
-                        std::function<void()> fail = nullptr) {
+                        std::function<void(Status)> fail = nullptr) {
     int pm = static_cast<int>(sys->layout().ParitySite(row));
     SiteId parity_site = sys->group_.SiteOfMember(pm);
     if (sys->Perceived(self, parity_site) == SiteState::kDown) {
@@ -373,37 +425,47 @@ struct RaddNodeSystem::Node {
       done();
       return;
     }
-    ParityUpdate u;
+    ParityWait wait;
+    wait.done = std::move(done);
+    wait.fail = std::move(fail);
+    wait.parity_site = parity_site;
+    ParityUpdate& u = wait.update;
     u.op = op;
     u.row = row;
     u.position = home;
     u.wire_bytes = mask.EncodedSize();
     u.delta = std::move(mask).TakeDelta();
     u.uid = uid;
-    parity_done[op] = ParityWait{std::move(done), std::move(fail)};
+    parity_done[op] = std::move(wait);
     parity_tries[op] = 0;
-    TransmitParity(parity_site, u);
+    TransmitParity(op);
   }
 
-  void TransmitParity(SiteId parity_site, const ParityUpdate& u) {
-    Send(parity_site, "parity_update", u, u.wire_bytes);
+  void TransmitParity(uint64_t op) {
+    auto it = parity_done.find(op);
+    if (it == parity_done.end()) return;
+    ParityUpdate& u = it->second.update;
+    u.home_epoch = sys->EpochOf(sys->group_.SiteOfMember(u.position));
+    Send(it->second.parity_site, "parity_update", u, u.wire_bytes);
     uint64_t timer = sim()->Schedule(
-        sys->node_config_.retry_timeout, [this, parity_site, u]() {
-          auto it = parity_done.find(u.op);
+        sys->node_config_.retry_timeout, [this, op]() {
+          auto it = parity_done.find(op);
           if (it == parity_done.end()) return;  // acked meanwhile
-          if (++parity_tries[u.op] > sys->node_config_.max_retries) {
+          if (++parity_tries[op] > sys->node_config_.max_retries) {
             sys->stats_.Add("node.parity_gave_up");
             ParityWait wait = std::move(it->second);
             parity_done.erase(it);
-            parity_tries.erase(u.op);
-            parity_timers.erase(u.op);
-            if (wait.fail) wait.fail();
+            parity_tries.erase(op);
+            parity_timers.erase(op);
+            if (wait.fail) {
+              wait.fail(Status::NetworkError("parity update unacked"));
+            }
             return;
           }
           sys->stats_.Add("node.parity_retransmit");
-          TransmitParity(parity_site, u);
+          TransmitParity(op);
         });
-    parity_timers[u.op] = timer;
+    parity_timers[op] = timer;
   }
 
   /// Parity ops seen by this node: false = apply in flight, true =
@@ -433,6 +495,19 @@ struct RaddNodeSystem::Node {
         rec->uid_array[static_cast<size_t>(u.position)] == u.uid) {
       Send(from, "parity_ack", ParityAck{u.op}, 0);
       sys->stats_.Add("node.parity_duplicate");
+      return;
+    }
+    if (!sys->CheckMemberEpoch(u.position, u.home_epoch).ok()) {
+      // A delayed update whose delta was computed against a membership
+      // view the home site has since cycled out of. The UID-array check
+      // above cannot catch every such straggler (recovery may have rebuilt
+      // the array without this update's UID); re-XORing its mask now would
+      // corrupt the parity block. Nack so the sender stops retransmitting
+      // and surfaces a retryable failure instead of timing out.
+      sys->stats_.Add("node.stale_epoch_rejected");
+      Send(from, "parity_nack",
+           ParityNack{u.op, Status::StaleEpoch("parity epoch")}, 0);
+      sys->arena_.Return(std::move(u.delta));
       return;
     }
     parity_ops[u.op] = false;
@@ -471,6 +546,31 @@ struct RaddNodeSystem::Node {
       parity_timers.erase(timer);
     }
     done();
+  }
+
+  void OnParityNack(const Message& msg) {
+    auto nack = std::any_cast<ParityNack>(msg.payload);
+    auto it = parity_done.find(nack.op);
+    if (it == parity_done.end()) return;  // already resolved
+    auto timer = parity_timers.find(nack.op);
+    if (timer != parity_timers.end()) {
+      sim()->Cancel(timer->second);
+      parity_timers.erase(timer);
+    }
+    if (++parity_tries[nack.op] > sys->node_config_.max_retries) {
+      ParityWait wait = std::move(it->second);
+      parity_done.erase(it);
+      parity_tries.erase(nack.op);
+      if (wait.fail) wait.fail(nack.status);
+      return;
+    }
+    // We are alive, so the stale stamp just means the home transitioned
+    // while this update was in flight (e.g. its sweep finished and it was
+    // marked up). Re-read the membership and retransmit immediately — the
+    // fresh stamp makes the same delta acceptable. Only delayed copies
+    // from dead incarnations, which nobody restamps, stay rejected.
+    sys->stats_.Add("node.parity_nack_retry");
+    TransmitParity(nack.op);
   }
 
   void OnSpareReadReq(Message& msg) {
@@ -523,6 +623,18 @@ struct RaddNodeSystem::Node {
     if (DedupeWrite(req.op, from, "spare_write_reply")) return;
     if (req.deadline != 0 && sim()->Now() > req.deadline) {
       sys->stats_.Add("node.write_expired");
+      sys->arena_.Return(std::move(req.data));
+      return;
+    }
+    if (!sys->CheckMemberEpoch(req.home, req.home_epoch).ok()) {
+      // The writer's view of the home site is stale (it transitioned since
+      // the request was stamped) — absorbing the write into the spare now
+      // could shadow a home that is no longer down. Retryable: the client
+      // restamps and re-evaluates the routing.
+      sys->stats_.Add("node.stale_epoch_rejected");
+      write_flows.erase(req.op);
+      Send(from, "spare_write_reply",
+           WriteReply{req.op, Status::StaleEpoch("spare write epoch")}, 0);
       sys->arena_.Return(std::move(req.data));
       return;
     }
@@ -604,18 +716,29 @@ struct RaddNodeSystem::Node {
                          CompleteWrite(op, reply_to, "spare_write_reply",
                                        WriteReply{op, Status::OK()});
                        },
-                       [this, op, row, reply_to]() {
+                       [this, op, row, reply_to](Status st) {
                          Unlock(op, row);
+                         if (st.IsStaleEpoch()) {
+                           write_flows.erase(op);
+                           Send(reply_to, "spare_write_reply",
+                                WriteReply{op, std::move(st)}, 0);
+                           return;
+                         }
                          CompleteWrite(op, reply_to, "spare_write_reply",
-                                       WriteReply{op, Status::NetworkError(
-                                                          "parity update "
-                                                          "unacked")});
+                                       WriteReply{op, std::move(st)});
                        });
     });
   }
 
   void OnSpareWriteBack(Message& msg) {
     SpareWriteBack wb = std::move(std::any_cast<SpareWriteBack&>(msg.payload));
+    if (!sys->CheckMemberEpoch(wb.home, wb.home_epoch).ok()) {
+      // Fire-and-forget materialization from a reader whose view of the
+      // home has since cycled; dropping it is always safe.
+      sys->stats_.Add("node.writeback_stale_epoch");
+      sys->arena_.Return(std::move(wb.data));
+      return;
+    }
     ScheduleDisk(disk().write_latency, [this, wb = std::move(wb)]() mutable {
       // Materialization is only valid while the home is down. This message
       // is fire-and-forget, so a delayed copy can arrive after the home
@@ -672,9 +795,20 @@ struct RaddNodeSystem::Node {
     std::function<void(Status, Block, Uid)> done;
     std::vector<SiteId> sources;  // member ids
     std::map<int, ReconReply> replies;
-    int attempt = 0;
+    int attempt = 0;      // round tag; stale-round replies are discarded
+    int uid_retries = 0;  // §3.3 UID-mismatch retries (capped separately)
+    int rounds = 0;       // timeout-driven reissues
+    uint64_t timer = 0;   // pending round-timeout event
   };
   std::map<uint64_t, Recon> recons;
+
+  void FinishRecon(std::map<uint64_t, Recon>::iterator it, Status st,
+                   Block block, Uid uid) {
+    if (it->second.timer != 0) sim()->Cancel(it->second.timer);
+    auto done = std::move(it->second.done);
+    recons.erase(it);
+    done(std::move(st), std::move(block), uid);
+  }
 
   void StartReconstruction(uint64_t op, int home, BlockNum row,
                            std::function<void(Status, Block, Uid)> done) {
@@ -705,6 +839,34 @@ struct RaddNodeSystem::Node {
       SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
       Send(site_id, "recon_req", ReconReq{op, rc.row, rc.attempt}, 0);
     }
+    // A source can die (or its reply be lost) mid-round, which would leave
+    // this flow waiting forever. Bound each round and re-issue against the
+    // current membership view, giving up once a source is known-down or
+    // the retry budget is spent.
+    if (rc.timer != 0) sim()->Cancel(rc.timer);
+    rc.timer = sim()->Schedule(
+        4 * sys->node_config_.retry_timeout, [this, op]() {
+          auto rit = recons.find(op);
+          if (rit == recons.end()) return;
+          Recon& r = rit->second;
+          r.timer = 0;
+          for (SiteId src : r.sources) {
+            SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
+            if (sys->Perceived(self, site_id) == SiteState::kDown) {
+              FinishRecon(rit, Status::Blocked("reconstruction source down"),
+                          Block(0), Uid());
+              return;
+            }
+          }
+          if (++r.rounds > sys->node_config_.max_retries) {
+            FinishRecon(rit, Status::Blocked("reconstruction timed out"),
+                        Block(0), Uid());
+            return;
+          }
+          ++r.attempt;  // invalidate straggler replies from the lost round
+          sys->stats_.Add("node.recon_round_retry");
+          IssueReconRound(op);
+        });
   }
 
   void OnReconReply(Message& msg) {
@@ -720,10 +882,9 @@ struct RaddNodeSystem::Node {
     }
     int member = sys->group_.MemberAtSite(msg.from);
     if (!rep.status.ok()) {
-      auto done = std::move(rc.done);
-      recons.erase(it);
-      done(Status::Blocked("source failed: " + rep.status.ToString()),
-           Block(0), Uid());
+      FinishRecon(it,
+                  Status::Blocked("source failed: " + rep.status.ToString()),
+                  Block(0), Uid());
       return;
     }
     rc.replies[member] = std::move(rep);
@@ -749,13 +910,12 @@ struct RaddNodeSystem::Node {
     }
     if (!consistent) {
       sys->stats_.Add("node.uid_retry");
-      if (++rc.attempt >= sys->node_config_.max_reconstruct_attempts) {
-        auto done = std::move(rc.done);
-        recons.erase(it);
-        done(Status::Inconsistent("UID validation failed"), Block(0),
-             Uid());
+      if (++rc.uid_retries >= sys->node_config_.max_reconstruct_attempts) {
+        FinishRecon(it, Status::Inconsistent("UID validation failed"),
+                    Block(0), Uid());
         return;
       }
+      ++rc.attempt;
       IssueReconRound(rep.op);
       return;
     }
@@ -768,10 +928,8 @@ struct RaddNodeSystem::Node {
       }
     }
     Uid logical = entry(rc.home);
-    auto done = std::move(rc.done);
-    recons.erase(it);
     sys->stats_.Add("node.reconstructions");
-    done(Status::OK(), std::move(out), logical);
+    FinishRecon(it, Status::OK(), std::move(out), logical);
   }
 };
 
@@ -813,6 +971,29 @@ SiteState RaddNodeSystem::Perceived(SiteId observer, SiteId target) const {
     return cluster_->StateOf(target);
   }
   return cluster_->StateOf(target);
+}
+
+uint64_t RaddNodeSystem::EpochOf(SiteId site) const {
+  return status_service_ != nullptr ? status_service_->Epoch(site) : 0;
+}
+
+Status RaddNodeSystem::CheckMemberEpoch(int home, uint64_t epoch) const {
+  if (status_service_ == nullptr) return Status::OK();
+  return status_service_->CheckEpoch(group_.SiteOfMember(home), epoch);
+}
+
+uint64_t RaddNodeSystem::InFlightOps() const {
+  return reads_.size() + writes_.size();
+}
+
+bool RaddNodeSystem::Quiescent() const {
+  if (!reads_.empty() || !writes_.empty()) return false;
+  for (const auto& [site, n] : nodes_) {
+    if (!n->parity_done.empty()) return false;
+    if (!n->pending_local_writes.empty()) return false;
+    if (!n->recons.empty()) return false;
+  }
+  return true;
 }
 
 void RaddNodeSystem::ResetNodeVolatileState(SiteId site) {
@@ -894,6 +1075,21 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
     auto rep = std::any_cast<WriteReply>(msg.payload);
     auto it = writes_.find(rep.op);
     if (it == writes_.end()) return;
+    if (rep.status.IsStaleEpoch()) {
+      // The server knows a newer membership epoch for the home site than
+      // this request carried. Reissue immediately: StartWrite re-reads the
+      // current state and restamps, so the retry routes correctly.
+      PendingWrite& pw = it->second;
+      sim_->Cancel(pw.timer);
+      if (++pw.retries > node_config_.max_retries) {
+        stats_.Add("node.write_retry_exhausted");
+        FinishWrite(rep.op, Status::NetworkError("write timed out"));
+        return;
+      }
+      stats_.Add("node.stale_epoch_retry");
+      StartWrite(rep.op);
+      return;
+    }
     if (rep.status.IsUnavailable()) {
       // Home said "block lost": redirect to the spare (degraded write).
       PendingWrite& pw = it->second;
@@ -903,6 +1099,7 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
       req.home = pw.home;
       req.row = pw.row;
       req.deadline = WriteDeadline(pw);
+      req.home_epoch = EpochOf(group_.SiteOfMember(pw.home));
       req.data = pw.data;  // pw keeps its copy for retries
       req.uid = cluster_->site(pw.client)->uids()->Next();
       size_t wire = req.data.size();
@@ -917,6 +1114,8 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
     n->OnParityUpdate(msg);
   } else if (msg.type == "parity_ack") {
     n->OnParityAck(msg);
+  } else if (msg.type == "parity_nack") {
+    n->OnParityNack(msg);
   } else if (msg.type == "spare_read_req") {
     n->OnSpareReadReq(msg);
   } else if (msg.type == "spare_read_reply") {
@@ -991,6 +1190,7 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
           SpareWriteBack wb;
           wb.home = r.home;
           wb.row = r.row;
+          wb.home_epoch = EpochOf(group_.SiteOfMember(r.home));
           wb.data = data;  // the read's caller still needs `data`
           wb.logical_uid = logical;
           size_t wire = wb.data.size();
@@ -1057,6 +1257,7 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
     req.home = pw.home;
     req.row = pw.row;
     req.deadline = WriteDeadline(pw);
+    req.home_epoch = EpochOf(home_site);
     req.data = pw.data;  // pw keeps its copy for retries
     req.uid = cluster_->site(pw.client)->uids()->Next();
     size_t wire = req.data.size();
@@ -1070,6 +1271,7 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
   req.row = pw.row;
   req.home = pw.home;
   req.deadline = WriteDeadline(pw);
+  req.home_epoch = EpochOf(home_site);
   req.data = pw.data;  // pw keeps its copy for retries
   size_t wire = req.data.size();
   client_node->Send(home_site, "write_req", std::move(req), wire);

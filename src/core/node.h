@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "cluster/status_service.h"
 #include "common/block_arena.h"
 #include "core/radd.h"
 #include "net/network.h"
@@ -95,6 +96,28 @@ class RaddNodeSystem {
     perceiver_ = std::move(perceiver);
   }
 
+  /// Connects the epoch-stamped membership service. Once set, writes,
+  /// spare writes, parity updates and spare write-backs carry the epoch of
+  /// the home site whose data they touch, and receivers reject messages
+  /// stamped with an epoch older than the service's current one
+  /// (StaleEpoch, retryable) — closing the window where a delayed
+  /// pre-transition message, applied after a fast down -> recovering -> up
+  /// cycle, would act on a stale view of the membership. Without a service
+  /// all stamps are 0 and no check is performed (oracle-mode tests).
+  void SetStatusService(const SiteStatusService* service) {
+    status_service_ = service;
+  }
+
+  /// Client operations currently in flight (reads + writes). Used as the
+  /// recovery sweeper's backpressure probe.
+  uint64_t InFlightOps() const;
+
+  /// True when no client operation, server-side write flow, parity
+  /// retransmission or reconstruction is outstanding anywhere — the
+  /// protocol layer has fully drained (heartbeat traffic excluded; that
+  /// belongs to the detector).
+  bool Quiescent() const;
+
   /// Discards the in-memory protocol state of `site`'s node — lock table,
   /// retransmission timers, dedupe tables, in-flight server flows — and
   /// fails (NetworkError) any client operation issued *from* that site.
@@ -120,6 +143,12 @@ class RaddNodeSystem {
   /// State that `observer` believes `target` to be in.
   SiteState Perceived(SiteId observer, SiteId target) const;
 
+  /// Membership epoch of `site` (0 when no status service is connected).
+  uint64_t EpochOf(SiteId site) const;
+  /// OK when `epoch` is current for member `home`'s site; StaleEpoch when
+  /// a status service is connected and knows a newer one.
+  Status CheckMemberEpoch(int home, uint64_t epoch) const;
+
   void Dispatch(SiteId site, Message& msg);
   Node* node(SiteId s) { return nodes_.at(s).get(); }
 
@@ -136,6 +165,7 @@ class RaddNodeSystem {
   std::map<SiteId, std::unique_ptr<Node>> nodes_;
   std::map<std::pair<SiteId, SiteId>, SiteState> presumed_;
   Perceiver perceiver_;
+  const SiteStatusService* status_service_ = nullptr;
   uint64_t next_op_ = 1;
 
   // --- pending client operations -------------------------------------------

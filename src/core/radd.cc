@@ -591,128 +591,165 @@ Result<OpCounts> RaddGroup::RunRecovery(int home, bool mark_up) {
         "site " + std::to_string(site->id()) + " is " +
         std::string(SiteStateName(site->state())) + ", not recovering");
   }
-  const SiteId self = site->id();
   OpCounts counts;
-
   for (BlockNum row = 0; row < config_.rows; ++row) {
-    BlockRole role = layout_.RoleOf(static_cast<SiteId>(home), row);
-    BlockNum phys = Phys(home, row);
-
-    switch (role) {
-      case BlockRole::kData: {
-        int sm = static_cast<int>(layout_.SpareSite(row));
-        // Drain a valid spare (lock, copy, invalidate).
-        if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
-          Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
-          if (srec.ok() && srec->uid.valid()) {
-            if (srec->spare_for != home) {
-              return Status::Internal(
-                  "spare of row " + std::to_string(row) +
-                  " shadows another member during recovery");
-            }
-            (void)ReadPhys(sm, row);  // the physical spare read
-            ChargeRead(self, sm, &counts);
-            RADD_RETURN_NOT_OK(
-                site->store()->Write(phys, srec->data, srec->logical_uid));
-            ++counts.local_writes;
-            (void)SiteOf(sm)->store()->Invalidate(Phys(sm, row));
-            ChargeWrite(self, sm, &counts);  // the invalidate message
-            stats_.Add("radd.recovery_spare_drained");
-            break;
-          }
-        }
-        // No spare: the local block is either intact (temporary outage —
-        // nothing to do) or lost (disk failure / disaster — reconstruct).
-        Result<BlockRecord> lrec = site->store()->Peek(phys);
-        if (lrec.ok()) break;  // intact (valid or initial state)
-        if (!lrec.status().IsDataLoss()) return lrec.status();
-        Result<Reconstructed> recon = Reconstruct(self, home, row, &counts);
-        if (!recon.ok()) return recon.status();
-        RADD_RETURN_NOT_OK(
-            site->store()->Write(phys, recon->data, recon->logical_uid));
-        ++counts.local_writes;
-        stats_.Add("radd.recovery_reconstructed");
-        break;
-      }
-
-      case BlockRole::kParity: {
-        // Read every data block of the row from the other (up) members;
-        // recompute the parity if the local copy is lost or its UID array
-        // disagrees with the data blocks (updates missed while down).
-        std::vector<SiteId> data_members = layout_.DataSites(row);
-        std::vector<BlockRecord> data_recs;
-        data_recs.reserve(data_members.size());
-        bool sources_ok = true;
-        for (SiteId dm : data_members) {
-          int m = static_cast<int>(dm);
-          if (!BlockReadable(m, row)) {
-            sources_ok = false;
-            break;
-          }
-          Result<BlockRecord> rec = ReadPhys(m, row);
-          if (!rec.ok()) {
-            sources_ok = false;
-            break;
-          }
-          ChargeRead(self, m, &counts);
-          data_recs.push_back(std::move(rec).value());
-        }
-        if (!sources_ok) {
-          return Status::Blocked(
-              "cannot rebuild parity of row " + std::to_string(row) +
-              ": a data member is unavailable (multiple failures)");
-        }
-
-        Result<BlockRecord> lrec = site->store()->Peek(phys);
-        bool stale = !lrec.ok();
-        if (lrec.ok()) {
-          for (size_t i = 0; i < data_members.size(); ++i) {
-            size_t pos = static_cast<size_t>(data_members[i]);
-            Uid entry = pos < lrec->uid_array.size() ? lrec->uid_array[pos]
-                                                     : Uid();
-            if (entry != data_recs[i].uid) {
-              stale = true;
-              break;
-            }
-          }
-        }
-        if (stale) {
-          BlockRecord prec(config_.block_size);
-          RADD_RETURN_NOT_OK(XorAllInto(
-              &prec.data, data_recs.size(),
-              [&](size_t i) -> const Block& { return data_recs[i].data; }));
-          prec.uid = site->uids()->Next();
-          prec.uid_array.assign(static_cast<size_t>(num_members()), Uid());
-          for (size_t i = 0; i < data_members.size(); ++i) {
-            prec.uid_array[static_cast<size_t>(data_members[i])] =
-                data_recs[i].uid;
-          }
-          RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, prec));
-          ++counts.local_writes;
-          stats_.Add("radd.recovery_parity_rebuilt");
-        }
-        break;
-      }
-
-      case BlockRole::kSpare: {
-        // A lost spare is simply re-initialized to the invalid state.
-        Result<BlockRecord> lrec = site->store()->Peek(phys);
-        if (!lrec.ok() && lrec.status().IsDataLoss()) {
-          BlockRecord empty(config_.block_size);
-          RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, empty));
-          ++counts.local_writes;
-          stats_.Add("radd.recovery_spare_cleared");
-        }
-        break;
-      }
-    }
+    RADD_RETURN_NOT_OK(RecoverRow(home, row, &counts));
   }
 
   if (mark_up) {
-    RADD_RETURN_NOT_OK(cluster_->MarkUp(self));
+    RADD_RETURN_NOT_OK(cluster_->MarkUp(site->id()));
   }
   stats_.Add("radd.recoveries_completed");
   return counts;
+}
+
+Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
+  if (home < 0 || home >= num_members()) {
+    return Status::InvalidArgument("no member " + std::to_string(home));
+  }
+  if (row >= config_.rows) {
+    return Status::InvalidArgument("no row " + std::to_string(row));
+  }
+  Site* site = SiteOf(home);
+  const SiteId self = site->id();
+  BlockRole role = layout_.RoleOf(static_cast<SiteId>(home), row);
+  BlockNum phys = Phys(home, row);
+
+  switch (role) {
+    case BlockRole::kData: {
+      int sm = static_cast<int>(layout_.SpareSite(row));
+      // Drain a valid spare (lock, copy, invalidate).
+      if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
+        Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+        if (srec.ok() && srec->uid.valid()) {
+          if (srec->spare_for != home) {
+            return Status::Internal(
+                "spare of row " + std::to_string(row) +
+                " shadows another member during recovery");
+          }
+          (void)ReadPhys(sm, row);  // the physical spare read
+          ChargeRead(self, sm, counts);
+          RADD_RETURN_NOT_OK(
+              site->store()->Write(phys, srec->data, srec->logical_uid));
+          ++counts->local_writes;
+          (void)SiteOf(sm)->store()->Invalidate(Phys(sm, row));
+          ChargeWrite(self, sm, counts);  // the invalidate message
+          stats_.Add("radd.recovery_spare_drained");
+          break;
+        }
+      }
+      // No spare: the local block is either intact (temporary outage —
+      // nothing to do) or lost (disk failure / disaster — reconstruct).
+      Result<BlockRecord> lrec = site->store()->Peek(phys);
+      if (lrec.ok()) break;  // intact (valid or initial state)
+      if (!lrec.status().IsDataLoss()) return lrec.status();
+      Result<Reconstructed> recon = Reconstruct(self, home, row, counts);
+      if (!recon.ok()) return recon.status();
+      RADD_RETURN_NOT_OK(
+          site->store()->Write(phys, recon->data, recon->logical_uid));
+      ++counts->local_writes;
+      stats_.Add("radd.recovery_reconstructed");
+      break;
+    }
+
+    case BlockRole::kParity: {
+      // Read every data block of the row from the other (up) members;
+      // recompute the parity if the local copy is lost or its UID array
+      // disagrees with the data blocks (updates missed while down).
+      std::vector<SiteId> data_members = layout_.DataSites(row);
+      std::vector<BlockRecord> data_recs;
+      data_recs.reserve(data_members.size());
+      bool sources_ok = true;
+      for (SiteId dm : data_members) {
+        int m = static_cast<int>(dm);
+        if (!BlockReadable(m, row)) {
+          sources_ok = false;
+          break;
+        }
+        Result<BlockRecord> rec = ReadPhys(m, row);
+        if (!rec.ok()) {
+          sources_ok = false;
+          break;
+        }
+        ChargeRead(self, m, counts);
+        data_recs.push_back(std::move(rec).value());
+      }
+      if (!sources_ok) {
+        return Status::Blocked(
+            "cannot rebuild parity of row " + std::to_string(row) +
+            ": a data member is unavailable (multiple failures)");
+      }
+
+      Result<BlockRecord> lrec = site->store()->Peek(phys);
+      bool stale = !lrec.ok();
+      if (lrec.ok()) {
+        for (size_t i = 0; i < data_members.size(); ++i) {
+          size_t pos = static_cast<size_t>(data_members[i]);
+          Uid entry = pos < lrec->uid_array.size() ? lrec->uid_array[pos]
+                                                   : Uid();
+          if (entry != data_recs[i].uid) {
+            stale = true;
+            break;
+          }
+        }
+      }
+      if (stale) {
+        BlockRecord prec(config_.block_size);
+        RADD_RETURN_NOT_OK(XorAllInto(
+            &prec.data, data_recs.size(),
+            [&](size_t i) -> const Block& { return data_recs[i].data; }));
+        prec.uid = site->uids()->Next();
+        prec.uid_array.assign(static_cast<size_t>(num_members()), Uid());
+        for (size_t i = 0; i < data_members.size(); ++i) {
+          prec.uid_array[static_cast<size_t>(data_members[i])] =
+              data_recs[i].uid;
+        }
+        RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, prec));
+        ++counts->local_writes;
+        stats_.Add("radd.recovery_parity_rebuilt");
+      }
+      break;
+    }
+
+    case BlockRole::kSpare: {
+      // A lost spare is simply re-initialized to the invalid state.
+      Result<BlockRecord> lrec = site->store()->Peek(phys);
+      if (!lrec.ok() && lrec.status().IsDataLoss()) {
+        BlockRecord empty(config_.block_size);
+        RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, empty));
+        ++counts->local_writes;
+        stats_.Add("radd.recovery_spare_cleared");
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+Result<BlockNum> RaddGroup::FirstUnrecoveredRow(int home,
+                                                BlockNum from) const {
+  if (home < 0 || home >= num_members()) {
+    return Status::InvalidArgument("no member " + std::to_string(home));
+  }
+  const Site* site = SiteOf(home);
+  for (BlockNum row = from; row < config_.rows; ++row) {
+    BlockNum phys = Phys(home, row);
+    if (layout_.RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData) {
+      // A valid spare shadowing this member must be drained before MarkUp:
+      // a spare shadowing an up member violates the group invariant, and
+      // the writes it holds would be lost to readers going to the home.
+      int sm = static_cast<int>(layout_.SpareSite(row));
+      if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
+        Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+        if (srec.ok() && srec->uid.valid() && srec->spare_for == home) {
+          return row;
+        }
+      }
+    }
+    Result<BlockRecord> lrec = site->store()->Peek(phys);
+    if (!lrec.ok() && lrec.status().IsDataLoss()) return row;
+  }
+  return config_.rows;
 }
 
 Result<int> RaddGroup::ScrubParity(int parity_member) {

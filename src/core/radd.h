@@ -130,6 +130,23 @@ class RaddGroup {
   /// site stays in the recovering state until every group is done.
   Result<OpCounts> RunRecovery(int home, bool mark_up = true);
 
+  /// One step of the recovery sweep: repairs member `home`'s block in
+  /// `row` (drain spare / reconstruct data / rebuild parity / clear spare,
+  /// by role), accumulating physical ops into `counts`. The incremental
+  /// sweeper (core/sweeper.h) calls this a bounded number of times per
+  /// tick; RunRecovery is the stop-the-world loop over all rows. The
+  /// caller is responsible for ensuring the member's site is in the
+  /// recovering state.
+  Status RecoverRow(int home, BlockNum row, OpCounts* counts);
+
+  /// Metadata-only verification scan for the end of a sweep: the first row
+  /// at or after `from` that still needs recovery work — a valid spare
+  /// shadowing `home`, or a lost local block — or `config().rows` when the
+  /// member is clean and may be marked up. Parity freshness is not checked
+  /// here (a swept parity row receives live updates and stays fresh; rows
+  /// whose updates were dropped belong to ScrubParity).
+  Result<BlockNum> FirstUnrecoveredRow(int home, BlockNum from = 0) const;
+
   /// Background scrubber: audits every row's parity against the XOR of
   /// its data blocks (and the UID array against the blocks' UIDs) and
   /// repairs any mismatch by recomputing the parity block — the on-line

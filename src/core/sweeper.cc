@@ -1,0 +1,106 @@
+#include "core/sweeper.h"
+
+namespace radd {
+
+RecoverySweeper::RecoverySweeper(Simulator* sim, RaddGroup* group,
+                                 SiteStatusService* service,
+                                 const SweeperConfig& config)
+    : sim_(sim), group_(group), service_(service), config_(config) {}
+
+void RecoverySweeper::Start() {
+  if (started_) return;
+  started_ = true;
+  service_->AddListener([this](SiteId site, SiteState state, uint64_t) {
+    if (state != SiteState::kRecovering) return;
+    const int member = group_->MemberAtSite(site);
+    if (member >= 0) Pump(member);
+  });
+  // Pick up members already mid-recovery when the sweeper comes online.
+  for (int m = 0; m < group_->num_members(); ++m) {
+    if (service_->StateOf(group_->SiteOfMember(m)) == SiteState::kRecovering) {
+      Pump(m);
+    }
+  }
+}
+
+BlockNum RecoverySweeper::cursor(int member) const {
+  auto it = sweeps_.find(member);
+  return it == sweeps_.end() ? 0 : it->second.cursor;
+}
+
+bool RecoverySweeper::active(int member) const {
+  auto it = sweeps_.find(member);
+  return it != sweeps_.end() && it->second.active;
+}
+
+void RecoverySweeper::Pump(int member) {
+  Sweep& sw = sweeps_[member];
+  if (sw.active) return;  // a tick chain is already running
+  sw.active = true;
+  if (sw.cursor > 0) stats_.Add("sweeper.resumes");
+  stats_.Add("sweeper.sweeps_started");
+  sim_->Schedule(0, [this, member]() { Tick(member); });
+}
+
+void RecoverySweeper::Tick(int member) {
+  Sweep& sw = sweeps_[member];
+  const SiteId site = group_->SiteOfMember(member);
+  if (service_->StateOf(site) != SiteState::kRecovering) {
+    // The site left the recovering state under us (crashed again, or an
+    // oracle marked it up). End the chain but keep the cursor: the next
+    // kRecovering transition resumes instead of re-draining from row 0.
+    sw.active = false;
+    return;
+  }
+  stats_.Add("sweeper.ticks");
+
+  int budget = config_.rows_per_tick;
+  if (config_.load_probe &&
+      config_.load_probe() >= config_.backpressure_threshold) {
+    budget = 1;
+    stats_.Add("sweeper.backpressure_ticks");
+  }
+
+  OpCounts ops;
+  const BlockNum rows = group_->config().rows;
+  while (budget > 0 && sw.cursor < rows) {
+    Status st = group_->RecoverRow(member, sw.cursor, &ops);
+    if (!st.ok()) {
+      // Typically Blocked (a source for reconstruction is unavailable).
+      // Leave the cursor on this row and retry next tick — another site's
+      // recovery may unblock it.
+      stats_.Add("sweeper.row_errors");
+      break;
+    }
+    ++sw.cursor;
+    --budget;
+    stats_.Add("sweeper.rows_swept");
+  }
+  stats_.Observe("sweeper.tick_ops", ops.Total());
+
+  if (sw.cursor >= rows) {
+    auto dirty = group_->FirstUnrecoveredRow(member);
+    if (dirty.ok()) {
+      if (*dirty >= rows) {
+        // Verification scan and MarkUp run in this same simulator event,
+        // so no spare commit can slip between "clean" and "up".
+        if (service_->MarkUp(site).ok()) {
+          stats_.Add("sweeper.completed");
+          sw.active = false;
+          sw.cursor = 0;
+          return;
+        }
+      } else {
+        // Rows behind the cursor were re-dirtied (e.g. spares absorbed
+        // writes during a second outage). Rewind and keep sweeping.
+        sw.cursor = *dirty;
+        stats_.Add("sweeper.rescans");
+      }
+    } else {
+      stats_.Add("sweeper.verify_errors");
+    }
+  }
+  sim_->Schedule(config_.tick_interval, [this, member]() { Tick(member); });
+}
+
+}  // namespace radd

@@ -1,0 +1,96 @@
+// RecoverySweeper — the paper's §3.2 "background demon" as an actual
+// background task instead of a stop-the-world call.
+//
+// RaddGroup::RunRecovery repairs every row of a recovering member in one
+// synchronous burst; under load that freezes foreground traffic for the
+// whole sweep. The sweeper instead listens to SiteStatusService
+// transitions and, whenever a member's site enters kRecovering, repairs a
+// bounded number of rows per simulator tick (RaddGroup::RecoverRow),
+// yielding between ticks so client reads and writes keep flowing. A load
+// probe (e.g. the protocol layer's in-flight op count) shrinks the batch
+// to a single row under foreground pressure.
+//
+// The progress cursor models a persisted recovery log: if the site dies
+// mid-sweep and restarts, the sweep *resumes* at the cursor rather than
+// restarting — safe because (a) draining a spare is idempotent
+// (invalidated spares are skipped) and (b) before marking the site up the
+// sweeper runs a verification scan (RaddGroup::FirstUnrecoveredRow) that
+// catches rows re-dirtied behind the cursor during a second outage —
+// spares written while the site was down again, or blocks lost to a
+// disaster — and rewinds to the first dirty row. MarkUp happens in the
+// same simulator event as a clean verification scan, so no spare commit
+// can interleave between "verified clean" and "up".
+
+#ifndef RADD_CORE_SWEEPER_H_
+#define RADD_CORE_SWEEPER_H_
+
+#include <functional>
+#include <map>
+
+#include "cluster/status_service.h"
+#include "core/radd.h"
+#include "sim/simulator.h"
+#include "sim/stats.h"
+
+namespace radd {
+
+/// Pacing knobs of the background sweep.
+struct SweeperConfig {
+  /// Gap between sweep batches. Foreground I/O runs in these gaps.
+  SimTime tick_interval = Millis(40);
+  /// Rows repaired per tick when the system is otherwise idle.
+  int rows_per_tick = 4;
+  /// Foreground in-flight operations above which a tick repairs a single
+  /// row instead of a full batch (backpressure).
+  uint64_t backpressure_threshold = 8;
+  /// Reports current foreground load (e.g. RaddNodeSystem::InFlightOps).
+  /// Unset = no backpressure.
+  std::function<uint64_t()> load_probe;
+};
+
+/// One sweeper instance serves every member of one group.
+class RecoverySweeper {
+ public:
+  RecoverySweeper(Simulator* sim, RaddGroup* group,
+                  SiteStatusService* service,
+                  const SweeperConfig& config = {});
+
+  /// Registers the status listener and picks up members whose sites are
+  /// already recovering. Idempotent.
+  void Start();
+
+  /// Progress cursor of `member`'s sweep (rows [0, cursor) repaired this
+  /// pass). Retained across crash-mid-sweep for resume.
+  BlockNum cursor(int member) const;
+
+  /// True while a sweep for `member` has ticks scheduled.
+  bool active(int member) const;
+
+  /// Counters: "sweeper.ticks", "sweeper.rows_swept", "sweeper.resumes",
+  /// "sweeper.completed", "sweeper.rescans", "sweeper.row_errors",
+  /// "sweeper.backpressure_ticks"; distribution "sweeper.tick_ops"
+  /// (physical ops per tick — the per-tick I/O bound).
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Sweep {
+    BlockNum cursor = 0;
+    bool active = false;
+  };
+
+  /// Ensures a tick chain is running for `member`.
+  void Pump(int member);
+  void Tick(int member);
+
+  Simulator* sim_;
+  RaddGroup* group_;
+  SiteStatusService* service_;
+  SweeperConfig config_;
+  std::map<int, Sweep> sweeps_;
+  Stats stats_;
+  bool started_ = false;
+};
+
+}  // namespace radd
+
+#endif  // RADD_CORE_SWEEPER_H_

@@ -1,5 +1,6 @@
 #include "fault/chaos.h"
 
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <map>
@@ -20,6 +21,13 @@ std::string ChaosReport::Summary() const {
                     " failed=" + std::to_string(ops_failed) +
                     " reads=" + std::to_string(reads_validated) +
                     " t=" + std::to_string(end_time) + " " + plan;
+  if (autopilot) {
+    out += " conv_max=" + std::to_string(convergence_max) +
+           " conv_total=" + std::to_string(convergence_total) +
+           " sweep_rows=" + std::to_string(sweep_rows) +
+           " false_susp=" + std::to_string(false_suspicions) +
+           " stale_epoch=" + std::to_string(stale_epoch_rejections);
+  }
   if (!failure.empty()) out += " FAILURE: " + failure;
   return out;
 }
@@ -53,6 +61,38 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   rc.rows = cfg.rows;
   rc.block_size = cfg.block_size;
   RaddNodeSystem sys(&sim, &net, &cluster, rc, cfg.node);
+
+  // --- autopilot control plane ---------------------------------------------
+  // Detector constructed after `sys` so it chains in front of the protocol
+  // handlers; suspicions feed the status service, which owns all state
+  // transitions; a kDown declaration resets the node like a real crash
+  // would; the sweeper follows kRecovering transitions and repairs in the
+  // background, throttled by the foreground in-flight op count.
+  std::optional<SiteStatusService> service;
+  std::optional<HeartbeatDetector> detector;
+  std::optional<RecoverySweeper> sweeper;
+  if (cfg.autopilot) {
+    report.autopilot = true;
+    service.emplace(&sim, &cluster);
+    std::vector<SiteId> sites;
+    for (int m = 0; m < members; ++m) {
+      sites.push_back(sys.group()->SiteOfMember(m));
+    }
+    detector.emplace(&sim, &net, &cluster, sites, cfg.heartbeat);
+    detector->SetStatusService(&*service);
+    sys.SetStatusService(&*service);
+    sys.SetPerceiver([&](SiteId observer, SiteId target) {
+      return detector->Perceived(observer, target);
+    });
+    service->AddListener([&](SiteId site, SiteState state, uint64_t) {
+      if (state == SiteState::kDown) sys.ResetNodeVolatileState(site);
+    });
+    SweeperConfig sw = cfg.sweeper;
+    sw.load_probe = [&]() { return sys.InFlightOps(); };
+    sweeper.emplace(&sim, sys.group(), &*service, sw);
+    sweeper->Start();
+    detector->Start();
+  }
 
   Rng traffic(seed ^ 0x74726166ull);
   const BlockNum data_blocks = sys.group()->DataBlocksPerMember();
@@ -237,15 +277,29 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
             std::to_string(ep.member));
       switch (ep.kind) {
         case FaultKind::kCrashRestart:
-          (void)cluster.CrashSite(target);
-          sys.ResetNodeVolatileState(target);
+          if (cfg.autopilot) {
+            // The kDown listener resets the node's volatile state.
+            (void)service->InjectCrash(target);
+          } else {
+            (void)cluster.CrashSite(target);
+            sys.ResetNodeVolatileState(target);
+          }
           break;
         case FaultKind::kDisaster:
-          (void)cluster.DisasterSite(target);
-          sys.ResetNodeVolatileState(target);
+          if (cfg.autopilot) {
+            (void)service->InjectDisaster(target);
+          } else {
+            (void)cluster.DisasterSite(target);
+            sys.ResetNodeVolatileState(target);
+          }
           break;
         case FaultKind::kDiskFailure:
-          (void)cluster.FailDisk(target, 0);
+          if (cfg.autopilot) {
+            // kRecovering transition; the sweeper starts reconstructing.
+            (void)service->InjectDiskFailure(target, 0);
+          } else {
+            (void)cluster.FailDisk(target, 0);
+          }
           break;
         case FaultKind::kPartition: {
           std::vector<SiteId> rest;
@@ -254,10 +308,16 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           }
           net.SetPartitions({{target}, rest});
           minority_member = ep.member;
-          for (SiteId o : rest) {
-            sys.SetPresumedState(o, target, SiteState::kDown);
-            sys.SetPresumedState(target, o, SiteState::kDown);
+          if (!cfg.autopilot) {
+            for (SiteId o : rest) {
+              sys.SetPresumedState(o, target, SiteState::kDown);
+              sys.SetPresumedState(target, o, SiteState::kDown);
+            }
           }
+          // Autopilot: no oracle. The majority side's detectors notice the
+          // silence, the service fences the isolated site (majority rule),
+          // and the minority side — one suspicion among many peers — can
+          // never muster a declaration (§5).
           break;
         }
         case FaultKind::kLatentErrors:
@@ -304,12 +364,18 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     switch (ep.kind) {
       case FaultKind::kPartition:
         net.Heal();
+        minority_member = -1;
+        if (cfg.autopilot) {
+          // The fenced site's heartbeats get through again; peers clear
+          // their suspicion, the service rejoins it as recovering, and the
+          // sweeper drains whatever it missed. Nothing to do here.
+          break;
+        }
         for (int m = 0; m < members; ++m) {
           SiteId o = sys.group()->SiteOfMember(m);
           sys.SetPresumedState(o, target, std::nullopt);
           sys.SetPresumedState(target, o, std::nullopt);
         }
-        minority_member = -1;
         (void)cluster.CrashSite(target);
         sys.ResetNodeVolatileState(target);
         break;
@@ -323,42 +389,98 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
         break;
     }
 
-    // Quiesce: exhaust the event queue — client ops, in-flight messages,
-    // queued disk I/O and retransmission timers. Client-level draining
-    // alone is not enough: a parity apply can still sit in a disk queue
-    // after its write's client gave up, and scrubbing before it lands
-    // would let it corrupt the freshly recomputed parity. This terminates
-    // even under residual noise because every retransmission path gives
-    // up after max_retries instead of spinning forever.
-    sim.Run();
+    if (cfg.autopilot) {
+      // A crashed or disaster-struck process reboots a moment later and
+      // announces itself; everything after that — recovering state, paced
+      // sweep, mark-up — is the control plane's job. (NotifyRestart no-ops
+      // if the service already rejoined the site, e.g. a healed fence.)
+      if (ep.kind == FaultKind::kCrashRestart ||
+          ep.kind == FaultKind::kDisaster) {
+        sim.At(sim.Now() + cfg.restart_delay, [&, target]() {
+          trace("restart s" + std::to_string(target));
+          (void)service->NotifyRestart(target);
+        });
+      }
+      // Convergence: run until every site is kUp and all traffic has
+      // drained, within the sim-time budget. sim.Run() would never return
+      // here (heartbeats reschedule forever), so run in slices and check.
+      // A momentary all-up view can still flap (a declaration in flight),
+      // so convergence only counts if it survives a settle window.
+      const SimTime drain_start = sim.Now();
+      const SimTime budget_end = drain_start + cfg.convergence_budget;
+      auto settled = [&]() {
+        return service->Converged() && outstanding == 0 && sys.Quiescent();
+      };
+      bool converged = false;
+      while (sim.Now() < budget_end) {
+        sim.RunUntil(std::min<SimTime>(budget_end, sim.Now() + Millis(100)));
+        if (!settled()) continue;
+        sim.RunUntil(std::min<SimTime>(budget_end, sim.Now() + Millis(300)));
+        if (settled()) {
+          converged = true;
+          break;
+        }
+      }
+      if (!converged) {
+        fail("episode " + std::string(FaultKindName(ep.kind)) + "@m" +
+             std::to_string(ep.member) + " did not converge within " +
+             std::to_string(cfg.convergence_budget) + "us (all_up=" +
+             (service->Converged() ? "y" : "n") + " outstanding=" +
+             std::to_string(outstanding) + " quiescent=" +
+             (sys.Quiescent() ? "y" : "n") + ")");
+        break;
+      }
+      const SimTime took = sim.Now() - drain_start;
+      report.convergence_total += took;
+      if (took > report.convergence_max) report.convergence_max = took;
+    } else {
+      // Quiesce: exhaust the event queue — client ops, in-flight messages,
+      // queued disk I/O and retransmission timers. Client-level draining
+      // alone is not enough: a parity apply can still sit in a disk queue
+      // after its write's client gave up, and scrubbing before it lands
+      // would let it corrupt the freshly recomputed parity. This
+      // terminates even under residual noise because every retransmission
+      // path gives up after max_retries instead of spinning forever.
+      sim.Run();
+    }
     if (outstanding != 0) {
       fail(std::to_string(outstanding) + " operations hung after drain");
       break;
     }
 
-    // Repair: bring the target back and sweep.
-    switch (ep.kind) {
-      case FaultKind::kCrashRestart:
-      case FaultKind::kDisaster:
-      case FaultKind::kPartition: {
-        (void)cluster.RestoreSite(target);
-        Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
-        if (!r.ok()) fail("recovery: " + r.status().ToString());
-        break;
+    // Repair. In autopilot the control plane has already restored and
+    // swept the target; only the manual mode does it here.
+    if (!cfg.autopilot) {
+      switch (ep.kind) {
+        case FaultKind::kCrashRestart:
+        case FaultKind::kDisaster:
+        case FaultKind::kPartition: {
+          (void)cluster.RestoreSite(target);
+          Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
+          if (!r.ok()) fail("recovery: " + r.status().ToString());
+          break;
+        }
+        case FaultKind::kDiskFailure: {
+          Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
+          if (!r.ok()) fail("recovery: " + r.status().ToString());
+          break;
+        }
+        default:
+          break;
       }
-      case FaultKind::kDiskFailure: {
-        Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
-        if (!r.ok()) fail("recovery: " + r.status().ToString());
-        break;
-      }
-      default:
-        break;
     }
     if (!failure.empty()) break;
     trace("repair + invariant check");
     repair_and_check();
   }
 
+  if (detector) detector->Stop();
+  if (cfg.autopilot) {
+    report.false_suspicions = detector->false_suspicions();
+    report.stale_epoch_rejections =
+        sys.stats().Get("node.stale_epoch_rejected");
+    report.sweep_rows = sweeper->stats().Get("sweeper.rows_swept");
+  }
   report.end_time = sim.Now();
   report.failure = failure;
   report.ok = failure.empty();

@@ -25,7 +25,9 @@
 #include <cstdint>
 #include <string>
 
+#include "cluster/heartbeat.h"
 #include "core/node.h"
+#include "core/sweeper.h"
 #include "fault/fault.h"
 
 namespace radd {
@@ -40,9 +42,30 @@ struct ChaosConfig {
   NodeConfig node;       ///< retry knobs; defaults shortened for test speed
   bool verbose = false;  ///< trace every op and fault to stderr
 
+  /// Self-healing mode: the harness injects faults but never repairs.
+  /// Detection (heartbeats -> SiteStatusService declarations), restart
+  /// handling and the paced background sweep bring the cluster back on
+  /// their own, and each episode must *converge* — every site kUp with all
+  /// traffic drained — within `convergence_budget` of sim-time or the
+  /// schedule fails.
+  bool autopilot = false;
+  HeartbeatConfig heartbeat;  ///< detector knobs (autopilot)
+  SweeperConfig sweeper;      ///< sweep pacing knobs (autopilot)
+  /// Delay between the end of a crash/disaster episode and the rebooted
+  /// process announcing itself (NotifyRestart).
+  SimTime restart_delay = Millis(400);
+  /// Sim-time allowance per episode for the control plane to converge.
+  SimTime convergence_budget = Seconds(60);
+
   ChaosConfig() {
     node.retry_timeout = Millis(80);
     node.max_retries = 10;
+    // Detection (suspect_after * interval + one probe interval ~ 0.8 s)
+    // must beat the write give-up time ((max_retries + 1) * 4 *
+    // retry_timeout = 3.52 s) so in-flight writes re-route to spares
+    // instead of exhausting their retries.
+    heartbeat.interval = Millis(200);
+    heartbeat.suspect_after = 3;
   }
 };
 
@@ -57,6 +80,14 @@ struct ChaosReport {
   uint64_t ops_failed = 0;  ///< completed with a non-OK status (allowed)
   uint64_t reads_validated = 0;
   SimTime end_time = 0;
+
+  /// Autopilot-mode self-healing metrics (all zero otherwise).
+  bool autopilot = false;
+  SimTime convergence_max = 0;    ///< slowest episode's detect->up time
+  SimTime convergence_total = 0;  ///< summed over episodes
+  uint64_t sweep_rows = 0;        ///< rows repaired by the background sweep
+  uint64_t false_suspicions = 0;  ///< detector false positives
+  uint64_t stale_epoch_rejections = 0;  ///< messages fenced off by epochs
 
   /// Deterministic digest: two runs of the same seed must produce
   /// identical summaries (the replayability contract).

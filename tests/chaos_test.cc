@@ -71,6 +71,37 @@ TEST(ChaosHarness, ReplayIsDeterministic) {
 }
 
 // ---------------------------------------------------------------------------
+// Autopilot: the control plane heals without manual repair.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosHarness, AutopilotSchedulesConvergeWithoutManualRepair) {
+  ChaosConfig cfg;
+  cfg.autopilot = true;
+  ChaosHarness harness(cfg);
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    ChaosReport r = harness.Run(seed);
+    EXPECT_TRUE(r.ok) << r.Summary() << "\n" << r.plan;
+    EXPECT_TRUE(r.autopilot);
+    EXPECT_GT(r.ops_acked, 0u);
+    // Every plan contains a crash episode, so real healing must have
+    // happened: nonzero convergence time and a nonempty sweep.
+    EXPECT_GT(r.convergence_max, 0u);
+    EXPECT_GT(r.sweep_rows, 0u);
+    EXPECT_LE(r.convergence_max, cfg.convergence_budget);
+  }
+}
+
+TEST(ChaosHarness, AutopilotReplayIsDeterministic) {
+  ChaosConfig cfg;
+  cfg.autopilot = true;
+  ChaosHarness harness(cfg);
+  ChaosReport a = harness.Run(7);
+  ChaosReport b = harness.Run(7);
+  EXPECT_EQ(a.Summary(), b.Summary());
+  EXPECT_EQ(a.plan, b.plan);
+}
+
+// ---------------------------------------------------------------------------
 // Targeted scenarios on the protocol stack.
 // ---------------------------------------------------------------------------
 

@@ -64,6 +64,29 @@ TEST(Cluster, DisasterLosesAllDisks) {
   EXPECT_TRUE(c.site(0)->disks()->Read(12).status().IsDataLoss());
 }
 
+TEST(Cluster, DisasterRestorePoisonsStaleContents) {
+  // Regression: a write that reaches the dead array *during* the outage
+  // (a delayed disk-queue flush, a rogue DMA) clears that block's loss
+  // mark. RestoreSite must re-blank the disks at restore time, or the
+  // stale value would be served as if it survived the disaster.
+  Cluster c(2, Small());
+  Block b(256);
+  b.FillPattern(1);
+  ASSERT_TRUE(c.DisasterSite(0).ok());
+  ASSERT_TRUE(c.site(0)->disks()->Write(3, b, Uid::Make(0, 7)).ok());
+  ASSERT_TRUE(c.site(0)->disks()->Read(3).ok())
+      << "precondition: the stray write really landed";
+  ASSERT_TRUE(c.RestoreSite(0).ok());
+  EXPECT_TRUE(c.site(0)->disks()->Read(3).status().IsDataLoss())
+      << "stale pre-restore content leaked through a disaster restore";
+  // A later restore cycle without a disaster keeps contents (plain crash).
+  ASSERT_TRUE(c.MarkUp(0).ok());
+  ASSERT_TRUE(c.site(0)->disks()->Write(3, b, Uid::Make(0, 8)).ok());
+  ASSERT_TRUE(c.CrashSite(0).ok());
+  ASSERT_TRUE(c.RestoreSite(0).ok());
+  EXPECT_TRUE(c.site(0)->disks()->Read(3).ok());
+}
+
 TEST(Cluster, DiskFailureMovesUpToRecovering) {
   Cluster c(2, Small());
   ASSERT_TRUE(c.FailDisk(0, 1).ok());

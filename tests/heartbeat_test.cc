@@ -59,6 +59,65 @@ TEST_F(HeartbeatTest, SuspicionClearsOnReturn) {
   EXPECT_GE(detector_.transitions(), 6u);  // 3 raised + 3 cleared
 }
 
+TEST_F(HeartbeatTest, LostHeartbeatsAreProbedNotDeclared) {
+  // Flapping fix: k missed intervals alone must not raise a suspicion.
+  // Site 2's heartbeats are all lost, but it answers confirmation probes —
+  // so it stays in the membership, with zero false suspicions.
+  detector_.Start();
+  sim_.RunUntil(Seconds(2));
+  net_.SetFaultHook("heartbeat", [](const Message& m) {
+    return m.from == 2 ? FaultAction::kDrop : FaultAction::kDeliver;
+  });
+  sim_.RunUntil(Seconds(20));
+  for (SiteId a : {0u, 1u, 3u}) {
+    EXPECT_FALSE(detector_.Suspects(a, 2)) << a << " flapped on site 2";
+  }
+  EXPECT_GT(detector_.stats().Get("detector.probes_sent"), 0u);
+  EXPECT_GT(detector_.stats().Get("detector.probes_answered"), 0u);
+  EXPECT_EQ(detector_.false_suspicions(), 0u);
+  net_.ClearFaultHooks();
+}
+
+TEST_F(HeartbeatTest, UnansweredProbeRaisesFalseSuspicion) {
+  // When the probe goes unanswered too, the detector declares — and since
+  // the process is in fact alive, the false-positive counter records it.
+  detector_.Start();
+  sim_.RunUntil(Seconds(2));
+  auto drop_from_2 = [](const Message& m) {
+    return m.from == 2 ? FaultAction::kDrop : FaultAction::kDeliver;
+  };
+  net_.SetFaultHook("heartbeat", drop_from_2);
+  net_.SetFaultHook("hb_probe_ack", drop_from_2);
+  sim_.RunUntil(Seconds(10));
+  EXPECT_TRUE(detector_.Suspects(0, 2));
+  EXPECT_GE(detector_.false_suspicions(), 1u);
+  net_.ClearFaultHooks();
+}
+
+TEST_F(HeartbeatTest, FencedSiteRejoinsThroughControlPlane) {
+  // Detector + service end to end: the majority side of a partition fences
+  // the isolated site; after the heal its heartbeats are heard again and
+  // the service rejoins it as recovering.
+  SiteStatusService service(&sim_, &cluster_);
+  detector_.SetStatusService(&service);
+  detector_.Start();
+  sim_.RunUntil(Seconds(2));
+  net_.SetPartitions({{0, 1, 3}, {2}});
+  sim_.RunUntil(Seconds(10));
+  EXPECT_EQ(cluster_.StateOf(2), SiteState::kDown);
+  EXPECT_TRUE(service.ProcessAlive(2)) << "fenced, not dead";
+  EXPECT_EQ(service.stats().Get("status.declared_down"), 1u);
+  // The minority side (one observer of three peers) must never declare.
+  EXPECT_EQ(cluster_.StateOf(0), SiteState::kUp);
+
+  net_.Heal();
+  sim_.RunUntil(Seconds(20));
+  EXPECT_EQ(cluster_.StateOf(2), SiteState::kRecovering)
+      << "rejoined, pending a recovery sweep";
+  EXPECT_EQ(service.stats().Get("status.rejoins"), 1u);
+  EXPECT_GE(service.Epoch(2), 2u);
+}
+
 TEST_F(HeartbeatTest, PartitionLooksLikeFailureFromBothSides) {
   detector_.Start();
   sim_.RunUntil(Seconds(5));

@@ -4,6 +4,9 @@
 //   chaos_main --seeds 200          # seeds 1..200, exit 1 on any failure
 //   chaos_main --seed 1337          # replay one schedule, print its report
 //   chaos_main --seeds 50 --start 1000
+//   chaos_main --seeds 200 --autopilot   # self-healing mode: no manual
+//                                        # repair; each episode must
+//                                        # converge to all-up on its own
 //
 // Every schedule is deterministic in its seed: a failing seed printed by a
 // bulk run reproduces bit-for-bit with --seed.
@@ -45,10 +48,12 @@ int main(int argc, char** argv) {
       config.ops_per_episode = static_cast<int>(ParseU64(argv[++i]));
     } else if (std::strcmp(argv[i], "--verbose") == 0) {
       config.verbose = true;
+    } else if (std::strcmp(argv[i], "--autopilot") == 0) {
+      config.autopilot = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
-                   "[--episodes E] [--ops O] [--verbose]\n",
+                   "[--episodes E] [--ops O] [--autopilot] [--verbose]\n",
                    argv[0]);
       return 2;
     }
@@ -64,8 +69,19 @@ int main(int argc, char** argv) {
   }
 
   uint64_t failures = 0;
+  radd::SimTime conv_max = 0;
+  uint64_t conv_total = 0, conv_n = 0, sweep_rows = 0, false_susp = 0,
+           stale = 0;
   for (uint64_t s = start; s < start + seeds; ++s) {
     radd::ChaosReport r = harness.Run(s);
+    if (r.autopilot) {
+      if (r.convergence_max > conv_max) conv_max = r.convergence_max;
+      conv_total += r.convergence_total;
+      ++conv_n;
+      sweep_rows += r.sweep_rows;
+      false_susp += r.false_suspicions;
+      stale += r.stale_epoch_rejections;
+    }
     if (!r.ok) {
       ++failures;
       std::printf("FAIL %s\n", r.Summary().c_str());
@@ -79,5 +95,15 @@ int main(int argc, char** argv) {
   std::printf("%llu/%llu schedules held all invariants\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
+  if (config.autopilot && conv_n > 0) {
+    std::printf("autopilot: worst convergence %.1f ms, total %.1f s; "
+                "%llu rows swept, %llu false suspicions, "
+                "%llu stale-epoch rejections\n",
+                radd::ToMillis(conv_max),
+                radd::ToSeconds(conv_total),
+                static_cast<unsigned long long>(sweep_rows),
+                static_cast<unsigned long long>(false_susp),
+                static_cast<unsigned long long>(stale));
+  }
   return failures == 0 ? 0 : 1;
 }
