@@ -14,9 +14,16 @@
 // deterministic — everything else about the run (op mix, data, op counts)
 // is fixed.
 
+// Two more modes drive the message-driven protocol layer (RaddNodeSystem)
+// with the batched parity pipeline off and on, so a regression in either
+// protocol regime shows up in the same JSON stream.
+
 #include <chrono>
 #include <cstdio>
+#include <functional>
+#include <vector>
 
+#include "core/node.h"
 #include "core/radd.h"
 
 using namespace radd;
@@ -131,6 +138,57 @@ ModeResult RunRecovering() {
   return r;
 }
 
+/// Wall-clock rate of the protocol layer: every member runs a closed loop
+/// of mixed reads and writes over its own blocks (client == home), driven
+/// through the simulator. `batched` toggles the parity pipeline.
+ModeResult RunProtocol(const char* mode, bool batched) {
+  RaddConfig config = Config();
+  NodeConfig nc;
+  nc.parity_batch.enabled = batched;
+  SiteConfig sc{1, config.rows, config.block_size};
+  Simulator sim;
+  Network net(&sim, NetworkModel{}, 0xbeef);
+  Cluster cluster(kGroupSize + 2, sc);
+  RaddNodeSystem sys(&sim, &net, &cluster, config, nc);
+
+  constexpr int kSites = kGroupSize + 2;
+  constexpr int kPerMember = kOps / kSites;
+  constexpr int kOutstanding = 4;
+  const BlockNum blocks = sys.group()->DataBlocksPerMember();
+  Block payload(kBlockSize);
+  double mb = 0;
+  int completed = 0;
+  std::vector<int> issued(kSites, 0);
+  std::function<void(int)> issue = [&](int m) {
+    if (issued[m] >= kPerMember) return;
+    const int i = issued[m]++;
+    const BlockNum index = static_cast<BlockNum>(i) % blocks;
+    const SiteId site = sys.group()->SiteOfMember(m);
+    if (i % 3 == 0) {
+      sys.AsyncRead(site, m, index,
+                    [&, m](Status st, const Block& data, SimTime) {
+                      if (st.ok()) mb += static_cast<double>(data.size()) / 1e6;
+                      ++completed;
+                      issue(m);
+                    });
+    } else {
+      payload.FillPattern(static_cast<uint64_t>(m * 1000 + i));
+      sys.AsyncWrite(site, m, index, payload, [&, m](Status st, SimTime) {
+        if (st.ok()) mb += static_cast<double>(kBlockSize) / 1e6;
+        ++completed;
+        issue(m);
+      });
+    }
+  };
+
+  auto start = Clock::now();
+  for (int m = 0; m < kSites; ++m) {
+    for (int k = 0; k < kOutstanding; ++k) issue(m);
+  }
+  sim.Run();
+  return ModeResult{mode, completed, MsSince(start), mb};
+}
+
 }  // namespace
 
 int main() {
@@ -139,7 +197,9 @@ int main() {
               kBlockSize, kGroupSize);
   Print(RunNormal(), false);
   Print(RunDegraded(), false);
-  Print(RunRecovering(), true);
+  Print(RunRecovering(), false);
+  Print(RunProtocol("protocol", /*batched=*/false), false);
+  Print(RunProtocol("protocol_batched", /*batched=*/true), true);
   std::printf("]\n}\n");
   return 0;
 }

@@ -28,7 +28,7 @@ struct RunResult {
   int blocked = 0;
 };
 
-Block Payload(uint64_t seed) {
+Block PayloadBlock(uint64_t seed) {
   Block b(kBlockSize);
   b.FillPattern(seed);
   return b;
@@ -107,7 +107,7 @@ int main() {
           OpResult res = o.IsRead()
                              ? radd.Read(client, m, o.block)
                              : radd.Write(client, m, o.block,
-                                          Payload(uint64_t(i)));
+                                          PayloadBlock(uint64_t(i)));
           return res.ok() ? cost.Price(res.counts) : -1.0;
         },
         [&] { cluster.CrashSite(victim); },
@@ -135,7 +135,7 @@ int main() {
           OpResult res = o.IsRead()
                              ? rowb.Read(client, home, o.block)
                              : rowb.Write(client, home, o.block,
-                                          Payload(uint64_t(i)));
+                                          PayloadBlock(uint64_t(i)));
           return res.ok() ? cost.Price(res.counts) : -1.0;
         },
         [&] { cluster.CrashSite(victim); },
@@ -162,7 +162,7 @@ int main() {
               raid.total_blocks();
           Status st = o.IsRead()
                           ? raid.Read(logical).status()
-                          : raid.Write(logical, Payload(uint64_t(i)),
+                          : raid.Write(logical, PayloadBlock(uint64_t(i)),
                                        Uid::Make(0, uint64_t(i) + 1));
           OpCounts now = raid.PhysicalOps();
           OpCounts delta = now - last;

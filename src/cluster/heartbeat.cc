@@ -3,9 +3,6 @@
 namespace radd {
 
 namespace {
-struct Heartbeat {
-  SimTime sent_at;
-};
 constexpr size_t kHeartbeatBytes = 16;
 }  // namespace
 
@@ -60,7 +57,7 @@ void HeartbeatDetector::Broadcast(SiteId from) {
       Message m;
       m.from = from;
       m.to = to;
-      m.type = "heartbeat";
+      m.type = MessageType::kHeartbeat;
       m.wire_bytes = kHeartbeatBytes;
       m.payload = Heartbeat{sim_->Now()};
       net_->Send(std::move(m));
@@ -107,7 +104,7 @@ void HeartbeatDetector::Check(SiteId observer) {
         Message m;
         m.from = observer;
         m.to = target;
-        m.type = "hb_probe";
+        m.type = MessageType::kHbProbe;
         m.wire_bytes = kHeartbeatBytes;
         m.payload = Heartbeat{sim_->Now()};
         net_->Send(std::move(m));
@@ -135,26 +132,26 @@ void HeartbeatDetector::Hear(SiteId observer, SiteId target) {
 }
 
 void HeartbeatDetector::OnMessage(SiteId self, Message& msg) {
-  if (msg.type == "heartbeat") {
+  if (msg.type == MessageType::kHeartbeat) {
     if (cluster_->StateOf(self) == SiteState::kDown) return;
     Hear(self, msg.from);
     return;
   }
-  if (msg.type == "hb_probe") {
+  if (msg.type == MessageType::kHbProbe) {
     // Answered iff the process runs — a fenced site replies, advertising
     // that it is worth rejoining.
     if (Alive(self)) {
       Message m;
       m.from = self;
       m.to = msg.from;
-      m.type = "hb_probe_ack";
+      m.type = MessageType::kHbProbeAck;
       m.wire_bytes = kHeartbeatBytes;
       m.payload = Heartbeat{sim_->Now()};
       net_->Send(std::move(m));
     }
     return;
   }
-  if (msg.type == "hb_probe_ack") {
+  if (msg.type == MessageType::kHbProbeAck) {
     if (cluster_->StateOf(self) == SiteState::kDown) return;
     stats_.Add("detector.probes_answered");
     Hear(self, msg.from);

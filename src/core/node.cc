@@ -2,99 +2,9 @@
 
 #include <cassert>
 
+#include "net/wire.h"
+
 namespace radd {
-
-namespace {
-
-// Wire payloads. Sizes below are the §7.4-style wire costs.
-constexpr size_t kHeader = 32;
-
-struct ReadReq {
-  uint64_t op;
-  BlockNum row;
-};
-struct ReadReply {
-  uint64_t op;
-  Status status;
-  Block data{0};
-  Uid uid;
-};
-struct WriteReq {
-  uint64_t op;
-  BlockNum row;
-  int home;
-  SimTime deadline = 0;  // client give-up time; later copies are zombies
-  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
-  Block data{0};
-};
-struct WriteReply {
-  uint64_t op;
-  Status status;
-};
-struct SpareReadReq {
-  uint64_t op;
-  int home;
-  BlockNum row;
-};
-struct SpareReadReply {
-  uint64_t op;
-  Status status;  // OK: data valid; NotFound: spare invalid
-  Block data{0};
-  Uid logical_uid;
-};
-struct SpareTakeReq {  // recovering-write old-value fetch + invalidate
-  uint64_t op;
-  int home;
-  BlockNum row;
-};
-struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
-  uint64_t op;
-  int home;
-  BlockNum row;
-  SimTime deadline = 0;  // client give-up time; later copies are zombies
-  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
-  Block data{0};
-  Uid uid;  // minted by the writer
-};
-struct SpareWriteBack {  // degraded-read materialization (fire and forget)
-  int home;
-  BlockNum row;
-  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
-  Block data{0};
-  Uid logical_uid;
-};
-struct ParityUpdate {
-  uint64_t op;
-  BlockNum row;
-  int position;
-  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
-  Block delta{0};  // the change mask (wire size = encoded mask)
-  Uid uid;
-  size_t wire_bytes;
-};
-struct ParityAck {
-  uint64_t op;
-};
-struct ParityNack {  // parity site refused the update (stale epoch)
-  uint64_t op;
-  Status status;
-};
-struct ReconReq {
-  uint64_t op;
-  BlockNum row;
-  int attempt;  // §3.3 retry round; stale-round replies are discarded
-};
-struct ReconReply {
-  uint64_t op;
-  BlockNum row;
-  Status status;
-  Block data{0};
-  Uid uid;
-  std::vector<Uid> uid_array;  // non-empty iff this is the parity site
-  int attempt = 0;             // echoed from the request
-};
-
-}  // namespace
 
 // ===========================================================================
 // Node: per-site server state.
@@ -166,13 +76,13 @@ struct RaddNodeSystem::Node {
     }
   }
 
-  void Send(SiteId to, std::string type, std::any payload,
+  void Send(SiteId to, MessageType type, Payload payload,
             size_t wire_bytes) {
     Message m;
     m.from = self;
     m.to = to;
-    m.type = std::move(type);
-    m.wire_bytes = wire_bytes + kHeader;
+    m.type = type;
+    m.wire_bytes = wire_bytes + kWireHeader;
     m.payload = std::move(payload);
     sys->net_->Send(std::move(m));
   }
@@ -180,7 +90,7 @@ struct RaddNodeSystem::Node {
   // --- message handlers ---------------------------------------------------
 
   void OnReadReq(Message& msg) {
-    auto req = std::any_cast<ReadReq>(msg.payload);
+    auto req = std::get<ReadReq>(msg.payload);
     const SiteId from = msg.from;
     WithLock(req.op, req.row, LockMode::kShared, [this, req, from]() {
       ScheduleDisk(disk().read_latency, [this, req, from]() {
@@ -196,7 +106,7 @@ struct RaddNodeSystem::Node {
         }
         Unlock(req.op, req.row);
         size_t wire = rep.status.ok() ? rep.data.size() : 0;
-        Send(from, "read_reply", std::move(rep), wire);
+        Send(from, MessageType::kReadReply, std::move(rep), wire);
       });
     });
   }
@@ -207,7 +117,7 @@ struct RaddNodeSystem::Node {
   std::map<uint64_t, std::optional<WriteReply>> write_flows;
 
   /// Returns true when the request is a duplicate and was handled.
-  bool DedupeWrite(uint64_t op, SiteId reply_to, const char* reply_type) {
+  bool DedupeWrite(uint64_t op, SiteId reply_to, MessageType reply_type) {
     auto it = write_flows.find(op);
     if (it == write_flows.end()) {
       write_flows[op] = std::nullopt;  // first sighting: mark in flight
@@ -221,7 +131,7 @@ struct RaddNodeSystem::Node {
     return true;
   }
 
-  void CompleteWrite(uint64_t op, SiteId reply_to, const char* reply_type,
+  void CompleteWrite(uint64_t op, SiteId reply_to, MessageType reply_type,
                      WriteReply reply) {
     write_flows[op] = reply;
     Send(reply_to, reply_type, std::move(reply), 0);
@@ -230,9 +140,9 @@ struct RaddNodeSystem::Node {
   void OnWriteReq(Message& msg) {
     // Take the payload (it carries a full block): this delivery is its
     // final stop, so the flow below owns the buffer without a copy.
-    WriteReq req = std::move(std::any_cast<WriteReq&>(msg.payload));
+    WriteReq req = std::move(std::get<WriteReq>(msg.payload));
     const SiteId from = msg.from;
-    if (DedupeWrite(req.op, from, "write_reply")) return;
+    if (DedupeWrite(req.op, from, MessageType::kWriteReply)) return;
     if (req.deadline != 0 && sim()->Now() > req.deadline) {
       // Zombie: a long-delayed retransmission of a write whose client has
       // provably given up. Applying it could roll the block back past a
@@ -248,7 +158,7 @@ struct RaddNodeSystem::Node {
       // retry must start a fresh flow, not replay this rejection.
       sys->stats_.Add("node.stale_epoch_rejected");
       write_flows.erase(req.op);
-      Send(from, "write_reply",
+      Send(from, MessageType::kWriteReply,
            WriteReply{req.op, Status::StaleEpoch("write epoch")}, 0);
       sys->arena_.Return(std::move(req.data));
       return;
@@ -260,7 +170,7 @@ struct RaddNodeSystem::Node {
       // Not a completed write: the client will redirect to the spare, so
       // forget the flow marker (the spare node dedupes the redirect).
       write_flows.erase(req.op);
-      Send(from, "write_reply",
+      Send(from, MessageType::kWriteReply,
            WriteReply{req.op, Status::Unavailable("block lost")}, 0);
       return;
     }
@@ -273,7 +183,7 @@ struct RaddNodeSystem::Node {
         // fetch-and-invalidate it for a correct parity delta.
         int sm = static_cast<int>(sys->layout().SpareSite(req.row));
         SiteId spare_site = sys->group_.SiteOfMember(sm);
-        Send(spare_site, "spare_take_req",
+        Send(spare_site, MessageType::kSpareTakeReq,
              SpareTakeReq{req.op, req.home, req.row}, 0);
         // Continuation lives in OnSpareTakeReply via pending write state.
         sys->stats_.Add("node.recovering_spare_fetch");
@@ -309,7 +219,7 @@ struct RaddNodeSystem::Node {
   std::map<uint64_t, PendingLocalWrite> pending_local_writes;
 
   void OnSpareTakeReply(Message& msg) {
-    auto& rep = std::any_cast<SpareReadReply&>(msg.payload);
+    auto& rep = std::get<SpareReadReply>(msg.payload);
     auto it = pending_local_writes.find(rep.op);
     if (it == pending_local_writes.end()) return;
     PendingLocalWrite plw = std::move(it->second);
@@ -340,7 +250,7 @@ struct RaddNodeSystem::Node {
       Status st = store()->Write(req.row, req.data, uid);
       if (!st.ok()) {
         Unlock(req.op, req.row);
-        CompleteWrite(req.op, reply_to, "write_reply",
+        CompleteWrite(req.op, reply_to, MessageType::kWriteReply,
                       WriteReply{req.op, st});
         return;
       }
@@ -351,40 +261,51 @@ struct RaddNodeSystem::Node {
       const uint64_t op = req.op;
       const int home = req.home;
       const BlockNum row = req.row;
+      // Batched mode releases the row lock as soon as the local write and
+      // its staged mask are in place: parity deltas for the same row
+      // XOR-merge associatively (formula 1), so the next writer may chain
+      // immediately and its delta coalesces into the same frame. The
+      // client's completion still waits for the batch ack (§5's commit
+      // condition). The recovering path keeps the lock until the ack
+      // because it also invalidates the spare.
+      const bool early_unlock =
+          sys->node_config_.parity_batch.enabled && !invalidate_spare;
       SendParityUpdate(
           op, home, row, std::move(*mask), uid,
-          [this, op, home, row, reply_to, invalidate_spare]() {
+          [this, op, home, row, reply_to, invalidate_spare,
+           early_unlock]() {
             if (invalidate_spare) {
               // The local copy is now authoritative (§3.2 side effect).
               Send(sys->group_.SiteOfMember(
                        static_cast<int>(sys->layout().SpareSite(row))),
-                   "spare_invalidate", SpareTakeReq{op, home, row}, 0);
+                   MessageType::kSpareInvalidate, SpareTakeReq{op, home, row}, 0);
             }
-            Unlock(op, row);
-            CompleteWrite(op, reply_to, "write_reply",
+            if (!early_unlock) Unlock(op, row);
+            CompleteWrite(op, reply_to, MessageType::kWriteReply,
                           WriteReply{op, Status::OK()});
           },
-          [this, op, row, reply_to](Status st) {
+          [this, op, row, reply_to, early_unlock](Status st) {
             // Retransmission exhausted or parity nacked: release the lock
             // and surface the failure instead of holding the row hostage.
-            Unlock(op, row);
+            if (!early_unlock) Unlock(op, row);
             if (st.IsStaleEpoch()) {
               // Retryable and side-effect-free from the client's view —
               // its restamped retry must run a fresh flow, so don't record
               // this rejection in the dedupe table.
               write_flows.erase(op);
-              Send(reply_to, "write_reply",
+              Send(reply_to, MessageType::kWriteReply,
                    WriteReply{op, std::move(st)}, 0);
               return;
             }
-            CompleteWrite(op, reply_to, "write_reply",
+            CompleteWrite(op, reply_to, MessageType::kWriteReply,
                           WriteReply{op, std::move(st)});
           });
+      if (early_unlock) Unlock(op, row);
     });
   }
 
   void OnSpareInvalidate(const Message& msg) {
-    auto req = std::any_cast<SpareTakeReq>(msg.payload);
+    auto req = std::get<SpareTakeReq>(msg.payload);
     ScheduleDisk(disk().write_latency, [this, req]() {
       Result<BlockRecord> rec = store()->Peek(req.row);
       if (rec.ok() && rec->spare_for == req.home) {
@@ -425,6 +346,24 @@ struct RaddNodeSystem::Node {
       done();
       return;
     }
+    if (sys->node_config_.parity_batch.enabled) {
+      // Write-combining path (DESIGN.md §10): stage the mask; same-row
+      // updates XOR-merge in the coalescer and one batched frame carries
+      // the lot. The op's completion still waits for the (batch) ack —
+      // §5's commit condition is unchanged.
+      ParityWait wait;
+      wait.done = std::move(done);
+      wait.fail = std::move(fail);
+      wait.parity_site = parity_site;
+      parity_done[op] = std::move(wait);
+      parity_tries[op] = 0;
+      staging[parity_site].Add(
+          row, home, std::move(mask), uid,
+          sys->EpochOf(sys->group_.SiteOfMember(home)), op);
+      sys->stats_.Add("node.parity_staged");
+      MaybeFlush(parity_site);
+      return;
+    }
     ParityWait wait;
     wait.done = std::move(done);
     wait.fail = std::move(fail);
@@ -446,7 +385,7 @@ struct RaddNodeSystem::Node {
     if (it == parity_done.end()) return;
     ParityUpdate& u = it->second.update;
     u.home_epoch = sys->EpochOf(sys->group_.SiteOfMember(u.position));
-    Send(it->second.parity_site, "parity_update", u, u.wire_bytes);
+    Send(it->second.parity_site, MessageType::kParityUpdate, u, u.wire_bytes);
     uint64_t timer = sim()->Schedule(
         sys->node_config_.retry_timeout, [this, op]() {
           auto it = parity_done.find(op);
@@ -477,14 +416,14 @@ struct RaddNodeSystem::Node {
   std::map<uint64_t, bool> parity_ops;
 
   void OnParityUpdate(Message& msg) {
-    ParityUpdate u = std::move(std::any_cast<ParityUpdate&>(msg.payload));
+    ParityUpdate u = std::move(std::get<ParityUpdate>(msg.payload));
     const SiteId from = msg.from;
     auto seen = parity_ops.find(u.op);
     if (seen != parity_ops.end()) {
       sys->stats_.Add("node.parity_duplicate");
       // In flight: stay silent, the original's ack (or the sender's
       // retransmit) resolves it. Applied: re-ack, the first ack was lost.
-      if (seen->second) Send(from, "parity_ack", ParityAck{u.op}, 0);
+      if (seen->second) Send(from, MessageType::kParityAck, ParityAck{u.op}, 0);
       return;
     }
     // Idempotence across restarts: a duplicate carries the UID we already
@@ -493,7 +432,7 @@ struct RaddNodeSystem::Node {
     if (rec.ok() &&
         static_cast<size_t>(u.position) < rec->uid_array.size() &&
         rec->uid_array[static_cast<size_t>(u.position)] == u.uid) {
-      Send(from, "parity_ack", ParityAck{u.op}, 0);
+      Send(from, MessageType::kParityAck, ParityAck{u.op}, 0);
       sys->stats_.Add("node.parity_duplicate");
       return;
     }
@@ -505,7 +444,7 @@ struct RaddNodeSystem::Node {
       // corrupt the parity block. Nack so the sender stops retransmitting
       // and surfaces a retryable failure instead of timing out.
       sys->stats_.Add("node.stale_epoch_rejected");
-      Send(from, "parity_nack",
+      Send(from, MessageType::kParityNack,
            ParityNack{u.op, Status::StaleEpoch("parity epoch")}, 0);
       sys->arena_.Return(std::move(u.delta));
       return;
@@ -529,12 +468,12 @@ struct RaddNodeSystem::Node {
         return;
       }
       parity_ops[u.op] = true;
-      Send(from, "parity_ack", ParityAck{u.op}, 0);
+      Send(from, MessageType::kParityAck, ParityAck{u.op}, 0);
     });
   }
 
   void OnParityAck(const Message& msg) {
-    auto ack = std::any_cast<ParityAck>(msg.payload);
+    auto ack = std::get<ParityAck>(msg.payload);
     auto it = parity_done.find(ack.op);
     if (it == parity_done.end()) return;  // duplicate ack
     auto done = std::move(it->second.done);
@@ -549,7 +488,7 @@ struct RaddNodeSystem::Node {
   }
 
   void OnParityNack(const Message& msg) {
-    auto nack = std::any_cast<ParityNack>(msg.payload);
+    auto nack = std::get<ParityNack>(msg.payload);
     auto it = parity_done.find(nack.op);
     if (it == parity_done.end()) return;  // already resolved
     auto timer = parity_timers.find(nack.op);
@@ -573,8 +512,313 @@ struct RaddNodeSystem::Node {
     TransmitParity(nack.op);
   }
 
+  // --- batched parity pipeline (DESIGN.md §10) ----------------------------
+  //
+  // Sender side: SendParityUpdate stages masks into a per-parity-site
+  // ParityCoalescer instead of sending them; FlushParity drains the
+  // eligible entries into one ParityBatchFrame when an op-count / byte /
+  // delay threshold trips. At most one in-flight update per (row,
+  // position) key: entries whose key rides an unacked batch stay staged
+  // (blocked) and flush when that batch resolves, so reordered frames can
+  // never leave the parity UID array pointing at a stale merge.
+
+  /// Wire cost of one batch entry's framing (row, position, epoch, UID) —
+  /// cheaper than a full kWireHeader because the entries share the
+  /// frame's addressing and sequencing.
+  static constexpr size_t kBatchEntryHeader = 24;
+
+  std::map<SiteId, ParityCoalescer> staging;
+  std::map<SiteId, uint64_t> flush_timers;  // parity site -> timer id
+  uint64_t next_batch_seq = 1;
+  struct InFlightBatch {
+    SiteId parity_site = 0;
+    std::vector<ParityCoalescer::Entry> entries;
+    int tries = 0;
+    uint64_t timer = 0;
+  };
+  std::map<uint64_t, InFlightBatch> batches;       // batch_seq -> batch
+  std::set<ParityCoalescer::Key> inflight_keys;    // keys on the wire
+
+  /// Receiver side: per-sender batch sequence numbers already processed.
+  /// nullopt while the apply is in flight; the recorded ack once done, so
+  /// a duplicated frame replays the answer instead of re-XORing masks.
+  std::map<SiteId, std::map<uint64_t, std::optional<ParityBatchAck>>>
+      batch_seen;
+
+  /// Completes one staged/batched parity waiter (ack fanout).
+  void ResolveParityOp(uint64_t op, Status st) {
+    parity_tries.erase(op);
+    auto it = parity_done.find(op);
+    if (it == parity_done.end()) return;
+    ParityWait wait = std::move(it->second);
+    parity_done.erase(it);
+    if (st.ok()) {
+      wait.done();
+    } else if (wait.fail) {
+      wait.fail(std::move(st));
+    }
+  }
+
+  void MaybeFlush(SiteId parity_site) {
+    auto sit = staging.find(parity_site);
+    if (sit == staging.end() || sit->second.empty()) return;
+    const ParityBatchConfig& pb = sys->node_config_.parity_batch;
+    if (sit->second.op_count() >= static_cast<size_t>(pb.max_ops) ||
+        sit->second.staged_bytes() >= pb.max_bytes) {
+      FlushParity(parity_site);
+      return;
+    }
+    if (flush_timers.count(parity_site)) return;  // already armed
+    flush_timers[parity_site] =
+        sim()->Schedule(pb.max_delay, [this, parity_site]() {
+          flush_timers.erase(parity_site);
+          FlushParity(parity_site);
+        });
+  }
+
+  void FlushParity(SiteId parity_site) {
+    auto tit = flush_timers.find(parity_site);
+    if (tit != flush_timers.end()) {
+      sim()->Cancel(tit->second);
+      flush_timers.erase(tit);
+    }
+    auto sit = staging.find(parity_site);
+    if (sit == staging.end() || sit->second.empty()) return;
+    std::vector<ParityCoalescer::Entry> entries =
+        sit->second.TakeEligible(inflight_keys);
+    // All staged keys blocked behind in-flight batches: they flush when
+    // those batches resolve (ack, nacked-entry retry, or give-up).
+    if (entries.empty()) return;
+    const uint64_t seq = next_batch_seq++;
+    for (const ParityCoalescer::Entry& e : entries) {
+      inflight_keys.insert(e.key());
+    }
+    InFlightBatch b;
+    b.parity_site = parity_site;
+    b.entries = std::move(entries);
+    batches.emplace(seq, std::move(b));
+    sys->stats_.Add("node.batches_sent");
+    TransmitBatch(seq);
+  }
+
+  void TransmitBatch(uint64_t seq) {
+    auto it = batches.find(seq);
+    if (it == batches.end()) return;
+    InFlightBatch& b = it->second;
+    ParityBatchFrame frame;
+    frame.batch_seq = seq;
+    frame.entries.reserve(b.entries.size());
+    size_t wire = 0;
+    for (const ParityCoalescer::Entry& e : b.entries) {
+      ParityBatchEntry w;
+      w.row = e.row;
+      w.position = e.position;
+      // Deliberately NOT restamped per transmit: the stamp records which
+      // membership view the delta was diffed under. If the home's epoch
+      // has moved since (say its disk failed and recovery rebuilt the row
+      // from parity), applying this delta would corrupt the rebuilt
+      // parity; the receiver must see the stale stamp and refuse.
+      w.home_epoch = e.home_epoch;
+      w.uid = e.uid;
+      w.wire_bytes = e.encoded_bytes;
+      w.delta = sys->arena_.LeaseCopyOf(e.delta);
+      wire += kBatchEntryHeader + e.encoded_bytes;
+      frame.entries.push_back(std::move(w));
+    }
+    Send(b.parity_site, MessageType::kParityBatch, std::move(frame), wire);
+    // The receiver's apply is charged one disk write per entry, so the ack
+    // deadline must grow with the frame or large batches time out even on
+    // a healthy network.
+    const SimTime timeout =
+        sys->node_config_.retry_timeout +
+        sys->node_config_.disk.write_latency *
+            static_cast<SimTime>(b.entries.size());
+    b.timer = sim()->Schedule(
+        timeout, [this, seq]() {
+          auto bit = batches.find(seq);
+          if (bit == batches.end()) return;  // acked meanwhile
+          if (++bit->second.tries > sys->node_config_.max_retries) {
+            sys->stats_.Add("node.batch_gave_up");
+            InFlightBatch dead = std::move(bit->second);
+            batches.erase(bit);
+            for (ParityCoalescer::Entry& e : dead.entries) {
+              inflight_keys.erase(e.key());
+              for (uint64_t op : e.ops) {
+                ResolveParityOp(
+                    op, Status::NetworkError("parity batch unacked"));
+              }
+            }
+            // The released keys may unblock staged entries.
+            if (!staging[dead.parity_site].empty()) {
+              FlushParity(dead.parity_site);
+            }
+            return;
+          }
+          sys->stats_.Add("node.batch_retransmit");
+          TransmitBatch(seq);
+        });
+  }
+
+  void OnParityBatch(Message& msg) {
+    ParityBatchFrame frame =
+        std::move(std::get<ParityBatchFrame>(msg.payload));
+    const SiteId from = msg.from;
+    auto& seen = batch_seen[from];
+    auto sit = seen.find(frame.batch_seq);
+    if (sit != seen.end()) {
+      sys->stats_.Add("node.batch_duplicate");
+      if (sit->second.has_value()) {
+        // The first ack was lost: replay the recorded one verbatim.
+        Send(from, MessageType::kParityBatchAck, *sit->second,
+             sit->second->entry_status.size());
+      }
+      // else: the original is still applying; its ack resolves the sender.
+      for (ParityBatchEntry& e : frame.entries) {
+        sys->arena_.Return(std::move(e.delta));
+      }
+      return;
+    }
+    seen.emplace(frame.batch_seq, std::nullopt);
+    ParityBatchAck ack;
+    ack.batch_seq = frame.batch_seq;
+    ack.entry_status.assign(frame.entries.size(), Status::OK());
+    std::vector<size_t> to_apply;
+    for (size_t i = 0; i < frame.entries.size(); ++i) {
+      ParityBatchEntry& e = frame.entries[i];
+      // §3.3 UID-array backstop: catches duplicates that outlive a node
+      // restart (which clears the seq table) or its eviction bound.
+      Result<BlockRecord> rec = store()->Peek(e.row);
+      if (rec.ok() &&
+          static_cast<size_t>(e.position) < rec->uid_array.size() &&
+          rec->uid_array[static_cast<size_t>(e.position)] == e.uid) {
+        sys->stats_.Add("node.parity_duplicate");
+        sys->arena_.Return(std::move(e.delta));
+        continue;  // already applied; entry status stays OK
+      }
+      if (!sys->CheckMemberEpoch(e.position, e.home_epoch).ok()) {
+        // Same straggler hazard as the unbatched path; rejected per entry
+        // so the rest of the frame still lands.
+        sys->stats_.Add("node.stale_epoch_rejected");
+        ack.entry_status[i] = Status::StaleEpoch("parity epoch");
+        sys->arena_.Return(std::move(e.delta));
+        continue;
+      }
+      to_apply.push_back(i);
+    }
+    if (to_apply.empty()) {
+      FinishBatchApply(from, std::move(frame), std::move(ack), {});
+      return;
+    }
+    // One queued disk pass, charged per applied row (group commit
+    // amortizes messages, not disk writes).
+    const SimTime latency =
+        disk().write_latency * static_cast<SimTime>(to_apply.size());
+    ScheduleDisk(latency,
+                 [this, from, frame = std::move(frame),
+                  ack = std::move(ack),
+                  to_apply = std::move(to_apply)]() mutable {
+                   FinishBatchApply(from, std::move(frame), std::move(ack),
+                                    to_apply);
+                 });
+  }
+
+  void FinishBatchApply(SiteId from, ParityBatchFrame frame,
+                        ParityBatchAck ack,
+                        const std::vector<size_t>& to_apply) {
+    for (size_t i : to_apply) {
+      ParityBatchEntry& e = frame.entries[i];
+      // Re-checked at apply time, not just at receipt: the home's epoch
+      // can move while this frame sits in the disk queue, and a recovery
+      // sweep may reconstruct the row from the pre-delta parity in that
+      // window. Applying the delta afterwards would corrupt the rebuilt
+      // state.
+      if (!sys->CheckMemberEpoch(e.position, e.home_epoch).ok()) {
+        sys->stats_.Add("node.stale_epoch_rejected");
+        ack.entry_status[i] = Status::StaleEpoch("parity epoch");
+        sys->arena_.Return(std::move(e.delta));
+        continue;
+      }
+      ChangeMask mask = ChangeMask::FromFull(std::move(e.delta));
+      Status st = store()->ApplyMask(
+          e.row, mask, e.uid, static_cast<size_t>(e.position),
+          static_cast<size_t>(sys->group_.num_members()));
+      sys->arena_.Return(std::move(mask).TakeDelta());
+      if (!st.ok()) {
+        // Lost parity block; recovery will recompute. The per-entry error
+        // lets the sender retry just this row.
+        sys->stats_.Add("node.parity_apply_failed");
+        ack.entry_status[i] = std::move(st);
+      }
+    }
+    const size_t wire = ack.entry_status.size();  // one status byte each
+    Send(from, MessageType::kParityBatchAck, ack, wire);
+    auto& seen = batch_seen[from];
+    seen[frame.batch_seq] = std::move(ack);
+    // Bound the dedupe table: the sender's retry budget bounds how long a
+    // recorded ack can still be asked for, and the UID-array check above
+    // backstops any straggler that outlives the eviction.
+    constexpr size_t kMaxRecordedAcks = 128;
+    for (auto oldest = seen.begin();
+         seen.size() > kMaxRecordedAcks && oldest != seen.end();) {
+      if (oldest->second.has_value()) {
+        oldest = seen.erase(oldest);
+      } else {
+        ++oldest;  // in flight: keep
+      }
+    }
+  }
+
+  void OnParityBatchAck(Message& msg) {
+    const ParityBatchAck& ack = std::get<ParityBatchAck>(msg.payload);
+    auto it = batches.find(ack.batch_seq);
+    if (it == batches.end()) return;  // duplicate ack
+    InFlightBatch batch = std::move(it->second);
+    batches.erase(it);
+    if (batch.timer != 0) sim()->Cancel(batch.timer);
+    const SiteId parity_site = batch.parity_site;
+    for (size_t i = 0; i < batch.entries.size(); ++i) {
+      ParityCoalescer::Entry& e = batch.entries[i];
+      inflight_keys.erase(e.key());
+      Status st = i < ack.entry_status.size() ? ack.entry_status[i]
+                                              : Status::OK();
+      if (st.ok()) {
+        for (uint64_t op : e.ops) ResolveParityOp(op, Status::OK());
+        continue;
+      }
+      if (st.IsStaleEpoch()) {
+        // The delta was diffed under a membership view the home has since
+        // left; retransmitting it can never succeed (the stamp only gets
+        // staler). Fail the waiters now — the write layer re-runs the
+        // whole write against current state, recomputing the delta.
+        for (uint64_t op : e.ops) ResolveParityOp(op, st);
+        continue;
+      }
+      // Per-entry refusal (lost parity block): spend one retry per
+      // waiter, fail the exhausted ones, re-stage the entry for the
+      // survivors.
+      std::vector<uint64_t> live;
+      for (uint64_t op : e.ops) {
+        auto tries = parity_tries.find(op);
+        if (tries == parity_tries.end()) continue;
+        if (++tries->second > sys->node_config_.max_retries) {
+          ResolveParityOp(op, st);
+        } else {
+          live.push_back(op);
+        }
+      }
+      if (live.empty()) continue;
+      sys->stats_.Add("node.batch_entry_retry");
+      e.ops = std::move(live);
+      staging[parity_site].AddEntry(std::move(e));
+    }
+    // The released keys may have blocked staged entries, and retried ones
+    // were just re-staged; their waiters already paid a round trip, so
+    // drain immediately rather than waiting out another flush delay.
+    if (!staging[parity_site].empty()) FlushParity(parity_site);
+  }
+
   void OnSpareReadReq(Message& msg) {
-    auto req = std::any_cast<SpareReadReq>(msg.payload);
+    auto req = std::get<SpareReadReq>(msg.payload);
     const SiteId from = msg.from;
     WithLock(req.op, req.row, LockMode::kShared, [this, req, from]() {
       ScheduleDisk(disk().read_latency, [this, req, from]() {
@@ -590,13 +834,13 @@ struct RaddNodeSystem::Node {
         }
         Unlock(req.op, req.row);
         size_t wire = rep.status.ok() ? rep.data.size() : 0;
-        Send(from, "spare_read_reply", std::move(rep), wire);
+        Send(from, MessageType::kSpareReadReply, std::move(rep), wire);
       });
     });
   }
 
   void OnSpareTakeReq(Message& msg) {
-    auto req = std::any_cast<SpareTakeReq>(msg.payload);
+    auto req = std::get<SpareTakeReq>(msg.payload);
     const SiteId from = msg.from;
     WithLock(req.op, req.row, LockMode::kExclusive, [this, req, from]() {
       ScheduleDisk(disk().read_latency, [this, req, from]() {
@@ -612,15 +856,15 @@ struct RaddNodeSystem::Node {
         }
         Unlock(req.op, req.row);
         size_t wire = rep.status.ok() ? rep.data.size() : 0;
-        Send(from, "spare_take_reply", std::move(rep), wire);
+        Send(from, MessageType::kSpareTakeReply, std::move(rep), wire);
       });
     });
   }
 
   void OnSpareWriteReq(Message& msg) {
-    SpareWriteReq req = std::move(std::any_cast<SpareWriteReq&>(msg.payload));
+    SpareWriteReq req = std::move(std::get<SpareWriteReq>(msg.payload));
     const SiteId from = msg.from;
-    if (DedupeWrite(req.op, from, "spare_write_reply")) return;
+    if (DedupeWrite(req.op, from, MessageType::kSpareWriteReply)) return;
     if (req.deadline != 0 && sim()->Now() > req.deadline) {
       sys->stats_.Add("node.write_expired");
       sys->arena_.Return(std::move(req.data));
@@ -633,7 +877,7 @@ struct RaddNodeSystem::Node {
       // restamps and re-evaluates the routing.
       sys->stats_.Add("node.stale_epoch_rejected");
       write_flows.erase(req.op);
-      Send(from, "spare_write_reply",
+      Send(from, MessageType::kSpareWriteReply,
            WriteReply{req.op, Status::StaleEpoch("spare write epoch")}, 0);
       sys->arena_.Return(std::move(req.data));
       return;
@@ -648,7 +892,7 @@ struct RaddNodeSystem::Node {
       if (have_old && old->logical_uid == req.uid) {
         // Duplicate of a spare write we already performed (lost reply).
         Unlock(req.op, req.row);
-        CompleteWrite(req.op, from, "spare_write_reply",
+        CompleteWrite(req.op, from, MessageType::kSpareWriteReply,
                       WriteReply{req.op, Status::OK()});
         return;
       }
@@ -667,7 +911,7 @@ struct RaddNodeSystem::Node {
                                              Uid) mutable {
             if (!st.ok()) {
               Unlock(req.op, req.row);
-              CompleteWrite(req.op, from, "spare_write_reply",
+              CompleteWrite(req.op, from, MessageType::kSpareWriteReply,
                             WriteReply{req.op, st});
               return;
             }
@@ -701,7 +945,7 @@ struct RaddNodeSystem::Node {
       Status st = store()->WriteRecord(req.row, rec);
       if (!st.ok()) {
         Unlock(req.op, req.row);
-        CompleteWrite(req.op, reply_to, "spare_write_reply",
+        CompleteWrite(req.op, reply_to, MessageType::kSpareWriteReply,
                       WriteReply{req.op, st});
         return;
       }
@@ -713,25 +957,25 @@ struct RaddNodeSystem::Node {
       SendParityUpdate(op, req.home, row, std::move(*mask), req.uid,
                        [this, op, row, reply_to]() {
                          Unlock(op, row);
-                         CompleteWrite(op, reply_to, "spare_write_reply",
+                         CompleteWrite(op, reply_to, MessageType::kSpareWriteReply,
                                        WriteReply{op, Status::OK()});
                        },
                        [this, op, row, reply_to](Status st) {
                          Unlock(op, row);
                          if (st.IsStaleEpoch()) {
                            write_flows.erase(op);
-                           Send(reply_to, "spare_write_reply",
+                           Send(reply_to, MessageType::kSpareWriteReply,
                                 WriteReply{op, std::move(st)}, 0);
                            return;
                          }
-                         CompleteWrite(op, reply_to, "spare_write_reply",
+                         CompleteWrite(op, reply_to, MessageType::kSpareWriteReply,
                                        WriteReply{op, std::move(st)});
                        });
     });
   }
 
   void OnSpareWriteBack(Message& msg) {
-    SpareWriteBack wb = std::move(std::any_cast<SpareWriteBack&>(msg.payload));
+    SpareWriteBack wb = std::move(std::get<SpareWriteBack>(msg.payload));
     if (!sys->CheckMemberEpoch(wb.home, wb.home_epoch).ok()) {
       // Fire-and-forget materialization from a reader whose view of the
       // home has since cycled; dropping it is always safe.
@@ -765,7 +1009,7 @@ struct RaddNodeSystem::Node {
   }
 
   void OnReconReq(Message& msg) {
-    auto req = std::any_cast<ReconReq>(msg.payload);
+    auto req = std::get<ReconReq>(msg.payload);
     const SiteId from = msg.from;
     // §3.3: reconstruction reads take no locks; they return UIDs instead.
     ScheduleDisk(disk().read_latency, [this, req, from]() {
@@ -783,7 +1027,7 @@ struct RaddNodeSystem::Node {
         rep.uid_array = std::move(rec->uid_array);
       }
       size_t wire = rep.status.ok() ? rep.data.size() : 0;
-      Send(from, "recon_reply", std::move(rep), wire);
+      Send(from, MessageType::kReconReply, std::move(rep), wire);
     });
   }
 
@@ -837,7 +1081,7 @@ struct RaddNodeSystem::Node {
     rc.replies.clear();
     for (SiteId src : rc.sources) {
       SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
-      Send(site_id, "recon_req", ReconReq{op, rc.row, rc.attempt}, 0);
+      Send(site_id, MessageType::kReconReq, ReconReq{op, rc.row, rc.attempt}, 0);
     }
     // A source can die (or its reply be lost) mid-round, which would leave
     // this flow waiting forever. Bound each round and re-issue against the
@@ -870,7 +1114,7 @@ struct RaddNodeSystem::Node {
   }
 
   void OnReconReply(Message& msg) {
-    ReconReply rep = std::move(std::any_cast<ReconReply&>(msg.payload));
+    ReconReply rep = std::move(std::get<ReconReply>(msg.payload));
     auto it = recons.find(rep.op);
     if (it == recons.end()) return;
     Recon& rc = it->second;
@@ -992,6 +1236,10 @@ bool RaddNodeSystem::Quiescent() const {
     if (!n->parity_done.empty()) return false;
     if (!n->pending_local_writes.empty()) return false;
     if (!n->recons.empty()) return false;
+    if (!n->batches.empty()) return false;
+    for (const auto& [ps, coalescer] : n->staging) {
+      if (!coalescer.empty()) return false;
+    }
   }
   return true;
 }
@@ -1005,6 +1253,13 @@ void RaddNodeSystem::ResetNodeVolatileState(SiteId site) {
   n->parity_done.clear();
   n->parity_tries.clear();
   n->parity_ops.clear();
+  for (auto& [ps, timer] : n->flush_timers) sim_->Cancel(timer);
+  n->flush_timers.clear();
+  for (auto& [seq, batch] : n->batches) sim_->Cancel(batch.timer);
+  n->batches.clear();
+  n->inflight_keys.clear();
+  n->staging.clear();
+  n->batch_seen.clear();
   n->write_flows.clear();
   n->pending_local_writes.clear();
   n->waiting.clear();
@@ -1053,106 +1308,134 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
     return;
   }
   Node* n = node(site);
-  if (msg.type == "read_req") {
-    n->OnReadReq(msg);
-  } else if (msg.type == "read_reply") {
-    ReadReply rep = std::move(std::any_cast<ReadReply&>(msg.payload));
-    auto it = reads_.find(rep.op);
-    if (it == reads_.end()) return;
-    if (rep.status.ok()) {
-      FinishRead(rep.op, Status::OK(), std::move(rep.data));
-    } else if (rep.status.IsDataLoss() || rep.status.IsUnavailable()) {
-      // Block lost at the home site: reconstruct.
-      PendingRead& pr = it->second;
-      StartReadReconstruction(rep.op, pr);
-    } else {
-      FinishRead(rep.op, rep.status, Block(0));
+  switch (msg.type) {
+    case MessageType::kReadReq:
+      n->OnReadReq(msg);
+      break;
+    case MessageType::kReadReply: {
+      ReadReply rep = std::move(std::get<ReadReply>(msg.payload));
+      auto it = reads_.find(rep.op);
+      if (it == reads_.end()) return;
+      if (rep.status.ok()) {
+        FinishRead(rep.op, Status::OK(), std::move(rep.data));
+      } else if (rep.status.IsDataLoss() || rep.status.IsUnavailable()) {
+        // Block lost at the home site: reconstruct.
+        PendingRead& pr = it->second;
+        StartReadReconstruction(rep.op, pr);
+      } else {
+        FinishRead(rep.op, rep.status, Block(0));
+      }
+      break;
     }
-  } else if (msg.type == "write_req") {
-    n->OnWriteReq(msg);
-  } else if (msg.type == "write_reply" ||
-             msg.type == "spare_write_reply") {
-    auto rep = std::any_cast<WriteReply>(msg.payload);
-    auto it = writes_.find(rep.op);
-    if (it == writes_.end()) return;
-    if (rep.status.IsStaleEpoch()) {
-      // The server knows a newer membership epoch for the home site than
-      // this request carried. Reissue immediately: StartWrite re-reads the
-      // current state and restamps, so the retry routes correctly.
-      PendingWrite& pw = it->second;
-      sim_->Cancel(pw.timer);
-      if (++pw.retries > node_config_.max_retries) {
-        stats_.Add("node.write_retry_exhausted");
-        FinishWrite(rep.op, Status::NetworkError("write timed out"));
+    case MessageType::kWriteReq:
+      n->OnWriteReq(msg);
+      break;
+    case MessageType::kWriteReply:
+    case MessageType::kSpareWriteReply: {
+      auto rep = std::get<WriteReply>(msg.payload);
+      auto it = writes_.find(rep.op);
+      if (it == writes_.end()) return;
+      if (rep.status.IsStaleEpoch()) {
+        // The server knows a newer membership epoch for the home site than
+        // this request carried. Reissue immediately: StartWrite re-reads
+        // the current state and restamps, so the retry routes correctly.
+        PendingWrite& pw = it->second;
+        sim_->Cancel(pw.timer);
+        if (++pw.retries > node_config_.max_retries) {
+          stats_.Add("node.write_retry_exhausted");
+          FinishWrite(rep.op, Status::NetworkError("write timed out"));
+          return;
+        }
+        stats_.Add("node.stale_epoch_retry");
+        StartWrite(rep.op);
         return;
       }
-      stats_.Add("node.stale_epoch_retry");
-      StartWrite(rep.op);
-      return;
+      if (rep.status.IsUnavailable()) {
+        // Home said "block lost": redirect to the spare (degraded write).
+        PendingWrite& pw = it->second;
+        Node* client_node = node(pw.client);
+        SpareWriteReq req;
+        req.op = rep.op;
+        req.home = pw.home;
+        req.row = pw.row;
+        req.deadline = WriteDeadline(pw);
+        req.home_epoch = EpochOf(group_.SiteOfMember(pw.home));
+        req.data = pw.data;  // pw keeps its copy for retries
+        req.uid = cluster_->site(pw.client)->uids()->Next();
+        size_t wire = req.data.size();
+        client_node->Send(
+            group_.SiteOfMember(
+                static_cast<int>(layout().SpareSite(pw.row))),
+            MessageType::kSpareWriteReq, std::move(req), wire);
+        return;
+      }
+      FinishWrite(rep.op, rep.status);
+      break;
     }
-    if (rep.status.IsUnavailable()) {
-      // Home said "block lost": redirect to the spare (degraded write).
-      PendingWrite& pw = it->second;
-      Node* client_node = node(pw.client);
-      SpareWriteReq req;
-      req.op = rep.op;
-      req.home = pw.home;
-      req.row = pw.row;
-      req.deadline = WriteDeadline(pw);
-      req.home_epoch = EpochOf(group_.SiteOfMember(pw.home));
-      req.data = pw.data;  // pw keeps its copy for retries
-      req.uid = cluster_->site(pw.client)->uids()->Next();
-      size_t wire = req.data.size();
-      client_node->Send(
-          group_.SiteOfMember(
-              static_cast<int>(layout().SpareSite(pw.row))),
-          "spare_write_req", std::move(req), wire);
-      return;
+    case MessageType::kParityUpdate:
+      n->OnParityUpdate(msg);
+      break;
+    case MessageType::kParityAck:
+      n->OnParityAck(msg);
+      break;
+    case MessageType::kParityNack:
+      n->OnParityNack(msg);
+      break;
+    case MessageType::kParityBatch:
+      n->OnParityBatch(msg);
+      break;
+    case MessageType::kParityBatchAck:
+      n->OnParityBatchAck(msg);
+      break;
+    case MessageType::kSpareReadReq:
+      n->OnSpareReadReq(msg);
+      break;
+    case MessageType::kSpareReadReply: {
+      SpareReadReply rep =
+          std::move(std::get<SpareReadReply>(msg.payload));
+      auto it = reads_.find(rep.op);
+      if (it == reads_.end()) return;
+      PendingRead& pr = it->second;
+      if (rep.status.ok()) {
+        FinishRead(rep.op, Status::OK(), std::move(rep.data));
+        return;
+      }
+      // Spare invalid. A recovering home may still hold a valid local
+      // copy: try it before paying for reconstruction.
+      SiteId home_site = group_.SiteOfMember(pr.home);
+      if (!pr.tried_home &&
+          Perceived(pr.client, home_site) != SiteState::kDown) {
+        pr.tried_home = true;
+        node(pr.client)->Send(home_site, MessageType::kReadReq,
+                              ReadReq{rep.op, pr.row}, 0);
+        return;
+      }
+      StartReadReconstruction(rep.op, pr);
+      break;
     }
-    FinishWrite(rep.op, rep.status);
-  } else if (msg.type == "parity_update") {
-    n->OnParityUpdate(msg);
-  } else if (msg.type == "parity_ack") {
-    n->OnParityAck(msg);
-  } else if (msg.type == "parity_nack") {
-    n->OnParityNack(msg);
-  } else if (msg.type == "spare_read_req") {
-    n->OnSpareReadReq(msg);
-  } else if (msg.type == "spare_read_reply") {
-    SpareReadReply rep =
-        std::move(std::any_cast<SpareReadReply&>(msg.payload));
-    auto it = reads_.find(rep.op);
-    if (it == reads_.end()) return;
-    PendingRead& pr = it->second;
-    if (rep.status.ok()) {
-      FinishRead(rep.op, Status::OK(), std::move(rep.data));
-      return;
-    }
-    // Spare invalid. A recovering home may still hold a valid local copy:
-    // try it before paying for reconstruction.
-    SiteId home_site = group_.SiteOfMember(pr.home);
-    if (!pr.tried_home &&
-        Perceived(pr.client, home_site) != SiteState::kDown) {
-      pr.tried_home = true;
-      node(pr.client)->Send(home_site, "read_req",
-                            ReadReq{rep.op, pr.row}, 0);
-      return;
-    }
-    StartReadReconstruction(rep.op, pr);
-  } else if (msg.type == "spare_take_req") {
-    n->OnSpareTakeReq(msg);
-  } else if (msg.type == "spare_invalidate") {
-    n->OnSpareInvalidate(msg);
-  } else if (msg.type == "spare_take_reply") {
-    n->OnSpareTakeReply(msg);
-  } else if (msg.type == "spare_write_req") {
-    n->OnSpareWriteReq(msg);
-  } else if (msg.type == "spare_write_back") {
-    n->OnSpareWriteBack(msg);
-  } else if (msg.type == "recon_req") {
-    n->OnReconReq(msg);
-  } else if (msg.type == "recon_reply") {
-    n->OnReconReply(msg);
+    case MessageType::kSpareTakeReq:
+      n->OnSpareTakeReq(msg);
+      break;
+    case MessageType::kSpareInvalidate:
+      n->OnSpareInvalidate(msg);
+      break;
+    case MessageType::kSpareTakeReply:
+      n->OnSpareTakeReply(msg);
+      break;
+    case MessageType::kSpareWriteReq:
+      n->OnSpareWriteReq(msg);
+      break;
+    case MessageType::kSpareWriteBack:
+      n->OnSpareWriteBack(msg);
+      break;
+    case MessageType::kReconReq:
+      n->OnReconReq(msg);
+      break;
+    case MessageType::kReconReply:
+      n->OnReconReply(msg);
+      break;
+    default:
+      break;  // untyped / detector traffic: not ours
   }
 }
 
@@ -1197,7 +1480,7 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
           node(r.client)->Send(
               group_.SiteOfMember(
                   static_cast<int>(layout().SpareSite(r.row))),
-              "spare_write_back", std::move(wb), wire);
+              MessageType::kSpareWriteBack, std::move(wb), wire);
         }
         FinishRead(op, Status::OK(), std::move(data));
       });
@@ -1226,10 +1509,10 @@ void RaddNodeSystem::StartRead(uint64_t op) {
     // Spare first; its reply drives the rest of the state machine.
     client_node->Send(
         group_.SiteOfMember(static_cast<int>(layout().SpareSite(pr.row))),
-        "spare_read_req", SpareReadReq{op, pr.home, pr.row}, 0);
+        MessageType::kSpareReadReq, SpareReadReq{op, pr.home, pr.row}, 0);
     return;
   }
-  client_node->Send(home_site, "read_req", ReadReq{op, pr.row}, 0);
+  client_node->Send(home_site, MessageType::kReadReq, ReadReq{op, pr.row}, 0);
 }
 
 void RaddNodeSystem::AsyncWrite(SiteId client, int home, BlockNum index,
@@ -1263,7 +1546,7 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
     size_t wire = req.data.size();
     client_node->Send(
         group_.SiteOfMember(static_cast<int>(layout().SpareSite(pw.row))),
-        "spare_write_req", std::move(req), wire);
+        MessageType::kSpareWriteReq, std::move(req), wire);
     return;
   }
   WriteReq req;
@@ -1274,7 +1557,7 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
   req.home_epoch = EpochOf(home_site);
   req.data = pw.data;  // pw keeps its copy for retries
   size_t wire = req.data.size();
-  client_node->Send(home_site, "write_req", std::move(req), wire);
+  client_node->Send(home_site, MessageType::kWriteReq, std::move(req), wire);
 }
 
 SimTime RaddNodeSystem::WriteDeadline(const PendingWrite& pw) const {

@@ -29,6 +29,7 @@
 #include "cluster/cluster.h"
 #include "cluster/status_service.h"
 #include "common/block_arena.h"
+#include "core/parity_coalescer.h"
 #include "core/radd.h"
 #include "net/network.h"
 #include "sim/simulator.h"
@@ -46,6 +47,10 @@ struct NodeConfig {
   int max_retries = 25;
   /// Reconstruction retries on UID validation failure (§3.3).
   int max_reconstruct_attempts = 5;
+  /// Write-combining parity pipeline (DESIGN.md §10). Off by default:
+  /// the unbatched path is then taken verbatim, bit-identical to the
+  /// pre-batching protocol.
+  ParityBatchConfig parity_batch;
 };
 
 /// The distributed RADD: one protocol node per cluster site.

@@ -21,6 +21,12 @@ std::string ChaosReport::Summary() const {
                     " failed=" + std::to_string(ops_failed) +
                     " reads=" + std::to_string(reads_validated) +
                     " t=" + std::to_string(end_time) + " " + plan;
+  if (batched) {
+    out += " batches=" + std::to_string(batches_sent) +
+           " batch_retx=" + std::to_string(batch_retransmits) +
+           " batch_dup=" + std::to_string(batch_duplicates) +
+           " staged=" + std::to_string(parity_staged);
+  }
   if (autopilot) {
     out += " conv_max=" + std::to_string(convergence_max) +
            " conv_total=" + std::to_string(convergence_total) +
@@ -50,7 +56,30 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   nm.drop_probability = plan.drop_probability;
   nm.duplicate_probability = plan.duplicate_probability;
   nm.reorder_jitter = plan.reorder_jitter;
+  // Declared before `net` so the fault hooks below (which capture it)
+  // outlive every send.
+  Rng batch_faults(seed ^ 0x62617463ull);
   Network net(&sim, nm, seed ^ 0x6e657477ull);
+  if (cfg.node.parity_batch.enabled) {
+    // Batched frames and their acks get extra targeted abuse on top of the
+    // plan's background noise: the batch seq-dedupe and per-entry retry
+    // paths must hold under drop, duplication and the reordering the
+    // random jitter already provides.
+    net.SetFaultHook(MessageType::kParityBatch,
+                     [&batch_faults](const Message&) {
+                       const double d = batch_faults.NextDouble();
+                       if (d < 0.02) return FaultAction::kDrop;
+                       if (d < 0.05) return FaultAction::kDuplicate;
+                       return FaultAction::kDeliver;
+                     });
+    net.SetFaultHook(MessageType::kParityBatchAck,
+                     [&batch_faults](const Message&) {
+                       const double d = batch_faults.NextDouble();
+                       if (d < 0.02) return FaultAction::kDrop;
+                       if (d < 0.05) return FaultAction::kDuplicate;
+                       return FaultAction::kDeliver;
+                     });
+  }
   SiteConfig sc;
   sc.num_disks = 1;
   sc.blocks_per_disk = cfg.rows;
@@ -475,6 +504,13 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   }
 
   if (detector) detector->Stop();
+  if (cfg.node.parity_batch.enabled) {
+    report.batched = true;
+    report.batches_sent = sys.stats().Get("node.batches_sent");
+    report.batch_retransmits = sys.stats().Get("node.batch_retransmit");
+    report.batch_duplicates = sys.stats().Get("node.batch_duplicate");
+    report.parity_staged = sys.stats().Get("node.parity_staged");
+  }
   if (cfg.autopilot) {
     report.false_suspicions = detector->false_suspicions();
     report.stale_epoch_rejections =

@@ -81,6 +81,15 @@ struct ChaosReport {
   uint64_t reads_validated = 0;
   SimTime end_time = 0;
 
+  /// Batched-parity-mode metrics (all zero when batching is off; the
+  /// Summary of an unbatched run is byte-identical to the pre-batching
+  /// harness).
+  bool batched = false;
+  uint64_t batches_sent = 0;        ///< parity batch frames transmitted
+  uint64_t batch_retransmits = 0;   ///< frames resent after ack timeout
+  uint64_t batch_duplicates = 0;    ///< duplicate frames deduped by seq
+  uint64_t parity_staged = 0;       ///< parity updates that rode a batch
+
   /// Autopilot-mode self-healing metrics (all zero otherwise).
   bool autopilot = false;
   SimTime convergence_max = 0;    ///< slowest episode's detect->up time

@@ -3,7 +3,23 @@
 namespace radd {
 
 Network::Network(Simulator* sim, NetworkModel model, uint64_t seed)
-    : sim_(sim), model_(model), rng_(seed) {}
+    : sim_(sim), model_(model), rng_(seed) {
+  messages_ = stats_.Intern("net.messages");
+  bytes_ = stats_.Intern("net.bytes");
+  dropped_ = stats_.Intern("net.dropped");
+  duplicated_ = stats_.Intern("net.duplicated");
+  reordered_ = stats_.Intern("net.reordered");
+  partition_blocked_ = stats_.Intern("net.partition_blocked");
+  by_type_[0] = TypeCounters{};  // kNone: totals only
+  for (size_t i = 1; i < kNumMessageTypes; ++i) {
+    const std::string& name = MessageTypeName(static_cast<MessageType>(i));
+    by_type_[i].bytes = stats_.Intern("net.bytes." + name);
+    by_type_[i].messages = stats_.Intern("net.messages." + name);
+    by_type_[i].drop = stats_.Intern("net.drop." + name);
+    by_type_[i].dup = stats_.Intern("net.dup." + name);
+    by_type_[i].reorder = stats_.Intern("net.reorder." + name);
+  }
+}
 
 void Network::RegisterHandler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
@@ -36,22 +52,18 @@ void Network::SetPartitions(std::vector<std::vector<SiteId>> partitions) {
   // Unlisted sites share implicit partition -1 (PartitionOf default).
 }
 
-void Network::SetFaultHook(const std::string& type, FaultHook hook) {
-  if (hook) {
-    fault_hooks_[type] = std::move(hook);
-  } else {
-    fault_hooks_.erase(type);
-  }
+void Network::SetFaultHook(MessageType type, FaultHook hook) {
+  fault_hooks_[Index(type)] = std::move(hook);
 }
 
-void Network::CountDrop(const std::string& type) {
-  stats_.Add("net.dropped");
-  if (!type.empty()) stats_.Add("net.drop." + type);
+void Network::CountDrop(MessageType type) {
+  ++*dropped_;
+  if (type != MessageType::kNone) ++*by_type_[Index(type)].drop;
 }
 
 void Network::Send(Message msg) {
   msg.seq = next_seq_++;
-  stats_.Add("net.messages");
+  ++*messages_;
 
   if (msg.from == msg.to) {
     // Loopback: no wire cost, no latency, never lost, never faulted.
@@ -64,16 +76,14 @@ void Network::Send(Message msg) {
   }
 
   if (!CanCommunicate(msg.from, msg.to)) {
-    stats_.Add("net.partition_blocked");
+    ++*partition_blocked_;
     return;
   }
 
   // Scripted faults override the random model for this message.
   FaultAction action = FaultAction::kDeliver;
-  if (!fault_hooks_.empty()) {
-    auto hook = fault_hooks_.find(msg.type);
-    if (hook != fault_hooks_.end()) action = hook->second(msg);
-  }
+  const FaultHook& hook = fault_hooks_[Index(msg.type)];
+  if (hook) action = hook(msg);
   if (action == FaultAction::kDrop) {
     CountDrop(msg.type);
     return;
@@ -88,19 +98,20 @@ void Network::Send(Message msg) {
       (model_.duplicate_probability > 0 &&
        rng_.Bernoulli(model_.duplicate_probability));
 
-  stats_.Add("net.bytes", msg.wire_bytes);
-  if (!msg.type.empty()) {
-    stats_.Add("net.bytes." + msg.type, msg.wire_bytes);
-    stats_.Add("net.messages." + msg.type);
+  const TypeCounters& tc = by_type_[Index(msg.type)];
+  *bytes_ += msg.wire_bytes;
+  if (msg.type != MessageType::kNone) {
+    *tc.bytes += msg.wire_bytes;
+    ++*tc.messages;
   }
 
   if (duplicate) {
     // The copy transits the wire too, with its own jitter draw.
-    stats_.Add("net.duplicated");
-    stats_.Add("net.bytes", msg.wire_bytes);
-    if (!msg.type.empty()) {
-      stats_.Add("net.dup." + msg.type);
-      stats_.Add("net.bytes." + msg.type, msg.wire_bytes);
+    ++*duplicated_;
+    *bytes_ += msg.wire_bytes;
+    if (msg.type != MessageType::kNone) {
+      ++*tc.dup;
+      *tc.bytes += msg.wire_bytes;
     }
     Deliver(msg);
   }
@@ -121,8 +132,10 @@ void Network::Deliver(Message msg) {
     if (when < horizon->second) {
       // An earlier send on this link is already scheduled later: this
       // delivery overtakes it.
-      stats_.Add("net.reordered");
-      if (!msg.type.empty()) stats_.Add("net.reorder." + msg.type);
+      ++*reordered_;
+      if (msg.type != MessageType::kNone) {
+        ++*by_type_[Index(msg.type)].reorder;
+      }
     } else {
       horizon->second = when;
     }

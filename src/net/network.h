@@ -19,12 +19,14 @@
 // (75 - 30) / 2 = 22.5 ms.
 //
 // Byte accounting (§7.4): every send records its wire size so benchmarks
-// can compare network and disk bandwidth.
+// can compare network and disk bandwidth. The send path is allocation-free:
+// the message type is an enum, the payload a variant, and every stat key a
+// counter interned once at construction.
 
 #ifndef RADD_NET_NETWORK_H_
 #define RADD_NET_NETWORK_H_
 
-#include <any>
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -34,6 +36,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/uid.h"
+#include "net/wire.h"
 #include "sim/simulator.h"
 #include "sim/stats.h"
 
@@ -53,16 +56,16 @@ struct NetworkModel {
   SimTime reorder_jitter = 0;
 };
 
-/// An in-flight message. `payload` is protocol-defined (the core library
-/// uses its own request/response structs); `wire_bytes` is what the message
-/// costs on the wire, including the paper's change-mask encoding.
+/// An in-flight message. `payload` holds one of the protocol structs
+/// (net/wire.h); `wire_bytes` is what the message costs on the wire,
+/// including the paper's change-mask encoding.
 struct Message {
   SiteId from = 0;
   SiteId to = 0;
-  uint64_t seq = 0;          ///< network-assigned, unique per send
-  std::string type;          ///< for stats/tracing, e.g. "parity_update"
+  uint64_t seq = 0;  ///< network-assigned, unique per send
+  MessageType type = MessageType::kNone;
   size_t wire_bytes = 0;
-  std::any payload;
+  Payload payload;
 };
 
 /// What a fault hook tells the network to do with one message.
@@ -117,10 +120,14 @@ class Network {
   /// Installs a scripted fault hook consulted for every non-loopback
   /// message of `type` (before the random fault model). Hook-forced drops
   /// and duplicates are counted like random ones. Pass an empty function
-  /// to remove the hook for that type.
+  /// to remove the hook for that type. The string overload resolves the
+  /// wire name ("parity_update") first.
   using FaultHook = std::function<FaultAction(const Message&)>;
-  void SetFaultHook(const std::string& type, FaultHook hook);
-  void ClearFaultHooks() { fault_hooks_.clear(); }
+  void SetFaultHook(MessageType type, FaultHook hook);
+  void SetFaultHook(const std::string& type, FaultHook hook) {
+    SetFaultHook(MessageTypeFromName(type), std::move(hook));
+  }
+  void ClearFaultHooks() { fault_hooks_.fill(FaultHook()); }
 
   /// Cumulative statistics: "net.messages", "net.bytes", "net.dropped",
   /// "net.duplicated", "net.reordered", "net.partition_blocked", plus
@@ -134,20 +141,41 @@ class Network {
   /// Schedules one delivery of `msg` after latency + jitter, counting a
   /// reorder when the delivery overtakes an earlier one on the same link.
   void Deliver(Message msg);
-  void CountDrop(const std::string& type);
+  void CountDrop(MessageType type);
+  static size_t Index(MessageType type) {
+    return static_cast<size_t>(type);
+  }
 
   Simulator* sim_;
   NetworkModel model_;
   Rng rng_;
   uint64_t next_seq_ = 1;
   std::map<SiteId, Handler> handlers_;
-  std::map<std::string, FaultHook> fault_hooks_;
+  std::array<FaultHook, kNumMessageTypes> fault_hooks_;
   std::map<SiteId, int> partition_of_;  // empty => fully connected
   bool partitioned_ = false;
   /// Latest delivery time already scheduled per (from, to) link; a new
   /// delivery scheduled earlier than this is a reorder.
   std::map<std::pair<SiteId, SiteId>, SimTime> link_horizon_;
   Stats stats_;
+
+  /// Counters interned at construction so the send path never rebuilds a
+  /// key string. The per-type slots for kNone stay unused (untyped
+  /// messages get only the totals, as before).
+  struct TypeCounters {
+    Stats::Counter bytes;
+    Stats::Counter messages;
+    Stats::Counter drop;
+    Stats::Counter dup;
+    Stats::Counter reorder;
+  };
+  std::array<TypeCounters, kNumMessageTypes> by_type_;
+  Stats::Counter messages_;
+  Stats::Counter bytes_;
+  Stats::Counter dropped_;
+  Stats::Counter duplicated_;
+  Stats::Counter reordered_;
+  Stats::Counter partition_blocked_;
 };
 
 }  // namespace radd

@@ -1,0 +1,206 @@
+// Wire protocol of the simulated network: the closed set of message
+// types, one payload struct per type, and the variant that carries them.
+//
+// The payload used to be a std::any, which costs a heap allocation per
+// message and RTTI-based casts per delivery; Message::type used to be a
+// std::string, rebuilt (and compared character by character in the
+// dispatch chain) for every send. Both are replaced here: MessageType is
+// a dense enum that indexes per-type statistics and fault hooks directly,
+// and Payload is a std::variant over the protocol structs, stored inline
+// in the Message. Large payloads (Blocks) still travel by move, so the
+// messaging hot path performs no per-message allocation of its own.
+//
+// Sizes quoted in `wire_bytes` fields are the §7.4-style wire costs; every
+// message additionally pays the fixed kWireHeader.
+
+#ifndef RADD_NET_WIRE_H_
+#define RADD_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/block.h"
+#include "common/status.h"
+#include "common/uid.h"
+#include "sim/simulator.h"
+
+namespace radd {
+
+/// Fixed per-message overhead (addressing, type, sequence) in wire bytes.
+constexpr size_t kWireHeader = 32;
+
+/// Every message type the stack sends. kNone marks an untyped message
+/// (tests, raw sends): it gets no per-type statistics, matching the old
+/// empty-string behaviour.
+enum class MessageType : uint8_t {
+  kNone = 0,
+  kReadReq,
+  kReadReply,
+  kWriteReq,
+  kWriteReply,
+  kSpareReadReq,
+  kSpareReadReply,
+  kSpareTakeReq,
+  kSpareTakeReply,
+  kSpareInvalidate,
+  kSpareWriteReq,
+  kSpareWriteReply,
+  kSpareWriteBack,
+  kParityUpdate,
+  kParityAck,
+  kParityNack,
+  kParityBatch,
+  kParityBatchAck,
+  kReconReq,
+  kReconReply,
+  kHeartbeat,
+  kHbProbe,
+  kHbProbeAck,
+};
+constexpr size_t kNumMessageTypes =
+    static_cast<size_t>(MessageType::kHbProbeAck) + 1;
+
+/// Stable on-the-wire name, e.g. "parity_update". Used for stat keys and
+/// traces; the strings are identical to the pre-enum ones so recorded
+/// stats stay comparable across revisions.
+const std::string& MessageTypeName(MessageType type);
+
+/// Inverse of MessageTypeName; kNone for an unknown name.
+MessageType MessageTypeFromName(const std::string& name);
+
+// --- protocol payloads ------------------------------------------------------
+
+struct ReadReq {
+  uint64_t op;
+  BlockNum row;
+};
+struct ReadReply {
+  uint64_t op;
+  Status status;
+  Block data{0};
+  Uid uid;
+};
+struct WriteReq {
+  uint64_t op;
+  BlockNum row;
+  int home;
+  SimTime deadline = 0;  // client give-up time; later copies are zombies
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
+  Block data{0};
+};
+struct WriteReply {
+  uint64_t op;
+  Status status;
+};
+struct SpareReadReq {
+  uint64_t op;
+  int home;
+  BlockNum row;
+};
+struct SpareReadReply {
+  uint64_t op;
+  Status status;  // OK: data valid; NotFound: spare invalid
+  Block data{0};
+  Uid logical_uid;
+};
+struct SpareTakeReq {  // recovering-write old-value fetch + invalidate
+  uint64_t op;
+  int home;
+  BlockNum row;
+};
+struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
+  uint64_t op;
+  int home;
+  BlockNum row;
+  SimTime deadline = 0;  // client give-up time; later copies are zombies
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
+  Block data{0};
+  Uid uid;  // minted by the writer
+};
+struct SpareWriteBack {  // degraded-read materialization (fire and forget)
+  int home;
+  BlockNum row;
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
+  Block data{0};
+  Uid logical_uid;
+};
+struct ParityUpdate {
+  uint64_t op;
+  BlockNum row;
+  int position;
+  uint64_t home_epoch = 0;  // membership epoch of the home site at issue
+  Block delta{0};  // the change mask (wire size = encoded mask)
+  Uid uid;
+  size_t wire_bytes;
+};
+struct ParityAck {
+  uint64_t op;
+};
+struct ParityNack {  // parity site refused the update (stale epoch)
+  uint64_t op;
+  Status status;
+};
+
+/// One coalesced row update inside a batched parity frame: the XOR-merge
+/// of every staged change mask for (row, position), stamped with the
+/// latest contributing UID (formula 1 is associative, so the merged mask
+/// applied once equals the members applied in order).
+struct ParityBatchEntry {
+  BlockNum row;
+  int position;
+  uint64_t home_epoch = 0;  // home's epoch when the delta was computed
+                            // (staging time, never restamped on retry)
+  Block delta{0};           // merged change mask
+  Uid uid;                  // newest UID folded into the merge
+  size_t wire_bytes = 0;    // encoded-mask cost of `delta`
+};
+
+/// W3 group-commit frame: many row updates in one message. Idempotence is
+/// per-sender `batch_seq` (the receiver remembers processed sequence
+/// numbers and replays the recorded ack for a duplicate), backstopped by
+/// the paper's §3.3 UID-array check per entry across receiver restarts.
+struct ParityBatchFrame {
+  uint64_t batch_seq = 0;  // per-sender, monotonically increasing
+  std::vector<ParityBatchEntry> entries;
+};
+
+/// Batch-level ack, fanned back out to the per-op completion waiters.
+/// `entry_status` is index-aligned with the frame's entries: OK means
+/// applied (or already applied), a non-OK entry is retried individually.
+struct ParityBatchAck {
+  uint64_t batch_seq = 0;
+  std::vector<Status> entry_status;
+};
+
+struct ReconReq {
+  uint64_t op;
+  BlockNum row;
+  int attempt;  // §3.3 retry round; stale-round replies are discarded
+};
+struct ReconReply {
+  uint64_t op;
+  BlockNum row;
+  Status status;
+  Block data{0};
+  Uid uid;
+  std::vector<Uid> uid_array;  // non-empty iff this is the parity site
+  int attempt = 0;             // echoed from the request
+};
+
+struct Heartbeat {
+  SimTime sent_at = 0;
+};
+
+/// The closed payload set. std::monostate is the untyped/empty payload.
+using Payload =
+    std::variant<std::monostate, ReadReq, ReadReply, WriteReq, WriteReply,
+                 SpareReadReq, SpareReadReply, SpareTakeReq, SpareWriteReq,
+                 SpareWriteBack, ParityUpdate, ParityAck, ParityNack,
+                 ParityBatchFrame, ParityBatchAck, ReconReq, ReconReply,
+                 Heartbeat>;
+
+}  // namespace radd
+
+#endif  // RADD_NET_WIRE_H_

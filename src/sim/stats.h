@@ -55,9 +55,19 @@ struct OpCounts {
 /// A bag of named counters plus simple distributions.
 class Stats {
  public:
+  /// A stable handle to one named counter. Hot paths that would otherwise
+  /// rebuild the key string per event (e.g. "net.bytes." + type on every
+  /// send) intern the counter once and bump through the pointer instead.
+  using Counter = uint64_t*;
+
   void Add(const std::string& name, uint64_t delta = 1) {
     counters_[name] += delta;
   }
+  /// Returns a handle to the named counter, creating it at zero. The
+  /// handle stays valid for the lifetime of this Stats object — counters_
+  /// is a node-based map, and Reset() zeroes values in place rather than
+  /// erasing them.
+  Counter Intern(const std::string& name) { return &counters_[name]; }
   uint64_t Get(const std::string& name) const {
     auto it = counters_.find(name);
     return it == counters_.end() ? 0 : it->second;
@@ -74,7 +84,8 @@ class Stats {
     return it == samples_.end() ? 0 : it->second.size();
   }
   void Reset() {
-    counters_.clear();
+    // Zero in place (not clear): interned Counter handles must survive.
+    for (auto& [name, value] : counters_) value = 0;
     samples_.clear();
   }
   const std::map<std::string, uint64_t>& counters() const {

@@ -210,20 +210,18 @@ TEST_F(NetworkTest, SelfSendIsFreeAndInstant) {
 }
 
 TEST_F(NetworkTest, PayloadRoundTrips) {
-  struct P {
-    int x;
-  };
-  int got = 0;
+  uint64_t got = 0;
   net_.RegisterHandler(1, [&](const Message& m) {
-    got = std::any_cast<P>(m.payload).x;
+    got = std::get<ReadReq>(m.payload).op;
   });
   Message m;
   m.from = 0;
   m.to = 1;
-  m.payload = P{42};
+  m.type = MessageType::kReadReq;
+  m.payload = ReadReq{42, 0};
   net_.Send(std::move(m));
   sim_.Run();
-  EXPECT_EQ(got, 42);
+  EXPECT_EQ(got, 42u);
 }
 
 TEST_F(NetworkTest, PartitionsBlockCrossTraffic) {
@@ -278,7 +276,7 @@ TEST_F(NetworkTest, PerTypeByteAccounting) {
   Message m;
   m.from = 0;
   m.to = 1;
-  m.type = "parity_update";
+  m.type = MessageType::kParityUpdate;
   m.wire_bytes = 132;
   net_.Send(std::move(m));
   sim_.Run();
@@ -340,7 +338,8 @@ TEST_F(NetworkTest, FaultHookDropsAreCountedPerType) {
     Message m;
     m.from = 0;
     m.to = 1;
-    m.type = (i % 2 == 0) ? "parity_update" : "write_req";
+    m.type = (i % 2 == 0) ? MessageType::kParityUpdate
+                           : MessageType::kWriteReq;
     net_.Send(std::move(m));
   }
   sim_.Run();
@@ -358,7 +357,7 @@ TEST_F(NetworkTest, FaultHookDuplicatesAreCountedPerType) {
   Message m;
   m.from = 0;
   m.to = 1;
-  m.type = "parity_ack";
+  m.type = MessageType::kParityAck;
   net_.Send(std::move(m));
   sim_.Run();
   EXPECT_EQ(got, 2);
@@ -374,7 +373,7 @@ TEST_F(NetworkTest, RandomDuplicatesAreCountedPerType) {
     Message m;
     m.from = 0;
     m.to = 1;
-    m.type = "write_req";
+    m.type = MessageType::kWriteReq;
     net_.Send(std::move(m));
   }
   sim_.Run();
@@ -391,7 +390,7 @@ TEST_F(NetworkTest, ReorderJitterReordersAndCounts) {
     Message m;
     m.from = 0;
     m.to = 1;
-    m.type = "write_req";
+    m.type = MessageType::kWriteReq;
     net_.Send(std::move(m));
   }
   sim_.Run();

@@ -7,6 +7,9 @@
 //   chaos_main --seeds 200 --autopilot   # self-healing mode: no manual
 //                                        # repair; each episode must
 //                                        # converge to all-up on its own
+//   chaos_main --seeds 200 --batch       # batched parity pipeline on, with
+//                                        # extra scripted drop/dup of the
+//                                        # batch frames and their acks
 //
 // Every schedule is deterministic in its seed: a failing seed printed by a
 // bulk run reproduces bit-for-bit with --seed.
@@ -50,10 +53,13 @@ int main(int argc, char** argv) {
       config.verbose = true;
     } else if (std::strcmp(argv[i], "--autopilot") == 0) {
       config.autopilot = true;
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      config.node.parity_batch.enabled = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
-                   "[--episodes E] [--ops O] [--autopilot] [--verbose]\n",
+                   "[--episodes E] [--ops O] [--autopilot] [--batch] "
+                   "[--verbose]\n",
                    argv[0]);
       return 2;
     }
@@ -72,8 +78,17 @@ int main(int argc, char** argv) {
   radd::SimTime conv_max = 0;
   uint64_t conv_total = 0, conv_n = 0, sweep_rows = 0, false_susp = 0,
            stale = 0;
+  uint64_t batches = 0, batch_retx = 0, batch_dup = 0, staged = 0,
+           batch_n = 0;
   for (uint64_t s = start; s < start + seeds; ++s) {
     radd::ChaosReport r = harness.Run(s);
+    if (r.batched) {
+      batches += r.batches_sent;
+      batch_retx += r.batch_retransmits;
+      batch_dup += r.batch_duplicates;
+      staged += r.parity_staged;
+      ++batch_n;
+    }
     if (r.autopilot) {
       if (r.convergence_max > conv_max) conv_max = r.convergence_max;
       conv_total += r.convergence_total;
@@ -95,6 +110,18 @@ int main(int argc, char** argv) {
   std::printf("%llu/%llu schedules held all invariants\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
+  if (batch_n > 0) {
+    std::printf("batched parity: %llu updates staged into %llu frames "
+                "(%.2f updates/frame); %llu retransmits, "
+                "%llu duplicate frames deduped\n",
+                static_cast<unsigned long long>(staged),
+                static_cast<unsigned long long>(batches),
+                batches > 0 ? static_cast<double>(staged) /
+                                  static_cast<double>(batches)
+                            : 0.0,
+                static_cast<unsigned long long>(batch_retx),
+                static_cast<unsigned long long>(batch_dup));
+  }
   if (config.autopilot && conv_n > 0) {
     std::printf("autopilot: worst convergence %.1f ms, total %.1f s; "
                 "%llu rows swept, %llu false suspicions, "
