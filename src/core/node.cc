@@ -1,3 +1,6 @@
+#include <cstdio>
+#include <cstdlib>
+
 #include "core/node.h"
 
 #include <cassert>
@@ -30,6 +33,23 @@ struct RaddNodeSystem::Node {
   BlockStore* store() { return site()->store(); }
   const DiskModel& disk() const { return sys->node_config_.disk; }
   Simulator* sim() { return sys->sim_; }
+
+  /// This site's slice of each group it belongs to: member index and the
+  /// logical drive's block offset (group-local row r lives at physical
+  /// block first_block + r). member == -1 when the site is not in the
+  /// group.
+  struct Local {
+    int member = -1;
+    BlockNum first_block = 0;
+  };
+  std::vector<Local> locals;
+
+  RaddGroup* grp(int g) { return sys->groups_[static_cast<size_t>(g)].get(); }
+  const RaddLayout& lay(int g) { return grp(g)->layout(); }
+  /// Physical block on this site holding group `g`'s row `row`.
+  BlockNum phys(int g, BlockNum row) const {
+    return locals[static_cast<size_t>(g)].first_block + row;
+  }
 
   /// The site's disk serves one request at a time: operations queue
   /// behind each other (this is what makes parity-site contention — the
@@ -92,11 +112,12 @@ struct RaddNodeSystem::Node {
   void OnReadReq(Message& msg) {
     auto req = std::get<ReadReq>(msg.payload);
     const SiteId from = msg.from;
-    WithLock(req.op, req.row, LockMode::kShared, [this, req, from]() {
-      ScheduleDisk(disk().read_latency, [this, req, from]() {
+    const BlockNum prow = phys(req.group, req.row);
+    WithLock(req.op, prow, LockMode::kShared, [this, req, from, prow]() {
+      ScheduleDisk(disk().read_latency, [this, req, from, prow]() {
         ReadReply rep;
         rep.op = req.op;
-        Result<BlockRecord> rec = store()->Read(req.row);
+        Result<BlockRecord> rec = store()->Read(prow);
         if (rec.ok()) {
           rep.status = Status::OK();
           rep.data = std::move(rec->data);
@@ -104,7 +125,7 @@ struct RaddNodeSystem::Node {
         } else {
           rep.status = rec.status();
         }
-        Unlock(req.op, req.row);
+        Unlock(req.op, prow);
         size_t wire = rep.status.ok() ? rep.data.size() : 0;
         Send(from, MessageType::kReadReply, std::move(rep), wire);
       });
@@ -151,7 +172,7 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(req.data));
       return;
     }
-    if (!sys->CheckMemberEpoch(req.home, req.home_epoch).ok()) {
+    if (!sys->CheckMemberEpoch(req.group, req.home, req.home_epoch).ok()) {
       // The client stamped a view of this site that has since transitioned
       // (we cycled down -> recovering behind its back). No side effects
       // have happened, so forget the flow marker: the client's restamped
@@ -166,7 +187,8 @@ struct RaddNodeSystem::Node {
     SiteState state = site()->state();
     // A lost block at a recovering site is written through the spare; tell
     // the client to take the degraded path.
-    if (state == SiteState::kRecovering && !store()->Peek(req.row).ok()) {
+    if (state == SiteState::kRecovering &&
+        !store()->Peek(phys(req.group, req.row)).ok()) {
       // Not a completed write: the client will redirect to the spare, so
       // forget the flow marker (the spare node dedupes the redirect).
       write_flows.erase(req.op);
@@ -175,16 +197,16 @@ struct RaddNodeSystem::Node {
       return;
     }
     const uint64_t op = req.op;
-    const BlockNum row = req.row;
-    WithLock(op, row, LockMode::kExclusive,
+    const BlockNum prow = phys(req.group, req.row);
+    WithLock(op, prow, LockMode::kExclusive,
              [this, req = std::move(req), from]() mutable {
       if (site()->state() == SiteState::kRecovering) {
         // The spare may hold a newer value (writes we missed while down):
         // fetch-and-invalidate it for a correct parity delta.
-        int sm = static_cast<int>(sys->layout().SpareSite(req.row));
-        SiteId spare_site = sys->group_.SiteOfMember(sm);
+        int sm = static_cast<int>(lay(req.group).SpareSite(req.row));
+        SiteId spare_site = grp(req.group)->SiteOfMember(sm);
         Send(spare_site, MessageType::kSpareTakeReq,
-             SpareTakeReq{req.op, req.home, req.row}, 0);
+             SpareTakeReq{req.op, req.group, req.home, req.row}, 0);
         // Continuation lives in OnSpareTakeReply via pending write state.
         sys->stats_.Add("node.recovering_spare_fetch");
         uint64_t op = req.op;
@@ -201,10 +223,11 @@ struct RaddNodeSystem::Node {
               auto it = pending_local_writes.find(op);
               if (it == pending_local_writes.end()) return;
               sys->stats_.Add("node.spare_fetch_timeout");
-              BlockNum row = it->second.req.row;
+              BlockNum prow =
+                  phys(it->second.req.group, it->second.req.row);
               pending_local_writes.erase(it);
               write_flows.erase(op);
-              Unlock(op, row);
+              Unlock(op, prow);
             });
         return;
       }
@@ -236,10 +259,11 @@ struct RaddNodeSystem::Node {
                   old_override = std::move(old_override)]() mutable {
       // The old value lives only until the diff below: lease its buffer.
       Block old_value(0);
+      const BlockNum prow = phys(req.group, req.row);
       if (old_override) {
         old_value = std::move(*old_override);
       } else {
-        Result<BlockRecord> old = store()->Peek(req.row);
+        Result<BlockRecord> old = store()->Peek(prow);
         if (old.ok()) {
           old_value = std::move(old->data);
         } else {
@@ -247,18 +271,23 @@ struct RaddNodeSystem::Node {
         }
       }
       Uid uid = site()->uids()->Next();
-      Status st = store()->Write(req.row, req.data, uid);
+      Status st = store()->Write(prow, req.data, uid);
       if (!st.ok()) {
-        Unlock(req.op, req.row);
+        Unlock(req.op, prow);
         CompleteWrite(req.op, reply_to, MessageType::kWriteReply,
                       WriteReply{req.op, st});
         return;
       }
       Result<ChangeMask> mask = ChangeMask::Diff(old_value, req.data);
       sys->arena_.Return(std::move(old_value));
-      sys->arena_.Return(std::move(req.data));
+      // The payload outlives the local write: until the parity ack the
+      // recovery sweep may rebuild this block from pre-update parity (disk
+      // failure mid-flight), and the §5 ack promises durability, so the
+      // commit check below must be able to re-assert the data.
+      auto payload = std::make_shared<Block>(std::move(req.data));
       bool invalidate_spare = old_override.has_value();
       const uint64_t op = req.op;
+      const int g = req.group;
       const int home = req.home;
       const BlockNum row = req.row;
       // Batched mode releases the row lock as soon as the local write and
@@ -271,23 +300,50 @@ struct RaddNodeSystem::Node {
       const bool early_unlock =
           sys->node_config_.parity_batch.enabled && !invalidate_spare;
       SendParityUpdate(
-          op, home, row, std::move(*mask), uid,
-          [this, op, home, row, reply_to, invalidate_spare,
-           early_unlock]() {
+          op, g, home, row, std::move(*mask), uid,
+          [this, op, g, home, row, prow, uid, reply_to, invalidate_spare,
+           early_unlock, payload]() {
+            // §5 commit check: between the local write and the parity ack
+            // the recovery sweep may have rebuilt this block from a
+            // pre-update source (reconstruction from parity that had not
+            // yet applied our delta, or a drain of the spare this flow
+            // fetched). The parity now carries the update, so the ack is
+            // honest only if the local copy does too.
+            Result<BlockRecord> now = store()->Peek(prow);
+            bool clobbered = false;
+            if (!now.ok()) {
+              clobbered = now.status().IsDataLoss();
+            } else if (now->uid != uid) {
+              // A same-site UID with a higher sequence is a later local
+              // writer (batched mode releases the lock early) — leave it.
+              // A foreign UID is drained spare content: stale only in the
+              // recovering flow, where it is the value we superseded.
+              clobbered = !now->uid.valid() ||
+                          (now->uid.site() == self &&
+                           now->uid.sequence() < uid.sequence()) ||
+                          (now->uid.site() != self && invalidate_spare);
+            }
+            if (clobbered) {
+              (void)store()->Write(prow, *payload, uid);
+              sys->stats_.Add("node.write_reasserted");
+            }
+            sys->arena_.Return(std::move(*payload));
             if (invalidate_spare) {
               // The local copy is now authoritative (§3.2 side effect).
-              Send(sys->group_.SiteOfMember(
-                       static_cast<int>(sys->layout().SpareSite(row))),
-                   MessageType::kSpareInvalidate, SpareTakeReq{op, home, row}, 0);
+              Send(grp(g)->SiteOfMember(
+                       static_cast<int>(lay(g).SpareSite(row))),
+                   MessageType::kSpareInvalidate,
+                   SpareTakeReq{op, g, home, row}, 0);
             }
-            if (!early_unlock) Unlock(op, row);
+            if (!early_unlock) Unlock(op, prow);
             CompleteWrite(op, reply_to, MessageType::kWriteReply,
                           WriteReply{op, Status::OK()});
           },
-          [this, op, row, reply_to, early_unlock](Status st) {
+          [this, op, prow, reply_to, early_unlock, payload](Status st) {
+            sys->arena_.Return(std::move(*payload));
             // Retransmission exhausted or parity nacked: release the lock
             // and surface the failure instead of holding the row hostage.
-            if (!early_unlock) Unlock(op, row);
+            if (!early_unlock) Unlock(op, prow);
             if (st.IsStaleEpoch()) {
               // Retryable and side-effect-free from the client's view —
               // its restamped retry must run a fresh flow, so don't record
@@ -300,16 +356,17 @@ struct RaddNodeSystem::Node {
             CompleteWrite(op, reply_to, MessageType::kWriteReply,
                           WriteReply{op, std::move(st)});
           });
-      if (early_unlock) Unlock(op, row);
+      if (early_unlock) Unlock(op, prow);
     });
   }
 
   void OnSpareInvalidate(const Message& msg) {
     auto req = std::get<SpareTakeReq>(msg.payload);
     ScheduleDisk(disk().write_latency, [this, req]() {
-      Result<BlockRecord> rec = store()->Peek(req.row);
+      const BlockNum prow = phys(req.group, req.row);
+      Result<BlockRecord> rec = store()->Peek(prow);
       if (rec.ok() && rec->spare_for == req.home) {
-        (void)store()->Invalidate(req.row);
+        (void)store()->Invalidate(prow);
         sys->stats_.Add("node.spare_invalidated");
       }
     });
@@ -335,12 +392,12 @@ struct RaddNodeSystem::Node {
   std::map<uint64_t, ParityWait> parity_done;
   std::map<uint64_t, int> parity_tries;
 
-  void SendParityUpdate(uint64_t op, int home, BlockNum row,
+  void SendParityUpdate(uint64_t op, int g, int home, BlockNum row,
                         ChangeMask mask, Uid uid,
                         std::function<void()> done,
                         std::function<void(Status)> fail = nullptr) {
-    int pm = static_cast<int>(sys->layout().ParitySite(row));
-    SiteId parity_site = sys->group_.SiteOfMember(pm);
+    int pm = static_cast<int>(lay(g).ParitySite(row));
+    SiteId parity_site = grp(g)->SiteOfMember(pm);
     if (sys->Perceived(self, parity_site) == SiteState::kDown) {
       sys->stats_.Add("node.parity_dropped");
       done();
@@ -357,11 +414,11 @@ struct RaddNodeSystem::Node {
       wait.parity_site = parity_site;
       parity_done[op] = std::move(wait);
       parity_tries[op] = 0;
-      staging[parity_site].Add(
+      staging[{g, parity_site}].Add(
           row, home, std::move(mask), uid,
-          sys->EpochOf(sys->group_.SiteOfMember(home)), op);
+          sys->EpochOf(grp(g)->SiteOfMember(home)), op);
       sys->stats_.Add("node.parity_staged");
-      MaybeFlush(parity_site);
+      MaybeFlush(g, parity_site);
       return;
     }
     ParityWait wait;
@@ -370,6 +427,7 @@ struct RaddNodeSystem::Node {
     wait.parity_site = parity_site;
     ParityUpdate& u = wait.update;
     u.op = op;
+    u.group = g;
     u.row = row;
     u.position = home;
     u.wire_bytes = mask.EncodedSize();
@@ -384,7 +442,7 @@ struct RaddNodeSystem::Node {
     auto it = parity_done.find(op);
     if (it == parity_done.end()) return;
     ParityUpdate& u = it->second.update;
-    u.home_epoch = sys->EpochOf(sys->group_.SiteOfMember(u.position));
+    u.home_epoch = sys->EpochOf(grp(u.group)->SiteOfMember(u.position));
     Send(it->second.parity_site, MessageType::kParityUpdate, u, u.wire_bytes);
     uint64_t timer = sim()->Schedule(
         sys->node_config_.retry_timeout, [this, op]() {
@@ -428,7 +486,7 @@ struct RaddNodeSystem::Node {
     }
     // Idempotence across restarts: a duplicate carries the UID we already
     // recorded in the array (paper §3.3 machinery).
-    Result<BlockRecord> rec = store()->Peek(u.row);
+    Result<BlockRecord> rec = store()->Peek(phys(u.group, u.row));
     if (rec.ok() &&
         static_cast<size_t>(u.position) < rec->uid_array.size() &&
         rec->uid_array[static_cast<size_t>(u.position)] == u.uid) {
@@ -436,7 +494,7 @@ struct RaddNodeSystem::Node {
       sys->stats_.Add("node.parity_duplicate");
       return;
     }
-    if (!sys->CheckMemberEpoch(u.position, u.home_epoch).ok()) {
+    if (!sys->CheckMemberEpoch(u.group, u.position, u.home_epoch).ok()) {
       // A delayed update whose delta was computed against a membership
       // view the home site has since cycled out of. The UID-array check
       // above cannot catch every such straggler (recovery may have rebuilt
@@ -457,8 +515,8 @@ struct RaddNodeSystem::Node {
       // arena.
       ChangeMask mask = ChangeMask::FromFull(std::move(u.delta));
       Status st = store()->ApplyMask(
-          u.row, mask, u.uid, static_cast<size_t>(u.position),
-          static_cast<size_t>(sys->group_.num_members()));
+          phys(u.group, u.row), mask, u.uid, static_cast<size_t>(u.position),
+          static_cast<size_t>(grp(u.group)->num_members()));
       sys->arena_.Return(std::move(mask).TakeDelta());
       if (!st.ok()) {
         sys->stats_.Add("node.parity_apply_failed");
@@ -527,17 +585,23 @@ struct RaddNodeSystem::Node {
   /// frame's addressing and sequencing.
   static constexpr size_t kBatchEntryHeader = 24;
 
-  std::map<SiteId, ParityCoalescer> staging;
-  std::map<SiteId, uint64_t> flush_timers;  // parity site -> timer id
+  /// Staging is keyed by (group, parity site): a frame addresses one
+  /// group's layout, so coalescers — and the blocked-key rule — must never
+  /// mix groups even when two groups share a parity site.
+  using BatchKey = std::pair<int, SiteId>;
+  std::map<BatchKey, ParityCoalescer> staging;
+  std::map<BatchKey, uint64_t> flush_timers;  // (group, parity site) -> timer
   uint64_t next_batch_seq = 1;
   struct InFlightBatch {
+    int group = 0;
     SiteId parity_site = 0;
     std::vector<ParityCoalescer::Entry> entries;
     int tries = 0;
     uint64_t timer = 0;
   };
   std::map<uint64_t, InFlightBatch> batches;       // batch_seq -> batch
-  std::set<ParityCoalescer::Key> inflight_keys;    // keys on the wire
+  /// Keys on the wire, per (group, parity site).
+  std::map<BatchKey, std::set<ParityCoalescer::Key>> inflight_keys;
 
   /// Receiver side: per-sender batch sequence numbers already processed.
   /// nullopt while the apply is in flight; the recorded ack once done, so
@@ -559,41 +623,44 @@ struct RaddNodeSystem::Node {
     }
   }
 
-  void MaybeFlush(SiteId parity_site) {
-    auto sit = staging.find(parity_site);
+  void MaybeFlush(int g, SiteId parity_site) {
+    const BatchKey bk{g, parity_site};
+    auto sit = staging.find(bk);
     if (sit == staging.end() || sit->second.empty()) return;
     const ParityBatchConfig& pb = sys->node_config_.parity_batch;
     if (sit->second.op_count() >= static_cast<size_t>(pb.max_ops) ||
         sit->second.staged_bytes() >= pb.max_bytes) {
-      FlushParity(parity_site);
+      FlushParity(g, parity_site);
       return;
     }
-    if (flush_timers.count(parity_site)) return;  // already armed
-    flush_timers[parity_site] =
-        sim()->Schedule(pb.max_delay, [this, parity_site]() {
-          flush_timers.erase(parity_site);
-          FlushParity(parity_site);
+    if (flush_timers.count(bk)) return;  // already armed
+    flush_timers[bk] =
+        sim()->Schedule(pb.max_delay, [this, g, parity_site]() {
+          flush_timers.erase(BatchKey{g, parity_site});
+          FlushParity(g, parity_site);
         });
   }
 
-  void FlushParity(SiteId parity_site) {
-    auto tit = flush_timers.find(parity_site);
+  void FlushParity(int g, SiteId parity_site) {
+    const BatchKey bk{g, parity_site};
+    auto tit = flush_timers.find(bk);
     if (tit != flush_timers.end()) {
       sim()->Cancel(tit->second);
       flush_timers.erase(tit);
     }
-    auto sit = staging.find(parity_site);
+    auto sit = staging.find(bk);
     if (sit == staging.end() || sit->second.empty()) return;
     std::vector<ParityCoalescer::Entry> entries =
-        sit->second.TakeEligible(inflight_keys);
+        sit->second.TakeEligible(inflight_keys[bk]);
     // All staged keys blocked behind in-flight batches: they flush when
     // those batches resolve (ack, nacked-entry retry, or give-up).
     if (entries.empty()) return;
     const uint64_t seq = next_batch_seq++;
     for (const ParityCoalescer::Entry& e : entries) {
-      inflight_keys.insert(e.key());
+      inflight_keys[bk].insert(e.key());
     }
     InFlightBatch b;
+    b.group = g;
     b.parity_site = parity_site;
     b.entries = std::move(entries);
     batches.emplace(seq, std::move(b));
@@ -607,6 +674,7 @@ struct RaddNodeSystem::Node {
     InFlightBatch& b = it->second;
     ParityBatchFrame frame;
     frame.batch_seq = seq;
+    frame.group = b.group;
     frame.entries.reserve(b.entries.size());
     size_t wire = 0;
     for (const ParityCoalescer::Entry& e : b.entries) {
@@ -641,16 +709,17 @@ struct RaddNodeSystem::Node {
             sys->stats_.Add("node.batch_gave_up");
             InFlightBatch dead = std::move(bit->second);
             batches.erase(bit);
+            const BatchKey bk{dead.group, dead.parity_site};
             for (ParityCoalescer::Entry& e : dead.entries) {
-              inflight_keys.erase(e.key());
+              inflight_keys[bk].erase(e.key());
               for (uint64_t op : e.ops) {
                 ResolveParityOp(
                     op, Status::NetworkError("parity batch unacked"));
               }
             }
             // The released keys may unblock staged entries.
-            if (!staging[dead.parity_site].empty()) {
-              FlushParity(dead.parity_site);
+            if (!staging[bk].empty()) {
+              FlushParity(dead.group, dead.parity_site);
             }
             return;
           }
@@ -687,7 +756,7 @@ struct RaddNodeSystem::Node {
       ParityBatchEntry& e = frame.entries[i];
       // §3.3 UID-array backstop: catches duplicates that outlive a node
       // restart (which clears the seq table) or its eviction bound.
-      Result<BlockRecord> rec = store()->Peek(e.row);
+      Result<BlockRecord> rec = store()->Peek(phys(frame.group, e.row));
       if (rec.ok() &&
           static_cast<size_t>(e.position) < rec->uid_array.size() &&
           rec->uid_array[static_cast<size_t>(e.position)] == e.uid) {
@@ -695,7 +764,8 @@ struct RaddNodeSystem::Node {
         sys->arena_.Return(std::move(e.delta));
         continue;  // already applied; entry status stays OK
       }
-      if (!sys->CheckMemberEpoch(e.position, e.home_epoch).ok()) {
+      if (!sys->CheckMemberEpoch(frame.group, e.position, e.home_epoch)
+               .ok()) {
         // Same straggler hazard as the unbatched path; rejected per entry
         // so the rest of the frame still lands.
         sys->stats_.Add("node.stale_epoch_rejected");
@@ -732,7 +802,8 @@ struct RaddNodeSystem::Node {
       // sweep may reconstruct the row from the pre-delta parity in that
       // window. Applying the delta afterwards would corrupt the rebuilt
       // state.
-      if (!sys->CheckMemberEpoch(e.position, e.home_epoch).ok()) {
+      if (!sys->CheckMemberEpoch(frame.group, e.position, e.home_epoch)
+               .ok()) {
         sys->stats_.Add("node.stale_epoch_rejected");
         ack.entry_status[i] = Status::StaleEpoch("parity epoch");
         sys->arena_.Return(std::move(e.delta));
@@ -740,8 +811,9 @@ struct RaddNodeSystem::Node {
       }
       ChangeMask mask = ChangeMask::FromFull(std::move(e.delta));
       Status st = store()->ApplyMask(
-          e.row, mask, e.uid, static_cast<size_t>(e.position),
-          static_cast<size_t>(sys->group_.num_members()));
+          phys(frame.group, e.row), mask, e.uid,
+          static_cast<size_t>(e.position),
+          static_cast<size_t>(grp(frame.group)->num_members()));
       sys->arena_.Return(std::move(mask).TakeDelta());
       if (!st.ok()) {
         // Lost parity block; recovery will recompute. The per-entry error
@@ -775,10 +847,10 @@ struct RaddNodeSystem::Node {
     InFlightBatch batch = std::move(it->second);
     batches.erase(it);
     if (batch.timer != 0) sim()->Cancel(batch.timer);
-    const SiteId parity_site = batch.parity_site;
+    const BatchKey bk{batch.group, batch.parity_site};
     for (size_t i = 0; i < batch.entries.size(); ++i) {
       ParityCoalescer::Entry& e = batch.entries[i];
-      inflight_keys.erase(e.key());
+      inflight_keys[bk].erase(e.key());
       Status st = i < ack.entry_status.size() ? ack.entry_status[i]
                                               : Status::OK();
       if (st.ok()) {
@@ -809,22 +881,23 @@ struct RaddNodeSystem::Node {
       if (live.empty()) continue;
       sys->stats_.Add("node.batch_entry_retry");
       e.ops = std::move(live);
-      staging[parity_site].AddEntry(std::move(e));
+      staging[bk].AddEntry(std::move(e));
     }
     // The released keys may have blocked staged entries, and retried ones
     // were just re-staged; their waiters already paid a round trip, so
     // drain immediately rather than waiting out another flush delay.
-    if (!staging[parity_site].empty()) FlushParity(parity_site);
+    if (!staging[bk].empty()) FlushParity(batch.group, batch.parity_site);
   }
 
   void OnSpareReadReq(Message& msg) {
     auto req = std::get<SpareReadReq>(msg.payload);
     const SiteId from = msg.from;
-    WithLock(req.op, req.row, LockMode::kShared, [this, req, from]() {
-      ScheduleDisk(disk().read_latency, [this, req, from]() {
+    const BlockNum prow = phys(req.group, req.row);
+    WithLock(req.op, prow, LockMode::kShared, [this, req, from, prow]() {
+      ScheduleDisk(disk().read_latency, [this, req, from, prow]() {
         SpareReadReply rep;
         rep.op = req.op;
-        Result<BlockRecord> rec = store()->Read(req.row);
+        Result<BlockRecord> rec = store()->Read(prow);
         if (rec.ok() && rec->uid.valid() && rec->spare_for == req.home) {
           rep.status = Status::OK();
           rep.data = std::move(rec->data);
@@ -832,7 +905,7 @@ struct RaddNodeSystem::Node {
         } else {
           rep.status = Status::NotFound("spare invalid");
         }
-        Unlock(req.op, req.row);
+        Unlock(req.op, prow);
         size_t wire = rep.status.ok() ? rep.data.size() : 0;
         Send(from, MessageType::kSpareReadReply, std::move(rep), wire);
       });
@@ -842,11 +915,12 @@ struct RaddNodeSystem::Node {
   void OnSpareTakeReq(Message& msg) {
     auto req = std::get<SpareTakeReq>(msg.payload);
     const SiteId from = msg.from;
-    WithLock(req.op, req.row, LockMode::kExclusive, [this, req, from]() {
-      ScheduleDisk(disk().read_latency, [this, req, from]() {
+    const BlockNum prow = phys(req.group, req.row);
+    WithLock(req.op, prow, LockMode::kExclusive, [this, req, from, prow]() {
+      ScheduleDisk(disk().read_latency, [this, req, from, prow]() {
         SpareReadReply rep;
         rep.op = req.op;
-        Result<BlockRecord> rec = store()->Read(req.row);
+        Result<BlockRecord> rec = store()->Read(prow);
         if (rec.ok() && rec->uid.valid() && rec->spare_for == req.home) {
           rep.status = Status::OK();
           rep.data = std::move(rec->data);
@@ -854,7 +928,7 @@ struct RaddNodeSystem::Node {
         } else {
           rep.status = Status::NotFound("spare invalid");
         }
-        Unlock(req.op, req.row);
+        Unlock(req.op, prow);
         size_t wire = rep.status.ok() ? rep.data.size() : 0;
         Send(from, MessageType::kSpareTakeReply, std::move(rep), wire);
       });
@@ -870,7 +944,7 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(req.data));
       return;
     }
-    if (!sys->CheckMemberEpoch(req.home, req.home_epoch).ok()) {
+    if (!sys->CheckMemberEpoch(req.group, req.home, req.home_epoch).ok()) {
       // The writer's view of the home site is stale (it transitioned since
       // the request was stamped) — absorbing the write into the spare now
       // could shadow a home that is no longer down. Retryable: the client
@@ -883,15 +957,15 @@ struct RaddNodeSystem::Node {
       return;
     }
     const uint64_t op = req.op;
-    const BlockNum row = req.row;
-    WithLock(op, row, LockMode::kExclusive,
+    const BlockNum prow = phys(req.group, req.row);
+    WithLock(op, prow, LockMode::kExclusive,
              [this, req = std::move(req), from]() mutable {
-      Result<BlockRecord> old = store()->Peek(req.row);
+      Result<BlockRecord> old = store()->Peek(phys(req.group, req.row));
       bool have_old =
           old.ok() && old->uid.valid() && old->spare_for == req.home;
       if (have_old && old->logical_uid == req.uid) {
         // Duplicate of a spare write we already performed (lost reply).
-        Unlock(req.op, req.row);
+        Unlock(req.op, phys(req.group, req.row));
         CompleteWrite(req.op, from, MessageType::kSpareWriteReply,
                       WriteReply{req.op, Status::OK()});
         return;
@@ -903,14 +977,15 @@ struct RaddNodeSystem::Node {
       // Spare invalid: reconstruct the old value first so the parity
       // delta is correct (first-degraded-write penalty).
       const uint64_t op = req.op;
+      const int g = req.group;
       const int home = req.home;
       const BlockNum row = req.row;
       StartReconstruction(
-          op, home, row,
+          op, g, home, row,
           [this, req = std::move(req), from](Status st, Block data,
                                              Uid) mutable {
             if (!st.ok()) {
-              Unlock(req.op, req.row);
+              Unlock(req.op, phys(req.group, req.row));
               CompleteWrite(req.op, from, MessageType::kSpareWriteReply,
                             WriteReply{req.op, st});
               return;
@@ -925,13 +1000,13 @@ struct RaddNodeSystem::Node {
     ScheduleDisk(disk().write_latency,
                  [this, req = std::move(req), reply_to,
                   old_value = std::move(old_value)]() mutable {
-      if (sys->Perceived(self, sys->group_.SiteOfMember(req.home)) ==
+      if (sys->Perceived(self, grp(req.group)->SiteOfMember(req.home)) ==
           SiteState::kUp) {
         // The home recovered while this flow was queued (slow disk, long
         // reconstruction): committing now would shadow an up member. Stay
         // silent — the client's retry re-evaluates and targets the home.
         sys->stats_.Add("node.spare_write_stale");
-        Unlock(req.op, req.row);
+        Unlock(req.op, phys(req.group, req.row));
         write_flows.erase(req.op);
         sys->arena_.Return(std::move(req.data));
         sys->arena_.Return(std::move(old_value));
@@ -942,9 +1017,9 @@ struct RaddNodeSystem::Node {
       rec.uid = req.uid;
       rec.logical_uid = req.uid;
       rec.spare_for = req.home;
-      Status st = store()->WriteRecord(req.row, rec);
+      Status st = store()->WriteRecord(phys(req.group, req.row), rec);
       if (!st.ok()) {
-        Unlock(req.op, req.row);
+        Unlock(req.op, phys(req.group, req.row));
         CompleteWrite(req.op, reply_to, MessageType::kSpareWriteReply,
                       WriteReply{req.op, st});
         return;
@@ -953,15 +1028,16 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(old_value));
       sys->arena_.Return(std::move(rec.data));
       const uint64_t op = req.op;
-      const BlockNum row = req.row;
-      SendParityUpdate(op, req.home, row, std::move(*mask), req.uid,
-                       [this, op, row, reply_to]() {
-                         Unlock(op, row);
+      const BlockNum prow = phys(req.group, req.row);
+      SendParityUpdate(op, req.group, req.home, req.row, std::move(*mask),
+                       req.uid,
+                       [this, op, prow, reply_to]() {
+                         Unlock(op, prow);
                          CompleteWrite(op, reply_to, MessageType::kSpareWriteReply,
                                        WriteReply{op, Status::OK()});
                        },
-                       [this, op, row, reply_to](Status st) {
-                         Unlock(op, row);
+                       [this, op, prow, reply_to](Status st) {
+                         Unlock(op, prow);
                          if (st.IsStaleEpoch()) {
                            write_flows.erase(op);
                            Send(reply_to, MessageType::kSpareWriteReply,
@@ -976,7 +1052,7 @@ struct RaddNodeSystem::Node {
 
   void OnSpareWriteBack(Message& msg) {
     SpareWriteBack wb = std::move(std::get<SpareWriteBack>(msg.payload));
-    if (!sys->CheckMemberEpoch(wb.home, wb.home_epoch).ok()) {
+    if (!sys->CheckMemberEpoch(wb.group, wb.home, wb.home_epoch).ok()) {
       // Fire-and-forget materialization from a reader whose view of the
       // home has since cycled; dropping it is always safe.
       sys->stats_.Add("node.writeback_stale_epoch");
@@ -988,20 +1064,20 @@ struct RaddNodeSystem::Node {
       // is fire-and-forget, so a delayed copy can arrive after the home
       // restarted and recovery drained the spares; writing it now would
       // leave a valid spare shadowing an up member.
-      if (sys->Perceived(self, sys->group_.SiteOfMember(wb.home)) !=
+      if (sys->Perceived(self, grp(wb.group)->SiteOfMember(wb.home)) !=
           SiteState::kDown) {
         sys->stats_.Add("node.writeback_stale");
         sys->arena_.Return(std::move(wb.data));
         return;
       }
-      Result<BlockRecord> cur = store()->Peek(wb.row);
+      Result<BlockRecord> cur = store()->Peek(phys(wb.group, wb.row));
       if (cur.ok() && cur->uid.valid()) return;  // raced with a write
       BlockRecord rec(0);
       rec.data = std::move(wb.data);
       rec.uid = site()->uids()->Next();
       rec.logical_uid = wb.logical_uid;
       rec.spare_for = wb.home;
-      if (store()->WriteRecord(wb.row, rec).ok()) {
+      if (store()->WriteRecord(phys(wb.group, wb.row), rec).ok()) {
         sys->stats_.Add("node.materialized");
       }
       sys->arena_.Return(std::move(rec.data));
@@ -1017,7 +1093,7 @@ struct RaddNodeSystem::Node {
       rep.op = req.op;
       rep.row = req.row;
       rep.attempt = req.attempt;
-      Result<BlockRecord> rec = store()->Read(req.row);
+      Result<BlockRecord> rec = store()->Read(phys(req.group, req.row));
       if (!rec.ok()) {
         rep.status = rec.status();
       } else {
@@ -1034,6 +1110,7 @@ struct RaddNodeSystem::Node {
   // --- client-side reconstruction state machine -----------------------------
 
   struct Recon {
+    int group = 0;
     int home;
     BlockNum row;
     std::function<void(Status, Block, Uid)> done;
@@ -1054,16 +1131,17 @@ struct RaddNodeSystem::Node {
     done(std::move(st), std::move(block), uid);
   }
 
-  void StartReconstruction(uint64_t op, int home, BlockNum row,
+  void StartReconstruction(uint64_t op, int g, int home, BlockNum row,
                            std::function<void(Status, Block, Uid)> done) {
     Recon rc;
+    rc.group = g;
     rc.home = home;
     rc.row = row;
     rc.done = std::move(done);
     rc.sources =
-        sys->layout().ReconstructionSources(static_cast<SiteId>(home), row);
+        lay(g).ReconstructionSources(static_cast<SiteId>(home), row);
     for (SiteId src : rc.sources) {
-      SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
+      SiteId site_id = grp(g)->SiteOfMember(static_cast<int>(src));
       if (sys->Perceived(self, site_id) == SiteState::kDown) {
         rc.done(Status::Blocked("reconstruction source down"), Block(0),
                 Uid());
@@ -1080,8 +1158,9 @@ struct RaddNodeSystem::Node {
     Recon& rc = it->second;
     rc.replies.clear();
     for (SiteId src : rc.sources) {
-      SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
-      Send(site_id, MessageType::kReconReq, ReconReq{op, rc.row, rc.attempt}, 0);
+      SiteId site_id = grp(rc.group)->SiteOfMember(static_cast<int>(src));
+      Send(site_id, MessageType::kReconReq,
+           ReconReq{op, rc.group, rc.row, rc.attempt}, 0);
     }
     // A source can die (or its reply be lost) mid-round, which would leave
     // this flow waiting forever. Bound each round and re-issue against the
@@ -1095,7 +1174,7 @@ struct RaddNodeSystem::Node {
           Recon& r = rit->second;
           r.timer = 0;
           for (SiteId src : r.sources) {
-            SiteId site_id = sys->group_.SiteOfMember(static_cast<int>(src));
+            SiteId site_id = grp(r.group)->SiteOfMember(static_cast<int>(src));
             if (sys->Perceived(self, site_id) == SiteState::kDown) {
               FinishRecon(rit, Status::Blocked("reconstruction source down"),
                           Block(0), Uid());
@@ -1124,7 +1203,7 @@ struct RaddNodeSystem::Node {
       sys->stats_.Add("node.recon_stale_reply");
       return;
     }
-    int member = sys->group_.MemberAtSite(msg.from);
+    int member = grp(rc.group)->MemberAtSite(msg.from);
     if (!rep.status.ok()) {
       FinishRecon(it,
                   Status::Blocked("source failed: " + rep.status.ToString()),
@@ -1135,7 +1214,7 @@ struct RaddNodeSystem::Node {
     if (rc.replies.size() < rc.sources.size()) return;
 
     // All replies in: validate UIDs against the parity array (§3.3).
-    int pm = static_cast<int>(sys->layout().ParitySite(rc.row));
+    int pm = static_cast<int>(lay(rc.group).ParitySite(rc.row));
     const std::vector<Uid>* array = nullptr;
     auto pit = rc.replies.find(pm);
     if (pit != rc.replies.end()) array = &pit->second.uid_array;
@@ -1185,18 +1264,53 @@ RaddNodeSystem::RaddNodeSystem(Simulator* sim, Network* net,
                                Cluster* cluster,
                                const RaddConfig& radd_config,
                                const NodeConfig& node_config)
+    : RaddNodeSystem(sim, net, cluster,
+                     std::vector<GroupSpec>{GroupSpec{radd_config, {}}},
+                     node_config) {}
+
+RaddNodeSystem::RaddNodeSystem(Simulator* sim, Network* net,
+                               Cluster* cluster,
+                               std::vector<GroupSpec> specs,
+                               const NodeConfig& node_config)
     : sim_(sim),
       net_(net),
       cluster_(cluster),
-      radd_config_(radd_config),
       node_config_(node_config),
-      group_(cluster, radd_config),
-      arena_(radd_config.block_size) {
-  for (int m = 0; m < group_.num_members(); ++m) {
-    SiteId s = group_.SiteOfMember(m);
-    nodes_[s] = std::make_unique<Node>(this, s);
-    net_->RegisterHandler(
-        s, [this, s](Message& msg) { Dispatch(s, msg); });
+      arena_(specs.front().config.block_size) {
+  for (GroupSpec& spec : specs) {
+    // The arena recycles one buffer size across all groups; a volume with
+    // mixed block sizes would hand wrong-sized leases to the smaller ones.
+    if (spec.config.block_size != specs.front().config.block_size) {
+      std::fprintf(stderr,
+                   "RaddNodeSystem: all groups must share one block size\n");
+      std::abort();
+    }
+    groups_.push_back(
+        spec.members.empty()
+            ? std::make_unique<RaddGroup>(cluster, spec.config)
+            : std::make_unique<RaddGroup>(cluster, spec.config,
+                                          std::move(spec.members)));
+  }
+  // One Node per distinct site across all groups, registered in first-seen
+  // order (group-major, member order within a group) so the single-group
+  // case registers handlers exactly as before.
+  for (const auto& group : groups_) {
+    for (int m = 0; m < group->num_members(); ++m) {
+      SiteId site = group->SiteOfMember(m);
+      if (nodes_.count(site)) continue;
+      nodes_[site] = std::make_unique<Node>(this, site);
+      net_->RegisterHandler(
+          site, [this, site](Message& msg) { Dispatch(site, msg); });
+    }
+  }
+  for (auto& [site, n] : nodes_) {
+    n->locals.resize(groups_.size());
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      int m = groups_[g]->MemberAtSite(site);
+      n->locals[g].member = m;
+      n->locals[g].first_block =
+          m >= 0 ? groups_[g]->FirstBlockOfMember(m) : 0;
+    }
   }
 }
 
@@ -1221,9 +1335,11 @@ uint64_t RaddNodeSystem::EpochOf(SiteId site) const {
   return status_service_ != nullptr ? status_service_->Epoch(site) : 0;
 }
 
-Status RaddNodeSystem::CheckMemberEpoch(int home, uint64_t epoch) const {
+Status RaddNodeSystem::CheckMemberEpoch(int grp, int home,
+                                        uint64_t epoch) const {
   if (status_service_ == nullptr) return Status::OK();
-  return status_service_->CheckEpoch(group_.SiteOfMember(home), epoch);
+  return status_service_->CheckEpoch(
+      groups_[static_cast<size_t>(grp)]->SiteOfMember(home), epoch);
 }
 
 uint64_t RaddNodeSystem::InFlightOps() const {
@@ -1354,18 +1470,20 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
         // Home said "block lost": redirect to the spare (degraded write).
         PendingWrite& pw = it->second;
         Node* client_node = node(pw.client);
+        RaddGroup* g = groups_[static_cast<size_t>(pw.group)].get();
         SpareWriteReq req;
         req.op = rep.op;
+        req.group = pw.group;
         req.home = pw.home;
         req.row = pw.row;
         req.deadline = WriteDeadline(pw);
-        req.home_epoch = EpochOf(group_.SiteOfMember(pw.home));
+        req.home_epoch = EpochOf(g->SiteOfMember(pw.home));
         req.data = pw.data;  // pw keeps its copy for retries
         req.uid = cluster_->site(pw.client)->uids()->Next();
         size_t wire = req.data.size();
         client_node->Send(
-            group_.SiteOfMember(
-                static_cast<int>(layout().SpareSite(pw.row))),
+            g->SiteOfMember(
+                static_cast<int>(g->layout().SpareSite(pw.row))),
             MessageType::kSpareWriteReq, std::move(req), wire);
         return;
       }
@@ -1402,12 +1520,13 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
       }
       // Spare invalid. A recovering home may still hold a valid local
       // copy: try it before paying for reconstruction.
-      SiteId home_site = group_.SiteOfMember(pr.home);
+      SiteId home_site =
+          groups_[static_cast<size_t>(pr.group)]->SiteOfMember(pr.home);
       if (!pr.tried_home &&
           Perceived(pr.client, home_site) != SiteState::kDown) {
         pr.tried_home = true;
         node(pr.client)->Send(home_site, MessageType::kReadReq,
-                              ReadReq{rep.op, pr.row}, 0);
+                              ReadReq{rep.op, pr.group, pr.row}, 0);
         return;
       }
       StartReadReconstruction(rep.op, pr);
@@ -1441,11 +1560,17 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
 
 void RaddNodeSystem::AsyncRead(SiteId client, int home, BlockNum index,
                                ReadCallback cb) {
+  AsyncRead(client, /*grp=*/0, home, index, std::move(cb));
+}
+
+void RaddNodeSystem::AsyncRead(SiteId client, int grp, int home,
+                               BlockNum index, ReadCallback cb) {
   uint64_t op = next_op_++;
   PendingRead pr;
   pr.client = client;
+  pr.group = grp;
   pr.home = home;
-  pr.row = layout().DataToRow(static_cast<SiteId>(home), index);
+  pr.row = layout(grp).DataToRow(static_cast<SiteId>(home), index);
   pr.cb = std::move(cb);
   pr.start = sim_->Now();
   reads_[op] = std::move(pr);
@@ -1455,7 +1580,7 @@ void RaddNodeSystem::AsyncRead(SiteId client, int home, BlockNum index,
 void RaddNodeSystem::StartReadReconstruction(uint64_t op,
                                              PendingRead& pr) {
   node(pr.client)->StartReconstruction(
-      op, pr.home, pr.row,
+      op, pr.group, pr.home, pr.row,
       [this, op](Status st, Block data, Uid logical) {
         auto rit = reads_.find(op);
         if (rit == reads_.end()) return;
@@ -1464,22 +1589,24 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
           return;
         }
         PendingRead& r = rit->second;
+        RaddGroup* g = groups_[static_cast<size_t>(r.group)].get();
         // Materialize into the spare (asynchronous side effect), but only
         // while the home site is down — a recovering home's own copy is
         // repaired by its sweep instead.
-        if (radd_config_.materialize_on_degraded_read &&
-            Perceived(r.client, group_.SiteOfMember(r.home)) ==
+        if (g->config().materialize_on_degraded_read &&
+            Perceived(r.client, g->SiteOfMember(r.home)) ==
                 SiteState::kDown) {
           SpareWriteBack wb;
+          wb.group = r.group;
           wb.home = r.home;
           wb.row = r.row;
-          wb.home_epoch = EpochOf(group_.SiteOfMember(r.home));
+          wb.home_epoch = EpochOf(g->SiteOfMember(r.home));
           wb.data = data;  // the read's caller still needs `data`
           wb.logical_uid = logical;
           size_t wire = wb.data.size();
           node(r.client)->Send(
-              group_.SiteOfMember(
-                  static_cast<int>(layout().SpareSite(r.row))),
+              g->SiteOfMember(
+                  static_cast<int>(g->layout().SpareSite(r.row))),
               MessageType::kSpareWriteBack, std::move(wb), wire);
         }
         FinishRead(op, Status::OK(), std::move(data));
@@ -1502,26 +1629,35 @@ void RaddNodeSystem::StartRead(uint64_t op) {
         stats_.Add("node.read_retry");
         StartRead(op);
       });
-  SiteId home_site = group_.SiteOfMember(pr.home);
+  RaddGroup* g = groups_[static_cast<size_t>(pr.group)].get();
+  SiteId home_site = g->SiteOfMember(pr.home);
   Node* client_node = node(pr.client);
   SiteState state = Perceived(pr.client, home_site);
   if (state == SiteState::kDown || state == SiteState::kRecovering) {
     // Spare first; its reply drives the rest of the state machine.
     client_node->Send(
-        group_.SiteOfMember(static_cast<int>(layout().SpareSite(pr.row))),
-        MessageType::kSpareReadReq, SpareReadReq{op, pr.home, pr.row}, 0);
+        g->SiteOfMember(static_cast<int>(g->layout().SpareSite(pr.row))),
+        MessageType::kSpareReadReq,
+        SpareReadReq{op, pr.group, pr.home, pr.row}, 0);
     return;
   }
-  client_node->Send(home_site, MessageType::kReadReq, ReadReq{op, pr.row}, 0);
+  client_node->Send(home_site, MessageType::kReadReq,
+                    ReadReq{op, pr.group, pr.row}, 0);
 }
 
 void RaddNodeSystem::AsyncWrite(SiteId client, int home, BlockNum index,
                                 Block data, WriteCallback cb) {
+  AsyncWrite(client, /*grp=*/0, home, index, std::move(data), std::move(cb));
+}
+
+void RaddNodeSystem::AsyncWrite(SiteId client, int grp, int home,
+                                BlockNum index, Block data, WriteCallback cb) {
   uint64_t op = next_op_++;
   PendingWrite pw;
   pw.client = client;
+  pw.group = grp;
   pw.home = home;
-  pw.row = layout().DataToRow(static_cast<SiteId>(home), index);
+  pw.row = layout(grp).DataToRow(static_cast<SiteId>(home), index);
   pw.data = std::move(data);
   pw.cb = std::move(cb);
   pw.start = sim_->Now();
@@ -1531,12 +1667,14 @@ void RaddNodeSystem::AsyncWrite(SiteId client, int home, BlockNum index,
 
 void RaddNodeSystem::StartWrite(uint64_t op) {
   PendingWrite& pw = writes_.at(op);
-  SiteId home_site = group_.SiteOfMember(pw.home);
+  RaddGroup* g = groups_[static_cast<size_t>(pw.group)].get();
+  SiteId home_site = g->SiteOfMember(pw.home);
   Node* client_node = node(pw.client);
   ArmWriteTimer(op);
   if (Perceived(pw.client, home_site) == SiteState::kDown) {
     SpareWriteReq req;
     req.op = op;
+    req.group = pw.group;
     req.home = pw.home;
     req.row = pw.row;
     req.deadline = WriteDeadline(pw);
@@ -1545,12 +1683,13 @@ void RaddNodeSystem::StartWrite(uint64_t op) {
     req.uid = cluster_->site(pw.client)->uids()->Next();
     size_t wire = req.data.size();
     client_node->Send(
-        group_.SiteOfMember(static_cast<int>(layout().SpareSite(pw.row))),
+        g->SiteOfMember(static_cast<int>(g->layout().SpareSite(pw.row))),
         MessageType::kSpareWriteReq, std::move(req), wire);
     return;
   }
   WriteReq req;
   req.op = op;
+  req.group = pw.group;
   req.row = pw.row;
   req.home = pw.home;
   req.deadline = WriteDeadline(pw);
@@ -1611,9 +1750,14 @@ void RaddNodeSystem::FinishWrite(uint64_t op, Status st) {
 
 RaddNodeSystem::TimedRead RaddNodeSystem::Read(SiteId client, int home,
                                                BlockNum index) {
+  return Read(client, /*grp=*/0, home, index);
+}
+
+RaddNodeSystem::TimedRead RaddNodeSystem::Read(SiteId client, int grp,
+                                               int home, BlockNum index) {
   TimedRead out;
   bool done = false;
-  AsyncRead(client, home, index,
+  AsyncRead(client, grp, home, index,
             [&](Status st, const Block& data, SimTime latency) {
               out.status = st;
               out.data = data;
@@ -1628,9 +1772,15 @@ RaddNodeSystem::TimedRead RaddNodeSystem::Read(SiteId client, int home,
 RaddNodeSystem::TimedWrite RaddNodeSystem::Write(SiteId client, int home,
                                                  BlockNum index,
                                                  const Block& data) {
+  return Write(client, /*grp=*/0, home, index, data);
+}
+
+RaddNodeSystem::TimedWrite RaddNodeSystem::Write(SiteId client, int grp,
+                                                 int home, BlockNum index,
+                                                 const Block& data) {
   TimedWrite out;
   bool done = false;
-  AsyncWrite(client, home, index, data, [&](Status st, SimTime latency) {
+  AsyncWrite(client, grp, home, index, data, [&](Status st, SimTime latency) {
     out.status = st;
     out.latency = latency;
     done = true;

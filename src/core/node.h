@@ -53,7 +53,18 @@ struct NodeConfig {
   ParityBatchConfig parity_batch;
 };
 
-/// The distributed RADD: one protocol node per cluster site.
+/// One RADD group hosted by the node system: the group's tuning knobs
+/// plus an optional explicit member list (empty = the identity group:
+/// member m is site m with offset 0).
+struct GroupSpec {
+  RaddConfig config;
+  std::vector<LogicalDrive> members;
+};
+
+/// The distributed RADD: one protocol node per cluster site, hosting one
+/// or more RADD groups (§4). All groups share the simulator, network and
+/// cluster; per-group state (lock rows, dedupe tables, parity staging) is
+/// keyed by group id, and batched parity frames never mix groups.
 class RaddNodeSystem {
  public:
   using ReadCallback =
@@ -63,14 +74,30 @@ class RaddNodeSystem {
   RaddNodeSystem(Simulator* sim, Network* net, Cluster* cluster,
                  const RaddConfig& radd_config,
                  const NodeConfig& node_config = {});
+
+  /// Multi-group form: one protocol stack running every group in `specs`
+  /// side by side. All specs must share one block size (they feed one
+  /// buffer arena). At most one member per (group, site).
+  RaddNodeSystem(Simulator* sim, Network* net, Cluster* cluster,
+                 std::vector<GroupSpec> specs,
+                 const NodeConfig& node_config = {});
   ~RaddNodeSystem();
 
-  /// Issues a read of member `home`'s data block `index` from `client`.
+  /// Issues a read of member `home`'s data block `index` from `client`
+  /// (group 0; the single-group API).
   void AsyncRead(SiteId client, int home, BlockNum index, ReadCallback cb);
 
-  /// Issues a write.
+  /// Group-addressed read: member `home` of group `grp`.
+  void AsyncRead(SiteId client, int grp, int home, BlockNum index,
+                 ReadCallback cb);
+
+  /// Issues a write (group 0).
   void AsyncWrite(SiteId client, int home, BlockNum index, Block data,
                   WriteCallback cb);
+
+  /// Group-addressed write.
+  void AsyncWrite(SiteId client, int grp, int home, BlockNum index,
+                  Block data, WriteCallback cb);
 
   /// Blocking facades: run the simulator until the operation completes.
   struct TimedRead {
@@ -79,11 +106,14 @@ class RaddNodeSystem {
     SimTime latency = 0;
   };
   TimedRead Read(SiteId client, int home, BlockNum index);
+  TimedRead Read(SiteId client, int grp, int home, BlockNum index);
   struct TimedWrite {
     Status status;
     SimTime latency = 0;
   };
   TimedWrite Write(SiteId client, int home, BlockNum index,
+                   const Block& data);
+  TimedWrite Write(SiteId client, int grp, int home, BlockNum index,
                    const Block& data);
 
   /// Overrides the oracle failure detector for `observer`'s view of
@@ -135,10 +165,19 @@ class RaddNodeSystem {
   void SetDiskSlowFactor(SiteId site, uint32_t factor);
 
   /// The reference model sharing the same cluster state; used for
-  /// recovery sweeps and invariant checking.
-  RaddGroup* group() { return &group_; }
+  /// recovery sweeps and invariant checking. The no-arg form is group 0
+  /// (the single-group API).
+  RaddGroup* group() { return groups_.front().get(); }
+  RaddGroup* group(int grp) { return groups_[static_cast<size_t>(grp)].get(); }
+  const RaddGroup* group(int grp) const {
+    return groups_[static_cast<size_t>(grp)].get();
+  }
+  int num_groups() const { return static_cast<int>(groups_.size()); }
 
-  const RaddLayout& layout() const { return group_.layout(); }
+  const RaddLayout& layout() const { return groups_.front()->layout(); }
+  const RaddLayout& layout(int grp) const {
+    return groups_[static_cast<size_t>(grp)]->layout();
+  }
   Stats* mutable_stats() { return &stats_; }
   const Stats& stats() const { return stats_; }
 
@@ -150,9 +189,9 @@ class RaddNodeSystem {
 
   /// Membership epoch of `site` (0 when no status service is connected).
   uint64_t EpochOf(SiteId site) const;
-  /// OK when `epoch` is current for member `home`'s site; StaleEpoch when
-  /// a status service is connected and knows a newer one.
-  Status CheckMemberEpoch(int home, uint64_t epoch) const;
+  /// OK when `epoch` is current for member `home`'s site (in group `grp`);
+  /// StaleEpoch when a status service is connected and knows a newer one.
+  Status CheckMemberEpoch(int grp, int home, uint64_t epoch) const;
 
   void Dispatch(SiteId site, Message& msg);
   Node* node(SiteId s) { return nodes_.at(s).get(); }
@@ -160,9 +199,8 @@ class RaddNodeSystem {
   Simulator* sim_;
   Network* net_;
   Cluster* cluster_;
-  RaddConfig radd_config_;
   NodeConfig node_config_;
-  RaddGroup group_;
+  std::vector<std::unique_ptr<RaddGroup>> groups_;
   /// Free-list for block-sized buffers: message handlers lease scratch
   /// blocks and return spent payload buffers here instead of reallocating.
   BlockArena arena_;
@@ -176,6 +214,7 @@ class RaddNodeSystem {
   // --- pending client operations -------------------------------------------
   struct PendingRead {
     SiteId client;
+    int group = 0;
     int home;
     BlockNum row;
     ReadCallback cb;
@@ -186,6 +225,7 @@ class RaddNodeSystem {
   };
   struct PendingWrite {
     SiteId client;
+    int group = 0;
     int home;
     BlockNum row;
     Block data{0};

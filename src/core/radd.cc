@@ -1,6 +1,9 @@
 #include "core/radd.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <set>
 
 namespace radd {
 
@@ -27,7 +30,56 @@ RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config,
       config_(config),
       layout_(config.group_size),
       members_(std::move(members)) {
-  assert(static_cast<int>(members_.size()) == layout_.num_sites());
+  Status st = ValidateMembers(*cluster, config_, members_);
+  if (!st.ok()) {
+    // A malformed member list would address blocks of *other* groups (or
+    // fall off the disk) and corrupt data that is not even this group's;
+    // refuse to run rather than limp on.
+    std::fprintf(stderr, "RaddGroup: invalid member list: %s\n",
+                 st.ToString().c_str());
+    std::abort();
+  }
+}
+
+Status RaddGroup::ValidateMembers(const Cluster& cluster,
+                                  const RaddConfig& config,
+                                  const std::vector<LogicalDrive>& members) {
+  const int expect = config.group_size + 2;
+  if (static_cast<int>(members.size()) != expect) {
+    return Status::InvalidArgument(
+        "group has " + std::to_string(members.size()) + " members, needs G+2 = " +
+        std::to_string(expect));
+  }
+  std::set<SiteId> sites;
+  for (size_t m = 0; m < members.size(); ++m) {
+    const LogicalDrive& d = members[m];
+    if (d.site >= static_cast<SiteId>(cluster.num_sites())) {
+      return Status::InvalidArgument("member " + std::to_string(m) +
+                                     " names unknown site " +
+                                     std::to_string(d.site));
+    }
+    if (!sites.insert(d.site).second) {
+      return Status::InvalidArgument(
+          "two members share site " + std::to_string(d.site) +
+          " (a single failure would lose both)");
+    }
+    if (d.drive_blocks < config.rows) {
+      return Status::InvalidArgument(
+          "member " + std::to_string(m) + "'s drive holds " +
+          std::to_string(d.drive_blocks) + " blocks, fewer than rows = " +
+          std::to_string(config.rows));
+    }
+    const BlockNum total = cluster.site(d.site)->store()->total_blocks();
+    if (d.first_block > total || d.first_block + config.rows > total) {
+      return Status::InvalidArgument(
+          "member " + std::to_string(m) + "'s window [" +
+          std::to_string(d.first_block) + ", " +
+          std::to_string(d.first_block + config.rows) +
+          ") exceeds site " + std::to_string(d.site) + "'s " +
+          std::to_string(total) + " blocks");
+    }
+  }
+  return Status::OK();
 }
 
 int RaddGroup::MemberAtSite(SiteId site) const {
@@ -639,10 +691,14 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
         }
       }
       // No spare: the local block is either intact (temporary outage —
-      // nothing to do) or lost (disk failure / disaster — reconstruct).
+      // nothing to do) or lost (disk failure / disaster — reconstruct). An
+      // intact copy must still agree with the parity's UID array: a row
+      // rebuilt from the parity before an in-flight update landed looks
+      // readable but is one write behind (§3.3).
       Result<BlockRecord> lrec = site->store()->Peek(phys);
-      if (lrec.ok()) break;  // intact (valid or initial state)
-      if (!lrec.status().IsDataLoss()) return lrec.status();
+      if (lrec.ok() && !ParityEntrySupersedes(home, row, lrec->uid)) break;
+      if (!lrec.ok() && !lrec.status().IsDataLoss()) return lrec.status();
+      if (lrec.ok()) stats_.Add("radd.recovery_uid_reconciled");
       Result<Reconstructed> recon = Reconstruct(self, home, row, counts);
       if (!recon.ok()) return recon.status();
       RADD_RETURN_NOT_OK(
@@ -726,6 +782,32 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
   return Status::OK();
 }
 
+bool RaddGroup::ParityEntrySupersedes(int home, BlockNum row,
+                                      Uid local) const {
+  // §3.3: the parity block's UID array is the authority on which writes a
+  // row has accepted. A data copy whose UID disagrees with (and does not
+  // postdate) the array entry missed an update — e.g. it was rebuilt from
+  // the parity before an in-flight delta for the same row landed.
+  const int pm = static_cast<int>(layout_.ParitySite(row));
+  if (StateOfMember(pm) != SiteState::kUp) return false;  // no authority
+  Result<BlockRecord> prec = SiteOf(pm)->store()->Peek(Phys(pm, row));
+  if (!prec.ok()) return false;
+  const size_t pos = static_cast<size_t>(home);
+  const Uid entry =
+      pos < prec->uid_array.size() ? prec->uid_array[pos] : Uid();
+  if (!entry.valid() || entry == local) return false;
+  if (!local.valid()) return true;
+  if (entry.site() == local.site()) {
+    // Same generator: sequences order the writes. A local copy newer than
+    // the entry saw an update the parity missed while down — keep it; the
+    // parity's own recovery rebuilds its row from the data.
+    return entry.sequence() > local.sequence();
+  }
+  // Cross-site disagreement: the parity accepted a write (e.g. a degraded
+  // write through the spare) this copy never held.
+  return true;
+}
+
 Result<BlockNum> RaddGroup::FirstUnrecoveredRow(int home,
                                                 BlockNum from) const {
   if (home < 0 || home >= num_members()) {
@@ -748,6 +830,11 @@ Result<BlockNum> RaddGroup::FirstUnrecoveredRow(int home,
     }
     Result<BlockRecord> lrec = site->store()->Peek(phys);
     if (!lrec.ok() && lrec.status().IsDataLoss()) return row;
+    if (lrec.ok() &&
+        layout_.RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData &&
+        ParityEntrySupersedes(home, row, lrec->uid)) {
+      return row;
+    }
   }
   return config_.rows;
 }

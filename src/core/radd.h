@@ -91,9 +91,21 @@ class RaddGroup {
 
   /// Explicit member list (e.g. from GroupAssigner::AssignBlocks). Each
   /// member's drive must hold at least `config.rows` blocks; members must
-  /// be on distinct sites.
+  /// be on distinct sites. The list is checked with ValidateMembers: a
+  /// malformed one (wrong count, shared sites, short drives, out-of-range
+  /// block windows) aborts instead of silently corrupting unrelated rows.
   RaddGroup(Cluster* cluster, const RaddConfig& config,
             std::vector<LogicalDrive> members);
+
+  /// Checks an explicit member list against the §4 preconditions without
+  /// constructing a group: exactly G+2 members, all on distinct existing
+  /// sites, every drive holding at least `config.rows` blocks, and every
+  /// drive's block window within its site's disk system. Callers that
+  /// assemble member lists dynamically (RaddVolume) surface this Status;
+  /// the constructor aborts on it.
+  static Status ValidateMembers(const Cluster& cluster,
+                                const RaddConfig& config,
+                                const std::vector<LogicalDrive>& members);
 
   const RaddConfig& config() const { return config_; }
   const RaddLayout& layout() const { return layout_; }
@@ -107,6 +119,10 @@ class RaddGroup {
 
   /// Site hosting member `m`.
   SiteId SiteOfMember(int m) const { return members_[size_t(m)].site; }
+  /// First physical block of member `m`'s logical drive on its site.
+  BlockNum FirstBlockOfMember(int m) const {
+    return members_[size_t(m)].first_block;
+  }
   /// Member hosted at `site`, or -1.
   int MemberAtSite(SiteId site) const;
 
@@ -191,6 +207,11 @@ class RaddGroup {
   /// True when member m's physical block for `row` is readable (site up or
   /// recovering and the block is not lost to a disk failure).
   bool BlockReadable(int m, BlockNum row) const;
+
+  /// §3.3: true when the parity row's UID array records a write for
+  /// `home` that `local` does not carry and does not postdate — the local
+  /// copy missed an update and must be reconstructed from the parity.
+  bool ParityEntrySupersedes(int home, BlockNum row, Uid local) const;
 
   /// §7.2 spare thinning: whether `row` has a spare block at all.
   bool SpareExists(BlockNum row) const;

@@ -1,54 +1,96 @@
 #include "core/sweeper.h"
 
+#include <utility>
+
 namespace radd {
 
 RecoverySweeper::RecoverySweeper(Simulator* sim, RaddGroup* group,
                                  SiteStatusService* service,
                                  const SweeperConfig& config)
-    : sim_(sim), group_(group), service_(service), config_(config) {}
+    : RecoverySweeper(sim, std::vector<RaddGroup*>{group}, service, config) {}
+
+RecoverySweeper::RecoverySweeper(Simulator* sim,
+                                 std::vector<RaddGroup*> groups,
+                                 SiteStatusService* service,
+                                 const SweeperConfig& config)
+    : sim_(sim),
+      groups_(std::move(groups)),
+      service_(service),
+      config_(config) {}
 
 void RecoverySweeper::Start() {
   if (started_) return;
   started_ = true;
   service_->AddListener([this](SiteId site, SiteState state, uint64_t) {
     if (state != SiteState::kRecovering) return;
-    const int member = group_->MemberAtSite(site);
-    if (member >= 0) Pump(member);
+    // A §4 site hosts one drive per group it belongs to; every such group
+    // needs its own sweep, and they run concurrently.
+    for (size_t g = 0; g < groups_.size(); ++g) {
+      const int member = groups_[g]->MemberAtSite(site);
+      if (member >= 0) Pump(static_cast<int>(g), member);
+    }
   });
   // Pick up members already mid-recovery when the sweeper comes online.
-  for (int m = 0; m < group_->num_members(); ++m) {
-    if (service_->StateOf(group_->SiteOfMember(m)) == SiteState::kRecovering) {
-      Pump(m);
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    for (int m = 0; m < groups_[g]->num_members(); ++m) {
+      if (service_->StateOf(groups_[g]->SiteOfMember(m)) ==
+          SiteState::kRecovering) {
+        Pump(static_cast<int>(g), m);
+      }
     }
   }
 }
 
-BlockNum RecoverySweeper::cursor(int member) const {
-  auto it = sweeps_.find(member);
+BlockNum RecoverySweeper::cursor(int grp, int member) const {
+  auto it = sweeps_.find({grp, member});
   return it == sweeps_.end() ? 0 : it->second.cursor;
 }
 
-bool RecoverySweeper::active(int member) const {
-  auto it = sweeps_.find(member);
+bool RecoverySweeper::active(int grp, int member) const {
+  auto it = sweeps_.find({grp, member});
   return it != sweeps_.end() && it->second.active;
 }
 
-void RecoverySweeper::Pump(int member) {
-  Sweep& sw = sweeps_[member];
+void RecoverySweeper::Pump(int grp, int member) {
+  Sweep& sw = sweeps_[{grp, member}];
   if (sw.active) return;  // a tick chain is already running
   sw.active = true;
   if (sw.cursor > 0) stats_.Add("sweeper.resumes");
   stats_.Add("sweeper.sweeps_started");
-  sim_->Schedule(0, [this, member]() { Tick(member); });
+  sim_->Schedule(0, [this, grp, member]() { Tick(grp, member); });
 }
 
-void RecoverySweeper::Tick(int member) {
-  Sweep& sw = sweeps_[member];
-  const SiteId site = group_->SiteOfMember(member);
+bool RecoverySweeper::TryMarkUp(SiteId site) {
+  // Cross-group gate: the site may be clean in the group whose sweep just
+  // finished but still dirty in a sibling group. Verify every slice in
+  // this same simulator event (metadata-only scans) so no spare commit can
+  // interleave between "all clean" and "up".
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const int m = groups_[g]->MemberAtSite(site);
+    if (m < 0) continue;
+    auto dirty = groups_[g]->FirstUnrecoveredRow(m);
+    if (!dirty.ok() || *dirty < groups_[g]->config().rows) return false;
+  }
+  if (!service_->MarkUp(site).ok()) return false;
+  // Reset every slice's cursor; still-active sibling chains terminate on
+  // their next tick (the site is no longer recovering) with cursor 0.
+  for (size_t g = 0; g < groups_.size(); ++g) {
+    const int m = groups_[g]->MemberAtSite(site);
+    if (m < 0) continue;
+    sweeps_[{static_cast<int>(g), m}].cursor = 0;
+  }
+  return true;
+}
+
+void RecoverySweeper::Tick(int grp, int member) {
+  Sweep& sw = sweeps_[{grp, member}];
+  RaddGroup* group = groups_[static_cast<size_t>(grp)];
+  const SiteId site = group->SiteOfMember(member);
   if (service_->StateOf(site) != SiteState::kRecovering) {
-    // The site left the recovering state under us (crashed again, or an
-    // oracle marked it up). End the chain but keep the cursor: the next
-    // kRecovering transition resumes instead of re-draining from row 0.
+    // The site left the recovering state under us (crashed again, marked
+    // up by a sibling group's sweep, or an oracle). End the chain but keep
+    // the cursor: the next kRecovering transition resumes instead of
+    // re-draining from row 0.
     sw.active = false;
     return;
   }
@@ -62,9 +104,9 @@ void RecoverySweeper::Tick(int member) {
   }
 
   OpCounts ops;
-  const BlockNum rows = group_->config().rows;
+  const BlockNum rows = group->config().rows;
   while (budget > 0 && sw.cursor < rows) {
-    Status st = group_->RecoverRow(member, sw.cursor, &ops);
+    Status st = group->RecoverRow(member, sw.cursor, &ops);
     if (!st.ok()) {
       // Typically Blocked (a source for reconstruction is unavailable).
       // Leave the cursor on this row and retry next tick — another site's
@@ -79,17 +121,21 @@ void RecoverySweeper::Tick(int member) {
   stats_.Observe("sweeper.tick_ops", ops.Total());
 
   if (sw.cursor >= rows) {
-    auto dirty = group_->FirstUnrecoveredRow(member);
+    auto dirty = group->FirstUnrecoveredRow(member);
     if (dirty.ok()) {
       if (*dirty >= rows) {
-        // Verification scan and MarkUp run in this same simulator event,
-        // so no spare commit can slip between "clean" and "up".
-        if (service_->MarkUp(site).ok()) {
+        // This group is clean; the site goes up only when its drives in
+        // every sibling group are clean too. The last-finishing sweep's
+        // verification and the MarkUp share one simulator event.
+        if (TryMarkUp(site)) {
           stats_.Add("sweeper.completed");
           sw.active = false;
           sw.cursor = 0;
           return;
         }
+        // A sibling slice is still dirty (or MarkUp was refused): keep
+        // ticking so this group re-verifies — and re-sweeps rows that get
+        // re-dirtied — until the whole site converges.
       } else {
         // Rows behind the cursor were re-dirtied (e.g. spares absorbed
         // writes during a second outage). Rewind and keep sweeping.
@@ -100,7 +146,8 @@ void RecoverySweeper::Tick(int member) {
       stats_.Add("sweeper.verify_errors");
     }
   }
-  sim_->Schedule(config_.tick_interval, [this, member]() { Tick(member); });
+  sim_->Schedule(config_.tick_interval,
+                 [this, grp, member]() { Tick(grp, member); });
 }
 
 }  // namespace radd

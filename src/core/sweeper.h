@@ -26,6 +26,8 @@
 
 #include <functional>
 #include <map>
+#include <utility>
+#include <vector>
 
 #include "cluster/status_service.h"
 #include "core/radd.h"
@@ -48,10 +50,21 @@ struct SweeperConfig {
   std::function<uint64_t()> load_probe;
 };
 
-/// One sweeper instance serves every member of one group.
+/// One sweeper instance serves every member of every group it is given.
+/// A multi-group (§4) site failure starts one sweep per affected group;
+/// the per-group cursors advance concurrently (interleaved ticks) under
+/// the one shared load probe, and the site is marked up only when *every*
+/// group hosting one of its drives verifies clean — the last-finishing
+/// sweep performs the cross-group verification scan and the MarkUp in a
+/// single simulator event.
 class RecoverySweeper {
  public:
   RecoverySweeper(Simulator* sim, RaddGroup* group,
+                  SiteStatusService* service,
+                  const SweeperConfig& config = {});
+
+  /// Multi-group form (e.g. every group of a RaddVolume).
+  RecoverySweeper(Simulator* sim, std::vector<RaddGroup*> groups,
                   SiteStatusService* service,
                   const SweeperConfig& config = {});
 
@@ -59,12 +72,15 @@ class RecoverySweeper {
   /// already recovering. Idempotent.
   void Start();
 
-  /// Progress cursor of `member`'s sweep (rows [0, cursor) repaired this
-  /// pass). Retained across crash-mid-sweep for resume.
-  BlockNum cursor(int member) const;
+  /// Progress cursor of `member`'s sweep in group 0 (rows [0, cursor)
+  /// repaired this pass). Retained across crash-mid-sweep for resume.
+  BlockNum cursor(int member) const { return cursor(0, member); }
+  /// Cursor of group `grp`'s `member`.
+  BlockNum cursor(int grp, int member) const;
 
-  /// True while a sweep for `member` has ticks scheduled.
-  bool active(int member) const;
+  /// True while a sweep for group 0's `member` has ticks scheduled.
+  bool active(int member) const { return active(0, member); }
+  bool active(int grp, int member) const;
 
   /// Counters: "sweeper.ticks", "sweeper.rows_swept", "sweeper.resumes",
   /// "sweeper.completed", "sweeper.rescans", "sweeper.row_errors",
@@ -78,15 +94,19 @@ class RecoverySweeper {
     bool active = false;
   };
 
-  /// Ensures a tick chain is running for `member`.
-  void Pump(int member);
-  void Tick(int member);
+  /// Ensures a tick chain is running for group `grp`'s `member`.
+  void Pump(int grp, int member);
+  void Tick(int grp, int member);
+  /// True when every group hosting a drive of `site` verifies clean; marks
+  /// the site up in the same event. Called by a sweep whose own group just
+  /// verified clean.
+  bool TryMarkUp(SiteId site);
 
   Simulator* sim_;
-  RaddGroup* group_;
+  std::vector<RaddGroup*> groups_;
   SiteStatusService* service_;
   SweeperConfig config_;
-  std::map<int, Sweep> sweeps_;
+  std::map<std::pair<int, int>, Sweep> sweeps_;  // (group, member)
   Stats stats_;
   bool started_ = false;
 };

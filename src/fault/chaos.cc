@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/volume.h"
 
 namespace radd {
 
@@ -21,6 +22,7 @@ std::string ChaosReport::Summary() const {
                     " failed=" + std::to_string(ops_failed) +
                     " reads=" + std::to_string(reads_validated) +
                     " t=" + std::to_string(end_time) + " " + plan;
+  if (groups > 1) out += " groups=" + std::to_string(groups);
   if (batched) {
     out += " batches=" + std::to_string(batches_sent) +
            " batch_retx=" + std::to_string(batch_retransmits) +
@@ -43,12 +45,24 @@ ChaosHarness::ChaosHarness(const ChaosConfig& config) : config_(config) {}
 ChaosReport ChaosHarness::Run(uint64_t seed) {
   ChaosConfig cfg = config_;
   const int members = cfg.group_size + 2;
-  cfg.plan.members = members;
+  // §4 volume shape: `groups` * (G+2) logical drives spread round-robin
+  // over G+1+groups sites. groups == 1 degenerates to the classic one
+  // drive per site on G+2 sites, which the assigner maps to the identity
+  // group — every address, RNG draw and site id matches the pre-volume
+  // harness exactly.
+  const int num_sites =
+      cfg.groups == 1 ? members : members - 1 + cfg.groups;
+  std::vector<int> drives_per_site(static_cast<size_t>(num_sites), 0);
+  for (int d = 0; d < cfg.groups * members; ++d) {
+    ++drives_per_site[static_cast<size_t>(d % num_sites)];
+  }
+  cfg.plan.members = num_sites;  // faults target sites, not group members
   cfg.plan.rows = cfg.rows;
   FaultPlan plan = FaultPlan::Random(seed, cfg.plan);
 
   ChaosReport report;
   report.seed = seed;
+  report.groups = cfg.groups;
   report.plan = plan.ToString();
 
   Simulator sim;
@@ -80,16 +94,32 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
                        return FaultAction::kDeliver;
                      });
   }
-  SiteConfig sc;
-  sc.num_disks = 1;
-  sc.blocks_per_disk = cfg.rows;
-  sc.block_size = cfg.block_size;
-  Cluster cluster(members, sc);
-  RaddConfig rc;
-  rc.group_size = cfg.group_size;
-  rc.rows = cfg.rows;
-  rc.block_size = cfg.block_size;
-  RaddNodeSystem sys(&sim, &net, &cluster, rc, cfg.node);
+  std::vector<SiteConfig> site_configs;
+  site_configs.reserve(static_cast<size_t>(num_sites));
+  for (int s = 0; s < num_sites; ++s) {
+    SiteConfig sc;
+    sc.num_disks = 1;
+    sc.blocks_per_disk =
+        static_cast<BlockNum>(drives_per_site[static_cast<size_t>(s)]) *
+        cfg.rows;
+    sc.block_size = cfg.block_size;
+    site_configs.push_back(sc);
+  }
+  Cluster cluster(site_configs);
+  VolumeConfig vc;
+  vc.group.group_size = cfg.group_size;
+  vc.group.rows = cfg.rows;
+  vc.group.block_size = cfg.block_size;
+  vc.drives_per_site = drives_per_site;
+  vc.node = cfg.node;
+  Result<std::unique_ptr<RaddVolume>> made =
+      RaddVolume::Create(&sim, &net, &cluster, vc);
+  if (!made.ok()) {
+    report.failure = "volume: " + made.status().ToString();
+    return report;
+  }
+  RaddVolume& vol = **made;
+  RaddNodeSystem& sys = *vol.system();
 
   // --- autopilot control plane ---------------------------------------------
   // Detector constructed after `sys` so it chains in front of the protocol
@@ -104,8 +134,8 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     report.autopilot = true;
     service.emplace(&sim, &cluster);
     std::vector<SiteId> sites;
-    for (int m = 0; m < members; ++m) {
-      sites.push_back(sys.group()->SiteOfMember(m));
+    for (int s = 0; s < num_sites; ++s) {
+      sites.push_back(static_cast<SiteId>(s));
     }
     detector.emplace(&sim, &net, &cluster, sites, cfg.heartbeat);
     detector->SetStatusService(&*service);
@@ -118,13 +148,16 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     });
     SweeperConfig sw = cfg.sweeper;
     sw.load_probe = [&]() { return sys.InFlightOps(); };
-    sweeper.emplace(&sim, sys.group(), &*service, sw);
+    std::vector<RaddGroup*> sweep_groups;
+    for (int g = 0; g < vol.num_groups(); ++g) {
+      sweep_groups.push_back(vol.group(g));
+    }
+    sweeper.emplace(&sim, std::move(sweep_groups), &*service, sw);
     sweeper->Start();
     detector->Start();
   }
 
   Rng traffic(seed ^ 0x74726166ull);
-  const BlockNum data_blocks = sys.group()->DataBlocksPerMember();
   const uint64_t zero_ck = Block(cfg.block_size).Checksum();
 
   // --- acknowledged-write ledger -------------------------------------------
@@ -138,6 +171,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     std::optional<uint64_t> outstanding;
     bool written = false;  // ever acknowledged
   };
+  // Keyed by volume address: (site, site-local lba).
   std::map<std::pair<int, BlockNum>, BlockState> ledger;
   auto state_of = [&](int home, BlockNum idx) -> BlockState& {
     auto [it, fresh] = ledger.try_emplace({home, idx});
@@ -159,14 +193,14 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     return "m" + std::to_string(home) + "/b" + std::to_string(idx);
   };
 
-  int minority_member = -1;  // member isolated by a partition, else -1
+  int minority_member = -1;  // site isolated by a partition, else -1
 
   auto pick_client = [&]() -> std::optional<SiteId> {
     // §5: during a partition only the majority side may accept work.
     std::vector<SiteId> usable;
-    for (int m = 0; m < members; ++m) {
+    for (int m = 0; m < num_sites; ++m) {
       if (m == minority_member) continue;
-      SiteId s = sys.group()->SiteOfMember(m);
+      SiteId s = static_cast<SiteId>(m);
       if (cluster.StateOf(s) == SiteState::kDown) continue;
       usable.push_back(s);
     }
@@ -189,7 +223,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     ++outstanding;
     trace("write " + block_name(home, idx) + " ck=" + std::to_string(ck) +
           " from s" + std::to_string(*client));
-    sys.AsyncWrite(*client, home, idx, std::move(data),
+    vol.AsyncWrite(*client, static_cast<SiteId>(home), idx, std::move(data),
                    [&, home, idx, ck](Status st, SimTime) {
                      --outstanding;
                      trace("write " + block_name(home, idx) +
@@ -219,8 +253,8 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     ++outstanding;
     trace("read " + block_name(home, idx) + " from s" +
           std::to_string(*client));
-    sys.AsyncRead(
-        *client, home, idx,
+    vol.AsyncRead(
+        *client, static_cast<SiteId>(home), idx,
         [&, home, idx, snapshot = std::move(snapshot)](
             Status st, const Block& data, SimTime) {
           --outstanding;
@@ -248,28 +282,39 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
 
   auto repair_and_check = [&]() {
     // Scrub data first (restores readability of latent/corrupt blocks),
-    // then parity (recomputes rows whose updates were dropped).
-    for (int m = 0; m < members && failure.empty(); ++m) {
-      Result<int> r = sys.group()->ScrubData(m);
-      if (!r.ok()) fail("ScrubData(m" + std::to_string(m) + "): " +
-                        r.status().ToString());
+    // then parity (recomputes rows whose updates were dropped) — every
+    // group of the volume, in group order.
+    for (int g = 0; g < vol.num_groups() && failure.empty(); ++g) {
+      for (int m = 0; m < members && failure.empty(); ++m) {
+        Result<int> r = vol.group(g)->ScrubData(m);
+        if (!r.ok()) fail("ScrubData(g" + std::to_string(g) + "/m" +
+                          std::to_string(m) + "): " + r.status().ToString());
+      }
     }
-    for (int m = 0; m < members && failure.empty(); ++m) {
-      Result<int> r = sys.group()->ScrubParity(m);
-      if (!r.ok()) fail("ScrubParity(m" + std::to_string(m) + "): " +
-                        r.status().ToString());
+    for (int g = 0; g < vol.num_groups() && failure.empty(); ++g) {
+      for (int m = 0; m < members && failure.empty(); ++m) {
+        Result<int> r = vol.group(g)->ScrubParity(m);
+        if (!r.ok()) fail("ScrubParity(g" + std::to_string(g) + "/m" +
+                          std::to_string(m) + "): " + r.status().ToString());
+      }
     }
     if (!failure.empty()) return;
-    Status inv = sys.group()->VerifyInvariants();
+    Status inv = vol.VerifyInvariants();
     if (!inv.ok()) {
       fail("invariants: " + inv.ToString());
       return;
     }
     // Zero acknowledged-write loss: every block reads back as a value the
-    // ledger allows.
+    // ledger allows. Readback uses the synchronous reference model of the
+    // owning group, addressed through the volume map.
     for (auto& [key, bs] : ledger) {
-      OpResult r = sys.group()->Read(sys.group()->SiteOfMember(key.first),
-                                     key.first, key.second);
+      const SiteId site = static_cast<SiteId>(key.first);
+      Result<RaddVolume::Target> t = vol.Resolve(site, key.second);
+      if (!t.ok()) {
+        fail("resolve of " + block_name(key.first, key.second) + " failed");
+        return;
+      }
+      OpResult r = vol.group(t->group)->Read(site, t->member, t->index);
       if (!r.ok()) {
         fail("readback of " + block_name(key.first, key.second) +
              " failed: " + r.status.ToString());
@@ -279,7 +324,9 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
         if (cfg.verbose) {
           std::string allowed;
           for (uint64_t a : bs.allowed) allowed += " " + std::to_string(a);
-          trace("readback " + block_name(key.first, key.second) + " ck=" +
+          trace("readback " + block_name(key.first, key.second) + " (g" +
+                std::to_string(t->group) + "/m" + std::to_string(t->member) +
+                "/i" + std::to_string(t->index) + ") ck=" +
                 std::to_string(r.data.Checksum()) + " allowed:" + allowed);
         }
         fail((bs.written ? "acknowledged write lost at "
@@ -293,7 +340,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   for (const Episode& ep : plan.episodes) {
     if (!failure.empty()) break;
     const SimTime t0 = sim.Now();
-    const SiteId target = sys.group()->SiteOfMember(ep.member);
+    const SiteId target = static_cast<SiteId>(ep.member);
     trace("=== episode " + std::string(FaultKindName(ep.kind)) + "@m" +
           std::to_string(ep.member) + " duration=" +
           std::to_string(ep.duration) + " offset=" +
@@ -332,8 +379,8 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           break;
         case FaultKind::kPartition: {
           std::vector<SiteId> rest;
-          for (int m = 0; m < members; ++m) {
-            if (m != ep.member) rest.push_back(sys.group()->SiteOfMember(m));
+          for (int m = 0; m < num_sites; ++m) {
+            if (m != ep.member) rest.push_back(static_cast<SiteId>(m));
           }
           net.SetPartitions({{target}, rest});
           minority_member = ep.member;
@@ -349,19 +396,23 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           // never muster a declaration (§5).
           break;
         }
-        case FaultKind::kLatentErrors:
+        case FaultKind::kLatentErrors: {
+          const BlockNum span = cluster.site(target)->store()->total_blocks();
           for (int i = 0; i < ep.blocks; ++i) {
             (void)cluster.site(target)->disks()->InjectLatentError(
-                traffic.Uniform(cfg.rows));
+                traffic.Uniform(span));
           }
           break;
-        case FaultKind::kCorruption:
+        }
+        case FaultKind::kCorruption: {
+          const BlockNum span = cluster.site(target)->store()->total_blocks();
           for (int i = 0; i < ep.blocks; ++i) {
             (void)cluster.site(target)->disks()->CorruptBlock(
-                traffic.Uniform(cfg.rows), traffic.Next(),
+                traffic.Uniform(span), traffic.Next(),
                 1 + static_cast<int>(traffic.Uniform(3)));
           }
           break;
+        }
         case FaultKind::kGraySlow:
           sys.SetDiskSlowFactor(target, ep.slow_factor);
           break;
@@ -376,8 +427,9 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
       const SimTime when = t0 + traffic.Uniform(ep.duration);
       const bool is_write = traffic.Bernoulli(0.6);
       const int home = static_cast<int>(
-          traffic.Uniform(static_cast<uint64_t>(members)));
-      const BlockNum idx = traffic.Uniform(data_blocks);
+          traffic.Uniform(static_cast<uint64_t>(num_sites)));
+      const BlockNum idx = traffic.Uniform(
+          vol.DataBlocksAtSite(static_cast<SiteId>(home)));
       sim.At(when, [&, is_write, home, idx]() {
         if (is_write) {
           issue_write(home, idx);
@@ -400,8 +452,8 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           // sweeper drains whatever it missed. Nothing to do here.
           break;
         }
-        for (int m = 0; m < members; ++m) {
-          SiteId o = sys.group()->SiteOfMember(m);
+        for (int m = 0; m < num_sites; ++m) {
+          SiteId o = static_cast<SiteId>(m);
           sys.SetPresumedState(o, target, std::nullopt);
           sys.SetPresumedState(target, o, std::nullopt);
         }
@@ -480,20 +532,35 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     // Repair. In autopilot the control plane has already restored and
     // swept the target; only the manual mode does it here.
     if (!cfg.autopilot) {
+      // Every group hosting a drive of the failed site runs its own sweep;
+      // the site is marked up by the last one (§4, RaddGroup::RunRecovery's
+      // mark_up contract).
+      auto recover_site = [&]() {
+        std::vector<std::pair<int, int>> slices;  // (group, member)
+        for (int g = 0; g < vol.num_groups(); ++g) {
+          const int m = vol.group(g)->MemberAtSite(target);
+          if (m >= 0) slices.push_back({g, m});
+        }
+        for (size_t i = 0; i < slices.size(); ++i) {
+          const bool last = i + 1 == slices.size();
+          Result<OpCounts> r =
+              vol.group(slices[i].first)->RunRecovery(slices[i].second, last);
+          if (!r.ok()) {
+            fail("recovery: " + r.status().ToString());
+            return;
+          }
+        }
+      };
       switch (ep.kind) {
         case FaultKind::kCrashRestart:
         case FaultKind::kDisaster:
-        case FaultKind::kPartition: {
+        case FaultKind::kPartition:
           (void)cluster.RestoreSite(target);
-          Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
-          if (!r.ok()) fail("recovery: " + r.status().ToString());
+          recover_site();
           break;
-        }
-        case FaultKind::kDiskFailure: {
-          Result<OpCounts> r = sys.group()->RunRecovery(ep.member, true);
-          if (!r.ok()) fail("recovery: " + r.status().ToString());
+        case FaultKind::kDiskFailure:
+          recover_site();
           break;
-        }
         default:
           break;
       }

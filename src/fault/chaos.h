@@ -34,7 +34,12 @@ namespace radd {
 
 /// Shape of the cluster and traffic one chaos schedule runs against.
 struct ChaosConfig {
-  int group_size = 4;  ///< G; the group has G + 2 members/sites
+  int group_size = 4;  ///< G; each group has G + 2 members
+  /// RADD groups in the volume (§4 sharding). 1 = the classic single-group
+  /// harness (bit-identical summaries to the pre-volume harness); N > 1
+  /// spreads N*(G+2) logical drives round-robin over G+1+N sites, so every
+  /// fault lands on a site serving several groups at once.
+  int groups = 1;
   BlockNum rows = 12;
   size_t block_size = 256;
   int ops_per_episode = 24;
@@ -72,6 +77,7 @@ struct ChaosConfig {
 /// Outcome of one seeded schedule.
 struct ChaosReport {
   uint64_t seed = 0;
+  int groups = 1;  ///< volume width; Summary mentions it only when > 1
   bool ok = false;
   std::string failure;  ///< first violated invariant (empty when ok)
   std::string plan;     ///< FaultPlan::ToString of the schedule

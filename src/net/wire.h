@@ -74,6 +74,7 @@ MessageType MessageTypeFromName(const std::string& name);
 
 struct ReadReq {
   uint64_t op;
+  int group = 0;  // RADD group within the volume (§4 sharding)
   BlockNum row;
 };
 struct ReadReply {
@@ -84,6 +85,7 @@ struct ReadReply {
 };
 struct WriteReq {
   uint64_t op;
+  int group = 0;
   BlockNum row;
   int home;
   SimTime deadline = 0;  // client give-up time; later copies are zombies
@@ -96,6 +98,7 @@ struct WriteReply {
 };
 struct SpareReadReq {
   uint64_t op;
+  int group = 0;
   int home;
   BlockNum row;
 };
@@ -107,11 +110,13 @@ struct SpareReadReply {
 };
 struct SpareTakeReq {  // recovering-write old-value fetch + invalidate
   uint64_t op;
+  int group = 0;
   int home;
   BlockNum row;
 };
 struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
   uint64_t op;
+  int group = 0;
   int home;
   BlockNum row;
   SimTime deadline = 0;  // client give-up time; later copies are zombies
@@ -120,6 +125,7 @@ struct SpareWriteReq {  // W1' — degraded write shipped to the spare site
   Uid uid;  // minted by the writer
 };
 struct SpareWriteBack {  // degraded-read materialization (fire and forget)
+  int group = 0;
   int home;
   BlockNum row;
   uint64_t home_epoch = 0;  // membership epoch of the home site at issue
@@ -128,6 +134,7 @@ struct SpareWriteBack {  // degraded-read materialization (fire and forget)
 };
 struct ParityUpdate {
   uint64_t op;
+  int group = 0;
   BlockNum row;
   int position;
   uint64_t home_epoch = 0;  // membership epoch of the home site at issue
@@ -163,6 +170,7 @@ struct ParityBatchEntry {
 /// the paper's §3.3 UID-array check per entry across receiver restarts.
 struct ParityBatchFrame {
   uint64_t batch_seq = 0;  // per-sender, monotonically increasing
+  int group = 0;           // frames never mix groups: one coalescer each
   std::vector<ParityBatchEntry> entries;
 };
 
@@ -176,6 +184,7 @@ struct ParityBatchAck {
 
 struct ReconReq {
   uint64_t op;
+  int group = 0;
   BlockNum row;
   int attempt;  // §3.3 retry round; stale-round replies are discarded
 };

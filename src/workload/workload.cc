@@ -20,7 +20,7 @@ Operation WorkloadGenerator::Next() {
   op.kind = rng_.Bernoulli(config_.read_fraction) ? Operation::Kind::kRead
                                                   : Operation::Kind::kUpdate;
   op.member = static_cast<int>(
-      rng_.Uniform(static_cast<uint64_t>(config_.num_members)));
+      rng_.Uniform(static_cast<uint64_t>(config_.num_homes())));
   op.block = block_picker_.Next();
   if (op.kind == Operation::Kind::kUpdate) {
     size_t slots = config_.block_size / config_.record_size;

@@ -53,6 +53,17 @@ struct WorkloadConfig {
   int num_members = 10;
   BlockNum blocks_per_member = 64;
   size_t block_size = Block::kDefaultSize;
+  /// §4 sharding degree of the target. With groups == 1 (default) the
+  /// stream addresses `num_members` homes directly. With groups > 1 the
+  /// target is a multi-group volume: `num_members` is the group width
+  /// (G+2) and homes are drawn over the volume's G+1+groups sites, with
+  /// `blocks_per_member` blocks addressed per site.
+  int groups = 1;
+
+  /// Number of homes the stream draws from (sites of the §4 volume).
+  int num_homes() const {
+    return groups == 1 ? num_members : num_members - 1 + groups;
+  }
 };
 
 /// Deterministic operation stream.

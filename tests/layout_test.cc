@@ -261,6 +261,49 @@ INSTANTIATE_TEST_SUITE_P(
         std::vector<int>{5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5, 5,
                          1, 1, 1, 1, 1, 1}));          // A=11, 18 sites
 
+TEST(GroupAssigner, MinimalGroupSizeOne) {
+  // Smallest legal RADD: G = 1 means groups of 3 (data, parity, spare).
+  GroupAssigner assigner(1);
+  Result<std::vector<DriveGroup>> groups = assigner.Assign({1, 1, 1});
+  ASSERT_TRUE(groups.ok()) << groups.status().ToString();
+  ASSERT_EQ(groups->size(), 1u);
+  std::set<SiteId> sites;
+  for (const LogicalDrive& d : (*groups)[0].members) sites.insert(d.site);
+  EXPECT_EQ(sites.size(), 3u);
+}
+
+TEST(GroupAssigner, HeterogeneousCapacityMustFail) {
+  // Total 18 = 3 * 6 so A = 3, but the heavy site owns 7 > A drives:
+  // after it contributes to all 3 groups, 4 of its drives are stranded.
+  GroupAssigner assigner(4);
+  Result<std::vector<DriveGroup>> groups =
+      assigner.Assign({7, 3, 2, 2, 2, 1, 1});
+  EXPECT_FALSE(groups.ok());
+  EXPECT_TRUE(groups.status().IsInvalidArgument())
+      << groups.status().ToString();
+}
+
+TEST(GroupAssigner, AssignmentIsDeterministic) {
+  // The volume address map is derived from the assignment, so the same
+  // drive census must always produce the same grouping.
+  GroupAssigner assigner(4);
+  const std::vector<int> drives = {3, 3, 3, 3, 2, 2, 1, 1};
+  Result<std::vector<DriveGroup>> a = assigner.Assign(drives);
+  Result<std::vector<DriveGroup>> b = assigner.Assign(drives);
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->size(), b->size());
+  for (size_t g = 0; g < a->size(); ++g) {
+    ASSERT_EQ((*a)[g].members.size(), (*b)[g].members.size());
+    for (size_t m = 0; m < (*a)[g].members.size(); ++m) {
+      EXPECT_EQ((*a)[g].members[m].site, (*b)[g].members[m].site);
+      EXPECT_EQ((*a)[g].members[m].first_block,
+                (*b)[g].members[m].first_block);
+      EXPECT_EQ((*a)[g].members[m].drive_blocks,
+                (*b)[g].members[m].drive_blocks);
+    }
+  }
+}
+
 TEST(GroupAssigner, AssignBlocksSlicesLogicalDrives) {
   // §4's non-uniform disk sizes: slice into logical drives of B blocks.
   GroupAssigner assigner(4);

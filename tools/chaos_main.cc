@@ -55,11 +55,17 @@ int main(int argc, char** argv) {
       config.autopilot = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       config.node.parity_batch.enabled = true;
+    } else if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
+      config.groups = static_cast<int>(ParseU64(argv[++i]));
+      if (config.groups < 1) {
+        std::fprintf(stderr, "--groups must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
-                   "[--episodes E] [--ops O] [--autopilot] [--batch] "
-                   "[--verbose]\n",
+                   "[--groups G] [--episodes E] [--ops O] [--autopilot] "
+                   "[--batch] [--verbose]\n",
                    argv[0]);
       return 2;
     }
