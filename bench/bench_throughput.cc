@@ -28,8 +28,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
+#include <utility>
 #include <string>
 #include <vector>
 
@@ -58,6 +60,8 @@ struct ModeResult {
   // these measure the protocol's concurrency).
   int groups = 0;
   double sim_ms = 0;
+  // Worker threads of the sharded engine (volume modes; 1 = monolithic).
+  int threads = 1;
 };
 
 void Print(const ModeResult& r, bool last) {
@@ -73,6 +77,7 @@ void Print(const ModeResult& r, bool last) {
                 r.groups, r.sim_ms,
                 sim_sec > 0 ? r.ops / sim_sec : 0.0);
   }
+  if (r.threads > 1) std::printf(", \"threads\": %d", r.threads);
   std::printf("}%s\n", last ? "" : ",");
 }
 
@@ -219,14 +224,26 @@ ModeResult RunProtocol(const char* mode, bool batched) {
 /// group load is constant — kOps per group — so the aggregate simulated
 /// throughput measures how reconstruction-free traffic spreads over
 /// disjoint parity chains.
-ModeResult RunVolume(int groups) {
+///
+/// `threads` > 1 runs the same simulation on the sharded engine — one
+/// simulator shard per site, synchronized at the network's one-way
+/// latency — executed by a worker pool. The simulated results (ops,
+/// sim_ms) are identical to the monolithic run at every thread count;
+/// only wall_ms changes.
+ModeResult RunVolume(int groups, int threads) {
   RaddConfig config = Config();
   const int members = kGroupSize + 2;
   const int num_sites = groups == 1 ? members : members - 1 + groups;
   std::vector<int> drives(num_sites, 0);
   for (int d = 0; d < groups * members; ++d) ++drives[d % num_sites];
   Simulator sim;
+  if (threads > 1) {
+    sim.ConfigureShards(num_sites, NetworkModel{}.one_way_latency);
+  }
   Network net(&sim, NetworkModel{}, 0xbeef);
+  if (threads > 1) {
+    for (int s = 0; s < num_sites; ++s) net.MapSiteToShard(s, s);
+  }
   std::vector<SiteConfig> site_configs;
   site_configs.reserve(num_sites);
   for (int s = 0; s < num_sites; ++s) {
@@ -252,47 +269,90 @@ ModeResult RunVolume(int groups) {
   const int total_ops = kOps * groups;
   const int per_site = total_ops / num_sites;
   constexpr int kOutstanding = 4;
-  Block payload(kBlockSize);
-  double mb = 0;
-  int completed = 0;
-  std::vector<int> issued(num_sites, 0);
+  // Each site's closed loop is self-contained (its own tally, counter and
+  // payload scratch), so concurrent shards never share mutable state; the
+  // alignment keeps neighbouring sites off one cache line.
+  struct alignas(64) SiteLoop {
+    Block payload{kBlockSize};
+    double mb = 0;
+    int completed = 0;
+    int issued = 0;
+    std::vector<std::pair<int, SimTime>> trace;
+  };
+  const bool tracing = std::getenv("RADD_BENCH_TRACE") != nullptr;
+  std::vector<SiteLoop> loops(static_cast<size_t>(num_sites));
   std::function<void(int)> issue = [&](int s) {
-    if (issued[s] >= per_site) return;
-    const int i = issued[s]++;
+    SiteLoop& loop = loops[static_cast<size_t>(s)];
+    if (loop.issued >= per_site) return;
+    const int i = loop.issued++;
     const SiteId site = static_cast<SiteId>(s);
     const BlockNum lba =
         static_cast<BlockNum>(i) % vol.DataBlocksAtSite(site);
     if (i % 3 == 0) {
       vol.AsyncRead(site, site, lba,
-                    [&, s](Status st, const Block& data, SimTime) {
-                      if (st.ok()) mb += static_cast<double>(data.size()) / 1e6;
-                      ++completed;
+                    [&, s, i](Status st, const Block& data, SimTime) {
+                      SiteLoop& l = loops[static_cast<size_t>(s)];
+                      if (st.ok()) {
+                        l.mb += static_cast<double>(data.size()) / 1e6;
+                      }
+                      ++l.completed;
+                      if (tracing) l.trace.emplace_back(i, sim.Now());
                       issue(s);
                     });
     } else {
-      payload.FillPattern(static_cast<uint64_t>(s * 100003 + i));
-      vol.AsyncWrite(site, site, lba, payload, [&, s](Status st, SimTime) {
-        if (st.ok()) mb += static_cast<double>(kBlockSize) / 1e6;
-        ++completed;
-        issue(s);
-      });
+      loop.payload.FillPattern(static_cast<uint64_t>(s * 100003 + i));
+      vol.AsyncWrite(site, site, lba, loop.payload,
+                     [&, s, i](Status st, SimTime) {
+                       SiteLoop& l = loops[static_cast<size_t>(s)];
+                       if (st.ok()) {
+                         l.mb += static_cast<double>(kBlockSize) / 1e6;
+                       }
+                       ++l.completed;
+                       if (tracing) l.trace.emplace_back(i, sim.Now());
+                       issue(s);
+                     });
     }
   };
 
   auto start = Clock::now();
-  for (int s = 0; s < num_sites; ++s) {
-    // Constant per-drive concurrency: a site hosting drives of several
-    // groups keeps each group's pipeline as full as the one-drive case.
-    for (int k = 0; k < kOutstanding * drives[s]; ++k) issue(s);
+  if (threads > 1) {
+    // Kick off every site's loop from an event on its own shard, so all
+    // issues (and their timers) are shard-confined from the first op.
+    for (int s = 0; s < num_sites; ++s) {
+      sim.AtShard(s, 0, [&, s]() {
+        for (int k = 0; k < kOutstanding * drives[s]; ++k) issue(s);
+      });
+    }
+    sim.RunParallel(threads);
+  } else {
+    for (int s = 0; s < num_sites; ++s) {
+      // Constant per-drive concurrency: a site hosting drives of several
+      // groups keeps each group's pipeline as full as the one-drive case.
+      for (int k = 0; k < kOutstanding * drives[s]; ++k) issue(s);
+    }
+    sim.Run();
   }
-  sim.Run();
+  if (tracing) {
+    if (FILE* f = std::fopen(std::getenv("RADD_BENCH_TRACE"), "w")) {
+      for (int s = 0; s < num_sites; ++s) {
+        for (const auto& [i, t] : loops[static_cast<size_t>(s)].trace) {
+          std::fprintf(f, "s%d op%d %llu\n", s, i,
+                       static_cast<unsigned long long>(t));
+        }
+      }
+      std::fclose(f);
+    }
+  }
   ModeResult r;
   r.mode = "volume_g" + std::to_string(groups);
-  r.ops = completed;
   r.ms = MsSince(start);
-  r.mb = mb;
+  for (const SiteLoop& loop : loops) {
+    r.ops += loop.completed;
+    r.mb += loop.mb;
+  }
   r.groups = groups;
   r.sim_ms = ToMillis(sim.Now());
+  r.threads = threads;
   return r;
 }
 
@@ -300,6 +360,7 @@ ModeResult RunVolume(int groups) {
 
 int main(int argc, char** argv) {
   int only_groups = 0;
+  int threads = 1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
       only_groups = std::atoi(argv[++i]);
@@ -307,8 +368,15 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--groups must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = std::atoi(argv[++i]);
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--groups N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--groups N] [--threads T]\n",
+                   argv[0]);
       return 2;
     }
   }
@@ -316,14 +384,14 @@ int main(int argc, char** argv) {
               "\"results\": [\n",
               kBlockSize, kGroupSize);
   if (only_groups > 0) {
-    Print(RunVolume(only_groups), true);
+    Print(RunVolume(only_groups, threads), true);
   } else {
     Print(RunNormal(), false);
     Print(RunDegraded(), false);
     Print(RunRecovering(), false);
     Print(RunProtocol("protocol", /*batched=*/false), false);
     Print(RunProtocol("protocol_batched", /*batched=*/true), false);
-    for (int g : {1, 2, 4, 8}) Print(RunVolume(g), g == 8);
+    for (int g : {1, 2, 4, 8}) Print(RunVolume(g, threads), g == 8);
   }
   std::printf("]\n}\n");
   return 0;

@@ -7,29 +7,42 @@
 # mix, message counts, wire bytes) is deterministic and identical across
 # runs.
 #
-# Usage: scripts/bench.sh [runs] [build-dir]
-#   scripts/bench.sh           # 7 runs, build in build-bench/
-#   scripts/bench.sh 15        # more runs for a noisier machine
+# Usage: scripts/bench.sh [runs] [build-dir] [suite]
+#   scripts/bench.sh                # 7 runs, build in build-bench/, all suites
+#   scripts/bench.sh 15             # more runs for a noisier machine
+#   scripts/bench.sh 5 build parallel   # only BENCH_parallel.json
+#   scripts/bench.sh 7 build classic    # only throughput + parity records
+#
+# The `parallel` suite measures the sharded simulation engine and the
+# chaos run farm (DESIGN.md section 12) at several thread counts and
+# writes BENCH_parallel.json. It also records the host core count:
+# wall-clock speedup is only meaningful when the host actually has the
+# cores — on a single-core container the threads time-slice one CPU and
+# the record documents overhead, not speedup. Simulated results (sim_ms,
+# chaos verdicts) are deterministic and thread-count-invariant either
+# way; that is what the test suite asserts.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 runs="${1:-7}"
 build="${2:-$repo/build-bench}"
+suite="${3:-all}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_throughput bench_parity_batching
+  --target bench_throughput bench_parity_batching chaos_main
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
-for i in $(seq "$runs"); do
-  echo "run $i/$runs ..."
-  "$build/bench/bench_throughput" > "$tmp/throughput_$i.json"
-  "$build/bench/bench_parity_batching" > "$tmp/parity_$i.json"
-done
+if [ "$suite" = all ] || [ "$suite" = classic ]; then
+  for i in $(seq "$runs"); do
+    echo "classic run $i/$runs ..."
+    "$build/bench/bench_throughput" > "$tmp/throughput_$i.json"
+    "$build/bench/bench_parity_batching" > "$tmp/parity_$i.json"
+  done
 
-RUNS="$runs" TMP="$tmp" REPO="$repo" python3 - <<'EOF'
+  RUNS="$runs" TMP="$tmp" REPO="$repo" python3 - <<'EOF'
 import json, os, statistics
 
 runs = int(os.environ["RUNS"])
@@ -82,3 +95,102 @@ for d in pb[1:]:
         raise SystemExit("nondeterministic reduction factors?!")
 print("wrote BENCH_throughput.json and BENCH_parity.json")
 EOF
+fi
+
+if [ "$suite" = all ] || [ "$suite" = parallel ]; then
+  threads="1 2 4 8"
+  chaos_seeds=40
+  for i in $(seq "$runs"); do
+    echo "parallel run $i/$runs ..."
+    for t in $threads; do
+      "$build/bench/bench_throughput" --groups 8 --threads "$t" \
+        > "$tmp/parallel_${t}_$i.json"
+      t0=$(date +%s%N)
+      "$build/tools/chaos_main" --seeds "$chaos_seeds" --threads "$t" \
+        > "$tmp/chaos_out_${t}_$i.txt"
+      t1=$(date +%s%N)
+      echo $(( (t1 - t0) / 1000000 )) > "$tmp/chaos_${t}_$i.txt"
+    done
+  done
+  # The run farm's byte-identical contract, checked on the spot: every
+  # thread count must produce the same chaos stdout as --threads 1.
+  for i in $(seq "$runs"); do
+    for t in $threads; do
+      cmp "$tmp/chaos_out_1_$i.txt" "$tmp/chaos_out_${t}_$i.txt"
+    done
+  done
+
+  RUNS="$runs" TMP="$tmp" REPO="$repo" THREADS="$threads" \
+  CHAOS_SEEDS="$chaos_seeds" python3 - <<'EOF'
+import json, os, statistics
+
+runs = int(os.environ["RUNS"])
+tmp = os.environ["TMP"]
+repo = os.environ["REPO"]
+threads = [int(t) for t in os.environ["THREADS"].split()]
+chaos_seeds = int(os.environ["CHAOS_SEEDS"])
+host_cores = os.cpu_count() or 1
+
+bench_rows = []
+for t in threads:
+    docs = [json.load(open(f"{tmp}/parallel_{t}_{i}.json")) for i in
+            range(1, runs + 1)]
+    row = dict(docs[0]["results"][0])
+    if len({d["results"][0]["sim_ms"] for d in docs}) != 1:
+        raise SystemExit(f"sim_ms varies across runs at --threads {t}?!")
+    row["wall_ms"] = round(statistics.median(
+        d["results"][0]["wall_ms"] for d in docs), 2)
+    for k in ("ops_per_sec", "mb_per_sec", "mode"):
+        row.pop(k, None)
+    # --threads 1 takes the classic monolithic single-queue path; > 1 the
+    # sharded conservative-window engine. Label which one produced sim_ms.
+    row["threads"] = t
+    row["engine"] = "monolithic" if t == 1 else "sharded"
+    bench_rows.append(row)
+for row in bench_rows:
+    row["speedup_vs_t1"] = round(bench_rows[0]["wall_ms"] / row["wall_ms"], 2)
+
+chaos_rows = []
+for t in threads:
+    walls = [int(open(f"{tmp}/chaos_{t}_{i}.txt").read()) for i in
+             range(1, runs + 1)]
+    chaos_rows.append({"threads": t, "seeds": chaos_seeds,
+                       "wall_ms": statistics.median(walls)})
+for row in chaos_rows:
+    row["speedup_vs_t1"] = round(chaos_rows[0]["wall_ms"] / row["wall_ms"], 2)
+
+doc = {
+    "description": (
+        "Parallel execution engine (DESIGN.md section 12) at thread counts "
+        "1/2/4/8. sharded_bench: bench_throughput --groups 8 --threads T — "
+        "the 8-group volume workload on the conservatively synchronized "
+        "sharded simulator (one shard per site). chaos_run_farm: wall time "
+        f"of chaos_main --seeds {chaos_seeds} --threads T, one isolated "
+        "simulation stack per seed, stdout verified byte-identical to the "
+        "serial run at every thread count. sim_ms is the deterministic "
+        "simulated makespan and is thread-count-invariant (the g8 value "
+        "differs from the monolithic single-queue engine by one deep "
+        "same-tick tie, 0.06% — DESIGN.md section 12); wall_ms is host "
+        "time, medians over the runs."),
+    "note": (
+        "Wall-clock speedup requires real cores: this record was generated "
+        f"on a {host_cores}-core host"
+        + ("" if host_cores > 1 else
+           ", where worker threads time-slice one CPU, so speedup_vs_t1 "
+           "~1.0 measures engine overhead, not parallelism") +
+        ". Both workloads are embarrassingly parallel across shards/seeds "
+        "(no shared mutable state beyond internally synchronized stats and "
+        "arenas), so on an N-core host the run farm scales ~linearly to N "
+        "and the sharded bench to min(N, groups busy per window). "
+        "Regenerate with scripts/bench.sh <runs> <build> parallel."),
+    "host_cores": host_cores,
+    "runs": runs,
+    "sharded_bench": bench_rows,
+    "chaos_run_farm": chaos_rows,
+}
+with open(f"{repo}/BENCH_parallel.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_parallel.json")
+EOF
+fi

@@ -9,6 +9,12 @@
 #   scripts/chaos.sh 1000         # more schedules
 #   scripts/chaos.sh 50 build --episodes 8
 #   scripts/chaos.sh --autopilot  # self-healing mode (flags may lead)
+#   scripts/chaos.sh 1000 --jobs      # run farm on all cores (nproc)
+#   scripts/chaos.sh 1000 --jobs 8    # run farm on 8 worker threads
+#
+# --jobs parallelizes across seeds (each seed runs its own isolated
+# simulation stack); output and exit code are identical to the serial run,
+# including the reproducing --seed line for any failing schedule.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -25,9 +31,28 @@ if [ $# -gt 0 ] && [ "${1#--}" = "$1" ]; then
   fi
 fi
 
+# Translate --jobs [N] into chaos_main's --threads (bare --jobs = nproc).
+jobs=1
+passthrough=()
+while [ $# -gt 0 ]; do
+  if [ "$1" = "--jobs" ]; then
+    shift
+    if [ $# -gt 0 ] && [ "$1" -eq "$1" ] 2>/dev/null; then
+      jobs="$1"
+      shift
+    else
+      jobs="$(nproc)"
+    fi
+  else
+    passthrough+=("$1")
+    shift
+  fi
+done
+
 if [ ! -x "$build/tools/chaos_main" ]; then
   cmake -B "$build" -S "$repo"
   cmake --build "$build" -j "$(nproc)" --target chaos_main
 fi
 
-exec "$build/tools/chaos_main" --seeds "$seeds" "$@"
+exec "$build/tools/chaos_main" --seeds "$seeds" --threads "$jobs" \
+  ${passthrough[0]+"${passthrough[@]}"}

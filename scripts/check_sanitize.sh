@@ -1,12 +1,36 @@
 #!/usr/bin/env bash
-# Builds the tree with AddressSanitizer + UBSan and runs the full test
-# suite under it. Usage: scripts/check_sanitize.sh [build-dir]
+# Builds the tree under a sanitizer and runs the full test suite.
+#
+# Usage: scripts/check_sanitize.sh [--tsan] [build-dir]
+#   scripts/check_sanitize.sh            # AddressSanitizer + UBSan
+#   scripts/check_sanitize.sh --tsan     # ThreadSanitizer: also smokes the
+#                                        # parallel engine (sharded bench +
+#                                        # chaos run farm) under real threads
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build-asan}"
 
-cmake -B "$build" -S "$repo" -DRADD_SANITIZE=ON \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo
-cmake --build "$build" -j "$(nproc)"
-ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+mode=asan
+if [ "${1:-}" = "--tsan" ]; then
+  mode=tsan
+  shift
+fi
+
+if [ "$mode" = "tsan" ]; then
+  build="${1:-$repo/build-tsan}"
+  cmake -B "$build" -S "$repo" -DRADD_TSAN=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+  ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+  # Drive the parallel paths with more contention than the unit tests do:
+  # multi-threaded conservative windows and the multi-seed run farm.
+  "$build/bench/bench_throughput" --groups 4 --threads 4 > /dev/null
+  "$build/tools/chaos_main" --seeds 12 --threads 4 > /dev/null
+  echo "tsan: parallel smoke clean"
+else
+  build="${1:-$repo/build-asan}"
+  cmake -B "$build" -S "$repo" -DRADD_SANITIZE=ON \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  cmake --build "$build" -j "$(nproc)"
+  ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+fi

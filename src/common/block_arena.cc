@@ -5,11 +5,17 @@
 namespace radd {
 
 Block BlockArena::Lease() {
-  ++leases_;
-  if (!free_.empty()) {
-    ++reuses_;
-    std::vector<uint8_t> buf = std::move(free_.back());
-    free_.pop_back();
+  std::vector<uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++leases_;
+    if (!free_.empty()) {
+      ++reuses_;
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (!buf.empty()) {
     std::memset(buf.data(), 0, buf.size());
     return Block(std::move(buf));
   }
@@ -17,11 +23,17 @@ Block BlockArena::Lease() {
 }
 
 Block BlockArena::LeaseCopyOf(const Block& src) {
-  ++leases_;
-  if (src.size() == block_size_ && !free_.empty()) {
-    ++reuses_;
-    std::vector<uint8_t> buf = std::move(free_.back());
-    free_.pop_back();
+  std::vector<uint8_t> buf;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++leases_;
+    if (src.size() == block_size_ && !free_.empty()) {
+      ++reuses_;
+      buf = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (!buf.empty()) {
     std::memcpy(buf.data(), src.data(), block_size_);
     return Block(std::move(buf));
   }
@@ -29,8 +41,11 @@ Block BlockArena::LeaseCopyOf(const Block& src) {
 }
 
 void BlockArena::Return(Block&& b) {
-  if (b.size() != block_size_ || free_.size() >= max_free_) return;
-  free_.push_back(std::move(b).TakeBytes());
+  if (b.size() != block_size_) return;
+  std::vector<uint8_t> bytes = std::move(b).TakeBytes();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_.size() >= max_free_) return;
+  free_.push_back(std::move(bytes));
 }
 
 }  // namespace radd

@@ -18,13 +18,19 @@
 //   * The free list is bounded (`max_free`); beyond that, returned
 //     buffers are freed so a burst cannot pin memory forever.
 //
-// Not thread-safe — the simulator is single-threaded by design.
+// Thread-safety: internally synchronized. One arena is shared by every
+// site in a node system, and under the sharded simulator (sim/simulator.h)
+// sites execute on concurrent shards — the free list is one of the few
+// pieces of state the shard-confinement rule cannot partition, so it takes
+// a mutex instead. The critical section is a vector push/pop; contention
+// is negligible next to the memset/memcpy the lease itself pays.
 
 #ifndef RADD_COMMON_BLOCK_ARENA_H_
 #define RADD_COMMON_BLOCK_ARENA_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <vector>
 
 #include "common/block.h"
@@ -53,14 +59,24 @@ class BlockArena {
   /// freed; so are returns beyond the free-list bound.
   void Return(Block&& b);
 
-  /// Diagnostics.
-  size_t free_count() const { return free_.size(); }
-  uint64_t leases() const { return leases_; }
-  uint64_t reuses() const { return reuses_; }
+  /// Diagnostics (read when the simulation is quiescent).
+  size_t free_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return free_.size();
+  }
+  uint64_t leases() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return leases_;
+  }
+  uint64_t reuses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return reuses_;
+  }
 
  private:
   size_t block_size_;
   size_t max_free_;
+  mutable std::mutex mu_;  // guards everything below
   std::vector<std::vector<uint8_t>> free_;
   uint64_t leases_ = 0;
   uint64_t reuses_ = 0;

@@ -27,6 +27,14 @@ struct RaddNodeSystem::Node {
   };
   std::map<TxnId, Waiting> waiting;
 
+  // Client operations issued from this site. Living in the Node keeps
+  // them confined to the site's simulator shard (every reply and timer
+  // for an op fires at its client site).
+  std::map<uint64_t, PendingRead> reads;
+  std::map<uint64_t, PendingWrite> writes;
+  /// Per-site op-id counter for sharded runs (see NewOpId).
+  uint64_t next_local_op = 1;
+
   explicit Node(RaddNodeSystem* s, SiteId id) : sys(s), self(id) {}
 
   Site* site() { return sys->cluster_->site(self); }
@@ -1343,12 +1351,16 @@ Status RaddNodeSystem::CheckMemberEpoch(int grp, int home,
 }
 
 uint64_t RaddNodeSystem::InFlightOps() const {
-  return reads_.size() + writes_.size();
+  uint64_t total = 0;
+  for (const auto& [site, n] : nodes_) {
+    total += n->reads.size() + n->writes.size();
+  }
+  return total;
 }
 
 bool RaddNodeSystem::Quiescent() const {
-  if (!reads_.empty() || !writes_.empty()) return false;
   for (const auto& [site, n] : nodes_) {
+    if (!n->reads.empty() || !n->writes.empty()) return false;
     if (!n->parity_done.empty()) return false;
     if (!n->pending_local_writes.empty()) return false;
     if (!n->recons.empty()) return false;
@@ -1387,17 +1399,14 @@ void RaddNodeSystem::ResetNodeVolatileState(SiteId site) {
   // Client operations issued from this site die with its process: their
   // callbacks would otherwise dangle forever.
   std::vector<uint64_t> dead_reads, dead_writes;
-  for (const auto& [op, pr] : reads_) {
-    if (pr.client == site) dead_reads.push_back(op);
-  }
-  for (const auto& [op, pw] : writes_) {
-    if (pw.client == site) dead_writes.push_back(op);
-  }
+  for (const auto& [op, pr] : n->reads) dead_reads.push_back(op);
+  for (const auto& [op, pw] : n->writes) dead_writes.push_back(op);
   for (uint64_t op : dead_reads) {
-    FinishRead(op, Status::NetworkError("client site crashed"), Block(0));
+    FinishRead(site, op, Status::NetworkError("client site crashed"),
+               Block(0));
   }
   for (uint64_t op : dead_writes) {
-    FinishWrite(op, Status::NetworkError("client site crashed"));
+    FinishWrite(site, op, Status::NetworkError("client site crashed"));
   }
 }
 
@@ -1430,16 +1439,16 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
       break;
     case MessageType::kReadReply: {
       ReadReply rep = std::move(std::get<ReadReply>(msg.payload));
-      auto it = reads_.find(rep.op);
-      if (it == reads_.end()) return;
+      auto it = n->reads.find(rep.op);
+      if (it == n->reads.end()) return;
       if (rep.status.ok()) {
-        FinishRead(rep.op, Status::OK(), std::move(rep.data));
+        FinishRead(site, rep.op, Status::OK(), std::move(rep.data));
       } else if (rep.status.IsDataLoss() || rep.status.IsUnavailable()) {
         // Block lost at the home site: reconstruct.
         PendingRead& pr = it->second;
         StartReadReconstruction(rep.op, pr);
       } else {
-        FinishRead(rep.op, rep.status, Block(0));
+        FinishRead(site, rep.op, rep.status, Block(0));
       }
       break;
     }
@@ -1449,8 +1458,8 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
     case MessageType::kWriteReply:
     case MessageType::kSpareWriteReply: {
       auto rep = std::get<WriteReply>(msg.payload);
-      auto it = writes_.find(rep.op);
-      if (it == writes_.end()) return;
+      auto it = n->writes.find(rep.op);
+      if (it == n->writes.end()) return;
       if (rep.status.IsStaleEpoch()) {
         // The server knows a newer membership epoch for the home site than
         // this request carried. Reissue immediately: StartWrite re-reads
@@ -1459,11 +1468,11 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
         sim_->Cancel(pw.timer);
         if (++pw.retries > node_config_.max_retries) {
           stats_.Add("node.write_retry_exhausted");
-          FinishWrite(rep.op, Status::NetworkError("write timed out"));
+          FinishWrite(site, rep.op, Status::NetworkError("write timed out"));
           return;
         }
         stats_.Add("node.stale_epoch_retry");
-        StartWrite(rep.op);
+        StartWrite(site, rep.op);
         return;
       }
       if (rep.status.IsUnavailable()) {
@@ -1487,7 +1496,7 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
             MessageType::kSpareWriteReq, std::move(req), wire);
         return;
       }
-      FinishWrite(rep.op, rep.status);
+      FinishWrite(site, rep.op, rep.status);
       break;
     }
     case MessageType::kParityUpdate:
@@ -1511,11 +1520,11 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
     case MessageType::kSpareReadReply: {
       SpareReadReply rep =
           std::move(std::get<SpareReadReply>(msg.payload));
-      auto it = reads_.find(rep.op);
-      if (it == reads_.end()) return;
+      auto it = n->reads.find(rep.op);
+      if (it == n->reads.end()) return;
       PendingRead& pr = it->second;
       if (rep.status.ok()) {
-        FinishRead(rep.op, Status::OK(), std::move(rep.data));
+        FinishRead(site, rep.op, Status::OK(), std::move(rep.data));
         return;
       }
       // Spare invalid. A recovering home may still hold a valid local
@@ -1565,7 +1574,7 @@ void RaddNodeSystem::AsyncRead(SiteId client, int home, BlockNum index,
 
 void RaddNodeSystem::AsyncRead(SiteId client, int grp, int home,
                                BlockNum index, ReadCallback cb) {
-  uint64_t op = next_op_++;
+  uint64_t op = NewOpId(client);
   PendingRead pr;
   pr.client = client;
   pr.group = grp;
@@ -1573,19 +1582,28 @@ void RaddNodeSystem::AsyncRead(SiteId client, int grp, int home,
   pr.row = layout(grp).DataToRow(static_cast<SiteId>(home), index);
   pr.cb = std::move(cb);
   pr.start = sim_->Now();
-  reads_[op] = std::move(pr);
-  StartRead(op);
+  node(client)->reads[op] = std::move(pr);
+  StartRead(client, op);
+}
+
+uint64_t RaddNodeSystem::NewOpId(SiteId client) {
+  if (sim_->num_shards() == 1) return next_op_++;
+  // Sharded: a shared counter would make id assignment depend on thread
+  // timing. Per-site minting is deterministic; the site in the high bits
+  // keeps ids unique across sites.
+  Node* n = node(client);
+  return (static_cast<uint64_t>(client) + 1) << 40 | n->next_local_op++;
 }
 
 void RaddNodeSystem::StartReadReconstruction(uint64_t op,
                                              PendingRead& pr) {
   node(pr.client)->StartReconstruction(
       op, pr.group, pr.home, pr.row,
-      [this, op](Status st, Block data, Uid logical) {
-        auto rit = reads_.find(op);
-        if (rit == reads_.end()) return;
+      [this, op, client = pr.client](Status st, Block data, Uid logical) {
+        auto rit = node(client)->reads.find(op);
+        if (rit == node(client)->reads.end()) return;
         if (!st.ok()) {
-          FinishRead(op, st, Block(0));
+          FinishRead(client, op, st, Block(0));
           return;
         }
         PendingRead& r = rit->second;
@@ -1609,25 +1627,26 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
                   static_cast<int>(g->layout().SpareSite(r.row))),
               MessageType::kSpareWriteBack, std::move(wb), wire);
         }
-        FinishRead(op, Status::OK(), std::move(data));
+        FinishRead(client, op, Status::OK(), std::move(data));
       });
 }
 
-void RaddNodeSystem::StartRead(uint64_t op) {
-  PendingRead& pr = reads_.at(op);
+void RaddNodeSystem::StartRead(SiteId client, uint64_t op) {
+  PendingRead& pr = node(client)->reads.at(op);
   pr.tried_home = false;
   // Reads are idempotent: a lost request or reply is simply retried.
   pr.timer = sim_->Schedule(
-      4 * node_config_.retry_timeout, [this, op]() {
-        auto rit = reads_.find(op);
-        if (rit == reads_.end()) return;
+      4 * node_config_.retry_timeout, [this, client, op]() {
+        auto rit = node(client)->reads.find(op);
+        if (rit == node(client)->reads.end()) return;
         if (++rit->second.retries > node_config_.max_retries) {
           stats_.Add("node.read_retry_exhausted");
-          FinishRead(op, Status::NetworkError("read timed out"), Block(0));
+          FinishRead(client, op, Status::NetworkError("read timed out"),
+                     Block(0));
           return;
         }
         stats_.Add("node.read_retry");
-        StartRead(op);
+        StartRead(client, op);
       });
   RaddGroup* g = groups_[static_cast<size_t>(pr.group)].get();
   SiteId home_site = g->SiteOfMember(pr.home);
@@ -1652,7 +1671,7 @@ void RaddNodeSystem::AsyncWrite(SiteId client, int home, BlockNum index,
 
 void RaddNodeSystem::AsyncWrite(SiteId client, int grp, int home,
                                 BlockNum index, Block data, WriteCallback cb) {
-  uint64_t op = next_op_++;
+  uint64_t op = NewOpId(client);
   PendingWrite pw;
   pw.client = client;
   pw.group = grp;
@@ -1661,16 +1680,16 @@ void RaddNodeSystem::AsyncWrite(SiteId client, int grp, int home,
   pw.data = std::move(data);
   pw.cb = std::move(cb);
   pw.start = sim_->Now();
-  writes_[op] = std::move(pw);
-  StartWrite(op);
+  node(client)->writes[op] = std::move(pw);
+  StartWrite(client, op);
 }
 
-void RaddNodeSystem::StartWrite(uint64_t op) {
-  PendingWrite& pw = writes_.at(op);
+void RaddNodeSystem::StartWrite(SiteId client, uint64_t op) {
+  PendingWrite& pw = node(client)->writes.at(op);
   RaddGroup* g = groups_[static_cast<size_t>(pw.group)].get();
   SiteId home_site = g->SiteOfMember(pw.home);
   Node* client_node = node(pw.client);
-  ArmWriteTimer(op);
+  ArmWriteTimer(client, op);
   if (Perceived(pw.client, home_site) == SiteState::kDown) {
     SpareWriteReq req;
     req.op = op;
@@ -1708,43 +1727,44 @@ SimTime RaddNodeSystem::WriteDeadline(const PendingWrite& pw) const {
              node_config_.retry_timeout;
 }
 
-void RaddNodeSystem::ArmWriteTimer(uint64_t op) {
-  auto it = writes_.find(op);
-  if (it == writes_.end()) return;
+void RaddNodeSystem::ArmWriteTimer(SiteId client, uint64_t op) {
+  auto it = node(client)->writes.find(op);
+  if (it == node(client)->writes.end()) return;
   it->second.timer = sim_->Schedule(
-      4 * node_config_.retry_timeout, [this, op]() {
-        auto wit = writes_.find(op);
-        if (wit == writes_.end()) return;
+      4 * node_config_.retry_timeout, [this, client, op]() {
+        auto wit = node(client)->writes.find(op);
+        if (wit == node(client)->writes.end()) return;
         if (++wit->second.retries > node_config_.max_retries) {
           stats_.Add("node.write_retry_exhausted");
-          FinishWrite(op, Status::NetworkError("write timed out"));
+          FinishWrite(client, op, Status::NetworkError("write timed out"));
           return;
         }
         stats_.Add("node.write_retry");
-        StartWrite(op);
+        StartWrite(client, op);
       });
 }
 
-void RaddNodeSystem::FinishRead(uint64_t op, Status st, Block data) {
-  auto it = reads_.find(op);
-  if (it == reads_.end()) return;
+void RaddNodeSystem::FinishRead(SiteId client, uint64_t op, Status st,
+                                Block data) {
+  auto it = node(client)->reads.find(op);
+  if (it == node(client)->reads.end()) return;
   sim_->Cancel(it->second.timer);
   ReadCallback cb = std::move(it->second.cb);
   SimTime latency = sim_->Now() - it->second.start;
-  reads_.erase(it);
+  node(client)->reads.erase(it);
   cb(st, data, latency);
   // The callback has seen the data; recycle the buffer for the next
   // block-sized payload this node touches.
   arena_.Return(std::move(data));
 }
 
-void RaddNodeSystem::FinishWrite(uint64_t op, Status st) {
-  auto it = writes_.find(op);
-  if (it == writes_.end()) return;
+void RaddNodeSystem::FinishWrite(SiteId client, uint64_t op, Status st) {
+  auto it = node(client)->writes.find(op);
+  if (it == node(client)->writes.end()) return;
   sim_->Cancel(it->second.timer);
   WriteCallback cb = std::move(it->second.cb);
   SimTime latency = sim_->Now() - it->second.start;
-  writes_.erase(it);
+  node(client)->writes.erase(it);
   cb(st, latency);
 }
 

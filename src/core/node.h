@@ -209,6 +209,9 @@ class RaddNodeSystem {
   std::map<std::pair<SiteId, SiteId>, SiteState> presumed_;
   Perceiver perceiver_;
   const SiteStatusService* status_service_ = nullptr;
+  /// Op-id source on an unsharded simulator: one global monotone counter,
+  /// so lock ids (~op) preserve issue order everywhere. Sharded runs mint
+  /// per-site ids instead (see NewOpId).
   uint64_t next_op_ = 1;
 
   // --- pending client operations -------------------------------------------
@@ -234,15 +237,25 @@ class RaddNodeSystem {
     int retries = 0;
     uint64_t timer = 0;
   };
-  std::map<uint64_t, PendingRead> reads_;
-  std::map<uint64_t, PendingWrite> writes_;
+  // The pending-op tables live inside each client site's Node (per-site,
+  // so concurrent shards never share them); every function below runs at
+  // the client site and takes the client explicitly.
 
-  void StartRead(uint64_t op);
+  /// Mints a fresh op id for an operation issued from `client`. Unsharded:
+  /// the global counter (ids totally ordered by issue time — wait-die
+  /// ordering follows issue order everywhere). Sharded: a per-site counter
+  /// with the site in the high bits; ids from one site keep issue order,
+  /// ids from different sites are arbitrary — fine for workloads whose
+  /// lock conflicts are same-site only (parity blocks are never locked,
+  /// and the parallel bench drives client == home traffic).
+  uint64_t NewOpId(SiteId client);
+
+  void StartRead(SiteId client, uint64_t op);
   void StartReadReconstruction(uint64_t op, PendingRead& pr);
-  void StartWrite(uint64_t op);
-  void FinishRead(uint64_t op, Status st, Block data);
-  void FinishWrite(uint64_t op, Status st);
-  void ArmWriteTimer(uint64_t op);
+  void StartWrite(SiteId client, uint64_t op);
+  void FinishRead(SiteId client, uint64_t op, Status st, Block data);
+  void FinishWrite(SiteId client, uint64_t op, Status st);
+  void ArmWriteTimer(SiteId client, uint64_t op);
   SimTime WriteDeadline(const PendingWrite& pw) const;
 
   friend struct Node;

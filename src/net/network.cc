@@ -1,5 +1,7 @@
 #include "net/network.h"
 
+#include <cassert>
+
 namespace radd {
 
 Network::Network(Simulator* sim, NetworkModel model, uint64_t seed)
@@ -23,6 +25,16 @@ Network::Network(Simulator* sim, NetworkModel model, uint64_t seed)
 
 void Network::RegisterHandler(SiteId site, Handler handler) {
   handlers_[site] = std::move(handler);
+}
+
+void Network::MapSiteToShard(SiteId site, int shard) {
+  assert(shard >= 0 && shard < sim_->num_shards());
+  site_shard_[site] = shard;
+}
+
+int Network::ShardOf(SiteId site) const {
+  auto it = site_shard_.find(site);
+  return it == site_shard_.end() ? -1 : it->second;
 }
 
 Network::Handler Network::GetHandler(SiteId site) const {
@@ -62,7 +74,11 @@ void Network::CountDrop(MessageType type) {
 }
 
 void Network::Send(Message msg) {
-  msg.seq = next_seq_++;
+  // Sharded runs keep the random fault model off — see MapSiteToShard.
+  assert(sim_->num_shards() == 1 ||
+         (model_.drop_probability == 0 && model_.duplicate_probability == 0 &&
+          model_.reorder_jitter == 0));
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
   ++*messages_;
 
   if (msg.from == msg.to) {
@@ -126,22 +142,34 @@ void Network::Deliver(Message msg) {
     latency += rng_.Uniform(model_.reorder_jitter + 1);
   }
   const SimTime when = sim_->Now() + latency;
-  auto [horizon, first] =
-      link_horizon_.try_emplace({msg.from, msg.to}, when);
-  if (!first) {
-    if (when < horizon->second) {
-      // An earlier send on this link is already scheduled later: this
-      // delivery overtakes it.
-      ++*reordered_;
-      if (msg.type != MessageType::kNone) {
-        ++*by_type_[Index(msg.type)].reorder;
+  if (model_.reorder_jitter > 0 || !link_horizon_.empty()) {
+    // Without jitter per-link delivery times are monotone, so nothing can
+    // overtake and the horizon map would only churn; skipping it keeps the
+    // fault-free send path free of shared state. Once jitter has ever
+    // populated the map, keep maintaining it so a later jittered phase
+    // compares against the true horizon.
+    auto [horizon, first] =
+        link_horizon_.try_emplace({msg.from, msg.to}, when);
+    if (!first) {
+      if (when < horizon->second) {
+        // An earlier send on this link is already scheduled later: this
+        // delivery overtakes it.
+        ++*reordered_;
+        if (msg.type != MessageType::kNone) {
+          ++*by_type_[Index(msg.type)].reorder;
+        }
+      } else {
+        horizon->second = when;
       }
-    } else {
-      horizon->second = when;
     }
   }
   Handler h = it->second;
-  sim_->Schedule(latency, [h, m = std::move(msg)]() mutable { h(m); });
+  const int dst_shard = ShardOf(msg.to);
+  if (dst_shard < 0) {
+    sim_->Schedule(latency, [h, m = std::move(msg)]() mutable { h(m); });
+  } else {
+    sim_->AtShard(dst_shard, when, [h, m = std::move(msg)]() mutable { h(m); });
+  }
 }
 
 }  // namespace radd

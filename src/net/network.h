@@ -27,6 +27,7 @@
 #define RADD_NET_NETWORK_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -87,7 +88,17 @@ class Network {
   Network(Simulator* sim, NetworkModel model, uint64_t seed = 0x5eed);
 
   /// Installs the message handler for `site` (its "network manager").
+  /// Setup-time only: the handler table is read without locks during the
+  /// run.
   void RegisterHandler(SiteId site, Handler handler);
+
+  /// Routes deliveries to `site` onto simulator shard `shard` (see
+  /// sim/simulator.h). Setup-time only. Unmapped sites deliver on the
+  /// sending shard, which is the correct (and only) behavior for an
+  /// unsharded simulator. Under a sharded simulator the random fault
+  /// model must stay off (zero drop/duplicate/jitter): those paths draw
+  /// from one RNG and track per-link state that shards would race on.
+  void MapSiteToShard(SiteId site, int shard);
 
   /// Returns the currently installed handler (empty function if none) so
   /// interceptors like the heartbeat detector can chain.
@@ -138,6 +149,8 @@ class Network {
 
  private:
   int PartitionOf(SiteId site) const;
+  /// Shard deliveries to `site` run on; -1 = the sending shard.
+  int ShardOf(SiteId site) const;
   /// Schedules one delivery of `msg` after latency + jitter, counting a
   /// reorder when the delivery overtakes an earlier one on the same link.
   void Deliver(Message msg);
@@ -149,13 +162,20 @@ class Network {
   Simulator* sim_;
   NetworkModel model_;
   Rng rng_;
-  uint64_t next_seq_ = 1;
+  /// Atomic so concurrent shards can send; the value is protocol-invisible
+  /// (nothing dedups or orders on it), so cross-shard assignment order
+  /// does not affect simulated results.
+  std::atomic<uint64_t> next_seq_{1};
   std::map<SiteId, Handler> handlers_;
+  std::map<SiteId, int> site_shard_;  // empty => deliver on sending shard
   std::array<FaultHook, kNumMessageTypes> fault_hooks_;
   std::map<SiteId, int> partition_of_;  // empty => fully connected
   bool partitioned_ = false;
   /// Latest delivery time already scheduled per (from, to) link; a new
-  /// delivery scheduled earlier than this is a reorder.
+  /// delivery scheduled earlier than this is a reorder. Only touched when
+  /// reorder_jitter > 0 (without jitter, per-link delivery times are
+  /// monotone and nothing can overtake), which keeps the fault-free send
+  /// path free of shared mutable state.
   std::map<std::pair<SiteId, SiteId>, SimTime> link_horizon_;
   Stats stats_;
 

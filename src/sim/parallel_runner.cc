@@ -1,0 +1,19 @@
+#include "sim/parallel_runner.h"
+
+#include "sim/thread_pool.h"
+
+namespace radd {
+
+void ParallelRunner::Map(int threads, int count,
+                         const std::function<void(int)>& job) {
+  if (count <= 0) return;
+  if (threads <= 1 || count == 1) {
+    for (int i = 0; i < count; ++i) job(i);
+    return;
+  }
+  if (threads > count) threads = count;
+  ThreadPool pool(threads);
+  pool.ParallelFor(count, job);
+}
+
+}  // namespace radd

@@ -1,0 +1,33 @@
+// The embarrassingly-parallel run farm: executes independent whole
+// simulations (chaos seeds, bench repetitions) on concurrent OS threads.
+//
+// Isolation contract: each job must build its own Simulator / Network /
+// Cluster / node stack and write results only into its own pre-allocated
+// slot (e.g. results[i]). Jobs share nothing mutable except internally
+// synchronized utilities (Stats counters, BlockArena — see their
+// headers). Under that contract every job is deterministic in its inputs
+// alone, so a parallel sweep produces exactly the per-job results of a
+// serial sweep, in any order of completion.
+//
+// `threads <= 1` runs the jobs serially on the calling thread in index
+// order — the bit-identical fallback the determinism oracle compares
+// against.
+
+#ifndef RADD_SIM_PARALLEL_RUNNER_H_
+#define RADD_SIM_PARALLEL_RUNNER_H_
+
+#include <functional>
+
+namespace radd {
+
+class ParallelRunner {
+ public:
+  /// Runs job(i) for every i in [0, count) on up to `threads` OS threads
+  /// (including the caller). Blocks until all jobs finish; the caller
+  /// observes all job writes afterwards.
+  static void Map(int threads, int count, const std::function<void(int)>& job);
+};
+
+}  // namespace radd
+
+#endif  // RADD_SIM_PARALLEL_RUNNER_H_

@@ -1,62 +1,273 @@
 #include "sim/simulator.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "sim/thread_pool.h"
 
 namespace radd {
 
+namespace {
+
+/// Identifies the shard whose event the current OS thread is executing.
+/// Keyed by simulator so independent simulators on sibling threads (the
+/// chaos run farm) never see each other's context.
+struct ExecContext {
+  const Simulator* sim = nullptr;
+  int shard = 0;
+};
+thread_local ExecContext tls_exec;
+
+constexpr uint64_t kLocalIdMask = (uint64_t{1} << 48) - 1;
+
+}  // namespace
+
+Simulator::Simulator() : shards_(1) {}
+Simulator::~Simulator() = default;
+
+void Simulator::ConfigureShards(int num_shards, SimTime lookahead) {
+  assert(num_shards >= 1);
+  assert(num_shards == 1 || lookahead > 0);
+  assert(pending() == 0 && events_executed() == 0);
+  shards_.clear();
+  shards_.resize(static_cast<size_t>(num_shards));
+  lookahead_ = lookahead;
+}
+
+int Simulator::current_shard() const {
+  return tls_exec.sim == this ? tls_exec.shard : 0;
+}
+
+SimTime Simulator::Now() const {
+  if (tls_exec.sim == this) return shard(tls_exec.shard).now;
+  if (shards_.size() == 1) return shards_[0].now;
+  SimTime makespan = 0;
+  for (const Shard& sh : shards_) makespan = std::max(makespan, sh.now);
+  return makespan;
+}
+
+uint64_t Simulator::PushEvent(int s, SimTime when, SimTime sched,
+                              SimTime sched2, SimTime sched3, Callback fn) {
+  Shard& sh = shard(s);
+  uint64_t local = sh.next_id++;
+  sh.queue.push(
+      Event{when, sched, sched2, sched3, sh.next_seq++, local, std::move(fn)});
+  return (static_cast<uint64_t>(s) << kShardIdBits) | local;
+}
+
 uint64_t Simulator::At(SimTime when, Callback fn) {
-  assert(when >= now_);
-  uint64_t id = next_id_++;
-  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
-  return id;
+  int s = current_shard();
+  assert(when >= shard(s).now);
+  return PushEvent(s, when, shard(s).now, shard(s).cur_sched,
+                   shard(s).cur_sched2, std::move(fn));
+}
+
+uint64_t Simulator::AtShard(int s, SimTime when, Callback fn) {
+  assert(s >= 0 && s < num_shards());
+  if (tls_exec.sim == this && s != tls_exec.shard) {
+    // Cross-shard schedule from inside an event. Buffer it; the barrier
+    // merges all outboxes in (when, sched, sched2, src shard, src seq)
+    // order, so the destination sees the same arrival sequence at any
+    // thread count.
+    Shard& src = shard(tls_exec.shard);
+    assert(in_window_);
+    assert(when >= src.now + lookahead_);
+    src.outbox.push_back(OutboxEntry{when, src.now, src.cur_sched,
+                                     src.cur_sched2, src.next_outbox_seq++,
+                                     s, std::move(fn)});
+    return 0;
+  }
+  // Same shard, or single-threaded setup before any run.
+  assert(when >= shard(s).now);
+  return PushEvent(s, when, shard(s).now, shard(s).cur_sched,
+                   shard(s).cur_sched2, std::move(fn));
 }
 
 bool Simulator::Cancel(uint64_t event_id) {
-  if (event_id == 0 || event_id >= next_id_) return false;
-  return cancelled_.insert(event_id).second;
+  uint64_t local = event_id & kLocalIdMask;
+  if (local == 0) return false;
+  int s = static_cast<int>(event_id >> kShardIdBits);
+  if (s >= num_shards()) return false;
+  // Only the owning shard may cancel: a foreign shard's queue is being
+  // mutated concurrently during parallel windows.
+  assert(tls_exec.sim != this || tls_exec.shard == s);
+  Shard& sh = shard(s);
+  if (local >= sh.next_id) return false;
+  return sh.cancelled.insert(local).second;
 }
 
-bool Simulator::Step() {
-  while (!queue_.empty()) {
+bool Simulator::StepOne() {
+  Shard& sh = shards_[0];
+  while (!sh.queue.empty()) {
     // priority_queue::top() is const; move out via const_cast, which is
     // safe because we pop immediately and never compare the moved-from
     // element again.
-    Event ev = std::move(const_cast<Event&>(queue_.top()));
-    queue_.pop();
-    auto it = cancelled_.find(ev.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+    Event ev = std::move(const_cast<Event&>(sh.queue.top()));
+    sh.queue.pop();
+    auto it = sh.cancelled.find(ev.id);
+    if (it != sh.cancelled.end()) {
+      sh.cancelled.erase(it);
       continue;
     }
-    assert(ev.when >= now_);
-    now_ = ev.when;
-    ++events_executed_;
+    assert(ev.when >= sh.now);
+    sh.now = ev.when;
+    sh.cur_sched = ev.sched;
+    sh.cur_sched2 = ev.sched2;
+    ++sh.events_executed;
     ev.fn();
+    sh.cur_sched = 0;
+    sh.cur_sched2 = 0;
     return true;
   }
   return false;
 }
 
-SimTime Simulator::Run() {
-  while (Step()) {
+bool Simulator::RunShardWindow(int s, SimTime bound) {
+  Shard& sh = shard(s);
+  ExecContext saved = tls_exec;
+  tls_exec = ExecContext{this, s};
+  bool ran = false;
+  while (!sh.queue.empty() && sh.queue.top().when < bound) {
+    Event ev = std::move(const_cast<Event&>(sh.queue.top()));
+    sh.queue.pop();
+    auto it = sh.cancelled.find(ev.id);
+    if (it != sh.cancelled.end()) {
+      sh.cancelled.erase(it);
+      continue;
+    }
+    assert(ev.when >= sh.now);
+    sh.now = ev.when;
+    sh.cur_sched = ev.sched;
+    sh.cur_sched2 = ev.sched2;
+    ++sh.events_executed;
+    ev.fn();
+    sh.cur_sched = 0;
+    sh.cur_sched2 = 0;
+    ran = true;
   }
-  return now_;
+  tls_exec = saved;
+  return ran;
+}
+
+void Simulator::MergeOutboxes() {
+  struct Item {
+    SimTime when;
+    SimTime sched;
+    SimTime sched2;
+    SimTime sched3;
+    int src;
+    uint64_t seq;
+    int dst;
+    Callback fn;
+  };
+  std::vector<Item> items;
+  for (int s = 0; s < num_shards(); ++s) {
+    for (OutboxEntry& e : shard(s).outbox) {
+      items.push_back(Item{e.when, e.sched, e.sched2, e.sched3, s, e.seq,
+                           e.dst, std::move(e.fn)});
+    }
+    shard(s).outbox.clear();
+  }
+  // The sort key mirrors the queue comparator so destination seqs (the
+  // final tie-break) are assigned in a globally consistent order.
+  std::sort(items.begin(), items.end(), [](const Item& a, const Item& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.sched != b.sched) return a.sched < b.sched;
+    if (a.sched2 != b.sched2) return a.sched2 < b.sched2;
+    if (a.sched3 != b.sched3) return a.sched3 < b.sched3;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (Item& item : items) {
+    // Window safety: every buffered event lands at or beyond the window
+    // bound, so no destination clock has passed it.
+    assert(item.when >= shard(item.dst).now);
+    PushEvent(item.dst, item.when, item.sched, item.sched2, item.sched3,
+              std::move(item.fn));
+  }
+}
+
+SimTime Simulator::RunWindowed(ThreadPool* pool) {
+  const int n = num_shards();
+  assert(lookahead_ > 0);
+  for (;;) {
+    bool any = false;
+    SimTime earliest = 0;
+    for (int s = 0; s < n; ++s) {
+      const Shard& sh = shard(s);
+      if (sh.queue.empty()) continue;
+      SimTime w = sh.queue.top().when;
+      if (!any || w < earliest) {
+        earliest = w;
+        any = true;
+      }
+    }
+    if (!any) break;
+    // Conservative window [earliest, earliest + lookahead): any message an
+    // event in the window sends cross-shard is delivered at
+    // sender_now + lookahead >= earliest + lookahead, i.e. beyond the
+    // bound, so shards cannot affect each other inside the window.
+    SimTime bound = earliest + lookahead_;
+    in_window_ = true;
+    if (pool != nullptr) {
+      pool->ParallelFor(n, [this, bound](int s) { RunShardWindow(s, bound); });
+    } else {
+      for (int s = 0; s < n; ++s) RunShardWindow(s, bound);
+    }
+    in_window_ = false;
+    MergeOutboxes();
+  }
+  SimTime makespan = 0;
+  for (int s = 0; s < n; ++s) makespan = std::max(makespan, shard(s).now);
+  return makespan;
+}
+
+SimTime Simulator::Run() {
+  if (num_shards() == 1) {
+    while (StepOne()) {
+    }
+    return shards_[0].now;
+  }
+  return RunWindowed(nullptr);
+}
+
+SimTime Simulator::RunParallel(int threads) {
+  if (num_shards() == 1) return Run();
+  if (threads <= 1) return RunWindowed(nullptr);
+  threads = std::min(threads, num_shards());
+  ThreadPool pool(threads);
+  return RunWindowed(&pool);
 }
 
 SimTime Simulator::RunUntil(SimTime deadline) {
-  while (!queue_.empty() && queue_.top().when <= deadline) {
-    if (!Step()) break;
+  assert(num_shards() == 1);
+  Shard& sh = shards_[0];
+  while (!sh.queue.empty() && sh.queue.top().when <= deadline) {
+    if (!StepOne()) break;
   }
-  if (now_ < deadline) now_ = deadline;
-  return now_;
+  if (sh.now < deadline) sh.now = deadline;
+  return sh.now;
 }
 
 bool Simulator::RunUntilPredicate(const std::function<bool()>& done) {
+  assert(num_shards() == 1);
   if (done()) return true;
-  while (Step()) {
+  while (StepOne()) {
     if (done()) return true;
   }
   return false;
+}
+
+uint64_t Simulator::events_executed() const {
+  uint64_t total = 0;
+  for (const Shard& sh : shards_) total += sh.events_executed;
+  return total;
+}
+
+size_t Simulator::pending() const {
+  size_t total = 0;
+  for (const Shard& sh : shards_) total += sh.queue.size();
+  return total;
 }
 
 }  // namespace radd

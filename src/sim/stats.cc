@@ -20,6 +20,7 @@ std::string OpCounts::ToFormula() const {
 }
 
 double Stats::Mean(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = samples_.find(name);
   if (it == samples_.end() || it->second.empty()) return 0;
   double sum = 0;
@@ -28,6 +29,7 @@ double Stats::Mean(const std::string& name) const {
 }
 
 double Stats::Percentile(const std::string& name, double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = samples_.find(name);
   if (it == samples_.end() || it->second.empty()) return 0;
   std::vector<double> v = it->second;

@@ -3,13 +3,24 @@
 // The benchmark harnesses read these to produce the paper's tables; the
 // op-count accounting of Figure 3 additionally uses the typed OpCounts
 // struct, which is what the formulas are expressed in.
+//
+// Thread-safety: internally synchronized, because one Stats object is
+// shared by every site in a node system and sites execute concurrently
+// under the sharded simulator (sim/simulator.h). Interned counters are
+// lock-free atomics — the hot path is a single fetch_add. The string-keyed
+// operations (Add, Intern, Observe, readers) take a mutex; they are cold
+// (setup, rare protocol events, post-run reporting). Counts are exact but
+// carry no cross-counter ordering; read them when the simulation is
+// quiescent, as the harnesses do.
 
 #ifndef RADD_SIM_STATS_H_
 #define RADD_SIM_STATS_H_
 
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -58,21 +69,32 @@ class Stats {
   /// A stable handle to one named counter. Hot paths that would otherwise
   /// rebuild the key string per event (e.g. "net.bytes." + type on every
   /// send) intern the counter once and bump through the pointer instead.
-  using Counter = uint64_t*;
+  /// Bumps through the handle are lock-free atomic adds.
+  using Counter = std::atomic<uint64_t>*;
+  // The shard-confinement rule (simulator.h) allows shared state only when
+  // it synchronizes internally without blocking the hot path.
+  static_assert(std::atomic<uint64_t>::is_always_lock_free,
+                "interned counters must be lock-free for concurrent shards");
 
   void Add(const std::string& name, uint64_t delta = 1) {
+    std::lock_guard<std::mutex> lock(mu_);
     counters_[name] += delta;
   }
   /// Returns a handle to the named counter, creating it at zero. The
   /// handle stays valid for the lifetime of this Stats object — counters_
   /// is a node-based map, and Reset() zeroes values in place rather than
   /// erasing them.
-  Counter Intern(const std::string& name) { return &counters_[name]; }
+  Counter Intern(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return &counters_[name];
+  }
   uint64_t Get(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    return it == counters_.end() ? 0 : it->second.load();
   }
   void Observe(const std::string& name, double value) {
+    std::lock_guard<std::mutex> lock(mu_);
     samples_[name].push_back(value);
   }
   /// Mean of observed values; 0 if none.
@@ -80,20 +102,27 @@ class Stats {
   /// p-th percentile (0..100) of observed values; 0 if none.
   double Percentile(const std::string& name, double p) const;
   size_t SampleCount(const std::string& name) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = samples_.find(name);
     return it == samples_.end() ? 0 : it->second.size();
   }
   void Reset() {
+    std::lock_guard<std::mutex> lock(mu_);
     // Zero in place (not clear): interned Counter handles must survive.
     for (auto& [name, value] : counters_) value = 0;
     samples_.clear();
   }
-  const std::map<std::string, uint64_t>& counters() const {
-    return counters_;
+  /// Snapshot of every counter, for post-run reporting.
+  std::map<std::string, uint64_t> counters() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::map<std::string, uint64_t> out;
+    for (const auto& [name, value] : counters_) out[name] = value.load();
+    return out;
   }
 
  private:
-  std::map<std::string, uint64_t> counters_;
+  mutable std::mutex mu_;  // guards map structure and samples_
+  std::map<std::string, std::atomic<uint64_t>> counters_;
   std::map<std::string, std::vector<double>> samples_;
 };
 

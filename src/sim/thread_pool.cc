@@ -1,0 +1,72 @@
+#include "sim/thread_pool.h"
+
+namespace radd {
+
+ThreadPool::ThreadPool(int threads) {
+  int workers = threads - 1;
+  if (workers < 0) workers = 0;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::RunIndices() {
+  for (;;) {
+    int i = next_index_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= n_) return;
+    (*fn_)(i);
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_ready_.wait(lock,
+                       [this, seen] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+    }
+    RunIndices();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) work_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  if (workers_.empty()) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    n_ = n;
+    fn_ = &fn;
+    next_index_.store(0, std::memory_order_relaxed);
+    active_ = static_cast<int>(workers_.size());
+    ++generation_;
+  }
+  work_ready_.notify_all();
+  RunIndices();  // the owning thread pulls its share
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    work_done_.wait(lock, [this] { return active_ == 0; });
+    fn_ = nullptr;
+  }
+}
+
+}  // namespace radd

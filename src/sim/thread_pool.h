@@ -1,0 +1,60 @@
+// A small fixed-size worker pool for data-parallel loops.
+//
+// Used by Simulator::RunParallel to execute one conservative window across
+// shards, and by ParallelRunner to farm out independent whole simulations
+// (chaos seeds, bench repetitions). Work distribution is a shared atomic
+// index, so uneven shards load-balance; completion is a full barrier, so
+// the caller observes all worker writes after ParallelFor returns
+// (mutex/condition-variable synchronization establishes the
+// happens-before edges both ways).
+
+#ifndef RADD_SIM_THREAD_POOL_H_
+#define RADD_SIM_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace radd {
+
+class ThreadPool {
+ public:
+  /// Creates a pool that runs loops on `threads` OS threads total: the
+  /// calling thread participates, so `threads - 1` workers are spawned.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Total threads a loop runs on (including the caller).
+  int size() const { return static_cast<int>(workers_.size()) + 1; }
+
+  /// Runs fn(i) for every i in [0, n), distributed dynamically across the
+  /// pool. Blocks until all iterations finish. Not reentrant: one loop at
+  /// a time, always driven from the same (owning) thread.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+  /// Claims and runs iterations until the index range is exhausted.
+  void RunIndices();
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable work_ready_;
+  std::condition_variable work_done_;
+  uint64_t generation_ = 0;  // bumped per ParallelFor; wakes workers
+  int active_ = 0;           // workers still inside the current loop
+  bool stop_ = false;
+  int n_ = 0;
+  const std::function<void(int)>* fn_ = nullptr;
+  std::atomic<int> next_index_{0};
+};
+
+}  // namespace radd
+
+#endif  // RADD_SIM_THREAD_POOL_H_

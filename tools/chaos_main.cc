@@ -10,17 +10,24 @@
 //   chaos_main --seeds 200 --batch       # batched parity pipeline on, with
 //                                        # extra scripted drop/dup of the
 //                                        # batch frames and their acks
+//   chaos_main --seeds 200 --threads 8   # run farm: seeds execute on 8
+//                                        # worker threads; output and exit
+//                                        # code are identical to --threads 1
 //
 // Every schedule is deterministic in its seed: a failing seed printed by a
-// bulk run reproduces bit-for-bit with --seed.
+// bulk run reproduces bit-for-bit with --seed, at any thread count — each
+// seed gets its own simulator/cluster/network stack, and reports are
+// buffered and printed in seed order.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "fault/chaos.h"
+#include "sim/parallel_runner.h"
 
 namespace {
 
@@ -35,6 +42,7 @@ int main(int argc, char** argv) {
   uint64_t start = 1;
   uint64_t single = 0;
   bool have_single = false;
+  int threads = 1;
   radd::ChaosConfig config;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,24 +69,41 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--groups must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      threads = static_cast<int>(ParseU64(argv[++i]));
+      if (threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
                    "[--groups G] [--episodes E] [--ops O] [--autopilot] "
-                   "[--batch] [--verbose]\n",
+                   "[--batch] [--threads T] [--verbose]\n",
                    argv[0]);
       return 2;
     }
   }
   if (!have_single && seeds == 0) seeds = 200;
 
-  radd::ChaosHarness harness(config);
-
   if (have_single) {
+    radd::ChaosHarness harness(config);
     radd::ChaosReport r = harness.Run(single);
     std::printf("%s\n", r.Summary().c_str());
     return r.ok ? 0 : 1;
   }
+
+  // Run farm: every seed is an independent job with its own harness (and
+  // thus its own simulator, cluster, network and protocol stack — no
+  // shared mutable state between jobs). Reports are buffered and printed
+  // in seed order below, so stdout is byte-identical at any thread count.
+  std::vector<radd::ChaosReport> reports(seeds);
+  radd::ParallelRunner::Map(threads, static_cast<int>(seeds),
+                            [&](int i) {
+                              radd::ChaosHarness harness(config);
+                              reports[static_cast<size_t>(i)] =
+                                  harness.Run(start + static_cast<uint64_t>(i));
+                            });
 
   uint64_t failures = 0;
   radd::SimTime conv_max = 0;
@@ -87,7 +112,7 @@ int main(int argc, char** argv) {
   uint64_t batches = 0, batch_retx = 0, batch_dup = 0, staged = 0,
            batch_n = 0;
   for (uint64_t s = start; s < start + seeds; ++s) {
-    radd::ChaosReport r = harness.Run(s);
+    radd::ChaosReport& r = reports[static_cast<size_t>(s - start)];
     if (r.batched) {
       batches += r.batches_sent;
       batch_retx += r.batch_retransmits;
