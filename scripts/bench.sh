@@ -12,6 +12,7 @@
 #   scripts/bench.sh 15             # more runs for a noisier machine
 #   scripts/bench.sh 5 build parallel   # only BENCH_parallel.json
 #   scripts/bench.sh 7 build classic    # only throughput + parity records
+#   scripts/bench.sh 5 build transport  # only BENCH_transport.json
 #
 # The `parallel` suite measures the sharded simulation engine and the
 # chaos run farm (DESIGN.md section 12) at several thread counts and
@@ -30,7 +31,7 @@ suite="${3:-all}"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_throughput bench_parity_batching chaos_main
+  --target bench_throughput bench_parity_batching chaos_main transport_main
 
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
@@ -100,6 +101,13 @@ fi
 if [ "$suite" = all ] || [ "$suite" = parallel ]; then
   threads="1 2 4 8"
   chaos_seeds=40
+  # Wall-clock speedup numbers need real cores behind the threads. Say so
+  # up front (the JSON records it too, as "degraded_host").
+  if [ "$(nproc)" -lt 8 ]; then
+    echo "WARNING: host has $(nproc) cores but the parallel suite runs up" \
+         "to 8 threads; wall-clock speedups will be degraded (the record" \
+         "will carry \"degraded_host\": true)." >&2
+  fi
   for i in $(seq "$runs"); do
     echo "parallel run $i/$runs ..."
     for t in $threads; do
@@ -184,6 +192,7 @@ doc = {
         "and the sharded bench to min(N, groups busy per window). "
         "Regenerate with scripts/bench.sh <runs> <build> parallel."),
     "host_cores": host_cores,
+    "degraded_host": host_cores < max(threads),
     "runs": runs,
     "sharded_bench": bench_rows,
     "chaos_run_farm": chaos_rows,
@@ -192,5 +201,56 @@ with open(f"{repo}/BENCH_parallel.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print("wrote BENCH_parallel.json")
+EOF
+fi
+
+if [ "$suite" = all ] || [ "$suite" = transport ]; then
+  # The socket backends run one thread per site (4) plus writers; with
+  # fewer cores the wall-clock latencies measure time-slicing, not the
+  # transport. transport_main stamps "degraded_host" in its own output;
+  # warn here as well so interactive runs cannot miss it.
+  if [ "$(nproc)" -lt 4 ]; then
+    echo "WARNING: host has $(nproc) cores; the socket transport runs 4" \
+         "site threads, so BENCH_transport.json will carry" \
+         "\"degraded_host\": true and its wall-clock numbers measure" \
+         "time-slicing overhead." >&2
+  fi
+  for i in $(seq "$runs"); do
+    echo "transport run $i/$runs ..."
+    "$build/tools/transport_main" --bench --out "$tmp/transport_$i.json"
+  done
+
+  RUNS="$runs" TMP="$tmp" REPO="$repo" python3 - <<'EOF'
+import json, os, statistics
+
+runs = int(os.environ["RUNS"])
+tmp = os.environ["TMP"]
+repo = os.environ["REPO"]
+
+docs = [json.load(open(f"{tmp}/transport_{i}.json")) for i in
+        range(1, runs + 1)]
+doc = {k: v for k, v in docs[0].items() if k != "results"}
+doc["runs"] = runs
+doc["note"] = doc.get("note", "") + (
+    " Latency and throughput figures are per-backend medians over the "
+    "runs; regenerate with scripts/bench.sh <runs> <build> transport.")
+rows = []
+for idx, first in enumerate(docs[0]["results"]):
+    row = dict(first)
+    # DES figures are simulated time and must not vary across runs.
+    if row["latency_domain"] == "simulated_us":
+        for d in docs[1:]:
+            if d["results"][idx]["p50_latency_us"] != row["p50_latency_us"]:
+                raise SystemExit("nondeterministic DES latencies?!")
+    for f in ("p50_latency_us", "p99_latency_us", "wall_sec",
+              "ops_per_wall_sec"):
+        row[f] = round(statistics.median(
+            d["results"][idx][f] for d in docs), 2)
+    rows.append(row)
+doc["results"] = rows
+with open(f"{repo}/BENCH_transport.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print("wrote BENCH_transport.json")
 EOF
 fi

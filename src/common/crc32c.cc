@@ -1,0 +1,45 @@
+#include "common/crc32c.h"
+
+#include <array>
+
+namespace radd {
+
+namespace {
+
+// Table for the reflected Castagnoli polynomial, built once at startup.
+// (Reflected form 0x82F63B78 of 0x1EDC6F41, processing bytes LSB-first —
+// the same convention as the SSE4.2 crc32 instruction, so values are
+// comparable with hardware implementations should one be added later.)
+std::array<uint32_t, 256> BuildTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> kTable = BuildTable();
+  return kTable;
+}
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n) {
+  const std::array<uint32_t, 256>& table = Table();
+  crc = ~crc;
+  for (size_t i = 0; i < n; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(const uint8_t* data, size_t n) {
+  return Crc32cExtend(0, data, n);
+}
+
+}  // namespace radd

@@ -1,0 +1,28 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41) over byte ranges.
+//
+// The frame codec (net/frame.h) stamps every serialized payload with this
+// checksum so a receiver can reject frames that were truncated or
+// bit-flipped in transit. CRC32C is the storage-stack convention (iSCSI,
+// ext4, RocksDB) because its error-detection properties for short frames
+// are well studied; this is the portable table-driven form, one table
+// lookup per byte, with no hardware-instruction dependency.
+
+#ifndef RADD_COMMON_CRC32C_H_
+#define RADD_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace radd {
+
+/// CRC32C of [data, data+n), with the conventional pre/post inversion.
+/// Crc32c(nullptr, 0) == 0.
+uint32_t Crc32c(const uint8_t* data, size_t n);
+
+/// Incremental form: extends `crc` (a previous Crc32c result) with more
+/// bytes, as if the two ranges had been checksummed in one call.
+uint32_t Crc32cExtend(uint32_t crc, const uint8_t* data, size_t n);
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_CRC32C_H_

@@ -5,6 +5,7 @@
 
 #include <cassert>
 
+#include "net/transport.h"
 #include "net/wire.h"
 
 namespace radd {
@@ -112,7 +113,11 @@ struct RaddNodeSystem::Node {
     m.type = type;
     m.wire_bytes = wire_bytes + kWireHeader;
     m.payload = std::move(payload);
-    sys->net_->Send(std::move(m));
+    if (sys->transport_ != nullptr) {
+      sys->transport_->Send(std::move(m));
+    } else {
+      sys->net_->Send(std::move(m));
+    }
   }
 
   // --- message handlers ---------------------------------------------------
@@ -274,6 +279,31 @@ struct RaddNodeSystem::Node {
         Result<BlockRecord> old = store()->Peek(prow);
         if (old.ok()) {
           old_value = std::move(old->data);
+        } else if (old.status().IsDataLoss()) {
+          // The old contents are unreadable (latent sector error, detected
+          // corruption, dead disk) but parity still encodes them. Diffing
+          // against a blank would shift parity by the lost contents, and
+          // every later reconstruction of this row would return torn data.
+          // Rebuild the delta base from peers first — same first-write
+          // penalty the spare path pays in OnSpareWriteReq.
+          sys->stats_.Add("node.write_old_reconstructed");
+          const uint64_t op = req.op;
+          const int g = req.group;
+          const int home = req.home;
+          const BlockNum row = req.row;
+          StartReconstruction(
+              op, g, home, row,
+              [this, req = std::move(req), reply_to, prow](
+                  Status st, Block base, Uid) mutable {
+                if (!st.ok()) {
+                  Unlock(req.op, prow);
+                  CompleteWrite(req.op, reply_to, MessageType::kWriteReply,
+                                WriteReply{req.op, st});
+                  return;
+                }
+                ApplyLocalWrite(std::move(req), reply_to, std::move(base));
+              });
+          return;
         } else {
           old_value = sys->arena_.Lease();
         }

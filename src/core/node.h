@@ -37,6 +37,8 @@
 
 namespace radd {
 
+class Transport;
+
 /// Tunables of the protocol layer.
 struct NodeConfig {
   DiskModel disk;
@@ -143,6 +145,15 @@ class RaddNodeSystem {
     status_service_ = service;
   }
 
+  /// Routes every protocol send through `transport` instead of straight
+  /// to the Network (net/transport.h). The DES transport frames each
+  /// message through the packed codec before re-entering the simulated
+  /// network — semantics identical when the codec is lossless, which the
+  /// differential chaos tests assert. nullptr (the default) restores the
+  /// direct send path, bit-identical to the pre-transport protocol.
+  /// Heartbeat traffic is the detector's own and stays on the Network.
+  void SetTransport(Transport* transport) { transport_ = transport; }
+
   /// Client operations currently in flight (reads + writes). Used as the
   /// recovery sweeper's backpressure probe.
   uint64_t InFlightOps() const;
@@ -198,6 +209,7 @@ class RaddNodeSystem {
 
   Simulator* sim_;
   Network* net_;
+  Transport* transport_ = nullptr;  ///< optional send-path override
   Cluster* cluster_;
   NodeConfig node_config_;
   std::vector<std::unique_ptr<RaddGroup>> groups_;

@@ -11,6 +11,7 @@
 
 #include "common/rng.h"
 #include "core/volume.h"
+#include "net/transport.h"
 
 namespace radd {
 
@@ -120,6 +121,16 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   }
   RaddVolume& vol = **made;
   RaddNodeSystem& sys = *vol.system();
+
+  // Frame-codec mode: every protocol send serializes to a packed frame and
+  // decodes back before entering the Network. Lossless, so the Summary
+  // must not change; the counters prove every message survived the trip.
+  std::optional<DesTransport> transport;
+  if (cfg.frame_codec) {
+    report.frame_codec = true;
+    transport.emplace(&net);
+    sys.SetTransport(&*transport);
+  }
 
   // --- autopilot control plane ---------------------------------------------
   // Detector constructed after `sys` so it chains in front of the protocol
@@ -419,6 +430,31 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
         case FaultKind::kDropWindow:
           net.set_drop_probability(ep.drop_p);
           break;
+        case FaultKind::kAsymPartition:
+          // One direction of the target's links goes dark. Inbound-cut: it
+          // keeps heartbeating, so nobody suspects it — its own operations
+          // just never hear replies and must fail cleanly. Outbound-cut:
+          // its heartbeats vanish, the majority suspects, declares it down
+          // and fences it (§5) while it still hears everything.
+          net.SetAsymBlock(target, ep.asym_inbound, !ep.asym_inbound);
+          minority_member = ep.member;
+          if (!cfg.autopilot) {
+            // Majority-side oracle only. Unlike a symmetric partition, the
+            // target must NOT presume the majority down: §5 says a minority
+            // site considers itself cut off, not the world. If it presumed
+            // its peers down it would take degraded shortcuts (ack a write
+            // data-only because "the parity site is down") — and with one
+            // working direction such unsound acks can escape to clients
+            // whose readers then reconstruct through stale parity. Left
+            // believing its peers are up, its operations instead fail
+            // honestly via retransmit exhaustion.
+            for (int m = 0; m < num_sites; ++m) {
+              if (m == ep.member) continue;
+              sys.SetPresumedState(static_cast<SiteId>(m), target,
+                                   SiteState::kDown);
+            }
+          }
+          break;
       }
     });
 
@@ -443,8 +479,13 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     // Lift the fault. A healed partition is a rejoin: the isolated site
     // missed updates and must run recovery like a restarted site (§5).
     switch (ep.kind) {
+      case FaultKind::kAsymPartition:
       case FaultKind::kPartition:
-        net.Heal();
+        if (ep.kind == FaultKind::kAsymPartition) {
+          net.ClearAsymBlock(target);
+        } else {
+          net.Heal();
+        }
         minority_member = -1;
         if (cfg.autopilot) {
           // The fenced site's heartbeats get through again; peers clear
@@ -555,6 +596,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
         case FaultKind::kCrashRestart:
         case FaultKind::kDisaster:
         case FaultKind::kPartition:
+        case FaultKind::kAsymPartition:
           (void)cluster.RestoreSite(target);
           recover_site();
           break;
@@ -571,6 +613,10 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   }
 
   if (detector) detector->Stop();
+  if (transport) {
+    report.frames_encoded = transport->frame_counters().encoded.load();
+    report.frames_rejected = transport->frame_counters().Rejected();
+  }
   if (cfg.node.parity_batch.enabled) {
     report.batched = true;
     report.batches_sent = sys.stats().Get("node.batches_sent");

@@ -47,6 +47,15 @@ struct ChaosConfig {
   NodeConfig node;       ///< retry knobs; defaults shortened for test speed
   bool verbose = false;  ///< trace every op and fault to stderr
 
+  /// Routes every protocol message through the packed frame codec
+  /// (DesTransport: encode to bytes, CRC, decode, deliver). The codec is
+  /// lossless, so a schedule's Summary must be byte-identical with this on
+  /// or off — that equality, checked under full chaos, is the proof that
+  /// serialization preserves every message of the real protocol. Codec
+  /// counters land in ChaosReport::frames_encoded / frames_rejected (never
+  /// in the Summary, precisely so the differential stays byte-exact).
+  bool frame_codec = false;
+
   /// Self-healing mode: the harness injects faults but never repairs.
   /// Detection (heartbeats -> SiteStatusService declarations), restart
   /// handling and the paced background sweep bring the cluster back on
@@ -95,6 +104,12 @@ struct ChaosReport {
   uint64_t batch_retransmits = 0;   ///< frames resent after ack timeout
   uint64_t batch_duplicates = 0;    ///< duplicate frames deduped by seq
   uint64_t parity_staged = 0;       ///< parity updates that rode a batch
+
+  /// Frame-codec metrics (frame_codec mode; excluded from Summary so the
+  /// codec-on/off differential compares byte-identical strings).
+  bool frame_codec = false;
+  uint64_t frames_encoded = 0;
+  uint64_t frames_rejected = 0;  ///< must stay 0: the codec is lossless
 
   /// Autopilot-mode self-healing metrics (all zero otherwise).
   bool autopilot = false;

@@ -17,6 +17,7 @@ std::string_view FaultKindName(FaultKind k) {
     case FaultKind::kCorruption: return "corruption";
     case FaultKind::kGraySlow: return "gray_slow";
     case FaultKind::kDropWindow: return "drop_window";
+    case FaultKind::kAsymPartition: return "asym_partition";
   }
   return "?";
 }
@@ -34,6 +35,7 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanConfig& config) {
       FaultKind::kDiskFailure,  FaultKind::kPartition,
       FaultKind::kLatentErrors, FaultKind::kCorruption,
       FaultKind::kGraySlow,     FaultKind::kDropWindow,
+      FaultKind::kAsymPartition,
   };
   const int n = config.episodes < 2 ? 2 : config.episodes;
   std::vector<FaultKind> kinds;
@@ -63,6 +65,9 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanConfig& config) {
                         config.rows > 3 ? config.rows / 2 : 1));
     ep.slow_factor = 2 + static_cast<uint32_t>(rng.Uniform(5));
     ep.drop_p = 0.15 + 0.35 * rng.NextDouble();
+    // Drawn unconditionally (like every field) so the kind never shifts
+    // later episodes' draws within a seed.
+    ep.asym_inbound = rng.Uniform(2) == 1;
     plan.episodes.push_back(ep);
   }
   return plan;
@@ -71,8 +76,11 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanConfig& config) {
 std::string FaultPlan::ToString() const {
   std::string out = "plan[seed=" + std::to_string(seed) + "]";
   for (const Episode& ep : episodes) {
-    out += " " + std::string(FaultKindName(ep.kind)) + "@m" +
-           std::to_string(ep.member) + "/" +
+    out += " " + std::string(FaultKindName(ep.kind));
+    if (ep.kind == FaultKind::kAsymPartition) {
+      out += ep.asym_inbound ? "(in)" : "(out)";
+    }
+    out += "@m" + std::to_string(ep.member) + "/" +
            std::to_string(ToMillis(ep.duration)) + "ms";
   }
   return out;

@@ -34,6 +34,8 @@ enum class FaultKind {
   kCorruption,    ///< silent bit rot on one site (checksum-detected)
   kGraySlow,      ///< gray failure: disk service time multiplied
   kDropWindow,    ///< window of heavy random message loss
+  kAsymPartition, ///< one-way partition: target sends but cannot receive,
+                  ///< or receives but cannot send (Episode::asym_inbound)
 };
 
 std::string_view FaultKindName(FaultKind k);
@@ -49,6 +51,11 @@ struct Episode {
   int blocks = 0;            ///< latent/corruption: rows hit
   uint32_t slow_factor = 1;  ///< gray-slow disk multiplier
   double drop_p = 0.0;       ///< drop-window loss probability
+  /// kAsymPartition direction: true = the member's *inbound* links are cut
+  /// (it keeps sending, hears nothing back — peers still see it alive);
+  /// false = its *outbound* links are cut (it hears everything, but its
+  /// messages, heartbeats included, vanish — peers suspect and fence it).
+  bool asym_inbound = false;
 };
 
 /// Knobs for FaultPlan::Random.

@@ -1,0 +1,53 @@
+#include "fault/netshim.h"
+
+namespace radd {
+
+LossyProxyConfig DefaultLossyMix(uint64_t seed) {
+  LossyProxyConfig cfg;
+  cfg.drop_p = 0.05;
+  cfg.truncate_p = 0.02;
+  cfg.bitflip_p = 0.03;
+  cfg.duplicate_p = 0.05;
+  cfg.delay_p = 0.05;
+  cfg.max_delay_ms = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+LossyNetProxy::LossyNetProxy(LossyProxyConfig cfg)
+    : cfg_(cfg), rng_(cfg.seed) {}
+
+FrameFaultPlan LossyNetProxy::OnFrame(const Message& msg, size_t frame_len) {
+  (void)msg;
+  std::lock_guard<std::mutex> lk(mu_);
+  ++frames_seen_;
+  FrameFaultPlan plan;
+  if (cfg_.delay_p > 0 && rng_.Bernoulli(cfg_.delay_p)) {
+    plan.delay_ms = static_cast<int>(
+        rng_.UniformRange(1, static_cast<uint64_t>(cfg_.max_delay_ms)));
+    ++planned_delays_;
+  }
+  if (cfg_.drop_p > 0 && rng_.Bernoulli(cfg_.drop_p)) {
+    plan.drop = true;
+    ++planned_drops_;
+    return plan;
+  }
+  if (cfg_.truncate_p > 0 && rng_.Bernoulli(cfg_.truncate_p)) {
+    // Cut anywhere in the frame, including mid-header.
+    plan.truncate_at = 1 + rng_.Uniform(frame_len > 1 ? frame_len - 1 : 1);
+    ++planned_truncations_;
+    return plan;
+  }
+  if (cfg_.bitflip_p > 0 && rng_.Bernoulli(cfg_.bitflip_p)) {
+    plan.bitflip_at = static_cast<int>(rng_.Uniform(frame_len * 8));
+    ++planned_bitflips_;
+    return plan;
+  }
+  if (cfg_.duplicate_p > 0 && rng_.Bernoulli(cfg_.duplicate_p)) {
+    plan.duplicate = true;
+    ++planned_dups_;
+  }
+  return plan;
+}
+
+}  // namespace radd

@@ -1,0 +1,77 @@
+// LossyNetProxy — the fault-injecting proxy for the socket transport.
+//
+// SocketTransport consults a FrameInjector for every outbound frame; this
+// is the standard implementation: a seeded, rate-configured adversary that
+// delays, drops, duplicates, truncates and bit-flips frames. It plays the
+// same role for the real-network backend that FaultPlan/FaultHook play for
+// the DES — a reproducible source of network misbehavior that the
+// robustness machinery (CRC rejection, reconnect + epoch fencing, bounded
+// retransmit) must absorb without corrupting protocol state.
+//
+// Faults are drawn independently per frame from one seeded Rng, so a given
+// (seed, rate) configuration produces the same fault verdicts for the same
+// frame sequence. Note the *observed* schedule over real sockets is still
+// nondeterministic (thread interleaving decides which sender draws next);
+// determinism here means reproducible fault rates, not a reproducible trace —
+// the differential tests therefore assert order-insensitive invariants
+// (converged store hashes, ledger consistency), not traces.
+
+#ifndef RADD_FAULT_NETSHIM_H_
+#define RADD_FAULT_NETSHIM_H_
+
+#include <cstdint>
+#include <mutex>
+
+#include "common/rng.h"
+#include "net/socket_transport.h"
+
+namespace radd {
+
+/// Per-fault-class probabilities, each in [0, 1]. Mutually exclusive per
+/// frame, tested in this order: drop, truncate, bitflip, duplicate (delay
+/// is drawn independently and can combine with any verdict).
+struct LossyProxyConfig {
+  double drop_p = 0.0;
+  double truncate_p = 0.0;
+  double bitflip_p = 0.0;
+  double duplicate_p = 0.0;
+  /// Probability a frame is delayed at all; the delay is then uniform on
+  /// [1, max_delay_ms].
+  double delay_p = 0.0;
+  int max_delay_ms = 5;
+  uint64_t seed = 1;
+};
+
+/// A moderately hostile default mix for chaos sweeps: every fault class
+/// enabled, loss-dominated, delays small enough to keep runs fast.
+LossyProxyConfig DefaultLossyMix(uint64_t seed);
+
+class LossyNetProxy : public FrameInjector {
+ public:
+  explicit LossyNetProxy(LossyProxyConfig cfg);
+
+  FrameFaultPlan OnFrame(const Message& msg, size_t frame_len) override;
+
+  // Verdicts issued (the transport separately counts verdicts *executed*).
+  uint64_t planned_drops() const { return planned_drops_; }
+  uint64_t planned_truncations() const { return planned_truncations_; }
+  uint64_t planned_bitflips() const { return planned_bitflips_; }
+  uint64_t planned_dups() const { return planned_dups_; }
+  uint64_t planned_delays() const { return planned_delays_; }
+  uint64_t frames_seen() const { return frames_seen_; }
+
+ private:
+  const LossyProxyConfig cfg_;
+  std::mutex mu_;  // OnFrame is called concurrently from sender threads
+  Rng rng_;
+  uint64_t frames_seen_ = 0;
+  uint64_t planned_drops_ = 0;
+  uint64_t planned_truncations_ = 0;
+  uint64_t planned_bitflips_ = 0;
+  uint64_t planned_dups_ = 0;
+  uint64_t planned_delays_ = 0;
+};
+
+}  // namespace radd
+
+#endif  // RADD_FAULT_NETSHIM_H_

@@ -12,6 +12,7 @@ Network::Network(Simulator* sim, NetworkModel model, uint64_t seed)
   duplicated_ = stats_.Intern("net.duplicated");
   reordered_ = stats_.Intern("net.reordered");
   partition_blocked_ = stats_.Intern("net.partition_blocked");
+  asym_blocked_ = stats_.Intern("net.asym_blocked");
   by_type_[0] = TypeCounters{};  // kNone: totals only
   for (size_t i = 1; i < kNumMessageTypes; ++i) {
     const std::string& name = MessageTypeName(static_cast<MessageType>(i));
@@ -64,6 +65,15 @@ void Network::SetPartitions(std::vector<std::vector<SiteId>> partitions) {
   // Unlisted sites share implicit partition -1 (PartitionOf default).
 }
 
+void Network::SetAsymBlock(SiteId site, bool block_inbound,
+                           bool block_outbound) {
+  if (!block_inbound && !block_outbound) {
+    asym_block_.erase(site);
+  } else {
+    asym_block_[site] = {block_inbound, block_outbound};
+  }
+}
+
 void Network::SetFaultHook(MessageType type, FaultHook hook) {
   fault_hooks_[Index(type)] = std::move(hook);
 }
@@ -94,6 +104,16 @@ void Network::Send(Message msg) {
   if (!CanCommunicate(msg.from, msg.to)) {
     ++*partition_blocked_;
     return;
+  }
+
+  if (!asym_block_.empty()) {
+    auto from_it = asym_block_.find(msg.from);
+    auto to_it = asym_block_.find(msg.to);
+    if ((from_it != asym_block_.end() && from_it->second.second) ||
+        (to_it != asym_block_.end() && to_it->second.first)) {
+      ++*asym_blocked_;
+      return;  // one-way cut: vanishes exactly like a partition drop
+    }
   }
 
   // Scripted faults override the random model for this message.

@@ -121,6 +121,18 @@ class Network {
   /// Clears partitions (equivalent to SetPartitions({})).
   void Heal() { SetPartitions({}); }
 
+  /// One-way (asymmetric) partition of a single site: cuts only the given
+  /// direction of its links. `block_inbound` drops everything addressed
+  /// *to* the site (it keeps sending into the void of no replies);
+  /// `block_outbound` drops everything it sends (heartbeats included, so
+  /// peers come to suspect it) while it still hears the world. Loopback is
+  /// never cut. Deliberately invisible to CanCommunicate: an asymmetric
+  /// failure is a *fault*, and no oracle gets to see through it.
+  void SetAsymBlock(SiteId site, bool block_inbound, bool block_outbound);
+
+  /// Restores both directions for `site`.
+  void ClearAsymBlock(SiteId site) { SetAsymBlock(site, false, false); }
+
   const NetworkModel& model() const { return model_; }
   void set_drop_probability(double p) { model_.drop_probability = p; }
   void set_duplicate_probability(double p) {
@@ -141,7 +153,8 @@ class Network {
   void ClearFaultHooks() { fault_hooks_.fill(FaultHook()); }
 
   /// Cumulative statistics: "net.messages", "net.bytes", "net.dropped",
-  /// "net.duplicated", "net.reordered", "net.partition_blocked", plus
+  /// "net.duplicated", "net.reordered", "net.partition_blocked",
+  /// "net.asym_blocked", plus
   /// per-type "net.bytes.<type>", "net.messages.<type>",
   /// "net.drop.<type>", "net.dup.<type>", "net.reorder.<type>".
   const Stats& stats() const { return stats_; }
@@ -171,6 +184,9 @@ class Network {
   std::array<FaultHook, kNumMessageTypes> fault_hooks_;
   std::map<SiteId, int> partition_of_;  // empty => fully connected
   bool partitioned_ = false;
+  /// Sites with one direction cut (SetAsymBlock). Checked in Send only;
+  /// CanCommunicate stays symmetric on purpose.
+  std::map<SiteId, std::pair<bool, bool>> asym_block_;  // {inbound, outbound}
   /// Latest delivery time already scheduled per (from, to) link; a new
   /// delivery scheduled earlier than this is a reorder. Only touched when
   /// reorder_jitter > 0 (without jitter, per-link delivery times are
@@ -196,6 +212,7 @@ class Network {
   Stats::Counter duplicated_;
   Stats::Counter reordered_;
   Stats::Counter partition_blocked_;
+  Stats::Counter asym_blocked_;
 };
 
 }  // namespace radd

@@ -1,0 +1,442 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace radd {
+
+namespace {
+
+void SleepMs(int ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+bool SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void CloseFd(int fd) {
+  if (fd >= 0) ::close(fd);
+}
+
+}  // namespace
+
+/// Sender-side state of one directed (from, to) link: a lazily opened
+/// connection plus the stream epoch stamped into its frames. The mutex
+/// serializes sends on the link, which keeps per-link frame order — the
+/// FIFO property the DES network also has (absent jitter).
+struct SocketTransport::Link {
+  Link(SiteId f, SiteId t, uint64_t seed)
+      : from(f), to(t), rng(seed) {}
+  const SiteId from;
+  const SiteId to;
+  std::mutex mu;
+  int fd = -1;
+  /// Bumped on every reconnect; receivers fence older epochs. Starts at 1
+  /// so epoch 0 unambiguously means "never connected" (the DES path).
+  uint16_t epoch = 1;
+  bool ever_connected = false;
+  Rng rng;  ///< backoff jitter
+};
+
+/// One accepted inbound stream and the thread draining it.
+struct SocketTransport::Connection {
+  int fd = -1;
+  std::thread reader;
+};
+
+SocketTransport::SocketTransport(int num_sites, SocketTransportConfig cfg)
+    : num_sites_(num_sites),
+      cfg_(cfg),
+      handlers_(static_cast<size_t>(num_sites)),
+      listen_fds_(static_cast<size_t>(num_sites), -1),
+      ports_(static_cast<size_t>(num_sites), 0) {
+  site_mu_.reserve(static_cast<size_t>(num_sites));
+  for (int i = 0; i < num_sites; ++i) {
+    site_mu_.push_back(std::make_unique<std::recursive_mutex>());
+  }
+}
+
+SocketTransport::~SocketTransport() { Stop(); }
+
+void SocketTransport::RegisterHandler(SiteId site, Handler handler) {
+  handlers_.at(site) = std::move(handler);
+}
+
+uint16_t SocketTransport::port(SiteId site) const {
+  return ports_.at(site);
+}
+
+Status SocketTransport::Start() {
+  if (started_) return Status::InvalidArgument("transport already started");
+  for (int s = 0; s < num_sites_; ++s) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      Stop();
+      return Status::Unavailable("socket(): " +
+                                 std::string(std::strerror(errno)));
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;  // kernel-assigned: no fixed-port collisions, ever
+    ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+        ::listen(fd, 64) != 0) {
+      CloseFd(fd);
+      Stop();
+      return Status::Unavailable("bind/listen: " +
+                                 std::string(std::strerror(errno)));
+    }
+    socklen_t len = sizeof addr;
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+    listen_fds_[static_cast<size_t>(s)] = fd;
+    ports_[static_cast<size_t>(s)] = ntohs(addr.sin_port);
+  }
+  running_.store(true);
+  started_ = true;
+  for (int s = 0; s < num_sites_; ++s) {
+    acceptors_.emplace_back(
+        [this, s]() { AcceptLoop(static_cast<SiteId>(s)); });
+  }
+  return Status::OK();
+}
+
+void SocketTransport::Stop() {
+  running_.store(false);
+  // Wake acceptors blocked in poll/accept, but close only after joining
+  // them: an acceptor still reads its listen_fds_ slot, and closing early
+  // would also let the kernel reuse the fd number under a live poll.
+  for (const int fd : listen_fds_) {
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+  for (std::thread& t : acceptors_) {
+    if (t.joinable()) t.join();
+  }
+  acceptors_.clear();
+  for (int& fd : listen_fds_) {
+    if (fd >= 0) {
+      CloseFd(fd);
+      fd = -1;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    for (auto& c : conns_) {
+      if (c->fd >= 0) ::shutdown(c->fd, SHUT_RDWR);
+    }
+  }
+  // Join outside conns_mu_: readers take it briefly on exit.
+  std::vector<std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lk(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    if (c->reader.joinable()) c->reader.join();
+    CloseFd(c->fd);
+    c->fd = -1;
+  }
+  std::lock_guard<std::mutex> lk(links_mu_);
+  for (auto& [key, link] : links_) {
+    std::lock_guard<std::mutex> llk(link->mu);
+    CloseFd(link->fd);
+    link->fd = -1;
+  }
+}
+
+// --- receive path -----------------------------------------------------------
+
+void SocketTransport::AcceptLoop(SiteId site) {
+  const int lfd = listen_fds_[site];
+  while (running_.load()) {
+    pollfd p{lfd, POLLIN, 0};
+    const int r = ::poll(&p, 1, 100);
+    if (!running_.load()) return;
+    if (r <= 0) continue;
+    const int cfd = ::accept(lfd, nullptr, nullptr);
+    if (cfd < 0) continue;
+    SetNonBlocking(cfd);
+    int one = 1;
+    ::setsockopt(cfd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto conn = std::make_shared<Connection>();
+    conn->fd = cfd;
+    {
+      std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_.push_back(conn);
+    }
+    conn->reader = std::thread([this, conn]() { ReadLoop(conn); });
+  }
+}
+
+void SocketTransport::ReadLoop(std::shared_ptr<Connection> conn) {
+  std::vector<uint8_t> buf;
+  uint8_t chunk[64 * 1024];
+  int idle_polls = 0;
+  while (running_.load()) {
+    pollfd p{conn->fd, POLLIN, 0};
+    const int pr = ::poll(&p, 1, 100);
+    if (!running_.load()) return;
+    if (pr < 0 && errno != EINTR) break;
+    if (pr <= 0) {
+      // A partial frame that stops making progress (e.g. a corrupted
+      // length field promising bytes that will never arrive) wedges the
+      // stream; reap it so the sender reconnects with a fresh epoch.
+      if (!buf.empty() && ++idle_polls >= 20) break;
+      continue;
+    }
+    idle_polls = 0;
+    const ssize_t n = ::read(conn->fd, chunk, sizeof chunk);
+    if (n == 0) break;  // peer closed
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) continue;
+      break;
+    }
+    buf.insert(buf.end(), chunk, chunk + n);
+    if (!DrainBuffer(&buf)) break;  // desynced: drop the stream
+  }
+  if (!buf.empty() && running_.load()) {
+    // The stream died mid-frame (e.g. the proxy truncated a frame and
+    // broke the connection): whatever is left is a counted reject.
+    counters_.Count(buf.size() < kFrameHeaderBytes
+                        ? FrameError::kTruncatedHeader
+                        : FrameError::kTruncatedPayload);
+  }
+  ::shutdown(conn->fd, SHUT_RDWR);
+}
+
+bool SocketTransport::DrainBuffer(std::vector<uint8_t>* buf) {
+  size_t off = 0;
+  while (buf->size() - off >= kFrameHeaderBytes) {
+    size_t frame_size = 0;
+    const FrameError head =
+        PeekFrameSize(buf->data() + off, buf->size() - off, &frame_size);
+    if (head == FrameError::kBadMagic || head == FrameError::kBadVersion ||
+        head == FrameError::kBadLength) {
+      // Framing cannot be trusted past this point: count, drop the
+      // connection, let the sender's reconnect path resynchronize.
+      counters_.Count(head);
+      return false;
+    }
+    if (buf->size() - off < frame_size) break;  // wait for the rest
+    if (head == FrameError::kBadType) {
+      counters_.Count(head);  // frame-local damage: skip, keep the stream
+      off += frame_size;
+      continue;
+    }
+    DecodedFrame decoded = DecodeFrame(buf->data() + off, frame_size);
+    counters_.Count(decoded.error);
+    off += frame_size;
+    if (decoded.error != FrameError::kOk) continue;  // counted; skip frame
+    // Stream-epoch fence (PR-3 rules at the transport layer): frames
+    // stamped by an older incarnation of this link are rejected.
+    {
+      std::lock_guard<std::mutex> lk(epoch_mu_);
+      uint16_t& seen = seen_epoch_[{decoded.msg.from, decoded.msg.to}];
+      if (decoded.stream_epoch < seen) {
+        counters_.stale_stream.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      seen = decoded.stream_epoch;
+    }
+    Dispatch(std::move(decoded.msg));
+  }
+  buf->erase(buf->begin(), buf->begin() + static_cast<long>(off));
+  return true;
+}
+
+void SocketTransport::Dispatch(Message&& msg) {
+  if (msg.to >= static_cast<SiteId>(num_sites_)) return;  // hostile addr
+  Handler handler;
+  {
+    std::lock_guard<std::recursive_mutex> lk(*site_mu_[msg.to]);
+    handler = handlers_[msg.to];
+    if (handler) handler(msg);
+  }
+  if (handler) frames_delivered_.fetch_add(1, std::memory_order_relaxed);
+}
+
+// --- send path --------------------------------------------------------------
+
+bool SocketTransport::ConnectLink(Link* link) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  SetNonBlocking(fd);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ports_[link->to]);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, cfg_.connect_timeout_ms) <= 0) {
+      CloseFd(fd);
+      return false;
+    }
+    int err = 0;
+    socklen_t len = sizeof err;
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) rc = -1;
+    else rc = 0;
+  }
+  if (rc != 0) {
+    CloseFd(fd);
+    return false;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (link->ever_connected) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  link->ever_connected = true;
+  link->fd = fd;
+  return true;
+}
+
+bool SocketTransport::WriteAll(int fd, const uint8_t* data, size_t n) {
+  using Clock = std::chrono::steady_clock;
+  const auto deadline =
+      Clock::now() + std::chrono::milliseconds(cfg_.send_deadline_ms);
+  size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, data + off, n - off, MSG_NOSIGNAL);
+    if (w > 0) {
+      off += static_cast<size_t>(w);
+      continue;
+    }
+    if (w < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      return false;  // broken stream
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return false;  // per-frame send deadline
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, static_cast<int>(left.count())) < 0 &&
+        errno != EINTR) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void SocketTransport::Send(Message msg) {
+  if (!running_.load()) return;
+  msg.seq = next_seq_.fetch_add(1, std::memory_order_relaxed);
+  if (msg.from == msg.to) {
+    // Loopback never touches the wire or the proxy, as in the DES.
+    Dispatch(std::move(msg));
+    return;
+  }
+  if (msg.to >= static_cast<SiteId>(num_sites_)) return;
+
+  Link* link;
+  {
+    std::lock_guard<std::mutex> lk(links_mu_);
+    auto& slot = links_[{msg.from, msg.to}];
+    if (!slot) {
+      slot = std::make_unique<Link>(
+          msg.from, msg.to,
+          cfg_.seed ^ (static_cast<uint64_t>(msg.from) << 32) ^ msg.to);
+    }
+    link = slot.get();
+  }
+
+  std::lock_guard<std::mutex> lk(link->mu);
+  std::vector<uint8_t> frame = EncodeFrame(msg, link->epoch);
+  if (frame.empty()) {
+    counters_.Count(FrameError::kBadPayload);  // caller bug, not a crash
+    return;
+  }
+  counters_.encoded.fetch_add(1, std::memory_order_relaxed);
+
+  FrameFaultPlan plan;
+  if (injector_ != nullptr) plan = injector_->OnFrame(msg, frame.size());
+  if (plan.delay_ms > 0) SleepMs(plan.delay_ms);  // FIFO link congestion
+  if (plan.drop) {
+    injected_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  if (plan.bitflip_at >= 0) {
+    // Corrupt after the CRC was stamped, so the receiver must catch it.
+    const size_t bit = static_cast<size_t>(plan.bitflip_at) %
+                       (frame.size() * 8);
+    frame[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    injected_bitflips_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (plan.truncate_at > 0) {
+    // Write a prefix, then break the stream: the receiver sees a
+    // half-frame and a dead connection; we come back with a new epoch.
+    const size_t cut = std::min(plan.truncate_at, frame.size() - 1);
+    if (link->fd >= 0 || ConnectLink(link)) {
+      (void)WriteAll(link->fd, frame.data(), cut);
+      CloseFd(link->fd);
+      link->fd = -1;
+      ++link->epoch;
+    }
+    injected_truncations_.fetch_add(1, std::memory_order_relaxed);
+    return;  // the frame itself is lost — §5 retransmission recovers it
+  }
+
+  const int copies = plan.duplicate ? 2 : 1;
+  if (plan.duplicate) injected_dups_.fetch_add(1, std::memory_order_relaxed);
+  for (int c = 0; c < copies; ++c) {
+    // Retransmit loop: reconnect-on-broken-stream with jittered
+    // exponential backoff, re-stamping the frame with the link's new
+    // epoch after every reconnect.
+    bool sent = false;
+    uint16_t stamped_epoch = link->epoch;
+    for (int attempt = 0; attempt <= cfg_.max_send_retries; ++attempt) {
+      if (attempt > 0) {
+        retransmits_.fetch_add(1, std::memory_order_relaxed);
+        const int expo = cfg_.backoff_base_ms << std::min(attempt - 1, 10);
+        const int cap = std::min(expo, cfg_.backoff_cap_ms);
+        // Jitter in [cap/2, cap]: desynchronizes competing retriers.
+        const int wait =
+            cap / 2 + static_cast<int>(link->rng.Uniform(
+                          static_cast<uint64_t>(cap / 2 + 1)));
+        SleepMs(wait);
+      }
+      if (link->fd < 0 && !ConnectLink(link)) {
+        ++link->epoch;
+        continue;
+      }
+      if (stamped_epoch != link->epoch) {
+        frame = EncodeFrame(msg, link->epoch);  // epoch re-stamp
+        stamped_epoch = link->epoch;
+      }
+      if (WriteAll(link->fd, frame.data(), frame.size())) {
+        sent = true;
+        break;
+      }
+      // Broken or wedged stream: close, fence the old incarnation.
+      CloseFd(link->fd);
+      link->fd = -1;
+      ++link->epoch;
+    }
+    if (sent) {
+      frames_sent_.fetch_add(1, std::memory_order_relaxed);
+      bytes_sent_.fetch_add(frame.size(), std::memory_order_relaxed);
+    } else {
+      send_failures_.fetch_add(1, std::memory_order_relaxed);
+      return;  // loss semantics; a duplicate copy cannot fare better now
+    }
+  }
+}
+
+}  // namespace radd

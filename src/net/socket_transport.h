@@ -1,0 +1,185 @@
+// SocketTransport — the real-network backend: sites as threads, packed
+// frames (net/frame.h) over TCP loopback.
+//
+// Robustness rules, in the order they apply to one outbound frame:
+//
+//   1. The fault-injecting proxy shim (FrameInjector, implementations in
+//      src/fault/netshim.h) is consulted first and may delay, drop,
+//      duplicate, truncate or bit-flip the frame — the socket-level
+//      analogue of the DES fault hooks, so chaos schedules can abuse the
+//      real transport the way they abuse the simulated one.
+//   2. The write itself runs under a per-frame deadline (non-blocking
+//      write + poll); a stuck peer cannot wedge the sender forever.
+//   3. A failed or timed-out write closes the connection and retries:
+//      bounded retransmit with jittered exponential backoff, reconnecting
+//      each time. Every reconnect bumps the link's *stream epoch*, and
+//      retried frames are re-encoded with the new epoch — the PR-3
+//      fencing rule applied to streams: a receiver that has seen epoch E
+//      from a link rejects frames stamped with an older epoch (counted as
+//      stale_stream), so bytes lingering from a dead incarnation of the
+//      connection can never interleave with the live one.
+//   4. If every retry fails the frame is dropped and counted. That is
+//      loss semantics, exactly what the protocol layer above already
+//      survives (§5 retransmit-until-ack).
+//
+// The receive path trusts nothing: each connection is read through a
+// reassembly buffer, and every malformed shape maps to a counted
+// FrameError. Frame-local damage (bad CRC, unknown type, unparseable
+// payload) skips that frame and keeps the stream; framing-level damage
+// (bad magic, unknown version, hostile length) means the stream position
+// can no longer be trusted, so the connection is dropped and the sender's
+// reconnect-with-new-epoch path takes over. Handler execution is
+// serialized per destination site, preserving the DES's one-event-loop-
+// per-site discipline.
+
+#ifndef RADD_NET_SOCKET_TRANSPORT_H_
+#define RADD_NET_SOCKET_TRANSPORT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "net/transport.h"
+
+namespace radd {
+
+/// What the proxy shim decided for one outbound frame. Default: deliver
+/// untouched.
+struct FrameFaultPlan {
+  bool drop = false;
+  bool duplicate = false;
+  /// Milliseconds to hold the frame (and, since links are FIFO, everything
+  /// queued behind it) before writing — a congested-link delay.
+  int delay_ms = 0;
+  /// > 0: write only this many bytes of the frame, then break the stream.
+  size_t truncate_at = 0;
+  /// >= 0: flip this bit (mod frame length) after the CRC was stamped.
+  int bitflip_at = -1;
+};
+
+/// Send-side fault-injecting proxy, consulted for every non-loopback
+/// outbound frame. Called concurrently from sender threads.
+class FrameInjector {
+ public:
+  virtual ~FrameInjector() = default;
+  virtual FrameFaultPlan OnFrame(const Message& msg, size_t frame_len) = 0;
+};
+
+struct SocketTransportConfig {
+  /// Per-frame write deadline (poll + non-blocking write).
+  int send_deadline_ms = 200;
+  /// Reconnect-and-retransmit attempts after a failed write.
+  int max_send_retries = 4;
+  /// Jittered exponential backoff between those attempts.
+  int backoff_base_ms = 2;
+  int backoff_cap_ms = 50;
+  int connect_timeout_ms = 1000;
+  /// Seed of the backoff-jitter RNG.
+  uint64_t seed = 0x50cce7;
+};
+
+class SocketTransport : public Transport {
+ public:
+  using Handler = std::function<void(Message&)>;
+
+  explicit SocketTransport(int num_sites, SocketTransportConfig cfg = {});
+  ~SocketTransport() override;
+
+  /// Installs the message handler for `site`. Before Start().
+  void RegisterHandler(SiteId site, Handler handler);
+
+  /// Optional fault-injecting proxy shim; nullptr = clean network.
+  /// Before Start().
+  void SetInjector(FrameInjector* injector) { injector_ = injector; }
+
+  /// Binds every site's listener (127.0.0.1, kernel-assigned ports) and
+  /// spawns the acceptor threads.
+  Status Start();
+
+  /// Stops all threads and closes all sockets. Idempotent; also run by
+  /// the destructor.
+  void Stop();
+
+  /// TCP port `site` listens on (for tests that want to speak raw bytes
+  /// at a receiver). 0 before Start().
+  uint16_t port(SiteId site) const;
+
+  void Send(Message msg) override;
+  const FrameCounters& frame_counters() const override { return counters_; }
+
+  // --- robustness observability --------------------------------------------
+  uint64_t frames_sent() const { return frames_sent_.load(); }
+  uint64_t bytes_sent() const { return bytes_sent_.load(); }
+  uint64_t frames_delivered() const { return frames_delivered_.load(); }
+  /// Stream-level retransmissions (write failed, reconnected, re-sent).
+  uint64_t retransmits() const { return retransmits_.load(); }
+  uint64_t reconnects() const { return reconnects_.load(); }
+  /// Frames abandoned after every retry failed (loss semantics).
+  uint64_t send_failures() const { return send_failures_.load(); }
+  /// Proxy-shim verdicts actually executed.
+  uint64_t injected_drops() const { return injected_drops_.load(); }
+  uint64_t injected_dups() const { return injected_dups_.load(); }
+  uint64_t injected_truncations() const { return injected_truncations_.load(); }
+  uint64_t injected_bitflips() const { return injected_bitflips_.load(); }
+
+ private:
+  struct Link;        // per-(from,to) sender state
+  struct Connection;  // one accepted inbound stream
+
+  bool ConnectLink(Link* link);
+  bool WriteAll(int fd, const uint8_t* data, size_t n);
+  void AcceptLoop(SiteId site);
+  void ReadLoop(std::shared_ptr<Connection> conn);
+  /// Decodes and dispatches every complete frame in `buf`, compacting it.
+  /// Returns false when the stream is desynced and must be dropped.
+  bool DrainBuffer(std::vector<uint8_t>* buf);
+  void Dispatch(Message&& msg);
+
+  const int num_sites_;
+  const SocketTransportConfig cfg_;
+  FrameInjector* injector_ = nullptr;
+  std::atomic<bool> running_{false};
+  bool started_ = false;
+
+  std::vector<Handler> handlers_;
+  std::vector<int> listen_fds_;
+  std::vector<uint16_t> ports_;
+  std::vector<std::thread> acceptors_;
+  /// One mutex per destination site: handler execution is serialized
+  /// (recursive so a handler may loopback-send to its own site).
+  std::vector<std::unique_ptr<std::recursive_mutex>> site_mu_;
+
+  std::mutex conns_mu_;
+  std::vector<std::shared_ptr<Connection>> conns_;
+
+  std::mutex links_mu_;
+  std::map<std::pair<SiteId, SiteId>, std::unique_ptr<Link>> links_;
+
+  /// Highest stream epoch seen per (from, to); older frames are fenced.
+  std::mutex epoch_mu_;
+  std::map<std::pair<uint32_t, uint32_t>, uint16_t> seen_epoch_;
+
+  std::atomic<uint64_t> next_seq_{1};
+  FrameCounters counters_;
+  std::atomic<uint64_t> frames_sent_{0};
+  std::atomic<uint64_t> bytes_sent_{0};
+  std::atomic<uint64_t> frames_delivered_{0};
+  std::atomic<uint64_t> retransmits_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> send_failures_{0};
+  std::atomic<uint64_t> injected_drops_{0};
+  std::atomic<uint64_t> injected_dups_{0};
+  std::atomic<uint64_t> injected_truncations_{0};
+  std::atomic<uint64_t> injected_bitflips_{0};
+};
+
+}  // namespace radd
+
+#endif  // RADD_NET_SOCKET_TRANSPORT_H_

@@ -1,0 +1,30 @@
+#include "net/transport.h"
+
+namespace radd {
+
+void DesTransport::Send(Message msg) {
+  // Round-trip the message through the packed frame format. Loopback
+  // sends skip the codec like they skip the wire: they never leave the
+  // process in any backend.
+  if (msg.from == msg.to) {
+    net_->Send(std::move(msg));
+    return;
+  }
+  std::vector<uint8_t> frame = EncodeFrame(msg);
+  if (frame.empty()) {
+    // Payload/type mismatch: a caller bug, visible as a counted drop
+    // rather than a crash (the sender's retry path treats it as loss).
+    counters_.Count(FrameError::kBadPayload);
+    return;
+  }
+  counters_.encoded.fetch_add(1, std::memory_order_relaxed);
+  DecodedFrame decoded = DecodeFrame(frame.data(), frame.size());
+  counters_.Count(decoded.error);
+  if (decoded.error != FrameError::kOk) return;
+  // wire_bytes is the §7.4 cost-model accounting; it does not travel in
+  // the frame (frame.h), so restore it for the Network's byte counters.
+  decoded.msg.wire_bytes = msg.wire_bytes;
+  net_->Send(std::move(decoded.msg));
+}
+
+}  // namespace radd

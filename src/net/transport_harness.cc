@@ -1,0 +1,319 @@
+#include "net/transport_harness.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "common/rng.h"
+#include "net/transport.h"
+#include "sim/simulator.h"
+
+namespace radd {
+
+namespace {
+
+/// One write in the deterministic op schedule.
+struct Op {
+  SiteId writer;
+  SiteId target;
+  int home;
+  BlockNum row;
+  Uid uid;
+  std::vector<uint8_t> bytes;
+};
+
+/// The schedule is a pure function of the config, so the DES run and the
+/// socket run replicate the exact same op *set* (their interleavings then
+/// differ wildly, which is the point).
+std::vector<Op> GenerateOps(const HarnessConfig& cfg) {
+  Rng rng(cfg.seed * 0x9e3779b97f4a7c15ull + 1);
+  std::vector<Op> ops;
+  ops.reserve(static_cast<size_t>(cfg.num_ops));
+  for (int i = 0; i < cfg.num_ops; ++i) {
+    Op op;
+    op.writer = static_cast<SiteId>(i % cfg.num_sites);
+    op.home = static_cast<int>(rng.Uniform(static_cast<uint64_t>(cfg.num_sites)));
+    op.row = rng.Uniform(static_cast<uint64_t>(cfg.rows));
+    // Every write for a given (home, row) goes to the same site, so each
+    // key has exactly one authoritative replica to converge on.
+    op.target = static_cast<SiteId>((op.home + 1) % cfg.num_sites);
+    op.uid = Uid::Make(op.writer, static_cast<uint64_t>(i) + 1);
+    op.bytes.resize(cfg.block_bytes);
+    for (auto& b : op.bytes) b = static_cast<uint8_t>(rng.Next());
+    ops.push_back(std::move(op));
+  }
+  return ops;
+}
+
+using StoreKey = std::pair<int, BlockNum>;
+
+/// Per-site protocol state, shared by both backends. The mutex is only
+/// contended in socket mode; in the DES everything runs on one thread.
+struct SiteState {
+  std::mutex mu;
+  std::condition_variable cv;
+  /// (home, row) -> latest applied write, max-uid-wins.
+  std::map<StoreKey, std::pair<Uid, std::vector<uint8_t>>> store;
+  /// Uids of this site's own writes that have been acked back to it.
+  std::set<uint64_t> acked;
+};
+
+Message MakeWrite(const Op& op) {
+  Message m;
+  m.from = op.writer;
+  m.to = op.target;
+  m.type = MessageType::kSpareWriteReq;
+  SpareWriteReq req;
+  req.op = op.uid.raw();
+  req.group = 0;
+  req.home = op.home;
+  req.row = op.row;
+  req.data = Block(op.bytes);
+  req.uid = op.uid;
+  m.wire_bytes = op.bytes.size() + kWireHeader;
+  m.payload = std::move(req);
+  return m;
+}
+
+/// The whole protocol: apply writes max-uid-wins and ack them; record
+/// incoming acks. Anything else (can only appear if a corrupted frame
+/// slipped past the codec) is ignored.
+void HandleMessage(SiteId self, std::vector<SiteState>* sites,
+                   Transport* transport, Message& m) {
+  if (m.type == MessageType::kSpareWriteReq) {
+    const auto* req = std::get_if<SpareWriteReq>(&m.payload);
+    if (req == nullptr) return;
+    SiteState& st = (*sites)[self];
+    {
+      std::lock_guard<std::mutex> lk(st.mu);
+      auto& slot = st.store[{req->home, req->row}];
+      if (req->uid.raw() > slot.first.raw()) {
+        slot = {req->uid, req->data.bytes()};
+      }
+    }
+    Message reply;
+    reply.from = self;
+    reply.to = m.from;
+    reply.type = MessageType::kSpareWriteReply;
+    reply.wire_bytes = kWireHeader;
+    reply.payload = WriteReply{req->op, Status::OK()};
+    transport->Send(std::move(reply));
+  } else if (m.type == MessageType::kSpareWriteReply) {
+    const auto* rep = std::get_if<WriteReply>(&m.payload);
+    if (rep == nullptr) return;
+    SiteState& st = (*sites)[self];
+    std::lock_guard<std::mutex> lk(st.mu);
+    st.acked.insert(rep->op);
+    st.cv.notify_all();
+  }
+}
+
+uint64_t Fnv1a(uint64_t h, const uint8_t* p, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+uint64_t Fnv1aU64(uint64_t h, uint64_t v) {
+  uint8_t b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+  return Fnv1a(h, b, 8);
+}
+
+uint64_t HashStores(const std::vector<SiteState>& sites) {
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const SiteState& st : sites) {
+    for (const auto& [key, val] : st.store) {
+      h = Fnv1aU64(h, static_cast<uint64_t>(key.first));
+      h = Fnv1aU64(h, key.second);
+      h = Fnv1aU64(h, val.first.raw());
+      h = Fnv1a(h, val.second.data(), val.second.size());
+    }
+  }
+  return h;
+}
+
+/// The acked-write ledger: an ack is the transport's promise that the
+/// write was applied. For every key, the stored uid must be >= the highest
+/// acked uid for that key (max-uid-wins may legitimately have buried an
+/// acked write under a newer one, never under an older one), and whatever
+/// is stored must be byte-identical to the issued write with that uid.
+bool CheckLedger(const std::vector<Op>& ops,
+                 const std::vector<SiteState>& sites, std::string* error) {
+  std::map<uint64_t, const Op*> by_uid;
+  for (const Op& op : ops) by_uid[op.uid.raw()] = &op;
+  std::set<uint64_t> acked;
+  for (const SiteState& st : sites) {
+    acked.insert(st.acked.begin(), st.acked.end());
+  }
+  std::map<StoreKey, uint64_t> max_acked;
+  for (uint64_t uid : acked) {
+    auto it = by_uid.find(uid);
+    if (it == by_uid.end()) {
+      *error = "ack for a uid that was never issued";
+      return false;
+    }
+    uint64_t& m = max_acked[{it->second->home, it->second->row}];
+    if (uid > m) m = uid;
+  }
+  for (size_t s = 0; s < sites.size(); ++s) {
+    for (const auto& [key, val] : sites[s].store) {
+      auto it = by_uid.find(val.first.raw());
+      if (it == by_uid.end() || it->second->home != key.first ||
+          it->second->row != key.second ||
+          it->second->target != static_cast<SiteId>(s) ||
+          it->second->bytes != val.second) {
+        *error = "stored value does not match any issued write";
+        return false;
+      }
+    }
+  }
+  for (const auto& [key, uid] : max_acked) {
+    const Op* op = by_uid[uid];
+    const SiteState& st = sites[op->target];
+    auto it = st.store.find(key);
+    if (it == st.store.end() || it->second.first.raw() < uid) {
+      *error = "acked write missing from the store (acked uid " +
+               Uid(uid).ToString() + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+void FillCommonResult(const std::vector<Op>& ops,
+                      const std::vector<SiteState>& sites,
+                      const Transport& transport, HarnessResult* r) {
+  r->store_hash = HashStores(sites);
+  r->ops_issued = static_cast<int>(ops.size());
+  r->ops_acked = 0;
+  for (const SiteState& st : sites) {
+    r->ops_acked += static_cast<int>(st.acked.size());
+  }
+  r->ledger_ok = CheckLedger(ops, sites, &r->ledger_error);
+  const FrameCounters& fc = transport.frame_counters();
+  r->frames_encoded = fc.encoded.load();
+  r->frames_rejected = fc.Rejected();
+  r->stale_stream = fc.stale_stream.load();
+  r->counters = fc.ToString();
+}
+
+}  // namespace
+
+HarnessResult RunDesHarness(const HarnessConfig& cfg) {
+  const std::vector<Op> ops = GenerateOps(cfg);
+  Simulator sim;
+  Network net(&sim, NetworkModel{}, cfg.seed ^ 0xdead);
+  DesTransport transport(&net);
+  std::vector<SiteState> sites(static_cast<size_t>(cfg.num_sites));
+  // Write->ack round trip per op, in *simulated* microseconds (the DES has
+  // no meaningful wall-clock latency; the socket harness records wall
+  // time). Recorded on the first ack only, so duplicates don't skew it.
+  std::map<uint64_t, SimTime> issued_at;
+  std::vector<double> latencies;
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    net.RegisterHandler(
+        static_cast<SiteId>(s),
+        [s, &sites, &transport, &sim, &issued_at, &latencies](Message& m) {
+          uint64_t ack_op = 0;
+          if (m.type == MessageType::kSpareWriteReply) {
+            if (const auto* rep = std::get_if<WriteReply>(&m.payload)) {
+              if (sites[static_cast<size_t>(s)].acked.count(rep->op) == 0) {
+                ack_op = rep->op;
+              }
+            }
+          }
+          HandleMessage(static_cast<SiteId>(s), &sites, &transport, m);
+          if (ack_op != 0) {
+            auto it = issued_at.find(ack_op);
+            if (it != issued_at.end()) {
+              latencies.push_back(
+                  static_cast<double>(sim.Now() - it->second));
+            }
+          }
+        });
+  }
+  const auto wall0 = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < ops.size(); ++i) {
+    const SimTime at = Micros(500 * (i + 1));
+    issued_at[ops[i].uid.raw()] = at;
+    sim.At(at, [&transport, &ops, i]() {
+      transport.Send(MakeWrite(ops[i]));
+    });
+  }
+  sim.Run();
+  HarnessResult r;
+  r.elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  r.op_latency_us = std::move(latencies);
+  FillCommonResult(ops, sites, transport, &r);
+  return r;
+}
+
+HarnessResult RunSocketHarness(const HarnessConfig& cfg,
+                               FrameInjector* injector) {
+  const std::vector<Op> ops = GenerateOps(cfg);
+  SocketTransport transport(cfg.num_sites, cfg.socket);
+  std::vector<SiteState> sites(static_cast<size_t>(cfg.num_sites));
+  for (int s = 0; s < cfg.num_sites; ++s) {
+    transport.RegisterHandler(
+        static_cast<SiteId>(s), [s, &sites, &transport](Message& m) {
+          HandleMessage(static_cast<SiteId>(s), &sites, &transport, m);
+        });
+  }
+  if (injector != nullptr) transport.SetInjector(injector);
+  HarnessResult r;
+  Status st = transport.Start();
+  if (!st.ok()) {
+    r.ledger_error = "transport start failed: " + st.ToString();
+    return r;
+  }
+
+  std::mutex lat_mu;
+  std::vector<double> latencies;
+  const auto wall0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> writers;
+  for (int w = 0; w < cfg.num_sites; ++w) {
+    writers.emplace_back([w, &cfg, &ops, &sites, &transport, &lat_mu,
+                          &latencies]() {
+      SiteState& me = sites[static_cast<size_t>(w)];
+      for (const Op& op : ops) {
+        if (op.writer != static_cast<SiteId>(w)) continue;
+        const auto t0 = std::chrono::steady_clock::now();
+        bool done = false;
+        // §5 in miniature: retransmit the same uid until acked or out of
+        // attempts. Duplicated applies are idempotent under max-uid-wins.
+        for (int a = 0; a < cfg.max_attempts && !done; ++a) {
+          transport.Send(MakeWrite(op));
+          std::unique_lock<std::mutex> lk(me.mu);
+          done = me.cv.wait_for(
+              lk, std::chrono::milliseconds(cfg.ack_timeout_ms),
+              [&me, &op]() { return me.acked.count(op.uid.raw()) > 0; });
+        }
+        if (done) {
+          const double us = std::chrono::duration<double, std::micro>(
+                                std::chrono::steady_clock::now() - t0)
+                                .count();
+          std::lock_guard<std::mutex> lk(lat_mu);
+          latencies.push_back(us);
+        }
+      }
+    });
+  }
+  for (std::thread& t : writers) t.join();
+  r.elapsed_sec =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall0)
+          .count();
+  transport.Stop();
+  r.op_latency_us = std::move(latencies);
+  FillCommonResult(ops, sites, transport, &r);
+  return r;
+}
+
+}  // namespace radd

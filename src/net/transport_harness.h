@@ -1,0 +1,88 @@
+// Differential test harness for the transport backends.
+//
+// The full RADD protocol stack is welded to the discrete-event simulator
+// (its timeouts, disks and recovery machinery are simulator events), so it
+// cannot run over real sockets directly. What *can* run over both backends
+// is a protocol built from the same wire structs with a convergent apply
+// rule — and that is exactly what is needed to prove the transport layer,
+// because the transport's contract is "deliver typed messages, possibly
+// late, duplicated or not at all", not "run the whole RAID algorithm".
+//
+// The harness protocol is a miniature replicated store speaking real RADD
+// messages:
+//
+//   * a write is a kSpareWriteReq carrying (home, row) as the key, a data
+//     block, and a writer-minted Uid; the receiver applies max-uid-wins
+//     (higher uid overwrites, lower uid is ignored) and replies with
+//     kSpareWriteReply;
+//   * writers retransmit an unacked write (same uid) until acked or out of
+//     attempts — §5's retransmit-until-ack in miniature.
+//
+// Max-uid-wins makes the final store state a pure function of the *set* of
+// applied writes: delivery order, duplication and retransmission cannot
+// change it. So over clean networks, the DES backend and the socket
+// backend — wildly different in timing and interleaving — must converge to
+// byte-identical stores, compared via store_hash. Over a lossy proxy the
+// hashes may differ (loss is allowed), but the acked-write ledger must
+// stay clean: every ack the transport returned corresponds to a write that
+// is durably reflected in the store (stored uid >= max acked uid per key,
+// and the stored bytes are exactly some issued write's bytes).
+
+#ifndef RADD_NET_TRANSPORT_HARNESS_H_
+#define RADD_NET_TRANSPORT_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/socket_transport.h"
+
+namespace radd {
+
+struct HarnessConfig {
+  int num_sites = 4;
+  int num_ops = 400;
+  /// Distinct rows per home site (key space = num_sites * rows).
+  int rows = 8;
+  /// Payload bytes per write (small blocks keep chaos sweeps fast).
+  size_t block_bytes = 128;
+  uint64_t seed = 1;
+  /// Socket mode: retransmit attempts per write and per-attempt ack wait.
+  int max_attempts = 10;
+  int ack_timeout_ms = 100;
+  SocketTransportConfig socket;
+};
+
+struct HarnessResult {
+  /// FNV-1a over every site's store in canonical order: equal hashes mean
+  /// byte-identical final states.
+  uint64_t store_hash = 0;
+  int ops_issued = 0;
+  int ops_acked = 0;
+  /// The acked-write ledger invariant (see header comment). Always
+  /// checked; must hold even under the lossy proxy.
+  bool ledger_ok = false;
+  std::string ledger_error;
+  /// Write->ack round-trip per acked op: wall-clock microseconds in socket
+  /// mode, simulated microseconds in DES mode.
+  std::vector<double> op_latency_us;
+  double elapsed_sec = 0;
+  /// Transport counter snapshots.
+  uint64_t frames_encoded = 0;
+  uint64_t frames_rejected = 0;
+  uint64_t stale_stream = 0;
+  std::string counters;
+};
+
+/// Runs the op schedule through the DES backend: DesTransport (every
+/// message through the frame codec) over a clean simulated Network.
+HarnessResult RunDesHarness(const HarnessConfig& cfg);
+
+/// Runs the same op schedule through SocketTransport (sites as threads on
+/// TCP loopback), optionally through a fault-injecting proxy.
+HarnessResult RunSocketHarness(const HarnessConfig& cfg,
+                               FrameInjector* injector = nullptr);
+
+}  // namespace radd
+
+#endif  // RADD_NET_TRANSPORT_HARNESS_H_

@@ -10,6 +10,11 @@
 //   chaos_main --seeds 200 --batch       # batched parity pipeline on, with
 //                                        # extra scripted drop/dup of the
 //                                        # batch frames and their acks
+//   chaos_main --seeds 200 --codec       # route every protocol message
+//                                        # through the packed frame codec
+//                                        # (encode + CRC + decode); the
+//                                        # Summary must match a codec-off
+//                                        # run byte for byte
 //   chaos_main --seeds 200 --threads 8   # run farm: seeds execute on 8
 //                                        # worker threads; output and exit
 //                                        # code are identical to --threads 1
@@ -63,6 +68,8 @@ int main(int argc, char** argv) {
       config.autopilot = true;
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       config.node.parity_batch.enabled = true;
+    } else if (std::strcmp(argv[i], "--codec") == 0) {
+      config.frame_codec = true;
     } else if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
       config.groups = static_cast<int>(ParseU64(argv[++i]));
       if (config.groups < 1) {
@@ -79,7 +86,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
                    "[--groups G] [--episodes E] [--ops O] [--autopilot] "
-                   "[--batch] [--threads T] [--verbose]\n",
+                   "[--batch] [--codec] [--threads T] [--verbose]\n",
                    argv[0]);
       return 2;
     }
@@ -90,6 +97,12 @@ int main(int argc, char** argv) {
     radd::ChaosHarness harness(config);
     radd::ChaosReport r = harness.Run(single);
     std::printf("%s\n", r.Summary().c_str());
+    if (r.frame_codec && r.frames_rejected > 0) {
+      std::printf("CODEC FAIL: %llu frames rejected (codec must be "
+                  "lossless)\n",
+                  static_cast<unsigned long long>(r.frames_rejected));
+      return 1;
+    }
     return r.ok ? 0 : 1;
   }
 
@@ -111,8 +124,14 @@ int main(int argc, char** argv) {
            stale = 0;
   uint64_t batches = 0, batch_retx = 0, batch_dup = 0, staged = 0,
            batch_n = 0;
+  uint64_t frames_encoded = 0, frames_rejected = 0, codec_n = 0;
   for (uint64_t s = start; s < start + seeds; ++s) {
     radd::ChaosReport& r = reports[static_cast<size_t>(s - start)];
+    if (r.frame_codec) {
+      frames_encoded += r.frames_encoded;
+      frames_rejected += r.frames_rejected;
+      ++codec_n;
+    }
     if (r.batched) {
       batches += r.batches_sent;
       batch_retx += r.batch_retransmits;
@@ -138,6 +157,12 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s - start + 1));
     }
   }
+  if (frames_rejected > 0) {
+    std::printf("CODEC FAIL: %llu frames rejected (the codec must be "
+                "lossless)\n",
+                static_cast<unsigned long long>(frames_rejected));
+    ++failures;
+  }
   std::printf("%llu/%llu schedules held all invariants\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
@@ -152,6 +177,11 @@ int main(int argc, char** argv) {
                             : 0.0,
                 static_cast<unsigned long long>(batch_retx),
                 static_cast<unsigned long long>(batch_dup));
+  }
+  if (codec_n > 0) {
+    std::printf("frame codec: %llu frames encoded, %llu rejected\n",
+                static_cast<unsigned long long>(frames_encoded),
+                static_cast<unsigned long long>(frames_rejected));
   }
   if (config.autopilot && conv_n > 0) {
     std::printf("autopilot: worst convergence %.1f ms, total %.1f s; "
