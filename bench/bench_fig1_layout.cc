@@ -29,6 +29,9 @@ void PrintLayout(int g, BlockNum rows) {
         case BlockRole::kParity:
           cells.push_back("P");
           break;
+        case BlockRole::kParityQ:
+          cells.push_back("Q");
+          break;
         case BlockRole::kSpare:
           cells.push_back("S");
           break;

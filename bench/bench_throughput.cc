@@ -26,6 +26,7 @@
 // with N — the §4 load-spreading claim as a measured curve. Pass
 // `--groups N` to run just one volume point.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,8 @@ struct ModeResult {
   double sim_ms = 0;
   // Worker threads of the sharded engine (volume modes; 1 = monolithic).
   int threads = 1;
+  // Extra mode-specific JSON fields, appended verbatim before the brace.
+  std::string extra_json{};
 };
 
 void Print(const ModeResult& r, bool last) {
@@ -78,6 +81,7 @@ void Print(const ModeResult& r, bool last) {
                 sim_sec > 0 ? r.ops / sim_sec : 0.0);
   }
   if (r.threads > 1) std::printf(", \"threads\": %d", r.threads);
+  if (!r.extra_json.empty()) std::fputs(r.extra_json.c_str(), stdout);
   std::printf("}%s\n", last ? "" : ",");
 }
 
@@ -86,9 +90,15 @@ constexpr BlockNum kRows = 60;
 constexpr size_t kBlockSize = 4096;
 constexpr int kOps = 4000;
 
+// --scheme: 1 = the paper's single XOR parity, 2 = P+Q dual parity.
+int g_parities = 1;
+
+int NumSites() { return kGroupSize + 1 + g_parities; }
+
 RaddConfig Config() {
   RaddConfig config;
   config.group_size = kGroupSize;
+  config.parities = g_parities;
   config.rows = kRows;
   config.block_size = kBlockSize;
   return config;
@@ -119,7 +129,7 @@ ModeResult Drive(const char* mode, RaddGroup* group, SiteId client,
 ModeResult RunNormal() {
   RaddConfig config = Config();
   SiteConfig sc{1, config.rows, config.block_size};
-  Cluster cluster(kGroupSize + 2, sc);
+  Cluster cluster(NumSites(), sc);
   RaddGroup group(&cluster, config);
   return Drive("normal", &group, /*client=*/2, /*home=*/2, kOps);
 }
@@ -127,7 +137,7 @@ ModeResult RunNormal() {
 ModeResult RunDegraded() {
   RaddConfig config = Config();
   SiteConfig sc{1, config.rows, config.block_size};
-  Cluster cluster(kGroupSize + 2, sc);
+  Cluster cluster(NumSites(), sc);
   RaddGroup group(&cluster, config);
   // Seed every block, then fail the home site: all traffic goes through
   // spares and reconstruction.
@@ -143,7 +153,7 @@ ModeResult RunDegraded() {
 ModeResult RunRecovering() {
   RaddConfig config = Config();
   SiteConfig sc{1, config.rows, config.block_size};
-  Cluster cluster(kGroupSize + 2, sc);
+  Cluster cluster(NumSites(), sc);
   RaddGroup group(&cluster, config);
   Block b(kBlockSize);
   for (BlockNum i = 0; i < group.DataBlocksPerMember(); ++i) {
@@ -177,11 +187,11 @@ ModeResult RunProtocol(const char* mode, bool batched) {
   SiteConfig sc{1, config.rows, config.block_size};
   Simulator sim;
   Network net(&sim, NetworkModel{}, 0xbeef);
-  Cluster cluster(kGroupSize + 2, sc);
+  Cluster cluster(NumSites(), sc);
   RaddNodeSystem sys(&sim, &net, &cluster, config, nc);
 
-  constexpr int kSites = kGroupSize + 2;
-  constexpr int kPerMember = kOps / kSites;
+  const int kSites = NumSites();
+  const int kPerMember = kOps / kSites;
   constexpr int kOutstanding = 4;
   const BlockNum blocks = sys.group()->DataBlocksPerMember();
   Block payload(kBlockSize);
@@ -218,6 +228,96 @@ ModeResult RunProtocol(const char* mode, bool batched) {
   return ModeResult{mode, completed, MsSince(start), mb};
 }
 
+/// Degraded protocol latency: seed one member, crash its site, then drive
+/// a closed loop of reads and writes against the dead member from a
+/// surviving client. Every read is a reconstruction or a spare hit and
+/// every write lands on the row's spare, so the mode measures the degraded
+/// tail directly: simulated-time p50/p99 of degraded reads plus the
+/// node.degraded_reads per-parity-role breakdown (which decode leg served
+/// each reconstruction — P, Q, both, or the materialized spare).
+ModeResult RunProtocolDegraded(const char* mode) {
+  RaddConfig config = Config();
+  NodeConfig nc;
+  SiteConfig sc{1, config.rows, config.block_size};
+  Simulator sim;
+  Network net(&sim, NetworkModel{}, 0xbeef);
+  Cluster cluster(NumSites(), sc);
+  RaddNodeSystem sys(&sim, &net, &cluster, config, nc);
+
+  const int home = 2;
+  const SiteId victim = sys.group()->SiteOfMember(home);
+  const SiteId client = sys.group()->SiteOfMember(0);
+  const BlockNum blocks = sys.group()->DataBlocksPerMember();
+  Block payload(kBlockSize);
+  for (BlockNum i = 0; i < blocks; ++i) {
+    payload.FillPattern(i);
+    sys.Write(victim, home, i, payload);
+  }
+  sim.Run();
+  cluster.CrashSite(victim);
+
+  const int degraded_ops = kOps / 4;
+  constexpr int kOutstanding = 4;
+  std::vector<double> read_lat;
+  int issued = 0, completed = 0;
+  double mb = 0;
+  std::function<void()> issue = [&]() {
+    if (issued >= degraded_ops) return;
+    const int i = issued++;
+    const BlockNum index = static_cast<BlockNum>(i) % blocks;
+    if (i % 3 == 0) {
+      sys.AsyncRead(client, home, index,
+                    [&](Status st, const Block& data, SimTime latency) {
+                      if (st.ok()) {
+                        mb += static_cast<double>(data.size()) / 1e6;
+                        read_lat.push_back(ToMillis(latency));
+                      }
+                      ++completed;
+                      issue();
+                    });
+    } else {
+      payload.FillPattern(static_cast<uint64_t>(100000 + i));
+      sys.AsyncWrite(client, home, index, payload,
+                     [&](Status st, SimTime) {
+                       if (st.ok()) {
+                         mb += static_cast<double>(kBlockSize) / 1e6;
+                       }
+                       ++completed;
+                       issue();
+                     });
+    }
+  };
+  auto start = Clock::now();
+  for (int k = 0; k < kOutstanding; ++k) issue();
+  sim.Run();
+
+  ModeResult r{mode, completed, MsSince(start), mb};
+  std::sort(read_lat.begin(), read_lat.end());
+  double p50 = 0, p99 = 0;
+  if (!read_lat.empty()) {
+    p50 = read_lat[read_lat.size() / 2];
+    p99 = read_lat[static_cast<size_t>(
+        0.99 * static_cast<double>(read_lat.size() - 1))];
+  }
+  char buf[256];
+  std::snprintf(
+      buf, sizeof buf,
+      ", \"degraded_read_p50_ms\": %.1f, \"degraded_read_p99_ms\": %.1f"
+      ", \"degraded_reads\": {\"p\": %llu, \"q\": %llu, \"pq\": %llu, "
+      "\"spare\": %llu}",
+      p50, p99,
+      static_cast<unsigned long long>(
+          sys.stats().Get("node.degraded_reads.p")),
+      static_cast<unsigned long long>(
+          sys.stats().Get("node.degraded_reads.q")),
+      static_cast<unsigned long long>(
+          sys.stats().Get("node.degraded_reads.pq")),
+      static_cast<unsigned long long>(
+          sys.stats().Get("node.degraded_reads.spare")));
+  r.extra_json = buf;
+  return r;
+}
+
 /// §4 sharded data plane: `groups` RADD groups over G+1+groups sites (one
 /// drive per (group, member) pair, spread round-robin), every site running
 /// a closed loop of mixed reads and writes against its own LBA space. Per-
@@ -232,7 +332,7 @@ ModeResult RunProtocol(const char* mode, bool batched) {
 /// only wall_ms changes.
 ModeResult RunVolume(int groups, int threads) {
   RaddConfig config = Config();
-  const int members = kGroupSize + 2;
+  const int members = NumSites();
   const int num_sites = groups == 1 ? members : members - 1 + groups;
   std::vector<int> drives(num_sites, 0);
   for (int d = 0; d < groups * members; ++d) ++drives[d % num_sites];
@@ -361,6 +461,7 @@ ModeResult RunVolume(int groups, int threads) {
 int main(int argc, char** argv) {
   int only_groups = 0;
   int threads = 1;
+  const char* scheme = "single";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
       only_groups = std::atoi(argv[++i]);
@@ -374,15 +475,25 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      scheme = argv[++i];
+      if (std::strcmp(scheme, "pq") == 0) {
+        g_parities = 2;
+      } else if (std::strcmp(scheme, "single") != 0) {
+        std::fprintf(stderr, "--scheme must be 'single' or 'pq'\n");
+        return 2;
+      }
     } else {
-      std::fprintf(stderr, "usage: %s [--groups N] [--threads T]\n",
+      std::fprintf(stderr,
+                   "usage: %s [--scheme single|pq] [--groups N] "
+                   "[--threads T]\n",
                    argv[0]);
       return 2;
     }
   }
   std::printf("{\n\"block_size\": %zu,\n\"group_size\": %d,\n"
-              "\"results\": [\n",
-              kBlockSize, kGroupSize);
+              "\"scheme\": \"%s\",\n\"results\": [\n",
+              kBlockSize, kGroupSize, scheme);
   if (only_groups > 0) {
     Print(RunVolume(only_groups, threads), true);
   } else {
@@ -391,6 +502,7 @@ int main(int argc, char** argv) {
     Print(RunRecovering(), false);
     Print(RunProtocol("protocol", /*batched=*/false), false);
     Print(RunProtocol("protocol_batched", /*batched=*/true), false);
+    Print(RunProtocolDegraded("protocol_degraded"), false);
     for (int g : {1, 2, 4, 8}) Print(RunVolume(g, threads), g == 8);
   }
   std::printf("]\n}\n");

@@ -7,12 +7,18 @@
 # mix, message counts, wire bytes) is deterministic and identical across
 # runs.
 #
-# Usage: scripts/bench.sh [runs] [build-dir] [suite]
+# Usage: scripts/bench.sh [runs] [build-dir] [suite] [scheme]
 #   scripts/bench.sh                # 7 runs, build in build-bench/, all suites
 #   scripts/bench.sh 15             # more runs for a noisier machine
 #   scripts/bench.sh 5 build parallel   # only BENCH_parallel.json
 #   scripts/bench.sh 7 build classic    # only throughput + parity records
 #   scripts/bench.sh 5 build transport  # only BENCH_transport.json
+#   scripts/bench.sh 7 build classic pq # P+Q dual parity throughput record
+#                                       # (written to BENCH_throughput_pq.json)
+#
+# Every record is stamped with the git SHA and UTC date it was generated
+# from, plus the scheme and config (block/group size) it measured, so a
+# checked-in BENCH_*.json is traceable to the revision that produced it.
 #
 # The `parallel` suite measures the sharded simulation engine and the
 # chaos run farm (DESIGN.md section 12) at several thread counts and
@@ -28,6 +34,15 @@ repo="$(cd "$(dirname "$0")/.." && pwd)"
 runs="${1:-7}"
 build="${2:-$repo/build-bench}"
 suite="${3:-all}"
+scheme="${4:-single}"
+case "$scheme" in
+  single|pq) ;;
+  *) echo "scheme must be 'single' or 'pq'" >&2; exit 2 ;;
+esac
+
+git_sha="$(git -C "$repo" rev-parse --short HEAD 2>/dev/null || echo unknown)"
+gen_date="$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+export GIT_SHA="$git_sha" GEN_DATE="$gen_date"
 
 cmake -B "$build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build "$build" -j "$(nproc)" \
@@ -39,16 +54,24 @@ trap 'rm -rf "$tmp"' EXIT
 if [ "$suite" = all ] || [ "$suite" = classic ]; then
   for i in $(seq "$runs"); do
     echo "classic run $i/$runs ..."
-    "$build/bench/bench_throughput" > "$tmp/throughput_$i.json"
+    "$build/bench/bench_throughput" --scheme "$scheme" \
+      > "$tmp/throughput_$i.json"
     "$build/bench/bench_parity_batching" > "$tmp/parity_$i.json"
   done
 
-  RUNS="$runs" TMP="$tmp" REPO="$repo" python3 - <<'EOF'
+  RUNS="$runs" TMP="$tmp" REPO="$repo" SCHEME="$scheme" python3 - <<'EOF'
 import json, os, statistics
 
 runs = int(os.environ["RUNS"])
 tmp = os.environ["TMP"]
 repo = os.environ["REPO"]
+scheme = os.environ["SCHEME"]
+
+def stamp(doc):
+    """Provenance fields every BENCH_*.json record carries."""
+    doc["git_sha"] = os.environ["GIT_SHA"]
+    doc["generated_utc"] = os.environ["GEN_DATE"]
+    return doc
 
 def load(prefix):
     return [json.load(open(f"{tmp}/{prefix}_{i}.json")) for i in
@@ -67,18 +90,20 @@ def median_by_mode(docs, fields):
     return out
 
 tp = load("throughput")
-tp_doc = {k: v for k, v in tp[0].items() if k != "results"}
+tp_doc = stamp({k: v for k, v in tp[0].items() if k != "results"})
 tp_doc["runs"] = runs
 tp_doc["note"] = ("wall_ms / ops_per_sec / mb_per_sec are per-mode "
                   "medians over the runs; regenerate with scripts/bench.sh")
 tp_doc["results"] = median_by_mode(tp, ["wall_ms", "ops_per_sec",
                                         "mb_per_sec"])
-with open(f"{repo}/BENCH_throughput.json", "w") as f:
+tp_name = ("BENCH_throughput.json" if scheme == "single"
+           else f"BENCH_throughput_{scheme}.json")
+with open(f"{repo}/{tp_name}", "w") as f:
     json.dump(tp_doc, f, indent=2)
     f.write("\n")
 
 pb = load("parity")
-pb_doc = {k: v for k, v in pb[0].items() if k != "results"}
+pb_doc = stamp({k: v for k, v in pb[0].items() if k != "results"})
 pb_doc["runs"] = runs
 pb_doc["description"] = (
     "Batched parity pipeline (DESIGN.md section 10) vs the unbatched "
@@ -94,7 +119,7 @@ with open(f"{repo}/BENCH_parity.json", "w") as f:
 for d in pb[1:]:
     if d["reduction"] != pb[0]["reduction"]:
         raise SystemExit("nondeterministic reduction factors?!")
-print("wrote BENCH_throughput.json and BENCH_parity.json")
+print(f"wrote {tp_name} and BENCH_parity.json")
 EOF
 fi
 
@@ -168,6 +193,8 @@ for row in chaos_rows:
     row["speedup_vs_t1"] = round(chaos_rows[0]["wall_ms"] / row["wall_ms"], 2)
 
 doc = {
+    "git_sha": os.environ["GIT_SHA"],
+    "generated_utc": os.environ["GEN_DATE"],
     "description": (
         "Parallel execution engine (DESIGN.md section 12) at thread counts "
         "1/2/4/8. sharded_bench: bench_throughput --groups 8 --threads T — "
@@ -230,6 +257,8 @@ repo = os.environ["REPO"]
 docs = [json.load(open(f"{tmp}/transport_{i}.json")) for i in
         range(1, runs + 1)]
 doc = {k: v for k, v in docs[0].items() if k != "results"}
+doc["git_sha"] = os.environ["GIT_SHA"]
+doc["generated_utc"] = os.environ["GEN_DATE"]
 doc["runs"] = runs
 doc["note"] = doc.get("note", "") + (
     " Latency and throughput figures are per-backend medians over the "

@@ -11,6 +11,8 @@
 #   scripts/chaos.sh --autopilot  # self-healing mode (flags may lead)
 #   scripts/chaos.sh 1000 --jobs      # run farm on all cores (nproc)
 #   scripts/chaos.sh 1000 --jobs 8    # run farm on 8 worker threads
+#   scripts/chaos.sh 200 build --scheme pq   # P+Q dual parity with
+#                                            # double-failure schedules
 #
 # --jobs parallelizes across seeds (each seed runs its own isolated
 # simulation stack); output and exit code are identical to the serial run,

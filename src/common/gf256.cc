@@ -1,0 +1,125 @@
+#include "common/gf256.h"
+
+#include <cassert>
+
+namespace radd {
+
+namespace {
+
+/// One step of the field's doubling map on a single byte.
+constexpr uint8_t Xtimes(uint8_t x) {
+  return static_cast<uint8_t>((x << 1) ^ ((x >> 7) * 0x1d));
+}
+
+/// exp/log tables for g = 2 over 0x11d. exp is doubled so products of two
+/// logs index without a mod: exp[log a + log b], log sums < 510.
+struct Tables {
+  uint8_t exp[510] = {};
+  uint8_t log[256] = {};
+  constexpr Tables() {
+    uint8_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = x;
+      exp[i + 255] = x;
+      log[x] = static_cast<uint8_t>(i);
+      x = Xtimes(x);
+    }
+  }
+};
+constexpr Tables kT{};
+
+/// Bitsliced xtimes over eight byte lanes of one word: shift every lane
+/// left, then fold the reduction polynomial into the lanes whose high bit
+/// was set. No lane crosses into its neighbour — the high bits are masked
+/// out before the shift and re-injected as the 0x1d term.
+inline uint64_t GfXtimes64(uint64_t x) {
+  return ((x & 0x7f7f7f7f7f7f7f7full) << 1) ^
+         (((x & 0x8080808080808080ull) >> 7) * 0x1d);
+}
+
+/// acc ^= c * x across eight lanes: schoolbook multiply by the constant,
+/// one xtimes per bit of c.
+inline uint64_t GfMulWord(uint64_t x, uint8_t c) {
+  uint64_t acc = 0;
+  while (c != 0) {
+    if (c & 1) acc ^= x;
+    x = GfXtimes64(x);
+    c >>= 1;
+  }
+  return acc;
+}
+
+inline uint8_t MulByte(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return kT.exp[kT.log[a] + kT.log[b]];
+}
+
+}  // namespace
+
+namespace internal {
+
+void GfMulAddBytes(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n) {
+  if (c == 0 || n == 0) return;
+  if (c == 1) {
+    XorBytes(dst, src, n);
+    return;
+  }
+  size_t i = 0;
+  // Word-at-a-time main loop; memcpy in/out keeps it alignment-safe (the
+  // compiler lowers these to single unaligned loads/stores on x86/ARM).
+  for (; i + 8 <= n; i += 8) {
+    uint64_t d, s;
+    std::memcpy(&d, dst + i, 8);
+    std::memcpy(&s, src + i, 8);
+    d ^= GfMulWord(s, c);
+    std::memcpy(dst + i, &d, 8);
+  }
+  for (; i < n; ++i) dst[i] ^= MulByte(src[i], c);
+}
+
+void GfScaleBytes(uint8_t* p, uint8_t c, size_t n) {
+  if (c == 1 || n == 0) return;
+  if (c == 0) {
+    std::memset(p, 0, n);
+    return;
+  }
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    uint64_t w;
+    std::memcpy(&w, p + i, 8);
+    w = GfMulWord(w, c);
+    std::memcpy(p + i, &w, 8);
+  }
+  for (; i < n; ++i) p[i] = MulByte(p[i], c);
+}
+
+}  // namespace internal
+
+uint8_t GfMul(uint8_t a, uint8_t b) { return MulByte(a, b); }
+
+uint8_t GfInv(uint8_t a) {
+  assert(a != 0 && "GfInv(0)");
+  return kT.exp[255 - kT.log[a]];
+}
+
+uint8_t GfDiv(uint8_t a, uint8_t b) {
+  assert(b != 0 && "GfDiv by 0");
+  if (a == 0) return 0;
+  return kT.exp[kT.log[a] + 255 - kT.log[b]];
+}
+
+uint8_t GfExp(unsigned e) { return kT.exp[e % 255]; }
+
+Status GfMulAddInto(Block* dst, const Block& src, uint8_t c) {
+  if (dst->size() != src.size()) {
+    return Status::InvalidArgument("GfMulAddInto of mismatched block sizes");
+  }
+  internal::GfMulAddBytes(dst->data(), src.data(), c, dst->size());
+  return Status::OK();
+}
+
+void GfScaleInPlace(Block* b, uint8_t c) {
+  internal::GfScaleBytes(b->data(), c, b->size());
+}
+
+}  // namespace radd

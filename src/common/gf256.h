@@ -1,0 +1,69 @@
+// GF(256) arithmetic for the P+Q double-parity scheme.
+//
+// The second parity is a Reed-Solomon syndrome over the Galois field
+// GF(2^8) with the AES/RAID-6 reduction polynomial x^8+x^4+x^3+x^2+1
+// (0x11d) and generator g = 2:
+//
+//   Q = sum_m g^m * D_m        (m = data member index within the row)
+//
+// XOR is field addition, so the paper's formula-(1) delta discipline
+// carries over unchanged: a data write that ships delta = new XOR old to
+// the P site ships the *same* delta to the Q site, which scales it by its
+// member coefficient before folding it in (Q' = Q XOR g^m * delta). Any
+// two erasures among {data..., P, Q} are then solvable because the 2x2
+// Vandermonde systems over distinct powers of g are invertible for
+// member indices < 255.
+//
+// Performance: like the XOR kernels in block.h, the multiply-accumulate
+// runs word-at-a-time over uint64_t lanes — a bitsliced xtimes treats the
+// eight bytes of a word as independent field elements — with byte-table
+// head/tail handling at any alignment. tests/gf256_kernel_test.cc checks
+// the word-wise paths against byte-wise table references at awkward
+// sizes, plus encode/decode round trips for every 2-erasure pattern.
+
+#ifndef RADD_COMMON_GF256_H_
+#define RADD_COMMON_GF256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/block.h"
+#include "common/status.h"
+
+namespace radd {
+
+namespace internal {
+/// dst[i] ^= GfMul(c, src[i]) for i in [0, n). Word-at-a-time; any
+/// alignment. c == 0 is a no-op, c == 1 degenerates to XorBytes.
+void GfMulAddBytes(uint8_t* dst, const uint8_t* src, uint8_t c, size_t n);
+/// p[i] = GfMul(c, p[i]) for i in [0, n). c == 0 zeroes the range.
+void GfScaleBytes(uint8_t* p, uint8_t c, size_t n);
+}  // namespace internal
+
+/// Field multiply a * b in GF(256) (table-driven).
+uint8_t GfMul(uint8_t a, uint8_t b);
+
+/// Multiplicative inverse; a must be nonzero (asserted).
+uint8_t GfInv(uint8_t a);
+
+/// a / b = a * GfInv(b); b must be nonzero (asserted).
+uint8_t GfDiv(uint8_t a, uint8_t b);
+
+/// g^e for the generator g = 2 (e >= 0, reduced mod 255).
+uint8_t GfExp(unsigned e);
+
+/// The Q-parity coefficient of data member `m`: g^m. Distinct and with
+/// pairwise-distinct sums for 0 <= m < 255, which is what two-erasure
+/// decode requires; RADD group sizes are far below that.
+inline uint8_t GfQCoeff(int m) { return GfExp(static_cast<unsigned>(m)); }
+
+/// dst ^= c * src over whole blocks (the Q-site side of formula (1)).
+/// Sizes must match.
+Status GfMulAddInto(Block* dst, const Block& src, uint8_t c);
+
+/// b = c * b in place.
+void GfScaleInPlace(Block* b, uint8_t c);
+
+}  // namespace radd
+
+#endif  // RADD_COMMON_GF256_H_

@@ -1,10 +1,8 @@
-#include <cstdio>
-#include <cstdlib>
-
 #include "core/node.h"
 
 #include <cassert>
 
+#include "common/gf256.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
@@ -58,6 +56,14 @@ struct RaddNodeSystem::Node {
   /// Physical block on this site holding group `g`'s row `row`.
   BlockNum phys(int g, BlockNum row) const {
     return locals[static_cast<size_t>(g)].first_block + row;
+  }
+  /// True when this node plays the Q-parity role for (group, row) — only
+  /// possible in a dual-parity layout.
+  bool IsQParityRowHere(int g, BlockNum row) {
+    if (!lay(g).dual_parity()) return false;
+    int me = locals[static_cast<size_t>(g)].member;
+    return me >= 0 &&
+           lay(g).RoleOf(static_cast<SiteId>(me), row) == BlockRole::kParityQ;
   }
 
   /// The site's disk serves one request at a time: operations queue
@@ -430,11 +436,79 @@ struct RaddNodeSystem::Node {
   std::map<uint64_t, ParityWait> parity_done;
   std::map<uint64_t, int> parity_tries;
 
+  /// Q-leg marker bit for dual-parity ops. Op ids never reach bit 63
+  /// (the global counter counts up from 1; sharded ids use site<<40), so
+  /// the P and Q legs of one write occupy distinct slots in every op-keyed
+  /// map while remaining trivially correlated for debugging.
+  static constexpr uint64_t kQLegBit = uint64_t{1} << 63;
+
+  /// Reissue marker for dual-parity spare-path updates. A write retried
+  /// through the spare after its home crashed can reuse an op whose
+  /// original parity legs already applied; the receiver's op-level dedupe
+  /// would then silently drop the reissue even though it carries the new
+  /// logical UID (and per-leg deltas). Bit 62 keeps the reissue distinct
+  /// in every op-keyed map while the original op's entry still absorbs
+  /// late duplicates of the first attempt.
+  static constexpr uint64_t kReissueBit = uint64_t{1} << 62;
+
   void SendParityUpdate(uint64_t op, int g, int home, BlockNum row,
                         ChangeMask mask, Uid uid,
                         std::function<void()> done,
                         std::function<void(Status)> fail = nullptr) {
-    int pm = static_cast<int>(lay(g).ParitySite(row));
+    if (!lay(g).dual_parity()) {
+      SendParityLeg(op, g, home, row,
+                    static_cast<int>(lay(g).ParitySite(row)), std::move(mask),
+                    uid, std::move(done), std::move(fail));
+      return;
+    }
+    // P+Q: the same raw delta ships to both parity sites (the Q site folds
+    // in its GF(256) coefficient on apply, so the legs share one encoding).
+    ChangeMask q_mask = ChangeMask::FromFull(
+        sys->arena_.LeaseCopyOf(mask.delta()));
+    SendDualParityLegs(op, g, home, row, std::move(mask), std::move(q_mask),
+                       uid, std::move(done), std::move(fail));
+  }
+
+  /// Ships (possibly distinct) deltas to the P and Q legs of one row. The
+  /// §5 commit condition spans two acks: `done` fires only after both legs
+  /// resolve, and the first failure wins once both have.
+  void SendDualParityLegs(uint64_t op, int g, int home, BlockNum row,
+                          ChangeMask p_mask, ChangeMask q_mask, Uid uid,
+                          std::function<void()> done,
+                          std::function<void(Status)> fail) {
+    struct LegJoin {
+      int remaining = 2;
+      Status first_error = Status::OK();
+      std::function<void()> done;
+      std::function<void(Status)> fail;
+    };
+    auto join = std::make_shared<LegJoin>();
+    join->done = std::move(done);
+    join->fail = std::move(fail);
+    auto leg_done = [join]() {
+      if (--join->remaining > 0) return;
+      if (join->first_error.ok()) {
+        join->done();
+      } else if (join->fail) {
+        join->fail(std::move(join->first_error));
+      }
+    };
+    auto leg_fail = [join](Status st) {
+      if (join->first_error.ok()) join->first_error = std::move(st);
+      if (--join->remaining > 0) return;
+      if (join->fail) join->fail(std::move(join->first_error));
+    };
+    SendParityLeg(op, g, home, row,
+                  static_cast<int>(lay(g).ParitySite(row)),
+                  std::move(p_mask), uid, leg_done, leg_fail);
+    SendParityLeg(op | kQLegBit, g, home, row,
+                  static_cast<int>(lay(g).QParitySite(row)),
+                  std::move(q_mask), uid, leg_done, leg_fail);
+  }
+
+  void SendParityLeg(uint64_t op, int g, int home, BlockNum row, int pm,
+                     ChangeMask mask, Uid uid, std::function<void()> done,
+                     std::function<void(Status)> fail) {
     SiteId parity_site = grp(g)->SiteOfMember(pm);
     if (sys->Perceived(self, parity_site) == SiteState::kDown) {
       sys->stats_.Add("node.parity_dropped");
@@ -548,9 +622,32 @@ struct RaddNodeSystem::Node {
     parity_ops[u.op] = false;
     ScheduleDisk(disk().write_latency,
                  [this, u = std::move(u), from]() mutable {
+      // Re-run the §3.3 idempotence check at apply time: a recovery
+      // rebuild of this parity row can land inside the disk-latency
+      // window (disk failure at this site wipes the row, the sweep
+      // recomputes it from the members' local copies — which already
+      // contain this update's delta). The receive-time check cannot see
+      // that, and XORing the delta into the rebuilt sum would count it
+      // twice, corrupting the parity while its UID array stays
+      // plausible.
+      Result<BlockRecord> cur = store()->Peek(phys(u.group, u.row));
+      if (cur.ok() &&
+          static_cast<size_t>(u.position) < cur->uid_array.size() &&
+          cur->uid_array[static_cast<size_t>(u.position)] == u.uid) {
+        sys->stats_.Add("node.parity_apply_superseded");
+        sys->arena_.Return(std::move(u.delta));
+        parity_ops[u.op] = true;
+        Send(from, MessageType::kParityAck, ParityAck{u.op}, 0);
+        return;
+      }
       // ApplyMask XORs the delta straight into the parity buffer; the
       // delta block is spent afterwards, so its buffer goes back to the
-      // arena.
+      // arena. The wire carries the raw data delta for both parity roles;
+      // a Q site folds in its Reed-Solomon coefficient here (Q' = Q ^
+      // g^position * delta), so P and Q legs share one encoding.
+      if (IsQParityRowHere(u.group, u.row)) {
+        GfScaleInPlace(&u.delta, GfQCoeff(u.position));
+      }
       ChangeMask mask = ChangeMask::FromFull(std::move(u.delta));
       Status st = store()->ApplyMask(
           phys(u.group, u.row), mask, u.uid, static_cast<size_t>(u.position),
@@ -840,12 +937,31 @@ struct RaddNodeSystem::Node {
       // sweep may reconstruct the row from the pre-delta parity in that
       // window. Applying the delta afterwards would corrupt the rebuilt
       // state.
+      Result<BlockRecord> cur = store()->Peek(phys(frame.group, e.row));
+      if (cur.ok() &&
+          static_cast<size_t>(e.position) < cur->uid_array.size() &&
+          cur->uid_array[static_cast<size_t>(e.position)] == e.uid) {
+        // A rebuild of this row landed in the disk window and gathered
+        // the home's local copy, which already contains this delta —
+        // XORing it again would double-count it (see OnParityUpdate).
+        sys->stats_.Add("node.parity_apply_superseded");
+        sys->arena_.Return(std::move(e.delta));
+        continue;
+      }
       if (!sys->CheckMemberEpoch(frame.group, e.position, e.home_epoch)
                .ok()) {
         sys->stats_.Add("node.stale_epoch_rejected");
         ack.entry_status[i] = Status::StaleEpoch("parity epoch");
         sys->arena_.Return(std::move(e.delta));
         continue;
+      }
+      // Same raw-delta convention as the unbatched path: a Q site scales
+      // the (possibly coalesced) delta by its coefficient before the XOR.
+      // Coalesced entries merge deltas for one (row, position) key, which
+      // all share the same coefficient, so scaling after the merge equals
+      // merging scaled deltas.
+      if (IsQParityRowHere(frame.group, e.row)) {
+        GfScaleInPlace(&e.delta, GfQCoeff(e.position));
       }
       ChangeMask mask = ChangeMask::FromFull(std::move(e.delta));
       Status st = store()->ApplyMask(
@@ -998,6 +1114,16 @@ struct RaddNodeSystem::Node {
     const BlockNum prow = phys(req.group, req.row);
     WithLock(op, prow, LockMode::kExclusive,
              [this, req = std::move(req), from]() mutable {
+      if (lay(req.group).dual_parity()) {
+        // P+Q: the old value must be fetched per leg — a torn pair (one
+        // leg applied an update the other missed around the home's crash)
+        // cannot be repaired by one shared delta. Even an already-applied
+        // logical UID is re-driven for the same reason: the previous flow
+        // may have converged one leg and not the other, and the reissue's
+        // per-leg deltas are zero wherever a leg is already current.
+        StartDualSpareWrite(std::move(req), from);
+        return;
+      }
       Result<BlockRecord> old = store()->Peek(phys(req.group, req.row));
       bool have_old =
           old.ok() && old->uid.valid() && old->spare_for == req.home;
@@ -1088,6 +1214,149 @@ struct RaddNodeSystem::Node {
     });
   }
 
+  /// In-flight state of a dual-parity spare write: the home's old value
+  /// as encoded by each parity leg, gathered before the commit.
+  struct SpareReissue {
+    SpareWriteReq req;
+    SiteId reply_to = 0;
+    bool p_up = false;
+    bool q_up = false;
+    Block old_p{0};
+    Block old_q{0};
+  };
+
+  void StartDualSpareWrite(SpareWriteReq req, SiteId from) {
+    auto st = std::make_shared<SpareReissue>();
+    st->req = std::move(req);
+    st->reply_to = from;
+    const int g = st->req.group;
+    const BlockNum row = st->req.row;
+    st->p_up =
+        sys->Perceived(self, grp(g)->SiteOfMember(static_cast<int>(
+                                 lay(g).ParitySite(row)))) == SiteState::kUp;
+    st->q_up =
+        sys->Perceived(self, grp(g)->SiteOfMember(static_cast<int>(
+                                 lay(g).QParitySite(row)))) == SiteState::kUp;
+    DualSpareOld(std::move(st), /*leg=*/1);
+  }
+
+  /// Fetches the old value for `leg` (1 = P, 2 = Q), then advances:
+  /// P → Q → commit. A leg whose parity site is not up gets a zero delta
+  /// (the send drops it anyway, and that parity is rebuilt wholesale by
+  /// its own recovery before it regains decode authority).
+  void DualSpareOld(std::shared_ptr<SpareReissue> st, int leg) {
+    auto next = [this](std::shared_ptr<SpareReissue> s, int done_leg) {
+      if (done_leg == 1) {
+        DualSpareOld(std::move(s), 2);
+      } else {
+        CommitDualSpareWrite(std::move(s));
+      }
+    };
+    if (!(leg == 1 ? st->p_up : st->q_up)) {
+      (leg == 1 ? st->old_p : st->old_q) =
+          sys->arena_.LeaseCopyOf(st->req.data);
+      next(std::move(st), leg);
+      return;
+    }
+    const uint64_t key =
+        st->req.op | kReissueBit | (leg == 2 ? kQLegBit : 0);
+    StartReconstruction(
+        key, st->req.group, st->req.home, st->req.row,
+        [this, st, leg, next](Status rst, Block data, Uid) mutable {
+          if (rst.ok()) {
+            (leg == 1 ? st->old_p : st->old_q) = std::move(data);
+            next(std::move(st), leg);
+            return;
+          }
+          // Per-leg decode impossible (a second member is down, or the
+          // leg flapped mid-flow): fall back to one shared two-erasure
+          // decode. Its §3.3 cross-validation only passes when both legs'
+          // UID arrays agree, so a shared old value is sound there.
+          StartReconstruction(
+              st->req.op | kReissueBit, st->req.group, st->req.home,
+              st->req.row,
+              [this, st](Status sst, Block data, Uid) mutable {
+                if (!sst.ok()) {
+                  const uint64_t op = st->req.op;
+                  if (st->old_p.size() > 0) {
+                    sys->arena_.Return(std::move(st->old_p));
+                  }
+                  Unlock(op, phys(st->req.group, st->req.row));
+                  CompleteWrite(op, st->reply_to,
+                                MessageType::kSpareWriteReply,
+                                WriteReply{op, sst});
+                  return;
+                }
+                if (st->old_p.size() > 0) {
+                  sys->arena_.Return(std::move(st->old_p));
+                }
+                st->old_q = sys->arena_.LeaseCopyOf(data);
+                st->old_p = std::move(data);
+                CommitDualSpareWrite(std::move(st));
+              });
+        },
+        /*for_read=*/false, /*force_leg=*/leg);
+  }
+
+  /// Dual-parity tail of the spare write: persist the record, then ship
+  /// each leg its own delta under the reissue op id (see kReissueBit).
+  void CommitDualSpareWrite(std::shared_ptr<SpareReissue> st) {
+    ScheduleDisk(disk().write_latency, [this, st]() mutable {
+      SpareWriteReq& req = st->req;
+      const uint64_t op = req.op;
+      const BlockNum prow = phys(req.group, req.row);
+      if (sys->Perceived(self, grp(req.group)->SiteOfMember(req.home)) ==
+          SiteState::kUp) {
+        // The home recovered while this flow was queued — committing now
+        // would shadow an up member (see CommitSpareWrite).
+        sys->stats_.Add("node.spare_write_stale");
+        Unlock(op, prow);
+        write_flows.erase(op);
+        sys->arena_.Return(std::move(req.data));
+        sys->arena_.Return(std::move(st->old_p));
+        sys->arena_.Return(std::move(st->old_q));
+        return;
+      }
+      BlockRecord rec(0);
+      rec.data = std::move(req.data);
+      rec.uid = req.uid;
+      rec.logical_uid = req.uid;
+      rec.spare_for = req.home;
+      Status wst = store()->WriteRecord(prow, rec);
+      if (!wst.ok()) {
+        Unlock(op, prow);
+        CompleteWrite(op, st->reply_to, MessageType::kSpareWriteReply,
+                      WriteReply{op, wst});
+        return;
+      }
+      Result<ChangeMask> mask_p = ChangeMask::Diff(st->old_p, rec.data);
+      Result<ChangeMask> mask_q = ChangeMask::Diff(st->old_q, rec.data);
+      sys->arena_.Return(std::move(st->old_p));
+      sys->arena_.Return(std::move(st->old_q));
+      sys->arena_.Return(std::move(rec.data));
+      const SiteId reply_to = st->reply_to;
+      SendDualParityLegs(
+          op | kReissueBit, req.group, req.home, req.row,
+          std::move(*mask_p), std::move(*mask_q), req.uid,
+          [this, op, prow, reply_to]() {
+            Unlock(op, prow);
+            CompleteWrite(op, reply_to, MessageType::kSpareWriteReply,
+                          WriteReply{op, Status::OK()});
+          },
+          [this, op, prow, reply_to](Status lst) {
+            Unlock(op, prow);
+            if (lst.IsStaleEpoch()) {
+              write_flows.erase(op);
+              Send(reply_to, MessageType::kSpareWriteReply,
+                   WriteReply{op, std::move(lst)}, 0);
+              return;
+            }
+            CompleteWrite(op, reply_to, MessageType::kSpareWriteReply,
+                          WriteReply{op, std::move(lst)});
+          });
+    });
+  }
+
   void OnSpareWriteBack(Message& msg) {
     SpareWriteBack wb = std::move(std::get<SpareWriteBack>(msg.payload));
     if (!sys->CheckMemberEpoch(wb.group, wb.home, wb.home_epoch).ok()) {
@@ -1158,8 +1427,99 @@ struct RaddNodeSystem::Node {
     int uid_retries = 0;  // §3.3 UID-mismatch retries (capped separately)
     int rounds = 0;       // timeout-driven reissues
     uint64_t timer = 0;   // pending round-timeout event
+    // Dual-parity plan (PlanRecon). Up to two erasures are decodable:
+    // the home plus at most one other data member (`lost_dm`), using
+    // whichever parity legs are reachable.
+    bool dual = false;
+    bool use_p = false;
+    bool use_q = false;
+    int lost_dm = -1;
+    /// Members that answered with an unreadable block this flow; treated
+    /// as erased in later plans even while their site looks up.
+    std::set<int> dead_sources;
+    /// Set for read-serving reconstructions so the decode can account
+    /// degraded reads per parity role.
+    bool for_read = false;
+    /// Forces a single-leg decode plan: 1 = via P only, 2 = via Q only.
+    /// Used by the dual spare-write path, which needs the home's value as
+    /// encoded by one specific leg; widening to a two-erasure plan would
+    /// defeat that, so such plans report Blocked instead.
+    int force_leg = 0;
   };
   std::map<uint64_t, Recon> recons;
+
+  /// Picks the two-erasure decode plan for a dual-parity reconstruction
+  /// from the current membership view: every data member except the home
+  /// (at most one of which may be unavailable) plus the reachable parity
+  /// legs. A parity leg participates only while its site is fully up —
+  /// a recovering parity may still hold pre-crash (stale) sums, and
+  /// unlike data replies there is no UID array to arbitrate a parity
+  /// block's own staleness (§3.3 covers data, not the sums).
+  Status PlanRecon(Recon& rc) {
+    RaddGroup* g = grp(rc.group);
+    const RaddLayout& l = lay(rc.group);
+    rc.sources.clear();
+    rc.lost_dm = -1;
+    rc.use_p = false;
+    rc.use_q = false;
+    for (SiteId dm : l.DataSites(rc.row)) {
+      int m = static_cast<int>(dm);
+      if (m == rc.home) continue;
+      bool lost =
+          rc.dead_sources.count(m) != 0 ||
+          sys->Perceived(self, g->SiteOfMember(m)) == SiteState::kDown;
+      if (!lost) {
+        rc.sources.push_back(dm);
+        continue;
+      }
+      if (rc.lost_dm >= 0) {
+        return Status::Blocked("two data members unavailable");
+      }
+      rc.lost_dm = m;
+    }
+    const int pm = static_cast<int>(l.ParitySite(rc.row));
+    const int qm = static_cast<int>(l.QParitySite(rc.row));
+    const bool p_ok =
+        rc.dead_sources.count(pm) == 0 &&
+        sys->Perceived(self, g->SiteOfMember(pm)) == SiteState::kUp;
+    const bool q_ok =
+        rc.dead_sources.count(qm) == 0 &&
+        sys->Perceived(self, g->SiteOfMember(qm)) == SiteState::kUp;
+    if (rc.force_leg != 0) {
+      // Per-leg old-value decode (spare reissue): the caller falls back to
+      // a shared two-erasure decode when a specific leg cannot serve.
+      if (rc.lost_dm >= 0) {
+        return Status::Blocked("forced-leg decode with a second erasure");
+      }
+      if (rc.force_leg == 1) {
+        if (!p_ok) return Status::Blocked("P parity unreachable");
+        rc.use_p = true;
+      } else {
+        if (!q_ok) return Status::Blocked("Q parity unreachable");
+        rc.use_q = true;
+      }
+    } else if (rc.lost_dm < 0) {
+      // One erasure (the home): either parity alone suffices; prefer P
+      // (no GF scaling on the decode path).
+      if (p_ok) {
+        rc.use_p = true;
+      } else if (q_ok) {
+        rc.use_q = true;
+      } else {
+        return Status::Blocked("no parity reachable");
+      }
+    } else {
+      // Two erasures: solving for two unknowns needs both sums.
+      if (!p_ok || !q_ok) {
+        return Status::Blocked("member and parity unavailable");
+      }
+      rc.use_p = true;
+      rc.use_q = true;
+    }
+    if (rc.use_p) rc.sources.push_back(static_cast<SiteId>(pm));
+    if (rc.use_q) rc.sources.push_back(static_cast<SiteId>(qm));
+    return Status::OK();
+  }
 
   void FinishRecon(std::map<uint64_t, Recon>::iterator it, Status st,
                    Block block, Uid uid) {
@@ -1170,20 +1530,32 @@ struct RaddNodeSystem::Node {
   }
 
   void StartReconstruction(uint64_t op, int g, int home, BlockNum row,
-                           std::function<void(Status, Block, Uid)> done) {
+                           std::function<void(Status, Block, Uid)> done,
+                           bool for_read = false, int force_leg = 0) {
     Recon rc;
     rc.group = g;
     rc.home = home;
     rc.row = row;
     rc.done = std::move(done);
-    rc.sources =
-        lay(g).ReconstructionSources(static_cast<SiteId>(home), row);
-    for (SiteId src : rc.sources) {
-      SiteId site_id = grp(g)->SiteOfMember(static_cast<int>(src));
-      if (sys->Perceived(self, site_id) == SiteState::kDown) {
-        rc.done(Status::Blocked("reconstruction source down"), Block(0),
-                Uid());
+    rc.for_read = for_read;
+    rc.force_leg = force_leg;
+    rc.dual = lay(g).dual_parity();
+    if (rc.dual) {
+      Status st = PlanRecon(rc);
+      if (!st.ok()) {
+        rc.done(std::move(st), Block(0), Uid());
         return;
+      }
+    } else {
+      rc.sources =
+          lay(g).ReconstructionSources(static_cast<SiteId>(home), row);
+      for (SiteId src : rc.sources) {
+        SiteId site_id = grp(g)->SiteOfMember(static_cast<int>(src));
+        if (sys->Perceived(self, site_id) == SiteState::kDown) {
+          rc.done(Status::Blocked("reconstruction source down"), Block(0),
+                  Uid());
+          return;
+        }
       }
     }
     recons[op] = std::move(rc);
@@ -1211,12 +1583,26 @@ struct RaddNodeSystem::Node {
           if (rit == recons.end()) return;
           Recon& r = rit->second;
           r.timer = 0;
-          for (SiteId src : r.sources) {
-            SiteId site_id = grp(r.group)->SiteOfMember(static_cast<int>(src));
-            if (sys->Perceived(self, site_id) == SiteState::kDown) {
-              FinishRecon(rit, Status::Blocked("reconstruction source down"),
-                          Block(0), Uid());
+          if (r.dual) {
+            // A source dying mid-round is survivable while a decodable
+            // plan remains: re-plan against the current view (PlanRecon
+            // re-reads every source's perceived state) and fail only when
+            // the erasure budget is truly spent.
+            Status st = PlanRecon(r);
+            if (!st.ok()) {
+              FinishRecon(rit, std::move(st), Block(0), Uid());
               return;
+            }
+          } else {
+            for (SiteId src : r.sources) {
+              SiteId site_id =
+                  grp(r.group)->SiteOfMember(static_cast<int>(src));
+              if (sys->Perceived(self, site_id) == SiteState::kDown) {
+                FinishRecon(rit,
+                            Status::Blocked("reconstruction source down"),
+                            Block(0), Uid());
+                return;
+              }
             }
           }
           if (++r.rounds > sys->node_config_.max_retries) {
@@ -1243,6 +1629,22 @@ struct RaddNodeSystem::Node {
     }
     int member = grp(rc.group)->MemberAtSite(msg.from);
     if (!rep.status.ok()) {
+      if (rc.dual && member >= 0) {
+        // An unreadable block at a source is one more erasure, not a dead
+        // end: charge it against the two-erasure budget and re-plan. The
+        // member stays excluded for the rest of this flow even though its
+        // site looks up.
+        rc.dead_sources.insert(member);
+        Status st = PlanRecon(rc);
+        if (!st.ok()) {
+          FinishRecon(it, std::move(st), Block(0), Uid());
+          return;
+        }
+        ++rc.attempt;
+        sys->stats_.Add("node.recon_replan");
+        IssueReconRound(rep.op);
+        return;
+      }
       FinishRecon(it,
                   Status::Blocked("source failed: " + rep.status.ToString()),
                   Block(0), Uid());
@@ -1250,6 +1652,10 @@ struct RaddNodeSystem::Node {
     }
     rc.replies[member] = std::move(rep);
     if (rc.replies.size() < rc.sources.size()) return;
+    if (rc.dual) {
+      FinishDualDecode(it);
+      return;
+    }
 
     // All replies in: validate UIDs against the parity array (§3.3).
     int pm = static_cast<int>(lay(rc.group).ParitySite(rc.row));
@@ -1290,6 +1696,124 @@ struct RaddNodeSystem::Node {
     }
     Uid logical = entry(rc.home);
     sys->stats_.Add("node.reconstructions");
+    if (rc.for_read) {
+      sys->stats_.Add("node.degraded_reads");
+      sys->stats_.Add("node.degraded_reads.p");
+    }
+    FinishRecon(it, Status::OK(), std::move(out), logical);
+  }
+
+  /// Decodes a completed dual-parity reconstruction round per the plan
+  /// PlanRecon chose: P-only (plain XOR), Q-only (scaled sum), or the full
+  /// two-erasure solve when a second data member is gone.
+  void FinishDualDecode(std::map<uint64_t, Recon>::iterator it) {
+    Recon& rc = it->second;
+    const uint64_t op = it->first;
+    const RaddLayout& l = lay(rc.group);
+    const int pm = static_cast<int>(l.ParitySite(rc.row));
+    const int qm = static_cast<int>(l.QParitySite(rc.row));
+    const ReconReply* prep = rc.use_p ? &rc.replies.at(pm) : nullptr;
+    const ReconReply* qrep = rc.use_q ? &rc.replies.at(qm) : nullptr;
+    auto entry = [](const ReconReply* r, int m) {
+      return r != nullptr && static_cast<size_t>(m) < r->uid_array.size()
+                 ? r->uid_array[static_cast<size_t>(m)]
+                 : Uid();
+    };
+    // §3.3 on both parities: every data reply must match each
+    // participating parity's array entry, and when both parities take
+    // part their arrays must agree on every data member — including the
+    // erased ones nobody read — so a torn dual update (one leg applied,
+    // the other still in flight) can never assemble a wrong block.
+    bool consistent = true;
+    for (const auto& [m, r] : rc.replies) {
+      if (m == pm || m == qm) continue;
+      if (rc.use_p && r.uid != entry(prep, m)) consistent = false;
+      if (rc.use_q && r.uid != entry(qrep, m)) consistent = false;
+    }
+    if (consistent && rc.use_p && rc.use_q) {
+      for (SiteId dm : l.DataSites(rc.row)) {
+        if (entry(prep, static_cast<int>(dm)) !=
+            entry(qrep, static_cast<int>(dm))) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (!consistent) {
+      sys->stats_.Add("node.uid_retry");
+      if (++rc.uid_retries >= sys->node_config_.max_reconstruct_attempts) {
+        FinishRecon(it, Status::Inconsistent("UID validation failed"),
+                    Block(0), Uid());
+        return;
+      }
+      ++rc.attempt;
+      IssueReconRound(op);
+      return;
+    }
+    Block out = sys->arena_.Lease();
+    Status st = Status::OK();
+    if (rc.use_p && !rc.use_q) {
+      // Single erasure via P: identical math to the single-parity path.
+      for (const auto& [m, r] : rc.replies) {
+        if (r.data.size() == out.size()) {
+          internal::XorBytes(out.data(), r.data.data(), out.size());
+        }
+      }
+    } else if (rc.use_q && !rc.use_p) {
+      // Single erasure via Q: D_home = inv(g^home) * (Q ^ sum g^m D_m).
+      for (const auto& [m, r] : rc.replies) {
+        if (r.data.size() != out.size()) continue;
+        if (m == qm) {
+          internal::XorBytes(out.data(), r.data.data(), out.size());
+        } else {
+          st = GfMulAddInto(&out, r.data, GfQCoeff(m));
+          if (!st.ok()) break;
+        }
+      }
+      if (st.ok()) GfScaleInPlace(&out, GfInv(GfQCoeff(rc.home)));
+    } else {
+      // Two erasures (home plus lost_dm). With the survivors folded in,
+      // Sp = D_home ^ D_b and Sq = g^home*D_home ^ g^b*D_b, so
+      // D_home = inv(g^home ^ g^b) * (g^b*Sp ^ Sq).
+      Block sp = sys->arena_.Lease();
+      for (const auto& [m, r] : rc.replies) {
+        if (r.data.size() != out.size()) continue;
+        if (m == pm) {
+          internal::XorBytes(sp.data(), r.data.data(), sp.size());
+        } else if (m == qm) {
+          internal::XorBytes(out.data(), r.data.data(), out.size());
+        } else {
+          internal::XorBytes(sp.data(), r.data.data(), sp.size());
+          st = GfMulAddInto(&out, r.data, GfQCoeff(m));
+          if (!st.ok()) break;
+        }
+      }
+      if (st.ok()) st = GfMulAddInto(&out, sp, GfQCoeff(rc.lost_dm));
+      if (st.ok()) {
+        GfScaleInPlace(&out,
+                       GfInv(static_cast<uint8_t>(GfQCoeff(rc.home) ^
+                                                  GfQCoeff(rc.lost_dm))));
+        sys->stats_.Add("node.recon_two_erasure");
+      }
+      sys->arena_.Return(std::move(sp));
+    }
+    if (!st.ok()) {
+      sys->arena_.Return(std::move(out));
+      FinishRecon(it, std::move(st), Block(0), Uid());
+      return;
+    }
+    Uid logical = entry(rc.use_p ? prep : qrep, rc.home);
+    sys->stats_.Add("node.reconstructions");
+    if (rc.for_read) {
+      sys->stats_.Add("node.degraded_reads");
+      if (rc.use_p && rc.use_q) {
+        sys->stats_.Add("node.degraded_reads.pq");
+      } else if (rc.use_p) {
+        sys->stats_.Add("node.degraded_reads.p");
+      } else {
+        sys->stats_.Add("node.degraded_reads.q");
+      }
+    }
     FinishRecon(it, Status::OK(), std::move(out), logical);
   }
 };
@@ -1554,6 +2078,8 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
       if (it == n->reads.end()) return;
       PendingRead& pr = it->second;
       if (rep.status.ok()) {
+        stats_.Add("node.degraded_reads");
+        stats_.Add("node.degraded_reads.spare");
         FinishRead(site, rep.op, Status::OK(), std::move(rep.data));
         return;
       }
@@ -1658,7 +2184,8 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
               MessageType::kSpareWriteBack, std::move(wb), wire);
         }
         FinishRead(client, op, Status::OK(), std::move(data));
-      });
+      },
+      /*for_read=*/true);
 }
 
 void RaddNodeSystem::StartRead(SiteId client, uint64_t op) {
@@ -1683,11 +2210,20 @@ void RaddNodeSystem::StartRead(SiteId client, uint64_t op) {
   Node* client_node = node(pr.client);
   SiteState state = Perceived(pr.client, home_site);
   if (state == SiteState::kDown || state == SiteState::kRecovering) {
+    SiteId spare_site =
+        g->SiteOfMember(static_cast<int>(g->layout().SpareSite(pr.row)));
+    if (g->layout().dual_parity() &&
+        Perceived(pr.client, spare_site) == SiteState::kDown) {
+      // Home and spare both unreachable (a double failure): asking the
+      // dead spare would only burn the retry budget, so go straight to
+      // the two-erasure decode.
+      stats_.Add("node.read_spare_down");
+      StartReadReconstruction(op, pr);
+      return;
+    }
     // Spare first; its reply drives the rest of the state machine.
-    client_node->Send(
-        g->SiteOfMember(static_cast<int>(g->layout().SpareSite(pr.row))),
-        MessageType::kSpareReadReq,
-        SpareReadReq{op, pr.group, pr.home, pr.row}, 0);
+    client_node->Send(spare_site, MessageType::kSpareReadReq,
+                      SpareReadReq{op, pr.group, pr.home, pr.row}, 0);
     return;
   }
   client_node->Send(home_site, MessageType::kReadReq,

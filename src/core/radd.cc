@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <set>
 
+#include "common/gf256.h"
+
 namespace radd {
 
 namespace {
@@ -13,7 +15,9 @@ constexpr size_t kMsgHeader = 32;
 }  // namespace
 
 RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config)
-    : cluster_(cluster), config_(config), layout_(config.group_size) {
+    : cluster_(cluster),
+      config_(config),
+      layout_(config.group_size, config.parities) {
   members_.reserve(static_cast<size_t>(layout_.num_sites()));
   for (int m = 0; m < layout_.num_sites(); ++m) {
     LogicalDrive d;
@@ -28,7 +32,7 @@ RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config,
                      std::vector<LogicalDrive> members)
     : cluster_(cluster),
       config_(config),
-      layout_(config.group_size),
+      layout_(config.group_size, config.parities),
       members_(std::move(members)) {
   Status st = ValidateMembers(*cluster, config_, members_);
   if (!st.ok()) {
@@ -44,11 +48,11 @@ RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config,
 Status RaddGroup::ValidateMembers(const Cluster& cluster,
                                   const RaddConfig& config,
                                   const std::vector<LogicalDrive>& members) {
-  const int expect = config.group_size + 2;
+  const int expect = config.group_size + 1 + config.parities;
   if (static_cast<int>(members.size()) != expect) {
     return Status::InvalidArgument(
-        "group has " + std::to_string(members.size()) + " members, needs G+2 = " +
-        std::to_string(expect));
+        "group has " + std::to_string(members.size()) +
+        " members, needs G+1+parities = " + std::to_string(expect));
   }
   std::set<SiteId> sites;
   for (size_t m = 0; m < members.size(); ++m) {
@@ -207,18 +211,26 @@ OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
     spare_usable = srec.ok();
     if (srec.ok() && srec->uid.valid()) {
       if (srec->spare_for != home) {
-        out.status = Status::Internal(
-            "spare of row " + std::to_string(row) + " shadows member " +
-            std::to_string(srec->spare_for) + ", expected " +
-            std::to_string(home) + " (double failure?)");
+        if (!layout_.dual_parity()) {
+          out.status = Status::Internal(
+              "spare of row " + std::to_string(row) + " shadows member " +
+              std::to_string(srec->spare_for) + ", expected " +
+              std::to_string(home) + " (double failure?)");
+          return out;
+        }
+        // Double failure: the row's one spare is absorbing writes for the
+        // *other* dead member. Leave it alone and decode; P and Q already
+        // carry that member's spare-absorbed deltas, so the decode below
+        // is still exact.
+        spare_usable = false;
+      } else {
+        (void)ReadPhys(sm, row);  // the physical spare read
+        ChargeRead(client, sm, &out.counts);
+        out.uid = srec->logical_uid;
+        out.data = std::move(srec->data);
+        out.status = Status::OK();
         return out;
       }
-      (void)ReadPhys(sm, row);  // the physical spare read
-      ChargeRead(client, sm, &out.counts);
-      out.uid = srec->logical_uid;
-      out.data = std::move(srec->data);
-      out.status = Status::OK();
-      return out;
     }
   }
 
@@ -325,6 +337,9 @@ Result<RaddGroup::Reconstructed> RaddGroup::Reconstruct(SiteId client,
                                                         int home,
                                                         BlockNum row,
                                                         OpCounts* counts) {
+  if (layout_.dual_parity()) {
+    return ReconstructDual(client, home, row, counts);
+  }
   const int pm = static_cast<int>(layout_.ParitySite(row));
   std::vector<SiteId> source_members =
       layout_.ReconstructionSources(static_cast<SiteId>(home), row);
@@ -395,6 +410,210 @@ Result<RaddGroup::Reconstructed> RaddGroup::Reconstruct(SiteId client,
 
     stats_.Add("radd.reconstructions");
     out.logical_uid = array_entry(home);
+    return out;
+  }
+  return Status::Inconsistent(
+      "reconstruction of row " + std::to_string(row) + " failed UID "
+      "validation after " + std::to_string(config_.max_reconstruct_attempts) +
+      " attempts");
+}
+
+Result<RaddGroup::Reconstructed> RaddGroup::ReconstructDual(SiteId client,
+                                                            int home,
+                                                            BlockNum row,
+                                                            OpCounts* counts) {
+  const int pm = static_cast<int>(layout_.ParitySite(row));
+  const int qm = static_cast<int>(layout_.QParitySite(row));
+  const int sm = static_cast<int>(layout_.SpareSite(row));
+  const std::vector<SiteId> data_members = layout_.DataSites(row);
+  assert(layout_.RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData);
+
+  for (int attempt = 0; attempt < config_.max_reconstruct_attempts;
+       ++attempt) {
+    // A parity has decode authority only when its site is up: a recovering
+    // parity may have dropped updates for exactly the member being decoded,
+    // which no surviving UID array can expose. Its sweep restores
+    // authority.
+    const bool p_ok =
+        StateOfMember(pm) == SiteState::kUp && BlockReadable(pm, row);
+    const bool q_ok =
+        StateOfMember(qm) == SiteState::kUp && BlockReadable(qm, row);
+
+    // A valid spare stands in for the data member it shadows: the member's
+    // own copy is stale or gone, but P and Q already carry the
+    // spare-absorbed deltas and the arrays record the spare's logical UID.
+    int shadowed_dm = -1;
+    if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
+      Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+      if (srec.ok() && srec->uid.valid()) shadowed_dm = srec->spare_for;
+    }
+
+    struct Source {
+      int m = -1;              // the data member this block stands in for
+      bool via_spare = false;  // read the spare block instead of m's own
+    };
+    std::vector<Source> sources;
+    sources.reserve(data_members.size());
+    int lost_dm = -1;  // a second erased data member besides home
+    for (SiteId dm_id : data_members) {
+      int dm = static_cast<int>(dm_id);
+      if (dm == home) continue;
+      if (dm == shadowed_dm || BlockReadable(dm, row)) {
+        sources.push_back({dm, dm == shadowed_dm});
+        continue;
+      }
+      if (lost_dm >= 0) {
+        return Status::Blocked(
+            "cannot reconstruct row " + std::to_string(row) +
+            ": members " + std::to_string(lost_dm) + " and " +
+            std::to_string(dm) + " also unavailable (triple failure)");
+      }
+      lost_dm = dm;
+    }
+
+    // Pick the decode plan: which parities the syndromes need.
+    bool use_p = false;
+    bool use_q = false;
+    if (lost_dm < 0) {
+      if (p_ok) {
+        use_p = true;  // classic formula (2); Q not needed
+      } else if (q_ok) {
+        use_q = true;  // D_home = inv(g^home) * Sq
+      } else {
+        return Status::Blocked(
+            "cannot reconstruct row " + std::to_string(row) +
+            ": both parities unavailable (triple failure)");
+      }
+    } else {
+      if (!p_ok || !q_ok) {
+        return Status::Blocked(
+            "cannot reconstruct row " + std::to_string(row) + ": member " +
+            std::to_string(lost_dm) +
+            " and a parity also unavailable (triple failure)");
+      }
+      use_p = use_q = true;
+    }
+
+    // Read the sources.
+    std::vector<BlockRecord> recs;
+    std::vector<Uid> rec_uids;  // the UID the arrays should record
+    recs.reserve(sources.size());
+    bool readable = true;
+    for (const Source& s : sources) {
+      int from = s.via_spare ? sm : s.m;
+      Result<BlockRecord> rec = ReadPhys(from, row);
+      if (!rec.ok()) {
+        readable = false;
+        break;
+      }
+      ChargeRead(client, from, counts);
+      rec_uids.push_back(s.via_spare ? rec->logical_uid : rec->uid);
+      recs.push_back(std::move(rec).value());
+    }
+    if (!readable) {
+      return Status::Blocked("source became unreadable during reconstruction");
+    }
+    std::optional<BlockRecord> prec;
+    std::optional<BlockRecord> qrec;
+    if (use_p) {
+      Result<BlockRecord> rec = ReadPhys(pm, row);
+      if (!rec.ok()) {
+        return Status::Blocked(
+            "parity became unreadable during reconstruction");
+      }
+      ChargeRead(client, pm, counts);
+      prec = std::move(rec).value();
+    }
+    if (use_q) {
+      Result<BlockRecord> rec = ReadPhys(qm, row);
+      if (!rec.ok()) {
+        return Status::Blocked(
+            "Q parity became unreadable during reconstruction");
+      }
+      ChargeRead(client, qm, counts);
+      qrec = std::move(rec).value();
+    }
+
+    // §3.3 validation against every parity in the plan, plus cross-parity
+    // agreement on all data entries (including the erased ones) when both
+    // participate — that is what catches one parity being one write behind
+    // on exactly the member being decoded.
+    auto entry_of = [](const BlockRecord& p, int member) -> Uid {
+      size_t pos = static_cast<size_t>(member);
+      return pos < p.uid_array.size() ? p.uid_array[pos] : Uid();
+    };
+    bool consistent = true;
+    for (size_t i = 0; i < sources.size() && consistent; ++i) {
+      if (use_p && rec_uids[i] != entry_of(*prec, sources[i].m)) {
+        consistent = false;
+      }
+      if (consistent && use_q &&
+          rec_uids[i] != entry_of(*qrec, sources[i].m)) {
+        consistent = false;
+      }
+    }
+    if (consistent && use_p && use_q) {
+      for (SiteId dm_id : data_members) {
+        int dm = static_cast<int>(dm_id);
+        if (entry_of(*prec, dm) != entry_of(*qrec, dm)) {
+          consistent = false;
+          break;
+        }
+      }
+    }
+    if (!consistent) {
+      stats_.Add("radd.uid_retry");
+      continue;  // "the read was not consistent and must be retried"
+    }
+
+    // Decode.
+    Reconstructed out;
+    out.data = Block(config_.block_size);
+    Status st = Status::OK();
+    if (use_p && !use_q) {
+      // Sp = P xor surviving data = D_home.
+      st = out.data.XorWith(prec->data);
+      for (size_t i = 0; i < recs.size() && st.ok(); ++i) {
+        st = out.data.XorWith(recs[i].data);
+      }
+    } else if (use_q && !use_p) {
+      // Sq = Q xor sum g^m D_m over survivors = g^home * D_home.
+      st = out.data.XorWith(qrec->data);
+      for (size_t i = 0; i < recs.size() && st.ok(); ++i) {
+        st = GfMulAddInto(&out.data, recs[i].data, GfQCoeff(sources[i].m));
+      }
+      if (st.ok()) GfScaleInPlace(&out.data, GfInv(GfQCoeff(home)));
+    } else {
+      // Two data erasures {a = home, b = lost_dm}:
+      //   Sp = D_a ^ D_b,  Sq = g^a D_a ^ g^b D_b
+      //   => (g^b * Sp) ^ Sq = (g^a ^ g^b) * D_a.
+      Block sp(config_.block_size);
+      Block sq(config_.block_size);
+      st = sp.XorWith(prec->data);
+      if (st.ok()) st = sq.XorWith(qrec->data);
+      for (size_t i = 0; i < recs.size() && st.ok(); ++i) {
+        st = sp.XorWith(recs[i].data);
+        if (st.ok()) {
+          st = GfMulAddInto(&sq, recs[i].data, GfQCoeff(sources[i].m));
+        }
+      }
+      if (st.ok()) {
+        const uint8_t cb = GfQCoeff(lost_dm);
+        st = GfMulAddInto(&sq, sp, cb);  // sq = (g^b * Sp) ^ Sq
+      }
+      if (st.ok()) {
+        GfScaleInPlace(
+            &sq, GfInv(static_cast<uint8_t>(GfQCoeff(home) ^
+                                            GfQCoeff(lost_dm))));
+        out.data = std::move(sq);
+        stats_.Add("radd.reconstructions_two_erasure");
+      }
+    }
+    if (!st.ok()) return st;
+
+    stats_.Add("radd.reconstructions");
+    out.logical_uid =
+        use_p ? entry_of(*prec, home) : entry_of(*qrec, home);
     return out;
   }
   return Status::Inconsistent(
@@ -548,6 +767,17 @@ OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
   Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
   if (srec.ok() && srec->uid.valid()) {
     if (srec->spare_for != home) {
+      if (layout_.dual_parity()) {
+        // Double failure: the row's one spare already absorbs writes for
+        // the other dead member. P+Q keeps both members *readable*, but a
+        // second concurrent write stream has nowhere to land.
+        out.status = Status::Blocked(
+            "spare of row " + std::to_string(row) +
+            " already shadows member " + std::to_string(srec->spare_for) +
+            " (double failure); write must wait");
+        stats_.Add("radd.write_blocked_spare_busy");
+        return out;
+      }
       out.status = Status::Internal("spare shadows a different member");
       return out;
     }
@@ -604,16 +834,38 @@ OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
 void RaddGroup::UpdateParity(SiteId issuer, int home, BlockNum row,
                              const ChangeMask& mask, Uid uid,
                              OpCounts* counts) {
-  const int pm = static_cast<int>(layout_.ParitySite(row));
+  ApplyParityLeg(issuer, home, row, mask, uid, counts,
+                 static_cast<int>(layout_.ParitySite(row)), /*coeff=*/1);
+  if (layout_.dual_parity()) {
+    // The Q leg ships the *same* delta; the Q site scales it by the
+    // member's coefficient before folding it in (Q' = Q ^ g^home * delta).
+    ApplyParityLeg(issuer, home, row, mask, uid, counts,
+                   static_cast<int>(layout_.QParitySite(row)),
+                   GfQCoeff(home));
+  }
+}
+
+void RaddGroup::ApplyParityLeg(SiteId issuer, int home, BlockNum row,
+                               const ChangeMask& mask, Uid uid,
+                               OpCounts* counts, int pm, uint8_t coeff) {
   if (StateOfMember(pm) == SiteState::kDown) {
     // The parity site cannot accept updates; its recovery sweep will
     // recompute this row's parity from the data blocks.
     stats_.Add("radd.parity_dropped");
     return;
   }
-  Status st = SiteOf(pm)->store()->ApplyMask(
-      Phys(pm, row), mask, uid, static_cast<size_t>(home),
-      static_cast<size_t>(num_members()));
+  Status st;
+  if (coeff == 1) {
+    st = SiteOf(pm)->store()->ApplyMask(Phys(pm, row), mask, uid,
+                                        static_cast<size_t>(home),
+                                        static_cast<size_t>(num_members()));
+  } else {
+    Block delta = mask.delta();
+    GfScaleInPlace(&delta, coeff);
+    st = SiteOf(pm)->store()->ApplyMask(
+        Phys(pm, row), ChangeMask::FromFull(std::move(delta)), uid,
+        static_cast<size_t>(home), static_cast<size_t>(num_members()));
+  }
   if (!st.ok()) {
     // Lost parity block (disk failure at the parity site): same story.
     stats_.Add("radd.parity_dropped");
@@ -673,12 +925,19 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
       // Drain a valid spare (lock, copy, invalidate).
       if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
         Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
-        if (srec.ok() && srec->uid.valid()) {
-          if (srec->spare_for != home) {
+        if (srec.ok() && srec->uid.valid() && srec->spare_for != home) {
+          if (!layout_.dual_parity()) {
+            // Single parity allows one failure at a time, so a valid spare
+            // on this member's row can only be shadowing it.
             return Status::Internal(
                 "spare of row " + std::to_string(row) +
                 " shadows another member during recovery");
           }
+          // Double-failure recovery: the spare shadows the episode's
+          // *other* failed member. Leave it for that member's own sweep
+          // and fall through — the decode below reads the shadowed member
+          // through the spare (ReconstructDual's via_spare source).
+        } else if (srec.ok() && srec->uid.valid()) {
           (void)ReadPhys(sm, row);  // the physical spare read
           ChargeRead(self, sm, counts);
           RADD_RETURN_NOT_OK(
@@ -708,7 +967,15 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
       break;
     }
 
+    case BlockRole::kParityQ:
+      return RebuildParityRow(home, row, counts, /*q_role=*/true);
+
     case BlockRole::kParity: {
+      if (layout_.dual_parity()) {
+        // The dual-mode rebuild is spare- and decode-aware: with a second
+        // member dead it recovers missing data values via Q first.
+        return RebuildParityRow(home, row, counts, /*q_role=*/false);
+      }
       // Read every data block of the row from the other (up) members;
       // recompute the parity if the local copy is lost or its UID array
       // disagrees with the data blocks (updates missed while down).
@@ -775,6 +1042,19 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
         RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, empty));
         ++counts->local_writes;
         stats_.Add("radd.recovery_spare_cleared");
+        break;
+      }
+      if (lrec.ok() && lrec->uid.valid() &&
+          StateOfMember(lrec->spare_for) == SiteState::kUp) {
+        // Stale shadow: the shadowed member recovered while this spare's
+        // own site was down (a double failure), so its sweep could not
+        // drain this record and instead decoded the rows from the
+        // parities — which carry every spare-landed write. The record is
+        // redundant now, and an up member must never stay shadowed.
+        BlockRecord empty(config_.block_size);
+        RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, empty));
+        ++counts->local_writes;
+        stats_.Add("radd.recovery_spare_stale_dropped");
       }
       break;
     }
@@ -782,13 +1062,113 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
   return Status::OK();
 }
 
+Status RaddGroup::RebuildParityRow(int home, BlockNum row, OpCounts* counts,
+                                   bool q_role) {
+  Site* site = SiteOf(home);
+  const SiteId self = site->id();
+  const BlockNum phys = Phys(home, row);
+  const int sm = static_cast<int>(layout_.SpareSite(row));
+  std::vector<SiteId> data_members = layout_.DataSites(row);
+
+  // Gather each data member's logical value: a valid spare shadowing it
+  // wins (it holds writes the member's own copy missed), then the readable
+  // local block, then two-erasure decode via the other parity.
+  std::vector<Block> values;
+  std::vector<Uid> uids;
+  values.reserve(data_members.size());
+  uids.reserve(data_members.size());
+  for (SiteId dm_id : data_members) {
+    int dm = static_cast<int>(dm_id);
+    bool have = false;
+    if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
+      Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
+      if (srec.ok() && srec->uid.valid() && srec->spare_for == dm) {
+        (void)ReadPhys(sm, row);  // the physical spare read
+        ChargeRead(self, sm, counts);
+        values.push_back(std::move(srec->data));
+        uids.push_back(srec->logical_uid);
+        have = true;
+      }
+    }
+    if (!have && BlockReadable(dm, row)) {
+      Result<BlockRecord> rec = ReadPhys(dm, row);
+      if (rec.ok()) {
+        ChargeRead(self, dm, counts);
+        uids.push_back(rec->uid);
+        values.push_back(std::move(rec->data));
+        have = true;
+      }
+    }
+    if (!have) {
+      // Decode the missing member via the surviving parity and the other
+      // data blocks; Reconstruct refuses (Blocked) at three erasures and
+      // the sweeper retries the row later.
+      Result<Reconstructed> recon = Reconstruct(self, dm, row, counts);
+      if (!recon.ok()) {
+        if (recon.status().IsBlocked()) return recon.status();
+        return Status::Blocked("cannot rebuild " +
+                               std::string(q_role ? "Q parity" : "parity") +
+                               " of row " + std::to_string(row) +
+                               ": member " + std::to_string(dm) +
+                               " undecodable: " + recon.status().ToString());
+      }
+      values.push_back(std::move(recon->data));
+      uids.push_back(recon->logical_uid);
+    }
+  }
+
+  // Recompute only when the local copy is lost or its UID array disagrees
+  // with the gathered logical UIDs (updates missed while down).
+  Result<BlockRecord> lrec = site->store()->Peek(phys);
+  bool stale = !lrec.ok();
+  if (lrec.ok()) {
+    for (size_t i = 0; i < data_members.size(); ++i) {
+      size_t pos = static_cast<size_t>(data_members[i]);
+      Uid entry =
+          pos < lrec->uid_array.size() ? lrec->uid_array[pos] : Uid();
+      if (entry != uids[i]) {
+        stale = true;
+        break;
+      }
+    }
+  }
+  if (!stale) return Status::OK();
+
+  BlockRecord prec(config_.block_size);
+  for (size_t i = 0; i < data_members.size(); ++i) {
+    uint8_t c =
+        q_role ? GfQCoeff(static_cast<int>(data_members[i])) : uint8_t{1};
+    RADD_RETURN_NOT_OK(GfMulAddInto(&prec.data, values[i], c));
+  }
+  prec.uid = site->uids()->Next();
+  prec.uid_array.assign(static_cast<size_t>(num_members()), Uid());
+  for (size_t i = 0; i < data_members.size(); ++i) {
+    prec.uid_array[static_cast<size_t>(data_members[i])] = uids[i];
+  }
+  RADD_RETURN_NOT_OK(site->store()->WriteRecord(phys, prec));
+  ++counts->local_writes;
+  stats_.Add(q_role ? "radd.recovery_q_rebuilt"
+                    : "radd.recovery_parity_rebuilt");
+  return Status::OK();
+}
+
 bool RaddGroup::ParityEntrySupersedes(int home, BlockNum row,
                                       Uid local) const {
+  const int pm = static_cast<int>(layout_.ParitySite(row));
+  if (ParityMemberSupersedes(pm, home, row, local)) return true;
+  if (layout_.dual_parity()) {
+    const int qm = static_cast<int>(layout_.QParitySite(row));
+    if (ParityMemberSupersedes(qm, home, row, local)) return true;
+  }
+  return false;
+}
+
+bool RaddGroup::ParityMemberSupersedes(int pm, int home, BlockNum row,
+                                       Uid local) const {
   // §3.3: the parity block's UID array is the authority on which writes a
   // row has accepted. A data copy whose UID disagrees with (and does not
   // postdate) the array entry missed an update — e.g. it was rebuilt from
   // the parity before an in-flight delta for the same row landed.
-  const int pm = static_cast<int>(layout_.ParitySite(row));
   if (StateOfMember(pm) != SiteState::kUp) return false;  // no authority
   Result<BlockRecord> prec = SiteOf(pm)->store()->Peek(Phys(pm, row));
   if (!prec.ok()) return false;
@@ -851,10 +1231,13 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
   int repaired = 0;
 
   for (BlockNum row = 0; row < config_.rows; ++row) {
-    if (layout_.RoleOf(static_cast<SiteId>(parity_member), row) !=
-        BlockRole::kParity) {
+    const BlockRole role =
+        layout_.RoleOf(static_cast<SiteId>(parity_member), row);
+    if (role != BlockRole::kParity && role != BlockRole::kParityQ) {
       continue;
     }
+    // Q rows sum g^m-weighted data; P rows are the plain XOR (c == 1).
+    const bool q_role = role == BlockRole::kParityQ;
     // Collect the row's data blocks; skip rows with unreadable members
     // (degraded rows belong to the recovery sweep, not the scrubber).
     std::vector<SiteId> data_members = layout_.DataSites(row);
@@ -888,9 +1271,11 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
     bool mismatch = !prec.ok();
     if (prec.ok()) {
       Block expected(config_.block_size);
-      RADD_RETURN_NOT_OK(XorAllInto(
-          &expected, recs.size(),
-          [&](size_t i) -> const Block& { return recs[i].data; }));
+      for (size_t i = 0; i < recs.size(); ++i) {
+        uint8_t c = q_role ? GfQCoeff(static_cast<int>(data_members[i]))
+                           : uint8_t{1};
+        RADD_RETURN_NOT_OK(GfMulAddInto(&expected, recs[i].data, c));
+      }
       if (expected != prec->data) {
         mismatch = true;
       } else {
@@ -908,9 +1293,11 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
     if (!mismatch) continue;
 
     BlockRecord fresh(config_.block_size);
-    RADD_RETURN_NOT_OK(XorAllInto(
-        &fresh.data, recs.size(),
-        [&](size_t i) -> const Block& { return recs[i].data; }));
+    for (size_t i = 0; i < recs.size(); ++i) {
+      uint8_t c = q_role ? GfQCoeff(static_cast<int>(data_members[i]))
+                         : uint8_t{1};
+      RADD_RETURN_NOT_OK(GfMulAddInto(&fresh.data, recs[i].data, c));
+    }
     fresh.uid = site->uids()->Next();
     fresh.uid_array.assign(static_cast<size_t>(num_members()), Uid());
     for (size_t i = 0; i < data_members.size(); ++i) {
@@ -969,13 +1356,26 @@ Status RaddGroup::VerifyInvariants() const {
   for (BlockNum row = 0; row < config_.rows; ++row) {
     const int pm = static_cast<int>(layout_.ParitySite(row));
     const int sm = static_cast<int>(layout_.SpareSite(row));
-    if (StateOfMember(pm) != SiteState::kUp) continue;  // pending recompute
+    const int qm = layout_.dual_parity()
+                       ? static_cast<int>(layout_.QParitySite(row))
+                       : -1;
 
-    Result<BlockRecord> prec =
-        SiteOf(pm)->store()->Peek(Phys(pm, row));
-    if (!prec.ok()) continue;  // lost parity: pending recompute
+    // Parity copies with up sites and readable blocks are audited; the
+    // rest are pending recompute. A row with neither is skipped.
+    std::optional<BlockRecord> prec;
+    if (StateOfMember(pm) == SiteState::kUp) {
+      Result<BlockRecord> r = SiteOf(pm)->store()->Peek(Phys(pm, row));
+      if (r.ok()) prec = std::move(r).value();
+    }
+    std::optional<BlockRecord> qrec;
+    if (qm >= 0 && StateOfMember(qm) == SiteState::kUp) {
+      Result<BlockRecord> r = SiteOf(qm)->store()->Peek(Phys(qm, row));
+      if (r.ok()) qrec = std::move(r).value();
+    }
+    if (!prec && !qrec) continue;
 
-    Block expected(config_.block_size);
+    Block expected(config_.block_size);    // XOR of logical values (P)
+    Block expected_q(config_.block_size);  // GF(256) sum (Q, dual mode)
     bool verifiable = true;
     for (SiteId dm_id : layout_.DataSites(row)) {
       int dm = static_cast<int>(dm_id);
@@ -989,6 +1389,9 @@ Status RaddGroup::VerifyInvariants() const {
       bool shadowed = srec.ok() && srec->uid.valid() &&
                       srec->spare_for == dm;
       Uid expected_uid;
+      // `value` must outlive both accumulations below, so the record it
+      // points into is declared at this scope.
+      Result<BlockRecord> lrec = Status::NotFound("unread");
       const Block* value = nullptr;
       if (shadowed) {
         value = &srec->data;
@@ -1000,8 +1403,7 @@ Status RaddGroup::VerifyInvariants() const {
         }
         RADD_RETURN_NOT_OK(expected.XorWith(*value));
       } else {
-        Result<BlockRecord> lrec =
-            SiteOf(dm)->store()->Peek(Phys(dm, row));
+        lrec = SiteOf(dm)->store()->Peek(Phys(dm, row));
         if (!lrec.ok()) {
           verifiable = false;  // lost block pending reconstruction
           break;
@@ -1010,25 +1412,47 @@ Status RaddGroup::VerifyInvariants() const {
         expected_uid = lrec->uid;
         RADD_RETURN_NOT_OK(expected.XorWith(*value));
       }
+      if (qm >= 0) {
+        RADD_RETURN_NOT_OK(GfMulAddInto(&expected_q, *value, GfQCoeff(dm)));
+      }
       // UID-array agreement (only meaningful for up members; down /
       // recovering members may legitimately lag).
       if (StateOfMember(dm) == SiteState::kUp || shadowed) {
         size_t pos = static_cast<size_t>(dm);
-        Uid entry =
-            pos < prec->uid_array.size() ? prec->uid_array[pos] : Uid();
-        if (entry != expected_uid) {
-          return Status::Internal(
-              "row " + std::to_string(row) + ": UID array entry for member " +
-              std::to_string(dm) + " is " + entry.ToString() +
-              ", expected " + expected_uid.ToString());
+        if (prec) {
+          Uid entry =
+              pos < prec->uid_array.size() ? prec->uid_array[pos] : Uid();
+          if (entry != expected_uid) {
+            return Status::Internal(
+                "row " + std::to_string(row) +
+                ": UID array entry for member " + std::to_string(dm) +
+                " is " + entry.ToString() + ", expected " +
+                expected_uid.ToString());
+          }
+        }
+        if (qrec) {
+          Uid entry =
+              pos < qrec->uid_array.size() ? qrec->uid_array[pos] : Uid();
+          if (entry != expected_uid) {
+            return Status::Internal(
+                "row " + std::to_string(row) +
+                ": Q UID array entry for member " + std::to_string(dm) +
+                " is " + entry.ToString() + ", expected " +
+                expected_uid.ToString());
+          }
         }
       }
     }
     if (!verifiable) continue;
-    if (expected != prec->data) {
+    if (prec && expected != prec->data) {
       return Status::Internal("row " + std::to_string(row) +
                               ": parity does not equal XOR of logical data "
                               "values");
+    }
+    if (qrec && expected_q != qrec->data) {
+      return Status::Internal("row " + std::to_string(row) +
+                              ": Q parity does not equal the GF(256) sum of "
+                              "logical data values");
     }
   }
   return Status::OK();

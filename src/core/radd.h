@@ -1,5 +1,7 @@
-// RaddGroup — the paper's RADD algorithms (§3) over one group of G + 2
-// sites, in a synchronous (direct-call) form with exact accounting of
+// RaddGroup — the paper's RADD algorithms (§3) over one group of
+// G + 1 + parities sites (G + 2 for the paper's single parity, G + 3 for
+// the P+Q double-failure scheme), in a synchronous (direct-call) form
+// with exact accounting of
 // Table-1 operations. The message-driven protocol implementation that runs
 // the same algorithms over the simulated network lives in core/node.h.
 //
@@ -39,8 +41,13 @@ namespace radd {
 
 /// Tuning knobs for a RADD group.
 struct RaddConfig {
-  /// The paper's G. The group then has G + 2 members.
+  /// The paper's G. The group then has G + 1 + parities members.
   int group_size = 8;
+  /// Rotating parity roles per row: 1 is the paper's single XOR parity
+  /// (G + 2 members); 2 adds the GF(256) Reed-Solomon Q parity
+  /// (common/gf256.h) for double-failure tolerance — any two dead members
+  /// per row remain decodable.
+  int parities = 1;
   /// Physical rows per member used by this group.
   BlockNum rows = 60;
   size_t block_size = Block::kDefaultSize;
@@ -208,10 +215,15 @@ class RaddGroup {
   /// recovering and the block is not lost to a disk failure).
   bool BlockReadable(int m, BlockNum row) const;
 
-  /// §3.3: true when the parity row's UID array records a write for
+  /// §3.3: true when a parity row's UID array records a write for
   /// `home` that `local` does not carry and does not postdate — the local
-  /// copy missed an update and must be reconstructed from the parity.
+  /// copy missed an update and must be reconstructed from the parity. In
+  /// dual-parity mode both P's and Q's arrays are consulted; either one
+  /// superseding marks the copy stale.
   bool ParityEntrySupersedes(int home, BlockNum row, Uid local) const;
+  /// The per-parity-member half of ParityEntrySupersedes.
+  bool ParityMemberSupersedes(int pm, int home, BlockNum row,
+                              Uid local) const;
 
   /// §7.2 spare thinning: whether `row` has a spare block at all.
   bool SpareExists(BlockNum row) const;
@@ -228,13 +240,20 @@ class RaddGroup {
   /// Formula (2) reconstruction of member `home`'s block in `row`, with
   /// §3.3 UID validation against the parity block's UID array. On success
   /// also reports the parity array entry for `home` (the logical UID of
-  /// the reconstructed value). Charges G reads into `counts`.
+  /// the reconstructed value). Charges G reads into `counts`. In
+  /// dual-parity mode this dispatches to the two-erasure GF(256) decoder.
   struct Reconstructed {
     Block data{0};
     Uid logical_uid;
   };
   Result<Reconstructed> Reconstruct(SiteId client, int home, BlockNum row,
                                     OpCounts* counts);
+  /// The P+Q decoder: tolerates `home` plus one more erasure among
+  /// {data members, P, Q}. Parity blocks at non-up sites are treated as
+  /// erased (a recovering parity has no authority until swept); a valid
+  /// spare shadowing a data member stands in for its local copy.
+  Result<Reconstructed> ReconstructDual(SiteId client, int home, BlockNum row,
+                                        OpCounts* counts);
 
   /// Applies a parity delta for member `home`'s block in `row` (steps
   /// W2-W4). `issuer` is the site sending the W3 message (the home site
@@ -244,6 +263,18 @@ class RaddGroup {
   /// stats ("radd.parity_dropped").
   void UpdateParity(SiteId issuer, int home, BlockNum row,
                     const ChangeMask& mask, Uid uid, OpCounts* counts);
+  /// One leg of UpdateParity: applies `mask`, scaled by `coeff` (1 for the
+  /// P leg, g^home for the Q leg), to parity member `pm`'s block.
+  void ApplyParityLeg(SiteId issuer, int home, BlockNum row,
+                      const ChangeMask& mask, Uid uid, OpCounts* counts,
+                      int pm, uint8_t coeff);
+
+  /// Dual-parity recovery of a P or Q row: gathers every data member's
+  /// logical value (spare shadow, local block, or decode via the other
+  /// parity) and rebuilds the row when lost or stale. `q_role` selects the
+  /// GF(256) Q sum over the plain XOR.
+  Status RebuildParityRow(int home, BlockNum row, OpCounts* counts,
+                          bool q_role);
 
   /// The degraded (home down / block lost) read path.
   OpResult DegradedRead(SiteId client, int home, BlockNum row);
@@ -252,12 +283,6 @@ class RaddGroup {
   /// The degraded (home down / block lost) write path, W1' + W2-W4.
   OpResult DegradedWrite(SiteId client, int home, BlockNum row,
                          const Block& new_data);
-
-  /// Reads the *current logical value* of member home's block in `row`
-  /// along with the UID the local copy should carry. Used by writes to
-  /// compute correct parity deltas and by recovery.
-  Result<Reconstructed> CurrentValue(SiteId client, int home, BlockNum row,
-                                     OpCounts* counts);
 
   Cluster* cluster_;
   RaddConfig config_;

@@ -22,7 +22,7 @@ Result<std::unique_ptr<RaddVolume>> RaddVolume::Create(
     blocks_per_site[j] =
         static_cast<BlockNum>(config.drives_per_site[j]) * rows;
   }
-  GroupAssigner assigner(config.group.group_size);
+  GroupAssigner assigner(config.group.group_size, config.group.parities);
   RADD_ASSIGN_OR_RETURN(std::vector<DriveGroup> assignment,
                         assigner.AssignBlocks(blocks_per_site, rows));
 
@@ -71,7 +71,8 @@ Result<std::unique_ptr<RaddVolume>> RaddVolume::Create(
   }
 
   const BlockNum data_per_drive =
-      RaddLayout(config.group.group_size).DataBlocksPerSite(rows);
+      RaddLayout(config.group.group_size, config.group.parities)
+          .DataBlocksPerSite(rows);
   return std::unique_ptr<RaddVolume>(
       new RaddVolume(config, std::move(system), std::move(slices),
                      data_per_drive));

@@ -24,6 +24,7 @@ std::string ChaosReport::Summary() const {
                     " reads=" + std::to_string(reads_validated) +
                     " t=" + std::to_string(end_time) + " " + plan;
   if (groups > 1) out += " groups=" + std::to_string(groups);
+  if (parities > 1) out += " scheme=pq";
   if (batched) {
     out += " batches=" + std::to_string(batches_sent) +
            " batch_retx=" + std::to_string(batch_retransmits) +
@@ -45,7 +46,7 @@ ChaosHarness::ChaosHarness(const ChaosConfig& config) : config_(config) {}
 
 ChaosReport ChaosHarness::Run(uint64_t seed) {
   ChaosConfig cfg = config_;
-  const int members = cfg.group_size + 2;
+  const int members = cfg.group_size + 1 + cfg.parities;
   // §4 volume shape: `groups` * (G+2) logical drives spread round-robin
   // over G+1+groups sites. groups == 1 degenerates to the classic one
   // drive per site on G+2 sites, which the assigner maps to the identity
@@ -64,6 +65,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   ChaosReport report;
   report.seed = seed;
   report.groups = cfg.groups;
+  report.parities = cfg.parities;
   report.plan = plan.ToString();
 
   Simulator sim;
@@ -109,6 +111,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   Cluster cluster(site_configs);
   VolumeConfig vc;
   vc.group.group_size = cfg.group_size;
+  vc.group.parities = cfg.parities;
   vc.group.rows = cfg.rows;
   vc.group.block_size = cfg.block_size;
   vc.drives_per_site = drives_per_site;
@@ -356,6 +359,10 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           std::to_string(ep.member) + " duration=" +
           std::to_string(ep.duration) + " offset=" +
           std::to_string(ep.fault_offset));
+    ++report.injected_by_kind[std::string(FaultKindName(ep.kind))];
+    if (ep.second_member >= 0) {
+      ++report.injected_by_kind[std::string(FaultKindName(ep.second_kind))];
+    }
 
     // The fault strikes mid-window, landing on in-flight operations
     // (including writes between W1 and the parity ack).
@@ -458,6 +465,56 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
       }
     });
 
+    // Double-failure schedules (dual-parity mode): the second strike lands
+    // on a different site, either inside the window (two overlapping
+    // outages under live traffic) or after it (crash-during-recovery: the
+    // first fault's drain / sweep is running when the second site dies).
+    if (ep.second_member >= 0) {
+      const SiteId target2 = static_cast<SiteId>(ep.second_member);
+      sim.At(t0 + ep.second_offset, [&, ep, target2]() {
+        trace("second fault strikes: " +
+              std::string(FaultKindName(ep.second_kind)) + "@m" +
+              std::to_string(ep.second_member));
+        switch (ep.second_kind) {
+          case FaultKind::kCrashRestart:
+            if (cfg.autopilot) {
+              (void)service->InjectCrash(target2);
+            } else {
+              (void)cluster.CrashSite(target2);
+              sys.ResetNodeVolatileState(target2);
+            }
+            break;
+          case FaultKind::kDisaster:
+            if (cfg.autopilot) {
+              (void)service->InjectDisaster(target2);
+            } else {
+              (void)cluster.DisasterSite(target2);
+              sys.ResetNodeVolatileState(target2);
+            }
+            break;
+          case FaultKind::kDiskFailure:
+            if (cfg.autopilot) {
+              (void)service->InjectDiskFailure(target2, 0);
+            } else {
+              (void)cluster.FailDisk(target2, 0);
+            }
+            break;
+          default:
+            break;
+        }
+        if (cfg.autopilot && (ep.second_kind == FaultKind::kCrashRestart ||
+                              ep.second_kind == FaultKind::kDisaster)) {
+          // The second site reboots on its own schedule, independent of
+          // the primary's window-end restart. (NotifyRestart no-ops if the
+          // service already rejoined it.)
+          sim.At(sim.Now() + cfg.restart_delay, [&, target2]() {
+            trace("restart s" + std::to_string(target2));
+            (void)service->NotifyRestart(target2);
+          });
+        }
+      });
+    }
+
     // Client traffic throughout the window.
     for (int i = 0; i < cfg.ops_per_episode; ++i) {
       const SimTime when = t0 + traffic.Uniform(ep.duration);
@@ -523,6 +580,12 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           (void)service->NotifyRestart(target);
         });
       }
+      // A crash-during-recovery second fault lands after the window; make
+      // sure it has actually fired before judging convergence, or a fast
+      // settle would leak the strike into the next episode.
+      if (ep.second_member >= 0 && ep.second_offset > ep.duration) {
+        sim.RunUntil(std::max(sim.Now(), t0 + ep.second_offset));
+      }
       // Convergence: run until every site is kUp and all traffic has
       // drained, within the sim-time budget. sim.Run() would never return
       // here (heartbeats reschedule forever), so run in slices and check.
@@ -576,10 +639,10 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
       // Every group hosting a drive of the failed site runs its own sweep;
       // the site is marked up by the last one (§4, RaddGroup::RunRecovery's
       // mark_up contract).
-      auto recover_site = [&]() {
+      auto recover_site = [&](SiteId s) {
         std::vector<std::pair<int, int>> slices;  // (group, member)
         for (int g = 0; g < vol.num_groups(); ++g) {
-          const int m = vol.group(g)->MemberAtSite(target);
+          const int m = vol.group(g)->MemberAtSite(s);
           if (m >= 0) slices.push_back({g, m});
         }
         for (size_t i = 0; i < slices.size(); ++i) {
@@ -598,18 +661,43 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
         case FaultKind::kPartition:
         case FaultKind::kAsymPartition:
           (void)cluster.RestoreSite(target);
-          recover_site();
+          recover_site(target);
           break;
         case FaultKind::kDiskFailure:
-          recover_site();
+          recover_site(target);
           break;
         default:
           break;
+      }
+      // The double-failure episode's second site is repaired *after* the
+      // primary, so the primary's sweep itself runs with two erasures
+      // outstanding when the windows overlap — exactly the case the P+Q
+      // decode must carry.
+      if (ep.second_member >= 0 && failure.empty()) {
+        const SiteId target2 = static_cast<SiteId>(ep.second_member);
+        switch (ep.second_kind) {
+          case FaultKind::kCrashRestart:
+          case FaultKind::kDisaster:
+            (void)cluster.RestoreSite(target2);
+            recover_site(target2);
+            break;
+          case FaultKind::kDiskFailure:
+            recover_site(target2);
+            break;
+          default:
+            break;
+        }
       }
     }
     if (!failure.empty()) break;
     trace("repair + invariant check");
     repair_and_check();
+    if (failure.empty()) {
+      ++report.survived_by_kind[std::string(FaultKindName(ep.kind))];
+      if (ep.second_member >= 0) {
+        ++report.survived_by_kind[std::string(FaultKindName(ep.second_kind))];
+      }
+    }
   }
 
   if (detector) detector->Stop();

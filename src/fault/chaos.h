@@ -23,6 +23,7 @@
 #define RADD_FAULT_CHAOS_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 #include "cluster/heartbeat.h"
@@ -34,7 +35,12 @@ namespace radd {
 
 /// Shape of the cluster and traffic one chaos schedule runs against.
 struct ChaosConfig {
-  int group_size = 4;  ///< G; each group has G + 2 members
+  int group_size = 4;  ///< G; each group has G + 1 + parities members
+  /// Parity legs per row: 1 = the paper's single parity, 2 = the P+Q
+  /// Reed-Solomon scheme (two-erasure tolerant). Groups grow to G+3
+  /// members; combine with FaultPlanConfig::double_faults for schedules
+  /// that kill two sites at once.
+  int parities = 1;
   /// RADD groups in the volume (§4 sharding). 1 = the classic single-group
   /// harness (bit-identical summaries to the pre-volume harness); N > 1
   /// spreads N*(G+2) logical drives round-robin over G+1+N sites, so every
@@ -86,7 +92,8 @@ struct ChaosConfig {
 /// Outcome of one seeded schedule.
 struct ChaosReport {
   uint64_t seed = 0;
-  int groups = 1;  ///< volume width; Summary mentions it only when > 1
+  int groups = 1;    ///< volume width; Summary mentions it only when > 1
+  int parities = 1;  ///< Summary says "scheme=pq" only when 2
   bool ok = false;
   std::string failure;  ///< first violated invariant (empty when ok)
   std::string plan;     ///< FaultPlan::ToString of the schedule
@@ -110,6 +117,14 @@ struct ChaosReport {
   bool frame_codec = false;
   uint64_t frames_encoded = 0;
   uint64_t frames_rejected = 0;  ///< must stay 0: the codec is lossless
+
+  /// Per-kind fault accounting for the end-of-sweep table: how many
+  /// faults of each kind were injected (second faults of double-failure
+  /// episodes count separately) and how many the schedule survived (the
+  /// episode's repair-and-check passed). Never part of Summary, so the
+  /// replayability digest is unchanged.
+  std::map<std::string, uint64_t> injected_by_kind;
+  std::map<std::string, uint64_t> survived_by_kind;
 
   /// Autopilot-mode self-healing metrics (all zero otherwise).
   bool autopilot = false;

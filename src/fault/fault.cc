@@ -70,6 +70,43 @@ FaultPlan FaultPlan::Random(uint64_t seed, const FaultPlanConfig& config) {
     ep.asym_inbound = rng.Uniform(2) == 1;
     plan.episodes.push_back(ep);
   }
+
+  if (config.double_faults && config.members > 1) {
+    // Second faults ride their own stream, drawn after the whole base
+    // schedule: a seed's single-failure plan never shifts when this mode
+    // turns on, so pq chaos failures bisect cleanly against single-parity
+    // runs of the same seed.
+    Rng second(seed ^ 0x64626c6632ull);
+    constexpr FaultKind kSiteKinds[] = {
+        FaultKind::kCrashRestart,
+        FaultKind::kDisaster,
+        FaultKind::kDiskFailure,
+    };
+    for (Episode& ep : plan.episodes) {
+      const bool site_fault = ep.kind == FaultKind::kCrashRestart ||
+                              ep.kind == FaultKind::kDisaster ||
+                              ep.kind == FaultKind::kDiskFailure;
+      // Every field is drawn unconditionally so one episode's eligibility
+      // never shifts another's draws.
+      const bool attach = second.Bernoulli(0.75);
+      int m2 = static_cast<int>(
+          second.Uniform(static_cast<uint64_t>(config.members - 1)));
+      if (m2 >= ep.member) ++m2;  // any site but the first fault's target
+      const FaultKind k2 = kSiteKinds[second.Uniform(std::size(kSiteKinds))];
+      // Two shapes: overlapping windows (both sites dead at once, mid
+      // traffic) or crash-during-recovery (the second strike lands after
+      // the window, while the first fault's drain/sweep is running).
+      const bool during_recovery = second.Bernoulli(0.4);
+      const SimTime off2 =
+          during_recovery
+              ? ep.duration + second.UniformRange(0, ep.duration / 4)
+              : second.UniformRange(ep.fault_offset, ep.duration);
+      if (!site_fault || !attach) continue;
+      ep.second_member = m2;
+      ep.second_kind = k2;
+      ep.second_offset = off2;
+    }
+  }
   return plan;
 }
 
@@ -82,6 +119,11 @@ std::string FaultPlan::ToString() const {
     }
     out += "@m" + std::to_string(ep.member) + "/" +
            std::to_string(ToMillis(ep.duration)) + "ms";
+    if (ep.second_member >= 0) {
+      out += "+" + std::string(FaultKindName(ep.second_kind)) + "@m" +
+             std::to_string(ep.second_member) +
+             (ep.second_offset >= ep.duration ? "(recovery)" : "(overlap)");
+    }
   }
   return out;
 }

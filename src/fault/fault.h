@@ -56,6 +56,15 @@ struct Episode {
   /// false = its *outbound* links are cut (it hears everything, but its
   /// messages, heartbeats included, vanish — peers suspect and fence it).
   bool asym_inbound = false;
+
+  /// Double-failure schedules (FaultPlanConfig::double_faults): a second,
+  /// overlapping site fault. second_member < 0 means none. The second
+  /// offset may exceed `duration`, which lands the fault *after* the
+  /// traffic window — during the drain / recovery / background sweep of
+  /// the first fault (the crash-during-recovery shape).
+  int second_member = -1;
+  FaultKind second_kind = FaultKind::kCrashRestart;
+  SimTime second_offset = 0;
 };
 
 /// Knobs for FaultPlan::Random.
@@ -69,6 +78,11 @@ struct FaultPlanConfig {
   double drop_probability = 0.02;
   double duplicate_probability = 0.03;
   SimTime reorder_jitter = Millis(40);
+  /// Double-failure mode (dual-parity schemes): site-killing episodes gain
+  /// a second overlapping crash/disaster/disk-failure on a different site.
+  /// Drawn from a separate RNG stream *after* the base schedule, so a
+  /// seed's single-failure plan is bit-identical with this off or on.
+  bool double_faults = false;
 };
 
 /// A full seeded schedule.

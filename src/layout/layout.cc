@@ -12,41 +12,62 @@ std::string_view BlockRoleName(BlockRole role) {
       return "data";
     case BlockRole::kParity:
       return "parity";
+    case BlockRole::kParityQ:
+      return "q-parity";
     case BlockRole::kSpare:
       return "spare";
   }
   return "?";
 }
 
-RaddLayout::RaddLayout(int group_size) : g_(group_size) {
+RaddLayout::RaddLayout(int group_size, int parities)
+    : g_(group_size), parities_(parities) {
   assert(group_size >= 1);
+  assert(parities >= 1 && parities <= 2);
 }
 
 BlockRole RaddLayout::RoleOf(SiteId site, BlockNum row) const {
   const BlockNum n = static_cast<BlockNum>(num_sites());
-  // i = (K - J - 1) mod (G+2), computed without underflow.
+  // i = (K - J - 1) mod n, computed without underflow.
   BlockNum i = (row % n + n + n - static_cast<BlockNum>(site) - 1) % n;
   if (i < static_cast<BlockNum>(g_)) return BlockRole::kData;
   if (i == static_cast<BlockNum>(g_)) return BlockRole::kSpare;
-  return BlockRole::kParity;
+  if (i == n - 1) return BlockRole::kParity;
+  return BlockRole::kParityQ;
 }
 
+namespace {
+/// The non-data rows of site J's column within one n-row cycle: its
+/// parity row (r = J), its Q row ((J-1) mod n, dual parity only) and its
+/// spare row ((J - parities) mod n) — a contiguous run of parities+1
+/// rows ending at J, returned in ascending order.
+void SkipRows(SiteId site, BlockNum n, int parities, BlockNum* skips,
+              int* num_skips) {
+  *num_skips = parities + 1;
+  for (int k = 0; k <= parities; ++k) {
+    skips[k] =
+        (static_cast<BlockNum>(site) + n - static_cast<BlockNum>(k)) % n;
+  }
+  std::sort(skips, skips + *num_skips);
+}
+}  // namespace
+
 BlockNum RaddLayout::DataToRow(SiteId site, BlockNum data_index) const {
-  // Within each (G+2)-row cycle, site J's column skips exactly two rows:
-  // its parity row (r = J) and its spare row (r = (J-1) mod (G+2)); the
-  // remaining rows carry data blocks numbered densely top to bottom
-  // (Fig. 1's 0,1,2,... down each column).
+  // Within each n-row cycle, site J's column skips its parity/Q/spare
+  // rows; the remaining rows carry data blocks numbered densely top to
+  // bottom (Fig. 1's 0,1,2,... down each column). Inserting past the
+  // ascending skip list turns data index i into its row offset.
   const BlockNum n = static_cast<BlockNum>(num_sites());
   const BlockNum g = static_cast<BlockNum>(g_);
   BlockNum cycle = data_index / g;
   BlockNum i = data_index % g;
-  BlockNum parity_row = static_cast<BlockNum>(site) % n;
-  BlockNum spare_row = (static_cast<BlockNum>(site) + n - 1) % n;
-  BlockNum a = std::min(parity_row, spare_row);
-  BlockNum b = std::max(parity_row, spare_row);
+  BlockNum skips[3];
+  int num_skips = 0;
+  SkipRows(site, n, parities_, skips, &num_skips);
   BlockNum r = i;
-  if (r >= a) ++r;
-  if (r >= b) ++r;
+  for (int k = 0; k < num_skips; ++k) {
+    if (r >= skips[k]) ++r;
+  }
   return n * cycle + r;
 }
 
@@ -54,18 +75,19 @@ Result<BlockNum> RaddLayout::RowToData(SiteId site, BlockNum row) const {
   const BlockNum n = static_cast<BlockNum>(num_sites());
   const BlockNum g = static_cast<BlockNum>(g_);
   BlockNum r = row % n;
-  BlockNum parity_row = static_cast<BlockNum>(site) % n;
-  BlockNum spare_row = (static_cast<BlockNum>(site) + n - 1) % n;
-  if (r == parity_row || r == spare_row) {
-    return Status::InvalidArgument(
-        "row " + std::to_string(row) + " is the " +
-        std::string(BlockRoleName(r == spare_row ? BlockRole::kSpare
-                                                 : BlockRole::kParity)) +
-        " block at site " + std::to_string(site));
-  }
+  BlockNum skips[3];
+  int num_skips = 0;
+  SkipRows(site, n, parities_, skips, &num_skips);
   BlockNum i = r;
-  if (r > parity_row) --i;
-  if (r > spare_row) --i;
+  for (int k = 0; k < num_skips; ++k) {
+    if (r == skips[k]) {
+      return Status::InvalidArgument(
+          "row " + std::to_string(row) + " is the " +
+          std::string(BlockRoleName(RoleOf(site, row))) + " block at site " +
+          std::to_string(site));
+    }
+    if (r > skips[k]) --i;
+  }
   return (row / n) * g + i;
 }
 
@@ -97,7 +119,7 @@ std::vector<SiteId> RaddLayout::ReconstructionSources(SiteId failed_site,
 
 Result<std::vector<DriveGroup>> GroupAssigner::Assign(
     const std::vector<int>& drives_per_site) const {
-  const int members = g_ + 2;
+  const int members = g_ + 1 + parities_;
   long total = 0;
   int max_drives = 0;
   for (int n : drives_per_site) {
@@ -109,7 +131,7 @@ Result<std::vector<DriveGroup>> GroupAssigner::Assign(
   if (total % members != 0) {
     return Status::InvalidArgument(
         "total drives " + std::to_string(total) +
-        " is not a multiple of G+2 = " + std::to_string(members));
+        " is not a multiple of the group width " + std::to_string(members));
   }
   const long a = total / members;  // the paper's constant A
   if (max_drives > a) {
@@ -136,7 +158,8 @@ Result<std::vector<DriveGroup>> GroupAssigner::Assign(
     if (order.size() < static_cast<size_t>(members) ||
         remaining[order[static_cast<size_t>(members) - 1]] <= 0) {
       return Status::InvalidArgument(
-          "fewer than G+2 sites still own drives in round " +
+          "fewer than " + std::to_string(members) +
+          " sites still own drives in round " +
           std::to_string(round));
     }
     DriveGroup group;

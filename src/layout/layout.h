@@ -1,19 +1,24 @@
 // The RADD block layout (paper Fig. 1) and the heterogeneous-site grouping
 // algorithm (paper §4).
 //
-// A RADD group has G + 2 sites. Physical blocks at the same address K on
-// every site form a *row*. In row K:
-//   * site  K      mod (G+2) holds the row's parity block (P),
-//   * site (K + 1) mod (G+2) holds the row's spare block  (S),
+// A RADD group has G + 1 + P sites, where P is the number of rotating
+// parity roles (1 in the paper; 2 for the P+Q double-failure scheme).
+// Physical blocks at the same address K on every site form a *row*. In
+// row K of an n = G+1+P site group:
+//   * site  K      mod n holds the row's parity block (P),
+//   * site (K + 1) mod n holds the row's Q parity when P == 2,
+//   * site (K + P) mod n holds the row's spare block (S),
 //   * the remaining G sites hold data blocks.
-// Each site numbers its own data blocks 0, 1, 2, ... down its column.
+// With P == 1 this is exactly the paper's Fig. 1 (n = G+2, spare at
+// K+1); each site numbers its own data blocks 0, 1, 2, ... down its
+// column either way.
 //
 // Closed forms (generalizing the paper's S[1] example):
-//   row(J, I)  = (G+2) * (I div G)  +  (J + 1 + (I mod G)) mod (G+2)
-//   role(J, K) : let i = (K - J - 1) mod (G+2);
-//                i < G  -> data block I = (K div (G+2)) * G + i
-//                i == G -> spare
-//                i == G+1 -> parity
+//   role(J, K) : let i = (K - J - 1) mod n;
+//                i < G    -> data block I = (K div n) * G + i
+//                i == G   -> spare
+//                i == G+1 -> Q parity   (P == 2 only)
+//                i == n-1 -> parity
 
 #ifndef RADD_LAYOUT_LAYOUT_H_
 #define RADD_LAYOUT_LAYOUT_H_
@@ -29,29 +34,41 @@
 namespace radd {
 
 /// What a given physical block is used for at a given site.
-enum class BlockRole { kData, kParity, kSpare };
+enum class BlockRole { kData, kParity, kParityQ, kSpare };
 
 std::string_view BlockRoleName(BlockRole role);
 
-/// Layout math for one RADD group of `group_size` + 2 sites.
+/// Layout math for one RADD group of `group_size` + 1 + `parities` sites.
 class RaddLayout {
  public:
-  /// `group_size` is the paper's G (>= 1).
-  explicit RaddLayout(int group_size);
+  /// `group_size` is the paper's G (>= 1); `parities` is 1 for the
+  /// paper's single rotating parity, 2 for the P+Q scheme.
+  explicit RaddLayout(int group_size, int parities = 1);
 
   int group_size() const { return g_; }
-  /// Number of sites in the group: G + 2.
-  int num_sites() const { return g_ + 2; }
+  int parities() const { return parities_; }
+  bool dual_parity() const { return parities_ == 2; }
+  /// Number of sites in the group: G + 1 + parities.
+  int num_sites() const { return g_ + 1 + parities_; }
 
-  /// Site holding the parity block of row `row` (A = K mod (G+2)).
+  /// Site holding the parity block of row `row` (A = K mod n).
   SiteId ParitySite(BlockNum row) const {
     return static_cast<SiteId>(row % static_cast<BlockNum>(num_sites()));
   }
 
-  /// Site holding the spare block of row `row` (A' = (K+1) mod (G+2)).
-  SiteId SpareSite(BlockNum row) const {
+  /// Site holding the Q parity block of row `row` ((K+1) mod n). Only
+  /// meaningful when dual_parity().
+  SiteId QParitySite(BlockNum row) const {
     return static_cast<SiteId>((row + 1) %
                                static_cast<BlockNum>(num_sites()));
+  }
+
+  /// Site holding the spare block of row `row` ((K + parities) mod n;
+  /// the paper's A' = (K+1) mod (G+2) when parities == 1).
+  SiteId SpareSite(BlockNum row) const {
+    return static_cast<SiteId>(
+        (row + static_cast<BlockNum>(parities_)) %
+        static_cast<BlockNum>(num_sites()));
   }
 
   /// Role of physical block `row` at `site`.
@@ -68,9 +85,11 @@ class RaddLayout {
   /// The G sites holding data in `row`, in site order.
   std::vector<SiteId> DataSites(BlockNum row) const;
 
-  /// All sites except `site` in `row`'s group — the blocks XORed together
-  /// by formula (2) when `site`'s copy must be reconstructed. The spare
-  /// site's block is excluded (it holds no parity-covered content).
+  /// All sites except `site` in `row`'s group — the blocks combined by
+  /// formula (2) (or its two-erasure GF(256) generalization) when
+  /// `site`'s copy must be reconstructed. The spare site's block is
+  /// excluded (it holds no parity-covered content); in dual-parity mode
+  /// the Q site is included and decoders weight it by role.
   std::vector<SiteId> ReconstructionSources(SiteId failed_site,
                                             BlockNum row) const;
 
@@ -91,6 +110,7 @@ class RaddLayout {
 
  private:
   int g_;
+  int parities_;
 };
 
 /// One logical drive: `drive_blocks` blocks carved out of a site's disk
@@ -115,7 +135,8 @@ struct DriveGroup {
 /// drive from each of the G+2 sites with the most remaining drives.
 class GroupAssigner {
  public:
-  explicit GroupAssigner(int group_size) : g_(group_size) {}
+  explicit GroupAssigner(int group_size, int parities = 1)
+      : g_(group_size), parities_(parities) {}
 
   /// Assigns `drives_per_site[j]` drives of site j into groups. Fails with
   /// InvalidArgument when the paper's preconditions are violated (total
@@ -133,6 +154,7 @@ class GroupAssigner {
 
  private:
   int g_;
+  int parities_;
 };
 
 }  // namespace radd

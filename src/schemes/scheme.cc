@@ -54,22 +54,26 @@ std::string_view ScenarioName(Scenario s) {
 
 class RaddScheme : public Scheme {
  public:
-  RaddScheme(std::string name, int g) : name_(std::move(name)), g_(g) {}
+  RaddScheme(std::string name, int g, int parities = 1)
+      : name_(std::move(name)), g_(g), parities_(parities) {}
 
   std::string name() const override { return name_; }
 
   double SpaceOverheadPercent() const override {
-    // Per (G+2)-row cycle: G data blocks, 1 parity, 1 spare per site.
-    return 100.0 * 2.0 / static_cast<double>(g_);
+    // Per (G+1+parities)-row cycle: G data blocks, `parities` parity
+    // blocks, 1 spare per site. Single parity: 2/G; P+Q: 3/G.
+    return 100.0 * static_cast<double>(1 + parities_) /
+           static_cast<double>(g_);
   }
 
   std::optional<OpCounts> Measure(Scenario scenario) override {
     RaddConfig config;
     config.group_size = g_;
-    config.rows = static_cast<BlockNum>(g_ + 2);
+    config.parities = parities_;
+    config.rows = static_cast<BlockNum>(g_ + 1 + parities_);
     config.block_size = kProbeBlockSize;
     SiteConfig sc{1, config.rows, config.block_size};
-    Cluster cluster(g_ + 2, sc);
+    Cluster cluster(g_ + 1 + parities_, sc);
     RaddGroup group(&cluster, config);
 
     // The probe block: member 2's data block 0, client at its own site.
@@ -124,6 +128,7 @@ class RaddScheme : public Scheme {
  private:
   std::string name_;
   int g_;
+  int parities_;
 };
 
 // ---------------------------------------------------------------------------
@@ -457,6 +462,11 @@ std::unique_ptr<Scheme> MakeTwoDRaddScheme(int g) {
 }
 std::unique_ptr<Scheme> MakeHalfRaddScheme(int g) {
   return std::make_unique<RaddScheme>("1/2-RADD", g / 2);
+}
+std::unique_ptr<Scheme> MakePqRaddScheme(int g) {
+  // Not part of MakeAllSchemes: P+Q is this repo's extension, not one of
+  // the paper's six comparison systems, so Figures 2/3/4 stay unchanged.
+  return std::make_unique<RaddScheme>("P+Q RADD", g, /*parities=*/2);
 }
 
 std::vector<std::unique_ptr<Scheme>> MakeAllSchemes(int g) {

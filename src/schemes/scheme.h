@@ -75,6 +75,11 @@ std::unique_ptr<Scheme> MakeCRaidScheme(int g, int local_g);
 std::unique_ptr<Scheme> MakeTwoDRaddScheme(int g);
 std::unique_ptr<Scheme> MakeHalfRaddScheme(int g);
 
+/// P+Q RADD: this repo's double-failure-tolerant extension (G + 3 members:
+/// G data, XOR P, GF(256) Reed-Solomon Q, spare). Deliberately not part of
+/// MakeAllSchemes so the paper's Figure 2/3/4 outputs are unchanged.
+std::unique_ptr<Scheme> MakePqRaddScheme(int g);
+
 }  // namespace radd
 
 #endif  // RADD_SCHEMES_SCHEME_H_

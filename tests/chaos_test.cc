@@ -45,6 +45,50 @@ TEST(FaultPlan, GuaranteesCrashAndLatentCoverage) {
   }
 }
 
+TEST(FaultPlan, DoubleFaultsLeaveBaseScheduleUnchanged) {
+  // Second faults ride a separate RNG stream drawn after the base
+  // schedule, so turning the mode on must not shift any base field.
+  FaultPlanConfig cfg;
+  FaultPlan off = FaultPlan::Random(42, cfg);
+  cfg.double_faults = true;
+  FaultPlan on = FaultPlan::Random(42, cfg);
+  ASSERT_EQ(off.episodes.size(), on.episodes.size());
+  for (size_t i = 0; i < off.episodes.size(); ++i) {
+    EXPECT_EQ(off.episodes[i].kind, on.episodes[i].kind);
+    EXPECT_EQ(off.episodes[i].member, on.episodes[i].member);
+    EXPECT_EQ(off.episodes[i].duration, on.episodes[i].duration);
+    EXPECT_EQ(off.episodes[i].fault_offset, on.episodes[i].fault_offset);
+    EXPECT_EQ(off.episodes[i].second_member, -1);
+  }
+}
+
+TEST(FaultPlan, DoubleFaultsTargetDistinctSitesWithSaneOffsets) {
+  FaultPlanConfig cfg;
+  cfg.double_faults = true;
+  int attached = 0;
+  for (uint64_t seed = 1; seed <= 20; ++seed) {
+    FaultPlan p = FaultPlan::Random(seed, cfg);
+    for (const Episode& e : p.episodes) {
+      if (e.second_member < 0) continue;
+      ++attached;
+      // Only site-killing kinds gain a second strike, on a different site.
+      EXPECT_TRUE(e.kind == FaultKind::kCrashRestart ||
+                  e.kind == FaultKind::kDisaster ||
+                  e.kind == FaultKind::kDiskFailure);
+      EXPECT_NE(e.second_member, e.member);
+      EXPECT_LT(e.second_member, cfg.members);
+      EXPECT_TRUE(e.second_kind == FaultKind::kCrashRestart ||
+                  e.second_kind == FaultKind::kDisaster ||
+                  e.second_kind == FaultKind::kDiskFailure);
+      EXPECT_GE(e.second_offset, e.fault_offset);
+      // Either overlapping the window or during recovery, never later than
+      // a quarter-window past it.
+      EXPECT_LE(e.second_offset, e.duration + e.duration / 4);
+    }
+  }
+  EXPECT_GT(attached, 0) << "no schedule gained a second fault";
+}
+
 // ---------------------------------------------------------------------------
 // ChaosHarness: random schedules hold the invariants, and replay exactly.
 // ---------------------------------------------------------------------------
@@ -99,6 +143,57 @@ TEST(ChaosHarness, AutopilotReplayIsDeterministic) {
   ChaosReport b = harness.Run(7);
   EXPECT_EQ(a.Summary(), b.Summary());
   EXPECT_EQ(a.plan, b.plan);
+}
+
+// ---------------------------------------------------------------------------
+// P+Q double-failure schedules: two sites die per episode and the ledger
+// still balances.
+// ---------------------------------------------------------------------------
+
+TEST(ChaosHarness, PqDoubleFailureSchedulesHoldInvariants) {
+  ChaosConfig cfg;
+  cfg.parities = 2;
+  cfg.plan.double_faults = true;
+  ChaosHarness harness(cfg);
+  bool saw_double = false;
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ChaosReport r = harness.Run(seed);
+    EXPECT_TRUE(r.ok) << r.Summary() << "\n" << r.plan;
+    EXPECT_EQ(r.parities, 2);
+    EXPECT_NE(r.Summary().find("scheme=pq"), std::string::npos);
+    // Every injected fault of an ok schedule was survived.
+    uint64_t injected = 0, survived = 0;
+    for (const auto& [kind, n] : r.injected_by_kind) injected += n;
+    for (const auto& [kind, n] : r.survived_by_kind) survived += n;
+    EXPECT_EQ(injected, survived) << r.Summary();
+    saw_double = saw_double || r.plan.find("+") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_double) << "no schedule exercised a second fault";
+}
+
+TEST(ChaosHarness, PqAutopilotConvergesThroughDoubleFailures) {
+  ChaosConfig cfg;
+  cfg.parities = 2;
+  cfg.plan.double_faults = true;
+  cfg.autopilot = true;
+  ChaosHarness harness(cfg);
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    ChaosReport r = harness.Run(seed);
+    EXPECT_TRUE(r.ok) << r.Summary() << "\n" << r.plan;
+    EXPECT_TRUE(r.autopilot);
+    EXPECT_GT(r.sweep_rows, 0u);
+    EXPECT_LE(r.convergence_max, cfg.convergence_budget);
+  }
+}
+
+TEST(ChaosHarness, PqReplayIsDeterministic) {
+  ChaosConfig cfg;
+  cfg.parities = 2;
+  cfg.plan.double_faults = true;
+  ChaosHarness harness(cfg);
+  ChaosReport a = harness.Run(12);
+  ChaosReport b = harness.Run(12);
+  EXPECT_EQ(a.Summary(), b.Summary());
 }
 
 // ---------------------------------------------------------------------------

@@ -218,7 +218,7 @@ TEST_F(NetworkTest, PayloadRoundTrips) {
   m.from = 0;
   m.to = 1;
   m.type = MessageType::kReadReq;
-  m.payload = ReadReq{42, 0};
+  m.payload = ReadReq{42, 0, 0};
   net_.Send(std::move(m));
   sim_.Run();
   EXPECT_EQ(got, 42u);

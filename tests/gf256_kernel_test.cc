@@ -1,0 +1,317 @@
+// The GF(256) word-at-a-time kernels against byte-wise table references,
+// at awkward sizes and alignments (mirroring block_kernel_test.cc), plus
+// field axioms and P+Q encode/decode round trips for every 2-erasure
+// pattern: {data, data}, {data, P}, {data, Q}, {P, Q}.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/block.h"
+#include "common/gf256.h"
+#include "common/rng.h"
+
+namespace radd {
+namespace {
+
+const size_t kAwkwardSizes[] = {0, 1, 7, 8, 9, 15, 63, 64, 65,
+                                511, 4095, 4096, 4097};
+
+Block RandomBlock(size_t n, Rng* rng) {
+  Block b(n);
+  for (size_t i = 0; i < n; ++i) {
+    b[i] = static_cast<uint8_t>(rng->Uniform(256));
+  }
+  return b;
+}
+
+// --- byte-wise reference ---------------------------------------------------
+
+/// Schoolbook multiply over 0x11d, one shift-and-conditionally-reduce per
+/// bit — deliberately independent of both the exp/log tables and the
+/// bitsliced word path.
+uint8_t ReferenceMul(uint8_t a, uint8_t b) {
+  uint8_t acc = 0;
+  while (b != 0) {
+    if (b & 1) acc ^= a;
+    uint8_t high = a & 0x80;
+    a = static_cast<uint8_t>(a << 1);
+    if (high) a ^= 0x1d;
+    b >>= 1;
+  }
+  return acc;
+}
+
+// --- field axioms ----------------------------------------------------------
+
+TEST(Gf256, MulMatchesSchoolbookExhaustively) {
+  for (int a = 0; a < 256; ++a) {
+    for (int b = 0; b < 256; ++b) {
+      ASSERT_EQ(GfMul(static_cast<uint8_t>(a), static_cast<uint8_t>(b)),
+                ReferenceMul(static_cast<uint8_t>(a),
+                             static_cast<uint8_t>(b)))
+          << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(Gf256, InverseRoundTripsForAllNonzero) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = GfInv(static_cast<uint8_t>(a));
+    EXPECT_EQ(GfMul(static_cast<uint8_t>(a), inv), 1) << "a=" << a;
+    EXPECT_EQ(GfDiv(1, static_cast<uint8_t>(a)), inv) << "a=" << a;
+  }
+}
+
+TEST(Gf256, DivUndoesMul) {
+  Rng rng(3);
+  for (int round = 0; round < 1000; ++round) {
+    uint8_t a = static_cast<uint8_t>(rng.Uniform(256));
+    uint8_t b = static_cast<uint8_t>(1 + rng.Uniform(255));
+    EXPECT_EQ(GfDiv(GfMul(a, b), b), a);
+  }
+}
+
+TEST(Gf256, GeneratorPowersAreDistinct) {
+  // g = 2 is primitive: its first 255 powers enumerate every nonzero
+  // element — which is what makes the member coefficients g^m (and their
+  // pairwise sums) invertible in two-erasure decode.
+  bool seen[256] = {};
+  for (unsigned e = 0; e < 255; ++e) {
+    uint8_t v = GfExp(e);
+    EXPECT_NE(v, 0);
+    EXPECT_FALSE(seen[v]) << "e=" << e;
+    seen[v] = true;
+  }
+  EXPECT_EQ(GfExp(0), 1);
+  EXPECT_EQ(GfExp(255), 1);  // wraps mod 255
+  EXPECT_EQ(GfQCoeff(0), 1);
+  EXPECT_EQ(GfQCoeff(1), 2);
+}
+
+// --- word kernels vs byte references ---------------------------------------
+
+TEST(Gf256Kernel, MulAddBytesMatchesByteReferenceAtAwkwardSizes) {
+  Rng rng(1);
+  for (size_t n : kAwkwardSizes) {
+    for (uint8_t c : {uint8_t{0}, uint8_t{1}, uint8_t{2}, uint8_t{3},
+                      uint8_t{0x1d}, uint8_t{0x80}, uint8_t{0xff}}) {
+      Block dst = RandomBlock(n, &rng);
+      Block src = RandomBlock(n, &rng);
+      Block expected(n);
+      for (size_t i = 0; i < n; ++i) {
+        expected[i] = dst[i] ^ ReferenceMul(src[i], c);
+      }
+      Block got = dst;
+      internal::GfMulAddBytes(got.data(), src.data(), c, n);
+      EXPECT_EQ(got, expected) << "n=" << n << " c=" << int(c);
+    }
+  }
+}
+
+TEST(Gf256Kernel, MulAddBytesAtUnalignedOffsets) {
+  // Drive the kernel at every head misalignment so the word body starts
+  // off an 8-byte boundary; the byte reference must still agree.
+  Rng rng(5);
+  Block dst = RandomBlock(4096 + 16, &rng);
+  Block src = RandomBlock(4096 + 16, &rng);
+  for (size_t off : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{5},
+                     size_t{7}, size_t{8}, size_t{9}, size_t{15}}) {
+    const size_t n = 4096;
+    Block expected = dst;
+    for (size_t i = 0; i < n; ++i) {
+      expected[off + i] =
+          static_cast<uint8_t>(dst[off + i] ^ ReferenceMul(src[off + i], 7));
+    }
+    Block got = dst;
+    internal::GfMulAddBytes(got.data() + off, src.data() + off, 7, n);
+    EXPECT_EQ(got, expected) << "off=" << off;
+  }
+}
+
+TEST(Gf256Kernel, ScaleBytesMatchesByteReferenceAtAwkwardSizes) {
+  Rng rng(9);
+  for (size_t n : kAwkwardSizes) {
+    for (uint8_t c : {uint8_t{0}, uint8_t{1}, uint8_t{2}, uint8_t{0x53},
+                      uint8_t{0xca}, uint8_t{0xff}}) {
+      Block b = RandomBlock(n, &rng);
+      Block expected(n);
+      for (size_t i = 0; i < n; ++i) expected[i] = ReferenceMul(b[i], c);
+      Block got = b;
+      internal::GfScaleBytes(got.data(), c, n);
+      EXPECT_EQ(got, expected) << "n=" << n << " c=" << int(c);
+    }
+  }
+}
+
+TEST(Gf256Kernel, MulAddIntoRejectsMismatchedSizes) {
+  Block dst(16);
+  Block src(8);
+  EXPECT_FALSE(GfMulAddInto(&dst, src, 2).ok());
+}
+
+TEST(Gf256Kernel, ScaleThenScaleByInverseIsIdentity) {
+  Rng rng(13);
+  Block b = RandomBlock(4097, &rng);
+  Block orig = b;
+  GfScaleInPlace(&b, 0x8e);
+  GfScaleInPlace(&b, GfInv(0x8e));
+  EXPECT_EQ(b, orig);
+}
+
+TEST(Gf256Kernel, MulAddDistributesOverXor) {
+  // c*(a ^ b) == c*a ^ c*b — the linearity the delta discipline relies on:
+  // shipping the XOR delta and scaling at the Q site equals re-encoding.
+  Rng rng(17);
+  for (size_t n : {size_t{65}, size_t{4096}}) {
+    Block a = RandomBlock(n, &rng);
+    Block b = RandomBlock(n, &rng);
+    uint8_t c = 0xb7;
+    Block lhs(n);
+    Block axb = a;
+    ASSERT_TRUE(axb.XorWith(b).ok());
+    ASSERT_TRUE(GfMulAddInto(&lhs, axb, c).ok());
+    Block rhs(n);
+    ASSERT_TRUE(GfMulAddInto(&rhs, a, c).ok());
+    ASSERT_TRUE(GfMulAddInto(&rhs, b, c).ok());
+    EXPECT_EQ(lhs, rhs) << "n=" << n;
+  }
+}
+
+// --- P+Q encode/decode round trips -----------------------------------------
+
+/// A miniature P+Q codec over G data blocks with member coefficients
+/// g^m, exercising the same algebra RaddGroup::ReconstructDual uses.
+struct PqCode {
+  std::vector<Block> data;
+  Block p{0};
+  Block q{0};
+
+  static PqCode Encode(const std::vector<Block>& d) {
+    PqCode code;
+    code.data = d;
+    code.p = Block(d[0].size());
+    code.q = Block(d[0].size());
+    for (size_t m = 0; m < d.size(); ++m) {
+      EXPECT_TRUE(code.p.XorWith(d[m]).ok());
+      EXPECT_TRUE(
+          GfMulAddInto(&code.q, d[m], GfQCoeff(static_cast<int>(m))).ok());
+    }
+    return code;
+  }
+
+  /// Recover data member `a` with only P erased alongside it (uses Q).
+  Block DecodeViaQ(size_t a) const {
+    Block sq = q;
+    for (size_t m = 0; m < data.size(); ++m) {
+      if (m == a) continue;
+      EXPECT_TRUE(
+          GfMulAddInto(&sq, data[m], GfQCoeff(static_cast<int>(m))).ok());
+    }
+    GfScaleInPlace(&sq, GfInv(GfQCoeff(static_cast<int>(a))));
+    return sq;
+  }
+
+  /// Recover data member `a` with only Q erased alongside it (uses P).
+  Block DecodeViaP(size_t a) const {
+    Block sp = p;
+    for (size_t m = 0; m < data.size(); ++m) {
+      if (m == a) continue;
+      EXPECT_TRUE(sp.XorWith(data[m]).ok());
+    }
+    return sp;
+  }
+
+  /// Recover data members `a` and `b` (both erased) from P and Q.
+  std::pair<Block, Block> DecodeTwoData(size_t a, size_t b) const {
+    Block sp = p;
+    Block sq = q;
+    for (size_t m = 0; m < data.size(); ++m) {
+      if (m == a || m == b) continue;
+      EXPECT_TRUE(sp.XorWith(data[m]).ok());
+      EXPECT_TRUE(
+          GfMulAddInto(&sq, data[m], GfQCoeff(static_cast<int>(m))).ok());
+    }
+    // (g^b * Sp) ^ Sq = (g^a ^ g^b) * D_a.
+    const uint8_t ca = GfQCoeff(static_cast<int>(a));
+    const uint8_t cb = GfQCoeff(static_cast<int>(b));
+    Block da = sq;
+    EXPECT_TRUE(GfMulAddInto(&da, sp, cb).ok());
+    GfScaleInPlace(&da, GfInv(static_cast<uint8_t>(ca ^ cb)));
+    Block db = sp;
+    EXPECT_TRUE(db.XorWith(da).ok());
+    return {std::move(da), std::move(db)};
+  }
+};
+
+TEST(PqRoundTrip, AllTwoErasurePatternsAtAwkwardSizes) {
+  Rng rng(29);
+  const int g = 5;
+  for (size_t n : {size_t{1}, size_t{9}, size_t{65}, size_t{511},
+                   size_t{4097}}) {
+    std::vector<Block> d;
+    for (int m = 0; m < g; ++m) d.push_back(RandomBlock(n, &rng));
+    PqCode code = PqCode::Encode(d);
+
+    // {data a, data b}: every pair.
+    for (size_t a = 0; a < static_cast<size_t>(g); ++a) {
+      for (size_t b = a + 1; b < static_cast<size_t>(g); ++b) {
+        auto [da, db] = code.DecodeTwoData(a, b);
+        EXPECT_EQ(da, d[a]) << "n=" << n << " a=" << a << " b=" << b;
+        EXPECT_EQ(db, d[b]) << "n=" << n << " a=" << a << " b=" << b;
+      }
+    }
+    // {data, P}: decode via Q.
+    for (size_t a = 0; a < static_cast<size_t>(g); ++a) {
+      EXPECT_EQ(code.DecodeViaQ(a), d[a]) << "n=" << n << " a=" << a;
+    }
+    // {data, Q}: classic formula (2) via P.
+    for (size_t a = 0; a < static_cast<size_t>(g); ++a) {
+      EXPECT_EQ(code.DecodeViaP(a), d[a]) << "n=" << n << " a=" << a;
+    }
+    // {P, Q}: both parities re-encodable from intact data.
+    PqCode again = PqCode::Encode(d);
+    EXPECT_EQ(again.p, code.p);
+    EXPECT_EQ(again.q, code.q);
+  }
+}
+
+TEST(PqRoundTrip, DeltaDisciplineUpdatesBothParities) {
+  // Overwrite one member, ship delta = new ^ old to P, and g^m * delta to
+  // Q; the results must equal a from-scratch re-encode.
+  Rng rng(37);
+  const int g = 7;
+  const size_t n = 4096;
+  std::vector<Block> d;
+  for (int m = 0; m < g; ++m) d.push_back(RandomBlock(n, &rng));
+  PqCode code = PqCode::Encode(d);
+
+  const size_t victim = 3;
+  Block fresh = RandomBlock(n, &rng);
+  Block delta = fresh;
+  ASSERT_TRUE(delta.XorWith(d[victim]).ok());
+
+  ASSERT_TRUE(code.p.XorWith(delta).ok());  // P' = P ^ delta
+  ASSERT_TRUE(GfMulAddInto(&code.q, delta,
+                           GfQCoeff(static_cast<int>(victim)))
+                  .ok());  // Q' = Q ^ g^m * delta
+
+  d[victim] = fresh;
+  PqCode expect = PqCode::Encode(d);
+  EXPECT_EQ(code.p, expect.p);
+  EXPECT_EQ(code.q, expect.q);
+}
+
+TEST(PqRoundTrip, HighMemberIndicesStayInvertible) {
+  // Member indices up to the largest group the simulator runs (well under
+  // 255): g^a ^ g^b must be nonzero for every distinct pair.
+  for (int a = 0; a < 64; ++a) {
+    for (int b = a + 1; b < 64; ++b) {
+      EXPECT_NE(GfQCoeff(a) ^ GfQCoeff(b), 0) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radd

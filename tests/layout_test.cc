@@ -97,6 +97,9 @@ TEST_P(LayoutPropertyTest, EveryRowHasOneParityOneSpareGData) {
           ++parity;
           EXPECT_EQ(layout.ParitySite(row), static_cast<SiteId>(j));
           break;
+        case BlockRole::kParityQ:
+          ADD_FAILURE() << "single-parity layout produced a Q role";
+          break;
         case BlockRole::kSpare:
           ++spare;
           EXPECT_EQ(layout.SpareSite(row), static_cast<SiteId>(j));

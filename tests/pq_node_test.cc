@@ -1,0 +1,189 @@
+// Tests for the dual-parity (P+Q) message-driven protocol layer: writes
+// fan out to both parity sites, Q sites fold in their GF(256) coefficient
+// on apply, and client reconstruction survives two simultaneous failures
+// by picking a decodable plan (P-only, Q-only, or the two-erasure solve).
+
+#include "core/node.h"
+
+#include <gtest/gtest.h>
+
+namespace radd {
+namespace {
+
+class PqNodeTest : public ::testing::Test {
+ protected:
+  PqNodeTest() { Build(); }
+
+  void Build(const NodeConfig& nc = {}) {
+    config_.group_size = 4;
+    config_.parities = 2;
+    config_.rows = 14;
+    config_.block_size = 512;
+    SiteConfig sc{1, config_.rows, config_.block_size};
+    sim_ = std::make_unique<Simulator>();
+    net_ = std::make_unique<Network>(sim_.get(), NetworkModel{}, 0xabc);
+    cluster_ = std::make_unique<Cluster>(7, sc);
+    sys_ = std::make_unique<RaddNodeSystem>(sim_.get(), net_.get(),
+                                            cluster_.get(), config_, nc);
+  }
+
+  Block Pat(uint64_t seed) {
+    Block b(config_.block_size);
+    b.FillPattern(seed);
+    return b;
+  }
+  SiteId SiteOf(int m) { return sys_->group()->SiteOfMember(m); }
+  const RaddLayout& Lay() { return sys_->group()->layout(); }
+  BlockNum RowOf(int m, BlockNum i) {
+    return Lay().DataToRow(static_cast<SiteId>(m), i);
+  }
+  SiteId PSiteOf(BlockNum row) {
+    return SiteOf(static_cast<int>(Lay().ParitySite(row)));
+  }
+  SiteId QSiteOf(BlockNum row) {
+    return SiteOf(static_cast<int>(Lay().QParitySite(row)));
+  }
+  SiteId SpareSiteOf(BlockNum row) {
+    return SiteOf(static_cast<int>(Lay().SpareSite(row)));
+  }
+  /// A client site that is none of the given sites (always exists: at
+  /// most three sites are excluded and the cluster has seven).
+  SiteId OtherSite(std::initializer_list<SiteId> avoid) {
+    for (int m = 0; m < sys_->group()->num_members(); ++m) {
+      SiteId s = SiteOf(m);
+      bool excluded = false;
+      for (SiteId a : avoid) excluded |= (a == s);
+      if (!excluded) return s;
+    }
+    return SiteOf(0);
+  }
+  /// First index of member `home` whose row also has `other` in a data
+  /// role (so crashing both erases two data blocks of one row).
+  BlockNum SharedDataIndex(int home, int other) {
+    for (BlockNum i = 0; i < sys_->group()->DataBlocksPerMember(); ++i) {
+      if (Lay().RoleOf(static_cast<SiteId>(other), RowOf(home, i)) ==
+          BlockRole::kData) {
+        return i;
+      }
+    }
+    ADD_FAILURE() << "no shared data row for members " << home << "/"
+                  << other;
+    return 0;
+  }
+
+  void WriteAll(uint64_t salt = 0) {
+    for (int m = 0; m < sys_->group()->num_members(); ++m) {
+      for (BlockNum i = 0; i < sys_->group()->DataBlocksPerMember(); ++i) {
+        ASSERT_TRUE(sys_->Write(SiteOf(m), m, i,
+                                Pat(salt + uint64_t(m) * 100 + i))
+                        .status.ok());
+      }
+    }
+  }
+
+  RaddConfig config_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<Network> net_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<RaddNodeSystem> sys_;
+};
+
+TEST_F(PqNodeTest, WritesMaintainBothParityInvariants) {
+  WriteAll();
+  sim_->Run();  // drain side effects
+  EXPECT_TRUE(sys_->group()->VerifyInvariants().ok());
+}
+
+TEST_F(PqNodeTest, WriteLatencyUnchangedBySecondParityLeg) {
+  // The P and Q legs run in parallel, so the §5 commit condition costs
+  // one parity round trip even with two parities: W + RW = 105 ms.
+  auto w = sys_->Write(SiteOf(2), 2, 0, Pat(1));
+  ASSERT_TRUE(w.status.ok());
+  EXPECT_EQ(w.latency, Micros(105000));
+}
+
+TEST_F(PqNodeTest, BatchedWritesMaintainBothParityInvariants) {
+  NodeConfig nc;
+  nc.parity_batch.enabled = true;
+  Build(nc);
+  WriteAll();
+  sim_->Run();
+  EXPECT_TRUE(sys_->group()->VerifyInvariants().ok());
+}
+
+TEST_F(PqNodeTest, ReadSurvivesHomePlusSpareCrash) {
+  const BlockNum row = RowOf(2, 0);
+  ASSERT_TRUE(sys_->Write(SiteOf(2), 2, 0, Pat(7)).status.ok());
+  ASSERT_TRUE(cluster_->CrashSite(SiteOf(2)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(SpareSiteOf(row)).ok());
+  SiteId client = OtherSite({SiteOf(2), SpareSiteOf(row)});
+  auto r = sys_->Read(client, 2, 0);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, Pat(7));
+  // The dead spare was skipped, not waited out.
+  EXPECT_GT(sys_->stats().Get("node.read_spare_down"), 0u);
+  EXPECT_GT(sys_->stats().Get("node.degraded_reads"), 0u);
+}
+
+TEST_F(PqNodeTest, ReadSurvivesTwoDataMemberCrashes) {
+  const BlockNum i = SharedDataIndex(2, 3);
+  WriteAll(5);
+  sim_->Run();
+  ASSERT_TRUE(cluster_->CrashSite(SiteOf(2)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(SiteOf(3)).ok());
+  SiteId client = OtherSite({SiteOf(2), SiteOf(3)});
+  auto r = sys_->Read(client, 2, i);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, Pat(5 + 200 + i));
+  EXPECT_GT(sys_->stats().Get("node.recon_two_erasure"), 0u);
+}
+
+TEST_F(PqNodeTest, ReadDecodesViaQWhenPSiteDown) {
+  const BlockNum row = RowOf(2, 0);
+  ASSERT_TRUE(sys_->Write(SiteOf(2), 2, 0, Pat(9)).status.ok());
+  ASSERT_TRUE(cluster_->CrashSite(SiteOf(2)).ok());
+  ASSERT_TRUE(cluster_->CrashSite(PSiteOf(row)).ok());
+  SiteId client = OtherSite({SiteOf(2), PSiteOf(row)});
+  auto r = sys_->Read(client, 2, 0);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, Pat(9));
+  EXPECT_GT(sys_->stats().Get("node.degraded_reads.q"), 0u);
+}
+
+TEST_F(PqNodeTest, CrashWriteRecoverRoundTripRebuildsQ) {
+  WriteAll(11);
+  sim_->Run();
+  ASSERT_TRUE(cluster_->CrashSite(SiteOf(1)).ok());
+  // Writes while down route through the spare; rows where site 1 is a
+  // parity role get their legs dropped and must be rebuilt by recovery.
+  ASSERT_TRUE(sys_->Write(SiteOf(4), 1, 2, Pat(42)).status.ok());
+  ASSERT_TRUE(sys_->Write(SiteOf(0), 0, 1, Pat(43)).status.ok());
+  ASSERT_TRUE(cluster_->RestoreSite(SiteOf(1)).ok());
+  sim_->Run();
+  ASSERT_TRUE(sys_->group()->RunRecovery(1).ok());
+  EXPECT_TRUE(sys_->group()->VerifyInvariants().ok());
+  auto r = sys_->Read(SiteOf(1), 1, 2);
+  ASSERT_TRUE(r.status.ok());
+  EXPECT_EQ(r.data, Pat(42));
+}
+
+TEST_F(PqNodeTest, DegradedWriteUpdatesBothParities) {
+  WriteAll(17);
+  sim_->Run();
+  ASSERT_TRUE(cluster_->CrashSite(SiteOf(2)).ok());
+  auto w = sys_->Write(SiteOf(0), 2, 0, Pat(55));
+  ASSERT_TRUE(w.status.ok()) << w.status.ToString();
+  sim_->Run();
+  // The spare now carries the value and both parities its delta; a
+  // two-erasure decode (pretend the spare died too) must see the new
+  // value.
+  const BlockNum row = RowOf(2, 0);
+  ASSERT_TRUE(cluster_->CrashSite(SpareSiteOf(row)).ok());
+  SiteId client = OtherSite({SiteOf(2), SpareSiteOf(row)});
+  auto r = sys_->Read(client, 2, 0);
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.data, Pat(55));
+}
+
+}  // namespace
+}  // namespace radd

@@ -372,6 +372,49 @@ TEST(Fig2Space, OverheadsMatchPaper) {
   }
 }
 
+TEST(PqRaddScheme, SpaceOverheadIsThreePerG) {
+  // G data + P + Q + spare per (G+3)-row cycle: 3/G overhead.
+  EXPECT_DOUBLE_EQ(MakePqRaddScheme(8)->SpaceOverheadPercent(), 37.5);
+  EXPECT_DOUBLE_EQ(MakePqRaddScheme(4)->SpaceOverheadPercent(), 75.0);
+}
+
+TEST(PqRaddScheme, NotPartOfThePaperGrid) {
+  // Figures 2/3/4 compare the paper's six systems; the P+Q extension must
+  // not leak into them.
+  for (auto& s : MakeAllSchemes(8)) {
+    EXPECT_NE(s->name(), "P+Q RADD");
+  }
+}
+
+struct PqFig3Case {
+  Scenario scenario;
+  const char* formula;
+};
+
+class PqFig3Test : public ::testing::TestWithParam<PqFig3Case> {};
+
+TEST_P(PqFig3Test, MeasuredCountsMatch) {
+  const PqFig3Case& c = GetParam();
+  auto scheme = MakePqRaddScheme(8);
+  std::optional<OpCounts> counts = scheme->Measure(c.scenario);
+  ASSERT_TRUE(counts.has_value());
+  EXPECT_EQ(counts->ToFormula(), c.formula);
+}
+
+// The P+Q column next to Figure 3's RADD column: reads cost the same (the
+// decode still touches G row members), every write pays one extra RW for
+// the Q parity leg.
+INSTANTIATE_TEST_SUITE_P(
+    PqGrid, PqFig3Test,
+    ::testing::Values(
+        PqFig3Case{Scenario::kNoFailureRead, "R"},
+        PqFig3Case{Scenario::kNoFailureWrite, "W+2*RW"},
+        PqFig3Case{Scenario::kDiskFailureRead, "8*RR"},
+        PqFig3Case{Scenario::kDiskFailureWrite, "3*RW"},
+        PqFig3Case{Scenario::kReconstructedRead, "RR"},
+        PqFig3Case{Scenario::kSiteFailureRead, "8*RR"},
+        PqFig3Case{Scenario::kSiteFailureWrite, "3*RW"}));
+
 TEST(Fig3Raid, BlocksOnSiteFailure) {
   auto raid = MakeRaid5Scheme(8);
   EXPECT_FALSE(raid->Measure(Scenario::kSiteFailureRead).has_value());

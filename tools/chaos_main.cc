@@ -18,6 +18,17 @@
 //   chaos_main --seeds 200 --threads 8   # run farm: seeds execute on 8
 //                                        # worker threads; output and exit
 //                                        # code are identical to --threads 1
+//   chaos_main --seeds 200 --scheme pq   # P+Q dual parity: groups grow to
+//                                        # G+3 members and site-killing
+//                                        # episodes gain a second
+//                                        # overlapping fault — two dead
+//                                        # sites at once, or a second
+//                                        # strike during the first one's
+//                                        # recovery
+//
+// Every sweep ends with a per-fault-kind table of how many faults were
+// injected and how many the schedules survived (second faults of
+// double-failure episodes count separately).
 //
 // Every schedule is deterministic in its seed: a failing seed printed by a
 // bulk run reproduces bit-for-bit with --seed, at any thread count — each
@@ -28,6 +39,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -82,11 +94,21 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--threads must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--scheme") == 0 && i + 1 < argc) {
+      const char* scheme = argv[++i];
+      if (std::strcmp(scheme, "pq") == 0) {
+        config.parities = 2;
+        config.plan.double_faults = true;
+      } else if (std::strcmp(scheme, "single") != 0) {
+        std::fprintf(stderr, "--scheme must be 'single' or 'pq'\n");
+        return 2;
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
-                   "[--groups G] [--episodes E] [--ops O] [--autopilot] "
-                   "[--batch] [--codec] [--threads T] [--verbose]\n",
+                   "[--scheme single|pq] [--groups G] [--episodes E] "
+                   "[--ops O] [--autopilot] [--batch] [--codec] "
+                   "[--threads T] [--verbose]\n",
                    argv[0]);
       return 2;
     }
@@ -125,8 +147,11 @@ int main(int argc, char** argv) {
   uint64_t batches = 0, batch_retx = 0, batch_dup = 0, staged = 0,
            batch_n = 0;
   uint64_t frames_encoded = 0, frames_rejected = 0, codec_n = 0;
+  std::map<std::string, uint64_t> injected, survived;
   for (uint64_t s = start; s < start + seeds; ++s) {
     radd::ChaosReport& r = reports[static_cast<size_t>(s - start)];
+    for (const auto& [kind, n] : r.injected_by_kind) injected[kind] += n;
+    for (const auto& [kind, n] : r.survived_by_kind) survived[kind] += n;
     if (r.frame_codec) {
       frames_encoded += r.frames_encoded;
       frames_rejected += r.frames_rejected;
@@ -166,6 +191,12 @@ int main(int argc, char** argv) {
   std::printf("%llu/%llu schedules held all invariants\n",
               static_cast<unsigned long long>(seeds - failures),
               static_cast<unsigned long long>(seeds));
+  std::printf("%-16s %9s %9s\n", "fault kind", "injected", "survived");
+  for (const auto& [kind, n] : injected) {
+    std::printf("%-16s %9llu %9llu\n", kind.c_str(),
+                static_cast<unsigned long long>(n),
+                static_cast<unsigned long long>(survived[kind]));
+  }
   if (batch_n > 0) {
     std::printf("batched parity: %llu updates staged into %llu frames "
                 "(%.2f updates/frame); %llu retransmits, "
