@@ -93,6 +93,12 @@ constexpr int kOps = 4000;
 // --scheme: 1 = the paper's single XOR parity, 2 = P+Q dual parity.
 int g_parities = 1;
 
+// Protocol-layer tuning shared by every simulator-driven mode; the disk
+// flags (--disk-read-ms, --disk-write-ms, --spindles, --disk-policy,
+// --cache-blocks) land here. Defaults leave the legacy serial disk clock
+// in place, so flag-free runs are bit-identical to earlier revisions.
+NodeConfig g_node;
+
 int NumSites() { return kGroupSize + 1 + g_parities; }
 
 RaddConfig Config() {
@@ -182,7 +188,7 @@ ModeResult RunRecovering() {
 /// through the simulator. `batched` toggles the parity pipeline.
 ModeResult RunProtocol(const char* mode, bool batched) {
   RaddConfig config = Config();
-  NodeConfig nc;
+  NodeConfig nc = g_node;
   nc.parity_batch.enabled = batched;
   SiteConfig sc{1, config.rows, config.block_size};
   Simulator sim;
@@ -237,7 +243,7 @@ ModeResult RunProtocol(const char* mode, bool batched) {
 /// each reconstruction — P, Q, both, or the materialized spare).
 ModeResult RunProtocolDegraded(const char* mode) {
   RaddConfig config = Config();
-  NodeConfig nc;
+  NodeConfig nc = g_node;
   SiteConfig sc{1, config.rows, config.block_size};
   Simulator sim;
   Network net(&sim, NetworkModel{}, 0xbeef);
@@ -357,6 +363,7 @@ ModeResult RunVolume(int groups, int threads) {
   VolumeConfig vc;
   vc.group = config;
   vc.drives_per_site = drives;
+  vc.node = g_node;
   Result<std::unique_ptr<RaddVolume>> made =
       RaddVolume::Create(&sim, &net, &cluster, vc);
   if (!made.ok()) {
@@ -483,17 +490,60 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--scheme must be 'single' or 'pq'\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--disk-read-ms") == 0 && i + 1 < argc) {
+      g_node.disk.read_latency = Millis(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--disk-write-ms") == 0 && i + 1 < argc) {
+      g_node.disk.write_latency = Millis(std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--spindles") == 0 && i + 1 < argc) {
+      g_node.disk_sched.spindles = std::atoi(argv[++i]);
+      if (g_node.disk_sched.spindles < 1) {
+        std::fprintf(stderr, "--spindles must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--disk-policy") == 0 && i + 1 < argc) {
+      const char* policy = argv[++i];
+      if (std::strcmp(policy, "fifo") == 0) {
+        g_node.disk_sched.policy = IoPolicy::kFifo;
+      } else if (std::strcmp(policy, "elevator") == 0) {
+        g_node.disk_sched.policy = IoPolicy::kElevator;
+      } else if (std::strcmp(policy, "deadline") == 0) {
+        g_node.disk_sched.policy = IoPolicy::kDeadline;
+      } else {
+        std::fprintf(stderr,
+                     "--disk-policy must be fifo, elevator or deadline\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cache-blocks") == 0 && i + 1 < argc) {
+      g_node.disk_sched.cache_blocks =
+          static_cast<size_t>(std::atoi(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--scheme single|pq] [--groups N] "
-                   "[--threads T]\n",
+                   "[--threads T] [--disk-read-ms MS] [--disk-write-ms MS] "
+                   "[--spindles S] "
+                   "[--disk-policy fifo|elevator|deadline] "
+                   "[--cache-blocks N]\n",
                    argv[0]);
       return 2;
     }
   }
   std::printf("{\n\"block_size\": %zu,\n\"group_size\": %d,\n"
-              "\"scheme\": \"%s\",\n\"results\": [\n",
+              "\"scheme\": \"%s\",\n",
               kBlockSize, kGroupSize, scheme);
+  if (g_node.disk_sched.modeled()) {
+    const char* policy =
+        g_node.disk_sched.policy == IoPolicy::kFifo ? "fifo"
+        : g_node.disk_sched.policy == IoPolicy::kElevator ? "elevator"
+                                                          : "deadline";
+    std::printf("\"disk\": {\"read_ms\": %.0f, \"write_ms\": %.0f, "
+                "\"spindles\": %d, \"policy\": \"%s\", "
+                "\"cache_blocks\": %zu},\n",
+                ToMillis(g_node.disk.read_latency),
+                ToMillis(g_node.disk.write_latency),
+                g_node.disk_sched.spindles, policy,
+                g_node.disk_sched.cache_blocks);
+  }
+  std::printf("\"results\": [\n");
   if (only_groups > 0) {
     Print(RunVolume(only_groups, threads), true);
   } else {

@@ -3,12 +3,20 @@
 // 0.4) against functional RADD, 1/2-RADD, ROWB, and local-RAID instances,
 // with a site/disk failure injected for the middle third of the run, and
 // report time-weighted average I/O cost and availability.
+//
+// `--cache` runs the skew study instead: a read-heavy Zipfian stream
+// (90% reads, theta 0.9) against the message-driven protocol layer at a
+// range of site block-cache sizes, reporting the cache hit ratio and the
+// simulated-time p50/p99 read latency per size. All numbers are simulated
+// and hence deterministic.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <memory>
 
 #include "common/format.h"
+#include "core/node.h"
 #include "core/radd.h"
 #include "core/volume.h"
 #include "schemes/local_raid.h"
@@ -78,10 +86,100 @@ RunResult Drive(const std::vector<Operation>& trace, Op op, FailFn fail,
   return out;
 }
 
+/// The skew study: one Zipfian read-heavy stream replayed against the
+/// protocol layer at several cache sizes. Every op targets its home site
+/// locally, so reads price at R = 30 ms on a miss and ~0 on a hit; the
+/// spread between p50 and p99 shows how much of the working set each
+/// capacity holds.
+int RunCacheSweep() {
+  WorkloadConfig wc;
+  wc.num_members = 8;
+  wc.blocks_per_member = kBlocks;
+  wc.block_size = kBlockSize;
+  wc.read_fraction = 0.9;
+  wc.zipf_theta = 0.9;
+  std::vector<Operation> trace = WorkloadGenerator(wc, 0xFEED).Generate(kOps);
+
+  TextTable t("Cache skew study: 3000 ops (90% reads, zipf 0.9) vs site "
+              "block-cache capacity");
+  t.SetHeader({"cache blocks", "hit ratio", "read p50 ms", "read p99 ms",
+               "avg write ms"});
+  for (const size_t cache :
+       {size_t{0}, size_t{4}, size_t{8}, size_t{16}, size_t{32}}) {
+    RaddConfig config;
+    config.group_size = 8;
+    config.rows = RaddLayout(config.group_size).RowsForDataBlocks(kBlocks);
+    config.block_size = kBlockSize;
+    NodeConfig nc;
+    nc.disk_sched.cache_blocks = cache;
+    SiteConfig sc{1, config.rows, kBlockSize};
+    Simulator sim;
+    Network net(&sim, NetworkModel{}, 0xFEED);
+    Cluster cluster(10, sc);
+    RaddNodeSystem sys(&sim, &net, &cluster, config, nc);
+
+    Block b(kBlockSize);
+    for (int m = 0; m < sys.group()->num_members(); ++m) {
+      for (BlockNum i = 0; i < kBlocks; ++i) {
+        b.FillPattern(uint64_t(m) * 1000 + i);
+        if (!sys.Write(sys.group()->SiteOfMember(m), m, i, b).status.ok()) {
+          std::fprintf(stderr, "cache sweep: seed write failed\n");
+          return 1;
+        }
+      }
+    }
+
+    std::vector<double> read_ms;
+    double write_total = 0;
+    int writes = 0;
+    for (int i = 0; i < static_cast<int>(trace.size()); ++i) {
+      const Operation& o = trace[size_t(i)];
+      const int m = o.member % sys.group()->num_members();
+      const SiteId home = sys.group()->SiteOfMember(m);
+      if (o.IsRead()) {
+        auto r = sys.Read(home, m, o.block);
+        if (r.status.ok()) read_ms.push_back(ToMillis(r.latency));
+      } else {
+        b.FillPattern(uint64_t(i));
+        auto w = sys.Write(home, m, o.block, b);
+        if (w.status.ok()) {
+          write_total += ToMillis(w.latency);
+          ++writes;
+        }
+      }
+    }
+    std::sort(read_ms.begin(), read_ms.end());
+    const double p50 = read_ms.empty() ? 0 : read_ms[read_ms.size() / 2];
+    const double p99 =
+        read_ms.empty()
+            ? 0
+            : read_ms[static_cast<size_t>(
+                  0.99 * static_cast<double>(read_ms.size() - 1))];
+    const RaddNodeSystem::CacheCounters cc = sys.CacheStats();
+    const uint64_t looked = cc.hits + cc.misses + cc.stale_rejected;
+    t.AddRow({cache == 0 ? "off" : std::to_string(cache),
+              looked == 0 ? "-"
+                          : FormatDouble(static_cast<double>(cc.hits) /
+                                             static_cast<double>(looked),
+                                         3),
+              FormatDouble(p50, 1), FormatDouble(p99, 1),
+              FormatDouble(writes > 0 ? write_total / writes : 0, 1)});
+  }
+  t.Print();
+  std::printf(
+      "\nReading: under zipf 0.9 a small cache already absorbs the hot\n"
+      "head of the distribution — the p50 read drops from the R = 30 ms\n"
+      "disk charge to a free hit — while the p99 stays at 30 ms until the\n"
+      "capacity covers most of the per-site working set. Writes pay the\n"
+      "full W + parity round trip regardless (write-through).\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   int groups = 1;
+  bool cache_sweep = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--groups") == 0 && i + 1 < argc) {
       groups = std::atoi(argv[++i]);
@@ -89,11 +187,14 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--groups must be >= 1\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--cache") == 0) {
+      cache_sweep = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--groups N]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--groups N] [--cache]\n", argv[0]);
       return 2;
     }
   }
+  if (cache_sweep) return RunCacheSweep();
   std::vector<Operation> trace = MakeTrace();
   CostModel cost;
   TextTable t("Workload-driven comparison: 3000 ops (2:1 reads, zipf 0.4), "

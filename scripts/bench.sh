@@ -15,6 +15,9 @@
 #   scripts/bench.sh 5 build transport  # only BENCH_transport.json
 #   scripts/bench.sh 7 build classic pq # P+Q dual parity throughput record
 #                                       # (written to BENCH_throughput_pq.json)
+#   scripts/bench.sh 1 build disk       # only BENCH_disk.json (all figures
+#                                       # are simulated-time, so one run
+#                                       # suffices)
 #
 # Every record is stamped with the git SHA and UTC date it was generated
 # from, plus the scheme and config (block/group size) it measured, so a
@@ -281,5 +284,100 @@ with open(f"{repo}/BENCH_transport.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print("wrote BENCH_transport.json")
+EOF
+fi
+
+if [ "$suite" = all ] || [ "$suite" = disk ]; then
+  # Modeled disk subsystem (DESIGN.md section 15): the before/after record
+  # of breaking the per-site serial disk bottleneck. Every figure below is
+  # simulated time — deterministic, so a single run per configuration is
+  # the measurement.
+  #   * volume scaling: ops per simulated second at g=1 vs g=8, legacy
+  #     serial clock vs 4 spindles + deadline scheduling + block cache;
+  #   * degraded-read tail: protocol_degraded p50/p99 in both configs;
+  #   * recovery makespan: per-seed autopilot convergence time over 40
+  #     chaos schedules in both configs (the run doubles as a smoke test —
+  #     a seed that violates an invariant fails the script).
+  echo "disk suite: volume scaling + degraded tail + recovery makespan ..."
+  disk_flags="--spindles 4 --disk-policy deadline --cache-blocks 64"
+  "$build/bench/bench_throughput" > "$tmp/disk_legacy.json"
+  # shellcheck disable=SC2086
+  "$build/bench/bench_throughput" $disk_flags > "$tmp/disk_modeled.json"
+  for cfg in legacy modeled; do
+    flags=""
+    [ "$cfg" = modeled ] && flags="$disk_flags"
+    for s in $(seq 1 40); do
+      # shellcheck disable=SC2086
+      "$build/tools/chaos_main" --seed "$s" --autopilot $flags
+    done > "$tmp/disk_conv_$cfg.txt"
+  done
+
+  TMP="$tmp" REPO="$repo" DISK_FLAGS="$disk_flags" python3 - <<'EOF'
+import json, os, re, statistics
+
+tmp = os.environ["TMP"]
+repo = os.environ["REPO"]
+
+def mode_row(doc, mode):
+    for row in doc["results"]:
+        if row["mode"] == mode:
+            return row
+    raise SystemExit(f"mode {mode} missing from bench_throughput output")
+
+configs = {}
+for cfg in ("legacy", "modeled"):
+    doc = json.load(open(f"{tmp}/disk_{cfg}.json"))
+    g1 = mode_row(doc, "volume_g1")["ops_per_sim_sec"]
+    g8 = mode_row(doc, "volume_g8")["ops_per_sim_sec"]
+    deg = mode_row(doc, "protocol_degraded")
+    conv_ms = [int(m.group(1)) / 1000.0 for m in
+               re.finditer(r"conv_max=(\d+)",
+                           open(f"{tmp}/disk_conv_{cfg}.txt").read())]
+    if len(conv_ms) != 40:
+        raise SystemExit(f"expected 40 convergence samples, got "
+                         f"{len(conv_ms)} ({cfg})")
+    conv_ms.sort()
+    configs[cfg] = {
+        "disk": doc.get("disk", {"spindles": 1, "policy": "fifo",
+                                 "cache_blocks": 0}),
+        "volume_g1_ops_per_sim_sec": g1,
+        "volume_g8_ops_per_sim_sec": g8,
+        "volume_scaling_g8_vs_g1": round(g8 / g1, 2),
+        "degraded_read_p50_ms": deg["degraded_read_p50_ms"],
+        "degraded_read_p99_ms": deg["degraded_read_p99_ms"],
+        "recovery_makespan_ms": {
+            "p50": round(conv_ms[len(conv_ms) // 2], 1),
+            "p99": round(conv_ms[int(0.99 * (len(conv_ms) - 1))], 1),
+            "max": round(conv_ms[-1], 1),
+            "seeds": len(conv_ms),
+        },
+    }
+
+scaling = configs["modeled"]["volume_scaling_g8_vs_g1"]
+if scaling < 3.0:
+    raise SystemExit(f"modeled volume scaling {scaling} < 3.0 — the disk "
+                     "subsystem regressed")
+
+doc = {
+    "git_sha": os.environ["GIT_SHA"],
+    "generated_utc": os.environ["GEN_DATE"],
+    "description": (
+        "Modeled disk subsystem (DESIGN.md section 15) before/after "
+        "record. legacy = one serial FIFO disk clock per site (the "
+        "paper's section 7.3 model); modeled = bench_throughput "
+        + os.environ["DISK_FLAGS"] + ". volume_*: ops per simulated "
+        "second of the section 4 sharded volume at 1 and 8 groups — the "
+        "scaling ratio is the headline (the serial clock capped it at "
+        "~1.6x). degraded_read_*: simulated p50/p99 of reads against a "
+        "crashed member. recovery_makespan_ms: per-seed autopilot "
+        "convergence time over chaos_main --autopilot seeds 1..40. All "
+        "figures are deterministic simulated time; regenerate with "
+        "scripts/bench.sh 1 <build> disk."),
+    "configs": configs,
+}
+with open(f"{repo}/BENCH_disk.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote BENCH_disk.json (modeled g8/g1 scaling {scaling}x)")
 EOF
 fi

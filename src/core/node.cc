@@ -3,6 +3,7 @@
 #include <cassert>
 
 #include "common/gf256.h"
+#include "disk/site_storage.h"
 #include "net/transport.h"
 #include "net/wire.h"
 
@@ -38,7 +39,7 @@ struct RaddNodeSystem::Node {
 
   Site* site() { return sys->cluster_->site(self); }
   BlockStore* store() { return site()->store(); }
-  const DiskModel& disk() const { return sys->node_config_.disk; }
+  const DiskModel& disk() const { return model; }
   Simulator* sim() { return sys->sim_; }
 
   /// This site's slice of each group it belongs to: member index and the
@@ -66,23 +67,59 @@ struct RaddNodeSystem::Node {
            lay(g).RoleOf(static_cast<SiteId>(me), row) == BlockRole::kParityQ;
   }
 
-  /// The site's disk serves one request at a time: operations queue
-  /// behind each other (this is what makes parity-site contention — the
-  /// §2 striping argument — observable).
+  /// This site's effective disk latency model (the NodeConfig default or
+  /// its per-site override), set once at construction.
+  DiskModel model;
+  /// The modeled disk subsystem (spindle queues + block cache); null in
+  /// the default configuration, where the closed-form clock below stands
+  /// in — taking the exact legacy code path keeps the stock event
+  /// sequence bit-identical, not merely the completion times.
+  std::unique_ptr<SiteStorage> storage;
+  /// Legacy clock: the site's disk serves one request at a time,
+  /// operations queue behind each other (this is what makes parity-site
+  /// contention — the §2 striping argument — observable).
   SimTime disk_free_at = 0;
   /// Gray-failure multiplier on disk service time (1 = healthy).
   uint32_t disk_slow = 1;
   /// Bumped by ResetNodeVolatileState; disk completions queued before a
   /// crash belong to the dead incarnation and must not touch the store.
   uint64_t epoch = 0;
-  void ScheduleDisk(SimTime latency, Simulator::Callback fn) {
+  /// Charges a disk I/O of `units` block operations of `kind` at `addr`
+  /// and runs `fn` when it completes. With modeled storage the request
+  /// joins its spindle's queue under `cls`; otherwise it serializes on
+  /// the closed-form site clock exactly as the pre-scheduler protocol
+  /// did (the class is then irrelevant — the clock is strict FIFO).
+  void ScheduleDisk(IoClass cls, IoKind kind, BlockNum addr, uint32_t units,
+                    Simulator::Callback fn) {
+    auto guarded = [this, e = epoch, fn = std::move(fn)]() mutable {
+      if (e != epoch) return;
+      fn();
+    };
+    if (storage != nullptr) {
+      storage->Submit(cls, kind, addr, units, disk_slow,
+                      std::move(guarded));
+      return;
+    }
+    const SimTime latency =
+        (kind == IoKind::kRead ? model.read_latency : model.write_latency) *
+        static_cast<SimTime>(units);
     SimTime start = std::max(sim()->Now(), disk_free_at);
     disk_free_at = start + latency * disk_slow;
-    sim()->At(disk_free_at,
-              [this, e = epoch, fn = std::move(fn)]() mutable {
-                if (e != epoch) return;
-                fn();
-              });
+    sim()->At(disk_free_at, std::move(guarded));
+  }
+
+  // --- block cache (modeled storage only) ---------------------------------
+  BlockCache* cache() { return storage ? storage->cache() : nullptr; }
+  /// Write-through: keep the cache coherent with a local write we just
+  /// performed (the entry is re-validated against the store on every hit
+  /// anyway; this only preserves hit ratio across our own writes).
+  void CacheUpdate(BlockNum addr, const Block& data, Uid uid) {
+    if (BlockCache* c = cache()) c->Insert(addr, data, uid);
+  }
+  /// Eager invalidation on local mutations the cache cannot mirror
+  /// (spare records, parity masks, invalidations).
+  void CacheInvalidate(BlockNum addr) {
+    if (BlockCache* c = cache()) c->Invalidate(addr);
   }
 
   /// Lock ids: inverted op ids so later ops always wait (single-block
@@ -133,7 +170,33 @@ struct RaddNodeSystem::Node {
     const SiteId from = msg.from;
     const BlockNum prow = phys(req.group, req.row);
     WithLock(req.op, prow, LockMode::kShared, [this, req, from, prow]() {
-      ScheduleDisk(disk().read_latency, [this, req, from, prow]() {
+      if (BlockCache* c = cache()) {
+        if (const BlockCache::Entry* e = c->Lookup(prow)) {
+          // §3.3 rule: a hit is served only when the cached UID still
+          // matches the store's current record — the same UID-agreement
+          // test recovery uses. UIDs name writes, so a match means the
+          // cached bytes are the last write's bytes even if rebuilds or
+          // drains touched the store behind us. The Peek is metadata-only
+          // (the paper's free buffered check) and costs no disk time.
+          Result<BlockRecord> cur = store()->Peek(prow);
+          if (cur.ok() && cur->uid.valid() && cur->uid == e->uid) {
+            c->CountHit();
+            ReadReply rep;
+            rep.op = req.op;
+            rep.status = Status::OK();
+            rep.data = e->data;
+            rep.uid = e->uid;
+            Unlock(req.op, prow);
+            size_t wire = rep.data.size();
+            Send(from, MessageType::kReadReply, std::move(rep), wire);
+            return;
+          }
+          c->CountStale();
+          c->Invalidate(prow);
+        }
+      }
+      ScheduleDisk(IoClass::kForeground, IoKind::kRead, prow, 1,
+                   [this, req, from, prow]() {
         ReadReply rep;
         rep.op = req.op;
         Result<BlockRecord> rec = store()->Read(prow);
@@ -141,6 +204,11 @@ struct RaddNodeSystem::Node {
           rep.status = Status::OK();
           rep.data = std::move(rec->data);
           rep.uid = rec->uid;
+          // Fill on read: plain valid data blocks only (spare records
+          // carry bookkeeping the cache does not model).
+          if (rep.uid.valid() && rec->spare_for < 0) {
+            CacheUpdate(prow, rep.data, rep.uid);
+          }
         } else {
           rep.status = rec.status();
         }
@@ -273,7 +341,8 @@ struct RaddNodeSystem::Node {
 
   void ApplyLocalWrite(WriteReq req, SiteId reply_to,
                        std::optional<Block> old_override) {
-    ScheduleDisk(disk().write_latency,
+    const BlockNum addr = phys(req.group, req.row);
+    ScheduleDisk(IoClass::kForeground, IoKind::kWrite, addr, 1,
                  [this, req = std::move(req), reply_to,
                   old_override = std::move(old_override)]() mutable {
       // The old value lives only until the diff below: lease its buffer.
@@ -322,6 +391,7 @@ struct RaddNodeSystem::Node {
                       WriteReply{req.op, st});
         return;
       }
+      CacheUpdate(prow, req.data, uid);
       Result<ChangeMask> mask = ChangeMask::Diff(old_value, req.data);
       sys->arena_.Return(std::move(old_value));
       // The payload outlives the local write: until the parity ack the
@@ -369,6 +439,7 @@ struct RaddNodeSystem::Node {
             }
             if (clobbered) {
               (void)store()->Write(prow, *payload, uid);
+              CacheUpdate(prow, *payload, uid);
               sys->stats_.Add("node.write_reasserted");
             }
             sys->arena_.Return(std::move(*payload));
@@ -406,11 +477,13 @@ struct RaddNodeSystem::Node {
 
   void OnSpareInvalidate(const Message& msg) {
     auto req = std::get<SpareTakeReq>(msg.payload);
-    ScheduleDisk(disk().write_latency, [this, req]() {
+    ScheduleDisk(IoClass::kRecovery, IoKind::kWrite,
+                 phys(req.group, req.row), 1, [this, req]() {
       const BlockNum prow = phys(req.group, req.row);
       Result<BlockRecord> rec = store()->Peek(prow);
       if (rec.ok() && rec->spare_for == req.home) {
         (void)store()->Invalidate(prow);
+        CacheInvalidate(prow);
         sys->stats_.Add("node.spare_invalidated");
       }
     });
@@ -620,7 +693,8 @@ struct RaddNodeSystem::Node {
       return;
     }
     parity_ops[u.op] = false;
-    ScheduleDisk(disk().write_latency,
+    const BlockNum paddr = phys(u.group, u.row);
+    ScheduleDisk(IoClass::kWriteback, IoKind::kWrite, paddr, 1,
                  [this, u = std::move(u), from]() mutable {
       // Re-run the §3.3 idempotence check at apply time: a recovery
       // rebuild of this parity row can land inside the disk-latency
@@ -652,6 +726,7 @@ struct RaddNodeSystem::Node {
       Status st = store()->ApplyMask(
           phys(u.group, u.row), mask, u.uid, static_cast<size_t>(u.position),
           static_cast<size_t>(grp(u.group)->num_members()));
+      CacheInvalidate(phys(u.group, u.row));
       sys->arena_.Return(std::move(mask).TakeDelta());
       if (!st.ok()) {
         sys->stats_.Add("node.parity_apply_failed");
@@ -834,7 +909,7 @@ struct RaddNodeSystem::Node {
     // a healthy network.
     const SimTime timeout =
         sys->node_config_.retry_timeout +
-        sys->node_config_.disk.write_latency *
+        sys->DiskModelOf(b.parity_site).write_latency *
             static_cast<SimTime>(b.entries.size());
     b.timer = sim()->Schedule(
         timeout, [this, seq]() {
@@ -916,9 +991,11 @@ struct RaddNodeSystem::Node {
     }
     // One queued disk pass, charged per applied row (group commit
     // amortizes messages, not disk writes).
-    const SimTime latency =
-        disk().write_latency * static_cast<SimTime>(to_apply.size());
-    ScheduleDisk(latency,
+    const BlockNum first_addr =
+        phys(frame.group, frame.entries[to_apply.front()].row);
+    const uint32_t apply_units = static_cast<uint32_t>(to_apply.size());
+    ScheduleDisk(IoClass::kWriteback, IoKind::kWrite, first_addr,
+                 apply_units,
                  [this, from, frame = std::move(frame),
                   ack = std::move(ack),
                   to_apply = std::move(to_apply)]() mutable {
@@ -968,6 +1045,7 @@ struct RaddNodeSystem::Node {
           phys(frame.group, e.row), mask, e.uid,
           static_cast<size_t>(e.position),
           static_cast<size_t>(grp(frame.group)->num_members()));
+      CacheInvalidate(phys(frame.group, e.row));
       sys->arena_.Return(std::move(mask).TakeDelta());
       if (!st.ok()) {
         // Lost parity block; recovery will recompute. The per-entry error
@@ -1048,7 +1126,8 @@ struct RaddNodeSystem::Node {
     const SiteId from = msg.from;
     const BlockNum prow = phys(req.group, req.row);
     WithLock(req.op, prow, LockMode::kShared, [this, req, from, prow]() {
-      ScheduleDisk(disk().read_latency, [this, req, from, prow]() {
+      ScheduleDisk(IoClass::kForeground, IoKind::kRead, prow, 1,
+                   [this, req, from, prow]() {
         SpareReadReply rep;
         rep.op = req.op;
         Result<BlockRecord> rec = store()->Read(prow);
@@ -1071,7 +1150,8 @@ struct RaddNodeSystem::Node {
     const SiteId from = msg.from;
     const BlockNum prow = phys(req.group, req.row);
     WithLock(req.op, prow, LockMode::kExclusive, [this, req, from, prow]() {
-      ScheduleDisk(disk().read_latency, [this, req, from, prow]() {
+      ScheduleDisk(IoClass::kForeground, IoKind::kRead, prow, 1,
+                   [this, req, from, prow]() {
         SpareReadReply rep;
         rep.op = req.op;
         Result<BlockRecord> rec = store()->Read(prow);
@@ -1161,7 +1241,8 @@ struct RaddNodeSystem::Node {
 
   void CommitSpareWrite(SpareWriteReq req, SiteId reply_to,
                         Block old_value) {
-    ScheduleDisk(disk().write_latency,
+    const BlockNum addr = phys(req.group, req.row);
+    ScheduleDisk(IoClass::kForeground, IoKind::kWrite, addr, 1,
                  [this, req = std::move(req), reply_to,
                   old_value = std::move(old_value)]() mutable {
       if (sys->Perceived(self, grp(req.group)->SiteOfMember(req.home)) ==
@@ -1182,6 +1263,7 @@ struct RaddNodeSystem::Node {
       rec.logical_uid = req.uid;
       rec.spare_for = req.home;
       Status st = store()->WriteRecord(phys(req.group, req.row), rec);
+      CacheInvalidate(phys(req.group, req.row));
       if (!st.ok()) {
         Unlock(req.op, phys(req.group, req.row));
         CompleteWrite(req.op, reply_to, MessageType::kSpareWriteReply,
@@ -1301,7 +1383,9 @@ struct RaddNodeSystem::Node {
   /// Dual-parity tail of the spare write: persist the record, then ship
   /// each leg its own delta under the reissue op id (see kReissueBit).
   void CommitDualSpareWrite(std::shared_ptr<SpareReissue> st) {
-    ScheduleDisk(disk().write_latency, [this, st]() mutable {
+    const BlockNum addr = phys(st->req.group, st->req.row);
+    ScheduleDisk(IoClass::kForeground, IoKind::kWrite, addr, 1,
+                 [this, st]() mutable {
       SpareWriteReq& req = st->req;
       const uint64_t op = req.op;
       const BlockNum prow = phys(req.group, req.row);
@@ -1323,6 +1407,7 @@ struct RaddNodeSystem::Node {
       rec.logical_uid = req.uid;
       rec.spare_for = req.home;
       Status wst = store()->WriteRecord(prow, rec);
+      CacheInvalidate(prow);
       if (!wst.ok()) {
         Unlock(op, prow);
         CompleteWrite(op, st->reply_to, MessageType::kSpareWriteReply,
@@ -1366,7 +1451,9 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(wb.data));
       return;
     }
-    ScheduleDisk(disk().write_latency, [this, wb = std::move(wb)]() mutable {
+    const BlockNum wb_addr = phys(wb.group, wb.row);
+    ScheduleDisk(IoClass::kRecovery, IoKind::kWrite, wb_addr, 1,
+                 [this, wb = std::move(wb)]() mutable {
       // Materialization is only valid while the home is down. This message
       // is fire-and-forget, so a delayed copy can arrive after the home
       // restarted and recovery drained the spares; writing it now would
@@ -1385,6 +1472,7 @@ struct RaddNodeSystem::Node {
       rec.logical_uid = wb.logical_uid;
       rec.spare_for = wb.home;
       if (store()->WriteRecord(phys(wb.group, wb.row), rec).ok()) {
+        CacheInvalidate(phys(wb.group, wb.row));
         sys->stats_.Add("node.materialized");
       }
       sys->arena_.Return(std::move(rec.data));
@@ -1395,7 +1483,10 @@ struct RaddNodeSystem::Node {
     auto req = std::get<ReconReq>(msg.payload);
     const SiteId from = msg.from;
     // §3.3: reconstruction reads take no locks; they return UIDs instead.
-    ScheduleDisk(disk().read_latency, [this, req, from]() {
+    // Foreground class: recon rounds serve degraded client reads (the
+    // background sweep repairs through the synchronous model instead).
+    ScheduleDisk(IoClass::kForeground, IoKind::kRead,
+                 phys(req.group, req.row), 1, [this, req, from]() {
       ReconReply rep;
       rep.op = req.op;
       rep.row = req.row;
@@ -1873,7 +1964,54 @@ RaddNodeSystem::RaddNodeSystem(Simulator* sim, Network* net,
       n->locals[g].first_block =
           m >= 0 ? groups_[g]->FirstBlockOfMember(m) : 0;
     }
+    n->model = DiskModelOf(site);
+    const DiskSchedConfig& sched = DiskSchedOf(site);
+    // Modeled storage only when a modeled feature is on: the null case
+    // takes the legacy closed-form clock path verbatim, keeping the
+    // default event sequence bit-identical to the pre-scheduler protocol.
+    if (sched.modeled()) {
+      n->storage = std::make_unique<SiteStorage>(sim_, n->model, sched);
+    }
   }
+}
+
+const DiskModel& RaddNodeSystem::DiskModelOf(SiteId site) const {
+  auto it = node_config_.site_disk.find(site);
+  return it != node_config_.site_disk.end() ? it->second
+                                            : node_config_.disk;
+}
+
+const DiskSchedConfig& RaddNodeSystem::DiskSchedOf(SiteId site) const {
+  auto it = node_config_.site_disk_sched.find(site);
+  return it != node_config_.site_disk_sched.end()
+             ? it->second
+             : node_config_.disk_sched;
+}
+
+void RaddNodeSystem::ChargeBackgroundIo(SiteId site, uint32_t units,
+                                        Simulator::Callback done) {
+  auto nit = nodes_.find(site);
+  if (nit == nodes_.end()) {
+    done();
+    return;
+  }
+  Node* n = nit->second.get();
+  // Charged at the site's first block: recovery sweeps are sequential
+  // scans, so the address is representative for seek accounting.
+  n->ScheduleDisk(IoClass::kRecovery, IoKind::kWrite, 0, units,
+                  std::move(done));
+}
+
+RaddNodeSystem::CacheCounters RaddNodeSystem::CacheStats() const {
+  CacheCounters total;
+  for (const auto& [site, n] : nodes_) {
+    if (!n->storage) continue;
+    const BlockCache* c = n->storage->cache();
+    total.hits += c->hits();
+    total.misses += c->misses();
+    total.stale_rejected += c->stale_rejected();
+  }
+  return total;
 }
 
 RaddNodeSystem::~RaddNodeSystem() = default;
@@ -1948,6 +2086,7 @@ void RaddNodeSystem::ResetNodeVolatileState(SiteId site) {
   n->recons.clear();
   n->locks = LockManager();
   n->disk_free_at = 0;
+  if (n->storage) n->storage->Reset();  // queued I/O and cache die too
   ++n->epoch;  // queued disk completions belong to the dead incarnation
   stats_.Add("node.volatile_reset");
   // Client operations issued from this site die with its process: their

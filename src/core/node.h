@@ -31,6 +31,7 @@
 #include "common/block_arena.h"
 #include "core/parity_coalescer.h"
 #include "core/radd.h"
+#include "disk/scheduler.h"
 #include "net/network.h"
 #include "sim/simulator.h"
 #include "txn/lock_manager.h"
@@ -42,6 +43,16 @@ class Transport;
 /// Tunables of the protocol layer.
 struct NodeConfig {
   DiskModel disk;
+  /// Shape of each site's disk subsystem (spindle count, scheduling
+  /// policy, seek modeling, block cache). The default — one spindle,
+  /// FIFO, no cache — keeps the legacy closed-form serial disk clock,
+  /// bit-identical to the pre-scheduler protocol.
+  DiskSchedConfig disk_sched;
+  /// Heterogeneous fleets: per-site overrides of the base DiskModel
+  /// and/or the disk subsystem shape. Sites absent from a map use the
+  /// defaults above.
+  std::map<SiteId, DiskModel> site_disk;
+  std::map<SiteId, DiskSchedConfig> site_disk_sched;
   /// Retransmission timeout for parity updates / degraded writes when the
   /// network can lose messages.
   SimTime retry_timeout = Millis(250);
@@ -175,6 +186,25 @@ class RaddNodeSystem {
   /// `factor` (1 = healthy). The site stays up and correct, just slow.
   void SetDiskSlowFactor(SiteId site, uint32_t factor);
 
+  /// Charges `units` background (recovery-class) disk writes to `site`'s
+  /// disk subsystem and runs `done` at their completion — the recovery
+  /// sweeper's disk-pacing hook, so sweep I/O competes with foreground
+  /// traffic in the site's queues instead of pacing itself by wall-clock
+  /// delays. Works in legacy mode too (the charge serializes on the
+  /// site's closed-form clock). `done` is dropped if the site crashes
+  /// before the charge completes.
+  void ChargeBackgroundIo(SiteId site, uint32_t units,
+                          Simulator::Callback done);
+
+  /// Cache observability: summed hit/miss/stale-rejection counters over
+  /// every site's block cache (all zero when caches are off).
+  struct CacheCounters {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t stale_rejected = 0;
+  };
+  CacheCounters CacheStats() const;
+
   /// The reference model sharing the same cluster state; used for
   /// recovery sweeps and invariant checking. The no-arg form is group 0
   /// (the single-group API).
@@ -194,6 +224,11 @@ class RaddNodeSystem {
 
  private:
   struct Node;
+
+  /// `site`'s effective disk latency model (per-site override or default).
+  const DiskModel& DiskModelOf(SiteId site) const;
+  /// `site`'s effective disk subsystem shape.
+  const DiskSchedConfig& DiskSchedOf(SiteId site) const;
 
   /// State that `observer` believes `target` to be in.
   SiteState Perceived(SiteId observer, SiteId target) const;

@@ -22,6 +22,19 @@ void RecoverySweeper::Start() {
   if (started_) return;
   started_ = true;
   service_->AddListener([this](SiteId site, SiteState state, uint64_t) {
+    if (state == SiteState::kDown && config_.disk_charge) {
+      // A disk-paced chain dies with the site's queues (the in-flight
+      // charge completion is fenced by the crash); clear `active` so the
+      // next kRecovering transition pumps a fresh chain. Wall-clock
+      // chains keep their timer and terminate on their own next tick.
+      for (size_t g = 0; g < groups_.size(); ++g) {
+        const int member = groups_[g]->MemberAtSite(site);
+        if (member < 0) continue;
+        auto it = sweeps_.find({static_cast<int>(g), member});
+        if (it != sweeps_.end()) it->second.active = false;
+      }
+      return;
+    }
     if (state != SiteState::kRecovering) return;
     // A §4 site hosts one drive per group it belongs to; every such group
     // needs its own sweep, and they run concurrently.
@@ -104,6 +117,7 @@ void RecoverySweeper::Tick(int grp, int member) {
   }
 
   OpCounts ops;
+  uint32_t swept_now = 0;
   const BlockNum rows = group->config().rows;
   while (budget > 0 && sw.cursor < rows) {
     Status st = group->RecoverRow(member, sw.cursor, &ops);
@@ -116,6 +130,7 @@ void RecoverySweeper::Tick(int grp, int member) {
     }
     ++sw.cursor;
     --budget;
+    ++swept_now;
     stats_.Add("sweeper.rows_swept");
   }
   stats_.Observe("sweeper.tick_ops", ops.Total());
@@ -145,6 +160,17 @@ void RecoverySweeper::Tick(int grp, int member) {
     } else {
       stats_.Add("sweeper.verify_errors");
     }
+  }
+  if (config_.disk_charge) {
+    // Disk-paced mode: the tick's repairs queue as recovery-class writes
+    // at the recovering site; the next tick runs when they complete, so
+    // sweep speed follows the disk's real backlog instead of a fixed gap.
+    // An idle tick (blocked row, verification pass) still charges one
+    // unit — that is the retry delay.
+    stats_.Add("sweeper.disk_paced_ticks");
+    config_.disk_charge(site, swept_now > 0 ? swept_now : 1,
+                        [this, grp, member]() { Tick(grp, member); });
+    return;
   }
   sim_->Schedule(config_.tick_interval,
                  [this, grp, member]() { Tick(grp, member); });

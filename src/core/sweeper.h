@@ -48,6 +48,16 @@ struct SweeperConfig {
   /// Reports current foreground load (e.g. RaddNodeSystem::InFlightOps).
   /// Unset = no backpressure.
   std::function<uint64_t()> load_probe;
+  /// Disk pacing (modeled disk subsystem): when set, each tick charges
+  /// its repaired rows as recovery-class writes to the recovering site's
+  /// disk queues (RaddNodeSystem::ChargeBackgroundIo) and the next tick
+  /// fires at the charge's completion instead of after tick_interval —
+  /// sweep I/O then competes with foreground traffic in the queues, and
+  /// the deadline policy's starvation bound replaces the hand-tuned gap.
+  /// Unset = the legacy wall-clock pacing above.
+  std::function<void(SiteId site, uint32_t units,
+                     std::function<void()> done)>
+      disk_charge;
 };
 
 /// One sweeper instance serves every member of every group it is given.
@@ -84,7 +94,8 @@ class RecoverySweeper {
 
   /// Counters: "sweeper.ticks", "sweeper.rows_swept", "sweeper.resumes",
   /// "sweeper.completed", "sweeper.rescans", "sweeper.row_errors",
-  /// "sweeper.backpressure_ticks"; distribution "sweeper.tick_ops"
+  /// "sweeper.backpressure_ticks", "sweeper.disk_paced_ticks";
+  /// distribution "sweeper.tick_ops"
   /// (physical ops per tick — the per-tick I/O bound).
   const Stats& stats() const { return stats_; }
 

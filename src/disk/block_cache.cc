@@ -1,0 +1,44 @@
+#include "disk/block_cache.h"
+
+namespace radd {
+
+const BlockCache::Entry* BlockCache::Lookup(BlockNum addr) {
+  if (capacity_ == 0) return nullptr;
+  auto it = map_.find(addr);
+  if (it == map_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return &lru_.front().second;
+}
+
+void BlockCache::Insert(BlockNum addr, const Block& data, Uid uid) {
+  if (capacity_ == 0) return;
+  auto it = map_.find(addr);
+  if (it != map_.end()) {
+    it->second->second = Entry(data, uid);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(addr, Entry(data, uid));
+  map_[addr] = lru_.begin();
+  if (map_.size() > capacity_) {
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void BlockCache::Invalidate(BlockNum addr) {
+  auto it = map_.find(addr);
+  if (it == map_.end()) return;
+  lru_.erase(it->second);
+  map_.erase(it);
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace radd

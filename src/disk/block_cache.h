@@ -1,0 +1,75 @@
+// BlockCache — a bounded site-level LRU read cache whose hits are gated
+// by the paper's §3.3 UID rule.
+//
+// The cache holds (data, uid) copies of blocks the site recently served.
+// A lookup alone is never enough to serve a hit: the RADD layer must
+// validate that the cached UID still equals the UID of the store's current
+// record — the same "does the UID match the authority's expectation" test
+// §3.3 uses to validate reconstruction. UIDs name *writes*, not blocks, so
+// UID equality implies content equality: if validation passes the cached
+// bytes are the bytes the last acknowledged write produced, no matter what
+// recovery rebuilds, spare drains or scrub repairs happened to the store
+// in between (those either preserve the UID — same content — or change it,
+// which the validation catches and turns into a miss).
+//
+// Invalidation is therefore a performance concern, not a correctness one,
+// but the node layer still invalidates eagerly on every local mutation and
+// clears the cache wholesale on ResetNodeVolatileState (a crash loses the
+// cache with the rest of volatile state).
+
+#ifndef RADD_DISK_BLOCK_CACHE_H_
+#define RADD_DISK_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/block.h"
+#include "common/uid.h"
+
+namespace radd {
+
+class BlockCache {
+ public:
+  struct Entry {
+    Block data;
+    Uid uid;
+    Entry(Block d, Uid u) : data(std::move(d)), uid(u) {}
+  };
+
+  /// `capacity` in blocks; 0 disables every operation.
+  explicit BlockCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns the entry for `addr` (moved to MRU) or nullptr. The caller
+  /// must validate the UID against the store before serving the data and
+  /// call CountHit()/CountStale() with the outcome.
+  const Entry* Lookup(BlockNum addr);
+
+  void Insert(BlockNum addr, const Block& data, Uid uid);
+  void Invalidate(BlockNum addr);
+  void Clear();
+
+  void CountHit() { ++hits_; }
+  /// A lookup whose UID validation failed (stale entry declined).
+  void CountStale() { ++stale_rejected_; }
+
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t stale_rejected() const { return stale_rejected_; }
+
+ private:
+  using Lru = std::list<std::pair<BlockNum, Entry>>;
+  size_t capacity_;
+  Lru lru_;  ///< front = MRU
+  std::unordered_map<BlockNum, Lru::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t stale_rejected_ = 0;
+};
+
+}  // namespace radd
+
+#endif  // RADD_DISK_BLOCK_CACHE_H_

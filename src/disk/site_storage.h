@@ -1,0 +1,48 @@
+// SiteStorage — the modeled disk subsystem of one site: the striped
+// multi-spindle scheduler plus the §3.3-validated block cache, behind one
+// handle the protocol layer can create per node and reset on crash.
+//
+// The protocol layer constructs one of these only when the site's
+// DiskSchedConfig has a modeled feature on (extra spindles, a non-FIFO
+// policy, seek costs, a cache). In the default configuration it keeps its
+// legacy closed-form serial clock instead, so the stock event sequence is
+// bit-identical to the pre-scheduler protocol.
+
+#ifndef RADD_DISK_SITE_STORAGE_H_
+#define RADD_DISK_SITE_STORAGE_H_
+
+#include "disk/block_cache.h"
+#include "disk/scheduler.h"
+
+namespace radd {
+
+class SiteStorage {
+ public:
+  SiteStorage(Simulator* sim, DiskModel base_model,
+              const DiskSchedConfig& config)
+      : sched_(sim, base_model, config), cache_(config.cache_blocks) {}
+
+  /// Enqueues an I/O on the spindle owning `addr`; `done` runs at its
+  /// completion time (see DiskScheduler::Submit).
+  void Submit(IoClass cls, IoKind kind, BlockNum addr, uint32_t units,
+              uint32_t slow, Simulator::Callback done) {
+    sched_.Submit(cls, kind, addr, units, slow, std::move(done));
+  }
+
+  DiskScheduler* sched() { return &sched_; }
+  BlockCache* cache() { return &cache_; }
+
+  /// Crash: queued requests and cached blocks die with the process.
+  void Reset() {
+    sched_.Reset();
+    cache_.Clear();
+  }
+
+ private:
+  DiskScheduler sched_;
+  BlockCache cache_;
+};
+
+}  // namespace radd
+
+#endif  // RADD_DISK_SITE_STORAGE_H_

@@ -162,6 +162,14 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     });
     SweeperConfig sw = cfg.sweeper;
     sw.load_probe = [&]() { return sys.InFlightOps(); };
+    if (cfg.node.disk_sched.modeled() && !sw.disk_charge) {
+      // Modeled disk subsystem: pace the sweep by the recovering site's
+      // own queues (recovery class) instead of the wall-clock tick gap.
+      sw.disk_charge = [&sys](SiteId site, uint32_t units,
+                              std::function<void()> done) {
+        sys.ChargeBackgroundIo(site, units, std::move(done));
+      };
+    }
     std::vector<RaddGroup*> sweep_groups;
     for (int g = 0; g < vol.num_groups(); ++g) {
       sweep_groups.push_back(vol.group(g));

@@ -18,6 +18,11 @@
 //   chaos_main --seeds 200 --threads 8   # run farm: seeds execute on 8
 //                                        # worker threads; output and exit
 //                                        # code are identical to --threads 1
+//   chaos_main --seeds 200 --spindles 4 --disk-policy deadline
+//              --cache-blocks 64         # modeled disk subsystem: per-site
+//                                        # spindle queues, class-aware
+//                                        # scheduling and the UID-validated
+//                                        # block cache all under fault load
 //   chaos_main --seeds 200 --scheme pq   # P+Q dual parity: groups grow to
 //                                        # G+3 members and site-killing
 //                                        # episodes gain a second
@@ -103,12 +108,40 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "--scheme must be 'single' or 'pq'\n");
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--disk-read-ms") == 0 && i + 1 < argc) {
+      config.node.disk.read_latency = radd::Millis(ParseU64(argv[++i]));
+    } else if (std::strcmp(argv[i], "--disk-write-ms") == 0 && i + 1 < argc) {
+      config.node.disk.write_latency = radd::Millis(ParseU64(argv[++i]));
+    } else if (std::strcmp(argv[i], "--spindles") == 0 && i + 1 < argc) {
+      config.node.disk_sched.spindles = static_cast<int>(ParseU64(argv[++i]));
+      if (config.node.disk_sched.spindles < 1) {
+        std::fprintf(stderr, "--spindles must be >= 1\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--disk-policy") == 0 && i + 1 < argc) {
+      const char* policy = argv[++i];
+      if (std::strcmp(policy, "fifo") == 0) {
+        config.node.disk_sched.policy = radd::IoPolicy::kFifo;
+      } else if (std::strcmp(policy, "elevator") == 0) {
+        config.node.disk_sched.policy = radd::IoPolicy::kElevator;
+      } else if (std::strcmp(policy, "deadline") == 0) {
+        config.node.disk_sched.policy = radd::IoPolicy::kDeadline;
+      } else {
+        std::fprintf(stderr,
+                     "--disk-policy must be fifo, elevator or deadline\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--cache-blocks") == 0 && i + 1 < argc) {
+      config.node.disk_sched.cache_blocks =
+          static_cast<size_t>(ParseU64(argv[++i]));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
                    "[--scheme single|pq] [--groups G] [--episodes E] "
                    "[--ops O] [--autopilot] [--batch] [--codec] "
-                   "[--threads T] [--verbose]\n",
+                   "[--threads T] [--disk-read-ms MS] [--disk-write-ms MS] "
+                   "[--spindles S] [--disk-policy fifo|elevator|deadline] "
+                   "[--cache-blocks N] [--verbose]\n",
                    argv[0]);
       return 2;
     }
