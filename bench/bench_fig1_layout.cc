@@ -38,6 +38,9 @@ void PrintLayout(int g, BlockNum rows) {
         case BlockRole::kData:
           cells.push_back(std::to_string(*layout.RowToData(site, row)));
           break;
+        case BlockRole::kNone:
+          cells.push_back("-");
+          break;
       }
     }
     t.AddRow(cells);

@@ -90,7 +90,7 @@ RunResult Run(const char* mode, bool batched) {
 
   // Hot set per member: the data indexes whose rows land on that member's
   // most common parity site, so one staging buffer sees all the traffic.
-  const RaddLayout& lay = sys.layout();
+  const PlacementMap& lay = sys.layout();
   const BlockNum nblocks = sys.group()->DataBlocksPerMember();
   std::vector<std::vector<BlockNum>> hot(kSites);
   for (int m = 0; m < kSites; ++m) {

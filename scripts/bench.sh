@@ -18,6 +18,10 @@
 #   scripts/bench.sh 1 build disk       # only BENCH_disk.json (all figures
 #                                       # are simulated-time, so one run
 #                                       # suffices)
+#   scripts/bench.sh 1 build layout     # only BENCH_layout.json (rotated vs
+#                                       # declustered recovery makespan +
+#                                       # expansion moved fraction; simulated
+#                                       # time, one run suffices)
 #
 # Every record is stamped with the git SHA and UTC date it was generated
 # from, plus the scheme and config (block/group size) it measured, so a
@@ -379,5 +383,124 @@ with open(f"{repo}/BENCH_disk.json", "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 print(f"wrote BENCH_disk.json (modeled g8/g1 scaling {scaling}x)")
+EOF
+fi
+
+if [ "$suite" = all ] || [ "$suite" = layout ]; then
+  # Placement layer (DESIGN.md section 16): rotated vs declustered
+  # recovery makespan, plus the online-expansion moved-fraction record.
+  # Every figure is simulated time, so a single run per seed is the
+  # measurement, and every chaos_main invocation below exits nonzero if a
+  # schedule violates an invariant — the suite doubles as a smoke test.
+  #   * recovery makespan: per-seed autopilot convergence time over 40
+  #     chaos schedules, classic rotated layout vs declustered over a
+  #     12-site cluster (reconstruction reads spread over C-2 sources
+  #     instead of the fixed G+parities group neighbours);
+  #   * expansion: the same 40 declustered schedules with a mid-schedule
+  #     AddSite — the migrated block count must equal the planned minimum
+  #     rounds*(n-1) and stay under the added capacity share 1/(C+1).
+  echo "layout suite: recovery makespan + expansion moved fraction ..."
+  for cfg in rotated declustered; do
+    flags=""
+    [ "$cfg" = declustered ] && flags="--layout declustered --sites 12"
+    for s in $(seq 1 40); do
+      # shellcheck disable=SC2086
+      "$build/tools/chaos_main" --seed "$s" --autopilot $flags
+    done > "$tmp/layout_conv_$cfg.txt"
+  done
+  for s in $(seq 1 40); do
+    "$build/tools/chaos_main" --seed "$s" --autopilot \
+      --layout declustered --sites 12 --expand
+  done > "$tmp/layout_expand.txt"
+
+  TMP="$tmp" REPO="$repo" python3 - <<'EOF'
+import json, os, re, statistics
+
+tmp = os.environ["TMP"]
+repo = os.environ["REPO"]
+
+def makespan(path):
+    conv_ms = [int(m.group(1)) / 1000.0 for m in
+               re.finditer(r"conv_max=(\d+)", open(path).read())]
+    if len(conv_ms) != 40:
+        raise SystemExit(f"expected 40 convergence samples in {path}, "
+                         f"got {len(conv_ms)}")
+    conv_ms.sort()
+    return {
+        "p50": round(conv_ms[len(conv_ms) // 2], 1),
+        "p99": round(conv_ms[int(0.99 * (len(conv_ms) - 1))], 1),
+        "max": round(conv_ms[-1], 1),
+        "mean": round(statistics.mean(conv_ms), 1),
+        "seeds": len(conv_ms),
+    }
+
+configs = {
+    "rotated": {"layout": "rotated",
+                "recovery_makespan_ms": makespan(f"{tmp}/layout_conv_rotated.txt")},
+    "declustered": {"layout": "declustered", "sites": 12,
+                    "recovery_makespan_ms": makespan(f"{tmp}/layout_conv_declustered.txt")},
+}
+
+# Expansion record. The harness shape is fixed (G=4, single parity, so
+# n=6; rows=12 -> 2 rounds; C=12 pre-expansion sites), so the minimal
+# plan is rounds*(n-1) = 10 moves against c0*rounds*n = 144 blocks in
+# use. chaos.cc asserts moved == planned and the capacity-share bound
+# per seed; here we record the fraction and re-check it.
+G, PAR, ROWS, C = 4, 1, 12, 12
+n = G + 1 + PAR
+rounds = ROWS // n
+used = C * rounds * n
+pairs = re.findall(r"moved=(\d+) planned=(\d+)",
+                   open(f"{tmp}/layout_expand.txt").read())
+if len(pairs) != 40:
+    raise SystemExit(f"expected 40 expansion samples, got {len(pairs)}")
+moved = {int(m) for m, _ in pairs}
+planned = {int(p) for _, p in pairs}
+if moved != planned or len(moved) != 1:
+    raise SystemExit(f"expansion moves not uniform/minimal: moved={moved} "
+                     f"planned={planned}")
+mv = moved.pop()
+if mv != rounds * (n - 1):
+    raise SystemExit(f"moved {mv} != minimal plan rounds*(n-1) = "
+                     f"{rounds * (n - 1)}")
+frac = mv / used
+bound = 1.0 / (C + 1)
+if frac > bound:
+    raise SystemExit(f"moved fraction {frac:.4f} above capacity share "
+                     f"{bound:.4f}")
+conv = makespan(f"{tmp}/layout_expand.txt")
+
+doc = {
+    "git_sha": os.environ["GIT_SHA"],
+    "generated_utc": os.environ["GEN_DATE"],
+    "description": (
+        "Placement layer record (DESIGN.md section 16). "
+        "recovery_makespan_ms: per-seed autopilot convergence time over "
+        "chaos_main --autopilot seeds 1..40, classic rotated layout vs "
+        "declustered placement over a 12-site cluster. expansion: the "
+        "same declustered schedules with a mid-schedule AddSite; moved "
+        "blocks must equal the minimal plan rounds*(n-1) and stay under "
+        "the added capacity share 1/(C+1) of blocks in use. All figures "
+        "are deterministic simulated time; regenerate with "
+        "scripts/bench.sh 1 <build> layout."),
+    "configs": configs,
+    "expansion": {
+        "group_size": G,
+        "parities": PAR,
+        "rows": ROWS,
+        "sites_before": C,
+        "sites_after": C + 1,
+        "moves_per_group": mv,
+        "blocks_in_use": used,
+        "moved_fraction": round(frac, 4),
+        "capacity_share_bound": round(bound, 4),
+        "seeds": len(pairs),
+        "recovery_makespan_ms": conv,
+    },
+}
+with open(f"{repo}/BENCH_layout.json", "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+print(f"wrote BENCH_layout.json (moved fraction {frac:.4f} <= {bound:.4f})")
 EOF
 fi

@@ -53,10 +53,14 @@ struct RaddNodeSystem::Node {
   std::vector<Local> locals;
 
   RaddGroup* grp(int g) { return sys->groups_[static_cast<size_t>(g)].get(); }
-  const RaddLayout& lay(int g) { return grp(g)->layout(); }
-  /// Physical block on this site holding group `g`'s row `row`.
-  BlockNum phys(int g, BlockNum row) const {
-    return locals[static_cast<size_t>(g)].first_block + row;
+  const PlacementMap& lay(int g) { return grp(g)->layout(); }
+  /// Physical block on this site holding group `g`'s row `row`. Under the
+  /// rotated layout the address is the row itself; declustered tables
+  /// permute it, and during expansion a row's block may have moved here.
+  BlockNum phys(int g, BlockNum row) {
+    const auto& local = locals[static_cast<size_t>(g)];
+    return local.first_block +
+           lay(g).AddressOf(static_cast<SiteId>(local.member), row);
   }
   /// True when this node plays the Q-parity role for (group, row) — only
   /// possible in a dual-parity layout.
@@ -65,6 +69,24 @@ struct RaddNodeSystem::Node {
     int me = locals[static_cast<size_t>(g)].member;
     return me >= 0 &&
            lay(g).RoleOf(static_cast<SiteId>(me), row) == BlockRole::kParityQ;
+  }
+  /// This node's role in (group, row): kNone when the site is not in the
+  /// group or (declustered) the row's stripe does not touch it. Every
+  /// handler checks its expected role *before* the first phys() — under a
+  /// table layout, AddressOf is undefined for a non-participant, and after
+  /// an expansion move a message routed under the old tables must be
+  /// bounced (StaleEpoch) so the sender re-resolves, not applied to
+  /// whatever block now sits at the stale address.
+  BlockRole RoleHere(int g, BlockNum row) {
+    const int me = locals[static_cast<size_t>(g)].member;
+    if (me < 0) return BlockRole::kNone;
+    return lay(g).RoleOf(static_cast<SiteId>(me), row);
+  }
+  /// Counts and reports a message that reached a member whose layout role
+  /// no longer matches (dead code under the rotated layout).
+  Status Misroute(const char* what) {
+    sys->stats_.Add("node.layout_misroute");
+    return Status::StaleEpoch(what);
   }
 
   /// This site's effective disk latency model (the NodeConfig default or
@@ -168,6 +190,13 @@ struct RaddNodeSystem::Node {
   void OnReadReq(Message& msg) {
     auto req = std::get<ReadReq>(msg.payload);
     const SiteId from = msg.from;
+    if (RoleHere(req.group, req.row) != BlockRole::kData) {
+      ReadReply rep;
+      rep.op = req.op;
+      rep.status = Misroute("read reached a non-data member");
+      Send(from, MessageType::kReadReply, std::move(rep), 0);
+      return;
+    }
     const BlockNum prow = phys(req.group, req.row);
     WithLock(req.op, prow, LockMode::kShared, [this, req, from, prow]() {
       if (BlockCache* c = cache()) {
@@ -268,6 +297,17 @@ struct RaddNodeSystem::Node {
       write_flows.erase(req.op);
       Send(from, MessageType::kWriteReply,
            WriteReply{req.op, Status::StaleEpoch("write epoch")}, 0);
+      sys->arena_.Return(std::move(req.data));
+      return;
+    }
+    if (RoleHere(req.group, req.row) != BlockRole::kData) {
+      // An expansion moved this row's block off this member after the
+      // client resolved its host. No side effects yet: drop the flow
+      // marker so the client's re-resolved retry starts fresh.
+      write_flows.erase(req.op);
+      Send(from, MessageType::kWriteReply,
+           WriteReply{req.op, Misroute("write reached a non-data member")},
+           0);
       sys->arena_.Return(std::move(req.data));
       return;
     }
@@ -477,6 +517,12 @@ struct RaddNodeSystem::Node {
 
   void OnSpareInvalidate(const Message& msg) {
     auto req = std::get<SpareTakeReq>(msg.payload);
+    if (RoleHere(req.group, req.row) != BlockRole::kSpare) {
+      // Fire-and-forget: a misrouted invalidation is simply dropped; the
+      // spare's real host still carries the spare_for check.
+      (void)Misroute("spare invalidate reached a non-spare member");
+      return;
+    }
     ScheduleDisk(IoClass::kRecovery, IoKind::kWrite,
                  phys(req.group, req.row), 1, [this, req]() {
       const BlockNum prow = phys(req.group, req.row);
@@ -628,6 +674,13 @@ struct RaddNodeSystem::Node {
     if (it == parity_done.end()) return;
     ParityUpdate& u = it->second.update;
     u.home_epoch = sys->EpochOf(grp(u.group)->SiteOfMember(u.position));
+    // Re-resolve the parity's member per transmit: an expansion can move a
+    // parity block between retries, and a retransmit to the old host would
+    // bounce (StaleEpoch) forever. Identity under the rotated layout.
+    const bool q_leg = (op & kQLegBit) != 0;
+    const int pm = static_cast<int>(q_leg ? lay(u.group).QParitySite(u.row)
+                                          : lay(u.group).ParitySite(u.row));
+    it->second.parity_site = grp(u.group)->SiteOfMember(pm);
     Send(it->second.parity_site, MessageType::kParityUpdate, u, u.wire_bytes);
     uint64_t timer = sim()->Schedule(
         sys->node_config_.retry_timeout, [this, op]() {
@@ -668,6 +721,21 @@ struct RaddNodeSystem::Node {
       // retransmit) resolves it. Applied: re-ack, the first ack was lost.
       if (seen->second) Send(from, MessageType::kParityAck, ParityAck{u.op}, 0);
       return;
+    }
+    {
+      const BlockRole role = RoleHere(u.group, u.row);
+      if (role != BlockRole::kParity && role != BlockRole::kParityQ) {
+        // The row's parity block moved (expansion) after the sender
+        // resolved its site. Nack so the sender re-resolves and
+        // retransmits to the current host.
+        Send(from, MessageType::kParityNack,
+             ParityNack{u.op,
+                        Misroute("parity update reached a non-parity "
+                                 "member")},
+             0);
+        sys->arena_.Return(std::move(u.delta));
+        return;
+      }
     }
     // Idempotence across restarts: a duplicate carries the UID we already
     // recorded in the array (paper §3.3 machinery).
@@ -964,6 +1032,17 @@ struct RaddNodeSystem::Node {
     std::vector<size_t> to_apply;
     for (size_t i = 0; i < frame.entries.size(); ++i) {
       ParityBatchEntry& e = frame.entries[i];
+      {
+        const BlockRole role = RoleHere(frame.group, e.row);
+        if (role != BlockRole::kParity && role != BlockRole::kParityQ) {
+          // This row's parity moved off this member (expansion); per-entry
+          // refusal, the rest of the frame still lands.
+          ack.entry_status[i] =
+              Misroute("batched parity entry reached a non-parity member");
+          sys->arena_.Return(std::move(e.delta));
+          continue;
+        }
+      }
       // §3.3 UID-array backstop: catches duplicates that outlive a node
       // restart (which clears the seq table) or its eviction bound.
       Result<BlockRecord> rec = store()->Peek(phys(frame.group, e.row));
@@ -1009,6 +1088,16 @@ struct RaddNodeSystem::Node {
                         const std::vector<size_t>& to_apply) {
     for (size_t i : to_apply) {
       ParityBatchEntry& e = frame.entries[i];
+      {
+        const BlockRole role = RoleHere(frame.group, e.row);
+        if (role != BlockRole::kParity && role != BlockRole::kParityQ) {
+          // The parity moved while the frame sat in the disk queue.
+          ack.entry_status[i] =
+              Misroute("batched parity entry reached a non-parity member");
+          sys->arena_.Return(std::move(e.delta));
+          continue;
+        }
+      }
       // Re-checked at apply time, not just at receipt: the home's epoch
       // can move while this frame sits in the disk queue, and a recovery
       // sweep may reconstruct the row from the pre-delta parity in that
@@ -1124,6 +1213,13 @@ struct RaddNodeSystem::Node {
   void OnSpareReadReq(Message& msg) {
     auto req = std::get<SpareReadReq>(msg.payload);
     const SiteId from = msg.from;
+    if (RoleHere(req.group, req.row) != BlockRole::kSpare) {
+      SpareReadReply rep;
+      rep.op = req.op;
+      rep.status = Misroute("spare read reached a non-spare member");
+      Send(from, MessageType::kSpareReadReply, std::move(rep), 0);
+      return;
+    }
     const BlockNum prow = phys(req.group, req.row);
     WithLock(req.op, prow, LockMode::kShared, [this, req, from, prow]() {
       ScheduleDisk(IoClass::kForeground, IoKind::kRead, prow, 1,
@@ -1148,6 +1244,13 @@ struct RaddNodeSystem::Node {
   void OnSpareTakeReq(Message& msg) {
     auto req = std::get<SpareTakeReq>(msg.payload);
     const SiteId from = msg.from;
+    if (RoleHere(req.group, req.row) != BlockRole::kSpare) {
+      SpareReadReply rep;
+      rep.op = req.op;
+      rep.status = Misroute("spare take reached a non-spare member");
+      Send(from, MessageType::kSpareTakeReply, std::move(rep), 0);
+      return;
+    }
     const BlockNum prow = phys(req.group, req.row);
     WithLock(req.op, prow, LockMode::kExclusive, [this, req, from, prow]() {
       ScheduleDisk(IoClass::kForeground, IoKind::kRead, prow, 1,
@@ -1187,6 +1290,15 @@ struct RaddNodeSystem::Node {
       write_flows.erase(req.op);
       Send(from, MessageType::kSpareWriteReply,
            WriteReply{req.op, Status::StaleEpoch("spare write epoch")}, 0);
+      sys->arena_.Return(std::move(req.data));
+      return;
+    }
+    if (RoleHere(req.group, req.row) != BlockRole::kSpare) {
+      write_flows.erase(req.op);
+      Send(from, MessageType::kSpareWriteReply,
+           WriteReply{req.op,
+                      Misroute("spare write reached a non-spare member")},
+           0);
       sys->arena_.Return(std::move(req.data));
       return;
     }
@@ -1451,6 +1563,11 @@ struct RaddNodeSystem::Node {
       sys->arena_.Return(std::move(wb.data));
       return;
     }
+    if (RoleHere(wb.group, wb.row) != BlockRole::kSpare) {
+      (void)Misroute("spare writeback reached a non-spare member");
+      sys->arena_.Return(std::move(wb.data));
+      return;
+    }
     const BlockNum wb_addr = phys(wb.group, wb.row);
     ScheduleDisk(IoClass::kRecovery, IoKind::kWrite, wb_addr, 1,
                  [this, wb = std::move(wb)]() mutable {
@@ -1482,6 +1599,17 @@ struct RaddNodeSystem::Node {
   void OnReconReq(Message& msg) {
     auto req = std::get<ReconReq>(msg.payload);
     const SiteId from = msg.from;
+    if (RoleHere(req.group, req.row) == BlockRole::kNone) {
+      // The requester planned its sources under tables an expansion has
+      // since flipped; StaleEpoch makes it re-plan from the current map.
+      ReconReply rep;
+      rep.op = req.op;
+      rep.row = req.row;
+      rep.attempt = req.attempt;
+      rep.status = Misroute("recon source no longer in the row");
+      Send(from, MessageType::kReconReply, std::move(rep), 0);
+      return;
+    }
     // §3.3: reconstruction reads take no locks; they return UIDs instead.
     // Foreground class: recon rounds serve degraded client reads (the
     // background sweep repairs through the synchronous model instead).
@@ -1548,7 +1676,7 @@ struct RaddNodeSystem::Node {
   /// block's own staleness (§3.3 covers data, not the sums).
   Status PlanRecon(Recon& rc) {
     RaddGroup* g = grp(rc.group);
-    const RaddLayout& l = lay(rc.group);
+    const PlacementMap& l = lay(rc.group);
     rc.sources.clear();
     rc.lost_dm = -1;
     rc.use_p = false;
@@ -1623,6 +1751,11 @@ struct RaddNodeSystem::Node {
   void StartReconstruction(uint64_t op, int g, int home, BlockNum row,
                            std::function<void(Status, Block, Uid)> done,
                            bool for_read = false, int force_leg = 0) {
+    // Callers pass the row's logical owner; resolve to the member that
+    // hosts its block under the current tables (identity except for rows
+    // relocated by an expansion; idempotent, so already-resolved callers
+    // are fine).
+    home = static_cast<int>(lay(g).HostOfData(static_cast<SiteId>(home), row));
     Recon rc;
     rc.group = g;
     rc.home = home;
@@ -1736,6 +1869,22 @@ struct RaddNodeSystem::Node {
         IssueReconRound(rep.op);
         return;
       }
+      if (!rc.dual && rep.status.IsStaleEpoch()) {
+        // An expansion moved this source out of the row between planning
+        // and the read. Re-derive the source set from the current tables
+        // and retry, bounded by the round budget.
+        rc.sources = lay(rc.group).ReconstructionSources(
+            static_cast<SiteId>(rc.home), rc.row);
+        ++rc.attempt;
+        if (++rc.rounds > sys->node_config_.max_retries) {
+          FinishRecon(it, Status::Blocked("reconstruction timed out"),
+                      Block(0), Uid());
+          return;
+        }
+        sys->stats_.Add("node.recon_replan");
+        IssueReconRound(rep.op);
+        return;
+      }
       FinishRecon(it,
                   Status::Blocked("source failed: " + rep.status.ToString()),
                   Block(0), Uid());
@@ -1800,7 +1949,7 @@ struct RaddNodeSystem::Node {
   void FinishDualDecode(std::map<uint64_t, Recon>::iterator it) {
     Recon& rc = it->second;
     const uint64_t op = it->first;
-    const RaddLayout& l = lay(rc.group);
+    const PlacementMap& l = lay(rc.group);
     const int pm = static_cast<int>(l.ParitySite(rc.row));
     const int qm = static_cast<int>(l.QParitySite(rc.row));
     const ReconReply* prep = rc.use_p ? &rc.replies.at(pm) : nullptr;
@@ -1975,6 +2124,72 @@ RaddNodeSystem::RaddNodeSystem(Simulator* sim, Network* net,
   }
 }
 
+int RaddNodeSystem::HostMember(int grp, int home, BlockNum index) const {
+  return static_cast<int>(
+      groups_[static_cast<size_t>(grp)]->layout().HostOfDataIndex(
+          static_cast<SiteId>(home), index));
+}
+
+Status RaddNodeSystem::AddGroupMember(int grp, const LogicalDrive& drive) {
+  if (grp < 0 || static_cast<size_t>(grp) >= groups_.size()) {
+    return Status::InvalidArgument("AddGroupMember: no such group");
+  }
+  RaddGroup* g = groups_[static_cast<size_t>(grp)].get();
+  Status st = g->BeginExpansion(drive);
+  if (!st.ok()) return st;
+  const SiteId site = drive.site;
+  auto nit = nodes_.find(site);
+  if (nit == nodes_.end()) {
+    // Wire a protocol Node for the new site exactly as the constructor
+    // does for founding members.
+    nodes_[site] = std::make_unique<Node>(this, site);
+    Node* n = nodes_[site].get();
+    Network::Handler prev = net_->GetHandler(site);
+    if (prev) {
+      // An interceptor (the heartbeat detector chains in front of the
+      // protocol handlers at setup) already owns this site's slot; leave
+      // it first in line for its own traffic and take the rest. Without
+      // this, re-registering would silence the site's failure detector.
+      net_->RegisterHandler(
+          site, [this, site, prev = std::move(prev)](Message& msg) {
+            switch (msg.type) {
+              case MessageType::kHeartbeat:
+              case MessageType::kHbProbe:
+              case MessageType::kHbProbeAck:
+                prev(msg);
+                return;
+              default:
+                Dispatch(site, msg);
+            }
+          });
+    } else {
+      net_->RegisterHandler(
+          site, [this, site](Message& msg) { Dispatch(site, msg); });
+    }
+    n->locals.resize(groups_.size());
+    for (size_t gi = 0; gi < groups_.size(); ++gi) {
+      int m = groups_[gi]->MemberAtSite(site);
+      n->locals[gi].member = m;
+      n->locals[gi].first_block =
+          m >= 0 ? groups_[gi]->FirstBlockOfMember(m) : 0;
+    }
+    n->model = DiskModelOf(site);
+    const DiskSchedConfig& sched = DiskSchedOf(site);
+    if (sched.modeled()) {
+      n->storage = std::make_unique<SiteStorage>(sim_, n->model, sched);
+    }
+  } else {
+    // The site already runs a Node for a sibling group; it only needs its
+    // membership view of this group refreshed.
+    Node* n = nit->second.get();
+    const int m = g->MemberAtSite(site);
+    n->locals[static_cast<size_t>(grp)].member = m;
+    n->locals[static_cast<size_t>(grp)].first_block =
+        m >= 0 ? g->FirstBlockOfMember(m) : 0;
+  }
+  return Status::OK();
+}
+
 const DiskModel& RaddNodeSystem::DiskModelOf(SiteId site) const {
   auto it = node_config_.site_disk.find(site);
   return it != node_config_.site_disk.end() ? it->second
@@ -2140,6 +2355,20 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
         // Block lost at the home site: reconstruct.
         PendingRead& pr = it->second;
         StartReadReconstruction(rep.op, pr);
+      } else if (rep.status.IsStaleEpoch()) {
+        // The read landed on a member an expansion moved the row away
+        // from. StartRead re-resolves the hosting member, so the retry
+        // routes to the block's current home.
+        PendingRead& pr = it->second;
+        sim_->Cancel(pr.timer);
+        if (++pr.retries > node_config_.max_retries) {
+          stats_.Add("node.read_retry_exhausted");
+          FinishRead(site, rep.op, Status::NetworkError("read timed out"),
+                     Block(0));
+          return;
+        }
+        stats_.Add("node.stale_epoch_retry");
+        StartRead(site, rep.op);
       } else {
         FinishRead(site, rep.op, rep.status, Block(0));
       }
@@ -2173,13 +2402,14 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
         PendingWrite& pw = it->second;
         Node* client_node = node(pw.client);
         RaddGroup* g = groups_[static_cast<size_t>(pw.group)].get();
+        const int home = HostMember(pw.group, pw.home, pw.index);
         SpareWriteReq req;
         req.op = rep.op;
         req.group = pw.group;
-        req.home = pw.home;
+        req.home = home;
         req.row = pw.row;
         req.deadline = WriteDeadline(pw);
-        req.home_epoch = EpochOf(g->SiteOfMember(pw.home));
+        req.home_epoch = EpochOf(g->SiteOfMember(home));
         req.data = pw.data;  // pw keeps its copy for retries
         req.uid = cluster_->site(pw.client)->uids()->Next();
         size_t wire = req.data.size();
@@ -2224,8 +2454,8 @@ void RaddNodeSystem::Dispatch(SiteId site, Message& msg) {
       }
       // Spare invalid. A recovering home may still hold a valid local
       // copy: try it before paying for reconstruction.
-      SiteId home_site =
-          groups_[static_cast<size_t>(pr.group)]->SiteOfMember(pr.home);
+      SiteId home_site = groups_[static_cast<size_t>(pr.group)]->SiteOfMember(
+          HostMember(pr.group, pr.home, pr.index));
       if (!pr.tried_home &&
           Perceived(pr.client, home_site) != SiteState::kDown) {
         pr.tried_home = true;
@@ -2274,6 +2504,7 @@ void RaddNodeSystem::AsyncRead(SiteId client, int grp, int home,
   pr.client = client;
   pr.group = grp;
   pr.home = home;
+  pr.index = index;
   pr.row = layout(grp).DataToRow(static_cast<SiteId>(home), index);
   pr.cb = std::move(cb);
   pr.start = sim_->Now();
@@ -2306,14 +2537,15 @@ void RaddNodeSystem::StartReadReconstruction(uint64_t op,
         // Materialize into the spare (asynchronous side effect), but only
         // while the home site is down — a recovering home's own copy is
         // repaired by its sweep instead.
+        const int home = HostMember(r.group, r.home, r.index);
         if (g->config().materialize_on_degraded_read &&
-            Perceived(r.client, g->SiteOfMember(r.home)) ==
+            Perceived(r.client, g->SiteOfMember(home)) ==
                 SiteState::kDown) {
           SpareWriteBack wb;
           wb.group = r.group;
-          wb.home = r.home;
+          wb.home = home;
           wb.row = r.row;
-          wb.home_epoch = EpochOf(g->SiteOfMember(r.home));
+          wb.home_epoch = EpochOf(g->SiteOfMember(home));
           wb.data = data;  // the read's caller still needs `data`
           wb.logical_uid = logical;
           size_t wire = wb.data.size();
@@ -2345,7 +2577,11 @@ void RaddNodeSystem::StartRead(SiteId client, uint64_t op) {
         StartRead(client, op);
       });
   RaddGroup* g = groups_[static_cast<size_t>(pr.group)].get();
-  SiteId home_site = g->SiteOfMember(pr.home);
+  // pr.home stays the row's logical owner across retries; each (re)issue
+  // resolves the member currently hosting its block, so a retry after an
+  // expansion move lands on the block's new home.
+  const int home = HostMember(pr.group, pr.home, pr.index);
+  SiteId home_site = g->SiteOfMember(home);
   Node* client_node = node(pr.client);
   SiteState state = Perceived(pr.client, home_site);
   if (state == SiteState::kDown || state == SiteState::kRecovering) {
@@ -2362,7 +2598,7 @@ void RaddNodeSystem::StartRead(SiteId client, uint64_t op) {
     }
     // Spare first; its reply drives the rest of the state machine.
     client_node->Send(spare_site, MessageType::kSpareReadReq,
-                      SpareReadReq{op, pr.group, pr.home, pr.row}, 0);
+                      SpareReadReq{op, pr.group, home, pr.row}, 0);
     return;
   }
   client_node->Send(home_site, MessageType::kReadReq,
@@ -2381,6 +2617,7 @@ void RaddNodeSystem::AsyncWrite(SiteId client, int grp, int home,
   pw.client = client;
   pw.group = grp;
   pw.home = home;
+  pw.index = index;
   pw.row = layout(grp).DataToRow(static_cast<SiteId>(home), index);
   pw.data = std::move(data);
   pw.cb = std::move(cb);
@@ -2392,14 +2629,17 @@ void RaddNodeSystem::AsyncWrite(SiteId client, int grp, int home,
 void RaddNodeSystem::StartWrite(SiteId client, uint64_t op) {
   PendingWrite& pw = node(client)->writes.at(op);
   RaddGroup* g = groups_[static_cast<size_t>(pw.group)].get();
-  SiteId home_site = g->SiteOfMember(pw.home);
+  // As in StartRead: resolve the hosting member per (re)issue so retries
+  // follow expansion moves; pw.home remains the logical owner.
+  const int home = HostMember(pw.group, pw.home, pw.index);
+  SiteId home_site = g->SiteOfMember(home);
   Node* client_node = node(pw.client);
   ArmWriteTimer(client, op);
   if (Perceived(pw.client, home_site) == SiteState::kDown) {
     SpareWriteReq req;
     req.op = op;
     req.group = pw.group;
-    req.home = pw.home;
+    req.home = home;
     req.row = pw.row;
     req.deadline = WriteDeadline(pw);
     req.home_epoch = EpochOf(home_site);
@@ -2415,7 +2655,7 @@ void RaddNodeSystem::StartWrite(SiteId client, uint64_t op) {
   req.op = op;
   req.group = pw.group;
   req.row = pw.row;
-  req.home = pw.home;
+  req.home = home;
   req.deadline = WriteDeadline(pw);
   req.home_epoch = EpochOf(home_site);
   req.data = pw.data;  // pw keeps its copy for retries

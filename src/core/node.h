@@ -215,10 +215,17 @@ class RaddNodeSystem {
   }
   int num_groups() const { return static_cast<int>(groups_.size()); }
 
-  const RaddLayout& layout() const { return groups_.front()->layout(); }
-  const RaddLayout& layout(int grp) const {
+  const PlacementMap& layout() const { return groups_.front()->layout(); }
+  const PlacementMap& layout(int grp) const {
     return groups_[static_cast<size_t>(grp)]->layout();
   }
+
+  /// Online expansion entry point: begins adding `drive` to group `grp`
+  /// (RaddGroup::BeginExpansion) and wires a protocol Node for its site —
+  /// handler registration, per-group locals, disk model/scheduler — so the
+  /// new member answers messages immediately. Drive the actual migration
+  /// through RecoverySweeper::StartMigration (or MigrateStep directly).
+  Status AddGroupMember(int grp, const LogicalDrive& drive);
   Stats* mutable_stats() { return &stats_; }
   const Stats& stats() const { return stats_; }
 
@@ -232,6 +239,14 @@ class RaddNodeSystem {
 
   /// State that `observer` believes `target` to be in.
   SiteState Perceived(SiteId observer, SiteId target) const;
+
+  /// Member currently *hosting* owner `home`'s data block `index` in
+  /// group `grp` — identical to `home` except for blocks migrated by an
+  /// online expansion. Resolution goes by data index, not row: an
+  /// expansion owner holds several blocks of one row, which only the
+  /// index disambiguates. Every message that names a member resolves
+  /// through this at send time so retries chase a mid-migration move.
+  int HostMember(int grp, int home, BlockNum index) const;
 
   /// Membership epoch of `site` (0 when no status service is connected).
   uint64_t EpochOf(SiteId site) const;
@@ -265,7 +280,8 @@ class RaddNodeSystem {
   struct PendingRead {
     SiteId client;
     int group = 0;
-    int home;
+    int home;          // logical owner; hosts resolve via HostMember
+    BlockNum index;    // owner's data index (host resolution key)
     BlockNum row;
     ReadCallback cb;
     SimTime start;
@@ -276,7 +292,8 @@ class RaddNodeSystem {
   struct PendingWrite {
     SiteId client;
     int group = 0;
-    int home;
+    int home;          // logical owner; hosts resolve via HostMember
+    BlockNum index;    // owner's data index (host resolution key)
     BlockNum row;
     Block data{0};
     WriteCallback cb;

@@ -17,9 +17,11 @@ constexpr size_t kMsgHeader = 32;
 RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config)
     : cluster_(cluster),
       config_(config),
-      layout_(config.group_size, config.parities) {
-  members_.reserve(static_cast<size_t>(layout_.num_sites()));
-  for (int m = 0; m < layout_.num_sites(); ++m) {
+      map_(MakePlacement(config.placement, config.group_size, config.parities,
+                         config.rows)) {
+  epoch_ = dynamic_cast<EpochedPlacement*>(map_.get());
+  members_.reserve(static_cast<size_t>(map_->num_sites()));
+  for (int m = 0; m < map_->num_sites(); ++m) {
     LogicalDrive d;
     d.site = static_cast<SiteId>(m);
     d.first_block = 0;
@@ -32,8 +34,10 @@ RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config,
                      std::vector<LogicalDrive> members)
     : cluster_(cluster),
       config_(config),
-      layout_(config.group_size, config.parities),
+      map_(MakePlacement(config.placement, config.group_size, config.parities,
+                         config.rows)),
       members_(std::move(members)) {
+  epoch_ = dynamic_cast<EpochedPlacement*>(map_.get());
   Status st = ValidateMembers(*cluster, config_, members_);
   if (!st.ok()) {
     // A malformed member list would address blocks of *other* groups (or
@@ -48,11 +52,14 @@ RaddGroup::RaddGroup(Cluster* cluster, const RaddConfig& config,
 Status RaddGroup::ValidateMembers(const Cluster& cluster,
                                   const RaddConfig& config,
                                   const std::vector<LogicalDrive>& members) {
-  const int expect = config.group_size + 1 + config.parities;
+  const int expect = PlacementGroupWidth(config.placement, config.group_size,
+                                         config.parities);
   if (static_cast<int>(members.size()) != expect) {
     return Status::InvalidArgument(
         "group has " + std::to_string(members.size()) +
-        " members, needs G+1+parities = " + std::to_string(expect));
+        " members, needs " + std::to_string(expect) + " for " +
+        std::string(PlacementKindName(config.placement.kind)) +
+        " placement");
   }
   std::set<SiteId> sites;
   for (size_t m = 0; m < members.size(); ++m) {
@@ -160,7 +167,13 @@ OpResult RaddGroup::Read(SiteId client, int home, BlockNum data_index) {
                                          " out of range");
     return out;
   }
-  BlockNum row = layout_.DataToRow(static_cast<SiteId>(home), data_index);
+  BlockNum row = map_->DataToRow(static_cast<SiteId>(home), data_index);
+  // An expansion may have migrated the block onto another member; from
+  // here on the protocol runs against the hosting member (the parity UID
+  // array is indexed by host position). Resolved by index, not row — an
+  // expansion owner holds several blocks of one row.
+  home = static_cast<int>(
+      map_->HostOfDataIndex(static_cast<SiteId>(home), data_index));
 
   switch (StateOfMember(home)) {
     case SiteState::kUp: {
@@ -189,7 +202,7 @@ OpResult RaddGroup::Read(SiteId client, int home, BlockNum data_index) {
 
 OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
   OpResult out;
-  int sm = static_cast<int>(layout_.SpareSite(row));
+  int sm = static_cast<int>(map_->SpareSite(row));
   if (!SpareExists(row)) {
     Result<Reconstructed> recon = Reconstruct(client, home, row, &out.counts);
     if (!recon.ok()) {
@@ -211,7 +224,7 @@ OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
     spare_usable = srec.ok();
     if (srec.ok() && srec->uid.valid()) {
       if (srec->spare_for != home) {
-        if (!layout_.dual_parity()) {
+        if (!map_->dual_parity()) {
           out.status = Status::Internal(
               "spare of row " + std::to_string(row) + " shadows member " +
               std::to_string(srec->spare_for) + ", expected " +
@@ -270,7 +283,7 @@ OpResult RaddGroup::DegradedRead(SiteId client, int home, BlockNum row) {
 
 OpResult RaddGroup::RecoveringRead(SiteId client, int home, BlockNum row) {
   OpResult out;
-  int sm = static_cast<int>(layout_.SpareSite(row));
+  int sm = static_cast<int>(map_->SpareSite(row));
 
   // 1. Valid spare wins (it holds writes made while the site was down).
   if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
@@ -337,12 +350,12 @@ Result<RaddGroup::Reconstructed> RaddGroup::Reconstruct(SiteId client,
                                                         int home,
                                                         BlockNum row,
                                                         OpCounts* counts) {
-  if (layout_.dual_parity()) {
+  if (map_->dual_parity()) {
     return ReconstructDual(client, home, row, counts);
   }
-  const int pm = static_cast<int>(layout_.ParitySite(row));
+  const int pm = static_cast<int>(map_->ParitySite(row));
   std::vector<SiteId> source_members =
-      layout_.ReconstructionSources(static_cast<SiteId>(home), row);
+      map_->ReconstructionSources(static_cast<SiteId>(home), row);
 
   for (int attempt = 0; attempt < config_.max_reconstruct_attempts;
        ++attempt) {
@@ -422,11 +435,11 @@ Result<RaddGroup::Reconstructed> RaddGroup::ReconstructDual(SiteId client,
                                                             int home,
                                                             BlockNum row,
                                                             OpCounts* counts) {
-  const int pm = static_cast<int>(layout_.ParitySite(row));
-  const int qm = static_cast<int>(layout_.QParitySite(row));
-  const int sm = static_cast<int>(layout_.SpareSite(row));
-  const std::vector<SiteId> data_members = layout_.DataSites(row);
-  assert(layout_.RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData);
+  const int pm = static_cast<int>(map_->ParitySite(row));
+  const int qm = static_cast<int>(map_->QParitySite(row));
+  const int sm = static_cast<int>(map_->SpareSite(row));
+  const std::vector<SiteId> data_members = map_->DataSites(row);
+  assert(map_->RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData);
 
   for (int attempt = 0; attempt < config_.max_reconstruct_attempts;
        ++attempt) {
@@ -643,7 +656,10 @@ OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
     out.status = Status::InvalidArgument("wrong block size");
     return out;
   }
-  BlockNum row = layout_.DataToRow(static_cast<SiteId>(home), data_index);
+  BlockNum row = map_->DataToRow(static_cast<SiteId>(home), data_index);
+  // Run against the hosting member, resolved by index (see Read).
+  home = static_cast<int>(
+      map_->HostOfDataIndex(static_cast<SiteId>(home), data_index));
 
   switch (StateOfMember(home)) {
     case SiteState::kUp:
@@ -661,7 +677,7 @@ OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
       // block-sized buffer that is immediately overwritten.
       Block old_value(0);
       bool have_old = false;
-      int sm = static_cast<int>(layout_.SpareSite(row));
+      int sm = static_cast<int>(map_->SpareSite(row));
       bool spare_valid = false;
       if (recovering && SpareExists(row) &&
           StateOfMember(sm) != SiteState::kDown) {
@@ -744,7 +760,7 @@ OpResult RaddGroup::Write(SiteId client, int home, BlockNum data_index,
 OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
                                   const Block& new_data) {
   OpResult out;
-  int sm = static_cast<int>(layout_.SpareSite(row));
+  int sm = static_cast<int>(map_->SpareSite(row));
   if (!SpareExists(row)) {
     // §7.2's availability price: without a spare, writes to the down
     // member's block must wait for repair.
@@ -767,7 +783,7 @@ OpResult RaddGroup::DegradedWrite(SiteId client, int home, BlockNum row,
   Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
   if (srec.ok() && srec->uid.valid()) {
     if (srec->spare_for != home) {
-      if (layout_.dual_parity()) {
+      if (map_->dual_parity()) {
         // Double failure: the row's one spare already absorbs writes for
         // the other dead member. P+Q keeps both members *readable*, but a
         // second concurrent write stream has nowhere to land.
@@ -835,12 +851,12 @@ void RaddGroup::UpdateParity(SiteId issuer, int home, BlockNum row,
                              const ChangeMask& mask, Uid uid,
                              OpCounts* counts) {
   ApplyParityLeg(issuer, home, row, mask, uid, counts,
-                 static_cast<int>(layout_.ParitySite(row)), /*coeff=*/1);
-  if (layout_.dual_parity()) {
+                 static_cast<int>(map_->ParitySite(row)), /*coeff=*/1);
+  if (map_->dual_parity()) {
     // The Q leg ships the *same* delta; the Q site scales it by the
     // member's coefficient before folding it in (Q' = Q ^ g^home * delta).
     ApplyParityLeg(issuer, home, row, mask, uid, counts,
-                   static_cast<int>(layout_.QParitySite(row)),
+                   static_cast<int>(map_->QParitySite(row)),
                    GfQCoeff(home));
   }
 }
@@ -896,7 +912,8 @@ Result<OpCounts> RaddGroup::RunRecovery(int home, bool mark_up) {
         std::string(SiteStateName(site->state())) + ", not recovering");
   }
   OpCounts counts;
-  for (BlockNum row = 0; row < config_.rows; ++row) {
+  const BlockNum rows = NumRows();
+  for (BlockNum row = 0; row < rows; ++row) {
     RADD_RETURN_NOT_OK(RecoverRow(home, row, &counts));
   }
 
@@ -911,22 +928,23 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
   if (home < 0 || home >= num_members()) {
     return Status::InvalidArgument("no member " + std::to_string(home));
   }
-  if (row >= config_.rows) {
+  if (row >= NumRows()) {
     return Status::InvalidArgument("no row " + std::to_string(row));
   }
   Site* site = SiteOf(home);
   const SiteId self = site->id();
-  BlockRole role = layout_.RoleOf(static_cast<SiteId>(home), row);
+  BlockRole role = map_->RoleOf(static_cast<SiteId>(home), row);
+  if (role == BlockRole::kNone) return Status::OK();  // not a participant
   BlockNum phys = Phys(home, row);
 
   switch (role) {
     case BlockRole::kData: {
-      int sm = static_cast<int>(layout_.SpareSite(row));
+      int sm = static_cast<int>(map_->SpareSite(row));
       // Drain a valid spare (lock, copy, invalidate).
       if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
         Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
         if (srec.ok() && srec->uid.valid() && srec->spare_for != home) {
-          if (!layout_.dual_parity()) {
+          if (!map_->dual_parity()) {
             // Single parity allows one failure at a time, so a valid spare
             // on this member's row can only be shadowing it.
             return Status::Internal(
@@ -971,7 +989,7 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
       return RebuildParityRow(home, row, counts, /*q_role=*/true);
 
     case BlockRole::kParity: {
-      if (layout_.dual_parity()) {
+      if (map_->dual_parity()) {
         // The dual-mode rebuild is spare- and decode-aware: with a second
         // member dead it recovers missing data values via Q first.
         return RebuildParityRow(home, row, counts, /*q_role=*/false);
@@ -979,7 +997,7 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
       // Read every data block of the row from the other (up) members;
       // recompute the parity if the local copy is lost or its UID array
       // disagrees with the data blocks (updates missed while down).
-      std::vector<SiteId> data_members = layout_.DataSites(row);
+      std::vector<SiteId> data_members = map_->DataSites(row);
       std::vector<BlockRecord> data_recs;
       data_recs.reserve(data_members.size());
       bool sources_ok = true;
@@ -1034,6 +1052,9 @@ Status RaddGroup::RecoverRow(int home, BlockNum row, OpCounts* counts) {
       break;
     }
 
+    case BlockRole::kNone:
+      break;  // handled above
+
     case BlockRole::kSpare: {
       // A lost spare is simply re-initialized to the invalid state.
       Result<BlockRecord> lrec = site->store()->Peek(phys);
@@ -1067,8 +1088,8 @@ Status RaddGroup::RebuildParityRow(int home, BlockNum row, OpCounts* counts,
   Site* site = SiteOf(home);
   const SiteId self = site->id();
   const BlockNum phys = Phys(home, row);
-  const int sm = static_cast<int>(layout_.SpareSite(row));
-  std::vector<SiteId> data_members = layout_.DataSites(row);
+  const int sm = static_cast<int>(map_->SpareSite(row));
+  std::vector<SiteId> data_members = map_->DataSites(row);
 
   // Gather each data member's logical value: a valid spare shadowing it
   // wins (it holds writes the member's own copy missed), then the readable
@@ -1154,10 +1175,10 @@ Status RaddGroup::RebuildParityRow(int home, BlockNum row, OpCounts* counts,
 
 bool RaddGroup::ParityEntrySupersedes(int home, BlockNum row,
                                       Uid local) const {
-  const int pm = static_cast<int>(layout_.ParitySite(row));
+  const int pm = static_cast<int>(map_->ParitySite(row));
   if (ParityMemberSupersedes(pm, home, row, local)) return true;
-  if (layout_.dual_parity()) {
-    const int qm = static_cast<int>(layout_.QParitySite(row));
+  if (map_->dual_parity()) {
+    const int qm = static_cast<int>(map_->QParitySite(row));
     if (ParityMemberSupersedes(qm, home, row, local)) return true;
   }
   return false;
@@ -1194,13 +1215,17 @@ Result<BlockNum> RaddGroup::FirstUnrecoveredRow(int home,
     return Status::InvalidArgument("no member " + std::to_string(home));
   }
   const Site* site = SiteOf(home);
-  for (BlockNum row = from; row < config_.rows; ++row) {
+  const BlockNum rows = NumRows();
+  for (BlockNum row = from; row < rows; ++row) {
+    if (map_->RoleOf(static_cast<SiteId>(home), row) == BlockRole::kNone) {
+      continue;
+    }
     BlockNum phys = Phys(home, row);
-    if (layout_.RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData) {
+    if (map_->RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData) {
       // A valid spare shadowing this member must be drained before MarkUp:
       // a spare shadowing an up member violates the group invariant, and
       // the writes it holds would be lost to readers going to the home.
-      int sm = static_cast<int>(layout_.SpareSite(row));
+      int sm = static_cast<int>(map_->SpareSite(row));
       if (SpareExists(row) && StateOfMember(sm) != SiteState::kDown) {
         Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
         if (srec.ok() && srec->uid.valid() && srec->spare_for == home) {
@@ -1211,12 +1236,12 @@ Result<BlockNum> RaddGroup::FirstUnrecoveredRow(int home,
     Result<BlockRecord> lrec = site->store()->Peek(phys);
     if (!lrec.ok() && lrec.status().IsDataLoss()) return row;
     if (lrec.ok() &&
-        layout_.RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData &&
+        map_->RoleOf(static_cast<SiteId>(home), row) == BlockRole::kData &&
         ParityEntrySupersedes(home, row, lrec->uid)) {
       return row;
     }
   }
-  return config_.rows;
+  return rows;
 }
 
 Result<int> RaddGroup::ScrubParity(int parity_member) {
@@ -1230,9 +1255,10 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
   Site* site = SiteOf(parity_member);
   int repaired = 0;
 
-  for (BlockNum row = 0; row < config_.rows; ++row) {
+  const BlockNum rows = NumRows();
+  for (BlockNum row = 0; row < rows; ++row) {
     const BlockRole role =
-        layout_.RoleOf(static_cast<SiteId>(parity_member), row);
+        map_->RoleOf(static_cast<SiteId>(parity_member), row);
     if (role != BlockRole::kParity && role != BlockRole::kParityQ) {
       continue;
     }
@@ -1240,7 +1266,7 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
     const bool q_role = role == BlockRole::kParityQ;
     // Collect the row's data blocks; skip rows with unreadable members
     // (degraded rows belong to the recovery sweep, not the scrubber).
-    std::vector<SiteId> data_members = layout_.DataSites(row);
+    std::vector<SiteId> data_members = map_->DataSites(row);
     std::vector<BlockRecord> recs;
     bool auditable = true;
     for (SiteId dm : data_members) {
@@ -1256,7 +1282,7 @@ Result<int> RaddGroup::ScrubParity(int parity_member) {
       }
       recs.push_back(std::move(rec).value());
     }
-    int sm = static_cast<int>(layout_.SpareSite(row));
+    int sm = static_cast<int>(map_->SpareSite(row));
     if (auditable && SpareExists(row) &&
         StateOfMember(sm) != SiteState::kDown) {
       Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, row));
@@ -1323,8 +1349,9 @@ Result<int> RaddGroup::ScrubData(int data_member) {
   const SiteId self = site->id();
   int repaired = 0;
 
-  for (BlockNum row = 0; row < config_.rows; ++row) {
-    if (layout_.RoleOf(static_cast<SiteId>(data_member), row) !=
+  const BlockNum rows = NumRows();
+  for (BlockNum row = 0; row < rows; ++row) {
+    if (map_->RoleOf(static_cast<SiteId>(data_member), row) !=
         BlockRole::kData) {
       continue;
     }
@@ -1353,11 +1380,12 @@ Result<int> RaddGroup::ScrubData(int data_member) {
 // ---------------------------------------------------------------------------
 
 Status RaddGroup::VerifyInvariants() const {
-  for (BlockNum row = 0; row < config_.rows; ++row) {
-    const int pm = static_cast<int>(layout_.ParitySite(row));
-    const int sm = static_cast<int>(layout_.SpareSite(row));
-    const int qm = layout_.dual_parity()
-                       ? static_cast<int>(layout_.QParitySite(row))
+  const BlockNum rows = NumRows();
+  for (BlockNum row = 0; row < rows; ++row) {
+    const int pm = static_cast<int>(map_->ParitySite(row));
+    const int sm = static_cast<int>(map_->SpareSite(row));
+    const int qm = map_->dual_parity()
+                       ? static_cast<int>(map_->QParitySite(row))
                        : -1;
 
     // Parity copies with up sites and readable blocks are audited; the
@@ -1377,7 +1405,7 @@ Status RaddGroup::VerifyInvariants() const {
     Block expected(config_.block_size);    // XOR of logical values (P)
     Block expected_q(config_.block_size);  // GF(256) sum (Q, dual mode)
     bool verifiable = true;
-    for (SiteId dm_id : layout_.DataSites(row)) {
+    for (SiteId dm_id : map_->DataSites(row)) {
       int dm = static_cast<int>(dm_id);
       // Logical value: a valid spare shadowing this member wins; otherwise
       // the member's physical block (peeked directly — simulator's
@@ -1456,6 +1484,204 @@ Status RaddGroup::VerifyInvariants() const {
     }
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Online expansion
+// ---------------------------------------------------------------------------
+
+Status RaddGroup::BeginExpansion(const LogicalDrive& drive) {
+  if (epoch_ == nullptr) {
+    return Status::InvalidArgument(
+        "expansion requires a declustered placement (the rotated closed "
+        "forms admit no incremental growth)");
+  }
+  if (config_.parities != 1) {
+    return Status::InvalidArgument(
+        "expansion with dual parity is not supported: Q coefficients are "
+        "bound to host positions, so a data move would need a Q rewrite");
+  }
+  if (epoch_->migrating()) {
+    return Status::InvalidArgument("an expansion is already in flight");
+  }
+  if (drive.site >= static_cast<SiteId>(cluster_->num_sites())) {
+    return Status::InvalidArgument("new member names unknown site " +
+                                   std::to_string(drive.site));
+  }
+  for (const LogicalDrive& d : members_) {
+    if (d.site == drive.site) {
+      return Status::InvalidArgument(
+          "site " + std::to_string(drive.site) +
+          " already hosts a member of this group");
+    }
+  }
+  if (drive.drive_blocks < config_.rows) {
+    return Status::InvalidArgument(
+        "new member's drive holds " + std::to_string(drive.drive_blocks) +
+        " blocks, fewer than rows = " + std::to_string(config_.rows));
+  }
+  const BlockNum total = cluster_->site(drive.site)->store()->total_blocks();
+  if (drive.first_block > total || drive.first_block + config_.rows > total) {
+    return Status::InvalidArgument(
+        "new member's window exceeds site " + std::to_string(drive.site) +
+        "'s " + std::to_string(total) + " blocks");
+  }
+
+  RADD_ASSIGN_OR_RETURN(std::vector<PlacementMove> plan,
+                        epoch_->BeginAddMember());
+  members_.push_back(drive);
+  pending_moves_.assign(plan.begin(), plan.end());
+  expansion_moves_planned_ = static_cast<BlockNum>(plan.size());
+  expansion_moves_done_ = 0;
+  stats_.Add("radd.expansion_begun");
+  return Status::OK();
+}
+
+Result<int> RaddGroup::MigrateStep(int max_moves) {
+  if (!ExpansionPending()) {
+    return Status::InvalidArgument("no expansion in flight");
+  }
+  const int x = epoch_->pending_member();
+  int applied = 0;
+  // One pass over the queue at most per call: a skipped move goes to the
+  // back and is not retried until conditions can have changed.
+  size_t scan = pending_moves_.size();
+  while (applied < max_moves && !pending_moves_.empty() && scan-- > 0) {
+    PlacementMove mv = pending_moves_.front();
+    pending_moves_.pop_front();
+    if (TryApplyMove(x, mv)) {
+      ++applied;
+      ++expansion_moves_done_;
+      stats_.Add("radd.expansion_moved");
+    } else {
+      pending_moves_.push_back(mv);
+      stats_.Add("radd.expansion_move_skipped");
+    }
+  }
+  if (pending_moves_.empty()) {
+    RADD_RETURN_NOT_OK(epoch_->CommitAddMember());
+    stats_.Add("radd.expansion_committed");
+  }
+  return applied;
+}
+
+bool RaddGroup::TryApplyMove(int new_member, const PlacementMove& mv) {
+  // Both ends of the copy must be up; a move never runs degraded.
+  if (StateOfMember(mv.donor) != SiteState::kUp) return false;
+  if (StateOfMember(new_member) != SiteState::kUp) return false;
+  const BlockNum src =
+      members_[static_cast<size_t>(mv.donor)].first_block + mv.donor_addr;
+  const BlockNum dst =
+      members_[static_cast<size_t>(new_member)].first_block + mv.new_addr;
+  const bool is_data = mv.offset < config_.group_size;
+  const bool is_spare = mv.offset == config_.group_size;
+  Result<BlockRecord> rec = SiteOf(mv.donor)->store()->Peek(src);
+  if (!rec.ok()) {
+    // Read-repair. An unreadable donor block would park this move at the
+    // back of the queue forever, and some of these slots are repaired by
+    // nobody else: a latent sector error on a never-written spare or data
+    // slot is invisible to the scrubs (they skip unwritten content) and
+    // to the recovery sweep (the site is up). Rebuild the logical content
+    // in place, then move it like any healthy block.
+    if (is_data) {
+      OpCounts counts;
+      Result<Reconstructed> recon =
+          Reconstruct(SiteOf(mv.donor)->id(), mv.donor, mv.row, &counts);
+      if (!recon.ok()) return false;  // multiple failures: recovery first
+      if (!SiteOf(mv.donor)
+               ->store()
+               ->Write(src, recon->data, recon->logical_uid)
+               .ok()) {
+        return false;
+      }
+    } else if (is_spare) {
+      // A live spare (committed writes shadowing a down member) must never
+      // be discarded — but an unreadable slot can't say what it held. The
+      // slot may be reset exactly when the row is provably clean: every
+      // data member up and agreeing with the parity's UID array, making
+      // any spare content stale by definition.
+      if (SpareExists(mv.row)) {
+        const int pmr = static_cast<int>(map_->ParitySite(mv.row));
+        if (StateOfMember(pmr) != SiteState::kUp) return false;
+        Result<BlockRecord> prow =
+            SiteOf(pmr)->store()->Peek(Phys(pmr, mv.row));
+        if (!prow.ok()) return false;
+        for (SiteId dm : map_->DataSites(mv.row)) {
+          const int m = static_cast<int>(dm);
+          if (StateOfMember(m) != SiteState::kUp) return false;
+          Result<BlockRecord> drec = SiteOf(m)->store()->Peek(Phys(m, mv.row));
+          if (!drec.ok()) return false;
+          const size_t pos = static_cast<size_t>(m);
+          const Uid entry =
+              pos < prow->uid_array.size() ? prow->uid_array[pos] : Uid();
+          if (entry != drec->uid) return false;
+        }
+      }
+      BlockRecord empty(config_.block_size);
+      if (!SiteOf(mv.donor)->store()->WriteRecord(src, empty).ok()) {
+        return false;
+      }
+    } else {
+      // Parity slot: the parity scrub recomputes it from the row's data.
+      Result<int> scrubbed = ScrubParity(mv.donor);
+      if (!scrubbed.ok()) return false;
+    }
+    rec = SiteOf(mv.donor)->store()->Peek(src);
+    if (!rec.ok()) return false;
+    stats_.Add("radd.expansion_move_repaired");
+  }
+
+  std::optional<BlockRecord> fixed_parity;
+  int pm = -1;
+  if (is_data) {
+    // A data block may move only when its copy is clean: UID equal to the
+    // parity array entry (no un-acked delta in flight) and no valid spare
+    // shadowing the donor (no recovery debt). The parity must be up so
+    // its array can be re-indexed in the same step.
+    pm = static_cast<int>(map_->ParitySite(mv.row));
+    if (StateOfMember(pm) != SiteState::kUp) return false;
+    Result<BlockRecord> prec = SiteOf(pm)->store()->Peek(Phys(pm, mv.row));
+    if (!prec.ok()) return false;
+    const size_t dpos = static_cast<size_t>(mv.donor);
+    const Uid entry =
+        dpos < prec->uid_array.size() ? prec->uid_array[dpos] : Uid();
+    if (entry != rec->uid) return false;
+    const int sm = static_cast<int>(map_->SpareSite(mv.row));
+    if (SpareExists(mv.row) && StateOfMember(sm) != SiteState::kDown) {
+      Result<BlockRecord> srec = SiteOf(sm)->store()->Peek(Phys(sm, mv.row));
+      if (srec.ok() && srec->uid.valid() && srec->spare_for == mv.donor) {
+        return false;
+      }
+    }
+    fixed_parity = std::move(prec).value();
+    if (fixed_parity->uid_array.size() <
+        static_cast<size_t>(num_members())) {
+      fixed_parity->uid_array.resize(static_cast<size_t>(num_members()),
+                                     Uid());
+    }
+    fixed_parity->uid_array[static_cast<size_t>(new_member)] = entry;
+    fixed_parity->uid_array[dpos] = Uid();
+  }
+
+  // The copy, the zeroing of the freed address (which becomes the donor's
+  // never-written slot in the new stripe) and the array fix are one
+  // atomic step in the synchronous model; the node layer's epoch guards
+  // cover messages already in flight.
+  if (!SiteOf(new_member)->store()->WriteRecord(dst, *rec).ok()) {
+    return false;
+  }
+  BlockRecord freed(config_.block_size);
+  if (!SiteOf(mv.donor)->store()->WriteRecord(src, freed).ok()) return false;
+  if (fixed_parity.has_value()) {
+    if (!SiteOf(pm)
+             ->store()
+             ->WriteRecord(Phys(pm, mv.row), *fixed_parity)
+             .ok()) {
+      return false;
+    }
+  }
+  epoch_->ApplyMove(mv);
+  return true;
 }
 
 }  // namespace radd

@@ -26,6 +26,8 @@
 #ifndef RADD_CORE_RADD_H_
 #define RADD_CORE_RADD_H_
 
+#include <deque>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,6 +37,7 @@
 #include "common/status.h"
 #include "common/uid.h"
 #include "layout/layout.h"
+#include "layout/placement.h"
 #include "sim/stats.h"
 
 namespace radd {
@@ -64,6 +67,13 @@ struct RaddConfig {
   /// Attempts for UID-validated reconstruction before giving up with
   /// Inconsistent (§3.3 "the read was not consistent and must be retried").
   int max_reconstruct_attempts = 3;
+
+  /// How the group's (member, row) -> role/address map is built
+  /// (layout/placement.h). The default rotated placement is the paper's
+  /// closed-form layout with G + 1 + parities members; declustered
+  /// placement spreads rows over `placement.sites` members and supports
+  /// online expansion.
+  PlacementSpec placement;
 
   /// §7.2: "a smaller number of spare blocks can be allocated per site if
   /// the system administrator is willing to tolerate lower availability.
@@ -115,13 +125,17 @@ class RaddGroup {
                                 const std::vector<LogicalDrive>& members);
 
   const RaddConfig& config() const { return config_; }
-  const RaddLayout& layout() const { return layout_; }
+  const PlacementMap& layout() const { return *map_; }
   Cluster* cluster() const { return cluster_; }
-  int num_members() const { return layout_.num_sites(); }
+  int num_members() const { return map_->num_sites(); }
+  /// Logical rows the group currently exposes (rotated: config().rows;
+  /// table maps may expose more rows, each touching only n members, and
+  /// the count grows when an expansion commits).
+  BlockNum NumRows() const { return map_->NumRows(config_.rows); }
 
   /// Data blocks each member exposes.
   BlockNum DataBlocksPerMember() const {
-    return layout_.DataBlocksPerSite(config_.rows);
+    return map_->DataBlocksPerSite(config_.rows);
   }
 
   /// Site hosting member `m`.
@@ -196,6 +210,32 @@ class RaddGroup {
   ///   * valid spares shadow only blocks of non-up members.
   Status VerifyInvariants() const;
 
+  // --- online expansion (declustered placement, single parity) ----------
+  /// Starts adding `drive` as a new member of a live group: plans the
+  /// minimal move set (layout/placement.h) and makes the member
+  /// addressable. Rows, roles and capacity are unchanged until every move
+  /// lands and the epoch flips. Fails for rotated placement (the closed
+  /// forms admit no incremental growth — that is the point of the
+  /// refactor) and for dual parity (Q coefficients are host-bound; out of
+  /// scope).
+  Status BeginExpansion(const LogicalDrive& drive);
+  /// Migrates up to `max_moves` planned blocks. A move runs only when the
+  /// donor, the new member and (for data blocks) the row's parity are up
+  /// and the donor's copy is clean — UID equal to the parity array entry
+  /// and no valid spare shadowing it; skipped moves are retried on later
+  /// calls. When the last move lands the epoch flips and NumRows() grows.
+  /// Returns the number of blocks moved by this call. Paced by the
+  /// RecoverySweeper in autopilot mode; loop until ExpansionPending() is
+  /// false for a stop-the-world expansion.
+  Result<int> MigrateStep(int max_moves);
+  bool ExpansionPending() const {
+    return epoch_ != nullptr && epoch_->migrating();
+  }
+  /// Blocks physically moved / planned for the expansion in flight (or
+  /// the last completed one).
+  BlockNum ExpansionMovesDone() const { return expansion_moves_done_; }
+  BlockNum ExpansionMovesPlanned() const { return expansion_moves_planned_; }
+
   /// Asynchronous side-effect and diagnostic counters:
   /// "radd.materialize", "radd.spare_invalidate", "radd.parity_dropped",
   /// "radd.reconstructions", "radd.uid_retry", "radd.bytes.parity",
@@ -205,9 +245,11 @@ class RaddGroup {
 
  private:
   // --- addressing -------------------------------------------------------
-  /// Flat physical block number on member m's site for row r.
+  /// Flat physical block number on member m's site for row r. Only valid
+  /// when m participates in the row (RoleOf != kNone).
   BlockNum Phys(int m, BlockNum row) const {
-    return members_[size_t(m)].first_block + row;
+    return members_[size_t(m)].first_block +
+           map_->AddressOf(static_cast<SiteId>(m), row);
   }
   Site* SiteOf(int m) const;
   SiteState StateOfMember(int m) const;
@@ -284,10 +326,21 @@ class RaddGroup {
   OpResult DegradedWrite(SiteId client, int home, BlockNum row,
                          const Block& new_data);
 
+  /// One planned expansion move: copy the donor's record to the new
+  /// member, zero the freed address, fix the parity UID array (data
+  /// blocks), then flip the map. Returns false (skip, retry later) when a
+  /// participant is unavailable or the donor's copy is not clean.
+  bool TryApplyMove(int new_member, const PlacementMove& move);
+
   Cluster* cluster_;
   RaddConfig config_;
-  RaddLayout layout_;
+  std::shared_ptr<PlacementMap> map_;
+  /// Non-null when map_ supports epoched expansion (declustered).
+  EpochedPlacement* epoch_ = nullptr;
   std::vector<LogicalDrive> members_;
+  std::deque<PlacementMove> pending_moves_;
+  BlockNum expansion_moves_done_ = 0;
+  BlockNum expansion_moves_planned_ = 0;
   Stats stats_;
 };
 

@@ -1,5 +1,6 @@
 #include "core/sweeper.h"
 
+#include <memory>
 #include <utility>
 
 namespace radd {
@@ -38,9 +39,24 @@ void RecoverySweeper::Start() {
     if (state != SiteState::kRecovering) return;
     // A §4 site hosts one drive per group it belongs to; every such group
     // needs its own sweep, and they run concurrently.
+    bool hosted = false;
     for (size_t g = 0; g < groups_.size(); ++g) {
       const int member = groups_[g]->MemberAtSite(site);
-      if (member >= 0) Pump(static_cast<int>(g), member);
+      if (member >= 0) {
+        hosted = true;
+        Pump(static_cast<int>(g), member);
+      }
+    }
+    if (!hosted) {
+      // A site hosting no drive (the reserved expansion site before any
+      // group adopts it) has no recovery debt; without this it would sit
+      // in kRecovering forever, since no sweep ever marks it up. Scheduled
+      // so the service isn't re-entered mid-notification.
+      sim_->Schedule(0, [this, site]() {
+        if (service_->StateOf(site) == SiteState::kRecovering) {
+          (void)service_->MarkUp(site);
+        }
+      });
     }
   });
   // Pick up members already mid-recovery when the sweeper comes online.
@@ -82,7 +98,7 @@ bool RecoverySweeper::TryMarkUp(SiteId site) {
     const int m = groups_[g]->MemberAtSite(site);
     if (m < 0) continue;
     auto dirty = groups_[g]->FirstUnrecoveredRow(m);
-    if (!dirty.ok() || *dirty < groups_[g]->config().rows) return false;
+    if (!dirty.ok() || *dirty < groups_[g]->NumRows()) return false;
   }
   if (!service_->MarkUp(site).ok()) return false;
   // Reset every slice's cursor; still-active sibling chains terminate on
@@ -118,7 +134,8 @@ void RecoverySweeper::Tick(int grp, int member) {
 
   OpCounts ops;
   uint32_t swept_now = 0;
-  const BlockNum rows = group->config().rows;
+  const BlockNum first_swept = sw.cursor;
+  const BlockNum rows = group->NumRows();
   while (budget > 0 && sw.cursor < rows) {
     Status st = group->RecoverRow(member, sw.cursor, &ops);
     if (!st.ok()) {
@@ -168,12 +185,91 @@ void RecoverySweeper::Tick(int grp, int member) {
     // An idle tick (blocked row, verification pass) still charges one
     // unit — that is the retry delay.
     stats_.Add("sweeper.disk_paced_ticks");
-    config_.disk_charge(site, swept_now > 0 ? swept_now : 1,
-                        [this, grp, member]() { Tick(grp, member); });
+    auto barrier = std::make_shared<int>(1);
+    auto next = [this, grp, member, barrier]() {
+      if (--*barrier == 0) Tick(grp, member);
+    };
+    if (config_.charge_source_reads && swept_now > 0) {
+      // Charge each repaired row's reconstruction reads where they land:
+      // the surviving source sites. The next tick then waits for the
+      // slowest source — under the rotated layout the same few sites eat
+      // every read, under a declustered table they spread cluster-wide.
+      std::map<SiteId, uint32_t> reads;
+      for (BlockNum r = first_swept; r < first_swept + swept_now; ++r) {
+        for (SiteId s : group->layout().ReconstructionSources(
+                 static_cast<SiteId>(member), r)) {
+          ++reads[group->SiteOfMember(static_cast<int>(s))];
+        }
+      }
+      for (const auto& [src_site, units] : reads) {
+        ++*barrier;
+        config_.disk_charge(src_site, units, next);
+      }
+    }
+    config_.disk_charge(site, swept_now > 0 ? swept_now : 1, next);
     return;
   }
   sim_->Schedule(config_.tick_interval,
                  [this, grp, member]() { Tick(grp, member); });
+}
+
+void RecoverySweeper::StartMigration(int grp, std::function<void()> on_done) {
+  RaddGroup* group = groups_[static_cast<size_t>(grp)];
+  if (!group->ExpansionPending()) {
+    if (on_done) on_done();
+    return;
+  }
+  migrations_[grp] = std::move(on_done);
+  stats_.Add("sweeper.migrations_started");
+  sim_->Schedule(0, [this, grp]() { MigrateTick(grp); });
+}
+
+void RecoverySweeper::MigrateTick(int grp) {
+  RaddGroup* group = groups_[static_cast<size_t>(grp)];
+  stats_.Add("sweeper.migration_ticks");
+
+  int budget = config_.rows_per_tick;
+  if (config_.load_probe &&
+      config_.load_probe() >= config_.backpressure_threshold) {
+    budget = 1;
+    stats_.Add("sweeper.backpressure_ticks");
+  }
+
+  uint32_t moved = 0;
+  if (group->ExpansionPending()) {
+    auto applied = group->MigrateStep(budget);
+    if (applied.ok()) {
+      moved = static_cast<uint32_t>(*applied);
+      stats_.Add("sweeper.rows_moved", moved);
+    } else {
+      stats_.Add("sweeper.migration_errors");
+    }
+  }
+  if (!group->ExpansionPending()) {
+    // The last move committed the new epoch (or the expansion was aborted
+    // under us). Hand off in this same simulator event.
+    stats_.Add("sweeper.migrations_completed");
+    auto it = migrations_.find(grp);
+    std::function<void()> done;
+    if (it != migrations_.end()) {
+      done = std::move(it->second);
+      migrations_.erase(it);
+    }
+    if (done) done();
+    return;
+  }
+  // Pace like a recovery sweep: the moves land as recovery-class writes
+  // at the new member's site. A tick that applied nothing (every queued
+  // move hit an un-acked parity delta) still charges one unit — the
+  // retry delay.
+  const SiteId dest = group->SiteOfMember(group->num_members() - 1);
+  if (config_.disk_charge) {
+    stats_.Add("sweeper.disk_paced_ticks");
+    config_.disk_charge(dest, moved > 0 ? moved : 1,
+                        [this, grp]() { MigrateTick(grp); });
+    return;
+  }
+  sim_->Schedule(config_.tick_interval, [this, grp]() { MigrateTick(grp); });
 }
 
 }  // namespace radd

@@ -58,6 +58,14 @@ struct SweeperConfig {
   std::function<void(SiteId site, uint32_t units,
                      std::function<void()> done)>
       disk_charge;
+  /// Also charge each repaired row's reconstruction-source reads to the
+  /// source sites' disk queues (recovery-class reads), and gate the next
+  /// tick on the slowest of them. Off by default: the legacy accounting
+  /// charges only the recovering site, and the stock event sequence must
+  /// stay bit-identical. The layout bench turns this on so the
+  /// rotated-vs-declustered recovery makespan reflects where source
+  /// reads actually land — one hot survivor versus the whole cluster.
+  bool charge_source_reads = false;
 };
 
 /// One sweeper instance serves every member of every group it is given.
@@ -81,6 +89,15 @@ class RecoverySweeper {
   /// Registers the status listener and picks up members whose sites are
   /// already recovering. Idempotent.
   void Start();
+
+  /// Drives a live expansion of group `grp` through the same pacing
+  /// machinery as recovery sweeps: RaddGroup::BeginExpansion must already
+  /// have been called; each tick applies up to rows_per_tick block moves
+  /// (RaddGroup::MigrateStep) under the load probe's backpressure, with
+  /// disk pacing charged at the new member's site. `on_done` runs in the
+  /// simulator event where the last move commits the new epoch. No-op
+  /// (on_done runs immediately) when no expansion is pending.
+  void StartMigration(int grp, std::function<void()> on_done = nullptr);
 
   /// Progress cursor of `member`'s sweep in group 0 (rows [0, cursor)
   /// repaired this pass). Retained across crash-mid-sweep for resume.
@@ -108,6 +125,7 @@ class RecoverySweeper {
   /// Ensures a tick chain is running for group `grp`'s `member`.
   void Pump(int grp, int member);
   void Tick(int grp, int member);
+  void MigrateTick(int grp);
   /// True when every group hosting a drive of `site` verifies clean; marks
   /// the site up in the same event. Called by a sweep whose own group just
   /// verified clean.
@@ -118,6 +136,7 @@ class RecoverySweeper {
   SiteStatusService* service_;
   SweeperConfig config_;
   std::map<std::pair<int, int>, Sweep> sweeps_;  // (group, member)
+  std::map<int, std::function<void()>> migrations_;  // group -> on_done
   Stats stats_;
   bool started_ = false;
 };

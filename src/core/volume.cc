@@ -1,6 +1,7 @@
 #include "core/volume.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <string>
 #include <utility>
 
@@ -22,7 +23,11 @@ Result<std::unique_ptr<RaddVolume>> RaddVolume::Create(
     blocks_per_site[j] =
         static_cast<BlockNum>(config.drives_per_site[j]) * rows;
   }
-  GroupAssigner assigner(config.group.group_size, config.group.parities);
+  const int width =
+      PlacementGroupWidth(config.group.placement, config.group.group_size,
+                          config.group.parities);
+  GroupAssigner assigner(config.group.group_size, config.group.parities,
+                         width);
   RADD_ASSIGN_OR_RETURN(std::vector<DriveGroup> assignment,
                         assigner.AssignBlocks(blocks_per_site, rows));
 
@@ -70,22 +75,59 @@ Result<std::unique_ptr<RaddVolume>> RaddVolume::Create(
     for (const DriveRef& r : refs[s]) slices[s].push_back(r.slice);
   }
 
-  const BlockNum data_per_drive =
-      RaddLayout(config.group.group_size, config.group.parities)
-          .DataBlocksPerSite(rows);
+  const PlacementMap& map0 = system->group(0)->layout();
+  const BlockNum data_per_drive = map0.DataBlocksPerSite(rows);
+  // Capacity rounding (satellite of the placement layer): only whole
+  // stripe cycles carry data, so a drive whose row count is not a
+  // multiple of the stripe width strands its trailing partial cycle.
+  // Surface the loss instead of dropping it silently.
+  const BlockNum waste_per_drive = map0.CapacityWasteBlocks(rows);
+  const BlockNum num_drives =
+      static_cast<BlockNum>(assignment.size()) *
+      static_cast<BlockNum>(width);
+  system->mutable_stats()->Add("volume.capacity_waste_blocks",
+                               waste_per_drive * num_drives);
+  if (waste_per_drive > 0) {
+    std::fprintf(
+        stderr,
+        "RaddVolume: capacity rounding strands %llu of %llu blocks per "
+        "drive (trailing partial cycle of stripe width %d): %llu blocks "
+        "across %llu drives\n",
+        static_cast<unsigned long long>(waste_per_drive),
+        static_cast<unsigned long long>(rows), map0.stripe_width(),
+        static_cast<unsigned long long>(waste_per_drive * num_drives),
+        static_cast<unsigned long long>(num_drives));
+  }
   return std::unique_ptr<RaddVolume>(
       new RaddVolume(config, std::move(system), std::move(slices),
-                     data_per_drive));
+                     data_per_drive, waste_per_drive));
+}
+
+Status RaddVolume::AddDrive(int grp, SiteId site, BlockNum first_block,
+                            BlockNum drive_blocks) {
+  LogicalDrive d;
+  d.site = site;
+  d.first_block = first_block;
+  d.drive_blocks = drive_blocks;
+  Status st = system_->AddGroupMember(grp, d);
+  if (!st.ok()) return st;
+  if (static_cast<size_t>(site) >= slices_.size()) {
+    slices_.resize(static_cast<size_t>(site) + 1);
+  }
+  slices_[static_cast<size_t>(site)].push_back(
+      SiteSlice{grp, system_->group(grp)->num_members() - 1});
+  return Status::OK();
 }
 
 RaddVolume::RaddVolume(VolumeConfig config,
                        std::unique_ptr<RaddNodeSystem> system,
                        std::vector<std::vector<SiteSlice>> slices,
-                       BlockNum data_per_drive)
+                       BlockNum data_per_drive, BlockNum waste_per_drive)
     : config_(std::move(config)),
       system_(std::move(system)),
       slices_(std::move(slices)),
-      data_per_drive_(data_per_drive) {}
+      data_per_drive_(data_per_drive),
+      waste_per_drive_(waste_per_drive) {}
 
 Result<RaddVolume::Target> RaddVolume::Resolve(SiteId site,
                                                BlockNum lba) const {

@@ -67,6 +67,20 @@ class RaddVolume {
   BlockNum DataBlocksPerDrive() const { return data_per_drive_; }
   /// Total data blocks site `site` exposes across all its drives.
   BlockNum DataBlocksAtSite(SiteId site) const;
+  /// Physical blocks per drive lost to capacity rounding: the trailing
+  /// partial stripe cycle DataBlocksPerDrive() drops. Also surfaced as
+  /// the "volume.capacity_waste_blocks" system stat (volume-wide total)
+  /// and a startup log line when non-zero.
+  BlockNum CapacityWastePerDrive() const { return waste_per_drive_; }
+
+  /// Online expansion: adds a drive at `site` to group `grp` of a live
+  /// volume (RaddNodeSystem::AddGroupMember). The planned moves migrate
+  /// through RaddGroup::MigrateStep — pace them with
+  /// RecoverySweeper::StartMigration. Declustered groups only. The new
+  /// member's rows become addressable through group-level operations once
+  /// the epoch flips; the volume's LBA map keeps its creation-time shape.
+  Status AddDrive(int grp, SiteId site, BlockNum first_block,
+                  BlockNum drive_blocks);
 
   /// Volume-addressed client operations: resolve then route through the
   /// shared protocol stack. Resolution failures surface on the callback.
@@ -101,7 +115,7 @@ class RaddVolume {
  private:
   RaddVolume(VolumeConfig config, std::unique_ptr<RaddNodeSystem> system,
              std::vector<std::vector<SiteSlice>> slices,
-             BlockNum data_per_drive);
+             BlockNum data_per_drive, BlockNum waste_per_drive);
 
   VolumeConfig config_;
   std::unique_ptr<RaddNodeSystem> system_;
@@ -109,6 +123,7 @@ class RaddVolume {
   /// first_block), each naming the group and member index it backs.
   std::vector<std::vector<SiteSlice>> slices_;
   BlockNum data_per_drive_;
+  BlockNum waste_per_drive_;
 };
 
 }  // namespace radd

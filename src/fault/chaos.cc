@@ -25,6 +25,11 @@ std::string ChaosReport::Summary() const {
                     " t=" + std::to_string(end_time) + " " + plan;
   if (groups > 1) out += " groups=" + std::to_string(groups);
   if (parities > 1) out += " scheme=pq";
+  if (declustered) out += " layout=declustered sites=" + std::to_string(sites);
+  if (expanded) {
+    out += " moved=" + std::to_string(expansion_moves) +
+           " planned=" + std::to_string(expansion_planned);
+  }
   if (batched) {
     out += " batches=" + std::to_string(batches_sent) +
            " batch_retx=" + std::to_string(batch_retransmits) +
@@ -46,14 +51,26 @@ ChaosHarness::ChaosHarness(const ChaosConfig& config) : config_(config) {}
 
 ChaosReport ChaosHarness::Run(uint64_t seed) {
   ChaosConfig cfg = config_;
-  const int members = cfg.group_size + 1 + cfg.parities;
-  // §4 volume shape: `groups` * (G+2) logical drives spread round-robin
-  // over G+1+groups sites. groups == 1 degenerates to the classic one
-  // drive per site on G+2 sites, which the assigner maps to the identity
-  // group — every address, RNG draw and site id matches the pre-volume
-  // harness exactly.
+  PlacementSpec pspec;
+  pspec.kind = cfg.layout;
+  pspec.sites = cfg.sites;
+  const bool declustered = cfg.layout == PlacementKind::kDeclustered;
+  // Members per group: the rotated G + 1 + parities, or the declustered
+  // cluster width C.
+  const int members =
+      PlacementGroupWidth(pspec, cfg.group_size, cfg.parities);
+  // §4 volume shape: `groups` * width logical drives spread round-robin
+  // over width-1+groups sites. groups == 1 degenerates to the classic one
+  // drive per site on `width` sites, which the assigner maps to the
+  // identity group — every address, RNG draw and site id matches the
+  // pre-volume harness exactly.
   const int num_sites =
       cfg.groups == 1 ? members : members - 1 + cfg.groups;
+  // Expansion mode reserves one extra cluster site, initially empty; the
+  // mid-schedule expansion carves one drive per group out of it.
+  const bool expand = cfg.expand && declustered && cfg.parities == 1;
+  const int total_sites = num_sites + (expand ? 1 : 0);
+  const SiteId expand_site = static_cast<SiteId>(num_sites);
   std::vector<int> drives_per_site(static_cast<size_t>(num_sites), 0);
   for (int d = 0; d < cfg.groups * members; ++d) {
     ++drives_per_site[static_cast<size_t>(d % num_sites)];
@@ -66,6 +83,8 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   report.seed = seed;
   report.groups = cfg.groups;
   report.parities = cfg.parities;
+  report.declustered = declustered;
+  if (declustered) report.sites = members;
   report.plan = plan.ToString();
 
   Simulator sim;
@@ -98,13 +117,18 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
                      });
   }
   std::vector<SiteConfig> site_configs;
-  site_configs.reserve(static_cast<size_t>(num_sites));
-  for (int s = 0; s < num_sites; ++s) {
+  site_configs.reserve(static_cast<size_t>(total_sites));
+  for (int s = 0; s < total_sites; ++s) {
     SiteConfig sc;
     sc.num_disks = 1;
+    // The expansion site starts empty of volume drives but must hold one
+    // drive per group once the expansion lands.
     sc.blocks_per_disk =
-        static_cast<BlockNum>(drives_per_site[static_cast<size_t>(s)]) *
-        cfg.rows;
+        s < num_sites
+            ? static_cast<BlockNum>(
+                  drives_per_site[static_cast<size_t>(s)]) *
+                  cfg.rows
+            : static_cast<BlockNum>(cfg.groups) * cfg.rows;
     sc.block_size = cfg.block_size;
     site_configs.push_back(sc);
   }
@@ -112,6 +136,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   VolumeConfig vc;
   vc.group.group_size = cfg.group_size;
   vc.group.parities = cfg.parities;
+  vc.group.placement = pspec;
   vc.group.rows = cfg.rows;
   vc.group.block_size = cfg.block_size;
   vc.drives_per_site = drives_per_site;
@@ -148,7 +173,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     report.autopilot = true;
     service.emplace(&sim, &cluster);
     std::vector<SiteId> sites;
-    for (int s = 0; s < num_sites; ++s) {
+    for (int s = 0; s < total_sites; ++s) {
       sites.push_back(static_cast<SiteId>(s));
     }
     detector.emplace(&sim, &net, &cluster, sites, cfg.heartbeat);
@@ -216,6 +241,121 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
   };
 
   int minority_member = -1;  // site isolated by a partition, else -1
+
+  // --- online expansion (expand mode) --------------------------------------
+  // Mid-schedule, the reserved extra site joins every group. Autopilot:
+  // the sweeper paces the block moves alongside its recovery duty and the
+  // convergence gate waits for the commit. Manual: a pump applies moves
+  // during the episode window (contending with the fault and traffic) and
+  // the remainder drains after repair.
+  bool expansion_started = false;
+  bool expansion_checked = false;
+  int expansions_pending = 0;  // groups still migrating (autopilot)
+  std::vector<int> pre_widths;  // members per group before the expansion
+  auto start_expansion = [&]() {
+    expansion_started = true;
+    trace("expansion: site " + std::to_string(expand_site) + " joins");
+    for (int g = 0; g < vol.num_groups(); ++g) {
+      pre_widths.push_back(vol.group(g)->num_members());
+      Status st = vol.AddDrive(g, expand_site,
+                               static_cast<BlockNum>(g) * cfg.rows, cfg.rows);
+      if (!st.ok()) {
+        fail("expansion of group " + std::to_string(g) + ": " +
+             st.ToString());
+        return;
+      }
+      if (sweeper) {
+        ++expansions_pending;
+        sweeper->StartMigration(g, [&]() { --expansions_pending; });
+      }
+    }
+  };
+  std::function<void(SimTime)> pump_migration = [&](SimTime until) {
+    if (sim.Now() >= until) return;  // the post-repair drain finishes it
+    bool any = false;
+    for (int g = 0; g < vol.num_groups(); ++g) {
+      if (!vol.group(g)->ExpansionPending()) continue;
+      any = true;
+      (void)vol.group(g)->MigrateStep(2);
+    }
+    if (!any) return;
+    sim.At(sim.Now() + Millis(5), [&, until]() { pump_migration(until); });
+  };
+  auto drain_migration = [&]() {
+    for (int g = 0; g < vol.num_groups(); ++g) {
+      int idle = 0;
+      bool scrubbed = false;
+      while (vol.group(g)->ExpansionPending() && failure.empty()) {
+        Result<int> r = vol.group(g)->MigrateStep(64);
+        if (!r.ok()) {
+          fail("expansion drain of group " + std::to_string(g) + ": " +
+               r.status().ToString());
+          return;
+        }
+        if (*r > 0) {
+          idle = 0;
+          continue;
+        }
+        // With every site restored a pass that applies nothing means the
+        // remaining moves are blocked on damaged blocks (the fault's
+        // leftovers). One scrub pass restores readability; a stall after
+        // that is permanent.
+        if (++idle > 3) {
+          if (!scrubbed) {
+            scrubbed = true;
+            idle = 0;
+            for (int m = 0; m < vol.group(g)->num_members(); ++m) {
+              (void)vol.group(g)->ScrubData(m);
+              (void)vol.group(g)->ScrubParity(m);
+            }
+            continue;
+          }
+          fail("expansion drain stalled in group " + std::to_string(g));
+          return;
+        }
+      }
+    }
+  };
+  auto verify_expansion = [&]() {
+    if (!expansion_started || expansion_checked || !failure.empty()) return;
+    for (int g = 0; g < vol.num_groups(); ++g) {
+      if (vol.group(g)->ExpansionPending()) return;  // still migrating
+    }
+    expansion_checked = true;
+    for (int g = 0; g < vol.num_groups(); ++g) {
+      RaddGroup* grp = vol.group(g);
+      const uint64_t n =
+          static_cast<uint64_t>(grp->layout().stripe_width());
+      const uint64_t rounds = static_cast<uint64_t>(cfg.rows) / n;
+      const uint64_t planned = grp->ExpansionMovesPlanned();
+      const uint64_t moved = grp->ExpansionMovesDone();
+      if (planned != rounds * (n - 1)) {
+        fail("expansion plan of group " + std::to_string(g) + " has " +
+             std::to_string(planned) + " moves, expected rounds*(n-1) = " +
+             std::to_string(rounds * (n - 1)));
+        return;
+      }
+      if (moved != planned) {
+        fail("expansion of group " + std::to_string(g) + " moved " +
+             std::to_string(moved) + " of " + std::to_string(planned) +
+             " planned blocks");
+        return;
+      }
+      // Bounded movement: at most the added capacity share 1/(C+1) of the
+      // C*rounds*n physical blocks in use may relocate.
+      const uint64_t c0 = static_cast<uint64_t>(pre_widths[g]);
+      const uint64_t used = c0 * rounds * n;
+      if (moved * (c0 + 1) > used) {
+        fail("expansion of group " + std::to_string(g) + " moved " +
+             std::to_string(moved) + " blocks, above the capacity share " +
+             std::to_string(used) + "/" + std::to_string(c0 + 1));
+        return;
+      }
+      report.expansion_moves += moved;
+      report.expansion_planned += planned;
+    }
+    report.expanded = true;
+  };
 
   auto pick_client = [&]() -> std::optional<SiteId> {
     // §5: during a partition only the majority side may accept work.
@@ -307,14 +447,16 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     // then parity (recomputes rows whose updates were dropped) — every
     // group of the volume, in group order.
     for (int g = 0; g < vol.num_groups() && failure.empty(); ++g) {
-      for (int m = 0; m < members && failure.empty(); ++m) {
+      const int width_now = vol.group(g)->num_members();
+      for (int m = 0; m < width_now && failure.empty(); ++m) {
         Result<int> r = vol.group(g)->ScrubData(m);
         if (!r.ok()) fail("ScrubData(g" + std::to_string(g) + "/m" +
                           std::to_string(m) + "): " + r.status().ToString());
       }
     }
     for (int g = 0; g < vol.num_groups() && failure.empty(); ++g) {
-      for (int m = 0; m < members && failure.empty(); ++m) {
+      const int width_now = vol.group(g)->num_members();
+      for (int m = 0; m < width_now && failure.empty(); ++m) {
         Result<int> r = vol.group(g)->ScrubParity(m);
         if (!r.ok()) fail("ScrubParity(g" + std::to_string(g) + "/m" +
                           std::to_string(m) + "): " + r.status().ToString());
@@ -359,10 +501,21 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
     }
   };
 
+  const int expand_at = static_cast<int>(plan.episodes.size()) / 2;
+  int ep_index = -1;
   for (const Episode& ep : plan.episodes) {
+    ++ep_index;
     if (!failure.empty()) break;
     const SimTime t0 = sim.Now();
     const SiteId target = static_cast<SiteId>(ep.member);
+    if (expand && ep_index == expand_at) {
+      // The expansion launches at the window's start, so its block moves
+      // run under this episode's fault and live traffic.
+      sim.At(t0, [&, window_end = t0 + ep.duration]() {
+        start_expansion();
+        if (!sweeper && failure.empty()) pump_migration(window_end);
+      });
+    }
     trace("=== episode " + std::string(FaultKindName(ep.kind)) + "@m" +
           std::to_string(ep.member) + " duration=" +
           std::to_string(ep.duration) + " offset=" +
@@ -404,8 +557,11 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           }
           break;
         case FaultKind::kPartition: {
+          // The majority side is every site but the target — including the
+          // reserved expansion site (a site in neither partition group
+          // would be cut off from everyone).
           std::vector<SiteId> rest;
-          for (int m = 0; m < num_sites; ++m) {
+          for (int m = 0; m < total_sites; ++m) {
             if (m != ep.member) rest.push_back(static_cast<SiteId>(m));
           }
           net.SetPartitions({{target}, rest});
@@ -463,7 +619,7 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
             // whose readers then reconstruct through stale parity. Left
             // believing its peers are up, its operations instead fail
             // honestly via retransmit exhaustion.
-            for (int m = 0; m < num_sites; ++m) {
+            for (int m = 0; m < total_sites; ++m) {
               if (m == ep.member) continue;
               sys.SetPresumedState(static_cast<SiteId>(m), target,
                                    SiteState::kDown);
@@ -558,7 +714,10 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
           // sweeper drains whatever it missed. Nothing to do here.
           break;
         }
-        for (int m = 0; m < num_sites; ++m) {
+        // Clear over every site the strike's loops could have touched —
+        // total_sites, matching the partition's majority set, or a pair
+        // involving the expansion site would stay presumed-down forever.
+        for (int m = 0; m < total_sites; ++m) {
           SiteId o = static_cast<SiteId>(m);
           sys.SetPresumedState(o, target, std::nullopt);
           sys.SetPresumedState(target, o, std::nullopt);
@@ -602,7 +761,8 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
       const SimTime drain_start = sim.Now();
       const SimTime budget_end = drain_start + cfg.convergence_budget;
       auto settled = [&]() {
-        return service->Converged() && outstanding == 0 && sys.Quiescent();
+        return service->Converged() && outstanding == 0 && sys.Quiescent() &&
+               expansions_pending == 0;
       };
       bool converged = false;
       while (sim.Now() < budget_end) {
@@ -697,15 +857,26 @@ ChaosReport ChaosHarness::Run(uint64_t seed) {
         }
       }
     }
+    if (!cfg.autopilot && expansion_started && failure.empty()) {
+      // Whatever the window's pump could not land (moves blocked by the
+      // fault) completes now that every site is restored.
+      drain_migration();
+    }
     if (!failure.empty()) break;
     trace("repair + invariant check");
     repair_and_check();
+    verify_expansion();
     if (failure.empty()) {
       ++report.survived_by_kind[std::string(FaultKindName(ep.kind))];
       if (ep.second_member >= 0) {
         ++report.survived_by_kind[std::string(FaultKindName(ep.second_kind))];
       }
     }
+  }
+
+  if (expansion_started && !expansion_checked && failure.empty()) {
+    fail("expansion never completed: " +
+         std::to_string(expansions_pending) + " groups still migrating");
   }
 
   if (detector) detector->Stop();

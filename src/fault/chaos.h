@@ -30,6 +30,7 @@
 #include "core/node.h"
 #include "core/sweeper.h"
 #include "fault/fault.h"
+#include "layout/placement.h"
 
 namespace radd {
 
@@ -46,6 +47,23 @@ struct ChaosConfig {
   /// spreads N*(G+2) logical drives round-robin over G+1+N sites, so every
   /// fault lands on a site serving several groups at once.
   int groups = 1;
+  /// Placement of every group's rows. kRotated (default) is the classic
+  /// harness, byte-identical to pre-placement builds; kDeclustered
+  /// spreads each group's stripes over `sites` members via the seeded
+  /// permutation tables (layout/placement.h).
+  PlacementKind layout = PlacementKind::kRotated;
+  /// Declustered only: cluster width C (members per group). 0 = the
+  /// minimum, G + 1 + parities.
+  int sites = 12;
+  /// Online-expansion mode (declustered, single parity): mid-schedule a
+  /// fresh site joins the cluster and every group expands onto it — the
+  /// planned block moves migrate while faults and client traffic keep
+  /// running (autopilot: paced by the sweeper; manual: pumped during the
+  /// episode window and drained after repair). The acked-write ledger,
+  /// the invariants and the moved-fraction bound (moves <= the added
+  /// capacity share of physical blocks) must all hold across the epoch
+  /// flip.
+  bool expand = false;
   BlockNum rows = 12;
   size_t block_size = 256;
   int ops_per_episode = 24;
@@ -125,6 +143,15 @@ struct ChaosReport {
   /// replayability digest is unchanged.
   std::map<std::string, uint64_t> injected_by_kind;
   std::map<std::string, uint64_t> survived_by_kind;
+
+  /// Placement metrics (defaults when the layout is rotated, so rotated
+  /// Summaries stay byte-identical to pre-placement builds).
+  bool declustered = false;
+  int sites = 0;  ///< cluster width C of each declustered group
+  /// Expansion-mode metrics (expand only).
+  bool expanded = false;
+  uint64_t expansion_moves = 0;    ///< blocks physically relocated
+  uint64_t expansion_planned = 0;  ///< blocks the plans called for
 
   /// Autopilot-mode self-healing metrics (all zero otherwise).
   bool autopilot = false;

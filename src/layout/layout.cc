@@ -16,6 +16,8 @@ std::string_view BlockRoleName(BlockRole role) {
       return "q-parity";
     case BlockRole::kSpare:
       return "spare";
+    case BlockRole::kNone:
+      return "none";
   }
   return "?";
 }
@@ -119,25 +121,50 @@ std::vector<SiteId> RaddLayout::ReconstructionSources(SiteId failed_site,
 
 Result<std::vector<DriveGroup>> GroupAssigner::Assign(
     const std::vector<int>& drives_per_site) const {
-  const int members = g_ + 1 + parities_;
+  const int members = width_;
   long total = 0;
   int max_drives = 0;
-  for (int n : drives_per_site) {
-    if (n < 0) return Status::InvalidArgument("negative drive count");
+  size_t max_site = 0;
+  int sites_with_drives = 0;
+  for (size_t j = 0; j < drives_per_site.size(); ++j) {
+    int n = drives_per_site[j];
+    if (n < 0) {
+      return Status::InvalidArgument(
+          "site " + std::to_string(j) + " has a negative drive count (" +
+          std::to_string(n) + ")");
+    }
     total += n;
-    max_drives = std::max(max_drives, n);
+    if (n > 0) ++sites_with_drives;
+    if (n > max_drives) {
+      max_drives = n;
+      max_site = j;
+    }
   }
-  if (total == 0) return Status::InvalidArgument("no drives");
+  if (total == 0) {
+    return Status::InvalidArgument(
+        "no drives: all " + std::to_string(drives_per_site.size()) +
+        " sites report zero drives");
+  }
   if (total % members != 0) {
     return Status::InvalidArgument(
-        "total drives " + std::to_string(total) +
-        " is not a multiple of the group width " + std::to_string(members));
+        "total drives " + std::to_string(total) + " across " +
+        std::to_string(sites_with_drives) +
+        " sites is not a multiple of the group width " +
+        std::to_string(members));
   }
   const long a = total / members;  // the paper's constant A
   if (max_drives > a) {
     return Status::InvalidArgument(
-        "a site owns " + std::to_string(max_drives) +
-        " drives, more than A = " + std::to_string(a));
+        "site " + std::to_string(max_site) + " owns " +
+        std::to_string(max_drives) + " of the " + std::to_string(total) +
+        " drives, more than A = total/width = " + std::to_string(a) +
+        " (width " + std::to_string(members) + ")");
+  }
+  if (sites_with_drives < members) {
+    return Status::InvalidArgument(
+        "only " + std::to_string(sites_with_drives) +
+        " sites own drives; a group needs " + std::to_string(members) +
+        " distinct sites");
   }
 
   // Remaining drive count per site; drives are handed out densely from
@@ -157,10 +184,16 @@ Result<std::vector<DriveGroup>> GroupAssigner::Assign(
                      });
     if (order.size() < static_cast<size_t>(members) ||
         remaining[order[static_cast<size_t>(members) - 1]] <= 0) {
+      int still_own = 0;
+      for (int r : remaining) {
+        if (r > 0) ++still_own;
+      }
       return Status::InvalidArgument(
-          "fewer than " + std::to_string(members) +
-          " sites still own drives in round " +
-          std::to_string(round));
+          "only " + std::to_string(still_own) + " of " +
+          std::to_string(remaining.size()) +
+          " sites still own drives in round " + std::to_string(round) +
+          " of " + std::to_string(a) + "; a group needs " +
+          std::to_string(members));
     }
     DriveGroup group;
     for (int m = 0; m < members; ++m) {

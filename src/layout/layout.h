@@ -33,8 +33,12 @@
 
 namespace radd {
 
-/// What a given physical block is used for at a given site.
-enum class BlockRole { kData, kParity, kParityQ, kSpare };
+/// What a given physical block is used for at a given site. kNone means
+/// the site does not participate in the row at all — impossible under the
+/// rotated layout (every member appears in every row) but routine under
+/// declustered placement, where each row touches only n of the C cluster
+/// members (layout/placement.h).
+enum class BlockRole { kData, kParity, kParityQ, kSpare, kNone };
 
 std::string_view BlockRoleName(BlockRole role);
 
@@ -135,8 +139,13 @@ struct DriveGroup {
 /// drive from each of the G+2 sites with the most remaining drives.
 class GroupAssigner {
  public:
-  explicit GroupAssigner(int group_size, int parities = 1)
-      : g_(group_size), parities_(parities) {}
+  /// `width` overrides the members-per-group count (declustered groups
+  /// span more sites than the rotated G + 1 + parities); 0 = rotated
+  /// width.
+  explicit GroupAssigner(int group_size, int parities = 1, int width = 0)
+      : g_(group_size),
+        parities_(parities),
+        width_(width > 0 ? width : group_size + 1 + parities) {}
 
   /// Assigns `drives_per_site[j]` drives of site j into groups. Fails with
   /// InvalidArgument when the paper's preconditions are violated (total
@@ -155,6 +164,7 @@ class GroupAssigner {
  private:
   int g_;
   int parities_;
+  int width_;
 };
 
 }  // namespace radd

@@ -107,6 +107,9 @@ TEST_P(LayoutPropertyTest, EveryRowHasOneParityOneSpareGData) {
         case BlockRole::kData:
           ++data;
           break;
+        case BlockRole::kNone:
+          ADD_FAILURE() << "rotated layout produced a none role";
+          break;
       }
     }
     EXPECT_EQ(parity, 1);
@@ -217,6 +220,83 @@ TEST(GroupAssigner, RejectsSiteOwningMoreThanA) {
 TEST(GroupAssigner, RejectsTooFewSites) {
   GroupAssigner assigner(4);
   EXPECT_FALSE(assigner.Assign({3, 3}).ok());
+}
+
+// Precondition failures must name the offending site and the counts the
+// operator needs to fix the census — "invalid argument" alone is useless
+// when a 40-site census fails to pack.
+std::string AssignError(const GroupAssigner& assigner,
+                        const std::vector<int>& drives) {
+  Result<std::vector<DriveGroup>> groups = assigner.Assign(drives);
+  EXPECT_FALSE(groups.ok());
+  EXPECT_TRUE(groups.status().IsInvalidArgument())
+      << groups.status().ToString();
+  return groups.status().ToString();
+}
+
+void ExpectContains(const std::string& message, const std::string& needle) {
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "message \"" << message << "\" lacks \"" << needle << "\"";
+}
+
+TEST(GroupAssignerDiagnostics, NegativeCountNamesSiteAndValue) {
+  GroupAssigner assigner(4);
+  std::string msg = AssignError(assigner, {1, -2, 1, 1, 1, 1});
+  ExpectContains(msg, "site 1");
+  ExpectContains(msg, "(-2)");
+}
+
+TEST(GroupAssignerDiagnostics, AllZeroNamesSiteCount) {
+  GroupAssigner assigner(4);
+  ExpectContains(AssignError(assigner, {0, 0, 0, 0, 0, 0, 0}),
+                 "all 7 sites report zero drives");
+}
+
+TEST(GroupAssignerDiagnostics, NonMultipleNamesTotalAndWidth) {
+  GroupAssigner assigner(4);
+  std::string msg = AssignError(assigner, {2, 1, 1, 1, 1, 1});
+  ExpectContains(msg, "total drives 7");
+  ExpectContains(msg, "6 sites");
+  ExpectContains(msg, "group width 6");
+}
+
+TEST(GroupAssignerDiagnostics, OverweightSiteNamesSiteAndBound) {
+  // Total 12, A = 2, site 0 owns 3.
+  GroupAssigner assigner(4);
+  std::string msg = AssignError(assigner, {3, 2, 2, 2, 1, 1, 1});
+  ExpectContains(msg, "site 0 owns 3 of the 12 drives");
+  ExpectContains(msg, "A = total/width = 2");
+  ExpectContains(msg, "width 6");
+}
+
+TEST(GroupAssignerDiagnostics, TooFewSitesNamesAConcreteCause) {
+  // A census on fewer than `width` sites whose total is a multiple of
+  // the width always has some site above A = total/width (total <=
+  // sites * A would force sites >= width), so the overweight check
+  // fires first — what matters is that the message names the site and
+  // both counts, not which precondition catches it.
+  GroupAssigner assigner(4);
+  std::string msg = AssignError(assigner, {3, 3, 3, 3});
+  ExpectContains(msg, "site 0 owns 3 of the 12 drives");
+  ExpectContains(msg, "A = total/width = 2");
+}
+
+TEST(GroupAssignerDiagnostics, WidthOverrideIsReflectedInMessages) {
+  // Declustered groups span `width` sites, not G + 1 + parities; the
+  // diagnostics must report the width actually enforced.
+  GroupAssigner assigner(2, 1, /*width=*/8);
+  std::string msg = AssignError(assigner, {1, 1, 1, 1, 1, 1, 1});
+  ExpectContains(msg, "group width 8");
+}
+
+TEST(GroupAssignerDiagnostics, IndivisibleCapacityNamesSiteAndSizes) {
+  GroupAssigner assigner(4);
+  Result<std::vector<DriveGroup>> groups =
+      assigner.AssignBlocks({150, 100, 100, 100, 100, 100}, 100);
+  ASSERT_FALSE(groups.ok());
+  std::string msg = groups.status().ToString();
+  ExpectContains(msg, "site 0 capacity 150");
+  ExpectContains(msg, "logical drive size 100");
 }
 
 // The paper's claim: any configuration meeting the preconditions packs

@@ -202,7 +202,7 @@ TEST_F(ParityBatchTest, OpCountThresholdFlushesEarly) {
   Build(0.0, pb);
   // Pick two data blocks of home 0 whose rows share a parity member, so
   // both updates land in the same staging buffer.
-  const RaddLayout& lay = sys_->layout();
+  const PlacementMap& lay = sys_->layout();
   const BlockNum nblocks = sys_->group()->DataBlocksPerMember();
   BlockNum i1 = 0, i2 = 0;
   bool found = false;

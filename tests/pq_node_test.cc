@@ -33,7 +33,7 @@ class PqNodeTest : public ::testing::Test {
     return b;
   }
   SiteId SiteOf(int m) { return sys_->group()->SiteOfMember(m); }
-  const RaddLayout& Lay() { return sys_->group()->layout(); }
+  const PlacementMap& Lay() { return sys_->group()->layout(); }
   BlockNum RowOf(int m, BlockNum i) {
     return Lay().DataToRow(static_cast<SiteId>(m), i);
   }

@@ -83,6 +83,9 @@ TEST(PqLayout, RolesPartitionEveryRow) {
         case BlockRole::kParity: ++p; break;
         case BlockRole::kParityQ: ++q; break;
         case BlockRole::kSpare: ++spare; break;
+        case BlockRole::kNone:
+          ADD_FAILURE() << "rotated layout produced a none role";
+          break;
       }
     }
     EXPECT_EQ(data, 4) << "row=" << row;

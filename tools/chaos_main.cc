@@ -134,6 +134,18 @@ int main(int argc, char** argv) {
     } else if (std::strcmp(argv[i], "--cache-blocks") == 0 && i + 1 < argc) {
       config.node.disk_sched.cache_blocks =
           static_cast<size_t>(ParseU64(argv[++i]));
+    } else if (std::strcmp(argv[i], "--layout") == 0 && i + 1 < argc) {
+      const char* layout = argv[++i];
+      if (std::strcmp(layout, "declustered") == 0) {
+        config.layout = radd::PlacementKind::kDeclustered;
+      } else if (std::strcmp(layout, "rotated") != 0) {
+        std::fprintf(stderr, "--layout must be 'rotated' or 'declustered'\n");
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--sites") == 0 && i + 1 < argc) {
+      config.sites = static_cast<int>(ParseU64(argv[++i]));
+    } else if (std::strcmp(argv[i], "--expand") == 0) {
+      config.expand = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--seeds N] [--start S] [--seed X] "
@@ -141,10 +153,29 @@ int main(int argc, char** argv) {
                    "[--ops O] [--autopilot] [--batch] [--codec] "
                    "[--threads T] [--disk-read-ms MS] [--disk-write-ms MS] "
                    "[--spindles S] [--disk-policy fifo|elevator|deadline] "
-                   "[--cache-blocks N] [--verbose]\n",
+                   "[--cache-blocks N] "
+                   "[--layout rotated|declustered] [--sites C] [--expand] "
+                   "[--verbose]\n",
                    argv[0]);
       return 2;
     }
+  }
+  if (config.layout != radd::PlacementKind::kDeclustered) {
+    if (config.expand) {
+      std::fprintf(stderr, "--expand requires --layout declustered\n");
+      return 2;
+    }
+  } else if (config.sites <
+             config.group_size + 1 + config.parities) {
+    std::fprintf(stderr,
+                 "--sites must be >= G+1+parities = %d for declustered "
+                 "placement\n",
+                 config.group_size + 1 + config.parities);
+    return 2;
+  }
+  if (config.expand && config.parities != 1) {
+    std::fprintf(stderr, "--expand supports only --scheme single\n");
+    return 2;
   }
   if (!have_single && seeds == 0) seeds = 200;
 
